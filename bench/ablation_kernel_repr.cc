@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation F: kernel (SimPoint) representativeness across workloads —
+ * the Section VII question. For each benchmark, a simulation kernel
+ * is extracted from the *refrate* run only (the common single-
+ * workload practice the paper questions); the bench then measures how
+ * far that kernel's behaviour lies from the full-run behaviour of
+ * every other workload.
+ *
+ * Expected shape: for workload-stable benchmarks (lbm) the refrate
+ * kernel stays representative everywhere; for workload-sensitive
+ * ones the cross-workload error is several times the self error.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "core/phases.h"
+#include "support/table.h"
+
+int
+main()
+{
+    using namespace alberta;
+
+    std::cout << "Ablation F: does a kernel extracted from the "
+                 "refrate run represent other\nworkloads? error = L1 "
+                 "distance between top-down vectors (0..2).\n\n";
+
+    support::Table table({"Benchmark", "self error",
+                          "cross error (mean)", "cross error (max)",
+                          "worst workload"});
+
+    for (const char *name : {"519.lbm_r", "548.exchange2_r",
+                             "557.xz_r", "502.gcc_r",
+                             "523.xalancbmk_r"}) {
+        const auto bm = core::makeBenchmark(name);
+        const auto refrate = runtime::findWorkload(*bm, "refrate");
+        const core::PhaseAnalysis kernel =
+            core::analyzePhases(*bm, refrate);
+
+        double sum = 0.0, worst = -1.0;
+        std::string worstName;
+        int count = 0;
+        for (const auto &w : bm->workloads()) {
+            if (w.isRefrate())
+                continue;
+            const auto full = runtime::runOnce(*bm, w);
+            const double err = core::behaviourDistance(
+                kernel.representativeRatios, full.topdown);
+            sum += err;
+            if (err > worst) {
+                worst = err;
+                worstName = w.name;
+            }
+            ++count;
+        }
+        table.addRow({name,
+                      support::formatFixed(kernel.selfError, 3),
+                      support::formatFixed(sum / count, 3),
+                      support::formatFixed(worst, 3), worstName});
+        std::cerr << "  [kernel] " << name << " done\n";
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: self error is the kernel's quality on "
+                 "its own workload; the gap to\nthe cross-workload "
+                 "columns is what single-workload kernel creation "
+                 "hides.\n";
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate kernels: raw
+ * throughput of the pieces everything else is built on. Useful for
+ * spotting performance regressions in the simulator itself (the
+ * "seconds" columns of Tables I/II depend on these).
+ */
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/deepsjeng/board.h"
+#include "benchmarks/exchange2/benchmark.h"
+#include "benchmarks/exchange2/sudoku.h"
+#include "benchmarks/lbm/benchmark.h"
+#include "benchmarks/mcf/generator.h"
+#include "benchmarks/mcf/mincost.h"
+#include "benchmarks/xz/generator.h"
+#include "benchmarks/xz/lz77.h"
+#include "runtime/context.h"
+#include "stats/summary.h"
+#include "support/text.h"
+#include "topdown/machine.h"
+
+namespace {
+
+using namespace alberta;
+
+void
+BM_TopdownMachineOps(benchmark::State &state)
+{
+    topdown::Machine machine;
+    machine.setMethod(1, 4096);
+    std::uint64_t rngState = 1;
+    for (auto _ : state) {
+        const auto r = support::splitmix64(rngState);
+        machine.branch(1, r & 1);
+        machine.load(r % (1 << 22));
+        machine.ops(topdown::OpKind::IntAlu, 4);
+    }
+    state.SetItemsProcessed(state.iterations() * 6);
+}
+BENCHMARK(BM_TopdownMachineOps);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    topdown::Cache cache(32 * 1024, 8, 64);
+    std::uint64_t rngState = 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(support::splitmix64(rngState) %
+                         (1 << 20)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_Lz77Compress(benchmark::State &state)
+{
+    xz::FileConfig cfg;
+    cfg.kind = xz::ContentKind::Log;
+    cfg.bytes = static_cast<std::size_t>(state.range(0));
+    const auto data = xz::generateFile(cfg);
+    for (auto _ : state) {
+        runtime::ExecutionContext ctx;
+        benchmark::DoNotOptimize(xz::compress(data, {}, ctx));
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Lz77Compress)->Arg(64 << 10)->Arg(256 << 10);
+
+void
+BM_ChessPerft(benchmark::State &state)
+{
+    deepsjeng::Board board = deepsjeng::Board::initial();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(board.perft(
+            static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_ChessPerft)->Arg(3)->Arg(4);
+
+void
+BM_SudokuSolve(benchmark::State &state)
+{
+    const auto lines = support::splitWhitespace(
+        exchange2::Exchange2Benchmark::distributedSeeds());
+    const auto grid = exchange2::Grid::parse(lines[0]);
+    for (auto _ : state) {
+        runtime::ExecutionContext ctx;
+        benchmark::DoNotOptimize(exchange2::solve(grid, ctx, 2));
+    }
+}
+BENCHMARK(BM_SudokuSolve);
+
+void
+BM_McfSolve(benchmark::State &state)
+{
+    mcf::CityConfig cfg;
+    cfg.seed = 7;
+    cfg.trips = static_cast<int>(state.range(0));
+    const auto problem = mcf::generateCity(cfg);
+    for (auto _ : state) {
+        runtime::ExecutionContext ctx;
+        mcf::Solver solver(problem.instance);
+        benchmark::DoNotOptimize(solver.solve(ctx));
+    }
+}
+BENCHMARK(BM_McfSolve)->Arg(40)->Arg(80);
+
+void
+BM_LbmStep(benchmark::State &state)
+{
+    lbm::GeometryConfig geo;
+    geo.seed = 3;
+    const auto geometry = lbm::generateGeometry(geo);
+    for (auto _ : state) {
+        runtime::ExecutionContext ctx;
+        lbm::LbmConfig cfg;
+        cfg.steps = 1;
+        lbm::Lattice lattice(geometry, cfg);
+        benchmark::DoNotOptimize(lattice.run(ctx));
+    }
+    state.SetItemsProcessed(state.iterations() * geo.nx * geo.ny *
+                            geo.nz);
+}
+BENCHMARK(BM_LbmStep);
+
+void
+BM_SummarizeCoverage(benchmark::State &state)
+{
+    std::vector<stats::CoverageMap> workloads(12);
+    std::uint64_t rngState = 5;
+    for (auto &w : workloads) {
+        double left = 1.0;
+        for (int mth = 0; mth < 30; ++mth) {
+            const double f =
+                left *
+                (support::splitmix64(rngState) % 100) / 400.0;
+            w["m" + std::to_string(mth)] = f;
+            left -= f;
+        }
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            stats::summarizeCoverage(workloads));
+}
+BENCHMARK(BM_SummarizeCoverage);
+
+} // namespace
+
+BENCHMARK_MAIN();

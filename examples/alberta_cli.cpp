@@ -1,0 +1,167 @@
+/**
+ * @file
+ * `alberta` — the suite's command-line front end. Subcommands:
+ *
+ *   alberta_cli list                      all benchmarks + areas
+ *   alberta_cli workloads <benchmark>     workload names + params
+ *   alberta_cli run <benchmark> <workload> [reps]
+ *   alberta_cli characterize <benchmark>  Table II row for one program
+ *   alberta_cli report <benchmark>        Markdown report to stdout
+ *   alberta_cli cluster <benchmark> <k>   Berube-style representatives
+ */
+#include <iostream>
+
+#include "core/cluster.h"
+#include "core/report.h"
+#include "core/suite.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace alberta;
+
+int
+cmdList()
+{
+    support::Table table({"Benchmark", "Area", "#workloads"});
+    for (const auto &bm : core::allBenchmarks()) {
+        table.addRow({bm->name(), bm->area(),
+                      std::to_string(bm->workloads().size())});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdWorkloads(const std::string &name)
+{
+    const auto bm = core::makeBenchmark(name);
+    support::Table table({"Workload", "seed", "parameters"});
+    for (const auto &w : bm->workloads()) {
+        std::string params;
+        for (const auto &[key, value] : w.params.entries()) {
+            if (!params.empty())
+                params += ", ";
+            params += key + "=" + value;
+        }
+        table.addRow({w.name, std::to_string(w.seed), params});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(const std::string &name, const std::string &workloadName,
+       int reps)
+{
+    const auto bm = core::makeBenchmark(name);
+    const auto workload = runtime::findWorkload(*bm, workloadName);
+    const auto agg = runtime::runRepeated(*bm, workload, reps);
+    const auto &m = agg.representative;
+    std::cout << bm->name() << " / " << workload.name << "\n";
+    std::cout << "  time      : "
+              << support::formatFixed(agg.meanSeconds, 4)
+              << " s (mean of " << reps << ")\n";
+    std::cout << "  uops      : " << m.retiredOps << "\n";
+    std::cout << "  top-down  : f="
+              << support::formatPercent(m.topdown.frontend, 1)
+              << "% b=" << support::formatPercent(m.topdown.backend, 1)
+              << "% s=" << support::formatPercent(m.topdown.badspec, 1)
+              << "% r="
+              << support::formatPercent(m.topdown.retiring, 1)
+              << "%\n";
+    std::cout << "  checksum  : " << m.checksum << "\n";
+    return 0;
+}
+
+int
+cmdCharacterize(const std::string &name)
+{
+    const auto bm = core::makeBenchmark(name);
+    const auto c = core::characterize(*bm);
+    support::Table table(core::table2Header());
+    table.addRow(core::table2Row(c));
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdReport(const std::string &name)
+{
+    const auto bm = core::makeBenchmark(name);
+    core::CharacterizeOptions options;
+    const auto c = core::characterize(*bm, options);
+    std::cout << core::renderReport(c);
+    return 0;
+}
+
+int
+cmdCluster(const std::string &name, std::size_t k)
+{
+    const auto bm = core::makeBenchmark(name);
+    core::CharacterizeOptions options;
+    options.refrateRepetitions = 1;
+    const auto c = core::characterize(*bm, options);
+    const auto clustering = core::clusterWorkloads(c, k);
+    support::Table table({"cluster", "representative", "members"});
+    for (std::size_t cl = 0; cl < clustering.medoids.size(); ++cl) {
+        std::string members;
+        for (std::size_t p = 0; p < c.workloadNames.size(); ++p) {
+            if (clustering.assignment[p] == cl) {
+                if (!members.empty())
+                    members += ' ';
+                members += c.workloadNames[p];
+            }
+        }
+        table.addRow({std::to_string(cl + 1),
+                      c.workloadNames[clustering.medoids[cl]],
+                      members});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  alberta_cli list\n"
+           "  alberta_cli workloads <benchmark>\n"
+           "  alberta_cli run <benchmark> <workload> [reps]\n"
+           "  alberta_cli characterize <benchmark>\n"
+           "  alberta_cli report <benchmark>\n"
+           "  alberta_cli cluster <benchmark> <k>\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    try {
+        if (command == "list")
+            return cmdList();
+        if (command == "workloads" && argc >= 3)
+            return cmdWorkloads(argv[2]);
+        if (command == "run" && argc >= 4)
+            return cmdRun(argv[2], argv[3],
+                          argc >= 5 ? std::atoi(argv[4]) : 3);
+        if (command == "characterize" && argc >= 3)
+            return cmdCharacterize(argv[2]);
+        if (command == "report" && argc >= 3)
+            return cmdReport(argv[2]);
+        if (command == "cluster" && argc >= 4)
+            return cmdCluster(argv[2], std::atoi(argv[3]));
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    usage();
+    return 2;
+}

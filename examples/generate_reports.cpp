@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Produce the per-benchmark Markdown reports "distributed with the
+ * Alberta Workloads": one file per benchmark with per-workload
+ * measurements, coverage matrices, and the Section V summaries.
+ *
+ *   ./generate_reports [output-dir] [benchmark]
+ */
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/report.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace alberta;
+    namespace fs = std::filesystem;
+
+    const fs::path root = argc > 1 ? argv[1] : "alberta-reports";
+    const std::string only = argc > 2 ? argv[2] : "";
+    fs::create_directories(root);
+
+    for (const auto &name : core::table2Names()) {
+        if (!only.empty() && name != only)
+            continue;
+        const auto benchmark = core::makeBenchmark(name);
+        core::CharacterizeOptions options;
+        options.refrateRepetitions = 3;
+        const core::Characterization c =
+            core::characterize(*benchmark, options);
+        const fs::path file = root / (name + ".md");
+        std::ofstream out(file);
+        out << core::renderReport(c);
+        std::cout << "wrote " << file.string() << "\n";
+    }
+    return 0;
+}

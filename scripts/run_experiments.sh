@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every result in EXPERIMENTS.md: full test suite into
+# test_output.txt, every table/figure/ablation bench into
+# bench_output.txt.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+(for b in build/bench/*; do
+    case "$b" in *CTestTestfile*|*cmake_install*) continue ;; esac
+    echo
+    echo "===== $b ====="
+    "$b"
+done) 2>&1 | tee bench_output.txt

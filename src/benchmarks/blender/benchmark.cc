@@ -1,0 +1,126 @@
+#include "benchmarks/blender/benchmark.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace alberta::blender {
+
+std::vector<BlendScene>
+makeScenePool(int count, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::vector<BlendScene> pool;
+    for (int i = 0; i < count; ++i) {
+        BlendScene scene;
+        scene.renderable = !rng.chance(0.25); // some resource files
+        const int objects = 1 + static_cast<int>(rng.below(4));
+        for (int o = 0; o < objects; ++o) {
+            SceneObject obj;
+            obj.kind = static_cast<MeshKind>(rng.below(4));
+            obj.resolution = 4 + static_cast<int>(rng.below(10));
+            obj.position = {rng.real(-1.5, 1.5), rng.real(-0.5, 1.0),
+                            rng.real(-0.5, 2.0)};
+            obj.scale = rng.real(0.5, 1.6);
+            obj.spinPerFrame = rng.real(-0.3, 0.3);
+            obj.seed = rng() >> 1; // keep within signed-parse range
+            scene.objects.push_back(obj);
+        }
+        scene.cameraDrift = {rng.real(-0.05, 0.05), 0.0,
+                             rng.real(-0.02, 0.02)};
+        scene.frameCount = 2 + static_cast<int>(rng.below(5));
+        pool.push_back(scene);
+    }
+    return pool;
+}
+
+BlendScene
+pickRenderableScene(const std::vector<BlendScene> &pool,
+                    std::uint64_t seed)
+{
+    support::fatalIf(pool.empty(), "blender: empty scene pool");
+    support::Rng rng(seed);
+    const std::size_t start = rng.below(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        const BlendScene &candidate =
+            pool[(start + i) % pool.size()];
+        if (validateScene(candidate))
+            return candidate;
+    }
+    support::fatal("blender: no renderable scene in the pool");
+}
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed,
+             BlendScene scene, int width, int height, int startFrame,
+             int frameCount)
+{
+    scene.width = width;
+    scene.height = height;
+    scene.startFrame = startFrame;
+    scene.frameCount = frameCount;
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.params.set("start_frame", static_cast<long long>(startFrame));
+    w.params.set("frames", static_cast<long long>(frameCount));
+    w.files["scene.blend"] = scene.serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+BlenderBenchmark::workloads() const
+{
+    const auto pool = makeScenePool(40, 0x526B00);
+    std::vector<runtime::Workload> out;
+    BlendScene refScene = pickRenderableScene(pool, 0x526F);
+    for (auto &obj : refScene.objects)
+        obj.resolution = std::min(64, obj.resolution * 4);
+    out.push_back(makeWorkload("refrate", 0x526F, refScene, 192, 144,
+                               0, 12));
+    out.push_back(makeWorkload("train", 0x5261,
+                               pickRenderableScene(pool, 0x5261), 64,
+                               48, 0, 3));
+    out.push_back(makeWorkload("test", 0x5262,
+                               pickRenderableScene(pool, 0x5262), 32,
+                               24, 0, 1));
+
+    // Thirteen Alberta workloads: randomly selected scenes with
+    // varying start frames, frame counts, and resolutions (the
+    // maximum-runtime-memory proxy).
+    for (int i = 0; i < 13; ++i) {
+        const int width = 48 + (i % 4) * 16;
+        const int height = width * 3 / 4;
+        const int start = (i % 5) * 7;
+        const int frames = 2 + (i % 3) * 2;
+        out.push_back(makeWorkload(
+            "alberta.scene-" + std::to_string(i + 1), 0x5260A0 + i,
+            pickRenderableScene(pool, 0x5260A0 + i), width, height,
+            start, frames));
+    }
+    return out;
+}
+
+void
+BlenderBenchmark::run(const runtime::Workload &workload,
+                      runtime::ExecutionContext &context) const
+{
+    BlendScene scene;
+    {
+        auto scope = context.method("blender::parse_blend", 1600);
+        scene = BlendScene::parse(workload.file("scene.blend"));
+    }
+    RenderStats stats;
+    const auto frames = renderAnimation(scene, context, &stats);
+    support::fatalIf(frames.empty(), "blender: no frames rendered");
+    support::fatalIf(stats.trianglesDrawn == 0,
+                     "blender: nothing visible in '", workload.name,
+                     "'");
+    context.consume(stats.pixelsShaded);
+}
+
+} // namespace alberta::blender

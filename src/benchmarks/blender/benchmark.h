@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The 526.blender_r mini-benchmark: render frame ranges from
+ * .blend-like scene files, with the Alberta checker and
+ * random-selection scripts.
+ */
+#ifndef ALBERTA_BENCHMARKS_BLENDER_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_BLENDER_BENCHMARK_H
+
+#include "benchmarks/blender/render.h"
+#include "runtime/benchmark.h"
+
+namespace alberta::blender {
+
+/**
+ * Generate a pool of candidate scene files (some renderable, some
+ * resource-only), the stand-in for the Crazy Glue / Elephants Dream
+ * .blend collections.
+ */
+std::vector<BlendScene> makeScenePool(int count, std::uint64_t seed);
+
+/**
+ * The Alberta random-selection script: pick the first renderable
+ * scene from the pool, scanning from a seeded random offset.
+ */
+BlendScene pickRenderableScene(const std::vector<BlendScene> &pool,
+                               std::uint64_t seed);
+
+/** See file comment. */
+class BlenderBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "526.blender_r"; }
+    std::string area() const override
+    {
+        return "3D rendering and animation";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::blender
+
+#endif // ALBERTA_BENCHMARKS_BLENDER_BENCHMARK_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * 3D mesh renderer for the 526.blender_r mini-benchmark: procedural
+ * meshes, keyframed object/camera animation, perspective projection,
+ * and a z-buffered scanline rasterizer with flat shading.
+ */
+#ifndef ALBERTA_BENCHMARKS_BLENDER_RENDER_H
+#define ALBERTA_BENCHMARKS_BLENDER_RENDER_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+#include "support/rng.h"
+
+namespace alberta::blender {
+
+/** A triangle mesh. */
+struct Mesh
+{
+    std::vector<std::array<double, 3>> vertices;
+    std::vector<std::array<int, 3>> triangles;
+};
+
+/** Procedural mesh kinds. */
+enum class MeshKind
+{
+    Cube,
+    Sphere,
+    Torus,
+    Terrain,
+};
+
+/** Build a procedural mesh; @p resolution controls triangle count. */
+Mesh makeMesh(MeshKind kind, int resolution, std::uint64_t seed = 0);
+
+/** One animated object in a scene. */
+struct SceneObject
+{
+    MeshKind kind = MeshKind::Cube;
+    int resolution = 8;
+    std::array<double, 3> position = {0, 0, 0};
+    double scale = 1.0;
+    double spinPerFrame = 0.1; //!< radians of Y rotation per frame
+    std::uint64_t seed = 0;    //!< terrain noise seed
+};
+
+/** A .blend-like scene description. */
+struct BlendScene
+{
+    std::vector<SceneObject> objects;
+    std::array<double, 3> cameraStart = {0, 1.5, -6};
+    std::array<double, 3> cameraDrift = {0, 0, 0}; //!< per frame
+    int width = 64;
+    int height = 48;
+    int startFrame = 0;
+    int frameCount = 4;
+    bool renderable = true; //!< resource-only files are not
+
+    std::string serialize() const;
+    static BlendScene parse(const std::string &text);
+};
+
+/**
+ * The Alberta checker script: true when the scene uses only supported
+ * features and is meant to be rendered (not a resource file).
+ */
+bool validateScene(const BlendScene &scene);
+
+/** Render statistics. */
+struct RenderStats
+{
+    std::uint64_t trianglesDrawn = 0;
+    std::uint64_t trianglesCulled = 0;
+    std::uint64_t pixelsShaded = 0;
+    double meanLuminance = 0.0;
+};
+
+/** Render the scene's frame range; returns per-frame luminance sums. */
+std::vector<double> renderAnimation(const BlendScene &scene,
+                                    runtime::ExecutionContext &ctx,
+                                    RenderStats *stats = nullptr);
+
+} // namespace alberta::blender
+
+#endif // ALBERTA_BENCHMARKS_BLENDER_RENDER_H

@@ -1,0 +1,98 @@
+#include "benchmarks/cactubssn/benchmark.h"
+
+#include "benchmarks/cactubssn/wave.h"
+#include "support/check.h"
+
+namespace alberta::cactubssn {
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed,
+             const WaveConfig &config)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.files["parameters.par"] = config.serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+CactuBssnBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+
+    WaveConfig ref;
+    ref.n = 26;
+    ref.steps = 40;
+    ref.dissipation = 0.1;
+    out.push_back(makeWorkload("refrate", 0x507F, ref));
+
+    WaveConfig train = ref;
+    train.steps = 5;
+    out.push_back(makeWorkload("train", 0x5071, train));
+
+    WaveConfig test = ref;
+    test.n = 10;
+    test.steps = 2;
+    out.push_back(makeWorkload("test", 0x5072, test));
+
+    // Alberta workloads: computational-parameter variations per the
+    // benchmark authors' suggestions (grid, CFL, dissipation, initial
+    // data, horizon length).
+    WaveConfig a;
+    a = ref;
+    a.n = 16;
+    a.cfl = 0.125;
+    out.push_back(makeWorkload("alberta.small-cfl", 0xF1, a));
+    a = ref;
+    a.n = 24;
+    a.steps = 10;
+    out.push_back(makeWorkload("alberta.fine-grid", 0xF2, a));
+    a = ref;
+    a.dissipation = 0.0;
+    out.push_back(makeWorkload("alberta.no-dissipation", 0xF3, a));
+    a = ref;
+    a.dissipation = 0.3;
+    out.push_back(makeWorkload("alberta.strong-dissipation", 0xF4, a));
+    a = ref;
+    a.amplitude = 0.1;
+    a.width = 0.3;
+    out.push_back(makeWorkload("alberta.wide-pulse", 0xF5, a));
+    a = ref;
+    a.planeWaveInit = true;
+    a.modes = 2;
+    out.push_back(makeWorkload("alberta.plane-wave", 0xF6, a));
+    a = ref;
+    a.steps = 32;
+    a.n = 14;
+    out.push_back(makeWorkload("alberta.long-evolution", 0xF7, a));
+    a = ref;
+    a.waveSpeed = 0.5;
+    a.cfl = 0.4;
+    out.push_back(makeWorkload("alberta.slow-wave", 0xF8, a));
+
+    return out;
+}
+
+void
+CactuBssnBenchmark::run(const runtime::Workload &workload,
+                        runtime::ExecutionContext &context) const
+{
+    WaveConfig config;
+    {
+        auto scope = context.method("cactus::read_par", 1200);
+        config = WaveConfig::parse(workload.file("parameters.par"));
+    }
+    WaveSolver solver(config);
+    const WaveStats stats = solver.run(context);
+    support::fatalIf(!(stats.maxU < 1e6),
+                     "cactus: evolution blew up on '", workload.name,
+                     "'");
+    context.consume(stats.pointUpdates);
+}
+
+} // namespace alberta::cactubssn

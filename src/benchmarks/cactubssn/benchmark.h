@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The 507.cactuBSSN_r mini-benchmark: vacuum wave evolution with
+ * parameter-file workloads following the benchmark authors' suggested
+ * computational-parameter variations.
+ */
+#ifndef ALBERTA_BENCHMARKS_CACTUBSSN_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_CACTUBSSN_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::cactubssn {
+
+/** See file comment. */
+class CactuBssnBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "507.cactuBSSN_r"; }
+    std::string area() const override
+    {
+        return "Physics: relativity (Einstein equations)";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::cactubssn
+
+#endif // ALBERTA_BENCHMARKS_CACTUBSSN_BENCHMARK_H

@@ -1,0 +1,299 @@
+#include "benchmarks/cactubssn/wave.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::cactubssn {
+
+std::string
+WaveConfig::serialize() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "grid::n = " << n << '\n';
+    os << "evolve::steps = " << steps << '\n';
+    os << "evolve::cfl = " << cfl << '\n';
+    os << "evolve::wave_speed = " << waveSpeed << '\n';
+    os << "evolve::dissipation = " << dissipation << '\n';
+    os << "init::amplitude = " << amplitude << '\n';
+    os << "init::width = " << width << '\n';
+    os << "init::modes = " << modes << '\n';
+    os << "init::plane_wave = " << (planeWaveInit ? 1 : 0) << '\n';
+    return os.str();
+}
+
+WaveConfig
+WaveConfig::parse(const std::string &text)
+{
+    WaveConfig cfg;
+    for (const auto &line : support::split(text, '\n')) {
+        const auto trimmed = support::trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        const auto eq = trimmed.find('=');
+        support::fatalIf(eq == std::string_view::npos,
+                         "cactus: malformed parameter line: '",
+                         std::string(trimmed), "'");
+        const std::string key(support::trim(trimmed.substr(0, eq)));
+        const std::string value(
+            support::trim(trimmed.substr(eq + 1)));
+        if (key == "grid::n")
+            cfg.n = static_cast<int>(support::parseInt(value));
+        else if (key == "evolve::steps")
+            cfg.steps = static_cast<int>(support::parseInt(value));
+        else if (key == "evolve::cfl")
+            cfg.cfl = support::parseDouble(value);
+        else if (key == "evolve::wave_speed")
+            cfg.waveSpeed = support::parseDouble(value);
+        else if (key == "evolve::dissipation")
+            cfg.dissipation = support::parseDouble(value);
+        else if (key == "init::amplitude")
+            cfg.amplitude = support::parseDouble(value);
+        else if (key == "init::width")
+            cfg.width = support::parseDouble(value);
+        else if (key == "init::modes")
+            cfg.modes = static_cast<int>(support::parseInt(value));
+        else if (key == "init::plane_wave")
+            cfg.planeWaveInit = support::parseInt(value) != 0;
+        else
+            support::fatal("cactus: unknown parameter '", key, "'");
+    }
+    support::fatalIf(cfg.n < 8, "cactus: grid too small");
+    support::fatalIf(cfg.cfl <= 0 || cfg.cfl > 0.5,
+                     "cactus: cfl out of (0, 0.5]");
+    return cfg;
+}
+
+WaveSolver::WaveSolver(const WaveConfig &config)
+    : config_(config), n_(config.n), dx_(1.0 / config.n),
+      dt_(config.cfl * dx_)
+{
+    const std::size_t points =
+        static_cast<std::size_t>(n_) * n_ * n_;
+    u_.assign(points, 0.0);
+    v_.assign(points, 0.0);
+
+    const double twoPi = 2.0 * std::numbers::pi;
+    for (int z = 0; z < n_; ++z) {
+        for (int y = 0; y < n_; ++y) {
+            for (int x = 0; x < n_; ++x) {
+                const std::size_t i =
+                    x + static_cast<std::size_t>(n_) *
+                            (y + static_cast<std::size_t>(n_) * z);
+                const double px = (x + 0.5) * dx_ - 0.5;
+                const double py = (y + 0.5) * dx_ - 0.5;
+                const double pz = (z + 0.5) * dx_ - 0.5;
+                if (config.planeWaveInit) {
+                    const double k = twoPi * config.modes;
+                    u_[i] = config.amplitude *
+                            std::sin(k * (x + 0.5) * dx_);
+                    v_[i] = -config.amplitude * config.waveSpeed * k *
+                            std::cos(k * (x + 0.5) * dx_);
+                } else {
+                    const double r2 = px * px + py * py + pz * pz;
+                    u_[i] = config.amplitude *
+                            std::exp(-r2 / (config.width *
+                                            config.width));
+                    v_[i] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+void
+WaveSolver::rhs(const std::vector<double> &u,
+                const std::vector<double> &v, std::vector<double> &du,
+                std::vector<double> &dv,
+                runtime::ExecutionContext &ctx) const
+{
+    auto &m = ctx.machine();
+    const double c2 = config_.waveSpeed * config_.waveSpeed;
+    const double invDx2 = 1.0 / (dx_ * dx_);
+    const double eps = config_.dissipation;
+
+    const auto wrap = [&](int a) { return (a + 2 * n_) % n_; };
+    const auto at = [&](const std::vector<double> &field, int x, int y,
+                        int z) {
+        return field[wrap(x) +
+                     static_cast<std::size_t>(n_) *
+                         (wrap(y) +
+                          static_cast<std::size_t>(n_) * wrap(z))];
+    };
+
+    for (int z = 0; z < n_; ++z) {
+        for (int y = 0; y < n_; ++y) {
+            for (int x = 0; x < n_; ++x) {
+                const std::size_t i =
+                    x + static_cast<std::size_t>(n_) *
+                            (y + static_cast<std::size_t>(n_) * z);
+                // Fourth-order Laplacian stencil per dimension.
+                double lap = 0.0;
+                const double center = u[i];
+                lap += (-at(u, x + 2, y, z) +
+                        16 * at(u, x + 1, y, z) - 30 * center +
+                        16 * at(u, x - 1, y, z) -
+                        at(u, x - 2, y, z));
+                lap += (-at(u, x, y + 2, z) +
+                        16 * at(u, x, y + 1, z) - 30 * center +
+                        16 * at(u, x, y - 1, z) -
+                        at(u, x, y - 2, z));
+                lap += (-at(u, x, y, z + 2) +
+                        16 * at(u, x, y, z + 1) - 30 * center +
+                        16 * at(u, x, y, z - 1) -
+                        at(u, x, y, z - 2));
+                lap *= invDx2 / 12.0;
+
+                du[i] = v[i];
+                dv[i] = c2 * lap;
+
+                if (eps > 0.0) {
+                    // Kreiss-Oliger 4th-derivative damping on u and v.
+                    const auto ko = [&](const std::vector<double>
+                                            &field) {
+                        double total = 0.0;
+                        total += at(field, x + 2, y, z) -
+                                 4 * at(field, x + 1, y, z) +
+                                 6 * field[i] -
+                                 4 * at(field, x - 1, y, z) +
+                                 at(field, x - 2, y, z);
+                        total += at(field, x, y + 2, z) -
+                                 4 * at(field, x, y + 1, z) +
+                                 6 * field[i] -
+                                 4 * at(field, x, y - 1, z) +
+                                 at(field, x, y - 2, z);
+                        total += at(field, x, y, z + 2) -
+                                 4 * at(field, x, y, z + 1) +
+                                 6 * field[i] -
+                                 4 * at(field, x, y, z - 1) +
+                                 at(field, x, y, z - 2);
+                        return total;
+                    };
+                    du[i] -= eps / 16.0 / dt_ * ko(u) * dt_;
+                    dv[i] -= eps / 16.0 / dt_ * ko(v) * dt_;
+                }
+
+                if ((i & 7) == 0) {
+                    m.stream(topdown::OpKind::Load, i * 8, 16, 8);
+                    m.ops(topdown::OpKind::FpAdd, 8 * 30);
+                    m.ops(topdown::OpKind::FpMul, 8 * 10);
+                }
+            }
+        }
+    }
+}
+
+double
+WaveSolver::energy(const std::vector<double> &u,
+                   const std::vector<double> &v) const
+{
+    // E = 1/2 int (v^2 + c^2 |grad u|^2), 2nd-order gradient.
+    const double c2 = config_.waveSpeed * config_.waveSpeed;
+    const auto wrap = [&](int a) { return (a + n_) % n_; };
+    const auto at = [&](const std::vector<double> &field, int x, int y,
+                        int z) {
+        return field[wrap(x) +
+                     static_cast<std::size_t>(n_) *
+                         (wrap(y) +
+                          static_cast<std::size_t>(n_) * wrap(z))];
+    };
+    double total = 0.0;
+    for (int z = 0; z < n_; ++z) {
+        for (int y = 0; y < n_; ++y) {
+            for (int x = 0; x < n_; ++x) {
+                const std::size_t i =
+                    x + static_cast<std::size_t>(n_) *
+                            (y + static_cast<std::size_t>(n_) * z);
+                const double gx = (at(u, x + 1, y, z) -
+                                   at(u, x - 1, y, z)) /
+                                  (2 * dx_);
+                const double gy = (at(u, x, y + 1, z) -
+                                   at(u, x, y - 1, z)) /
+                                  (2 * dx_);
+                const double gz = (at(u, x, y, z + 1) -
+                                   at(u, x, y, z - 1)) /
+                                  (2 * dx_);
+                total += 0.5 * (v[i] * v[i] +
+                                c2 * (gx * gx + gy * gy + gz * gz));
+            }
+        }
+    }
+    return total * dx_ * dx_ * dx_;
+}
+
+WaveStats
+WaveSolver::run(runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("cactus::evolve", 4600);
+    const std::size_t points = u_.size();
+    std::vector<double> k1u(points), k1v(points), k2u(points),
+        k2v(points), k3u(points), k3v(points), k4u(points),
+        k4v(points), tu(points), tv(points);
+
+    for (int step = 0; step < config_.steps; ++step) {
+        rhs(u_, v_, k1u, k1v, ctx);
+        for (std::size_t i = 0; i < points; ++i) {
+            tu[i] = u_[i] + 0.5 * dt_ * k1u[i];
+            tv[i] = v_[i] + 0.5 * dt_ * k1v[i];
+        }
+        rhs(tu, tv, k2u, k2v, ctx);
+        for (std::size_t i = 0; i < points; ++i) {
+            tu[i] = u_[i] + 0.5 * dt_ * k2u[i];
+            tv[i] = v_[i] + 0.5 * dt_ * k2v[i];
+        }
+        rhs(tu, tv, k3u, k3v, ctx);
+        for (std::size_t i = 0; i < points; ++i) {
+            tu[i] = u_[i] + dt_ * k3u[i];
+            tv[i] = v_[i] + dt_ * k3v[i];
+        }
+        rhs(tu, tv, k4u, k4v, ctx);
+        for (std::size_t i = 0; i < points; ++i) {
+            u_[i] += dt_ / 6.0 *
+                     (k1u[i] + 2 * k2u[i] + 2 * k3u[i] + k4u[i]);
+            v_[i] += dt_ / 6.0 *
+                     (k1v[i] + 2 * k2v[i] + 2 * k3v[i] + k4v[i]);
+        }
+    }
+
+    WaveStats stats;
+    stats.energy = energy(u_, v_);
+    for (const double value : u_)
+        stats.maxU = std::max(stats.maxU, std::abs(value));
+    stats.pointUpdates =
+        static_cast<std::uint64_t>(points) * config_.steps * 4;
+
+    if (config_.planeWaveInit) {
+        // Exact solution: u = A sin(k x - c k t).
+        const double twoPi = 2.0 * std::numbers::pi;
+        const double k = twoPi * config_.modes;
+        const double t = config_.steps * dt_;
+        double err2 = 0.0;
+        for (int z = 0; z < n_; ++z) {
+            for (int y = 0; y < n_; ++y) {
+                for (int x = 0; x < n_; ++x) {
+                    const std::size_t i =
+                        x + static_cast<std::size_t>(n_) *
+                                (y + static_cast<std::size_t>(n_) *
+                                         z);
+                    const double exact =
+                        config_.amplitude *
+                        std::sin(k * ((x + 0.5) * dx_ -
+                                      config_.waveSpeed * t));
+                    err2 += (u_[i] - exact) * (u_[i] - exact);
+                }
+            }
+        }
+        stats.l2ErrorVsExact =
+            std::sqrt(err2 / static_cast<double>(points));
+    }
+
+    ctx.consume(stats.energy);
+    ctx.consume(stats.maxU);
+    return stats;
+}
+
+} // namespace alberta::cactubssn

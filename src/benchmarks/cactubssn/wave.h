@@ -1,0 +1,73 @@
+/**
+ * @file
+ * 3D first-order wave-equation solver for the 507.cactuBSSN_r
+ * mini-benchmark: fourth-order centered finite differences, RK4 time
+ * integration, Kreiss-Oliger dissipation, and periodic boundaries —
+ * the numerical skeleton of the EinsteinToolkit vacuum evolution with
+ * a pair of evolved grid functions standing in for the BSSN system.
+ */
+#ifndef ALBERTA_BENCHMARKS_CACTUBSSN_WAVE_H
+#define ALBERTA_BENCHMARKS_CACTUBSSN_WAVE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace alberta::cactubssn {
+
+/** Solver parameters (the workload's parameter file). */
+struct WaveConfig
+{
+    int n = 16;             //!< grid points per dimension
+    int steps = 8;          //!< RK4 time steps
+    double cfl = 0.25;      //!< dt = cfl * dx
+    double waveSpeed = 1.0;
+    double dissipation = 0.0;   //!< Kreiss-Oliger epsilon
+    double amplitude = 1.0;     //!< initial Gaussian amplitude
+    double width = 0.15;        //!< initial Gaussian width
+    int modes = 1;              //!< plane-wave mode number (tests)
+    bool planeWaveInit = false; //!< analytic-comparison initial data
+
+    /** Serialize as a Cactus-like "key = value" parameter file. */
+    std::string serialize() const;
+
+    /** Parse the parameter-file format. */
+    static WaveConfig parse(const std::string &text);
+};
+
+/** Evolution diagnostics. */
+struct WaveStats
+{
+    double energy = 0.0;       //!< discrete energy integral
+    double maxU = 0.0;         //!< max |u| at the final time
+    double l2ErrorVsExact = 0.0; //!< plane-wave runs only
+    std::uint64_t pointUpdates = 0;
+};
+
+/** The solver. */
+class WaveSolver
+{
+  public:
+    explicit WaveSolver(const WaveConfig &config);
+
+    /** Evolve the configured number of steps. */
+    WaveStats run(runtime::ExecutionContext &ctx);
+
+  private:
+    void rhs(const std::vector<double> &u, const std::vector<double> &v,
+             std::vector<double> &du, std::vector<double> &dv,
+             runtime::ExecutionContext &ctx) const;
+    double energy(const std::vector<double> &u,
+                  const std::vector<double> &v) const;
+
+    WaveConfig config_;
+    int n_;
+    double dx_, dt_;
+    std::vector<double> u_, v_;
+};
+
+} // namespace alberta::cactubssn
+
+#endif // ALBERTA_BENCHMARKS_CACTUBSSN_WAVE_H

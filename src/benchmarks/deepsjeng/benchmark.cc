@@ -1,0 +1,137 @@
+#include "benchmarks/deepsjeng/benchmark.h"
+
+#include <mutex>
+#include <sstream>
+
+#include "benchmarks/deepsjeng/search.h"
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::deepsjeng {
+
+std::string
+generatePositionSuite(int count, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::ostringstream os;
+    int produced = 0;
+    while (produced < count) {
+        Board board = Board::initial();
+        // Play 12-32 random plies; keep the position if the game is
+        // still live (both sides have moves and material is mixed).
+        const int plies = static_cast<int>(rng.range(12, 32));
+        bool dead = false;
+        Undo undo;
+        for (int p = 0; p < plies; ++p) {
+            const auto legal = board.legalMoves();
+            if (legal.empty()) {
+                dead = true;
+                break;
+            }
+            board.makeMove(legal[rng.below(legal.size())], undo);
+        }
+        if (dead || board.legalMoves().empty())
+            continue;
+        os << board.toFen() << '\n';
+        ++produced;
+    }
+    return os.str();
+}
+
+std::string
+samplePositions(const std::string &suite, int positions, int minPly,
+                int maxPly, support::Rng &rng)
+{
+    std::vector<std::string> lines;
+    for (const auto &line : support::split(suite, '\n')) {
+        if (!support::trim(line).empty())
+            lines.emplace_back(support::trim(line));
+    }
+    support::fatalIf(lines.empty(), "deepsjeng: empty position suite");
+    std::ostringstream os;
+    for (int i = 0; i < positions; ++i) {
+        const int depth =
+            static_cast<int>(rng.range(minPly, maxPly));
+        os << depth << ' ' << lines[rng.below(lines.size())] << '\n';
+    }
+    return os.str();
+}
+
+namespace {
+
+/** The stand-in for the 946-position Arasan suite, built once. */
+const std::string &
+arasanLikeSuite()
+{
+    static std::string cached;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        cached = generatePositionSuite(120, 0x531A5A1ULL);
+    });
+    return cached;
+}
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed, int positions,
+             int minPly, int maxPly)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.params.set("positions", static_cast<long long>(positions));
+    w.params.set("min_ply", static_cast<long long>(minPly));
+    w.params.set("max_ply", static_cast<long long>(maxPly));
+    support::Rng rng(seed);
+    w.files["positions.epd"] =
+        samplePositions(arasanLikeSuite(), positions, minPly, maxPly,
+                        rng);
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+DeepsjengBenchmark::workloads() const
+{
+    // Paper ply depths 11-16 scale to 3-5 here: the mini-engine's
+    // branching factor makes depth 5 comparable work to deepsjeng's
+    // deeper searches on its optimized move generator.
+    std::vector<runtime::Workload> out;
+    out.push_back(makeWorkload("refrate", 0x531F, 8, 4, 5));
+    out.push_back(makeWorkload("train", 0x5311, 4, 3, 4));
+    out.push_back(makeWorkload("test", 0x5312, 2, 3, 3));
+    // Nine Alberta workloads, eight positions each (Section IV-A).
+    for (int i = 1; i <= 9; ++i) {
+        out.push_back(makeWorkload("alberta.d" + std::to_string(i),
+                                   0x5310A0 + i, 8, 3, 5));
+    }
+    return out;
+}
+
+void
+DeepsjengBenchmark::run(const runtime::Workload &workload,
+                        runtime::ExecutionContext &context) const
+{
+    Engine engine;
+    std::uint64_t totalNodes = 0;
+    for (const auto &line :
+         support::split(workload.file("positions.epd"), '\n')) {
+        const auto trimmed = support::trim(line);
+        if (trimmed.empty())
+            continue;
+        const auto space = trimmed.find(' ');
+        support::fatalIf(space == std::string_view::npos,
+                         "deepsjeng: malformed position line");
+        const int depth = static_cast<int>(
+            support::parseInt(trimmed.substr(0, space)));
+        Board board =
+            Board::fromFen(std::string(trimmed.substr(space + 1)));
+        const SearchResult result =
+            engine.analyze(board, depth, context);
+        totalNodes += result.nodes;
+        context.consume(result.nodes);
+    }
+    context.consume(totalNodes);
+}
+
+} // namespace alberta::deepsjeng

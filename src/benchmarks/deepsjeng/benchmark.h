@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The 531.deepsjeng_r mini-benchmark: alpha-beta analysis of chess
+ * positions given in FEN with per-position ply depths, plus the
+ * Alberta script that samples positions from a test-suite file.
+ */
+#ifndef ALBERTA_BENCHMARKS_DEEPSJENG_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_DEEPSJENG_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+#include "support/rng.h"
+
+namespace alberta::deepsjeng {
+
+/**
+ * Build the position suite standing in for the Arasan test positions:
+ * @p count legal middlegame positions reached by seeded random play
+ * from the initial position, one FEN per line.
+ */
+std::string generatePositionSuite(int count, std::uint64_t seed);
+
+/**
+ * The Alberta workload script: choose @p positions FENs from @p suite
+ * and attach a ply depth drawn uniformly from [@p minPly, @p maxPly].
+ * Output format: one "<depth> <fen>" per line.
+ */
+std::string samplePositions(const std::string &suite, int positions,
+                            int minPly, int maxPly, support::Rng &rng);
+
+/** See file comment. */
+class DeepsjengBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "531.deepsjeng_r"; }
+    std::string area() const override
+    {
+        return "AI: alpha-beta tree search";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::deepsjeng
+
+#endif // ALBERTA_BENCHMARKS_DEEPSJENG_BENCHMARK_H

@@ -1,0 +1,597 @@
+#include "benchmarks/deepsjeng/board.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/text.h"
+
+namespace alberta::deepsjeng {
+
+namespace {
+
+const int kKnightOffsets[8] = {-33, -31, -18, -14, 14, 18, 31, 33};
+const int kKingOffsets[8] = {-17, -16, -15, -1, 1, 15, 16, 17};
+const int kBishopDirs[4] = {-17, -15, 15, 17};
+const int kRookDirs[4] = {-16, -1, 1, 16};
+
+/** Zobrist keys, generated deterministically at startup. */
+struct Zobrist
+{
+    std::uint64_t piece[13][128]; //!< [piece + 6][square]
+    std::uint64_t side;
+    std::uint64_t castling[16];
+    std::uint64_t epFile[8];
+
+    Zobrist()
+    {
+        support::Rng rng(0x531C4E55ULL);
+        for (auto &row : piece)
+            for (auto &key : row)
+                key = rng();
+        side = rng();
+        for (auto &key : castling)
+            key = rng();
+        for (auto &key : epFile)
+            key = rng();
+    }
+};
+
+const Zobrist &
+zobrist()
+{
+    static const Zobrist z;
+    return z;
+}
+
+int
+sideIndex(Side s)
+{
+    return s == Side::White ? 0 : 1;
+}
+
+const int kPieceValue[7] = {0, 100, 320, 330, 500, 900, 0};
+
+} // namespace
+
+std::string
+Move::algebraic() const
+{
+    std::string out;
+    out += static_cast<char>('a' + fileOf(from));
+    out += static_cast<char>('1' + rankOf(from));
+    out += static_cast<char>('a' + fileOf(to));
+    out += static_cast<char>('1' + rankOf(to));
+    if (promotion != 0)
+        out += " nbrq"[promotion - 1];
+    return out;
+}
+
+void
+Board::place(int sq, std::int8_t piece)
+{
+    const std::int8_t old = squares_[sq];
+    if (old != 0)
+        hash_ ^= zobrist().piece[old + 6][sq];
+    squares_[sq] = piece;
+    if (piece != 0) {
+        hash_ ^= zobrist().piece[piece + 6][sq];
+        if (piece == kKing)
+            kingSquare_[0] = sq;
+        else if (piece == -kKing)
+            kingSquare_[1] = sq;
+    }
+}
+
+void
+Board::computeHash()
+{
+    hash_ = 0;
+    for (int sq = 0; sq < 128; ++sq) {
+        if (onBoard(sq) && squares_[sq] != 0)
+            hash_ ^= zobrist().piece[squares_[sq] + 6][sq];
+    }
+    if (side_ == Side::Black)
+        hash_ ^= zobrist().side;
+    hash_ ^= zobrist().castling[castling_];
+    if (epSquare_ >= 0)
+        hash_ ^= zobrist().epFile[fileOf(epSquare_)];
+}
+
+Board
+Board::initial()
+{
+    return fromFen(
+        "rnbqkbnr/pppppppp/8/8/8/8/PPPPPPPP/RNBQKBNR w KQkq - 0 1");
+}
+
+Board
+Board::fromFen(const std::string &fen)
+{
+    const auto fields = support::splitWhitespace(fen);
+    support::fatalIf(fields.size() < 4, "fen: need at least 4 fields");
+
+    Board b;
+    int rank = 7, file = 0;
+    for (const char ch : fields[0]) {
+        if (ch == '/') {
+            --rank;
+            file = 0;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(ch))) {
+            file += ch - '0';
+            continue;
+        }
+        support::fatalIf(rank < 0 || file > 7, "fen: board overflow");
+        std::int8_t piece = 0;
+        switch (std::tolower(ch)) {
+          case 'p': piece = kPawn; break;
+          case 'n': piece = kKnight; break;
+          case 'b': piece = kBishop; break;
+          case 'r': piece = kRook; break;
+          case 'q': piece = kQueen; break;
+          case 'k': piece = kKing; break;
+          default: support::fatal("fen: bad piece '", ch, "'");
+        }
+        if (std::islower(static_cast<unsigned char>(ch)))
+            piece = -piece;
+        b.squares_[squareOf(file, rank)] = piece;
+        if (piece == kKing)
+            b.kingSquare_[0] = squareOf(file, rank);
+        if (piece == -kKing)
+            b.kingSquare_[1] = squareOf(file, rank);
+        ++file;
+    }
+
+    support::fatalIf(fields[1] != "w" && fields[1] != "b",
+                     "fen: bad side '", fields[1], "'");
+    b.side_ = fields[1] == "w" ? Side::White : Side::Black;
+
+    b.castling_ = 0;
+    for (const char ch : fields[2]) {
+        switch (ch) {
+          case 'K': b.castling_ |= kWhiteKingside; break;
+          case 'Q': b.castling_ |= kWhiteQueenside; break;
+          case 'k': b.castling_ |= kBlackKingside; break;
+          case 'q': b.castling_ |= kBlackQueenside; break;
+          case '-': break;
+          default: support::fatal("fen: bad castling '", ch, "'");
+        }
+    }
+
+    if (fields[3] != "-") {
+        support::fatalIf(fields[3].size() != 2, "fen: bad ep square");
+        b.epSquare_ = static_cast<std::int8_t>(
+            squareOf(fields[3][0] - 'a', fields[3][1] - '1'));
+    }
+    if (fields.size() > 4)
+        b.halfmove_ = static_cast<int>(support::parseInt(fields[4]));
+    if (fields.size() > 5)
+        b.fullmove_ = static_cast<int>(support::parseInt(fields[5]));
+
+    b.computeHash();
+    return b;
+}
+
+std::string
+Board::toFen() const
+{
+    std::string out;
+    for (int rank = 7; rank >= 0; --rank) {
+        int empty = 0;
+        for (int file = 0; file < 8; ++file) {
+            const std::int8_t p = squares_[squareOf(file, rank)];
+            if (p == 0) {
+                ++empty;
+                continue;
+            }
+            if (empty) {
+                out += static_cast<char>('0' + empty);
+                empty = 0;
+            }
+            const char names[] = " pnbrqk";
+            char ch = names[std::abs(p)];
+            if (p > 0)
+                ch = static_cast<char>(std::toupper(ch));
+            out += ch;
+        }
+        if (empty)
+            out += static_cast<char>('0' + empty);
+        if (rank)
+            out += '/';
+    }
+    out += side_ == Side::White ? " w " : " b ";
+    if (castling_ == 0) {
+        out += '-';
+    } else {
+        if (castling_ & kWhiteKingside) out += 'K';
+        if (castling_ & kWhiteQueenside) out += 'Q';
+        if (castling_ & kBlackKingside) out += 'k';
+        if (castling_ & kBlackQueenside) out += 'q';
+    }
+    out += ' ';
+    if (epSquare_ < 0) {
+        out += '-';
+    } else {
+        out += static_cast<char>('a' + fileOf(epSquare_));
+        out += static_cast<char>('1' + rankOf(epSquare_));
+    }
+    out += ' ';
+    out += std::to_string(halfmove_);
+    out += ' ';
+    out += std::to_string(fullmove_);
+    return out;
+}
+
+bool
+Board::attacked(int sq, Side by) const
+{
+    const int sign = by == Side::White ? 1 : -1;
+
+    // Pawns: a white pawn attacks up-left/up-right.
+    const int pawnFrom[2] = {sq - sign * 15, sq - sign * 17};
+    for (const int from : pawnFrom) {
+        if (onBoard(from) && squares_[from] == sign * kPawn)
+            return true;
+    }
+    for (const int d : kKnightOffsets) {
+        const int from = sq + d;
+        if (onBoard(from) && squares_[from] == sign * kKnight)
+            return true;
+    }
+    for (const int d : kKingOffsets) {
+        const int from = sq + d;
+        if (onBoard(from) && squares_[from] == sign * kKing)
+            return true;
+    }
+    for (const int d : kBishopDirs) {
+        for (int from = sq + d; onBoard(from); from += d) {
+            const std::int8_t p = squares_[from];
+            if (p == 0)
+                continue;
+            if (p == sign * kBishop || p == sign * kQueen)
+                return true;
+            break;
+        }
+    }
+    for (const int d : kRookDirs) {
+        for (int from = sq + d; onBoard(from); from += d) {
+            const std::int8_t p = squares_[from];
+            if (p == 0)
+                continue;
+            if (p == sign * kRook || p == sign * kQueen)
+                return true;
+            break;
+        }
+    }
+    return false;
+}
+
+bool
+Board::inCheck(Side side) const
+{
+    return attacked(kingSquare_[sideIndex(side)],
+                    side == Side::White ? Side::Black : Side::White);
+}
+
+void
+Board::pseudoMoves(std::vector<Move> &out) const
+{
+    const int sign = static_cast<int>(side_);
+    const auto push = [&](int from, int to, std::int8_t promo = 0,
+                          bool ep = false, bool castle = false) {
+        out.push_back({static_cast<std::uint8_t>(from),
+                       static_cast<std::uint8_t>(to), promo, ep,
+                       castle});
+    };
+    const auto pushPawn = [&](int from, int to) {
+        const int rank = rankOf(to);
+        if (rank == 7 || rank == 0) {
+            for (std::int8_t promo : {kQueen, kRook, kBishop, kKnight})
+                push(from, to, promo);
+        } else {
+            push(from, to);
+        }
+    };
+
+    for (int sq = 0; sq < 128; ++sq) {
+        if (!onBoard(sq))
+            continue;
+        const std::int8_t p = squares_[sq];
+        if (p == 0 || (p > 0) != (sign > 0))
+            continue;
+        const int kind = std::abs(p);
+        switch (kind) {
+          case kPawn: {
+            const int fwd = sq + 16 * sign;
+            if (onBoard(fwd) && squares_[fwd] == 0) {
+                pushPawn(sq, fwd);
+                const int startRank = sign > 0 ? 1 : 6;
+                const int fwd2 = sq + 32 * sign;
+                if (rankOf(sq) == startRank && squares_[fwd2] == 0)
+                    push(sq, fwd2);
+            }
+            for (const int d : {15 * sign, 17 * sign}) {
+                const int to = sq + d;
+                if (!onBoard(to))
+                    continue;
+                const std::int8_t target = squares_[to];
+                if (target != 0 && (target > 0) != (sign > 0))
+                    pushPawn(sq, to);
+                else if (to == epSquare_)
+                    push(sq, to, 0, true);
+            }
+            break;
+          }
+          case kKnight:
+            for (const int d : kKnightOffsets) {
+                const int to = sq + d;
+                if (onBoard(to) &&
+                    (squares_[to] == 0 ||
+                     (squares_[to] > 0) != (sign > 0)))
+                    push(sq, to);
+            }
+            break;
+          case kKing:
+            for (const int d : kKingOffsets) {
+                const int to = sq + d;
+                if (onBoard(to) &&
+                    (squares_[to] == 0 ||
+                     (squares_[to] > 0) != (sign > 0)))
+                    push(sq, to);
+            }
+            break;
+          case kBishop:
+          case kRook:
+          case kQueen: {
+            const int *dirs = kind == kRook ? kRookDirs : kBishopDirs;
+            const int ndirs = 4;
+            for (int pass = 0; pass < (kind == kQueen ? 2 : 1);
+                 ++pass) {
+                const int *dd =
+                    kind == kQueen
+                        ? (pass == 0 ? kBishopDirs : kRookDirs)
+                        : dirs;
+                for (int i = 0; i < ndirs; ++i) {
+                    for (int to = sq + dd[i]; onBoard(to);
+                         to += dd[i]) {
+                        if (squares_[to] == 0) {
+                            push(sq, to);
+                            continue;
+                        }
+                        if ((squares_[to] > 0) != (sign > 0))
+                            push(sq, to);
+                        break;
+                    }
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // Castling.
+    const Side enemy = side_ == Side::White ? Side::Black : Side::White;
+    if (side_ == Side::White) {
+        const int e1 = squareOf(4, 0);
+        if ((castling_ & kWhiteKingside) && squares_[e1 + 1] == 0 &&
+            squares_[e1 + 2] == 0 && !attacked(e1, enemy) &&
+            !attacked(e1 + 1, enemy) && !attacked(e1 + 2, enemy))
+            push(e1, e1 + 2, 0, false, true);
+        if ((castling_ & kWhiteQueenside) && squares_[e1 - 1] == 0 &&
+            squares_[e1 - 2] == 0 && squares_[e1 - 3] == 0 &&
+            !attacked(e1, enemy) && !attacked(e1 - 1, enemy) &&
+            !attacked(e1 - 2, enemy))
+            push(e1, e1 - 2, 0, false, true);
+    } else {
+        const int e8 = squareOf(4, 7);
+        if ((castling_ & kBlackKingside) && squares_[e8 + 1] == 0 &&
+            squares_[e8 + 2] == 0 && !attacked(e8, enemy) &&
+            !attacked(e8 + 1, enemy) && !attacked(e8 + 2, enemy))
+            push(e8, e8 + 2, 0, false, true);
+        if ((castling_ & kBlackQueenside) && squares_[e8 - 1] == 0 &&
+            squares_[e8 - 2] == 0 && squares_[e8 - 3] == 0 &&
+            !attacked(e8, enemy) && !attacked(e8 - 1, enemy) &&
+            !attacked(e8 - 2, enemy))
+            push(e8, e8 - 2, 0, false, true);
+    }
+}
+
+void
+Board::pseudoCaptures(std::vector<Move> &out) const
+{
+    std::vector<Move> all;
+    pseudoMoves(all);
+    for (const Move &m : all) {
+        if (squares_[m.to] != 0 || m.isEnPassant || m.promotion != 0)
+            out.push_back(m);
+    }
+}
+
+bool
+Board::makeMove(const Move &move, Undo &undo)
+{
+    undo.move = move;
+    undo.captured = squares_[move.to];
+    undo.castling = castling_;
+    undo.epSquare = epSquare_;
+    undo.halfmove = halfmove_;
+    undo.hash = hash_;
+
+    hash_ ^= zobrist().castling[castling_];
+    if (epSquare_ >= 0)
+        hash_ ^= zobrist().epFile[fileOf(epSquare_)];
+
+    const std::int8_t mover = squares_[move.from];
+    const int sign = static_cast<int>(side_);
+
+    if (move.isEnPassant) {
+        const int victim = move.to - 16 * sign;
+        undo.captured = squares_[victim];
+        place(victim, 0);
+    }
+    place(move.from, 0);
+    place(move.to, move.promotion != 0
+                       ? static_cast<std::int8_t>(sign * move.promotion)
+                       : mover);
+
+    if (move.isCastle) {
+        // Move the rook: to > from means kingside.
+        if (move.to > move.from) {
+            const int rookFrom = move.to + 1;
+            place(move.to - 1, squares_[rookFrom]);
+            place(rookFrom, 0);
+        } else {
+            const int rookFrom = move.to - 2;
+            place(move.to + 1, squares_[rookFrom]);
+            place(rookFrom, 0);
+        }
+    }
+
+    // Castling-rights updates on king/rook moves and rook captures.
+    const auto clearRight = [&](int sq) {
+        switch (sq) {
+          case 0x04: castling_ &= ~(kWhiteKingside | kWhiteQueenside);
+                     break;
+          case 0x00: castling_ &= ~kWhiteQueenside; break;
+          case 0x07: castling_ &= ~kWhiteKingside; break;
+          case 0x74: castling_ &= ~(kBlackKingside | kBlackQueenside);
+                     break;
+          case 0x70: castling_ &= ~kBlackQueenside; break;
+          case 0x77: castling_ &= ~kBlackKingside; break;
+          default: break;
+        }
+    };
+    clearRight(move.from);
+    clearRight(move.to);
+
+    // En-passant square on double pawn pushes.
+    epSquare_ = -1;
+    if (std::abs(mover) == kPawn &&
+        std::abs(move.to - move.from) == 32) {
+        epSquare_ = static_cast<std::int8_t>(move.from + 16 * sign);
+    }
+
+    halfmove_ =
+        (std::abs(mover) == kPawn || undo.captured != 0) ? 0
+                                                         : halfmove_ + 1;
+    if (side_ == Side::Black)
+        ++fullmove_;
+
+    const Side mySide = side_;
+    side_ = side_ == Side::White ? Side::Black : Side::White;
+
+    hash_ ^= zobrist().side;
+    hash_ ^= zobrist().castling[castling_];
+    if (epSquare_ >= 0)
+        hash_ ^= zobrist().epFile[fileOf(epSquare_)];
+
+    if (inCheck(mySide)) {
+        unmakeMove(undo);
+        return false;
+    }
+    return true;
+}
+
+void
+Board::unmakeMove(const Undo &undo)
+{
+    const Move &move = undo.move;
+    side_ = side_ == Side::White ? Side::Black : Side::White;
+    const int sign = static_cast<int>(side_);
+
+    std::int8_t mover = squares_[move.to];
+    if (move.promotion != 0)
+        mover = static_cast<std::int8_t>(sign * kPawn);
+    place(move.from, mover);
+    place(move.to, 0);
+
+    if (move.isEnPassant) {
+        place(move.to - 16 * sign, undo.captured);
+    } else if (undo.captured != 0) {
+        place(move.to, undo.captured);
+    }
+
+    if (move.isCastle) {
+        if (move.to > move.from) {
+            place(move.to + 1, squares_[move.to - 1]);
+            place(move.to - 1, 0);
+        } else {
+            place(move.to - 2, squares_[move.to + 1]);
+            place(move.to + 1, 0);
+        }
+    }
+
+    castling_ = undo.castling;
+    epSquare_ = undo.epSquare;
+    halfmove_ = undo.halfmove;
+    hash_ = undo.hash;
+    if (side_ == Side::Black)
+        --fullmove_;
+}
+
+std::vector<Move>
+Board::legalMoves() const
+{
+    std::vector<Move> pseudo, legal;
+    pseudoMoves(pseudo);
+    Board copy = *this;
+    Undo undo;
+    for (const Move &m : pseudo) {
+        if (copy.makeMove(m, undo)) {
+            copy.unmakeMove(undo);
+            legal.push_back(m);
+        }
+    }
+    return legal;
+}
+
+int
+Board::evaluate(Side side) const
+{
+    int score = 0;
+    for (int sq = 0; sq < 128; ++sq) {
+        if (!onBoard(sq))
+            continue;
+        const std::int8_t p = squares_[sq];
+        if (p == 0)
+            continue;
+        const int kind = std::abs(p);
+        int value = kPieceValue[kind];
+        // Centralization bonus for minor pieces and pawns.
+        const double df = std::abs(fileOf(sq) - 3.5);
+        const double dr = std::abs(rankOf(sq) - 3.5);
+        const int center = static_cast<int>((3.5 - df) + (3.5 - dr));
+        if (kind == kKnight || kind == kBishop)
+            value += 4 * center;
+        else if (kind == kPawn)
+            value += 2 * center;
+        score += p > 0 ? value : -value;
+    }
+    return side == Side::White ? score : -score;
+}
+
+std::uint64_t
+Board::perft(int depth)
+{
+    if (depth == 0)
+        return 1;
+    std::vector<Move> moves;
+    pseudoMoves(moves);
+    std::uint64_t nodes = 0;
+    Undo undo;
+    for (const Move &m : moves) {
+        if (!makeMove(m, undo))
+            continue;
+        nodes += perft(depth - 1);
+        unmakeMove(undo);
+    }
+    return nodes;
+}
+
+} // namespace alberta::deepsjeng

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Chess board for the 531.deepsjeng_r mini-benchmark: 0x88 mailbox
+ * representation with FEN parsing, legal move generation, and
+ * make/unmake, validated by standard perft counts.
+ */
+#ifndef ALBERTA_BENCHMARKS_DEEPSJENG_BOARD_H
+#define ALBERTA_BENCHMARKS_DEEPSJENG_BOARD_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alberta::deepsjeng {
+
+/** Piece codes; positive = white, negative = black, 0 = empty. */
+enum Piece : std::int8_t
+{
+    kEmpty = 0,
+    kPawn = 1,
+    kKnight = 2,
+    kBishop = 3,
+    kRook = 4,
+    kQueen = 5,
+    kKing = 6,
+};
+
+/** Side to move. */
+enum class Side : std::int8_t
+{
+    White = 1,
+    Black = -1,
+};
+
+/** A move: from/to in 0x88 coordinates plus promotion/flags. */
+struct Move
+{
+    std::uint8_t from = 0;
+    std::uint8_t to = 0;
+    std::int8_t promotion = 0; //!< kKnight..kQueen, or 0
+    bool isEnPassant = false;
+    bool isCastle = false;
+
+    bool
+    operator==(const Move &o) const
+    {
+        return from == o.from && to == o.to &&
+               promotion == o.promotion;
+    }
+
+    /** Long algebraic form, e.g. "e2e4" or "a7a8q". */
+    std::string algebraic() const;
+};
+
+/** Undo record for make/unmake. */
+struct Undo
+{
+    Move move;
+    std::int8_t captured = 0;
+    std::uint8_t castling = 0;
+    std::int8_t epSquare = -1;
+    int halfmove = 0;
+    std::uint64_t hash = 0;
+};
+
+/** Castling-rights bits. */
+enum CastlingRights : std::uint8_t
+{
+    kWhiteKingside = 1,
+    kWhiteQueenside = 2,
+    kBlackKingside = 4,
+    kBlackQueenside = 8,
+};
+
+/** The board state. */
+class Board
+{
+  public:
+    /** The standard initial position. */
+    static Board initial();
+
+    /** Parse a FEN string (first four fields required). */
+    static Board fromFen(const std::string &fen);
+
+    /** Serialize to FEN (piece placement through fullmove). */
+    std::string toFen() const;
+
+    /** Piece on 0x88 square @p sq. */
+    std::int8_t piece(int sq) const { return squares_[sq]; }
+
+    /** Side to move. */
+    Side sideToMove() const { return side_; }
+
+    /** Zobrist hash of the position. */
+    std::uint64_t hash() const { return hash_; }
+
+    /** Castling-rights bits. */
+    std::uint8_t castling() const { return castling_; }
+
+    /** En-passant target square or -1. */
+    int epSquare() const { return epSquare_; }
+
+    /** True if @p side's king is attacked. */
+    bool inCheck(Side side) const;
+
+    /** True if @p sq is attacked by @p by. */
+    bool attacked(int sq, Side by) const;
+
+    /** Generate pseudo-legal moves (legality filtered by makeMove). */
+    void pseudoMoves(std::vector<Move> &out) const;
+
+    /** Generate pseudo-legal captures and promotions only. */
+    void pseudoCaptures(std::vector<Move> &out) const;
+
+    /**
+     * Make @p move; returns false (with state restored) when the move
+     * leaves the mover's king in check, i.e. the move was illegal.
+     */
+    bool makeMove(const Move &move, Undo &undo);
+
+    /** Undo the last made move using its @p undo record. */
+    void unmakeMove(const Undo &undo);
+
+    /** Legal move count == 0 and in check -> mate; used by tests. */
+    std::vector<Move> legalMoves() const;
+
+    /** Material + piece-square evaluation from @p side's view. */
+    int evaluate(Side side) const;
+
+    /** Perft node count (testing aid). */
+    std::uint64_t perft(int depth);
+
+  private:
+    void place(int sq, std::int8_t piece);
+    void computeHash();
+
+    std::array<std::int8_t, 128> squares_ = {};
+    Side side_ = Side::White;
+    std::uint8_t castling_ = 0;
+    std::int8_t epSquare_ = -1;
+    int halfmove_ = 0;
+    int fullmove_ = 1;
+    std::uint64_t hash_ = 0;
+    int kingSquare_[2] = {0, 0}; //!< [0]=white, [1]=black
+};
+
+/** 0x88 helpers. */
+constexpr bool onBoard(int sq) { return (sq & 0x88) == 0; }
+constexpr int squareOf(int file, int rank) { return rank * 16 + file; }
+constexpr int fileOf(int sq) { return sq & 7; }
+constexpr int rankOf(int sq) { return sq >> 4; }
+
+} // namespace alberta::deepsjeng
+
+#endif // ALBERTA_BENCHMARKS_DEEPSJENG_BOARD_H

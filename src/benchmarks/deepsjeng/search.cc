@@ -1,0 +1,195 @@
+#include "benchmarks/deepsjeng/search.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace alberta::deepsjeng {
+
+namespace {
+
+constexpr int kInfinity = 100000;
+constexpr int kMateScore = 90000;
+
+int
+pieceValue(int kind)
+{
+    static const int values[7] = {0, 100, 320, 330, 500, 900, 20000};
+    return values[kind];
+}
+
+} // namespace
+
+Engine::Engine(std::size_t tt_entries)
+{
+    support::fatalIf(!std::has_single_bit(tt_entries),
+                     "deepsjeng: TT size must be a power of two");
+    table_.assign(tt_entries, TTEntry{});
+    mask_ = tt_entries - 1;
+}
+
+void
+Engine::orderMoves(const Board &board, std::vector<Move> &moves,
+                   const Move &ttMove) const
+{
+    // MVV-LVA with the TT move first.
+    std::stable_sort(
+        moves.begin(), moves.end(),
+        [&](const Move &a, const Move &b) {
+            const auto key = [&](const Move &m) {
+                if (m == ttMove)
+                    return 1000000;
+                const int victim = std::abs(board.piece(m.to));
+                const int attacker = std::abs(board.piece(m.from));
+                int score = 0;
+                if (victim != 0)
+                    score = 10000 + pieceValue(victim) * 10 -
+                            pieceValue(attacker) / 10;
+                if (m.promotion != 0)
+                    score += 5000 + pieceValue(m.promotion);
+                return score;
+            };
+            return key(a) > key(b);
+        });
+}
+
+int
+Engine::quiesce(Board &board, int alpha, int beta,
+                runtime::ExecutionContext &ctx)
+{
+    auto &m = ctx.machine();
+    ++current_.nodes;
+
+    const int stand = board.evaluate(board.sideToMove());
+    m.ops(topdown::OpKind::IntAlu, 48);
+    if (m.branch(1, stand >= beta))
+        return stand;
+    alpha = std::max(alpha, stand);
+
+    std::vector<Move> captures;
+    board.pseudoCaptures(captures);
+    orderMoves(board, captures, Move{});
+    m.ops(topdown::OpKind::IntAlu, 6 * captures.size() + 4);
+
+    Undo undo;
+    for (const Move &move : captures) {
+        m.load(0x5000 + move.from);
+        if (!board.makeMove(move, undo))
+            continue;
+        m.call();
+        const int score = -quiesce(board, -beta, -alpha, ctx);
+        board.unmakeMove(undo);
+        if (m.branch(2, score >= beta))
+            return score;
+        if (m.branch(3, score > alpha))
+            alpha = score;
+    }
+    return alpha;
+}
+
+int
+Engine::negamax(Board &board, int depth, int alpha, int beta, int ply,
+                runtime::ExecutionContext &ctx)
+{
+    auto &m = ctx.machine();
+    ++current_.nodes;
+
+    if (depth <= 0) {
+        auto scope = ctx.method("deepsjeng::quiesce", 2600);
+        return quiesce(board, alpha, beta, ctx);
+    }
+
+    // Transposition-table probe.
+    TTEntry &entry = table_[board.hash() & mask_];
+    m.load(0x80000000ULL + (board.hash() & mask_) * 24);
+    Move ttMove;
+    if (m.branch(4, entry.key == board.hash())) {
+        ttMove = entry.move;
+        if (entry.depth >= depth) {
+            ++current_.ttHits;
+            const int score = entry.score;
+            if (entry.bound == Bound::Exact)
+                return score;
+            if (m.branch(5, entry.bound == Bound::Lower &&
+                                score >= beta))
+                return score;
+            if (m.branch(6, entry.bound == Bound::Upper &&
+                                score <= alpha))
+                return score;
+        }
+    }
+
+    std::vector<Move> moves;
+    {
+        auto scope = ctx.method("deepsjeng::movegen", 3400);
+        board.pseudoMoves(moves);
+        m.ops(topdown::OpKind::IntAlu, 10 * moves.size() + 16);
+        m.stream(topdown::OpKind::Load, 0x6000, moves.size() + 8, 8);
+    }
+    orderMoves(board, moves, ttMove);
+
+    const int alphaOrig = alpha;
+    int best = -kInfinity;
+    Move bestMove;
+    bool anyLegal = false;
+    Undo undo;
+    for (const Move &move : moves) {
+        // Capture / check-extension decisions: data-dependent and the
+        // engine's main mispredict source.
+        m.branch(9, board.piece(move.to) != 0);
+        if (!board.makeMove(move, undo))
+            continue;
+        anyLegal = true;
+        m.branch(10, board.inCheck(board.sideToMove()));
+        m.call();
+        const int score =
+            -negamax(board, depth - 1, -beta, -alpha, ply + 1, ctx);
+        board.unmakeMove(undo);
+        if (m.branch(7, score > best)) {
+            best = score;
+            bestMove = move;
+            if (ply == 0)
+                current_.bestMove = move;
+        }
+        alpha = std::max(alpha, score);
+        if (m.branch(8, alpha >= beta))
+            break; // beta cutoff
+    }
+
+    if (!anyLegal) {
+        // Mate or stalemate.
+        best = board.inCheck(board.sideToMove()) ? -kMateScore + ply : 0;
+    }
+
+    // Store.
+    entry.key = board.hash();
+    entry.score = static_cast<std::int16_t>(
+        std::clamp(best, -32000, 32000));
+    entry.depth = static_cast<std::int8_t>(depth);
+    entry.move = bestMove;
+    entry.bound = best <= alphaOrig ? Bound::Upper
+                  : best >= beta    ? Bound::Lower
+                                    : Bound::Exact;
+    m.store(0x80000000ULL + (board.hash() & mask_) * 24);
+    return best;
+}
+
+SearchResult
+Engine::analyze(Board &board, int depth, runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("deepsjeng::search", 5200);
+    support::fatalIf(depth < 1, "deepsjeng: depth must be >= 1");
+    current_ = SearchResult{};
+    int score = 0;
+    for (int d = 1; d <= depth; ++d)
+        score = negamax(board, d, -kInfinity, kInfinity, 0, ctx);
+    current_.score = score;
+    ctx.consume(current_.nodes);
+    ctx.consume(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(score) + (1 << 20)));
+    return current_;
+}
+
+} // namespace alberta::deepsjeng

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Alpha-beta search with transposition table and quiescence for the
+ * 531.deepsjeng_r mini-benchmark.
+ */
+#ifndef ALBERTA_BENCHMARKS_DEEPSJENG_SEARCH_H
+#define ALBERTA_BENCHMARKS_DEEPSJENG_SEARCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "benchmarks/deepsjeng/board.h"
+#include "runtime/context.h"
+
+namespace alberta::deepsjeng {
+
+/** Outcome of analyzing one position. */
+struct SearchResult
+{
+    int score = 0;            //!< centipawns from the mover's view
+    Move bestMove;            //!< principal move (valid if any legal)
+    std::uint64_t nodes = 0;  //!< interior + quiescence nodes
+    std::uint64_t ttHits = 0; //!< transposition-table cutoffs
+};
+
+/** The engine: owns the transposition table across searches. */
+class Engine
+{
+  public:
+    /** @param tt_entries transposition-table size (power of two). */
+    explicit Engine(std::size_t tt_entries = 1 << 16);
+
+    /**
+     * Analyze @p board to @p depth plies with iterative deepening,
+     * reporting micro-ops through @p ctx.
+     */
+    SearchResult analyze(Board &board, int depth,
+                         runtime::ExecutionContext &ctx);
+
+  private:
+    enum class Bound : std::uint8_t { Exact, Lower, Upper };
+
+    struct TTEntry
+    {
+        std::uint64_t key = 0;
+        std::int16_t score = 0;
+        std::int8_t depth = -1;
+        Bound bound = Bound::Exact;
+        Move move;
+    };
+
+    int negamax(Board &board, int depth, int alpha, int beta, int ply,
+                runtime::ExecutionContext &ctx);
+    int quiesce(Board &board, int alpha, int beta,
+                runtime::ExecutionContext &ctx);
+    void orderMoves(const Board &board, std::vector<Move> &moves,
+                    const Move &ttMove) const;
+
+    std::vector<TTEntry> table_;
+    std::uint64_t mask_;
+    SearchResult current_;
+};
+
+} // namespace alberta::deepsjeng
+
+#endif // ALBERTA_BENCHMARKS_DEEPSJENG_SEARCH_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The 548.exchange2_r mini-benchmark: generate new Sudoku puzzles with
+ * identical clue patterns from collections of seed puzzles.
+ */
+#ifndef ALBERTA_BENCHMARKS_EXCHANGE2_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_EXCHANGE2_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::exchange2 {
+
+/** See file comment. */
+class Exchange2Benchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "548.exchange2_r"; }
+    std::string area() const override
+    {
+        return "AI: Sudoku recursive solution";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+
+    /**
+     * The 27 seed puzzles "distributed with the benchmark": a fixed,
+     * procedurally created collection of hard-ish puzzles, one per
+     * line. Exposed for the seed-sensitivity ablation.
+     */
+    static std::string distributedSeeds();
+};
+
+} // namespace alberta::exchange2
+
+#endif // ALBERTA_BENCHMARKS_EXCHANGE2_BENCHMARK_H

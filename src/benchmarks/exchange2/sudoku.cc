@@ -1,0 +1,335 @@
+#include "benchmarks/exchange2/sudoku.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.h"
+
+namespace alberta::exchange2 {
+
+namespace {
+
+int
+boxOf(int row, int col)
+{
+    return (row / 3) * 3 + col / 3;
+}
+
+/** Candidate bitmasks per row/column/box for fast constraint checks. */
+struct Masks
+{
+    std::array<std::uint16_t, 9> row = {}, col = {}, box = {};
+
+    static Masks
+    fromGrid(const Grid &g)
+    {
+        Masks m;
+        for (int r = 0; r < 9; ++r) {
+            for (int c = 0; c < 9; ++c) {
+                const int v = g.cells[r * 9 + c];
+                if (v == 0)
+                    continue;
+                const std::uint16_t bit = 1u << (v - 1);
+                m.row[r] |= bit;
+                m.col[c] |= bit;
+                m.box[boxOf(r, c)] |= bit;
+            }
+        }
+        return m;
+    }
+
+    std::uint16_t
+    candidates(int r, int c) const
+    {
+        return static_cast<std::uint16_t>(
+            ~(row[r] | col[c] | box[boxOf(r, c)]) & 0x1ff);
+    }
+
+    void
+    place(int r, int c, int v)
+    {
+        const std::uint16_t bit = 1u << (v - 1);
+        row[r] |= bit;
+        col[c] |= bit;
+        box[boxOf(r, c)] |= bit;
+    }
+
+    void
+    remove(int r, int c, int v)
+    {
+        const std::uint16_t bit = static_cast<std::uint16_t>(
+            ~(1u << (v - 1)));
+        row[r] &= bit;
+        col[c] &= bit;
+        box[boxOf(r, c)] &= bit;
+    }
+};
+
+struct Searcher
+{
+    Grid grid;
+    Masks masks;
+    runtime::ExecutionContext &ctx;
+    topdown::Machine &m;
+    int limit;
+    SolveResult result;
+    /** Optional per-cell value order for randomized grid filling. */
+    const std::array<std::uint8_t, 9> *valueOrder = nullptr;
+
+    explicit Searcher(const Grid &g, runtime::ExecutionContext &c,
+                      int lim)
+        : grid(g), masks(Masks::fromGrid(g)), ctx(c), m(c.machine()),
+          limit(lim)
+    {
+    }
+
+    bool
+    search()
+    {
+        ++result.nodes;
+        // MRV: pick the empty cell with the fewest candidates.
+        int bestCell = -1;
+        int bestCount = 10;
+        std::uint16_t bestCand = 0;
+        // The MRV scan is branch-light in the Fortran original: the
+        // digit loops are counted and the comparisons compile to
+        // conditional moves, so most of this is plain retired work.
+        for (int cell = 0; cell < 81; ++cell) {
+            m.load(0x1000 + cell);
+            if (grid.cells[cell] != 0) {
+                m.ops(topdown::OpKind::IntAlu, 1);
+                continue;
+            }
+            const std::uint16_t cand =
+                masks.candidates(cell / 9, cell % 9);
+            const int count = std::popcount(cand);
+            m.ops(topdown::OpKind::IntAlu, 7); // cmov-style select
+            if (count < bestCount) {
+                bestCount = count;
+                bestCell = cell;
+                bestCand = cand;
+                if (m.branch(3, count <= 1))
+                    break;
+            }
+        }
+        if (m.branch(4, bestCell == -1)) {
+            ++result.solutions;
+            if (result.solutions == 1)
+                result.solution = grid;
+            return result.solutions >= limit;
+        }
+        if (m.branch(5, bestCount == 0))
+            return false; // dead end
+
+        const int r = bestCell / 9, c = bestCell % 9;
+        for (int k = 0; k < 9; ++k) {
+            const int v = valueOrder ? (*valueOrder)[k] : k + 1;
+            const std::uint16_t bit = 1u << (v - 1);
+            m.ops(topdown::OpKind::IntAlu, 5); // bit-test + mask math
+            if (!(bestCand & bit))
+                continue;
+            m.branch(6, true); // the taken recursion branch
+            grid.cells[bestCell] = static_cast<std::uint8_t>(v);
+            masks.place(r, c, v);
+            m.store(0x1000 + bestCell);
+            m.call();
+            if (search())
+                return true;
+            grid.cells[bestCell] = 0;
+            masks.remove(r, c, v);
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+Grid
+Grid::parse(const std::string &text)
+{
+    support::fatalIf(text.size() < 81, "sudoku: puzzle string has ",
+                     text.size(), " characters; need 81");
+    Grid g;
+    for (int i = 0; i < 81; ++i) {
+        const char ch = text[i];
+        if (ch == '.' || ch == '0') {
+            g.cells[i] = 0;
+        } else if (ch >= '1' && ch <= '9') {
+            g.cells[i] = static_cast<std::uint8_t>(ch - '0');
+        } else {
+            support::fatal("sudoku: bad character '", ch, "' at ", i);
+        }
+    }
+    support::fatalIf(!g.consistent(), "sudoku: inconsistent puzzle");
+    return g;
+}
+
+std::string
+Grid::serialize() const
+{
+    std::string out(81, '0');
+    for (int i = 0; i < 81; ++i)
+        out[i] = static_cast<char>('0' + cells[i]);
+    return out;
+}
+
+int
+Grid::clues() const
+{
+    int n = 0;
+    for (const auto v : cells)
+        n += v != 0;
+    return n;
+}
+
+std::array<bool, 81>
+Grid::pattern() const
+{
+    std::array<bool, 81> p;
+    for (int i = 0; i < 81; ++i)
+        p[i] = cells[i] != 0;
+    return p;
+}
+
+bool
+Grid::consistent() const
+{
+    std::array<std::uint16_t, 9> row = {}, col = {}, box = {};
+    for (int r = 0; r < 9; ++r) {
+        for (int c = 0; c < 9; ++c) {
+            const int v = cells[r * 9 + c];
+            if (v == 0)
+                continue;
+            const std::uint16_t bit = 1u << (v - 1);
+            const int b = boxOf(r, c);
+            if (row[r] & bit)
+                return false;
+            if (col[c] & bit)
+                return false;
+            if (box[b] & bit)
+                return false;
+            row[r] |= bit;
+            col[c] |= bit;
+            box[b] |= bit;
+        }
+    }
+    return true;
+}
+
+bool
+Grid::solved() const
+{
+    for (const auto v : cells)
+        if (v == 0)
+            return false;
+    return consistent();
+}
+
+SolveResult
+solve(const Grid &grid, runtime::ExecutionContext &ctx, int limit)
+{
+    auto scope = ctx.method("exchange2::solve", 2800);
+    Searcher s(grid, ctx, limit);
+    s.search();
+    ctx.consume(s.result.nodes);
+    return s.result;
+}
+
+Grid
+transformPuzzle(const Grid &seed, support::Rng &rng)
+{
+    Grid g = seed;
+
+    // Digit relabeling: a random permutation of 1..9.
+    std::array<std::uint8_t, 9> perm;
+    for (int i = 0; i < 9; ++i)
+        perm[i] = static_cast<std::uint8_t>(i + 1);
+    for (int i = 8; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+    for (auto &cell : g.cells)
+        if (cell != 0)
+            cell = perm[cell - 1];
+
+    const auto swapRows = [&](int a, int b) {
+        for (int c = 0; c < 9; ++c)
+            std::swap(g.cells[a * 9 + c], g.cells[b * 9 + c]);
+    };
+    const auto swapCols = [&](int a, int b) {
+        for (int r = 0; r < 9; ++r)
+            std::swap(g.cells[r * 9 + a], g.cells[r * 9 + b]);
+    };
+
+    // In-band row swaps and in-stack column swaps.
+    for (int band = 0; band < 3; ++band) {
+        const int a = band * 3 + static_cast<int>(rng.below(3));
+        const int b = band * 3 + static_cast<int>(rng.below(3));
+        swapRows(a, b);
+        const int c = band * 3 + static_cast<int>(rng.below(3));
+        const int d = band * 3 + static_cast<int>(rng.below(3));
+        swapCols(c, d);
+    }
+
+    // Whole-band and whole-stack swaps.
+    {
+        const int a = static_cast<int>(rng.below(3));
+        const int b = static_cast<int>(rng.below(3));
+        for (int r = 0; r < 3; ++r)
+            swapRows(a * 3 + r, b * 3 + r);
+        const int c = static_cast<int>(rng.below(3));
+        const int d = static_cast<int>(rng.below(3));
+        for (int k = 0; k < 3; ++k)
+            swapCols(c * 3 + k, d * 3 + k);
+    }
+
+    // Optional transposition.
+    if (rng.chance(0.5)) {
+        Grid t;
+        for (int r = 0; r < 9; ++r)
+            for (int c = 0; c < 9; ++c)
+                t.cells[c * 9 + r] = g.cells[r * 9 + c];
+        g = t;
+    }
+    return g;
+}
+
+Grid
+createSeedPuzzle(support::Rng &rng, int targetClues,
+                 runtime::ExecutionContext &ctx)
+{
+    support::fatalIf(targetClues < 20 || targetClues > 81,
+                     "sudoku: unreasonable clue target ", targetClues);
+
+    // Fill an empty grid with a randomized value order.
+    Grid empty;
+    Searcher filler(empty, ctx, 1);
+    std::array<std::uint8_t, 9> order;
+    for (int i = 0; i < 9; ++i)
+        order[i] = static_cast<std::uint8_t>(i + 1);
+    for (int i = 8; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+    filler.valueOrder = &order;
+    filler.search();
+    support::panicIf(filler.result.solutions == 0,
+                     "sudoku: failed to fill an empty grid");
+    Grid full = filler.result.solution;
+
+    // Remove clues in random order while the solution stays unique.
+    std::array<int, 81> cells;
+    for (int i = 0; i < 81; ++i)
+        cells[i] = i;
+    for (int i = 80; i > 0; --i)
+        std::swap(cells[i], cells[rng.below(i + 1)]);
+
+    Grid puzzle = full;
+    for (const int cell : cells) {
+        if (puzzle.clues() <= targetClues)
+            break;
+        const std::uint8_t saved = puzzle.cells[cell];
+        puzzle.cells[cell] = 0;
+        if (solve(puzzle, ctx, 2).solutions != 1)
+            puzzle.cells[cell] = saved; // removal breaks uniqueness
+    }
+    return puzzle;
+}
+
+} // namespace alberta::exchange2

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sudoku kernel for the 548.exchange2_r mini-benchmark.
+ *
+ * SPEC's exchange2 is a Sudoku *generator*: seed puzzles are used to
+ * produce new puzzles with identical clue patterns. This module
+ * provides the backtracking solver (with search-node accounting), the
+ * validity-preserving transformations used to derive new puzzles from
+ * seeds, and a clue-removal creator used to synthesize the seed
+ * collections themselves.
+ */
+#ifndef ALBERTA_BENCHMARKS_EXCHANGE2_SUDOKU_H
+#define ALBERTA_BENCHMARKS_EXCHANGE2_SUDOKU_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runtime/context.h"
+#include "support/rng.h"
+
+namespace alberta::exchange2 {
+
+/** A 9x9 Sudoku grid; 0 = empty cell. */
+struct Grid
+{
+    std::array<std::uint8_t, 81> cells = {};
+
+    /** Parse from an 81-character string ('1'-'9', '0' or '.' empty). */
+    static Grid parse(const std::string &text);
+
+    /** Serialize to the 81-character form ('0' for empty). */
+    std::string serialize() const;
+
+    /** Number of clues (non-empty cells). */
+    int clues() const;
+
+    /** The clue pattern: an 81-bit mask of filled positions. */
+    std::array<bool, 81> pattern() const;
+
+    /** True when no row/column/box constraint is violated. */
+    bool consistent() const;
+
+    /** True when fully filled and consistent. */
+    bool solved() const;
+};
+
+/** Result of a solver invocation. */
+struct SolveResult
+{
+    int solutions = 0;        //!< solutions found (capped at limit)
+    std::uint64_t nodes = 0;  //!< search nodes expanded
+    Grid solution;            //!< first solution, valid if solutions > 0
+};
+
+/**
+ * Count solutions of @p grid up to @p limit using MRV backtracking,
+ * reporting micro-ops through @p ctx.
+ */
+SolveResult solve(const Grid &grid, runtime::ExecutionContext &ctx,
+                  int limit = 2);
+
+/**
+ * Derive a new puzzle from @p seed with an *identical clue pattern*:
+ * applies validity-preserving symmetries (digit relabeling, in-band row
+ * and column swaps, band/stack swaps, transposition). The result has
+ * the same number of clues in transformed positions, exactly like
+ * exchange2's seeded generation.
+ */
+Grid transformPuzzle(const Grid &seed, support::Rng &rng);
+
+/**
+ * Create a random seed puzzle: fill a grid with a randomized solver,
+ * then remove clues (keeping a unique solution) down to about
+ * @p targetClues. Fewer clues yield harder puzzles.
+ */
+Grid createSeedPuzzle(support::Rng &rng, int targetClues,
+                      runtime::ExecutionContext &ctx);
+
+} // namespace alberta::exchange2
+
+#endif // ALBERTA_BENCHMARKS_EXCHANGE2_SUDOKU_H

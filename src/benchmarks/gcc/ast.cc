@@ -1,0 +1,394 @@
+#include "benchmarks/gcc/ast.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace alberta::gcc {
+
+ExprPtr
+Expr::makeNumber(std::int64_t value)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Number;
+    e->number = value;
+    return e;
+}
+
+ExprPtr
+Expr::makeVar(std::string name)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Var;
+    e->name = std::move(name);
+    return e;
+}
+
+ExprPtr
+Expr::makeAssign(std::string name, ExprPtr value)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Assign;
+    e->name = std::move(name);
+    e->lhs = std::move(value);
+    return e;
+}
+
+ExprPtr
+Expr::makeBinary(Op op, ExprPtr lhs, ExprPtr rhs)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Binary;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+}
+
+ExprPtr
+Expr::makeUnary(Op op, ExprPtr operand)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Unary;
+    e->op = op;
+    e->lhs = std::move(operand);
+    return e;
+}
+
+ExprPtr
+Expr::makeCall(std::string callee, std::vector<ExprPtr> args)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::Call;
+    e->name = std::move(callee);
+    e->args = std::move(args);
+    return e;
+}
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->number = number;
+    e->name = name;
+    e->op = op;
+    if (lhs)
+        e->lhs = lhs->clone();
+    if (rhs)
+        e->rhs = rhs->clone();
+    for (const auto &arg : args)
+        e->args.push_back(arg->clone());
+    return e;
+}
+
+StmtPtr
+Stmt::makeBlock(std::vector<StmtPtr> body)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::Block;
+    s->body = std::move(body);
+    return s;
+}
+
+StmtPtr
+Stmt::makeIf(ExprPtr cond, StmtPtr thenB, StmtPtr elseB)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::If;
+    s->cond = std::move(cond);
+    s->thenBranch = std::move(thenB);
+    s->elseBranch = std::move(elseB);
+    return s;
+}
+
+StmtPtr
+Stmt::makeWhile(ExprPtr cond, StmtPtr body)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::While;
+    s->cond = std::move(cond);
+    s->loopBody = std::move(body);
+    return s;
+}
+
+StmtPtr
+Stmt::makeFor(ExprPtr init, ExprPtr cond, ExprPtr step, StmtPtr body)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::For;
+    s->init = std::move(init);
+    s->cond = std::move(cond);
+    s->step = std::move(step);
+    s->loopBody = std::move(body);
+    return s;
+}
+
+StmtPtr
+Stmt::makeReturn(ExprPtr value)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::Return;
+    s->expr = std::move(value);
+    return s;
+}
+
+StmtPtr
+Stmt::makeDecl(std::string name, ExprPtr init)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::Decl;
+    s->declName = std::move(name);
+    s->expr = std::move(init);
+    return s;
+}
+
+StmtPtr
+Stmt::makeExpr(ExprPtr expr)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = Kind::ExprStmt;
+    s->expr = std::move(expr);
+    return s;
+}
+
+StmtPtr
+Stmt::clone() const
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    for (const auto &child : body)
+        s->body.push_back(child->clone());
+    if (cond)
+        s->cond = cond->clone();
+    if (thenBranch)
+        s->thenBranch = thenBranch->clone();
+    if (elseBranch)
+        s->elseBranch = elseBranch->clone();
+    if (loopBody)
+        s->loopBody = loopBody->clone();
+    if (init)
+        s->init = init->clone();
+    if (step)
+        s->step = step->clone();
+    if (expr)
+        s->expr = expr->clone();
+    s->declName = declName;
+    return s;
+}
+
+const Function *
+Program::findFunction(const std::string &name) const
+{
+    for (const Function &f : functions) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+namespace {
+
+const char *
+opText(Op op)
+{
+    switch (op) {
+      case Op::Add: return "+";
+      case Op::Sub: return "-";
+      case Op::Mul: return "*";
+      case Op::Div: return "/";
+      case Op::Mod: return "%";
+      case Op::And: return "&";
+      case Op::Or: return "|";
+      case Op::Xor: return "^";
+      case Op::Shl: return "<<";
+      case Op::Shr: return ">>";
+      case Op::Lt: return "<";
+      case Op::Gt: return ">";
+      case Op::Le: return "<=";
+      case Op::Ge: return ">=";
+      case Op::Eq: return "==";
+      case Op::Ne: return "!=";
+      case Op::LogAnd: return "&&";
+      case Op::LogOr: return "||";
+      case Op::Neg: return "-";
+      case Op::Not: return "!";
+    }
+    return "?";
+}
+
+void
+printExpr(std::ostream &os, const Expr &e)
+{
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        os << e.number;
+        break;
+      case Expr::Kind::Var:
+        os << e.name;
+        break;
+      case Expr::Kind::Assign:
+        os << '(' << e.name << " = ";
+        printExpr(os, *e.lhs);
+        os << ')';
+        break;
+      case Expr::Kind::Binary:
+        os << '(';
+        printExpr(os, *e.lhs);
+        os << ' ' << opText(e.op) << ' ';
+        printExpr(os, *e.rhs);
+        os << ')';
+        break;
+      case Expr::Kind::Unary:
+        os << '(' << opText(e.op);
+        printExpr(os, *e.lhs);
+        os << ')';
+        break;
+      case Expr::Kind::Call:
+        os << e.name << '(';
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            printExpr(os, *e.args[i]);
+        }
+        os << ')';
+        break;
+    }
+}
+
+void
+printStmt(std::ostream &os, const Stmt &s, int indent)
+{
+    const std::string pad(indent * 2, ' ');
+    switch (s.kind) {
+      case Stmt::Kind::Block:
+        os << pad << "{\n";
+        for (const auto &child : s.body)
+            printStmt(os, *child, indent + 1);
+        os << pad << "}\n";
+        break;
+      case Stmt::Kind::If:
+        os << pad << "if (";
+        printExpr(os, *s.cond);
+        os << ")\n";
+        printStmt(os, *s.thenBranch, indent + 1);
+        if (s.elseBranch) {
+            os << pad << "else\n";
+            printStmt(os, *s.elseBranch, indent + 1);
+        }
+        break;
+      case Stmt::Kind::While:
+        os << pad << "while (";
+        printExpr(os, *s.cond);
+        os << ")\n";
+        printStmt(os, *s.loopBody, indent + 1);
+        break;
+      case Stmt::Kind::For:
+        os << pad << "for (";
+        if (s.init)
+            printExpr(os, *s.init);
+        os << "; ";
+        if (s.cond)
+            printExpr(os, *s.cond);
+        os << "; ";
+        if (s.step)
+            printExpr(os, *s.step);
+        os << ")\n";
+        printStmt(os, *s.loopBody, indent + 1);
+        break;
+      case Stmt::Kind::Return:
+        os << pad << "return ";
+        printExpr(os, *s.expr);
+        os << ";\n";
+        break;
+      case Stmt::Kind::Decl:
+        os << pad << "int " << s.declName;
+        if (s.expr) {
+            os << " = ";
+            printExpr(os, *s.expr);
+        }
+        os << ";\n";
+        break;
+      case Stmt::Kind::ExprStmt:
+        os << pad;
+        printExpr(os, *s.expr);
+        os << ";\n";
+        break;
+    }
+}
+
+std::size_t
+countExpr(const Expr &e)
+{
+    std::size_t n = 1;
+    if (e.lhs)
+        n += countExpr(*e.lhs);
+    if (e.rhs)
+        n += countExpr(*e.rhs);
+    for (const auto &arg : e.args)
+        n += countExpr(*arg);
+    return n;
+}
+
+std::size_t
+countStmt(const Stmt &s)
+{
+    std::size_t n = 1;
+    for (const auto &child : s.body)
+        n += countStmt(*child);
+    if (s.cond)
+        n += countExpr(*s.cond);
+    if (s.thenBranch)
+        n += countStmt(*s.thenBranch);
+    if (s.elseBranch)
+        n += countStmt(*s.elseBranch);
+    if (s.loopBody)
+        n += countStmt(*s.loopBody);
+    if (s.init)
+        n += countExpr(*s.init);
+    if (s.step)
+        n += countExpr(*s.step);
+    if (s.expr)
+        n += countExpr(*s.expr);
+    return n;
+}
+
+} // namespace
+
+std::string
+Program::prettyPrint() const
+{
+    std::ostringstream os;
+    for (const Global &g : globals) {
+        if (g.isStatic)
+            os << "static ";
+        os << "int " << g.name;
+        if (g.init != 0)
+            os << " = " << g.init;
+        os << ";\n";
+    }
+    for (const Function &f : functions) {
+        if (f.isStatic)
+            os << "static ";
+        os << "int " << f.name << '(';
+        for (std::size_t i = 0; i < f.params.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << "int " << f.params[i];
+        }
+        os << ")\n";
+        printStmt(os, *f.body, 0);
+    }
+    return os.str();
+}
+
+std::size_t
+Program::nodeCount() const
+{
+    std::size_t n = globals.size();
+    for (const Function &f : functions)
+        n += 1 + countStmt(*f.body);
+    return n;
+}
+
+} // namespace alberta::gcc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Abstract syntax tree for the mini-C language: expressions,
+ * statements, functions, globals, and a pretty-printer that emits
+ * compilable mini-C source (used by the OneFile tool and the workload
+ * generator).
+ */
+#ifndef ALBERTA_BENCHMARKS_GCC_AST_H
+#define ALBERTA_BENCHMARKS_GCC_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alberta::gcc {
+
+/** Binary and unary operator codes (a subset shared with the VM). */
+enum class Op : std::uint8_t
+{
+    Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+    Lt, Gt, Le, Ge, Eq, Ne, LogAnd, LogOr,
+    Neg, Not,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        Number,   //!< literal
+        Var,      //!< variable reference
+        Assign,   //!< name = value
+        Binary,   //!< lhs op rhs
+        Unary,    //!< op operand
+        Call,     //!< callee(args...)
+    };
+
+    Kind kind = Kind::Number;
+    std::int64_t number = 0;
+    std::string name; //!< Var/Assign/Call target
+    Op op = Op::Add;
+    ExprPtr lhs, rhs; //!< Binary (lhs,rhs), Unary/Assign (lhs)
+    std::vector<ExprPtr> args;
+
+    static ExprPtr makeNumber(std::int64_t value);
+    static ExprPtr makeVar(std::string name);
+    static ExprPtr makeAssign(std::string name, ExprPtr value);
+    static ExprPtr makeBinary(Op op, ExprPtr lhs, ExprPtr rhs);
+    static ExprPtr makeUnary(Op op, ExprPtr operand);
+    static ExprPtr makeCall(std::string callee,
+                            std::vector<ExprPtr> args);
+
+    /** Deep copy. */
+    ExprPtr clone() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind
+    {
+        Block,
+        If,
+        While,
+        For,
+        Return,
+        Decl,  //!< local declaration with optional init
+        ExprStmt,
+    };
+
+    Kind kind = Kind::Block;
+    std::vector<StmtPtr> body;         //!< Block
+    ExprPtr cond;                      //!< If/While/For condition
+    StmtPtr thenBranch, elseBranch;    //!< If
+    StmtPtr loopBody;                  //!< While/For
+    ExprPtr init, step;                //!< For
+    ExprPtr expr;                      //!< Return/ExprStmt/Decl init
+    std::string declName;              //!< Decl
+
+    static StmtPtr makeBlock(std::vector<StmtPtr> body);
+    static StmtPtr makeIf(ExprPtr cond, StmtPtr thenB, StmtPtr elseB);
+    static StmtPtr makeWhile(ExprPtr cond, StmtPtr body);
+    static StmtPtr makeFor(ExprPtr init, ExprPtr cond, ExprPtr step,
+                           StmtPtr body);
+    static StmtPtr makeReturn(ExprPtr value);
+    static StmtPtr makeDecl(std::string name, ExprPtr init);
+    static StmtPtr makeExpr(ExprPtr expr);
+
+    /** Deep copy. */
+    StmtPtr clone() const;
+};
+
+/** A function definition. */
+struct Function
+{
+    std::string name;
+    bool isStatic = false;
+    std::vector<std::string> params;
+    StmtPtr body; //!< a Block
+};
+
+/** A global variable. */
+struct Global
+{
+    std::string name;
+    bool isStatic = false;
+    std::int64_t init = 0;
+};
+
+/** A translation unit / merged program. */
+struct Program
+{
+    std::vector<Global> globals;
+    std::vector<Function> functions;
+
+    /** Find a function by name, or nullptr. */
+    const Function *findFunction(const std::string &name) const;
+
+    /** Emit compilable mini-C source text. */
+    std::string prettyPrint() const;
+
+    /** Total AST node count (testing and sizing aid). */
+    std::size_t nodeCount() const;
+};
+
+} // namespace alberta::gcc
+
+#endif // ALBERTA_BENCHMARKS_GCC_AST_H

@@ -1,0 +1,138 @@
+#include "benchmarks/gcc/benchmark.h"
+
+#include "benchmarks/gcc/codegen.h"
+#include "benchmarks/gcc/generator.h"
+#include "benchmarks/gcc/onefile.h"
+#include "benchmarks/gcc/optimizer.h"
+#include "benchmarks/gcc/parser.h"
+#include "support/check.h"
+
+namespace alberta::gcc {
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, const ProgramConfig &config)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = config.seed;
+    w.params.set("functions", static_cast<long long>(config.functions));
+    w.params.set("style", static_cast<long long>(config.style));
+    w.files["input.c"] = generateProgram(config);
+    return w;
+}
+
+runtime::Workload
+makeOneFileWorkload(const std::string &name, const ProgramConfig &config,
+                    int units)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = config.seed;
+    w.params.set("units", static_cast<long long>(units));
+    // Merge at generation time, exactly like the Alberta workloads
+    // shipped pre-merged single files produced with OneFile.
+    runtime::ExecutionContext scratch;
+    const auto sources = generateMultiUnitProgram(config, units);
+    const OneFileResult merged = oneFileFromSources(sources, scratch);
+    w.files["input.c"] = merged.merged.prettyPrint();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+GccBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+
+    ProgramConfig ref;
+    ref.seed = 0x502F;
+    ref.functions = 260;
+    ref.statementsPerFunction = 14;
+    out.push_back(makeWorkload("refrate", ref));
+
+    ProgramConfig train = ref;
+    train.seed = 0x5021;
+    train.functions = 80;
+    out.push_back(makeWorkload("train", train));
+
+    ProgramConfig test = ref;
+    test.seed = 0x5022;
+    test.functions = 12;
+    out.push_back(makeWorkload("test", test));
+
+    // Thirteen single-file Alberta workloads: sizes x styles, like the
+    // "large single compilation-unit C programs" collection.
+    const ProgramStyle styles[4] = {
+        ProgramStyle::LoopHeavy, ProgramStyle::BranchHeavy,
+        ProgramStyle::CallHeavy, ProgramStyle::Arithmetic};
+    const char *styleNames[4] = {"loops", "branches", "calls", "arith"};
+    const int sizes[3] = {60, 140, 240};
+    const char *sizeNames[3] = {"small", "medium", "large"};
+    for (int s = 0; s < 3; ++s) {
+        for (int k = 0; k < 4; ++k) {
+            if (s == 2 && k == 3)
+                continue; // 11 combinations
+            ProgramConfig cfg;
+            cfg.seed = 0x5020B0 + s * 8 + k;
+            cfg.functions = sizes[s];
+            cfg.style = styles[k];
+            out.push_back(makeWorkload(
+                std::string("alberta.") + sizeNames[s] + "-" +
+                    styleNames[k],
+                cfg));
+        }
+    }
+    ProgramConfig flat;
+    flat.seed = 0x5020C0;
+    flat.functions = 100;
+    flat.statementsPerFunction = 30;
+    out.push_back(makeWorkload("alberta.huge-functions", flat));
+    ProgramConfig many;
+    many.seed = 0x5020C1;
+    many.functions = 420;
+    many.statementsPerFunction = 5;
+    out.push_back(makeWorkload("alberta.many-functions", many));
+
+    // Three OneFile-merged programs, named after the code bases the
+    // paper merged with the tool (mcf, lbm, johnripper).
+    ProgramConfig mcfLike;
+    mcfLike.seed = 0x5020D0;
+    mcfLike.functions = 90;
+    mcfLike.style = ProgramStyle::BranchHeavy;
+    out.push_back(
+        makeOneFileWorkload("alberta.onefile-mcf", mcfLike, 5));
+    ProgramConfig lbmLike;
+    lbmLike.seed = 0x5020D1;
+    lbmLike.functions = 60;
+    lbmLike.style = ProgramStyle::Arithmetic;
+    out.push_back(
+        makeOneFileWorkload("alberta.onefile-lbm", lbmLike, 3));
+    ProgramConfig johnLike;
+    johnLike.seed = 0x5020D2;
+    johnLike.functions = 120;
+    johnLike.style = ProgramStyle::LoopHeavy;
+    out.push_back(
+        makeOneFileWorkload("alberta.onefile-johnripper", johnLike, 8));
+
+    return out;
+}
+
+void
+GccBenchmark::run(const runtime::Workload &workload,
+                  runtime::ExecutionContext &context) const
+{
+    const std::string &source = workload.file("input.c");
+    Program program = parseSource(source, context);
+    const OptStats opt = optimize(program, context);
+    const Module module = compile(program, context);
+    const ExecResult result = execute(module, context);
+    context.consume(static_cast<std::uint64_t>(result.value));
+    context.consume(opt.foldedExprs + opt.simplified);
+    support::fatalIf(module.instructionCount() == 0,
+                     "gcc: empty module from '", workload.name, "'");
+}
+
+} // namespace alberta::gcc

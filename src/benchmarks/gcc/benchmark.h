@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The 502.gcc_r mini-benchmark: compile (and validate by execution)
+ * single-compilation-unit mini-C programs, with generated workloads
+ * and OneFile-merged multi-unit programs.
+ */
+#ifndef ALBERTA_BENCHMARKS_GCC_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_GCC_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::gcc {
+
+/** See file comment. */
+class GccBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "502.gcc_r"; }
+    std::string area() const override { return "Compiler"; }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::gcc
+
+#endif // ALBERTA_BENCHMARKS_GCC_BENCHMARK_H

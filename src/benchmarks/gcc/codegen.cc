@@ -1,0 +1,428 @@
+#include "benchmarks/gcc/codegen.h"
+
+#include "benchmarks/gcc/optimizer.h"
+#include "support/check.h"
+
+namespace alberta::gcc {
+
+std::size_t
+Module::instructionCount() const
+{
+    std::size_t n = 0;
+    for (const auto &f : functions)
+        n += f.code.size();
+    return n;
+}
+
+namespace {
+
+class Compiler
+{
+  public:
+    Compiler(const Program &program, runtime::ExecutionContext &ctx)
+        : program_(program), ctx_(ctx), m_(ctx.machine())
+    {
+    }
+
+    Module
+    run()
+    {
+        Module module;
+        for (std::size_t i = 0; i < program_.globals.size(); ++i) {
+            globalSlot_[program_.globals[i].name] =
+                static_cast<int>(i);
+            module.globalInit.push_back(program_.globals[i].init);
+        }
+        for (std::size_t i = 0; i < program_.functions.size(); ++i) {
+            support::fatalIf(
+                module.functionIndex.count(
+                    program_.functions[i].name) != 0,
+                "codegen: duplicate function '",
+                program_.functions[i].name, "'");
+            module.functionIndex[program_.functions[i].name] =
+                static_cast<int>(i);
+        }
+        for (const Function &f : program_.functions)
+            module.functions.push_back(compileFunction(f, module));
+        const auto it = module.functionIndex.find("main");
+        support::fatalIf(it == module.functionIndex.end(),
+                         "codegen: program has no main()");
+        module.mainIndex = it->second;
+        return module;
+    }
+
+  private:
+    CompiledFunction
+    compileFunction(const Function &f, const Module &module)
+    {
+        CompiledFunction out;
+        out.name = f.name;
+        out.paramCount = static_cast<int>(f.params.size());
+        locals_.clear();
+        scopes_.clear();
+        scopes_.push_back({});
+        nextSlot_ = 0;
+        for (const std::string &param : f.params)
+            declareLocal(param);
+
+        current_ = &out;
+        module_ = &module;
+        compileStmt(*f.body);
+        // Implicit return 0 at the end.
+        emit({OpCode::Push, 0, Op::Add, 0});
+        emit({OpCode::Ret, 0, Op::Add, 0});
+        out.localCount = maxSlot_;
+        maxSlot_ = 0;
+        return out;
+    }
+
+    void
+    emit(Instruction instruction)
+    {
+        current_->code.push_back(instruction);
+        m_.store(0x730000000ULL + current_->code.size() * 16);
+        m_.ops(topdown::OpKind::IntAlu, 2);
+    }
+
+    int
+    declareLocal(const std::string &name)
+    {
+        const int slot = nextSlot_++;
+        maxSlot_ = std::max(maxSlot_, nextSlot_);
+        scopes_.back().push_back(name);
+        locals_[name].push_back(slot);
+        return slot;
+    }
+
+    void
+    pushScope()
+    {
+        scopes_.push_back({});
+    }
+
+    void
+    popScope()
+    {
+        for (const std::string &name : scopes_.back()) {
+            locals_[name].pop_back();
+            --nextSlot_;
+        }
+        scopes_.pop_back();
+    }
+
+    /** Resolve a name: local slot (>= 0) or -1-globalSlot. */
+    int
+    resolve(const std::string &name) const
+    {
+        const auto lit = locals_.find(name);
+        if (lit != locals_.end() && !lit->second.empty())
+            return lit->second.back();
+        const auto git = globalSlot_.find(name);
+        support::fatalIf(git == globalSlot_.end(),
+                         "codegen: undefined variable '", name, "'");
+        return -1 - git->second;
+    }
+
+    void
+    compileExpr(const Expr &e)
+    {
+        m_.load(0x740000000ULL + (visited_++ % (1 << 19)) * 8);
+        m_.indirect(1, static_cast<std::uint64_t>(e.kind));
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            emit({OpCode::Push, e.number, Op::Add, 0});
+            break;
+          case Expr::Kind::Var: {
+            const int slot = resolve(e.name);
+            if (slot >= 0)
+                emit({OpCode::LoadL, slot, Op::Add, 0});
+            else
+                emit({OpCode::LoadG, -1 - slot, Op::Add, 0});
+            break;
+          }
+          case Expr::Kind::Assign: {
+            compileExpr(*e.lhs);
+            const int slot = resolve(e.name);
+            if (slot >= 0)
+                emit({OpCode::StoreL, slot, Op::Add, 0});
+            else
+                emit({OpCode::StoreG, -1 - slot, Op::Add, 0});
+            break;
+          }
+          case Expr::Kind::Binary:
+            compileExpr(*e.lhs);
+            compileExpr(*e.rhs);
+            emit({OpCode::Binary, 0, e.op, 0});
+            break;
+          case Expr::Kind::Unary:
+            compileExpr(*e.lhs);
+            emit({OpCode::Unary, 0, e.op, 0});
+            break;
+          case Expr::Kind::Call: {
+            const auto it = module_->functionIndex.find(e.name);
+            support::fatalIf(it == module_->functionIndex.end(),
+                             "codegen: call to undefined function '",
+                             e.name, "'");
+            const Function *target =
+                program_.findFunction(e.name);
+            support::fatalIf(
+                target->params.size() != e.args.size(),
+                "codegen: '", e.name, "' expects ",
+                target->params.size(), " arguments, got ",
+                e.args.size());
+            for (const auto &arg : e.args)
+                compileExpr(*arg);
+            emit({OpCode::Call, it->second, Op::Add,
+                  static_cast<std::int32_t>(e.args.size())});
+            break;
+          }
+        }
+    }
+
+    void
+    compileStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block:
+            pushScope();
+            for (const auto &child : s.body)
+                compileStmt(*child);
+            popScope();
+            break;
+          case Stmt::Kind::If: {
+            compileExpr(*s.cond);
+            const std::size_t jz = current_->code.size();
+            emit({OpCode::JumpZ, 0, Op::Add, 0});
+            compileStmt(*s.thenBranch);
+            if (s.elseBranch) {
+                const std::size_t jend = current_->code.size();
+                emit({OpCode::Jump, 0, Op::Add, 0});
+                current_->code[jz].imm =
+                    static_cast<std::int64_t>(current_->code.size());
+                compileStmt(*s.elseBranch);
+                current_->code[jend].imm =
+                    static_cast<std::int64_t>(current_->code.size());
+            } else {
+                current_->code[jz].imm =
+                    static_cast<std::int64_t>(current_->code.size());
+            }
+            break;
+          }
+          case Stmt::Kind::While: {
+            const std::size_t top = current_->code.size();
+            compileExpr(*s.cond);
+            const std::size_t jz = current_->code.size();
+            emit({OpCode::JumpZ, 0, Op::Add, 0});
+            compileStmt(*s.loopBody);
+            emit({OpCode::Jump, static_cast<std::int64_t>(top),
+                  Op::Add, 0});
+            current_->code[jz].imm =
+                static_cast<std::int64_t>(current_->code.size());
+            break;
+          }
+          case Stmt::Kind::For: {
+            pushScope();
+            if (s.init) {
+                compileExpr(*s.init);
+                emit({OpCode::Pop, 0, Op::Add, 0});
+            }
+            const std::size_t top = current_->code.size();
+            std::size_t jz = 0;
+            const bool hasCond = s.cond != nullptr;
+            if (hasCond) {
+                compileExpr(*s.cond);
+                jz = current_->code.size();
+                emit({OpCode::JumpZ, 0, Op::Add, 0});
+            }
+            compileStmt(*s.loopBody);
+            if (s.step) {
+                compileExpr(*s.step);
+                emit({OpCode::Pop, 0, Op::Add, 0});
+            }
+            emit({OpCode::Jump, static_cast<std::int64_t>(top),
+                  Op::Add, 0});
+            if (hasCond) {
+                current_->code[jz].imm =
+                    static_cast<std::int64_t>(current_->code.size());
+            }
+            popScope();
+            break;
+          }
+          case Stmt::Kind::Return:
+            compileExpr(*s.expr);
+            emit({OpCode::Ret, 0, Op::Add, 0});
+            break;
+          case Stmt::Kind::Decl: {
+            const int slot = declareLocal(s.declName);
+            if (s.expr) {
+                compileExpr(*s.expr);
+                emit({OpCode::StoreL, slot, Op::Add, 0});
+                emit({OpCode::Pop, 0, Op::Add, 0});
+            }
+            break;
+          }
+          case Stmt::Kind::ExprStmt:
+            compileExpr(*s.expr);
+            emit({OpCode::Pop, 0, Op::Add, 0});
+            break;
+        }
+    }
+
+    const Program &program_;
+    runtime::ExecutionContext &ctx_;
+    topdown::Machine &m_;
+    CompiledFunction *current_ = nullptr;
+    const Module *module_ = nullptr;
+    std::unordered_map<std::string, std::vector<int>> locals_;
+    std::unordered_map<std::string, int> globalSlot_;
+    std::vector<std::vector<std::string>> scopes_;
+    std::uint64_t visited_ = 0;
+    int nextSlot_ = 0;
+    int maxSlot_ = 0;
+};
+
+} // namespace
+
+Module
+compile(const Program &program, runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("gcc::codegen", 8200);
+    Compiler compiler(program, ctx);
+    Module module = compiler.run();
+    ctx.consume(static_cast<std::uint64_t>(module.instructionCount()));
+    return module;
+}
+
+ExecResult
+execute(const Module &module, runtime::ExecutionContext &ctx,
+        std::uint64_t budget)
+{
+    auto scope = ctx.method("gcc::vm_execute", 3200);
+    auto &m = ctx.machine();
+
+    struct Frame
+    {
+        int function;
+        std::size_t pc;
+        std::size_t stackBase;  //!< operand stack floor
+        std::size_t localBase;  //!< locals array base
+    };
+
+    std::vector<std::int64_t> stack;
+    std::vector<std::int64_t> locals;
+    std::vector<std::int64_t> globals = module.globalInit;
+    std::vector<Frame> frames;
+
+    const auto enter = [&](int fidx, std::int32_t argc) {
+        const CompiledFunction &f = module.functions[fidx];
+        support::fatalIf(argc != f.paramCount,
+                         "vm: bad argument count for ", f.name);
+        Frame frame;
+        frame.function = fidx;
+        frame.pc = 0;
+        frame.localBase = locals.size();
+        locals.resize(locals.size() + f.localCount, 0);
+        // Arguments were pushed left-to-right.
+        for (int i = argc - 1; i >= 0; --i) {
+            locals[frame.localBase + i] = stack.back();
+            stack.pop_back();
+        }
+        frame.stackBase = stack.size();
+        frames.push_back(frame);
+    };
+
+    enter(module.mainIndex, 0);
+    ExecResult result;
+
+    while (!frames.empty()) {
+        Frame &frame = frames.back();
+        const CompiledFunction &f = module.functions[frame.function];
+        support::fatalIf(frame.pc >= f.code.size(),
+                         "vm: fell off the end of ", f.name);
+        const Instruction inst = f.code[frame.pc++];
+        ++result.executed;
+        support::fatalIf(result.executed > budget,
+                         "vm: instruction budget exceeded");
+
+        m.load(0x750000000ULL + frame.pc * 16);
+        m.indirect(2, static_cast<std::uint64_t>(inst.code));
+
+        switch (inst.code) {
+          case OpCode::Push:
+            stack.push_back(inst.imm);
+            break;
+          case OpCode::LoadL:
+            stack.push_back(locals[frame.localBase + inst.imm]);
+            m.load(0x760000000ULL +
+                   (frame.localBase + inst.imm) * 8);
+            break;
+          case OpCode::StoreL:
+            locals[frame.localBase + inst.imm] = stack.back();
+            m.store(0x760000000ULL +
+                    (frame.localBase + inst.imm) * 8);
+            break;
+          case OpCode::LoadG:
+            stack.push_back(globals[inst.imm]);
+            m.load(0x770000000ULL + inst.imm * 8);
+            break;
+          case OpCode::StoreG:
+            globals[inst.imm] = stack.back();
+            m.store(0x770000000ULL + inst.imm * 8);
+            break;
+          case OpCode::Pop:
+            stack.pop_back();
+            break;
+          case OpCode::Binary: {
+            const std::int64_t rhs = stack.back();
+            stack.pop_back();
+            const std::int64_t lhs = stack.back();
+            stack.pop_back();
+            stack.push_back(evalOp(inst.op, lhs, rhs));
+            m.ops(inst.op == Op::Div || inst.op == Op::Mod
+                      ? topdown::OpKind::IntDiv
+                      : topdown::OpKind::IntAlu,
+                  1);
+            break;
+          }
+          case OpCode::Unary: {
+            const std::int64_t v = stack.back();
+            stack.pop_back();
+            stack.push_back(evalOp(inst.op, v, 0));
+            break;
+          }
+          case OpCode::Jump:
+            frame.pc = static_cast<std::size_t>(inst.imm);
+            m.branch(3, true);
+            break;
+          case OpCode::JumpZ: {
+            const std::int64_t v = stack.back();
+            stack.pop_back();
+            if (m.branch(4, v == 0))
+                frame.pc = static_cast<std::size_t>(inst.imm);
+            break;
+          }
+          case OpCode::Call:
+            support::fatalIf(frames.size() > 200,
+                             "vm: call stack overflow");
+            m.call();
+            enter(static_cast<int>(inst.imm), inst.extra);
+            break;
+          case OpCode::Ret: {
+            const std::int64_t value = stack.back();
+            stack.resize(frame.stackBase);
+            locals.resize(frame.localBase);
+            frames.pop_back();
+            stack.push_back(value);
+            if (frames.empty())
+                result.value = value;
+            break;
+          }
+        }
+    }
+
+    ctx.consume(static_cast<std::uint64_t>(result.value));
+    ctx.consume(result.executed);
+    return result;
+}
+
+} // namespace alberta::gcc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bytecode generator and stack virtual machine for the mini-C
+ * compiler: the compiled program is executed to validate the
+ * compilation, like 502.gcc_r's -O3 code generation pass over each
+ * workload file.
+ */
+#ifndef ALBERTA_BENCHMARKS_GCC_CODEGEN_H
+#define ALBERTA_BENCHMARKS_GCC_CODEGEN_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "benchmarks/gcc/ast.h"
+#include "runtime/context.h"
+
+namespace alberta::gcc {
+
+/** VM opcodes. */
+enum class OpCode : std::uint8_t
+{
+    Push,   //!< push immediate
+    LoadL,  //!< push local slot
+    StoreL, //!< pop into local slot (value stays for expression use)
+    LoadG,  //!< push global slot
+    StoreG, //!< pop into global slot (value stays)
+    Pop,    //!< discard top
+    Binary, //!< pop rhs, lhs; push op(lhs, rhs)
+    Unary,  //!< pop v; push op(v)
+    Jump,   //!< unconditional jump
+    JumpZ,  //!< pop; jump when zero
+    Call,   //!< call function index with argument count
+    Ret,    //!< return top of stack
+};
+
+/** One VM instruction. */
+struct Instruction
+{
+    OpCode code = OpCode::Push;
+    std::int64_t imm = 0; //!< immediate / slot / target / func index
+    Op op = Op::Add;      //!< Binary/Unary operator
+    std::int32_t extra = 0; //!< Call: argument count
+};
+
+/** A compiled function. */
+struct CompiledFunction
+{
+    std::string name;
+    int paramCount = 0;
+    int localCount = 0; //!< including parameters
+    std::vector<Instruction> code;
+};
+
+/** A compiled module. */
+struct Module
+{
+    std::vector<CompiledFunction> functions;
+    std::vector<std::int64_t> globalInit;
+    std::unordered_map<std::string, int> functionIndex;
+    int mainIndex = -1;
+
+    /** Total instruction count across functions. */
+    std::size_t instructionCount() const;
+};
+
+/**
+ * Compile @p program to bytecode, reporting micro-ops through @p ctx.
+ *
+ * @throws support::FatalError on undefined variables/functions or a
+ *         missing main
+ */
+Module compile(const Program &program, runtime::ExecutionContext &ctx);
+
+/** Result of executing a module. */
+struct ExecResult
+{
+    std::int64_t value = 0;       //!< main's return value
+    std::uint64_t executed = 0;   //!< instructions executed
+};
+
+/**
+ * Execute @p module's main function.
+ *
+ * @param budget instruction budget guarding against runaway programs
+ * @throws support::FatalError on stack/budget violations or division
+ *         by zero
+ */
+ExecResult execute(const Module &module, runtime::ExecutionContext &ctx,
+                   std::uint64_t budget = 80'000'000);
+
+} // namespace alberta::gcc
+
+#endif // ALBERTA_BENCHMARKS_GCC_CODEGEN_H

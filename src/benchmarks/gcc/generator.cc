@@ -1,0 +1,308 @@
+#include "benchmarks/gcc/generator.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace alberta::gcc {
+
+namespace {
+
+/**
+ * Emits random mini-C text directly; expressions only reference names
+ * in scope and divisions are always by nonzero constants, so generated
+ * programs always compile and run. Every function carries an estimated
+ * dynamic cost, and call sites only target functions cheap enough to
+ * keep total execution bounded (no exponential call-in-loop blowup).
+ */
+class ProgramWriter
+{
+  public:
+    /** Callable-cost ceiling: keeps whole-program work ~millions. */
+    static constexpr std::uint64_t kMaxCalleeCost = 30'000;
+    static constexpr std::uint64_t kMaxFunctionCost = 120'000;
+
+    ProgramWriter(const ProgramConfig &config, support::Rng rng,
+                  std::string symbolPrefix)
+        : config_(config), rng_(rng), prefix_(std::move(symbolPrefix))
+    {
+    }
+
+    std::vector<std::string>
+    emitHelpers(std::ostream &os, int count, bool asStatic)
+    {
+        std::vector<std::string> names;
+        for (int i = 0; i < count; ++i) {
+            const std::string name =
+                prefix_ + "fn" + std::to_string(i);
+            emitFunction(os, name, asStatic, names);
+            names.push_back(name);
+        }
+        return names;
+    }
+
+    void
+    emitMain(std::ostream &os,
+             const std::vector<std::string> &callables)
+    {
+        os << "int main(void)\n{\n  int acc = " << rng_.below(100)
+           << ";\n";
+        for (const std::string &name : callables) {
+            os << "  acc = acc + " << name << "("
+               << rng_.below(50) << ", " << (1 + rng_.below(30))
+               << ");\n";
+        }
+        os << "  return acc & 1048575;\n}\n";
+    }
+
+    std::vector<std::string>
+    emitGlobals(std::ostream &os, int count, bool asStatic)
+    {
+        std::vector<std::string> names;
+        for (int i = 0; i < count; ++i) {
+            const std::string name =
+                prefix_ + "g" + std::to_string(i);
+            os << (asStatic ? "static " : "") << "int " << name
+               << " = " << rng_.below(1000) << ";\n";
+            names.push_back(name);
+        }
+        globals_ = names;
+        return names;
+    }
+
+    /** Estimated dynamic cost of a generated function. */
+    std::uint64_t
+    costOf(const std::string &name) const
+    {
+        const auto it = costs_.find(name);
+        return it == costs_.end() ? kMaxCalleeCost : it->second;
+    }
+
+  private:
+    std::string
+    scopedVar()
+    {
+        const std::size_t total = vars_.size() + globals_.size();
+        const std::size_t pick = rng_.below(total);
+        return pick < vars_.size()
+                   ? vars_[pick]
+                   : globals_[pick - vars_.size()];
+    }
+
+    /** An assignable variable: never a live loop counter (assigning
+     * one could turn a bounded loop unbounded). */
+    std::string
+    writableVar()
+    {
+        const std::size_t safe = vars_.size() - loopVars_;
+        const std::size_t total = safe + globals_.size();
+        const std::size_t pick = rng_.below(total);
+        return pick < safe ? vars_[pick] : globals_[pick - safe];
+    }
+
+    /** Random expression; adds its estimated cost to @p cost. */
+    std::string
+    expr(int depth, std::uint64_t &cost)
+    {
+        cost += 2;
+        if (depth <= 0 || rng_.chance(0.3)) {
+            if (rng_.chance(0.45))
+                return std::to_string(rng_.below(1000));
+            if (!callables_.empty() && rng_.chance(callBias_)) {
+                const std::string &callee =
+                    callables_[rng_.below(callables_.size())];
+                cost += costOf(callee);
+                return callee + "(" + expr(0, cost) + ", " +
+                       expr(0, cost) + ")";
+            }
+            return scopedVar();
+        }
+        static const char *ops[] = {"+", "-", "*", "&", "|", "^",
+                                    "<<", ">>"};
+        const std::string op = ops[rng_.below(8)];
+        if (rng_.chance(0.12)) {
+            return "(" + expr(depth - 1, cost) + " / " +
+                   std::to_string(1 + rng_.below(97)) + ")";
+        }
+        std::string lhs = expr(depth - 1, cost);
+        std::string rhs = (op == "<<" || op == ">>")
+                              ? std::to_string(rng_.below(12))
+                              : expr(depth - 1, cost);
+        return "(" + lhs + " " + op + " " + rhs + ")";
+    }
+
+    std::string
+    condition(std::uint64_t &cost)
+    {
+        static const char *rel[] = {"<", ">", "<=", ">=", "==", "!="};
+        return "(" + expr(1, cost) + " " + rel[rng_.below(6)] + " " +
+               std::to_string(rng_.below(500)) + ")";
+    }
+
+    /** Emit one statement; returns its estimated dynamic cost. */
+    std::uint64_t
+    statement(std::ostream &os, int indent, int depth,
+              std::uint64_t budget)
+    {
+        const std::string pad(indent * 2, ' ');
+        double loopP = 0.22, branchP = 0.28;
+        switch (config_.style) {
+          case ProgramStyle::LoopHeavy: loopP = 0.45; break;
+          case ProgramStyle::BranchHeavy: branchP = 0.55; break;
+          case ProgramStyle::Arithmetic: loopP = 0.10;
+                                         branchP = 0.10; break;
+          default: break;
+        }
+
+        const double roll = rng_.real();
+        if (depth > 0 && budget > 500 && roll < loopP) {
+            const std::string iv =
+                "i" + std::to_string(loopVars_);
+            const int trip = 2 + static_cast<int>(rng_.below(
+                                     config_.maxLoopTrip));
+            os << pad << "int " << iv << " = 0;\n";
+            os << pad << "for (" << iv << " = 0; " << iv << " < "
+               << trip << "; " << iv << " = " << iv << " + 1)\n";
+            os << pad << "{\n";
+            vars_.push_back(iv);
+            ++loopVars_;
+            std::uint64_t inner =
+                statement(os, indent + 1, depth - 1, budget / trip);
+            if (rng_.chance(0.5))
+                inner += statement(os, indent + 1, depth - 1,
+                                   budget / trip);
+            vars_.pop_back();
+            --loopVars_;
+            os << pad << "}\n";
+            return 3 + inner * trip;
+        }
+        if (depth > 0 && roll < loopP + branchP) {
+            std::uint64_t cost = 0;
+            os << pad << "if " << condition(cost) << "\n"
+               << pad << "{\n";
+            cost += statement(os, indent + 1, depth - 1, budget);
+            os << pad << "}\n";
+            if (rng_.chance(0.4)) {
+                os << pad << "else\n" << pad << "{\n";
+                cost += statement(os, indent + 1, depth - 1, budget);
+                os << pad << "}\n";
+            }
+            return cost + 2;
+        }
+        const int exprDepth =
+            config_.style == ProgramStyle::Arithmetic ? 5 : 3;
+        std::uint64_t cost = 0;
+        os << pad << writableVar() << " = " << expr(exprDepth, cost)
+           << ";\n";
+        return cost + 1;
+    }
+
+    void
+    emitFunction(std::ostream &os, const std::string &name,
+                 bool asStatic,
+                 const std::vector<std::string> &earlier)
+    {
+        callables_.clear();
+        callBias_ =
+            config_.style == ProgramStyle::CallHeavy ? 0.35 : 0.12;
+        const std::size_t reach =
+            config_.style == ProgramStyle::CallHeavy ? 8 : 3;
+        for (std::size_t i = earlier.size() > reach
+                                 ? earlier.size() - reach
+                                 : 0;
+             i < earlier.size(); ++i) {
+            if (costOf(earlier[i]) <= kMaxCalleeCost)
+                callables_.push_back(earlier[i]);
+        }
+
+        vars_ = {"a", "b", "t0", "t1"};
+        loopVars_ = 0;
+        os << (asStatic ? "static " : "") << "int " << name
+           << "(int a, int b)\n{\n";
+        os << "  int t0 = a + " << rng_.below(100) << ";\n";
+        os << "  int t1 = b * " << (1 + rng_.below(9)) << ";\n";
+        std::uint64_t total = 4;
+        for (int s = 0; s < config_.statementsPerFunction; ++s) {
+            if (total >= kMaxFunctionCost)
+                break;
+            total += statement(os, 1, 2, kMaxFunctionCost - total);
+        }
+        os << "  return (t0 ^ t1) & 16777215;\n}\n";
+        costs_[name] = total;
+    }
+
+    const ProgramConfig &config_;
+    support::Rng rng_;
+    std::string prefix_;
+    std::vector<std::string> vars_;
+    std::vector<std::string> globals_;
+    std::vector<std::string> callables_;
+    std::unordered_map<std::string, std::uint64_t> costs_;
+    double callBias_ = 0.12;
+    int loopVars_ = 0;
+};
+
+} // namespace
+
+std::string
+generateProgram(const ProgramConfig &config)
+{
+    std::ostringstream os;
+    ProgramWriter writer(config, support::Rng(config.seed), "");
+    writer.emitGlobals(os, 4 + config.functions / 8, false);
+    const auto helpers =
+        writer.emitHelpers(os, config.functions, false);
+    // main calls a sample of helpers (all of them for small programs).
+    std::vector<std::string> called;
+    for (std::size_t i = 0; i < helpers.size();
+         i += 1 + helpers.size() / 24)
+        called.push_back(helpers[i]);
+    writer.emitMain(os, called);
+    return os.str();
+}
+
+std::vector<std::string>
+generateMultiUnitProgram(const ProgramConfig &config, int units)
+{
+    support::fatalIf(units < 2, "multi-unit program needs >= 2 units");
+    std::vector<std::string> sources;
+    support::Rng rng(config.seed);
+    std::vector<std::string> exported;
+
+    for (int u = 0; u < units; ++u) {
+        std::ostringstream os;
+        ProgramConfig unitCfg = config;
+        unitCfg.functions =
+            std::max(2, config.functions / units);
+        // Same prefix-less static names in every unit: "fn0", "g0",
+        // ... — exactly the collisions OneFile must mangle.
+        ProgramWriter writer(unitCfg, rng.fork(u + 1), "");
+        writer.emitGlobals(os, 3, true);
+        const auto statics =
+            writer.emitHelpers(os, unitCfg.functions, true);
+
+        // One exported (non-static) entry point per unit.
+        const std::string entry = "unit" + std::to_string(u) +
+                                  "_entry";
+        os << "int " << entry << "(int a, int b)\n{\n  return "
+           << statics.back() << "(a, b) + " << statics.front()
+           << "(b, a);\n}\n";
+        exported.push_back(entry);
+        sources.push_back(os.str());
+    }
+
+    // main() lives in unit 0 and calls every unit's entry point.
+    std::ostringstream mainTail;
+    mainTail << "int main(void)\n{\n  int acc = 1;\n";
+    for (const std::string &entry : exported) {
+        mainTail << "  acc = acc + " << entry << "(acc & 63, "
+                 << "(acc >> 3) & 31);\n";
+    }
+    mainTail << "  return acc & 1048575;\n}\n";
+    sources[0] += mainTail.str();
+    return sources;
+}
+
+} // namespace alberta::gcc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Procedural mini-C program generator: synthesizes single-file
+ * workloads of configurable size and style for the 502.gcc_r
+ * mini-benchmark, plus multi-unit programs for the OneFile tool.
+ */
+#ifndef ALBERTA_BENCHMARKS_GCC_GENERATOR_H
+#define ALBERTA_BENCHMARKS_GCC_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alberta::gcc {
+
+/** Code style emphasis of a generated program. */
+enum class ProgramStyle
+{
+    Balanced,   //!< a bit of everything
+    LoopHeavy,  //!< deep loop nests
+    BranchHeavy,//!< many data-dependent ifs
+    CallHeavy,  //!< deep call chains
+    Arithmetic, //!< big flat expressions
+};
+
+/** Generator knobs. */
+struct ProgramConfig
+{
+    std::uint64_t seed = 1;
+    int functions = 20;      //!< helper function count
+    int statementsPerFunction = 10;
+    int maxLoopTrip = 24;    //!< constant loop bounds stay below this
+    ProgramStyle style = ProgramStyle::Balanced;
+};
+
+/** Generate one self-contained mini-C source file with a main(). */
+std::string generateProgram(const ProgramConfig &config);
+
+/**
+ * Generate @p units translation units forming one program: unit 0
+ * holds main(), every unit has file-scope statics that share names
+ * across units (exercising OneFile's mangling).
+ */
+std::vector<std::string>
+generateMultiUnitProgram(const ProgramConfig &config, int units);
+
+} // namespace alberta::gcc
+
+#endif // ALBERTA_BENCHMARKS_GCC_GENERATOR_H

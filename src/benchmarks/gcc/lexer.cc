@@ -1,0 +1,134 @@
+#include "benchmarks/gcc/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace alberta::gcc {
+
+std::vector<Token>
+tokenize(const std::string &source, runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("gcc::lex", 6000);
+    auto &m = ctx.machine();
+
+    static const std::unordered_map<std::string, TokenKind> keywords = {
+        {"int", TokenKind::KwInt},       {"void", TokenKind::KwVoid},
+        {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+        {"while", TokenKind::KwWhile},   {"for", TokenKind::KwFor},
+        {"return", TokenKind::KwReturn}, {"static", TokenKind::KwStatic},
+    };
+
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    int line = 1;
+    const auto push = [&](TokenKind kind, std::string text) {
+        tokens.push_back({kind, std::move(text), 0, line});
+    };
+
+    while (i < source.size()) {
+        const char ch = source[i];
+        m.load(0x700000000ULL + i);
+        if (m.branch(1, std::isspace(static_cast<unsigned char>(ch)))) {
+            if (ch == '\n')
+                ++line;
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (ch == '/' && i + 1 < source.size()) {
+            if (source[i + 1] == '/') {
+                while (i < source.size() && source[i] != '\n')
+                    ++i;
+                continue;
+            }
+            if (source[i + 1] == '*') {
+                const std::size_t close = source.find("*/", i + 2);
+                support::fatalIf(close == std::string::npos,
+                                 "lex: unterminated comment at line ",
+                                 line);
+                for (std::size_t j = i; j < close; ++j)
+                    line += source[j] == '\n';
+                i = close + 2;
+                continue;
+            }
+        }
+        if (m.branch(2,
+                     std::isalpha(static_cast<unsigned char>(ch)) ||
+                         ch == '_')) {
+            std::string ident;
+            while (i < source.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(source[i])) ||
+                    source[i] == '_'))
+                ident += source[i++];
+            const auto it = keywords.find(ident);
+            m.ops(topdown::OpKind::IntAlu, 4 + ident.size() / 2);
+            if (it != keywords.end())
+                push(it->second, ident);
+            else
+                push(TokenKind::Identifier, ident);
+            continue;
+        }
+        if (m.branch(3, std::isdigit(static_cast<unsigned char>(ch)))) {
+            std::int64_t value = 0;
+            std::string text;
+            while (i < source.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(source[i]))) {
+                value = value * 10 + (source[i] - '0');
+                text += source[i++];
+            }
+            tokens.push_back({TokenKind::Number, text, value, line});
+            m.ops(topdown::OpKind::IntMul, text.size());
+            continue;
+        }
+
+        // Operators and punctuation.
+        const auto two = source.substr(i, 2);
+        TokenKind kind;
+        std::size_t len = 2;
+        if (two == "<<") kind = TokenKind::Shl;
+        else if (two == ">>") kind = TokenKind::Shr;
+        else if (two == "&&") kind = TokenKind::AmpAmp;
+        else if (two == "||") kind = TokenKind::PipePipe;
+        else if (two == "<=") kind = TokenKind::Le;
+        else if (two == ">=") kind = TokenKind::Ge;
+        else if (two == "==") kind = TokenKind::EqEq;
+        else if (two == "!=") kind = TokenKind::NotEq;
+        else {
+            len = 1;
+            switch (ch) {
+              case '(': kind = TokenKind::LParen; break;
+              case ')': kind = TokenKind::RParen; break;
+              case '{': kind = TokenKind::LBrace; break;
+              case '}': kind = TokenKind::RBrace; break;
+              case ';': kind = TokenKind::Semicolon; break;
+              case ',': kind = TokenKind::Comma; break;
+              case '=': kind = TokenKind::Assign; break;
+              case '+': kind = TokenKind::Plus; break;
+              case '-': kind = TokenKind::Minus; break;
+              case '*': kind = TokenKind::Star; break;
+              case '/': kind = TokenKind::Slash; break;
+              case '%': kind = TokenKind::Percent; break;
+              case '&': kind = TokenKind::Amp; break;
+              case '|': kind = TokenKind::Pipe; break;
+              case '^': kind = TokenKind::Caret; break;
+              case '!': kind = TokenKind::Bang; break;
+              case '<': kind = TokenKind::Lt; break;
+              case '>': kind = TokenKind::Gt; break;
+              default:
+                support::fatal("lex: unexpected character '", ch,
+                               "' at line ", line);
+            }
+        }
+        push(kind, source.substr(i, len));
+        i += len;
+    }
+    push(TokenKind::End, "");
+    ctx.consume(static_cast<std::uint64_t>(tokens.size()));
+    return tokens;
+}
+
+} // namespace alberta::gcc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lexer for the mini-C language compiled by the 502.gcc_r
+ * mini-benchmark. The language is a C subset: int-typed variables and
+ * functions, full integer expression operators, if/while/for control
+ * flow, and file-scope `static`.
+ */
+#ifndef ALBERTA_BENCHMARKS_GCC_LEXER_H
+#define ALBERTA_BENCHMARKS_GCC_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace alberta::gcc {
+
+/** Token kinds. */
+enum class TokenKind : std::uint8_t
+{
+    End,
+    Identifier,
+    Number,
+    KwInt,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwStatic,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semicolon,
+    Comma,
+    Assign,     // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+};
+
+/** One token with its source text and position. */
+struct Token
+{
+    TokenKind kind = TokenKind::End;
+    std::string text;
+    std::int64_t value = 0; //!< for Number
+    int line = 1;
+};
+
+/**
+ * Tokenize @p source, reporting micro-ops through @p ctx.
+ *
+ * @throws support::FatalError on unknown characters
+ */
+std::vector<Token> tokenize(const std::string &source,
+                            runtime::ExecutionContext &ctx);
+
+} // namespace alberta::gcc
+
+#endif // ALBERTA_BENCHMARKS_GCC_LEXER_H

@@ -1,0 +1,188 @@
+#include "benchmarks/gcc/onefile.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "benchmarks/gcc/parser.h"
+#include "support/check.h"
+
+namespace alberta::gcc {
+
+namespace {
+
+/**
+ * Scope-aware reference renamer: rewrites Var/Assign/Call names that
+ * refer to file-scope symbols in @p mapping, leaving references that
+ * are shadowed by locals or parameters untouched.
+ */
+class Renamer
+{
+  public:
+    explicit Renamer(
+        const std::unordered_map<std::string, std::string> &mapping)
+        : mapping_(mapping)
+    {
+    }
+
+    void
+    renameFunction(Function &f)
+    {
+        scopes_.clear();
+        scopes_.push_back({f.params.begin(), f.params.end()});
+        renameStmt(*f.body);
+    }
+
+  private:
+    bool
+    shadowed(const std::string &name) const
+    {
+        for (const auto &scope : scopes_) {
+            if (scope.count(name))
+                return true;
+        }
+        return false;
+    }
+
+    void
+    maybeRename(std::string &name) const
+    {
+        if (shadowed(name))
+            return;
+        const auto it = mapping_.find(name);
+        if (it != mapping_.end())
+            name = it->second;
+    }
+
+    void
+    renameExpr(Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Var:
+          case Expr::Kind::Assign:
+          case Expr::Kind::Call:
+            maybeRename(e.name);
+            break;
+          default:
+            break;
+        }
+        if (e.lhs)
+            renameExpr(*e.lhs);
+        if (e.rhs)
+            renameExpr(*e.rhs);
+        for (auto &arg : e.args)
+            renameExpr(*arg);
+    }
+
+    void
+    renameStmt(Stmt &s)
+    {
+        if (s.kind == Stmt::Kind::Block)
+            scopes_.push_back({});
+        if (s.kind == Stmt::Kind::Decl) {
+            if (s.expr)
+                renameExpr(*s.expr);
+            // The declaration shadows from here on within this scope.
+            scopes_.back().insert(s.declName);
+        } else {
+            if (s.cond)
+                renameExpr(*s.cond);
+            if (s.init)
+                renameExpr(*s.init);
+            if (s.step)
+                renameExpr(*s.step);
+            if (s.expr)
+                renameExpr(*s.expr);
+        }
+        for (auto &child : s.body)
+            renameStmt(*child);
+        if (s.thenBranch)
+            renameStmt(*s.thenBranch);
+        if (s.elseBranch)
+            renameStmt(*s.elseBranch);
+        if (s.loopBody)
+            renameStmt(*s.loopBody);
+        if (s.kind == Stmt::Kind::Block)
+            scopes_.pop_back();
+    }
+
+    const std::unordered_map<std::string, std::string> &mapping_;
+    std::vector<std::unordered_set<std::string>> scopes_;
+};
+
+} // namespace
+
+OneFileResult
+oneFile(std::vector<Program> units, runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("gcc::onefile", 5600);
+    auto &m = ctx.machine();
+    OneFileResult result;
+
+    std::set<std::string> externals;
+    int mains = 0;
+
+    for (std::size_t u = 0; u < units.size(); ++u) {
+        Program &unit = units[u];
+        const std::string prefix = "u" + std::to_string(u) + "_";
+
+        // Mangle this unit's file-scope statics.
+        std::unordered_map<std::string, std::string> mapping;
+        for (Global &g : unit.globals) {
+            m.load(0x780000000ULL + result.renamedSymbols * 32);
+            if (m.branch(1, g.isStatic)) {
+                mapping[g.name] = prefix + g.name;
+                g.name = prefix + g.name;
+                g.isStatic = false;
+                ++result.renamedSymbols;
+            }
+        }
+        for (Function &f : unit.functions) {
+            if (m.branch(2, f.isStatic)) {
+                mapping[f.name] = prefix + f.name;
+                f.name = prefix + f.name;
+                f.isStatic = false;
+                ++result.renamedSymbols;
+            }
+        }
+        Renamer renamer(mapping);
+        for (Function &f : unit.functions)
+            renamer.renameFunction(f);
+
+        // External (non-mangled) symbols must be unique across units.
+        for (const Global &g : unit.globals) {
+            if (mapping.count(g.name) == 0) {
+                support::fatalIf(
+                    !externals.insert(g.name).second,
+                    "onefile: external global '", g.name,
+                    "' defined in multiple units");
+            }
+            result.merged.globals.push_back(g);
+        }
+        for (Function &f : unit.functions) {
+            if (f.name == "main")
+                ++mains;
+            support::fatalIf(!externals.insert(f.name).second,
+                             "onefile: external function '", f.name,
+                             "' defined in multiple units");
+            result.merged.functions.push_back(std::move(f));
+        }
+    }
+    support::fatalIf(mains != 1, "onefile: merged program has ", mains,
+                     " main() definitions; need exactly 1");
+    ctx.consume(static_cast<std::uint64_t>(result.renamedSymbols));
+    return result;
+}
+
+OneFileResult
+oneFileFromSources(const std::vector<std::string> &sources,
+                   runtime::ExecutionContext &ctx)
+{
+    std::vector<Program> units;
+    units.reserve(sources.size());
+    for (const std::string &source : sources)
+        units.push_back(parseSource(source, ctx));
+    return oneFile(std::move(units), ctx);
+}
+
+} // namespace alberta::gcc

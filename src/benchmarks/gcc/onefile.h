@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The OneFile tool (Section IV-A): combine multiple mini-C translation
+ * units into a single compilation unit suitable as a 502.gcc_r
+ * workload. File-scope `static` symbols are name-mangled with a unit
+ * prefix to avoid collisions; external symbols must be defined exactly
+ * once across units.
+ */
+#ifndef ALBERTA_BENCHMARKS_GCC_ONEFILE_H
+#define ALBERTA_BENCHMARKS_GCC_ONEFILE_H
+
+#include <string>
+#include <vector>
+
+#include "benchmarks/gcc/ast.h"
+#include "runtime/context.h"
+
+namespace alberta::gcc {
+
+/** Outcome of a OneFile merge. */
+struct OneFileResult
+{
+    Program merged;
+    int renamedSymbols = 0; //!< statics mangled across all units
+};
+
+/**
+ * Merge @p units into one program.
+ *
+ * @throws support::FatalError when two units define the same external
+ *         symbol, or when main() is missing or duplicated
+ */
+OneFileResult oneFile(std::vector<Program> units,
+                      runtime::ExecutionContext &ctx);
+
+/** Convenience: parse each source text, then merge. */
+OneFileResult oneFileFromSources(const std::vector<std::string> &sources,
+                                 runtime::ExecutionContext &ctx);
+
+} // namespace alberta::gcc
+
+#endif // ALBERTA_BENCHMARKS_GCC_ONEFILE_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * AST-level optimizer for the mini-C compiler: constant folding,
+ * algebraic simplification, and dead-branch elimination.
+ */
+#ifndef ALBERTA_BENCHMARKS_GCC_OPTIMIZER_H
+#define ALBERTA_BENCHMARKS_GCC_OPTIMIZER_H
+
+#include "benchmarks/gcc/ast.h"
+#include "runtime/context.h"
+
+namespace alberta::gcc {
+
+/** Optimization statistics (for tests and reports). */
+struct OptStats
+{
+    std::uint64_t foldedExprs = 0;   //!< expressions folded to literals
+    std::uint64_t deadBranches = 0;  //!< if/while bodies removed
+    std::uint64_t simplified = 0;    //!< algebraic identities applied
+};
+
+/**
+ * Evaluate a constant binary/unary operation exactly as the VM would
+ * (C semantics on 64-bit ints; division by zero is a FatalError).
+ */
+std::int64_t evalOp(Op op, std::int64_t lhs, std::int64_t rhs);
+
+/** Optimize @p program in place; returns what was done. */
+OptStats optimize(Program &program, runtime::ExecutionContext &ctx);
+
+} // namespace alberta::gcc
+
+#endif // ALBERTA_BENCHMARKS_GCC_OPTIMIZER_H

@@ -1,0 +1,339 @@
+#include "benchmarks/gcc/parser.h"
+
+#include "support/check.h"
+
+namespace alberta::gcc {
+
+namespace {
+
+/** Binding powers for precedence-climbing expression parsing. */
+int
+precedence(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::PipePipe: return 1;
+      case TokenKind::AmpAmp: return 2;
+      case TokenKind::Pipe: return 3;
+      case TokenKind::Caret: return 4;
+      case TokenKind::Amp: return 5;
+      case TokenKind::EqEq:
+      case TokenKind::NotEq: return 6;
+      case TokenKind::Lt:
+      case TokenKind::Gt:
+      case TokenKind::Le:
+      case TokenKind::Ge: return 7;
+      case TokenKind::Shl:
+      case TokenKind::Shr: return 8;
+      case TokenKind::Plus:
+      case TokenKind::Minus: return 9;
+      case TokenKind::Star:
+      case TokenKind::Slash:
+      case TokenKind::Percent: return 10;
+      default: return 0;
+    }
+}
+
+Op
+binaryOp(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::PipePipe: return Op::LogOr;
+      case TokenKind::AmpAmp: return Op::LogAnd;
+      case TokenKind::Pipe: return Op::Or;
+      case TokenKind::Caret: return Op::Xor;
+      case TokenKind::Amp: return Op::And;
+      case TokenKind::EqEq: return Op::Eq;
+      case TokenKind::NotEq: return Op::Ne;
+      case TokenKind::Lt: return Op::Lt;
+      case TokenKind::Gt: return Op::Gt;
+      case TokenKind::Le: return Op::Le;
+      case TokenKind::Ge: return Op::Ge;
+      case TokenKind::Shl: return Op::Shl;
+      case TokenKind::Shr: return Op::Shr;
+      case TokenKind::Plus: return Op::Add;
+      case TokenKind::Minus: return Op::Sub;
+      case TokenKind::Star: return Op::Mul;
+      case TokenKind::Slash: return Op::Div;
+      case TokenKind::Percent: return Op::Mod;
+      default: support::panic("parser: not a binary operator");
+    }
+}
+
+class Parser
+{
+  public:
+    Parser(const std::vector<Token> &tokens,
+           runtime::ExecutionContext &ctx)
+        : tokens_(tokens), ctx_(ctx), m_(ctx.machine())
+    {
+    }
+
+    Program
+    parseProgram()
+    {
+        Program program;
+        while (peek().kind != TokenKind::End) {
+            bool isStatic = false;
+            if (accept(TokenKind::KwStatic))
+                isStatic = true;
+            expect(TokenKind::KwInt, "declaration must start with int");
+            const std::string name = expectIdent();
+            if (m_.branch(1, peek().kind == TokenKind::LParen)) {
+                program.functions.push_back(
+                    parseFunction(name, isStatic));
+            } else {
+                Global g;
+                g.name = name;
+                g.isStatic = isStatic;
+                if (accept(TokenKind::Assign)) {
+                    const Token &tok = peek();
+                    support::fatalIf(tok.kind != TokenKind::Number,
+                                     "parser: global initializer must "
+                                     "be a literal at line ",
+                                     tok.line);
+                    g.init = tok.value;
+                    ++pos_;
+                }
+                expect(TokenKind::Semicolon, "expected ';'");
+                program.globals.push_back(std::move(g));
+            }
+        }
+        return program;
+    }
+
+  private:
+    const Token &
+    peek(int ahead = 0) const
+    {
+        const std::size_t i = pos_ + ahead;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    bool
+    accept(TokenKind kind)
+    {
+        m_.load(0x710000000ULL + pos_ * 16);
+        if (m_.branch(2, peek().kind == kind)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(TokenKind kind, const char *message)
+    {
+        support::fatalIf(peek().kind != kind, "parser: ", message,
+                         " at line ", peek().line, " (got '",
+                         peek().text, "')");
+        ++pos_;
+    }
+
+    std::string
+    expectIdent()
+    {
+        support::fatalIf(peek().kind != TokenKind::Identifier,
+                         "parser: expected identifier at line ",
+                         peek().line);
+        return tokens_[pos_++].text;
+    }
+
+    Function
+    parseFunction(std::string name, bool isStatic)
+    {
+        auto scope = ctx_.method("gcc::parse_function", 5200);
+        Function f;
+        f.name = std::move(name);
+        f.isStatic = isStatic;
+        expect(TokenKind::LParen, "expected '('");
+        if (!accept(TokenKind::RParen)) {
+            if (accept(TokenKind::KwVoid)) {
+                expect(TokenKind::RParen, "expected ')'");
+            } else {
+                do {
+                    expect(TokenKind::KwInt, "expected 'int' parameter");
+                    f.params.push_back(expectIdent());
+                } while (accept(TokenKind::Comma));
+                expect(TokenKind::RParen, "expected ')'");
+            }
+        }
+        f.body = parseBlock();
+        return f;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        expect(TokenKind::LBrace, "expected '{'");
+        std::vector<StmtPtr> body;
+        while (!accept(TokenKind::RBrace)) {
+            support::fatalIf(peek().kind == TokenKind::End,
+                             "parser: unexpected end of input");
+            body.push_back(parseStatement());
+        }
+        return Stmt::makeBlock(std::move(body));
+    }
+
+    StmtPtr
+    parseStatement()
+    {
+        m_.ops(topdown::OpKind::IntAlu, 6);
+        m_.indirect(3, static_cast<std::uint64_t>(peek().kind));
+        switch (peek().kind) {
+          case TokenKind::LBrace:
+            return parseBlock();
+          case TokenKind::KwIf: {
+            ++pos_;
+            expect(TokenKind::LParen, "expected '('");
+            ExprPtr cond = parseExpr();
+            expect(TokenKind::RParen, "expected ')'");
+            StmtPtr thenB = parseStatement();
+            StmtPtr elseB;
+            if (accept(TokenKind::KwElse))
+                elseB = parseStatement();
+            return Stmt::makeIf(std::move(cond), std::move(thenB),
+                                std::move(elseB));
+          }
+          case TokenKind::KwWhile: {
+            ++pos_;
+            expect(TokenKind::LParen, "expected '('");
+            ExprPtr cond = parseExpr();
+            expect(TokenKind::RParen, "expected ')'");
+            return Stmt::makeWhile(std::move(cond), parseStatement());
+          }
+          case TokenKind::KwFor: {
+            ++pos_;
+            expect(TokenKind::LParen, "expected '('");
+            ExprPtr init, cond, step;
+            if (peek().kind != TokenKind::Semicolon)
+                init = parseExpr();
+            expect(TokenKind::Semicolon, "expected ';'");
+            if (peek().kind != TokenKind::Semicolon)
+                cond = parseExpr();
+            expect(TokenKind::Semicolon, "expected ';'");
+            if (peek().kind != TokenKind::RParen)
+                step = parseExpr();
+            expect(TokenKind::RParen, "expected ')'");
+            return Stmt::makeFor(std::move(init), std::move(cond),
+                                 std::move(step), parseStatement());
+          }
+          case TokenKind::KwReturn: {
+            ++pos_;
+            ExprPtr value = parseExpr();
+            expect(TokenKind::Semicolon, "expected ';'");
+            return Stmt::makeReturn(std::move(value));
+          }
+          case TokenKind::KwInt: {
+            ++pos_;
+            const std::string name = expectIdent();
+            ExprPtr init;
+            if (accept(TokenKind::Assign))
+                init = parseExpr();
+            expect(TokenKind::Semicolon, "expected ';'");
+            return Stmt::makeDecl(name, std::move(init));
+          }
+          default: {
+            ExprPtr expr = parseExpr();
+            expect(TokenKind::Semicolon, "expected ';'");
+            return Stmt::makeExpr(std::move(expr));
+          }
+        }
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        // Assignment (right-associative) above the binary ladder.
+        if (peek().kind == TokenKind::Identifier &&
+            peek(1).kind == TokenKind::Assign) {
+            const std::string name = expectIdent();
+            ++pos_; // '='
+            return Expr::makeAssign(name, parseExpr());
+        }
+        return parseBinary(1);
+    }
+
+    ExprPtr
+    parseBinary(int minPrec)
+    {
+        ExprPtr lhs = parseUnary();
+        while (true) {
+            const int prec = precedence(peek().kind);
+            if (!m_.branch(4, prec >= minPrec && prec > 0))
+                break;
+            const TokenKind opTok = peek().kind;
+            ++pos_;
+            ExprPtr rhs = parseBinary(prec + 1);
+            lhs = Expr::makeBinary(binaryOp(opTok), std::move(lhs),
+                                   std::move(rhs));
+            m_.ops(topdown::OpKind::IntAlu, 5);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (accept(TokenKind::Minus))
+            return Expr::makeUnary(Op::Neg, parseUnary());
+        if (accept(TokenKind::Bang))
+            return Expr::makeUnary(Op::Not, parseUnary());
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token &tok = peek();
+        if (accept(TokenKind::LParen)) {
+            ExprPtr inner = parseExpr();
+            expect(TokenKind::RParen, "expected ')'");
+            return inner;
+        }
+        if (tok.kind == TokenKind::Number) {
+            ++pos_;
+            return Expr::makeNumber(tok.value);
+        }
+        if (tok.kind == TokenKind::Identifier) {
+            const std::string name = expectIdent();
+            if (accept(TokenKind::LParen)) {
+                std::vector<ExprPtr> args;
+                if (!accept(TokenKind::RParen)) {
+                    do {
+                        args.push_back(parseExpr());
+                    } while (accept(TokenKind::Comma));
+                    expect(TokenKind::RParen, "expected ')'");
+                }
+                return Expr::makeCall(name, std::move(args));
+            }
+            return Expr::makeVar(name);
+        }
+        support::fatal("parser: unexpected token '", tok.text,
+                       "' at line ", tok.line);
+    }
+
+    const std::vector<Token> &tokens_;
+    runtime::ExecutionContext &ctx_;
+    topdown::Machine &m_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Program
+parse(const std::vector<Token> &tokens, runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("gcc::parse", 7000);
+    Parser parser(tokens, ctx);
+    Program program = parser.parseProgram();
+    ctx.consume(static_cast<std::uint64_t>(program.nodeCount()));
+    return program;
+}
+
+Program
+parseSource(const std::string &source, runtime::ExecutionContext &ctx)
+{
+    return parse(tokenize(source, ctx), ctx);
+}
+
+} // namespace alberta::gcc

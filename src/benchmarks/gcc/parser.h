@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Recursive-descent parser for the mini-C language.
+ */
+#ifndef ALBERTA_BENCHMARKS_GCC_PARSER_H
+#define ALBERTA_BENCHMARKS_GCC_PARSER_H
+
+#include "benchmarks/gcc/ast.h"
+#include "benchmarks/gcc/lexer.h"
+
+namespace alberta::gcc {
+
+/**
+ * Parse a mini-C translation unit, reporting micro-ops through @p ctx.
+ *
+ * @throws support::FatalError on syntax errors
+ */
+Program parse(const std::vector<Token> &tokens,
+              runtime::ExecutionContext &ctx);
+
+/** Convenience: tokenize then parse. */
+Program parseSource(const std::string &source,
+                    runtime::ExecutionContext &ctx);
+
+} // namespace alberta::gcc
+
+#endif // ALBERTA_BENCHMARKS_GCC_PARSER_H

@@ -1,0 +1,215 @@
+#include "benchmarks/lbm/benchmark.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace alberta::lbm {
+
+Geometry
+generateGeometry(const GeometryConfig &config)
+{
+    support::Rng rng(config.seed);
+    Geometry g;
+    g.nx = config.nx;
+    g.ny = config.ny;
+    g.nz = config.nz;
+    g.cells.assign(static_cast<std::size_t>(g.nx) * g.ny * g.nz,
+                   CellType::Fluid);
+
+    const auto set = [&](int x, int y, int z) {
+        if (x < 1 || y < 1 || z < 0 || x >= g.nx - 1 ||
+            y >= g.ny - 1 || z >= g.nz)
+            return; // keep channel walls fluid-free of clutter
+        g.cells[x + static_cast<std::size_t>(g.nx) *
+                        (y + static_cast<std::size_t>(g.ny) * z)] =
+            CellType::Obstacle;
+    };
+
+    const int cx = g.nx / 2, cy = g.ny / 2, cz = g.nz / 3;
+    const double radius =
+        config.sizeFraction * std::min(g.nx, g.ny) / 2.0;
+
+    // Extra scattered solid cells (the density knob).
+    const std::size_t extra = static_cast<std::size_t>(
+        config.density * static_cast<double>(g.cells.size()));
+    for (std::size_t i = 0; i < extra; ++i) {
+        set(1 + static_cast<int>(rng.below(g.nx - 2)),
+            1 + static_cast<int>(rng.below(g.ny - 2)),
+            static_cast<int>(rng.below(g.nz)));
+    }
+    if (radius <= 0.0)
+        return g; // no primary obstacle
+
+    switch (config.shape) {
+      case ObstacleShape::Sphere:
+        for (int z = 0; z < g.nz; ++z)
+            for (int y = 0; y < g.ny; ++y)
+                for (int x = 0; x < g.nx; ++x) {
+                    const double d2 = (x - cx) * (x - cx) +
+                                      (y - cy) * (y - cy) +
+                                      (z - cz) * (z - cz);
+                    if (d2 <= radius * radius)
+                        set(x, y, z);
+                }
+        break;
+      case ObstacleShape::Box:
+        for (int z = cz - static_cast<int>(radius);
+             z <= cz + static_cast<int>(radius); ++z)
+            for (int y = cy - static_cast<int>(radius);
+                 y <= cy + static_cast<int>(radius); ++y)
+                for (int x = cx - static_cast<int>(radius);
+                     x <= cx + static_cast<int>(radius); ++x)
+                    set(x, y, z);
+        break;
+      case ObstacleShape::Cylinder:
+        for (int z = 0; z < g.nz; ++z)
+            for (int y = 0; y < g.ny; ++y)
+                for (int x = 0; x < g.nx; ++x) {
+                    const double d2 = (x - cx) * (x - cx) +
+                                      (y - cy) * (y - cy);
+                    if (d2 <= radius * radius &&
+                        std::abs(z - cz) <= g.nz / 6)
+                        set(x, y, z);
+                }
+        break;
+      case ObstacleShape::RandomBlobs:
+        for (int blob = 0; blob < 6; ++blob) {
+            const int bx = 2 + static_cast<int>(
+                                   rng.below(g.nx - 4));
+            const int by = 2 + static_cast<int>(
+                                   rng.below(g.ny - 4));
+            const int bz = static_cast<int>(rng.below(g.nz));
+            const int r = 1 + static_cast<int>(
+                                  rng.below(std::max(
+                                      1.0, radius)));
+            for (int z = bz - r; z <= bz + r; ++z)
+                for (int y = by - r; y <= by + r; ++y)
+                    for (int x = bx - r; x <= bx + r; ++x)
+                        set(x, y, (z + g.nz) % g.nz);
+        }
+        break;
+    }
+
+    return g;
+}
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, const GeometryConfig &geom,
+             int steps, CollisionModel model)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = geom.seed;
+    w.params.set("steps", static_cast<long long>(steps));
+    w.params.set("model",
+                 model == CollisionModel::Bgk ? "bgk" : "trt");
+    w.files["geometry.txt"] = generateGeometry(geom).serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+LbmBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+
+    GeometryConfig ref;
+    ref.seed = 0x519F;
+    ref.shape = ObstacleShape::Sphere;
+    ref.nz = 72;
+    out.push_back(makeWorkload("refrate", ref, 60,
+                               CollisionModel::Bgk));
+    GeometryConfig train = ref;
+    train.seed = 0x5191;
+    out.push_back(
+        makeWorkload("train", train, 10, CollisionModel::Bgk));
+    GeometryConfig test = ref;
+    test.seed = 0x5192;
+    test.nz = 12;
+    out.push_back(makeWorkload("test", test, 3, CollisionModel::Bgk));
+
+    // Twenty-seven Alberta workloads: shape x size x density x step
+    // count x collision model (Section IV-B: "varying the shape and
+    // size of the objects, the object density and the parameter for
+    // the simulation").
+    const ObstacleShape shapes[4] = {
+        ObstacleShape::Sphere, ObstacleShape::Box,
+        ObstacleShape::Cylinder, ObstacleShape::RandomBlobs};
+    const char *shapeNames[4] = {"sphere", "box", "cylinder",
+                                 "blobs"};
+    int produced = 0;
+    for (int s = 0; s < 4 && produced < 27; ++s) {
+        for (double size : {0.2, 0.4, 0.6}) {
+            for (double density : {0.0, 0.02}) {
+                if (produced >= 27)
+                    break;
+                GeometryConfig cfg;
+                cfg.seed = 0x5190A0 + produced;
+                cfg.shape = shapes[s];
+                cfg.sizeFraction = size;
+                cfg.density = density;
+                const CollisionModel model =
+                    produced % 3 == 2 ? CollisionModel::Trt
+                                      : CollisionModel::Bgk;
+                const int steps = 12 + (produced % 4) * 6;
+                out.push_back(makeWorkload(
+                    std::string("alberta.") + shapeNames[s] + "-" +
+                        std::to_string(produced + 1),
+                    cfg, steps, model));
+                ++produced;
+            }
+        }
+    }
+    // Top up with random-blob variants to reach the Table II count.
+    while (produced < 27) {
+        GeometryConfig cfg;
+        cfg.seed = 0x5190C0 + produced;
+        cfg.shape = ObstacleShape::RandomBlobs;
+        cfg.density = 0.01 * (produced % 5);
+        out.push_back(makeWorkload(
+            "alberta.blobs-" + std::to_string(produced + 1), cfg,
+            16, CollisionModel::Trt));
+        ++produced;
+    }
+    return out;
+}
+
+void
+LbmBenchmark::run(const runtime::Workload &workload,
+                  runtime::ExecutionContext &context) const
+{
+    Geometry geometry;
+    {
+        auto scope = context.method("lbm::read_geometry", 1600);
+        geometry = Geometry::parse(workload.file("geometry.txt"));
+        context.machine().stream(
+            topdown::OpKind::Load, 0xC00000000ULL,
+            workload.file("geometry.txt").size() / 16 + 1, 16);
+    }
+    LbmConfig config;
+    config.nx = geometry.nx;
+    config.ny = geometry.ny;
+    config.nz = geometry.nz;
+    config.steps =
+        static_cast<int>(workload.params.getInt("steps", 16));
+    config.model = workload.params.getString("model", "bgk") == "trt"
+                       ? CollisionModel::Trt
+                       : CollisionModel::Bgk;
+
+    Lattice lattice(geometry, config);
+    const FlowStats stats = lattice.run(context);
+    // Sanity: mass must stay near the initial value (rho=1/cell).
+    const double expected = static_cast<double>(
+        geometry.nx * geometry.ny * geometry.nz -
+        geometry.solidCells());
+    support::fatalIf(
+        std::abs(stats.totalMass - expected) > 0.05 * expected,
+        "lbm: mass drifted: ", stats.totalMass, " vs ", expected);
+    context.consume(stats.cellUpdates);
+}
+
+} // namespace alberta::lbm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The 519.lbm_r mini-benchmark plus the Alberta obstacle-geometry
+ * generator (shape, size, density, steps, and step-type knobs).
+ */
+#ifndef ALBERTA_BENCHMARKS_LBM_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_LBM_BENCHMARK_H
+
+#include "benchmarks/lbm/lattice.h"
+#include "runtime/benchmark.h"
+#include "support/rng.h"
+
+namespace alberta::lbm {
+
+/** Obstacle shapes the generator can place in the channel. */
+enum class ObstacleShape
+{
+    Sphere,
+    Box,
+    Cylinder,
+    RandomBlobs,
+};
+
+/** Geometry-generator knobs. */
+struct GeometryConfig
+{
+    std::uint64_t seed = 1;
+    int nx = 12, ny = 12, nz = 36;
+    ObstacleShape shape = ObstacleShape::Sphere;
+    double sizeFraction = 0.3;  //!< obstacle radius vs channel width
+    double density = 0.0;       //!< extra random solid-cell fraction
+};
+
+/** Generate a channel geometry with the requested obstacles. */
+Geometry generateGeometry(const GeometryConfig &config);
+
+/** See file comment. */
+class LbmBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "519.lbm_r"; }
+    std::string area() const override
+    {
+        return "Fluid dynamics (Lattice Boltzmann)";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::lbm
+
+#endif // ALBERTA_BENCHMARKS_LBM_BENCHMARK_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * D3Q19 lattice-Boltzmann fluid solver for the 519.lbm_r
+ * mini-benchmark: incompressible flow through a channel containing
+ * obstacles described by an ASCII geometry file, with two collision
+ * models (the "type of simulation step" knob of the Alberta
+ * workloads).
+ */
+#ifndef ALBERTA_BENCHMARKS_LBM_LATTICE_H
+#define ALBERTA_BENCHMARKS_LBM_LATTICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace alberta::lbm {
+
+/** Collision operators supported. */
+enum class CollisionModel
+{
+    Bgk,  //!< single-relaxation-time LBGK
+    Trt,  //!< two-relaxation-time
+};
+
+/** Solver configuration. */
+struct LbmConfig
+{
+    int nx = 12, ny = 12, nz = 36; //!< channel dimensions
+    int steps = 20;
+    double tau = 0.7;              //!< relaxation time (> 0.5)
+    double inflowVelocity = 0.05;  //!< body force along +z
+    CollisionModel model = CollisionModel::Bgk;
+};
+
+/** Cell classification. */
+enum class CellType : std::uint8_t
+{
+    Fluid = 0,
+    Obstacle = 1,
+};
+
+/** Obstacle geometry: a set of solid cells in the channel. */
+struct Geometry
+{
+    int nx = 0, ny = 0, nz = 0;
+    std::vector<CellType> cells; //!< x + nx*(y + ny*z)
+
+    CellType
+    at(int x, int y, int z) const
+    {
+        return cells[x +
+                     static_cast<std::size_t>(nx) *
+                         (y + static_cast<std::size_t>(ny) * z)];
+    }
+
+    /** Serialize as the ASCII obstacle format (one char per cell). */
+    std::string serialize() const;
+
+    /** Parse the ASCII obstacle format. */
+    static Geometry parse(const std::string &text);
+
+    /** Number of solid cells. */
+    std::size_t solidCells() const;
+};
+
+/** Summary of a finished simulation (for verification). */
+struct FlowStats
+{
+    double totalMass = 0.0;     //!< sum of densities over fluid cells
+    double meanVelocityZ = 0.0; //!< mean streamwise velocity
+    double kineticEnergy = 0.0;
+    std::uint64_t cellUpdates = 0;
+};
+
+/** The solver. */
+class Lattice
+{
+  public:
+    Lattice(const Geometry &geometry, const LbmConfig &config);
+
+    /** Run the configured number of steps. */
+    FlowStats run(runtime::ExecutionContext &ctx);
+
+    /** Density at a fluid cell (testing aid; call after run). */
+    double density(int x, int y, int z) const;
+
+  private:
+    void collideStream(runtime::ExecutionContext &ctx);
+    FlowStats measure() const;
+
+    Geometry geometry_; //!< copied: the lattice outlives its input
+    LbmConfig config_;
+    int nx_, ny_, nz_;
+    std::vector<double> f_;    //!< distributions, 19 per cell
+    std::vector<double> fNew_;
+};
+
+} // namespace alberta::lbm
+
+#endif // ALBERTA_BENCHMARKS_LBM_LATTICE_H

@@ -1,0 +1,140 @@
+#include "benchmarks/leela/benchmark.h"
+
+#include <sstream>
+
+#include "benchmarks/leela/mcts.h"
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::leela {
+
+SgfGame
+generateGame(int boardSize, support::Rng &rng)
+{
+    GoBoard board(boardSize);
+    SgfGame game;
+    game.boardSize = boardSize;
+    Color toMove = Color::Black;
+    std::vector<int> empties;
+    const int cap = board.area() + board.area() / 2;
+    while (board.passes() < 2 &&
+           static_cast<int>(game.moves.size()) < cap) {
+        empties.clear();
+        for (const int p : board.points())
+            if (board.at(p) == Color::Empty)
+                empties.push_back(p);
+        int chosen = kPass;
+        for (int attempt = 0; attempt < 10 && !empties.empty();
+             ++attempt) {
+            const int p = empties[rng.below(empties.size())];
+            if (board.isTrueEye(p, toMove))
+                continue;
+            if (board.legal(p, toMove)) {
+                chosen = p;
+                break;
+            }
+        }
+        board.play(chosen, toMove);
+        if (chosen == kPass) {
+            game.moves.push_back(kPass);
+        } else {
+            // Convert the padded index back to row-major coordinates.
+            const int stride = boardSize + 2;
+            const int row = chosen / stride - 1;
+            const int col = chosen % stride - 1;
+            game.moves.push_back(row * boardSize + col);
+        }
+        toMove = opponent(toMove);
+    }
+    return game;
+}
+
+SgfGame
+cullEndMoves(const SgfGame &game, int cullMoves)
+{
+    SgfGame culled = game;
+    const int keep = std::max(
+        0, static_cast<int>(game.moves.size()) - cullMoves);
+    culled.moves.resize(keep);
+    return culled;
+}
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed, int boardSize,
+             int games, int cullMoves, int simulations, int maxMoves)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.params.set("board_size", static_cast<long long>(boardSize));
+    w.params.set("simulations", static_cast<long long>(simulations));
+    w.params.set("max_moves", static_cast<long long>(maxMoves));
+
+    support::Rng rng(seed);
+    std::ostringstream os;
+    for (int g = 0; g < games; ++g) {
+        support::Rng child = rng.fork(g + 1);
+        const SgfGame full = generateGame(boardSize, child);
+        os << cullEndMoves(full, cullMoves).serialize() << '\n';
+    }
+    w.files["games.sgf"] = os.str();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+LeelaBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+    out.push_back(
+        makeWorkload("refrate", 0x541F, 9, 6, 18, 48, 26));
+    out.push_back(makeWorkload("train", 0x5411, 9, 2, 12, 32, 16));
+    out.push_back(makeWorkload("test", 0x5412, 9, 1, 6, 12, 8));
+
+    // Nine Alberta workloads, six positions each; board size and cull
+    // count vary between workloads (Section IV-A).
+    const int sizes[9] = {9, 9, 9, 13, 13, 13, 19, 9, 13};
+    const int culls[9] = {10, 16, 24, 12, 18, 26, 14, 30, 22};
+    for (int i = 0; i < 9; ++i) {
+        const int sims = sizes[i] == 19 ? 12 : (sizes[i] == 13 ? 24
+                                                               : 40);
+        const int maxMoves = sizes[i] == 19 ? 8 : 18;
+        out.push_back(makeWorkload(
+            "alberta.g" + std::to_string(i + 1), 0x5410A0 + i,
+            sizes[i], 6, culls[i], sims, maxMoves));
+    }
+    return out;
+}
+
+void
+LeelaBenchmark::run(const runtime::Workload &workload,
+                    runtime::ExecutionContext &context) const
+{
+    MctsConfig config;
+    config.simulationsPerMove = static_cast<int>(
+        workload.params.getInt("simulations", 48));
+    config.maxGameMoves =
+        static_cast<int>(workload.params.getInt("max_moves", 40));
+
+    MctsEngine engine(config, workload.seed ^ 0x541);
+    std::uint64_t totalSims = 0;
+    int games = 0;
+    for (const auto &line :
+         support::split(workload.file("games.sgf"), '\n')) {
+        const auto trimmed = support::trim(line);
+        if (trimmed.empty())
+            continue;
+        const SgfGame game = SgfGame::parse(std::string(trimmed));
+        const GameStats stats = engine.playToEnd(game, context);
+        totalSims += stats.simulations;
+        context.consume(static_cast<std::uint64_t>(stats.movesPlayed));
+        ++games;
+    }
+    support::fatalIf(games == 0, "leela: workload has no games");
+    context.consume(totalSims);
+}
+
+} // namespace alberta::leela

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The 541.leela_r mini-benchmark: play incomplete Go games to the end
+ * with fixed-simulation MCTS, plus the Alberta SGF-archive generator
+ * and end-move culling script.
+ */
+#ifndef ALBERTA_BENCHMARKS_LEELA_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_LEELA_BENCHMARK_H
+
+#include "benchmarks/leela/goboard.h"
+#include "runtime/benchmark.h"
+#include "support/rng.h"
+
+namespace alberta::leela {
+
+/**
+ * Generate a self-play game on a @p boardSize board using the uniform
+ * random (eye-preserving) policy, stopping at two consecutive passes
+ * or a move cap. The archive stand-in for the NNGS SGF collection.
+ */
+SgfGame generateGame(int boardSize, support::Rng &rng);
+
+/**
+ * The Alberta culling script: remove @p cullMoves moves from the end
+ * of @p game so that the benchmark has a game to finish.
+ */
+SgfGame cullEndMoves(const SgfGame &game, int cullMoves);
+
+/** See file comment. */
+class LeelaBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "541.leela_r"; }
+    std::string area() const override { return "AI: Go game playing"; }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::leela
+
+#endif // ALBERTA_BENCHMARKS_LEELA_BENCHMARK_H

@@ -1,0 +1,328 @@
+#include "benchmarks/leela/goboard.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/text.h"
+
+namespace alberta::leela {
+
+namespace {
+
+/** Point-color Zobrist keys, shared across board sizes via index. */
+std::uint64_t
+pointKey(int p, Color c)
+{
+    return support::mix64(static_cast<std::uint64_t>(p) * 4 +
+                          static_cast<std::uint64_t>(c));
+}
+
+} // namespace
+
+GoBoard::GoBoard(int size) : size_(size), stride_(size + 2)
+{
+    support::fatalIf(size != 9 && size != 13 && size != 19,
+                     "go: board size must be 9, 13, or 19; got ", size);
+    board_.assign(stride_ * (size + 2), Color::Border);
+    for (int r = 0; r < size; ++r)
+        for (int c = 0; c < size; ++c) {
+            board_[point(r, c)] = Color::Empty;
+            points_.push_back(point(r, c));
+        }
+    mark_.assign(board_.size(), 0);
+}
+
+void
+GoBoard::setPoint(int p, Color c)
+{
+    if (board_[p] != Color::Empty)
+        hash_ ^= pointKey(p, board_[p]);
+    board_[p] = c;
+    if (c != Color::Empty)
+        hash_ ^= pointKey(p, c);
+}
+
+int
+GoBoard::libertiesAndGroup(int p, std::vector<int> &group) const
+{
+    const Color color = board_[p];
+    group.clear();
+    std::fill(mark_.begin(), mark_.end(), 0);
+    int liberties = 0;
+    scratch_.clear();
+    scratch_.push_back(p);
+    mark_[p] = 1;
+    const int dirs[4] = {1, -1, stride_, -stride_};
+    while (!scratch_.empty()) {
+        const int q = scratch_.back();
+        scratch_.pop_back();
+        group.push_back(q);
+        for (const int d : dirs) {
+            const int nb = q + d;
+            if (mark_[nb])
+                continue;
+            mark_[nb] = 1;
+            if (board_[nb] == Color::Empty)
+                ++liberties;
+            else if (board_[nb] == color)
+                scratch_.push_back(nb);
+        }
+    }
+    return liberties;
+}
+
+void
+GoBoard::removeGroup(const std::vector<int> &group)
+{
+    for (const int p : group)
+        setPoint(p, Color::Empty);
+}
+
+bool
+GoBoard::legal(int p, Color color) const
+{
+    if (p == kPass)
+        return true;
+    if (board_[p] != Color::Empty)
+        return false;
+    if (p == koPoint_)
+        return false;
+
+    const int dirs[4] = {1, -1, stride_, -stride_};
+    // Fast accept: an adjacent empty point means no suicide.
+    for (const int d : dirs)
+        if (board_[p + d] == Color::Empty)
+            return true;
+
+    // Otherwise the move is legal iff it captures something or joins a
+    // group that retains a liberty.
+    auto *self = const_cast<GoBoard *>(this);
+    std::vector<int> group;
+    for (const int d : dirs) {
+        const int nb = p + d;
+        if (board_[nb] == opponent(color)) {
+            if (self->libertiesAndGroup(nb, group) == 1)
+                return true; // captures the neighbour group
+        } else if (board_[nb] == color) {
+            if (self->libertiesAndGroup(nb, group) > 1)
+                return true; // friendly group keeps a liberty
+        }
+    }
+    return false;
+}
+
+int
+GoBoard::play(int p, Color color)
+{
+    if (p == kPass) {
+        ++passes_;
+        koPoint_ = -2;
+        return 0;
+    }
+    support::fatalIf(!legal(p, color), "go: illegal move at ", p);
+    passes_ = 0;
+    setPoint(p, color);
+
+    const int dirs[4] = {1, -1, stride_, -stride_};
+    int captured = 0;
+    int lastCaptured = -2;
+    std::vector<int> group;
+    for (const int d : dirs) {
+        const int nb = p + d;
+        if (board_[nb] != opponent(color))
+            continue;
+        if (libertiesAndGroup(nb, group) == 0) {
+            captured += static_cast<int>(group.size());
+            if (group.size() == 1)
+                lastCaptured = group[0];
+            removeGroup(group);
+        }
+    }
+
+    // Simple ko: single-stone capture by a single stone in atari.
+    koPoint_ = -2;
+    if (captured == 1 && lastCaptured >= 0) {
+        if (libertiesAndGroup(p, group) == 1 && group.size() == 1)
+            koPoint_ = lastCaptured;
+    }
+    return captured;
+}
+
+void
+GoBoard::legalPoints(Color color, std::vector<int> &out) const
+{
+    out.clear();
+    for (const int p : points_) {
+        if (board_[p] == Color::Empty && legal(p, color))
+            out.push_back(p);
+    }
+}
+
+bool
+GoBoard::isTrueEye(int p, Color color) const
+{
+    if (board_[p] != Color::Empty)
+        return false;
+    const int dirs[4] = {1, -1, stride_, -stride_};
+    for (const int d : dirs) {
+        const Color nb = board_[p + d];
+        if (nb != color && nb != Color::Border)
+            return false;
+    }
+    const int diags[4] = {stride_ + 1, stride_ - 1, -stride_ + 1,
+                          -stride_ - 1};
+    int bad = 0, border = 0;
+    for (const int d : diags) {
+        const Color nb = board_[p + d];
+        if (nb == Color::Border)
+            ++border;
+        else if (nb == opponent(color))
+            ++bad;
+    }
+    // Interior eyes tolerate one enemy diagonal; edge/corner none.
+    return border > 0 ? bad == 0 : bad <= 1;
+}
+
+int
+GoBoard::areaScore() const
+{
+    int black = 0, white = 0;
+    std::fill(mark_.begin(), mark_.end(), 0);
+    const int dirs[4] = {1, -1, stride_, -stride_};
+    for (const int p : points_) {
+        if (board_[p] == Color::Black) {
+            ++black;
+        } else if (board_[p] == Color::White) {
+            ++white;
+        } else if (!mark_[p]) {
+            // Flood-fill the empty region; assign if bordered by a
+            // single color.
+            scratch_.clear();
+            scratch_.push_back(p);
+            mark_[p] = 1;
+            std::vector<int> region;
+            bool touchesBlack = false, touchesWhite = false;
+            while (!scratch_.empty()) {
+                const int q = scratch_.back();
+                scratch_.pop_back();
+                region.push_back(q);
+                for (const int d : dirs) {
+                    const int nb = q + d;
+                    if (board_[nb] == Color::Black)
+                        touchesBlack = true;
+                    else if (board_[nb] == Color::White)
+                        touchesWhite = true;
+                    else if (board_[nb] == Color::Empty && !mark_[nb]) {
+                        mark_[nb] = 1;
+                        scratch_.push_back(nb);
+                    }
+                }
+            }
+            if (touchesBlack && !touchesWhite)
+                black += static_cast<int>(region.size());
+            else if (touchesWhite && !touchesBlack)
+                white += static_cast<int>(region.size());
+        }
+    }
+    return black - white;
+}
+
+int
+GoBoard::stones(Color color) const
+{
+    int n = 0;
+    for (const int p : points_)
+        n += board_[p] == color;
+    return n;
+}
+
+std::string
+toSgfCoord(int row, int col)
+{
+    std::string out;
+    out += static_cast<char>('a' + col);
+    out += static_cast<char>('a' + row);
+    return out;
+}
+
+std::string
+SgfGame::serialize() const
+{
+    std::string out = "(;GM[1]FF[4]SZ[" + std::to_string(boardSize) +
+                      "]";
+    Color color = firstColor;
+    for (const int move : moves) {
+        out += ';';
+        out += color == Color::Black ? 'B' : 'W';
+        out += '[';
+        if (move != kPass)
+            out += toSgfCoord(move / boardSize, move % boardSize);
+        out += ']';
+        color = opponent(color);
+    }
+    out += ')';
+    return out;
+}
+
+SgfGame
+SgfGame::parse(const std::string &text)
+{
+    SgfGame game;
+    std::size_t i = 0;
+    bool sawMove = false;
+    const auto expectProp = [&](char what) {
+        support::fatalIf(i >= text.size() || text[i] != what,
+                         "sgf: expected '", what, "' at ", i);
+        ++i;
+    };
+    support::fatalIf(text.empty() || text[0] != '(',
+                     "sgf: missing opening parenthesis");
+    ++i;
+    while (i < text.size() && text[i] != ')') {
+        if (text[i] == ';' || std::isspace(
+                                  static_cast<unsigned char>(text[i]))) {
+            ++i;
+            continue;
+        }
+        // Property identifier.
+        std::string ident;
+        while (i < text.size() &&
+               std::isupper(static_cast<unsigned char>(text[i])))
+            ident += text[i++];
+        expectProp('[');
+        std::string value;
+        while (i < text.size() && text[i] != ']')
+            value += text[i++];
+        expectProp(']');
+
+        if (ident == "SZ") {
+            game.boardSize =
+                static_cast<int>(support::parseInt(value));
+        } else if (ident == "B" || ident == "W") {
+            const Color c =
+                ident == "B" ? Color::Black : Color::White;
+            if (!sawMove) {
+                game.firstColor = c;
+                sawMove = true;
+            }
+            if (value.empty()) {
+                game.moves.push_back(kPass);
+            } else {
+                support::fatalIf(value.size() != 2,
+                                 "sgf: bad coordinate '", value, "'");
+                const int col = value[0] - 'a';
+                const int row = value[1] - 'a';
+                support::fatalIf(col < 0 || col >= game.boardSize ||
+                                     row < 0 || row >= game.boardSize,
+                                 "sgf: coordinate off board");
+                game.moves.push_back(row * game.boardSize + col);
+            }
+        }
+        // Other properties (GM, FF, ...) are ignored.
+    }
+    return game;
+}
+
+} // namespace alberta::leela

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Go board for the 541.leela_r mini-benchmark: padded 1D array with
+ * flood-fill capture, simple-ko rule, legality checks, and Tromp-Taylor
+ * area scoring. Supports 9x9, 13x13, and 19x19 boards like the Alberta
+ * leela workloads.
+ */
+#ifndef ALBERTA_BENCHMARKS_LEELA_GOBOARD_H
+#define ALBERTA_BENCHMARKS_LEELA_GOBOARD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alberta::leela {
+
+/** Point states. */
+enum class Color : std::int8_t
+{
+    Empty = 0,
+    Black = 1,
+    White = 2,
+    Border = 3,
+};
+
+/** Opponent of @p c (Black <-> White). */
+constexpr Color
+opponent(Color c)
+{
+    return c == Color::Black ? Color::White : Color::Black;
+}
+
+/** The special "pass" move. */
+inline constexpr int kPass = -1;
+
+/** A Go position. */
+class GoBoard
+{
+  public:
+    /** @param size board side length (9, 13, or 19). */
+    explicit GoBoard(int size = 9);
+
+    /** Board side length. */
+    int size() const { return size_; }
+
+    /** Playable points on the board (size^2). */
+    int area() const { return size_ * size_; }
+
+    /** Index of (row, col), 0-based. */
+    int
+    point(int row, int col) const
+    {
+        return (row + 1) * stride_ + col + 1;
+    }
+
+    /** Color at padded index @p p. */
+    Color at(int p) const { return board_[p]; }
+
+    /** True if playing @p color at @p p is legal (suicide and simple
+     * ko forbidden); @p p == kPass is always legal. */
+    bool legal(int p, Color color) const;
+
+    /**
+     * Play @p color at @p p (or pass); returns stones captured.
+     * Fatal if the move is illegal.
+     */
+    int play(int p, Color color);
+
+    /** All legal points for @p color (excludes pass). */
+    void legalPoints(Color color, std::vector<int> &out) const;
+
+    /**
+     * True when @p p is a single-point "true eye" for @p color: all
+     * neighbours are @p color and enough diagonals are too. Playouts
+     * avoid filling these.
+     */
+    bool isTrueEye(int p, Color color) const;
+
+    /** Tromp-Taylor area score: positive favours black. */
+    int areaScore() const;
+
+    /** Stones currently on the board for @p color. */
+    int stones(Color color) const;
+
+    /** Consecutive passes so far (game over at 2). */
+    int passes() const { return passes_; }
+
+    /** All padded on-board indices. */
+    const std::vector<int> &points() const { return points_; }
+
+    /** Zobrist-style position hash (color-at-point). */
+    std::uint64_t hash() const { return hash_; }
+
+  private:
+    int libertiesAndGroup(int p, std::vector<int> &group) const;
+    void removeGroup(const std::vector<int> &group);
+    void setPoint(int p, Color c);
+
+    int size_;
+    int stride_;
+    int koPoint_ = -2; //!< simple-ko forbidden point, or -2
+    int passes_ = 0;
+    std::uint64_t hash_ = 0;
+    std::vector<Color> board_;
+    std::vector<int> points_;
+    mutable std::vector<int> scratch_;
+    mutable std::vector<std::uint8_t> mark_;
+};
+
+/** Convert a 0-based (row, col) to SGF coordinates, e.g. (3,2)->"cd". */
+std::string toSgfCoord(int row, int col);
+
+/** A parsed SGF game record. */
+struct SgfGame
+{
+    int boardSize = 9;
+    /** Moves in order: point = row * size + col, or kPass. */
+    std::vector<int> moves;
+    /** Which color moves first (SGF allows either). */
+    Color firstColor = Color::Black;
+
+    /** Serialize to a minimal SGF string. */
+    std::string serialize() const;
+
+    /** Parse a minimal SGF string (SZ, B, W properties). */
+    static SgfGame parse(const std::string &text);
+};
+
+} // namespace alberta::leela
+
+#endif // ALBERTA_BENCHMARKS_LEELA_GOBOARD_H

@@ -1,0 +1,211 @@
+#include "benchmarks/leela/mcts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace alberta::leela {
+
+MctsEngine::MctsEngine(const MctsConfig &config, std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+}
+
+int
+MctsEngine::playout(GoBoard board, Color toMove,
+                    runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("leela::playout", 3000);
+    auto &m = ctx.machine();
+
+    const int cap = board.area() + board.area() / 2;
+    std::vector<int> empties;
+    int moves = 0;
+    while (board.passes() < 2 && moves < cap) {
+        // Collect empty points once, then sample candidates from them;
+        // legality is checked lazily (cheap in the common case).
+        empties.clear();
+        for (const int p : board.points()) {
+            if (board.at(p) == Color::Empty)
+                empties.push_back(p);
+        }
+        m.stream(topdown::OpKind::Load, 0x9000,
+                 static_cast<std::uint64_t>(board.area()) / 8 + 1, 8);
+
+        int chosen = kPass;
+        for (int attempt = 0; attempt < 10 && !empties.empty();
+             ++attempt) {
+            const int p = empties[rng_.below(empties.size())];
+            m.load(0xA000 + p);
+            if (m.branch(1, board.isTrueEye(p, toMove)))
+                continue;
+            if (m.branch(2, board.legal(p, toMove))) {
+                chosen = p;
+                break;
+            }
+        }
+        board.play(chosen, toMove);
+        m.ops(topdown::OpKind::IntAlu, 24);
+        toMove = opponent(toMove);
+        ++moves;
+        ++playoutMoves_;
+    }
+    return board.areaScore();
+}
+
+void
+MctsEngine::expand(int nodeIndex, const GoBoard &board, Color color)
+{
+    std::vector<int> legal;
+    board.legalPoints(color, legal);
+    const int first = static_cast<int>(nodes_.size());
+    int count = 0;
+    for (const int p : legal) {
+        if (board.isTrueEye(p, color))
+            continue;
+        Node child;
+        child.move = p;
+        nodes_.push_back(child);
+        ++count;
+    }
+    Node pass;
+    pass.move = kPass;
+    nodes_.push_back(pass);
+    ++count;
+    nodes_[nodeIndex].firstChild = first;
+    nodes_[nodeIndex].childCount = count;
+}
+
+int
+MctsEngine::selectChild(const Node &parent,
+                        runtime::ExecutionContext &ctx) const
+{
+    auto &m = ctx.machine();
+    const double logN =
+        std::log(static_cast<double>(parent.visits) + 1.0);
+    int best = parent.firstChild;
+    double bestScore = -1e18;
+    for (int c = parent.firstChild;
+         c < parent.firstChild + parent.childCount; ++c) {
+        const Node &child = nodes_[c];
+        m.load(0xB000ULL + static_cast<std::uint64_t>(c) * 32);
+        m.ops(topdown::OpKind::FpAdd, 2);
+        double score;
+        if (child.visits == 0) {
+            score = 1e9 - c; // first-play urgency, deterministic order
+        } else {
+            m.ops(topdown::OpKind::FpDiv, 1);
+            score = child.wins / child.visits +
+                    config_.uctC * std::sqrt(logN / child.visits);
+        }
+        if (m.branch(2, score > bestScore)) {
+            bestScore = score;
+            best = c;
+        }
+    }
+    return best;
+}
+
+int
+MctsEngine::chooseMove(const GoBoard &board, Color color,
+                       runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("leela::uct_tree", 4200);
+    auto &m = ctx.machine();
+
+    nodes_.clear();
+    nodes_.push_back(Node{});
+    expand(0, board, color);
+
+    for (int sim = 0; sim < config_.simulationsPerMove; ++sim) {
+        GoBoard scratch = board;
+        Color toMove = color;
+        std::vector<int> path = {0};
+
+        // Descend while nodes have expanded children.
+        int current = 0;
+        while (nodes_[current].childCount > 0) {
+            const int childIdx = selectChild(nodes_[current], ctx);
+            scratch.play(nodes_[childIdx].move, toMove);
+            toMove = opponent(toMove);
+            path.push_back(childIdx);
+            current = childIdx;
+            if (nodes_[current].visits < config_.expandThreshold)
+                break;
+            if (nodes_[current].childCount == 0 &&
+                scratch.passes() < 2)
+                expand(current, scratch, toMove);
+        }
+
+        const int score = playout(scratch, toMove, ctx);
+
+        // Backpropagate from black's perspective, flipping per ply.
+        Color mover = color;
+        for (std::size_t i = 1; i < path.size(); ++i) {
+            Node &node = nodes_[path[i]];
+            ++node.visits;
+            const bool blackWins = score > 0;
+            const bool moverIsBlack = mover == Color::Black;
+            node.wins += (blackWins == moverIsBlack) ? 1.0 : 0.0;
+            m.store(0xB000ULL +
+                    static_cast<std::uint64_t>(path[i]) * 32);
+            mover = opponent(mover);
+        }
+        ++nodes_[0].visits;
+    }
+
+    // Most-visited child wins.
+    int bestMove = kPass;
+    int bestVisits = -1;
+    for (int c = nodes_[0].firstChild;
+         c < nodes_[0].firstChild + nodes_[0].childCount; ++c) {
+        if (m.branch(3, nodes_[c].visits > bestVisits)) {
+            bestVisits = nodes_[c].visits;
+            bestMove = nodes_[c].move;
+        }
+    }
+    return bestMove;
+}
+
+GameStats
+MctsEngine::playToEnd(const SgfGame &game, runtime::ExecutionContext &ctx)
+{
+    GoBoard board(game.boardSize);
+    Color toMove = game.firstColor;
+    {
+        auto scope = ctx.method("leela::replay_sgf", 1200);
+        auto &m = ctx.machine();
+        for (const int move : game.moves) {
+            int p = kPass;
+            if (move != kPass) {
+                p = board.point(move / game.boardSize,
+                                move % game.boardSize);
+                if (!board.legal(p, toMove))
+                    p = kPass; // tolerate archive oddities
+            }
+            board.play(p, toMove);
+            m.ops(topdown::OpKind::IntAlu, 30);
+            m.load(0xC000 + (move & 0x3ff));
+            toMove = opponent(toMove);
+        }
+    }
+
+    GameStats stats;
+    const std::uint64_t before = playoutMoves_;
+    const int cap = std::min(board.area(), config_.maxGameMoves);
+    while (board.passes() < 2 && stats.movesPlayed < cap) {
+        const int move = chooseMove(board, toMove, ctx);
+        board.play(move, toMove);
+        toMove = opponent(toMove);
+        ++stats.movesPlayed;
+        stats.simulations += config_.simulationsPerMove;
+    }
+    stats.playoutMoves = playoutMoves_ - before;
+    stats.finalScore = board.areaScore();
+    ctx.consume(static_cast<std::uint64_t>(stats.finalScore + 1000));
+    ctx.consume(static_cast<std::uint64_t>(stats.movesPlayed));
+    return stats;
+}
+
+} // namespace alberta::leela

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Monte-Carlo tree search for the 541.leela_r mini-benchmark: UCT over
+ * a growing tree with uniform-random playouts that avoid filling true
+ * eyes, a fixed number of simulations per move (like leela's SPEC
+ * configuration).
+ */
+#ifndef ALBERTA_BENCHMARKS_LEELA_MCTS_H
+#define ALBERTA_BENCHMARKS_LEELA_MCTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "benchmarks/leela/goboard.h"
+#include "runtime/context.h"
+#include "support/rng.h"
+
+namespace alberta::leela {
+
+/** Engine configuration. */
+struct MctsConfig
+{
+    int simulationsPerMove = 48; //!< fixed playout budget per move
+    double uctC = 0.8;           //!< exploration constant
+    int expandThreshold = 2;     //!< visits before a node expands
+    int maxGameMoves = 40;       //!< bound on moves played to the end
+};
+
+/** Statistics for one completed game. */
+struct GameStats
+{
+    int movesPlayed = 0;
+    std::uint64_t simulations = 0;
+    std::uint64_t playoutMoves = 0;
+    int finalScore = 0; //!< area score, positive = black
+};
+
+/** MCTS Go engine. */
+class MctsEngine
+{
+  public:
+    MctsEngine(const MctsConfig &config, std::uint64_t seed);
+
+    /**
+     * Choose a move for @p color on @p board using the fixed
+     * simulation budget; returns the point or kPass.
+     */
+    int chooseMove(const GoBoard &board, Color color,
+                   runtime::ExecutionContext &ctx);
+
+    /**
+     * Play @p game's recorded moves onto a fresh board, then play the
+     * game out to completion (two consecutive passes or a move cap)
+     * with both sides using MCTS.
+     */
+    GameStats playToEnd(const SgfGame &game,
+                        runtime::ExecutionContext &ctx);
+
+    /** Playout moves simulated so far (across calls). */
+    std::uint64_t playoutMoves() const { return playoutMoves_; }
+
+  private:
+    struct Node
+    {
+        int move = kPass;
+        int visits = 0;
+        double wins = 0.0; //!< from the mover's perspective
+        int firstChild = -1;
+        int childCount = 0;
+    };
+
+    int playout(GoBoard board, Color toMove,
+                runtime::ExecutionContext &ctx);
+    void expand(int nodeIndex, const GoBoard &board, Color color);
+    int selectChild(const Node &parent,
+                    runtime::ExecutionContext &ctx) const;
+
+    MctsConfig config_;
+    support::Rng rng_;
+    std::vector<Node> nodes_;
+    std::uint64_t playoutMoves_ = 0;
+};
+
+} // namespace alberta::leela
+
+#endif // ALBERTA_BENCHMARKS_LEELA_MCTS_H

@@ -1,0 +1,102 @@
+#include "benchmarks/mcf/benchmark.h"
+
+#include "benchmarks/mcf/generator.h"
+#include "benchmarks/mcf/mincost.h"
+#include "support/check.h"
+
+namespace alberta::mcf {
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, const CityConfig &config)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = config.seed;
+    w.params.set("trips", static_cast<long long>(config.trips));
+    w.params.set("terminals", static_cast<long long>(config.terminals));
+    w.params.set("density", config.density);
+    w.params.set("connectivity", config.connectivity);
+    const VehicleProblem prob = generateCity(config);
+    w.files["input.min"] = prob.instance.serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+McfBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+
+    CityConfig ref;
+    ref.seed = 0x505AEF;
+    ref.trips = 170;
+    ref.terminals = 30;
+    ref.density = 0.5;
+    ref.connectivity = 0.22;
+    out.push_back(makeWorkload("refrate", ref));
+
+    CityConfig train = ref;
+    train.seed = 0x505AE1;
+    train.trips = 70;
+    out.push_back(makeWorkload("train", train));
+
+    CityConfig test = ref;
+    test.seed = 0x505AE2;
+    test.trips = 30;
+    test.connectivity = 0.5;
+    out.push_back(makeWorkload("test", test));
+
+    // The three automatically generated Alberta workloads: each defines
+    // a different single-depot vehicle scheduling problem.
+    CityConfig c1 = ref;
+    c1.seed = 0xA1;
+    c1.trips = 110;
+    c1.density = 0.8; // dense downtown-heavy city
+    c1.connectivity = 0.40;
+    out.push_back(makeWorkload("alberta.city-1", c1));
+
+    CityConfig c2 = ref;
+    c2.seed = 0xA2;
+    c2.trips = 130;
+    c2.density = 0.2; // sprawling city, long deadheads
+    c2.connectivity = 0.18;
+    c2.deadheadCostPerKm = 16;
+    out.push_back(makeWorkload("alberta.city-2", c2));
+
+    CityConfig c3 = ref;
+    c3.seed = 0xA3;
+    c3.trips = 100;
+    c3.terminals = 60; // many terminals, sparse connections
+    c3.connectivity = 0.12;
+    out.push_back(makeWorkload("alberta.city-3", c3));
+
+    CityConfig metro = ref;
+    metro.seed = 0xA4;
+    metro.trips = 140;
+    metro.terminals = 16;
+    metro.density = 0.9;
+    metro.connectivity = 0.5; // highly connected metro network
+    metro.pullCost = 4000;
+    out.push_back(makeWorkload("alberta.metro-1", metro));
+
+    return out;
+}
+
+void
+McfBenchmark::run(const runtime::Workload &workload,
+                  runtime::ExecutionContext &context) const
+{
+    const Instance instance =
+        Instance::parse(workload.file("input.min"), context);
+    Solver solver(instance);
+    const Solution solution = solver.solve(context);
+    support::fatalIf(!solution.feasible, "mcf: workload '", workload.name,
+                     "' is infeasible");
+    context.consume(static_cast<std::uint64_t>(solution.totalCost));
+    context.consume(static_cast<std::uint64_t>(solution.augmentations));
+}
+
+} // namespace alberta::mcf

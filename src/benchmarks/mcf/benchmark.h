@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The 505.mcf_r mini-benchmark: single-depot vehicle scheduling via
+ * min-cost flow, with the Alberta city-generator workloads.
+ */
+#ifndef ALBERTA_BENCHMARKS_MCF_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_MCF_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::mcf {
+
+/** See file comment. */
+class McfBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "505.mcf_r"; }
+    std::string area() const override { return "Route planning"; }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::mcf
+
+#endif // ALBERTA_BENCHMARKS_MCF_BENCHMARK_H

@@ -1,0 +1,139 @@
+#include "benchmarks/mcf/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace alberta::mcf {
+
+double
+circadianWeight(int minute, int dayMinutes)
+{
+    // Two Gaussian rush-hour peaks at 1/4 and 5/8 of the service day
+    // over a 0.1 night-service floor.
+    const double t = static_cast<double>(minute) / dayMinutes;
+    const auto peak = [](double t0, double center, double width) {
+        const double d = (t0 - center) / width;
+        return std::exp(-d * d);
+    };
+    const double w =
+        0.1 + 0.9 * std::max(peak(t, 0.25, 0.08), peak(t, 0.625, 0.10));
+    return std::min(w, 1.0);
+}
+
+VehicleProblem
+generateCity(const CityConfig &config)
+{
+    support::fatalIf(config.terminals < 2, "city needs >= 2 terminals");
+    support::fatalIf(config.trips < 1, "city needs >= 1 trip");
+    support::Rng rng(config.seed);
+
+    VehicleProblem prob;
+
+    // --- Terminals: clustered by density around a few hubs. -----------
+    const int hubs = std::max(2, config.terminals / 6);
+    std::vector<int> hubX(hubs), hubY(hubs);
+    for (int h = 0; h < hubs; ++h) {
+        hubX[h] = static_cast<int>(rng.below(config.gridSize));
+        hubY[h] = static_cast<int>(rng.below(config.gridSize));
+    }
+    for (int i = 0; i < config.terminals; ++i) {
+        if (rng.chance(config.density)) {
+            const int h = static_cast<int>(rng.below(hubs));
+            const int spread = std::max(2, config.gridSize / 10);
+            prob.terminalX.push_back(std::clamp(
+                hubX[h] + static_cast<int>(rng.range(-spread, spread)),
+                0, config.gridSize - 1));
+            prob.terminalY.push_back(std::clamp(
+                hubY[h] + static_cast<int>(rng.range(-spread, spread)),
+                0, config.gridSize - 1));
+        } else {
+            prob.terminalX.push_back(
+                static_cast<int>(rng.below(config.gridSize)));
+            prob.terminalY.push_back(
+                static_cast<int>(rng.below(config.gridSize)));
+        }
+    }
+
+    const auto travelMinutes = [&](int a, int b) {
+        const int dist = std::abs(prob.terminalX[a] - prob.terminalX[b]) +
+                         std::abs(prob.terminalY[a] - prob.terminalY[b]);
+        return 5 + dist / 2;
+    };
+
+    // --- Trips: start times follow the circadian cycle. ---------------
+    for (int t = 0; t < config.trips; ++t) {
+        Trip trip;
+        // Rejection-sample a start minute from the circadian profile.
+        int minute;
+        do {
+            minute = static_cast<int>(rng.below(config.dayMinutes * 3 /
+                                                4));
+        } while (!rng.chance(circadianWeight(minute, config.dayMinutes)));
+        trip.fromTerminal = static_cast<int>(rng.below(config.terminals));
+        do {
+            trip.toTerminal =
+                static_cast<int>(rng.below(config.terminals));
+        } while (trip.toTerminal == trip.fromTerminal);
+        trip.startMinute = minute;
+        trip.endMinute =
+            minute + travelMinutes(trip.fromTerminal, trip.toTerminal);
+        prob.trips.push_back(trip);
+    }
+    std::sort(prob.trips.begin(), prob.trips.end(),
+              [](const Trip &a, const Trip &b) {
+                  return a.startMinute < b.startMinute;
+              });
+
+    // --- Flow network: trip arcs (lower = 1), deadheads, depot. -------
+    const int n = config.trips;
+    const std::int32_t source = 2 * n;
+    const std::int32_t sink = 2 * n + 1;
+    Instance &inst = prob.instance;
+    inst.supplies.assign(2 * n + 2, 0);
+    // At most one vehicle per trip can pull out; the depot supply is
+    // the trip count, with a free bypass arc absorbing unused vehicles.
+    inst.supplies[source] = n;
+    inst.supplies[sink] = -n;
+
+    for (int i = 0; i < n; ++i) {
+        // The trip itself must be covered exactly once.
+        inst.arcs.push_back({static_cast<std::int32_t>(2 * i),
+                             static_cast<std::int32_t>(2 * i + 1), 1, 1,
+                             0});
+    }
+    for (int i = 0; i < n; ++i) {
+        // Depot pull-out / pull-in.
+        inst.arcs.push_back({source, static_cast<std::int32_t>(2 * i), 0,
+                             1, config.pullCost});
+        inst.arcs.push_back({static_cast<std::int32_t>(2 * i + 1), sink,
+                             0, 1, 0});
+    }
+    inst.arcs.push_back({source, sink, 0, n, 0}); // unused vehicles
+
+    // Deadhead connections between time-compatible trips.
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            const Trip &a = prob.trips[i];
+            const Trip &b = prob.trips[j];
+            const int dead = travelMinutes(a.toTerminal, b.fromTerminal);
+            if (a.endMinute + dead > b.startMinute)
+                continue;
+            if (!rng.chance(config.connectivity))
+                continue;
+            const int wait = b.startMinute - a.endMinute - dead;
+            const std::int64_t cost =
+                config.deadheadCostPerKm * dead +
+                config.waitCostPerMin * wait;
+            inst.arcs.push_back({static_cast<std::int32_t>(2 * i + 1),
+                                 static_cast<std::int32_t>(2 * j), 0, 1,
+                                 cost});
+            ++prob.deadheads;
+        }
+    }
+    return prob;
+}
+
+} // namespace alberta::mcf

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Workload generator for the 505.mcf_r mini-benchmark.
+ *
+ * Mirrors the Alberta Workloads generator described in Section IV-A:
+ * it synthesizes a city map "with various levels of density and
+ * connectivity", schedules buses through the day following a circadian
+ * demand cycle, and emits a single-depot vehicle-scheduling problem as
+ * a consistent min-cost-flow instance.
+ */
+#ifndef ALBERTA_BENCHMARKS_MCF_GENERATOR_H
+#define ALBERTA_BENCHMARKS_MCF_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "benchmarks/mcf/mincost.h"
+#include "support/rng.h"
+
+namespace alberta::mcf {
+
+/** Knobs of the city / schedule synthesizer. */
+struct CityConfig
+{
+    std::uint64_t seed = 1;
+    int terminals = 24;        //!< bus terminals on the city grid
+    int gridSize = 100;        //!< city coordinate extent
+    int trips = 200;           //!< timetabled trips over the day
+    double density = 0.5;      //!< clustering of terminals [0,1]
+    double connectivity = 0.5; //!< fraction of feasible deadheads kept
+    int dayMinutes = 1200;     //!< service day length (20 h)
+    std::int64_t pullCost = 2000;   //!< depot pull-out cost (fleet size)
+    std::int64_t waitCostPerMin = 1; //!< idle cost between trips
+    std::int64_t deadheadCostPerKm = 8;
+};
+
+/** One timetabled trip. */
+struct Trip
+{
+    int fromTerminal = 0;
+    int toTerminal = 0;
+    int startMinute = 0;
+    int endMinute = 0;
+};
+
+/** A generated vehicle-scheduling problem. */
+struct VehicleProblem
+{
+    std::vector<Trip> trips;
+    std::vector<int> terminalX, terminalY;
+    int deadheads = 0; //!< number of deadhead connection arcs
+
+    /**
+     * The min-cost-flow encoding: node 2i = trip-i start, 2i+1 =
+     * trip-i end, plus depot source/sink; each trip is a lower=1
+     * arc, deadheads connect compatible trip pairs.
+     */
+    Instance instance;
+};
+
+/**
+ * The circadian demand weight for @p minute of the service day: a
+ * double-peaked (am/pm rush) profile in [0.1, 1].
+ */
+double circadianWeight(int minute, int dayMinutes);
+
+/** Generate a consistent vehicle-scheduling problem. */
+VehicleProblem generateCity(const CityConfig &config);
+
+} // namespace alberta::mcf
+
+#endif // ALBERTA_BENCHMARKS_MCF_GENERATOR_H

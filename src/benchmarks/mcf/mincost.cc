@@ -1,0 +1,292 @@
+#include "benchmarks/mcf/mincost.h"
+
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::mcf {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+} // namespace
+
+std::string
+Instance::serialize() const
+{
+    std::ostringstream os;
+    os << "p min " << nodes() << ' ' << arcs.size() << '\n';
+    for (std::int32_t i = 0; i < nodes(); ++i) {
+        if (supplies[i] != 0)
+            os << "n " << i << ' ' << supplies[i] << '\n';
+    }
+    for (const Arc &a : arcs) {
+        os << "a " << a.from << ' ' << a.to << ' ' << a.lower << ' '
+           << a.capacity << ' ' << a.cost << '\n';
+    }
+    return os.str();
+}
+
+Instance
+Instance::parse(const std::string &text, runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("mcf::read_min", 3000);
+    auto &m = ctx.machine();
+
+    Instance inst;
+    std::size_t pos = 0;
+    const std::uint64_t base = 0x10000000;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string_view line(text.data() + pos, eol - pos);
+        pos = eol + 1;
+        m.load(base + pos);
+        if (m.branch(1, line.empty()))
+            continue;
+        m.ops(topdown::OpKind::IntAlu, 4);
+        const auto fields = support::splitWhitespace(line);
+        if (m.branch(2, fields[0] == "p")) {
+            support::fatalIf(fields.size() != 4 || fields[1] != "min",
+                             "mcf: malformed problem line");
+            inst.supplies.assign(support::parseInt(fields[2]), 0);
+            inst.arcs.reserve(support::parseInt(fields[3]));
+        } else if (m.branch(3, fields[0] == "n")) {
+            support::fatalIf(fields.size() != 3,
+                             "mcf: malformed node line");
+            const auto id = support::parseInt(fields[1]);
+            support::fatalIf(id < 0 ||
+                                 id >= static_cast<long long>(
+                                           inst.supplies.size()),
+                             "mcf: node id out of range: ", id);
+            inst.supplies[id] = support::parseInt(fields[2]);
+        } else if (m.branch(4, fields[0] == "a")) {
+            support::fatalIf(fields.size() != 6,
+                             "mcf: malformed arc line");
+            Arc a;
+            a.from = static_cast<std::int32_t>(
+                support::parseInt(fields[1]));
+            a.to = static_cast<std::int32_t>(support::parseInt(fields[2]));
+            a.lower = support::parseInt(fields[3]);
+            a.capacity = support::parseInt(fields[4]);
+            a.cost = support::parseInt(fields[5]);
+            support::fatalIf(a.from < 0 || a.from >= inst.nodes() ||
+                                 a.to < 0 || a.to >= inst.nodes(),
+                             "mcf: arc endpoint out of range");
+            support::fatalIf(a.lower < 0 || a.lower > a.capacity,
+                             "mcf: arc bounds inconsistent");
+            support::fatalIf(a.cost < 0, "mcf: negative arc cost");
+            inst.arcs.push_back(a);
+        } else if (fields[0] != "c") {
+            support::fatal("mcf: unknown line kind '", fields[0], "'");
+        }
+    }
+    std::int64_t net = 0;
+    for (std::int64_t s : inst.supplies)
+        net += s;
+    support::fatalIf(net != 0, "mcf: supplies sum to ", net, ", not 0");
+    return inst;
+}
+
+Solver::Solver(const Instance &instance) : instance_(instance) {}
+
+void
+Solver::addEdge(std::int32_t from, std::int32_t to, std::int64_t cap,
+                std::int64_t cost)
+{
+    edges_.push_back({to, head_[from], cap, cost});
+    head_[from] = static_cast<std::int32_t>(edges_.size() - 1);
+    edges_.push_back({from, head_[to], 0, -cost});
+    head_[to] = static_cast<std::int32_t>(edges_.size() - 1);
+}
+
+Solution
+Solver::solve(runtime::ExecutionContext &ctx)
+{
+    auto &m = ctx.machine();
+
+    // --- Build the residual network with lower bounds removed. -------
+    const std::int32_t n = instance_.nodes();
+    const std::int32_t source = n;
+    const std::int32_t sink = n + 1;
+    const std::int32_t total = n + 2;
+
+    std::vector<std::int64_t> excess(total, 0);
+    for (std::int32_t i = 0; i < n; ++i)
+        excess[i] = instance_.supplies[i];
+
+    edges_.clear();
+    head_.assign(total, -1);
+    std::int64_t baseCost = 0;
+    {
+        auto scope = ctx.method("mcf::build_network", 2200);
+        for (const Arc &a : instance_.arcs) {
+            excess[a.from] -= a.lower;
+            excess[a.to] += a.lower;
+            baseCost += a.lower * a.cost;
+            addEdge(a.from, a.to, a.capacity - a.lower, a.cost);
+            m.load(0x20000000 + edges_.size() * 24);
+            m.ops(topdown::OpKind::IntAlu, 6);
+        }
+        std::int64_t required = 0;
+        for (std::int32_t i = 0; i < total; ++i) {
+            if (m.branch(1, excess[i] > 0)) {
+                addEdge(source, i, excess[i], 0);
+                required += excess[i];
+            } else if (m.branch(2, excess[i] < 0)) {
+                addEdge(i, sink, -excess[i], 0);
+            }
+        }
+        ctx.consume(static_cast<std::uint64_t>(required));
+    }
+
+    // --- Successive shortest paths with potentials. -------------------
+    Solution sol;
+    std::vector<std::int64_t> dist(total);
+    std::vector<std::int64_t> potential(total, 0);
+    std::vector<std::int32_t> prevEdge(total);
+    using HeapItem = std::pair<std::int64_t, std::int32_t>;
+
+    std::int64_t sentCost = 0;
+    std::int64_t remaining = 0;
+    for (std::int32_t e = head_[source]; e != -1; e = edges_[e].next)
+        remaining += edges_[e].residual;
+
+    while (remaining > 0) {
+        auto scope = ctx.method("mcf::shortest_path", 4100);
+        std::fill(dist.begin(), dist.end(), kInf);
+        std::fill(prevEdge.begin(), prevEdge.end(), -1);
+        dist[source] = 0;
+        std::priority_queue<HeapItem, std::vector<HeapItem>,
+                            std::greater<>>
+            heap;
+        heap.push({0, source});
+        while (!heap.empty()) {
+            const auto [d, u] = heap.top();
+            heap.pop();
+            m.load(0x30000000 + static_cast<std::uint64_t>(u) * 8);
+            if (m.branch(3, d > dist[u]))
+                continue;
+            for (std::int32_t e = head_[u]; e != -1;
+                 e = edges_[e].next) {
+                const Edge &edge = edges_[e];
+                m.load(0x40000000 + static_cast<std::uint64_t>(e) * 24);
+                m.ops(topdown::OpKind::IntAlu, 3);
+                if (m.branch(4, edge.residual <= 0))
+                    continue;
+                const std::int64_t nd =
+                    d + edge.cost + potential[u] - potential[edge.to];
+                m.load(0x30000000 +
+                       static_cast<std::uint64_t>(edge.to) * 8);
+                if (m.branch(5, nd < dist[edge.to])) {
+                    dist[edge.to] = nd;
+                    prevEdge[edge.to] = e;
+                    m.store(0x30000000 +
+                            static_cast<std::uint64_t>(edge.to) * 8);
+                    heap.push({nd, edge.to});
+                }
+            }
+        }
+
+        if (dist[sink] >= kInf)
+            break; // infeasible: some excess cannot reach the sink
+
+        auto scope2 = ctx.method("mcf::augment", 1800);
+        for (std::int32_t i = 0; i < total; ++i) {
+            if (m.branch(6, dist[i] < kInf))
+                potential[i] += dist[i];
+            m.ops(topdown::OpKind::IntAlu, 1);
+        }
+        std::int64_t push = remaining;
+        for (std::int32_t v = sink; v != source;
+             v = edges_[prevEdge[v] ^ 1].to) {
+            push = std::min(push, edges_[prevEdge[v]].residual);
+            m.load(0x40000000 +
+                   static_cast<std::uint64_t>(prevEdge[v]) * 24);
+        }
+        for (std::int32_t v = sink; v != source;
+             v = edges_[prevEdge[v] ^ 1].to) {
+            edges_[prevEdge[v]].residual -= push;
+            edges_[prevEdge[v] ^ 1].residual += push;
+            sentCost += push * edges_[prevEdge[v]].cost;
+            m.store(0x40000000 +
+                    static_cast<std::uint64_t>(prevEdge[v]) * 24);
+            m.ops(topdown::OpKind::IntAlu, 4);
+        }
+        remaining -= push;
+        ++sol.augmentations;
+    }
+
+    sol.feasible = remaining == 0;
+    sol.totalCost = baseCost + sentCost;
+    sol.flows.assign(instance_.arcs.size(), 0);
+    for (std::size_t i = 0; i < instance_.arcs.size(); ++i) {
+        // Forward edge 2i: residual = (cap - lower) - sent.
+        const std::int64_t sent =
+            (instance_.arcs[i].capacity - instance_.arcs[i].lower) -
+            edges_[2 * i].residual;
+        sol.flows[i] = instance_.arcs[i].lower + sent;
+    }
+    ctx.consume(static_cast<std::uint64_t>(sol.totalCost));
+    return sol;
+}
+
+bool
+verifyOptimal(const Instance &instance, const Solution &solution)
+{
+    if (!solution.feasible)
+        return false;
+    const std::int32_t n = instance.nodes();
+
+    // Conservation and capacity checks.
+    std::vector<std::int64_t> net(n, 0);
+    for (std::size_t i = 0; i < instance.arcs.size(); ++i) {
+        const Arc &a = instance.arcs[i];
+        const std::int64_t f = solution.flows[i];
+        if (f < a.lower || f > a.capacity)
+            return false;
+        net[a.from] -= f;
+        net[a.to] += f;
+    }
+    for (std::int32_t i = 0; i < n; ++i) {
+        if (net[i] != -instance.supplies[i])
+            return false;
+    }
+
+    // Residual Bellman-Ford: any relaxation after n rounds implies a
+    // negative cycle, i.e. a cheaper circulation exists.
+    struct REdge
+    {
+        std::int32_t from, to;
+        std::int64_t cost;
+    };
+    std::vector<REdge> residual;
+    for (std::size_t i = 0; i < instance.arcs.size(); ++i) {
+        const Arc &a = instance.arcs[i];
+        const std::int64_t f = solution.flows[i];
+        if (f < a.capacity)
+            residual.push_back({a.from, a.to, a.cost});
+        if (f > a.lower)
+            residual.push_back({a.to, a.from, -a.cost});
+    }
+    std::vector<std::int64_t> dist(n, 0);
+    for (std::int32_t round = 0; round < n; ++round) {
+        bool changed = false;
+        for (const REdge &e : residual) {
+            if (dist[e.from] + e.cost < dist[e.to]) {
+                dist[e.to] = dist[e.from] + e.cost;
+                changed = true;
+            }
+        }
+        if (!changed)
+            return true;
+    }
+    return false;
+}
+
+} // namespace alberta::mcf

@@ -1,0 +1,79 @@
+#include "benchmarks/nab/benchmark.h"
+
+#include "benchmarks/nab/forcefield.h"
+#include "support/check.h"
+
+namespace alberta::nab {
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed, int residues,
+             const PrmConfig &prm)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.params.set("residues", static_cast<long long>(residues));
+    w.files["protein.pdb"] =
+        generateProtein(residues, seed).serializePdb();
+    w.files["config.prm"] = prm.serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+NabBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+
+    PrmConfig refPrm;
+    refPrm.steps = 12;
+    out.push_back(makeWorkload("refrate", 0x544F, 200, refPrm));
+
+    PrmConfig trainPrm = refPrm;
+    trainPrm.steps = 4;
+    out.push_back(makeWorkload("train", 0x5441, 60, trainPrm));
+
+    PrmConfig testPrm = refPrm;
+    testPrm.steps = 2;
+    out.push_back(makeWorkload("test", 0x5442, 20, testPrm));
+
+    // Seven distinct "proteins" (Section IV-B) plus a parameter
+    // variation: sizes and prm knobs vary per workload.
+    const int sizes[8] = {40, 65, 80, 95, 120, 140, 70, 100};
+    for (int i = 0; i < 8; ++i) {
+        PrmConfig prm = refPrm;
+        prm.steps = 6 + (i % 3) * 4;
+        prm.cutoff = 7.0 + (i % 4) * 2.0;
+        prm.dielectric = i % 2 == 0 ? 1.0 : 4.0;
+        out.push_back(makeWorkload(
+            "alberta.protein-" + std::to_string(i + 1),
+            0x5440A0 + i, sizes[i], prm));
+    }
+    return out;
+}
+
+void
+NabBenchmark::run(const runtime::Workload &workload,
+                  runtime::ExecutionContext &context) const
+{
+    Molecule molecule;
+    PrmConfig prm;
+    {
+        auto scope = context.method("nab::read_pdb", 1600);
+        molecule = Molecule::parsePdb(workload.file("protein.pdb"));
+        prm = PrmConfig::parse(workload.file("config.prm"));
+        context.machine().stream(
+            topdown::OpKind::Load, 0xD20000000ULL,
+            workload.file("protein.pdb").size() / 16 + 1, 16);
+    }
+    Simulation simulation(std::move(molecule), prm);
+    const MdStats stats = simulation.run(context);
+    support::fatalIf(!(stats.maxForce < 1e9),
+                     "nab: forces diverged on '", workload.name, "'");
+    context.consume(stats.kineticEnergy);
+}
+
+} // namespace alberta::nab

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The 544.nab_r mini-benchmark: molecular-force simulation over
+ * protein-like structures with pdb + prm workload files.
+ */
+#ifndef ALBERTA_BENCHMARKS_NAB_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_NAB_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::nab {
+
+/** See file comment. */
+class NabBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "544.nab_r"; }
+    std::string area() const override
+    {
+        return "Molecular modeling";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::nab
+
+#endif // ALBERTA_BENCHMARKS_NAB_BENCHMARK_H

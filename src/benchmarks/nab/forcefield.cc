@@ -1,0 +1,320 @@
+#include "benchmarks/nab/forcefield.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::nab {
+
+std::string
+Molecule::serializePdb() const
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+        const Atom &a = atoms[i];
+        os << "ATOM " << i << ' ' << a.element << ' '
+           << a.position[0] << ' ' << a.position[1] << ' '
+           << a.position[2] << ' ' << a.charge << ' ' << a.mass
+           << '\n';
+    }
+    for (std::size_t b = 0; b < bonds.size(); ++b) {
+        os << "CONECT " << bonds[b][0] << ' ' << bonds[b][1] << ' '
+           << restLengths[b] << '\n';
+    }
+    os << "END\n";
+    return os.str();
+}
+
+Molecule
+Molecule::parsePdb(const std::string &text)
+{
+    Molecule mol;
+    for (const auto &line : support::split(text, '\n')) {
+        const auto trimmed = support::trim(line);
+        if (trimmed.empty() || trimmed == "END")
+            continue;
+        const auto fields = support::splitWhitespace(trimmed);
+        if (fields[0] == "ATOM") {
+            support::fatalIf(fields.size() != 8,
+                             "pdb: malformed ATOM record");
+            Atom a;
+            a.element = fields[2][0];
+            a.position = {support::parseDouble(fields[3]),
+                          support::parseDouble(fields[4]),
+                          support::parseDouble(fields[5])};
+            a.charge = support::parseDouble(fields[6]);
+            a.mass = support::parseDouble(fields[7]);
+            support::fatalIf(a.mass <= 0, "pdb: nonpositive mass");
+            mol.atoms.push_back(a);
+        } else if (fields[0] == "CONECT") {
+            support::fatalIf(fields.size() != 4,
+                             "pdb: malformed CONECT record");
+            const int i = static_cast<int>(
+                support::parseInt(fields[1]));
+            const int j = static_cast<int>(
+                support::parseInt(fields[2]));
+            support::fatalIf(
+                i < 0 || j < 0 ||
+                    i >= static_cast<int>(mol.atoms.size()) ||
+                    j >= static_cast<int>(mol.atoms.size()) ||
+                    i == j,
+                "pdb: bond endpoints invalid");
+            mol.bonds.push_back({i, j});
+            mol.restLengths.push_back(
+                support::parseDouble(fields[3]));
+        } else {
+            support::fatal("pdb: unknown record '", fields[0], "'");
+        }
+    }
+    support::fatalIf(mol.atoms.empty(), "pdb: no atoms");
+    return mol;
+}
+
+std::string
+PrmConfig::serialize() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "steps " << steps << '\n';
+    os << "dt " << dt << '\n';
+    os << "cutoff " << cutoff << '\n';
+    os << "dielectric " << dielectric << '\n';
+    os << "bond_k " << bondK << '\n';
+    return os.str();
+}
+
+PrmConfig
+PrmConfig::parse(const std::string &text)
+{
+    PrmConfig cfg;
+    for (const auto &line : support::split(text, '\n')) {
+        const auto trimmed = support::trim(line);
+        if (trimmed.empty())
+            continue;
+        const auto fields = support::splitWhitespace(trimmed);
+        support::fatalIf(fields.size() != 2, "prm: malformed line");
+        if (fields[0] == "steps")
+            cfg.steps = static_cast<int>(
+                support::parseInt(fields[1]));
+        else if (fields[0] == "dt")
+            cfg.dt = support::parseDouble(fields[1]);
+        else if (fields[0] == "cutoff")
+            cfg.cutoff = support::parseDouble(fields[1]);
+        else if (fields[0] == "dielectric")
+            cfg.dielectric = support::parseDouble(fields[1]);
+        else if (fields[0] == "bond_k")
+            cfg.bondK = support::parseDouble(fields[1]);
+        else
+            support::fatal("prm: unknown key '", fields[0], "'");
+    }
+    support::fatalIf(cfg.dt <= 0 || cfg.cutoff <= 0,
+                     "prm: nonpositive dt/cutoff");
+    return cfg;
+}
+
+Simulation::Simulation(Molecule molecule, const PrmConfig &config)
+    : molecule_(std::move(molecule)), config_(config)
+{
+    velocities_.assign(molecule_.atoms.size(), {0.0, 0.0, 0.0});
+}
+
+double
+Simulation::computeForces(std::vector<std::array<double, 3>> &forces,
+                          runtime::ExecutionContext &ctx,
+                          std::uint64_t *pairs) const
+{
+    auto &m = ctx.machine();
+    const std::size_t n = molecule_.atoms.size();
+    forces.assign(n, {0.0, 0.0, 0.0});
+    double potential = 0.0;
+
+    // Bonded terms: harmonic springs along the chain.
+    {
+        auto scope = ctx.method("nab::bonded_forces", 1800);
+        for (std::size_t b = 0; b < molecule_.bonds.size(); ++b) {
+            const auto [i, j] = molecule_.bonds[b];
+            const double rest = molecule_.restLengths[b];
+            double d[3], r2 = 0.0;
+            for (int k = 0; k < 3; ++k) {
+                d[k] = molecule_.atoms[j].position[k] -
+                       molecule_.atoms[i].position[k];
+                r2 += d[k] * d[k];
+            }
+            const double r = std::sqrt(r2);
+            const double f = config_.bondK * (r - rest);
+            potential += 0.5 * config_.bondK * (r - rest) * (r - rest);
+            for (int k = 0; k < 3; ++k) {
+                const double fk = f * d[k] / r;
+                forces[i][k] += fk;
+                forces[j][k] -= fk;
+            }
+            m.load(0xD00000000ULL + b * 24);
+            m.ops(topdown::OpKind::FpMul, 12);
+            m.ops(topdown::OpKind::FpDiv, 4);
+        }
+    }
+
+    // Nonbonded terms: LJ + Coulomb within the cutoff.
+    {
+        auto scope = ctx.method("nab::nonbonded_forces", 3400);
+        const double cutoff2 = config_.cutoff * config_.cutoff;
+        const double coulombK = 332.0 / config_.dielectric;
+        std::uint64_t count = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            m.load(0xD10000000ULL + i * 48);
+            for (std::size_t j = i + 1; j < n; ++j) {
+                double d[3], r2 = 0.0;
+                for (int k = 0; k < 3; ++k) {
+                    d[k] = molecule_.atoms[j].position[k] -
+                           molecule_.atoms[i].position[k];
+                    r2 += d[k] * d[k];
+                }
+                m.ops(topdown::OpKind::FpMul, 6);
+                if (m.branch(1, r2 > cutoff2))
+                    continue;
+                ++count;
+                const Atom &ai = molecule_.atoms[i];
+                const Atom &aj = molecule_.atoms[j];
+                const double sigma = 0.5 * (ai.sigma + aj.sigma);
+                const double eps =
+                    std::sqrt(ai.epsilon * aj.epsilon);
+                const double s2 = sigma * sigma / r2;
+                const double s6 = s2 * s2 * s2;
+                const double s12 = s6 * s6;
+                const double r = std::sqrt(r2);
+                const double lj = 4.0 * eps * (s12 - s6);
+                const double coul =
+                    coulombK * ai.charge * aj.charge / r;
+                potential += lj + coul;
+                const double fScalar =
+                    (24.0 * eps * (2.0 * s12 - s6) / r2) +
+                    coul / r2;
+                for (int k = 0; k < 3; ++k) {
+                    const double fk = fScalar * d[k];
+                    forces[j][k] += fk;
+                    forces[i][k] -= fk;
+                }
+                m.load(0xD10000000ULL + j * 48);
+                m.ops(topdown::OpKind::FpMul, 22);
+                m.ops(topdown::OpKind::FpDiv, 3);
+            }
+        }
+        if (pairs)
+            *pairs += count;
+    }
+    return potential;
+}
+
+MdStats
+Simulation::run(runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("nab::dynamics", 2600);
+    const std::size_t n = molecule_.atoms.size();
+    std::vector<std::array<double, 3>> forces;
+    MdStats stats;
+    double potential = computeForces(forces, ctx,
+                                     &stats.pairInteractions);
+
+    for (int step = 0; step < config_.steps; ++step) {
+        // Velocity Verlet: half-kick, drift, recompute, half-kick.
+        for (std::size_t i = 0; i < n; ++i) {
+            const double invMass = 1.0 / molecule_.atoms[i].mass;
+            for (int k = 0; k < 3; ++k) {
+                velocities_[i][k] +=
+                    0.5 * config_.dt * forces[i][k] * invMass;
+                molecule_.atoms[i].position[k] +=
+                    config_.dt * velocities_[i][k];
+            }
+        }
+        potential = computeForces(forces, ctx,
+                                  &stats.pairInteractions);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double invMass = 1.0 / molecule_.atoms[i].mass;
+            for (int k = 0; k < 3; ++k) {
+                velocities_[i][k] +=
+                    0.5 * config_.dt * forces[i][k] * invMass;
+            }
+        }
+    }
+
+    stats.potentialEnergy = potential;
+    for (std::size_t i = 0; i < n; ++i) {
+        double v2 = 0.0, f2 = 0.0;
+        for (int k = 0; k < 3; ++k) {
+            v2 += velocities_[i][k] * velocities_[i][k];
+            f2 += forces[i][k] * forces[i][k];
+        }
+        stats.kineticEnergy += 0.5 * molecule_.atoms[i].mass * v2;
+        stats.maxForce = std::max(stats.maxForce, std::sqrt(f2));
+    }
+    ctx.consume(stats.potentialEnergy);
+    ctx.consume(stats.pairInteractions);
+    return stats;
+}
+
+double
+Simulation::potentialEnergy(runtime::ExecutionContext &ctx)
+{
+    std::vector<std::array<double, 3>> forces;
+    return computeForces(forces, ctx);
+}
+
+Molecule
+generateProtein(int residues, std::uint64_t seed)
+{
+    support::fatalIf(residues < 2, "nab: need >= 2 residues");
+    support::Rng rng(seed);
+    Molecule mol;
+
+    // Backbone: a smooth self-avoiding-ish random walk, 3.8 A steps.
+    std::array<double, 3> pos = {0, 0, 0};
+    std::array<double, 3> dir = {1, 0, 0};
+    for (int r = 0; r < residues; ++r) {
+        Atom backbone;
+        backbone.element = 'C';
+        backbone.position = pos;
+        backbone.charge = 0.0;
+        mol.atoms.push_back(backbone);
+        const int backboneIdx = static_cast<int>(mol.atoms.size()) - 1;
+        if (r > 0) {
+            mol.bonds.push_back({backboneIdx - 2, backboneIdx});
+            mol.restLengths.push_back(3.8);
+        }
+
+        // A side-chain bead: alternating charge pattern plus noise.
+        Atom side;
+        side.element = rng.chance(0.5) ? 'N' : 'O';
+        side.charge = (r % 2 == 0 ? 0.3 : -0.3) +
+                      rng.real(-0.1, 0.1);
+        side.mass = 14.0;
+        side.sigma = 3.0;
+        for (int k = 0; k < 3; ++k)
+            side.position[k] = pos[k] + rng.real(-1.5, 1.5);
+        side.position[1] += 2.0;
+        mol.atoms.push_back(side);
+        mol.bonds.push_back({backboneIdx,
+                             static_cast<int>(mol.atoms.size()) - 1});
+        mol.restLengths.push_back(2.2);
+
+        // Advance the backbone direction with bounded curvature.
+        for (int k = 0; k < 3; ++k)
+            dir[k] += rng.real(-0.4, 0.4);
+        double norm = std::sqrt(dir[0] * dir[0] + dir[1] * dir[1] +
+                                dir[2] * dir[2]);
+        if (norm < 1e-9) {
+            dir = {1, 0, 0};
+            norm = 1.0;
+        }
+        for (int k = 0; k < 3; ++k) {
+            dir[k] /= norm;
+            pos[k] += 3.8 * dir[k];
+        }
+    }
+    return mol;
+}
+
+} // namespace alberta::nab

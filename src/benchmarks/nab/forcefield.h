@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Molecular-mechanics kernel for the 544.nab_r mini-benchmark:
+ * simplified PDB structures, a bonded + Lennard-Jones + Coulomb force
+ * field with cutoff, and velocity-Verlet dynamics.
+ */
+#ifndef ALBERTA_BENCHMARKS_NAB_FORCEFIELD_H
+#define ALBERTA_BENCHMARKS_NAB_FORCEFIELD_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+#include "support/rng.h"
+
+namespace alberta::nab {
+
+/** One atom. */
+struct Atom
+{
+    std::array<double, 3> position = {};
+    double charge = 0.0;
+    double mass = 12.0;
+    double sigma = 3.4;   //!< LJ diameter (angstrom)
+    double epsilon = 0.1; //!< LJ well depth
+    char element = 'C';
+};
+
+/** A molecule: atoms plus a chain of bonds. */
+struct Molecule
+{
+    std::vector<Atom> atoms;
+    /** Bonded pairs (indices) with rest lengths. */
+    std::vector<std::array<int, 2>> bonds;
+    std::vector<double> restLengths;
+
+    /** Serialize ATOM/CONECT records (simplified PDB). */
+    std::string serializePdb() const;
+
+    /** Parse the simplified PDB format. */
+    static Molecule parsePdb(const std::string &text);
+};
+
+/** Force-field / dynamics parameters (the .prm file). */
+struct PrmConfig
+{
+    int steps = 10;
+    double dt = 0.002;
+    double cutoff = 9.0;
+    double dielectric = 1.0;
+    double bondK = 300.0; //!< bond spring constant
+
+    std::string serialize() const;
+    static PrmConfig parse(const std::string &text);
+};
+
+/** Simulation diagnostics. */
+struct MdStats
+{
+    double potentialEnergy = 0.0;
+    double kineticEnergy = 0.0;
+    double maxForce = 0.0;
+    std::uint64_t pairInteractions = 0;
+};
+
+/** Velocity-Verlet molecular dynamics over @p molecule. */
+class Simulation
+{
+  public:
+    Simulation(Molecule molecule, const PrmConfig &config);
+
+    /** Run the configured number of steps. */
+    MdStats run(runtime::ExecutionContext &ctx);
+
+    /** Current potential energy (testing aid). */
+    double potentialEnergy(runtime::ExecutionContext &ctx);
+
+  private:
+    double computeForces(std::vector<std::array<double, 3>> &forces,
+                         runtime::ExecutionContext &ctx,
+                         std::uint64_t *pairs = nullptr) const;
+
+    Molecule molecule_;
+    PrmConfig config_;
+    std::vector<std::array<double, 3>> velocities_;
+};
+
+/**
+ * Generate a protein-like chain of @p residues residues: a smooth
+ * random-walk backbone with charged side-chain beads, the stand-in
+ * for Brookhaven PDB downloads.
+ */
+Molecule generateProtein(int residues, std::uint64_t seed);
+
+} // namespace alberta::nab
+
+#endif // ALBERTA_BENCHMARKS_NAB_FORCEFIELD_H

@@ -1,0 +1,86 @@
+#include "benchmarks/omnetpp/benchmark.h"
+
+#include "benchmarks/omnetpp/sim.h"
+#include "support/check.h"
+
+namespace alberta::omnetpp {
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed,
+             const Topology &topology, double simTimeUs,
+             double interarrivalUs)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.params.set("sim_time_us", simTimeUs);
+    w.params.set("interarrival_us", interarrivalUs);
+    w.files["network.ned"] = topology.serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+OmnetppBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+
+    // SPEC's train and ref inputs share the network and differ only in
+    // the simulated time (Section IV-A).
+    support::Rng refRng(0x520F);
+    const Topology refNet = makeRandom(24, 40, refRng);
+    out.push_back(
+        makeWorkload("refrate", 0x520F, refNet, 220000.0, 50.0));
+    out.push_back(makeWorkload("train", 0x5201, refNet, 12000.0, 50.0));
+    out.push_back(makeWorkload("test", 0x5202, refNet, 1200.0, 50.0));
+
+    // The seven Alberta workloads: different topologies.
+    out.push_back(makeWorkload("alberta.line", 0xC1, makeLine(16),
+                               30000.0, 70.0));
+    out.push_back(makeWorkload("alberta.ring", 0xC2, makeRing(16),
+                               30000.0, 60.0));
+    out.push_back(makeWorkload("alberta.star", 0xC3, makeStar(16),
+                               30000.0, 70.0));
+    out.push_back(makeWorkload("alberta.tree", 0xC4, makeTree(15),
+                               30000.0, 60.0));
+    support::Rng rng(0x520AA);
+    out.push_back(makeWorkload("alberta.random-9", 0xC5,
+                               makeRandom(8, 9, rng), 30000.0, 55.0));
+    out.push_back(makeWorkload("alberta.random-18", 0xC6,
+                               makeRandom(14, 18, rng), 30000.0, 55.0));
+    out.push_back(makeWorkload("alberta.random-27", 0xC7,
+                               makeRandom(20, 27, rng), 30000.0,
+                               55.0));
+    return out;
+}
+
+void
+OmnetppBenchmark::run(const runtime::Workload &workload,
+                      runtime::ExecutionContext &context) const
+{
+    Topology topology;
+    {
+        auto scope = context.method("omnetpp::parse_ned", 1800);
+        topology = Topology::parse(workload.file("network.ned"));
+        context.machine().stream(
+            topdown::OpKind::Load, 0x7000,
+            workload.file("network.ned").size() / 8 + 1, 8);
+    }
+    SimConfig config;
+    config.simTimeUs = workload.params.getDouble("sim_time_us", 10000);
+    config.meanInterarrivalUs =
+        workload.params.getDouble("interarrival_us", 60.0);
+    config.seed = workload.seed ^ 0x520;
+
+    Simulator simulator(topology, config);
+    const SimStats stats = simulator.run(context);
+    support::fatalIf(stats.packetsDelivered == 0,
+                     "omnetpp: nothing delivered in '", workload.name,
+                     "'");
+    context.consume(stats.eventsProcessed);
+}
+
+} // namespace alberta::omnetpp

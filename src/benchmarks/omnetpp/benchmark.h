@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The 520.omnetpp_r mini-benchmark: discrete-event simulation of
+ * packet networks described by NED-like files, with the seven Alberta
+ * topology workloads.
+ */
+#ifndef ALBERTA_BENCHMARKS_OMNETPP_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_OMNETPP_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::omnetpp {
+
+/** See file comment. */
+class OmnetppBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "520.omnetpp_r"; }
+    std::string area() const override
+    {
+        return "Discrete event simulation";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::omnetpp
+
+#endif // ALBERTA_BENCHMARKS_OMNETPP_BENCHMARK_H

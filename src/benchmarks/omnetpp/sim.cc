@@ -1,0 +1,206 @@
+#include "benchmarks/omnetpp/sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "support/check.h"
+
+namespace alberta::omnetpp {
+
+Simulator::Simulator(const Topology &topology, const SimConfig &config)
+    : topology_(topology), config_(config), rng_(config.seed)
+{
+    support::fatalIf(!topology.connected(),
+                     "omnetpp: topology is not connected");
+    outLinks_.resize(topology.nodes);
+    for (const Link &l : topology.links) {
+        const int fwd = static_cast<int>(links_.size());
+        links_.push_back({l.b, fwd + 1, l.delayUs, l.bitsPerUs, false,
+                          {}});
+        links_.push_back({l.a, fwd, l.delayUs, l.bitsPerUs, false,
+                          {}});
+        outLinks_[l.a].push_back(fwd);
+        outLinks_[l.b].push_back(fwd + 1);
+    }
+    computeRoutes();
+}
+
+void
+Simulator::computeRoutes()
+{
+    const int n = topology_.nodes;
+    nextHop_.assign(n, std::vector<int>(n, -1));
+    // BFS from every destination over reversed (symmetric) links.
+    for (int dst = 0; dst < n; ++dst) {
+        std::deque<int> queue = {dst};
+        std::vector<bool> seen(n, false);
+        seen[dst] = true;
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (const int le : outLinks_[u]) {
+                const int v = links_[le].to;
+                if (seen[v])
+                    continue;
+                seen[v] = true;
+                // v reaches dst via the reverse direction of le.
+                nextHop_[v][dst] = links_[le].reverse;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+int
+Simulator::nextHop(int from, int to) const
+{
+    const int link = nextHop_[from][to];
+    return link < 0 ? -1 : links_[link].to;
+}
+
+void
+Simulator::schedule(const Event &event)
+{
+    heap_.push_back(event);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void
+Simulator::startTransmission(int linkIdx,
+                             runtime::ExecutionContext &ctx)
+{
+    auto &m = ctx.machine();
+    DirectedLink &link = links_[linkIdx];
+    if (link.busy || link.queue.empty())
+        return;
+    link.busy = true;
+    const std::int32_t packetIdx = link.queue.front();
+    link.queue.erase(link.queue.begin());
+    m.load(0x2000000ULL + static_cast<std::uint64_t>(linkIdx) * 64);
+    const double txUs = config_.packetBits / link.bitsPerUs;
+    Event free;
+    free.kind = EventKind::LinkFree;
+    free.link = linkIdx;
+    free.packet = packetIdx;
+    free.timeUs = currentTime_ + txUs + link.delayUs;
+    schedule(free);
+    m.ops(topdown::OpKind::FpMul, 2);
+}
+
+SimStats
+Simulator::run(runtime::ExecutionContext &ctx)
+{
+    auto &m = ctx.machine();
+    stats_ = SimStats{};
+    heap_.clear();
+    packets_.clear();
+
+    // Prime per-node generators.
+    for (int node = 0; node < topology_.nodes; ++node) {
+        Event e;
+        e.kind = EventKind::Generate;
+        e.node = node;
+        e.timeUs = rng_.real() * config_.meanInterarrivalUs;
+        schedule(e);
+    }
+
+    while (!heap_.empty()) {
+        auto scope = ctx.method("omnetpp::handle_event", 3600);
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        const Event event = heap_.back();
+        heap_.pop_back();
+        m.load(0x1000000ULL + (heap_.size() % 4096) * 48);
+        if (m.branch(1, event.timeUs > config_.simTimeUs))
+            break;
+        currentTime_ = event.timeUs;
+        ++stats_.eventsProcessed;
+
+        // Virtual dispatch on the module/message type, like OMNeT++.
+        m.indirect(2, static_cast<std::uint64_t>(event.kind));
+
+        switch (event.kind) {
+          case EventKind::Generate: {
+            auto genScope = ctx.method("omnetpp::source", 1400);
+            // Create a packet to a random other node.
+            int dst;
+            do {
+                dst = static_cast<int>(rng_.below(topology_.nodes));
+            } while (dst == event.node);
+            const auto packetIdx =
+                static_cast<std::int32_t>(packets_.size());
+            packets_.push_back(
+                {event.node, dst, 0, event.timeUs});
+            ++stats_.packetsSent;
+            m.ops(topdown::OpKind::IntAlu, 12);
+
+            Event arrival;
+            arrival.kind = EventKind::Arrival;
+            arrival.node = event.node;
+            arrival.packet = packetIdx;
+            arrival.timeUs = event.timeUs;
+            schedule(arrival);
+
+            // Next generation: exponential interarrival.
+            Event next;
+            next.kind = EventKind::Generate;
+            next.node = event.node;
+            next.timeUs =
+                event.timeUs -
+                config_.meanInterarrivalUs * std::log(rng_.real() +
+                                                      1e-12);
+            m.ops(topdown::OpKind::FpDiv, 1);
+            schedule(next);
+            break;
+          }
+          case EventKind::Arrival: {
+            auto routeScope = ctx.method("omnetpp::route", 2200);
+            Packet &packet = packets_[event.packet];
+            m.load(0x3000000ULL +
+                   static_cast<std::uint64_t>(event.packet) * 32);
+            if (m.branch(3, packet.dst == event.node)) {
+                ++stats_.packetsDelivered;
+                stats_.totalHops += packet.hops;
+                stats_.totalLatencyUs += event.timeUs - packet.bornUs;
+                break;
+            }
+            const int linkIdx = nextHop_[event.node][packet.dst];
+            support::panicIf(linkIdx < 0, "omnetpp: no route");
+            DirectedLink &link = links_[linkIdx];
+            m.load(0x2000000ULL +
+                   static_cast<std::uint64_t>(linkIdx) * 64);
+            if (m.branch(4, static_cast<int>(link.queue.size()) >=
+                                config_.queueLimit)) {
+                ++stats_.packetsDropped;
+                break;
+            }
+            ++packet.hops;
+            link.queue.push_back(event.packet);
+            startTransmission(linkIdx, ctx);
+            break;
+          }
+          case EventKind::LinkFree: {
+            auto txScope = ctx.method("omnetpp::transmit", 1600);
+            DirectedLink &link = links_[event.link];
+            link.busy = false;
+            // Deliver the packet to the next node.
+            Event arrival;
+            arrival.kind = EventKind::Arrival;
+            arrival.node = link.to;
+            arrival.packet = event.packet;
+            arrival.timeUs = event.timeUs;
+            schedule(arrival);
+            // Start the next queued transmission, if any.
+            startTransmission(event.link, ctx);
+            break;
+          }
+        }
+    }
+
+    ctx.consume(stats_.packetsDelivered);
+    ctx.consume(stats_.packetsDropped);
+    ctx.consume(stats_.totalHops);
+    return stats_;
+}
+
+} // namespace alberta::omnetpp

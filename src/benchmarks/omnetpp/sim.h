@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Discrete-event packet-network simulator for the 520.omnetpp_r
+ * mini-benchmark: a future-event set (binary heap), per-node traffic
+ * sources, shortest-path routing, and store-and-forward links with
+ * finite queues — the same event-dispatch-heavy, pointer-chasing
+ * pattern as OMNeT++.
+ */
+#ifndef ALBERTA_BENCHMARKS_OMNETPP_SIM_H
+#define ALBERTA_BENCHMARKS_OMNETPP_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "benchmarks/omnetpp/topology.h"
+#include "runtime/context.h"
+#include "support/rng.h"
+
+namespace alberta::omnetpp {
+
+/** Simulation configuration (the .ini file's knobs). */
+struct SimConfig
+{
+    double simTimeUs = 50000.0;    //!< simulated time horizon
+    double meanInterarrivalUs = 60; //!< per-node packet interarrival
+    int packetBits = 4096;          //!< packet size
+    int queueLimit = 64;            //!< per-link queue capacity
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate statistics of one simulation run. */
+struct SimStats
+{
+    std::uint64_t eventsProcessed = 0;
+    std::uint64_t packetsSent = 0;
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t packetsDropped = 0;
+    std::uint64_t totalHops = 0;
+    double totalLatencyUs = 0.0;
+
+    /** Mean end-to-end latency of delivered packets. */
+    double
+    meanLatencyUs() const
+    {
+        return packetsDelivered
+                   ? totalLatencyUs / packetsDelivered
+                   : 0.0;
+    }
+};
+
+/** The simulator. */
+class Simulator
+{
+  public:
+    Simulator(const Topology &topology, const SimConfig &config);
+
+    /** Run until the time horizon, reporting micro-ops via @p ctx. */
+    SimStats run(runtime::ExecutionContext &ctx);
+
+    /** Shortest-path next hop from @p from toward @p to (testing). */
+    int nextHop(int from, int to) const;
+
+  private:
+    enum class EventKind : std::uint8_t
+    {
+        Generate,   //!< node creates a new packet
+        Arrival,    //!< packet arrives at a node
+        LinkFree,   //!< link finished transmitting
+    };
+
+    struct Packet
+    {
+        int src = 0;
+        int dst = 0;
+        int hops = 0;
+        double bornUs = 0.0;
+    };
+
+    struct Event
+    {
+        double timeUs = 0.0;
+        EventKind kind = EventKind::Generate;
+        int node = 0;     //!< Generate/Arrival location
+        int link = -1;    //!< LinkFree: directed link index
+        std::int32_t packet = -1; //!< packet pool index
+
+        bool
+        operator>(const Event &o) const
+        {
+            return timeUs > o.timeUs;
+        }
+    };
+
+    struct DirectedLink
+    {
+        int to = 0;
+        int reverse = 0; //!< paired directed link
+        double delayUs = 0.0;
+        double bitsPerUs = 0.0;
+        bool busy = false;
+        std::vector<std::int32_t> queue; //!< FIFO of packet indices
+    };
+
+    void schedule(const Event &event);
+    void startTransmission(int link, runtime::ExecutionContext &ctx);
+    void computeRoutes();
+
+    const Topology &topology_;
+    SimConfig config_;
+    support::Rng rng_;
+
+    std::vector<std::vector<int>> outLinks_; //!< per node
+    std::vector<DirectedLink> links_;
+    std::vector<std::vector<int>> nextHop_;  //!< [from][dst] link idx
+    std::vector<Packet> packets_;
+    std::vector<Event> heap_;
+    SimStats stats_;
+    double currentTime_ = 0.0;
+};
+
+} // namespace alberta::omnetpp
+
+#endif // ALBERTA_BENCHMARKS_OMNETPP_SIM_H

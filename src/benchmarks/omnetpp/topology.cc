@@ -1,0 +1,177 @@
+#include "benchmarks/omnetpp/topology.h"
+
+#include <sstream>
+
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::omnetpp {
+
+std::string
+Topology::serialize() const
+{
+    std::ostringstream os;
+    os.precision(17); // exact double round trip
+    os << "network " << name << '\n';
+    os << "nodes " << nodes << '\n';
+    for (const Link &l : links) {
+        os << "link " << l.a << ' ' << l.b << ' ' << l.delayUs << ' '
+           << l.bitsPerUs << '\n';
+    }
+    return os.str();
+}
+
+Topology
+Topology::parse(const std::string &text)
+{
+    Topology t;
+    bool sawNetwork = false;
+    for (const auto &line : support::split(text, '\n')) {
+        const auto trimmed = support::trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        const auto fields = support::splitWhitespace(trimmed);
+        if (fields[0] == "network") {
+            support::fatalIf(fields.size() != 2, "ned: bad network line");
+            t.name = fields[1];
+            sawNetwork = true;
+        } else if (fields[0] == "nodes") {
+            support::fatalIf(fields.size() != 2, "ned: bad nodes line");
+            t.nodes = static_cast<int>(support::parseInt(fields[1]));
+        } else if (fields[0] == "link") {
+            support::fatalIf(fields.size() != 5, "ned: bad link line");
+            Link l;
+            l.a = static_cast<int>(support::parseInt(fields[1]));
+            l.b = static_cast<int>(support::parseInt(fields[2]));
+            l.delayUs = support::parseDouble(fields[3]);
+            l.bitsPerUs = support::parseDouble(fields[4]);
+            support::fatalIf(l.a < 0 || l.a >= t.nodes || l.b < 0 ||
+                                 l.b >= t.nodes || l.a == l.b,
+                             "ned: link endpoints invalid");
+            support::fatalIf(l.bitsPerUs <= 0, "ned: zero bandwidth");
+            t.links.push_back(l);
+        } else {
+            support::fatal("ned: unknown keyword '", fields[0], "'");
+        }
+    }
+    support::fatalIf(!sawNetwork || t.nodes <= 0,
+                     "ned: missing network/nodes header");
+    return t;
+}
+
+bool
+Topology::connected() const
+{
+    if (nodes == 0)
+        return false;
+    std::vector<std::vector<int>> adj(nodes);
+    for (const Link &l : links) {
+        adj[l.a].push_back(l.b);
+        adj[l.b].push_back(l.a);
+    }
+    std::vector<bool> seen(nodes, false);
+    std::vector<int> stack = {0};
+    seen[0] = true;
+    int visited = 0;
+    while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        ++visited;
+        for (const int v : adj[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                stack.push_back(v);
+            }
+        }
+    }
+    return visited == nodes;
+}
+
+namespace {
+
+Topology
+base(const std::string &name, int n)
+{
+    support::fatalIf(n < 2, "topology needs >= 2 nodes");
+    Topology t;
+    t.name = name;
+    t.nodes = n;
+    return t;
+}
+
+} // namespace
+
+Topology
+makeLine(int n)
+{
+    Topology t = base("line", n);
+    for (int i = 0; i + 1 < n; ++i)
+        t.links.push_back({i, i + 1, 2.0, 100.0});
+    return t;
+}
+
+Topology
+makeRing(int n)
+{
+    Topology t = base("ring", n);
+    for (int i = 0; i < n; ++i)
+        t.links.push_back({i, (i + 1) % n, 2.0, 100.0});
+    return t;
+}
+
+Topology
+makeStar(int n)
+{
+    Topology t = base("star", n);
+    for (int i = 1; i < n; ++i)
+        t.links.push_back({0, i, 1.0, 200.0});
+    return t;
+}
+
+Topology
+makeTree(int n)
+{
+    Topology t = base("tree", n);
+    for (int i = 1; i < n; ++i)
+        t.links.push_back({(i - 1) / 2, i, 2.0, 150.0});
+    return t;
+}
+
+Topology
+makeRandom(int nodes, int edges, support::Rng &rng)
+{
+    support::fatalIf(edges < nodes - 1, "random topology needs >= n-1 "
+                                        "edges for connectivity");
+    Topology t = base("random", nodes);
+    // Random spanning tree: attach node i to a random earlier node.
+    for (int i = 1; i < nodes; ++i) {
+        const int parent = static_cast<int>(rng.below(i));
+        t.links.push_back({parent, i, 1.0 + rng.real() * 4.0,
+                           50.0 + rng.real() * 200.0});
+    }
+    // Extra random edges (avoiding self-loops and exact duplicates).
+    int extra = edges - (nodes - 1);
+    int guard = 0;
+    while (extra > 0 && guard < 1000) {
+        ++guard;
+        const int a = static_cast<int>(rng.below(nodes));
+        const int b = static_cast<int>(rng.below(nodes));
+        if (a == b)
+            continue;
+        bool duplicate = false;
+        for (const Link &l : t.links) {
+            if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+                duplicate = true;
+                break;
+            }
+        }
+        if (duplicate)
+            continue;
+        t.links.push_back({a, b, 1.0 + rng.real() * 4.0,
+                           50.0 + rng.real() * 200.0});
+        --extra;
+    }
+    return t;
+}
+
+} // namespace alberta::omnetpp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NED-like network descriptions and topology generators for the
+ * 520.omnetpp_r mini-benchmark: line, ring, star, tree, and random
+ * topologies — the seven Alberta workload families of Section IV-A.
+ */
+#ifndef ALBERTA_BENCHMARKS_OMNETPP_TOPOLOGY_H
+#define ALBERTA_BENCHMARKS_OMNETPP_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace alberta::omnetpp {
+
+/** One bidirectional link. */
+struct Link
+{
+    int a = 0;
+    int b = 0;
+    double delayUs = 1.0;      //!< propagation delay
+    double bitsPerUs = 100.0;  //!< bandwidth
+};
+
+/** A network description (the parsed .ned file). */
+struct Topology
+{
+    std::string name;
+    int nodes = 0;
+    std::vector<Link> links;
+
+    /** Serialize to the simplified NED text format. */
+    std::string serialize() const;
+
+    /** Parse the simplified NED text format. */
+    static Topology parse(const std::string &text);
+
+    /** True when every node can reach every other node. */
+    bool connected() const;
+};
+
+/** Chain of @p n nodes. */
+Topology makeLine(int n);
+
+/** Cycle of @p n nodes. */
+Topology makeRing(int n);
+
+/** Hub-and-spoke with @p n - 1 leaves. */
+Topology makeStar(int n);
+
+/** Balanced binary tree with @p n nodes. */
+Topology makeTree(int n);
+
+/**
+ * Random connected topology with @p nodes nodes and @p edges edges
+ * (a random spanning tree plus extra random links).
+ */
+Topology makeRandom(int nodes, int edges, support::Rng &rng);
+
+} // namespace alberta::omnetpp
+
+#endif // ALBERTA_BENCHMARKS_OMNETPP_TOPOLOGY_H

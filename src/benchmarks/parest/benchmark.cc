@@ -1,0 +1,71 @@
+#include "benchmarks/parest/benchmark.h"
+
+#include "benchmarks/parest/solver.h"
+#include "support/check.h"
+
+namespace alberta::parest {
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed, int n,
+             int subdomains, double regularization, int descent)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.params.set("n", static_cast<long long>(n));
+    w.params.set("subdomains", static_cast<long long>(subdomains));
+    runtime::ExecutionContext scratch;
+    EstimationProblem problem =
+        makeProblem(n, subdomains, seed, scratch);
+    problem.regularization = regularization;
+    problem.descentIterations = descent;
+    w.files["problem.prb"] = problem.serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+ParestBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+    out.push_back(makeWorkload("refrate", 0x510F, 28, 2, 1e-3, 6));
+    out.push_back(makeWorkload("train", 0x5101, 18, 2, 1e-3, 4));
+    out.push_back(makeWorkload("test", 0x5102, 14, 1, 1e-3, 2));
+    // Parameter variations: mesh refinement, partition granularity,
+    // regularization strength, and optimizer effort.
+    out.push_back(
+        makeWorkload("alberta.fine-mesh", 0x10A1, 36, 2, 1e-3, 4));
+    out.push_back(
+        makeWorkload("alberta.many-zones", 0x10A2, 24, 3, 1e-3, 5));
+    out.push_back(makeWorkload("alberta.strong-reg", 0x10A3, 24, 2,
+                               1e-1, 6));
+    out.push_back(
+        makeWorkload("alberta.weak-reg", 0x10A4, 24, 2, 1e-6, 6));
+    out.push_back(makeWorkload("alberta.deep-descent", 0x10A5, 20, 2,
+                               1e-3, 10));
+    return out;
+}
+
+void
+ParestBenchmark::run(const runtime::Workload &workload,
+                     runtime::ExecutionContext &context) const
+{
+    EstimationProblem problem;
+    {
+        auto scope = context.method("parest::read_problem", 1400);
+        problem =
+            EstimationProblem::parse(workload.file("problem.prb"));
+        context.machine().stream(
+            topdown::OpKind::Load, 0xF20000000ULL,
+            workload.file("problem.prb").size() / 32 + 1, 32);
+    }
+    const EstimationResult result = estimate(problem, context);
+    support::fatalIf(result.forwardSolves == 0,
+                     "parest: no forward solves performed");
+    context.consume(result.cgIterations);
+}
+
+} // namespace alberta::parest

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The 510.parest_r mini-benchmark: PDE-constrained parameter
+ * estimation on a structured finite-element mesh.
+ */
+#ifndef ALBERTA_BENCHMARKS_PAREST_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_PAREST_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::parest {
+
+/** See file comment. */
+class ParestBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "510.parest_r"; }
+    std::string area() const override
+    {
+        return "Biomedical imaging (parameter estimation)";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::parest
+
+#endif // ALBERTA_BENCHMARKS_PAREST_BENCHMARK_H

@@ -1,0 +1,312 @@
+#include "benchmarks/parest/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/text.h"
+
+namespace alberta::parest {
+
+void
+CsrMatrix::multiply(const std::vector<double> &x,
+                    std::vector<double> &y,
+                    runtime::ExecutionContext &ctx) const
+{
+    auto &m = ctx.machine();
+    y.assign(rows, 0.0);
+    for (int r = 0; r < rows; ++r) {
+        double sum = 0.0;
+        for (int k = rowStart[r]; k < rowStart[r + 1]; ++k)
+            sum += value[k] * x[column[k]];
+        y[r] = sum;
+        if ((r & 15) == 0) {
+            m.stream(topdown::OpKind::Load,
+                     0xF00000000ULL + rowStart[r] * 12ULL, 16, 12);
+            m.ops(topdown::OpKind::FpMul, 16 * 5);
+        }
+    }
+}
+
+CgResult
+conjugateGradient(const CsrMatrix &matrix,
+                  const std::vector<double> &rhs,
+                  std::vector<double> &x, double tolerance,
+                  int maxIterations, runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("parest::cg_solve", 3200);
+    auto &m = ctx.machine();
+    const std::size_t n = rhs.size();
+    x.assign(n, 0.0);
+    std::vector<double> r = rhs, p = rhs, ap(n);
+    double rr = 0.0;
+    for (const double v : r)
+        rr += v * v;
+    const double target = tolerance * tolerance * rr;
+
+    CgResult result;
+    while (result.iterations < maxIterations && rr > target &&
+           rr > 1e-30) {
+        matrix.multiply(p, ap, ctx);
+        double pap = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            pap += p[i] * ap[i];
+        const double alpha = rr / pap;
+        double rrNew = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+            rrNew += r[i] * r[i];
+            // Sign-dependent bookkeeping branch (residual monitors,
+            // Jacobi-style clipping): data-dependent and irregular.
+            if ((i & 7) == 0)
+                m.branch(3, r[i] > 0.0);
+        }
+        const double beta = rrNew / rr;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * p[i];
+        rr = rrNew;
+        ++result.iterations;
+        m.ops(topdown::OpKind::FpMul, n / 2);
+        m.ops(topdown::OpKind::FpDiv, 2);
+        m.branch(1, rr > target);
+    }
+    result.residual = std::sqrt(rr);
+    result.converged = rr <= target || rr <= 1e-30;
+    return result;
+}
+
+namespace {
+
+int
+subdomainOf(int ix, int iy, int n, int k)
+{
+    const int sx = std::min(k - 1, ix * k / n);
+    const int sy = std::min(k - 1, iy * k / n);
+    return sy * k + sx;
+}
+
+std::vector<double>
+forwardSolve(int n, int subdomains, const std::vector<double> &c,
+             double tolerance, runtime::ExecutionContext &ctx,
+             EstimationResult *accounting = nullptr)
+{
+    const CsrMatrix matrix = assemble(n, subdomains, c, ctx);
+    std::vector<double> rhs(static_cast<std::size_t>(n) * n, 1.0);
+    std::vector<double> u;
+    const CgResult cg = conjugateGradient(matrix, rhs, u, tolerance,
+                                          4 * n * n, ctx);
+    support::fatalIf(!cg.converged, "parest: CG failed to converge");
+    if (accounting) {
+        ++accounting->forwardSolves;
+        accounting->cgIterations += cg.iterations;
+    }
+    return u;
+}
+
+} // namespace
+
+CsrMatrix
+assemble(int n, int subdomains, const std::vector<double> &c,
+         runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("parest::assemble", 2600);
+    auto &m = ctx.machine();
+    support::fatalIf(static_cast<int>(c.size()) !=
+                         subdomains * subdomains,
+                     "parest: coefficient count mismatch");
+    for (const double v : c)
+        support::fatalIf(v <= 0, "parest: nonpositive coefficient");
+
+    CsrMatrix matrix;
+    matrix.rows = n * n;
+    matrix.rowStart.reserve(matrix.rows + 1);
+    matrix.rowStart.push_back(0);
+    // Five-point stencil with harmonic-mean edge coefficients.
+    const auto coeff = [&](int ix, int iy) {
+        return c[subdomainOf(ix, iy, n, subdomains)];
+    };
+    for (int iy = 0; iy < n; ++iy) {
+        for (int ix = 0; ix < n; ++ix) {
+            const int row = iy * n + ix;
+            const double cc = coeff(ix, iy);
+            double diag = 0.0;
+            const auto addNeighbor = [&](int jx, int jy) {
+                const double edge =
+                    2.0 * cc * coeff(jx, jy) /
+                    (cc + coeff(jx, jy));
+                diag += edge;
+                matrix.column.push_back(jy * n + jx);
+                matrix.value.push_back(-edge);
+            };
+            // Dirichlet boundary: off-grid neighbours contribute to
+            // the diagonal only.
+            if (ix > 0)
+                addNeighbor(ix - 1, iy);
+            else
+                diag += cc;
+            if (ix + 1 < n)
+                addNeighbor(ix + 1, iy);
+            else
+                diag += cc;
+            if (iy > 0)
+                addNeighbor(ix, iy - 1);
+            else
+                diag += cc;
+            if (iy + 1 < n)
+                addNeighbor(ix, iy + 1);
+            else
+                diag += cc;
+            matrix.column.push_back(row);
+            matrix.value.push_back(diag);
+            matrix.rowStart.push_back(
+                static_cast<int>(matrix.column.size()));
+            m.ops(topdown::OpKind::FpDiv, 4);
+            m.store(0xF10000000ULL + row * 40ULL);
+        }
+    }
+    return matrix;
+}
+
+std::string
+EstimationProblem::serialize() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "parest " << n << ' ' << subdomains << ' '
+       << regularization << ' ' << cgTolerance << ' '
+       << descentIterations << '\n';
+    os << "true";
+    for (const double v : trueCoefficients)
+        os << ' ' << v;
+    os << "\nmeasured";
+    for (const double v : measurements)
+        os << ' ' << v;
+    os << '\n';
+    return os.str();
+}
+
+EstimationProblem
+EstimationProblem::parse(const std::string &text)
+{
+    const auto lines = support::split(text, '\n');
+    support::fatalIf(lines.size() < 3, "parest: truncated problem");
+    EstimationProblem p;
+    {
+        const auto header = support::splitWhitespace(lines[0]);
+        support::fatalIf(header.size() != 6 || header[0] != "parest",
+                         "parest: bad header");
+        p.n = static_cast<int>(support::parseInt(header[1]));
+        p.subdomains =
+            static_cast<int>(support::parseInt(header[2]));
+        p.regularization = support::parseDouble(header[3]);
+        p.cgTolerance = support::parseDouble(header[4]);
+        p.descentIterations =
+            static_cast<int>(support::parseInt(header[5]));
+        support::fatalIf(p.n < 4 || p.subdomains < 1,
+                         "parest: bad dimensions");
+    }
+    const auto truth = support::splitWhitespace(lines[1]);
+    support::fatalIf(truth.empty() || truth[0] != "true",
+                     "parest: missing truth line");
+    for (std::size_t i = 1; i < truth.size(); ++i)
+        p.trueCoefficients.push_back(support::parseDouble(truth[i]));
+    const auto measured = support::splitWhitespace(lines[2]);
+    support::fatalIf(measured.empty() || measured[0] != "measured",
+                     "parest: missing measurements line");
+    for (std::size_t i = 1; i < measured.size(); ++i)
+        p.measurements.push_back(support::parseDouble(measured[i]));
+    support::fatalIf(static_cast<int>(p.measurements.size()) !=
+                         p.n * p.n,
+                     "parest: measurement count mismatch");
+    return p;
+}
+
+EstimationProblem
+makeProblem(int n, int subdomains, std::uint64_t seed,
+            runtime::ExecutionContext &ctx)
+{
+    support::Rng rng(seed);
+    EstimationProblem p;
+    p.n = n;
+    p.subdomains = subdomains;
+    for (int i = 0; i < subdomains * subdomains; ++i)
+        p.trueCoefficients.push_back(rng.real(0.5, 3.0));
+    p.measurements = forwardSolve(n, subdomains, p.trueCoefficients,
+                                  1e-10, ctx);
+    // Small measurement noise.
+    for (auto &v : p.measurements)
+        v *= 1.0 + rng.real(-1e-4, 1e-4);
+    return p;
+}
+
+EstimationResult
+estimate(const EstimationProblem &problem,
+         runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("parest::estimate", 4200);
+    auto &m = ctx.machine();
+    const int k2 = problem.subdomains * problem.subdomains;
+
+    EstimationResult result;
+    result.coefficients.assign(k2, 1.0); // initial guess
+
+    const auto misfit = [&](const std::vector<double> &c) {
+        const auto u =
+            forwardSolve(problem.n, problem.subdomains, c,
+                         problem.cgTolerance, ctx, &result);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < u.size(); ++i) {
+            const double d = u[i] - problem.measurements[i];
+            sum += d * d;
+        }
+        double reg = 0.0;
+        for (const double v : c)
+            reg += (v - 1.0) * (v - 1.0);
+        m.ops(topdown::OpKind::FpMul, u.size() / 4);
+        return sum + problem.regularization * reg;
+    };
+
+    double current = misfit(result.coefficients);
+    double stepSize = 0.4;
+    for (int iter = 0; iter < problem.descentIterations; ++iter) {
+        for (int j = 0; j < k2; ++j) {
+            // Coordinate descent: walk in the first improving
+            // direction as long as the misfit keeps dropping.
+            for (const double direction : {1.0, -1.0}) {
+                bool movedThisDirection = false;
+                for (int move = 0; move < 8; ++move) {
+                    std::vector<double> trial = result.coefficients;
+                    trial[j] = std::max(
+                        0.05, trial[j] + direction * stepSize);
+                    const double value = misfit(trial);
+                    if (!m.branch(1, value < current))
+                        break;
+                    current = value;
+                    result.coefficients = trial;
+                    movedThisDirection = true;
+                }
+                if (movedThisDirection)
+                    break;
+            }
+        }
+        stepSize *= 0.5;
+        m.ops(topdown::OpKind::FpMul, 4);
+    }
+
+    result.misfit = current;
+    double err = 0.0;
+    for (int j = 0; j < k2; ++j) {
+        const double d = result.coefficients[j] -
+                         problem.trueCoefficients[j];
+        err += d * d;
+    }
+    result.coefficientError = std::sqrt(err / k2);
+    ctx.consume(result.misfit);
+    ctx.consume(static_cast<std::uint64_t>(result.forwardSolves));
+    return result;
+}
+
+} // namespace alberta::parest

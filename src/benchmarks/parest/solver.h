@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sparse linear algebra and PDE-constrained parameter estimation for
+ * the 510.parest_r mini-benchmark: a structured-mesh diffusion
+ * problem, conjugate-gradient forward solves, and coordinate-descent
+ * recovery of subdomain diffusion coefficients from measurements.
+ */
+#ifndef ALBERTA_BENCHMARKS_PAREST_SOLVER_H
+#define ALBERTA_BENCHMARKS_PAREST_SOLVER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace alberta::parest {
+
+/** Compressed-sparse-row matrix. */
+struct CsrMatrix
+{
+    int rows = 0;
+    std::vector<int> rowStart;   //!< size rows + 1
+    std::vector<int> column;
+    std::vector<double> value;
+
+    /** y = A x (instrumented). */
+    void multiply(const std::vector<double> &x,
+                  std::vector<double> &y,
+                  runtime::ExecutionContext &ctx) const;
+};
+
+/** Conjugate-gradient outcome. */
+struct CgResult
+{
+    int iterations = 0;
+    double residual = 0.0;
+    bool converged = false;
+};
+
+/** CG for symmetric positive-definite systems. */
+CgResult conjugateGradient(const CsrMatrix &matrix,
+                           const std::vector<double> &rhs,
+                           std::vector<double> &x, double tolerance,
+                           int maxIterations,
+                           runtime::ExecutionContext &ctx);
+
+/**
+ * The estimation problem: a diffusion equation -div(c grad u) = f on
+ * an n x n interior grid with homogeneous Dirichlet boundaries. The
+ * diffusion coefficient is constant on each cell of a k x k subdomain
+ * partition; the estimator recovers those constants from a measured
+ * solution.
+ */
+struct EstimationProblem
+{
+    int n = 24;            //!< interior grid points per dimension
+    int subdomains = 2;    //!< k (k*k unknown coefficients)
+    double regularization = 1e-3;
+    double cgTolerance = 1e-8;
+    int descentIterations = 6;
+    std::vector<double> trueCoefficients; //!< k*k values
+    std::vector<double> measurements;     //!< n*n solution samples
+
+    std::string serialize() const;
+    static EstimationProblem parse(const std::string &text);
+};
+
+/** Build a problem: solve the forward model for the given truth. */
+EstimationProblem makeProblem(int n, int subdomains,
+                              std::uint64_t seed,
+                              runtime::ExecutionContext &ctx);
+
+/** Estimation outcome. */
+struct EstimationResult
+{
+    std::vector<double> coefficients;
+    double misfit = 0.0;            //!< final data misfit
+    double coefficientError = 0.0;  //!< L2 error vs the truth
+    int forwardSolves = 0;
+    std::uint64_t cgIterations = 0;
+};
+
+/** Assemble the diffusion stiffness matrix for coefficients @p c. */
+CsrMatrix assemble(int n, int subdomains,
+                   const std::vector<double> &c,
+                   runtime::ExecutionContext &ctx);
+
+/** Run the estimator on @p problem. */
+EstimationResult estimate(const EstimationProblem &problem,
+                          runtime::ExecutionContext &ctx);
+
+} // namespace alberta::parest
+
+#endif // ALBERTA_BENCHMARKS_PAREST_SOLVER_H

@@ -1,0 +1,207 @@
+#include "benchmarks/povray/benchmark.h"
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace alberta::povray {
+
+Scene
+makeCollectionScene(std::uint64_t seed, int objects)
+{
+    support::Rng rng(seed);
+    Scene scene;
+    scene.camera.position = {0, 2.5, -7};
+    scene.camera.lookAt = {0, 0.8, 0};
+    Shape ground;
+    ground.kind = ShapeKind::Plane;
+    ground.radius = 0.0;
+    ground.material.shade = 0.7;
+    ground.material.checker = false;
+    scene.shapes.push_back(ground);
+
+    for (int i = 0; i < objects; ++i) {
+        Shape s;
+        if (rng.chance(0.6)) {
+            s.kind = ShapeKind::Sphere;
+            s.radius = rng.real(0.2, 0.7);
+            s.center = {rng.real(-4, 4), s.radius, rng.real(-3, 5)};
+        } else {
+            s.kind = ShapeKind::Box;
+            const Vec3 lo{rng.real(-4, 4), 0.0, rng.real(-3, 5)};
+            s.center = lo;
+            s.extent = lo + Vec3{rng.real(0.3, 1.0),
+                                 rng.real(0.3, 1.2),
+                                 rng.real(0.3, 1.0)};
+        }
+        s.material.shade = rng.real(0.3, 0.95);
+        s.material.reflectivity = rng.chance(0.25) ? 0.4 : 0.0;
+        scene.shapes.push_back(s);
+    }
+    Light sun;
+    sun.position = {6, 10, -4};
+    sun.intensity = 1.2;
+    scene.lights.push_back(sun);
+    Light fill;
+    fill.position = {-5, 6, -6};
+    fill.intensity = 0.5;
+    scene.lights.push_back(fill);
+    return scene;
+}
+
+Scene
+makeLumpyScene(std::uint64_t seed, int lumps)
+{
+    support::Rng rng(seed);
+    Scene scene;
+    scene.camera.position = {0, 2, -5};
+    scene.camera.lookAt = {0, 1, 0};
+
+    Shape plane;
+    plane.kind = ShapeKind::Plane;
+    plane.radius = 0.0;
+    plane.material.shade = 0.9;
+    plane.material.checker = true;
+    scene.shapes.push_back(plane);
+
+    // The lumpy object: overlapping spheres around a center.
+    for (int i = 0; i < lumps; ++i) {
+        Shape s;
+        s.kind = ShapeKind::Sphere;
+        s.radius = rng.real(0.4, 0.8);
+        s.center = {rng.real(-0.8, 0.8), 1.0 + rng.real(-0.5, 0.5),
+                    rng.real(-0.8, 0.8)};
+        s.material.shade = 0.85;
+        scene.shapes.push_back(s);
+    }
+
+    // Two spotlights aimed at the object.
+    for (int i = 0; i < 2; ++i) {
+        Light spot;
+        spot.position = {i == 0 ? 4.0 : -4.0, 6.0, -3.0};
+        spot.direction =
+            (Vec3{0, 1, 0} - spot.position).normalized();
+        spot.cosAngle = 0.85;
+        spot.intensity = 1.4;
+        scene.lights.push_back(spot);
+    }
+    return scene;
+}
+
+Scene
+makePrimitiveScene(std::uint64_t seed, bool refract, double aperture)
+{
+    support::Rng rng(seed);
+    Scene scene;
+    scene.camera.position = {0, 1.5, -6};
+    scene.camera.lookAt = {0, 1, 0};
+    scene.camera.aperture = aperture;
+    scene.camera.focalDistance = 6.0;
+    scene.samples = aperture > 0 ? 4 : 1;
+
+    Shape plane;
+    plane.kind = ShapeKind::Plane;
+    plane.radius = 0.0;
+    plane.material.shade = 0.8;
+    plane.material.checker = true;
+    scene.shapes.push_back(plane);
+
+    Shape mirror;
+    mirror.kind = ShapeKind::Sphere;
+    mirror.center = {-1.4, 1.0, 0.5};
+    mirror.radius = 1.0;
+    mirror.material.shade = 0.2;
+    mirror.material.reflectivity = 0.85;
+    scene.shapes.push_back(mirror);
+
+    Shape glassOrMatte;
+    glassOrMatte.kind = ShapeKind::Sphere;
+    glassOrMatte.center = {1.4, 1.0, -0.5 + rng.real(-0.2, 0.2)};
+    glassOrMatte.radius = 1.0;
+    if (refract) {
+        glassOrMatte.material.shade = 0.1;
+        glassOrMatte.material.transparency = 0.9;
+        glassOrMatte.material.ior = 1.5;
+    } else {
+        glassOrMatte.material.shade = 0.9;
+    }
+    scene.shapes.push_back(glassOrMatte);
+
+    Light key;
+    key.position = {3, 8, -5};
+    key.intensity = 1.3;
+    scene.lights.push_back(key);
+    return scene;
+}
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed,
+             Scene scene, int width, int height)
+{
+    scene.width = width;
+    scene.height = height;
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.files["scene.pov"] = scene.serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+PovrayBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+    out.push_back(makeWorkload("refrate", 0x511F,
+                               makeCollectionScene(0x511F, 40), 224,
+                               168));
+    out.push_back(makeWorkload("train", 0x5111,
+                               makeCollectionScene(0x5111, 10), 64,
+                               48));
+    out.push_back(makeWorkload("test", 0x5112,
+                               makeLumpyScene(0x5112, 2), 32, 24));
+
+    // Seven Alberta workloads in the three families.
+    out.push_back(makeWorkload("alberta.collection-1", 0x11A1,
+                               makeCollectionScene(0x11A1, 20), 80,
+                               60));
+    out.push_back(makeWorkload("alberta.collection-2", 0x11A2,
+                               makeCollectionScene(0x11A2, 40), 64,
+                               48));
+    out.push_back(makeWorkload("alberta.lumpy-1", 0x11A3,
+                               makeLumpyScene(0x11A3, 6), 80, 60));
+    out.push_back(makeWorkload("alberta.lumpy-2", 0x11A4,
+                               makeLumpyScene(0x11A4, 12), 64, 48));
+    out.push_back(
+        makeWorkload("alberta.primitive-reflect", 0x11A5,
+                     makePrimitiveScene(0x11A5, false, 0.0), 80, 60));
+    out.push_back(
+        makeWorkload("alberta.primitive-refract", 0x11A6,
+                     makePrimitiveScene(0x11A6, true, 0.0), 80, 60));
+    out.push_back(makeWorkload(
+        "alberta.primitive-aperture", 0x11A7,
+        makePrimitiveScene(0x11A7, true, 0.25), 56, 42));
+    return out;
+}
+
+void
+PovrayBenchmark::run(const runtime::Workload &workload,
+                     runtime::ExecutionContext &context) const
+{
+    Scene scene;
+    {
+        auto scope = context.method("povray::parse_scene", 1800);
+        scene = Scene::parse(workload.file("scene.pov"));
+    }
+    RenderStats stats;
+    const auto image = render(scene, context, &stats);
+    support::fatalIf(image.empty(), "povray: empty image");
+    support::fatalIf(stats.meanLuminance <= 0.0,
+                     "povray: black render on '", workload.name, "'");
+    context.consume(stats.reflectionRays);
+    context.consume(stats.refractionRays);
+}
+
+} // namespace alberta::povray

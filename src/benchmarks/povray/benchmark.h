@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The 511.povray_r mini-benchmark: ray-traced renders across the
+ * three Alberta workload families (collection, lumpy, primitive).
+ */
+#ifndef ALBERTA_BENCHMARKS_POVRAY_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_POVRAY_BENCHMARK_H
+
+#include "benchmarks/povray/tracer.h"
+#include "runtime/benchmark.h"
+
+namespace alberta::povray {
+
+/** Real-world-ish scene: many simple primitives (collection). */
+Scene makeCollectionScene(std::uint64_t seed, int objects);
+
+/** One lumpy object over a checkered plane lit by two spotlights. */
+Scene makeLumpyScene(std::uint64_t seed, int lumps);
+
+/** Primitive-technique stress: reflection/refraction/aperture. */
+Scene makePrimitiveScene(std::uint64_t seed, bool refract,
+                         double aperture);
+
+/** See file comment. */
+class PovrayBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "511.povray_r"; }
+    std::string area() const override { return "Ray tracing"; }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::povray
+
+#endif // ALBERTA_BENCHMARKS_POVRAY_BENCHMARK_H

@@ -1,0 +1,469 @@
+#include "benchmarks/povray/tracer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/text.h"
+
+namespace alberta::povray {
+
+double
+Vec3::length() const
+{
+    return std::sqrt(dot(*this));
+}
+
+Vec3
+Vec3::normalized() const
+{
+    const double len = length();
+    support::panicIf(len < 1e-12, "povray: normalizing zero vector");
+    return {x / len, y / len, z / len};
+}
+
+namespace {
+
+struct Hit
+{
+    double t = 1e30;
+    Vec3 point;
+    Vec3 normal;
+    const Shape *shape = nullptr;
+};
+
+bool
+intersectSphere(const Shape &s, const Vec3 &origin, const Vec3 &dir,
+                Hit &hit)
+{
+    const Vec3 oc = origin - s.center;
+    const double b = oc.dot(dir);
+    const double c = oc.dot(oc) - s.radius * s.radius;
+    const double disc = b * b - c;
+    if (disc < 0)
+        return false;
+    const double sq = std::sqrt(disc);
+    double t = -b - sq;
+    if (t < 1e-4)
+        t = -b + sq;
+    if (t < 1e-4 || t >= hit.t)
+        return false;
+    hit.t = t;
+    hit.point = origin + dir * t;
+    hit.normal = (hit.point - s.center).normalized();
+    hit.shape = &s;
+    return true;
+}
+
+bool
+intersectPlane(const Shape &s, const Vec3 &origin, const Vec3 &dir,
+               Hit &hit)
+{
+    if (std::abs(dir.y) < 1e-9)
+        return false;
+    const double t = (s.radius - origin.y) / dir.y;
+    if (t < 1e-4 || t >= hit.t)
+        return false;
+    hit.t = t;
+    hit.point = origin + dir * t;
+    hit.normal = {0, dir.y > 0 ? -1.0 : 1.0, 0};
+    hit.shape = &s;
+    return true;
+}
+
+bool
+intersectBox(const Shape &s, const Vec3 &origin, const Vec3 &dir,
+             Hit &hit)
+{
+    double tmin = -1e30, tmax = 1e30;
+    int axisMin = 0;
+    const double o[3] = {origin.x, origin.y, origin.z};
+    const double d[3] = {dir.x, dir.y, dir.z};
+    const double lo[3] = {s.center.x, s.center.y, s.center.z};
+    const double hi[3] = {s.extent.x, s.extent.y, s.extent.z};
+    for (int a = 0; a < 3; ++a) {
+        if (std::abs(d[a]) < 1e-12) {
+            if (o[a] < lo[a] || o[a] > hi[a])
+                return false;
+            continue;
+        }
+        double t0 = (lo[a] - o[a]) / d[a];
+        double t1 = (hi[a] - o[a]) / d[a];
+        if (t0 > t1)
+            std::swap(t0, t1);
+        if (t0 > tmin) {
+            tmin = t0;
+            axisMin = a;
+        }
+        tmax = std::min(tmax, t1);
+        if (tmin > tmax)
+            return false;
+    }
+    const double t = tmin > 1e-4 ? tmin : tmax;
+    if (t < 1e-4 || t >= hit.t)
+        return false;
+    hit.t = t;
+    hit.point = origin + dir * t;
+    Vec3 n{0, 0, 0};
+    const double mid[3] = {(lo[0] + hi[0]) / 2, (lo[1] + hi[1]) / 2,
+                           (lo[2] + hi[2]) / 2};
+    const double p[3] = {hit.point.x, hit.point.y, hit.point.z};
+    if (axisMin == 0)
+        n.x = p[0] > mid[0] ? 1 : -1;
+    else if (axisMin == 1)
+        n.y = p[1] > mid[1] ? 1 : -1;
+    else
+        n.z = p[2] > mid[2] ? 1 : -1;
+    hit.normal = n;
+    hit.shape = &s;
+    return true;
+}
+
+class Tracer
+{
+  public:
+    Tracer(const Scene &scene, runtime::ExecutionContext &ctx,
+           RenderStats &stats)
+        : scene_(scene), ctx_(ctx), m_(ctx.machine()), stats_(stats),
+          rng_(0x511AA)
+    {
+    }
+
+    std::vector<double>
+    renderImage()
+    {
+        const Camera &cam = scene_.camera;
+        const Vec3 forward = (cam.lookAt - cam.position).normalized();
+        const Vec3 right =
+            forward.cross(Vec3{0, 1, 0}).normalized();
+        const Vec3 up = right.cross(forward);
+        const double tanFov =
+            std::tan(cam.fov * std::numbers::pi / 360.0);
+        const double aspect = static_cast<double>(scene_.width) /
+                              scene_.height;
+
+        std::vector<double> image(
+            static_cast<std::size_t>(scene_.width) * scene_.height,
+            0.0);
+        for (int py = 0; py < scene_.height; ++py) {
+            auto scope = ctx_.method("povray::trace_ray", 4800);
+            for (int px = 0; px < scene_.width; ++px) {
+                double sum = 0.0;
+                for (int s = 0; s < scene_.samples; ++s) {
+                    const double jx =
+                        scene_.samples > 1 ? rng_.real() : 0.5;
+                    const double jy =
+                        scene_.samples > 1 ? rng_.real() : 0.5;
+                    const double u =
+                        (2.0 * (px + jx) / scene_.width - 1.0) *
+                        tanFov * aspect;
+                    const double v =
+                        (1.0 - 2.0 * (py + jy) / scene_.height) *
+                        tanFov;
+                    Vec3 origin = cam.position;
+                    Vec3 dir = (forward + right * u + up * v)
+                                   .normalized();
+                    if (cam.aperture > 0.0) {
+                        // Depth of field: jitter the lens position,
+                        // keep the focal point fixed.
+                        auto lensScope = ctx_.method(
+                            "povray::lens_sample", 1200);
+                        const Vec3 focal =
+                            origin + dir * cam.focalDistance;
+                        const double a1 = rng_.real(-1.0, 1.0) *
+                                          cam.aperture;
+                        const double a2 = rng_.real(-1.0, 1.0) *
+                                          cam.aperture;
+                        origin = origin + right * a1 + up * a2;
+                        dir = (focal - origin).normalized();
+                        m_.ops(topdown::OpKind::FpMul, 12);
+                    }
+                    ++stats_.primaryRays;
+                    sum += trace(origin, dir, scene_.maxDepth, 1.0);
+                }
+                image[py * static_cast<std::size_t>(scene_.width) +
+                      px] = sum / scene_.samples;
+                m_.store(0x1100000000ULL +
+                         (py * static_cast<std::uint64_t>(
+                                   scene_.width) +
+                          px) *
+                             8);
+            }
+        }
+        double total = 0.0;
+        for (const double v : image)
+            total += v;
+        stats_.meanLuminance = total / image.size();
+        return image;
+    }
+
+  private:
+    bool
+    intersect(const Vec3 &origin, const Vec3 &dir, Hit &hit) const
+    {
+        std::uint64_t shapeIndex = 0;
+        for (const Shape &s : scene_.shapes) {
+            m_.load(0x1200000000ULL + (shapeIndex++) * 128);
+            switch (s.kind) {
+              case ShapeKind::Sphere:
+                intersectSphere(s, origin, dir, hit);
+                break;
+              case ShapeKind::Plane:
+                intersectPlane(s, origin, dir, hit);
+                break;
+              case ShapeKind::Box:
+                intersectBox(s, origin, dir, hit);
+                break;
+            }
+            m_.ops(topdown::OpKind::FpMul, 9);
+        }
+        return hit.shape != nullptr;
+    }
+
+    double
+    shade(const Hit &hit, const Vec3 &dir, int depth)
+    {
+        const Material &mat = hit.shape->material;
+        double base = mat.shade;
+        if (mat.checker) {
+            const int cx = static_cast<int>(
+                std::floor(hit.point.x));
+            const int cz = static_cast<int>(
+                std::floor(hit.point.z));
+            if (((cx + cz) & 1) != 0)
+                base *= 0.2;
+            m_.branch(1, ((cx + cz) & 1) != 0);
+        }
+
+        // Direct lighting with shadow rays.
+        double light = 0.08; // ambient
+        for (const Light &l : scene_.lights) {
+            const Vec3 toLight = l.position - hit.point;
+            const double dist = toLight.length();
+            const Vec3 ldir = toLight * (1.0 / dist);
+            const double ndotl = hit.normal.dot(ldir);
+            m_.ops(topdown::OpKind::FpMul, 10);
+            if (m_.branch(2, ndotl <= 0))
+                continue;
+            if (l.cosAngle > -1.0) {
+                // Spotlight cone check.
+                const double cosToPoint =
+                    l.direction.dot(ldir * -1.0);
+                if (m_.branch(3, cosToPoint < l.cosAngle))
+                    continue;
+            }
+            ++stats_.shadowRays;
+            auto shadowScope =
+                ctx_.method("povray::shadow_test", 2100);
+            Hit shadow;
+            shadow.t = dist - 1e-4;
+            bool blocked = false;
+            for (const Shape &s : scene_.shapes) {
+                Hit h;
+                h.t = dist - 1e-4;
+                const Vec3 so = hit.point + hit.normal * 1e-4;
+                bool hitSomething = false;
+                switch (s.kind) {
+                  case ShapeKind::Sphere:
+                    hitSomething = intersectSphere(s, so, ldir, h);
+                    break;
+                  case ShapeKind::Plane:
+                    hitSomething = intersectPlane(s, so, ldir, h);
+                    break;
+                  case ShapeKind::Box:
+                    hitSomething = intersectBox(s, so, ldir, h);
+                    break;
+                }
+                if (hitSomething) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (!m_.branch(4, blocked))
+                light += l.intensity * ndotl /
+                         (1.0 + 0.02 * dist * dist);
+        }
+        double color = base * std::min(light, 1.5);
+
+        // Reflection.
+        if (mat.reflectivity > 0 && depth > 0) {
+            ++stats_.reflectionRays;
+            auto reflectScope =
+                ctx_.method("povray::reflect", 1900);
+            const Vec3 refl =
+                dir - hit.normal * (2.0 * dir.dot(hit.normal));
+            m_.call();
+            color = color * (1.0 - mat.reflectivity) +
+                    mat.reflectivity *
+                        trace(hit.point + hit.normal * 1e-4,
+                              refl.normalized(), depth - 1, 1.0);
+        }
+
+        // Refraction.
+        if (mat.transparency > 0 && depth > 0) {
+            ++stats_.refractionRays;
+            auto refractScope =
+                ctx_.method("povray::refract", 2300);
+            const bool entering = dir.dot(hit.normal) < 0;
+            const double eta =
+                entering ? 1.0 / mat.ior : mat.ior;
+            const Vec3 n = entering ? hit.normal
+                                    : hit.normal * -1.0;
+            const double cosi = -dir.dot(n);
+            const double k = 1.0 - eta * eta * (1.0 - cosi * cosi);
+            m_.ops(topdown::OpKind::FpDiv, 2);
+            if (m_.branch(5, k >= 0)) {
+                const Vec3 refr =
+                    (dir * eta +
+                     n * (eta * cosi - std::sqrt(k)))
+                        .normalized();
+                m_.call();
+                color = color * (1.0 - mat.transparency) +
+                        mat.transparency *
+                            trace(hit.point - n * 1e-4, refr,
+                                  depth - 1, 1.0);
+            }
+        }
+        return color;
+    }
+
+    double
+    trace(const Vec3 &origin, const Vec3 &dir, int depth,
+          double weight)
+    {
+        (void)weight;
+        Hit hit;
+        if (!intersect(origin, dir, hit)) {
+            // Sky gradient.
+            return 0.15 + 0.1 * std::max(0.0, dir.y);
+        }
+        return shade(hit, dir, depth);
+    }
+
+    const Scene &scene_;
+    runtime::ExecutionContext &ctx_;
+    topdown::Machine &m_;
+    RenderStats &stats_;
+    support::Rng rng_;
+};
+
+} // namespace
+
+std::string
+Scene::serialize() const
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "render " << width << ' ' << height << ' ' << maxDepth
+       << ' ' << samples << '\n';
+    os << "camera " << camera.position.x << ' ' << camera.position.y
+       << ' ' << camera.position.z << ' ' << camera.lookAt.x << ' '
+       << camera.lookAt.y << ' ' << camera.lookAt.z << ' '
+       << camera.fov << ' ' << camera.aperture << ' '
+       << camera.focalDistance << '\n';
+    for (const Light &l : lights) {
+        os << "light " << l.position.x << ' ' << l.position.y << ' '
+           << l.position.z << ' ' << l.direction.x << ' '
+           << l.direction.y << ' ' << l.direction.z << ' '
+           << l.cosAngle << ' ' << l.intensity << '\n';
+    }
+    for (const Shape &s : shapes) {
+        os << (s.kind == ShapeKind::Sphere  ? "sphere"
+               : s.kind == ShapeKind::Plane ? "plane"
+                                            : "box")
+           << ' ' << s.center.x << ' ' << s.center.y << ' '
+           << s.center.z << ' ' << s.extent.x << ' ' << s.extent.y
+           << ' ' << s.extent.z << ' ' << s.radius << ' '
+           << s.material.shade << ' ' << s.material.reflectivity
+           << ' ' << s.material.transparency << ' ' << s.material.ior
+           << ' ' << (s.material.checker ? 1 : 0) << '\n';
+    }
+    return os.str();
+}
+
+Scene
+Scene::parse(const std::string &text)
+{
+    Scene scene;
+    scene.lights.clear();
+    scene.shapes.clear();
+    bool sawRender = false, sawCamera = false;
+    for (const auto &line : support::split(text, '\n')) {
+        const auto trimmed = support::trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        const auto f = support::splitWhitespace(trimmed);
+        const auto num = [&](std::size_t i) {
+            support::fatalIf(i >= f.size(),
+                             "scene: missing field in '",
+                             std::string(trimmed), "'");
+            return support::parseDouble(f[i]);
+        };
+        if (f[0] == "render") {
+            scene.width = static_cast<int>(num(1));
+            scene.height = static_cast<int>(num(2));
+            scene.maxDepth = static_cast<int>(num(3));
+            scene.samples = static_cast<int>(num(4));
+            support::fatalIf(scene.width < 4 || scene.height < 4 ||
+                                 scene.samples < 1,
+                             "scene: bad render settings");
+            sawRender = true;
+        } else if (f[0] == "camera") {
+            scene.camera.position = {num(1), num(2), num(3)};
+            scene.camera.lookAt = {num(4), num(5), num(6)};
+            scene.camera.fov = num(7);
+            scene.camera.aperture = num(8);
+            scene.camera.focalDistance = num(9);
+            sawCamera = true;
+        } else if (f[0] == "light") {
+            Light l;
+            l.position = {num(1), num(2), num(3)};
+            l.direction = {num(4), num(5), num(6)};
+            if (l.direction.length() > 1e-9)
+                l.direction = l.direction.normalized();
+            l.cosAngle = num(7);
+            l.intensity = num(8);
+            scene.lights.push_back(l);
+        } else if (f[0] == "sphere" || f[0] == "plane" ||
+                   f[0] == "box") {
+            Shape s;
+            s.kind = f[0] == "sphere"  ? ShapeKind::Sphere
+                     : f[0] == "plane" ? ShapeKind::Plane
+                                       : ShapeKind::Box;
+            s.center = {num(1), num(2), num(3)};
+            s.extent = {num(4), num(5), num(6)};
+            s.radius = num(7);
+            s.material.shade = num(8);
+            s.material.reflectivity = num(9);
+            s.material.transparency = num(10);
+            s.material.ior = num(11);
+            s.material.checker = num(12) != 0;
+            scene.shapes.push_back(s);
+        } else {
+            support::fatal("scene: unknown directive '", f[0], "'");
+        }
+    }
+    support::fatalIf(!sawRender || !sawCamera,
+                     "scene: missing render/camera directives");
+    support::fatalIf(scene.shapes.empty(), "scene: no objects");
+    return scene;
+}
+
+std::vector<double>
+render(const Scene &scene, runtime::ExecutionContext &ctx,
+       RenderStats *stats)
+{
+    RenderStats local;
+    Tracer tracer(scene, ctx, local);
+    auto image = tracer.renderImage();
+    if (stats)
+        *stats = local;
+    ctx.consume(local.meanLuminance);
+    ctx.consume(local.primaryRays + local.shadowRays);
+    return image;
+}
+
+} // namespace alberta::povray

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Recursive ray tracer for the 511.povray_r mini-benchmark: spheres,
+ * boxes, and checkered planes; point and spot lights; reflection,
+ * refraction, and camera-lens aperture — the rendering techniques the
+ * three Alberta workload families (collection / lumpy / primitive)
+ * stress.
+ */
+#ifndef ALBERTA_BENCHMARKS_POVRAY_TRACER_H
+#define ALBERTA_BENCHMARKS_POVRAY_TRACER_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace alberta::povray {
+
+/** A 3-vector. */
+struct Vec3
+{
+    double x = 0, y = 0, z = 0;
+
+    Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y,
+                                                  z + o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y,
+                                                  z - o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    double dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+    Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z,
+                x * o.y - y * o.x};
+    }
+    double length() const;
+    Vec3 normalized() const;
+};
+
+/** Surface material (grayscale shading). */
+struct Material
+{
+    double shade = 0.8;      //!< base reflectance in [0, 1]
+    double reflectivity = 0; //!< mirror component
+    double transparency = 0; //!< refractive component
+    double ior = 1.5;        //!< index of refraction
+    bool checker = false;    //!< checkerboard modulation (planes)
+};
+
+/** Object kinds. */
+enum class ShapeKind
+{
+    Sphere,
+    Plane, //!< horizontal plane y = height
+    Box,
+};
+
+/** One scene object. */
+struct Shape
+{
+    ShapeKind kind = ShapeKind::Sphere;
+    Vec3 center;        //!< sphere center / box min corner
+    Vec3 extent;        //!< box max corner
+    double radius = 1;  //!< sphere radius / plane height (center.y)
+    Material material;
+};
+
+/** Light kinds. */
+struct Light
+{
+    Vec3 position;
+    Vec3 direction;     //!< spotlights only
+    double cosAngle = -1.0; //!< spot cutoff; -1 = point light
+    double intensity = 1.0;
+};
+
+/** A camera. */
+struct Camera
+{
+    Vec3 position{0, 1, -4};
+    Vec3 lookAt{0, 0, 0};
+    double fov = 60.0;       //!< degrees
+    double aperture = 0.0;   //!< lens radius (0 = pinhole)
+    double focalDistance = 4.0;
+};
+
+/** The scene plus render settings. */
+struct Scene
+{
+    Camera camera;
+    std::vector<Shape> shapes;
+    std::vector<Light> lights;
+    int width = 64;
+    int height = 48;
+    int maxDepth = 4;
+    int samples = 1; //!< rays per pixel (aperture/antialias)
+
+    /** Serialize to the scene text format. */
+    std::string serialize() const;
+
+    /** Parse the scene text format. */
+    static Scene parse(const std::string &text);
+};
+
+/** Render statistics. */
+struct RenderStats
+{
+    std::uint64_t primaryRays = 0;
+    std::uint64_t shadowRays = 0;
+    std::uint64_t reflectionRays = 0;
+    std::uint64_t refractionRays = 0;
+    double meanLuminance = 0.0;
+};
+
+/** Render the scene; returns width*height luminance values. */
+std::vector<double> render(const Scene &scene,
+                           runtime::ExecutionContext &ctx,
+                           RenderStats *stats = nullptr);
+
+} // namespace alberta::povray
+
+#endif // ALBERTA_BENCHMARKS_POVRAY_TRACER_H

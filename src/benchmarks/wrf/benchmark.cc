@@ -1,0 +1,103 @@
+#include "benchmarks/wrf/benchmark.h"
+
+#include "benchmarks/wrf/model.h"
+#include "support/check.h"
+
+namespace alberta::wrf {
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed,
+             StormKind storm, int nx, int ny,
+             const Namelist &namelist)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.params.set("mp_physics",
+                 static_cast<long long>(namelist.microphysics));
+    w.params.set("ra_lw_physics",
+                 static_cast<long long>(namelist.longwaveRadiation));
+    w.files["wrfinput.txt"] =
+        makeStorm(storm, nx, ny, seed).serialize();
+    w.files["namelist.input"] = namelist.serialize();
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+WrfBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+
+    Namelist ref;
+    ref.steps = 80;
+    out.push_back(makeWorkload("refrate", 0x521F,
+                               StormKind::Hurricane, 72, 72, ref));
+    Namelist train = ref;
+    train.steps = 8;
+    out.push_back(makeWorkload("train", 0x5211, StormKind::Typhoon,
+                               32, 32, train));
+    Namelist test = ref;
+    test.steps = 3;
+    out.push_back(makeWorkload("test", 0x5212, StormKind::Front, 16,
+                               16, test));
+
+    // Twelve-plus Alberta workloads: two storm data sets (Katrina /
+    // Rusa analogues) x physics-option sweeps (Section IV-B).
+    int produced = 0;
+    for (const StormKind storm :
+         {StormKind::Hurricane, StormKind::Typhoon}) {
+        const char *stormName =
+            storm == StormKind::Hurricane ? "katrina" : "rusa";
+        for (int mp : {0, 1, 2}) {
+            for (int lw : {1, 2}) {
+                Namelist nl = ref;
+                nl.steps = 18;
+                nl.microphysics = mp;
+                nl.longwaveRadiation = lw;
+                nl.surfaceScheme = produced % 2;
+                nl.boundaryLayer = 1 + (produced / 2) % 2;
+                out.push_back(makeWorkload(
+                    std::string("alberta.") + stormName + "-mp" +
+                        std::to_string(mp) + "-lw" +
+                        std::to_string(lw),
+                    0x5210A0 + produced, storm, 36, 36, nl));
+                ++produced;
+            }
+        }
+    }
+    // One more to reach the Table II count of 16.
+    Namelist frontNl = ref;
+    frontNl.steps = 22;
+    frontNl.boundaryLayer = 2;
+    out.push_back(makeWorkload("alberta.front-strongbl", 0x5210C0,
+                               StormKind::Front, 40, 40, frontNl));
+    return out;
+}
+
+void
+WrfBenchmark::run(const runtime::Workload &workload,
+                  runtime::ExecutionContext &context) const
+{
+    InputFields input;
+    Namelist namelist;
+    {
+        auto scope = context.method("wrf::read_input", 2000);
+        input = InputFields::parse(workload.file("wrfinput.txt"));
+        namelist = Namelist::parse(workload.file("namelist.input"));
+        context.machine().stream(
+            topdown::OpKind::Load, 0xE20000000ULL,
+            workload.file("wrfinput.txt").size() / 32 + 1, 32);
+    }
+    Model model(std::move(input), namelist);
+    const ForecastStats stats = model.run(context);
+    support::fatalIf(!(stats.maxWind < 500.0),
+                     "wrf: forecast blew up on '", workload.name,
+                     "': max wind ", stats.maxWind);
+    context.consume(stats.cellUpdates);
+}
+
+} // namespace alberta::wrf

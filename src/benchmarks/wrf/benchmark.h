@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The 521.wrf_r mini-benchmark: storm-event forecasts with
+ * namelist-driven physics-option sweeps (the Alberta Katrina/Rusa
+ * workload families).
+ */
+#ifndef ALBERTA_BENCHMARKS_WRF_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_WRF_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::wrf {
+
+/** See file comment. */
+class WrfBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "521.wrf_r"; }
+    std::string area() const override
+    {
+        return "Weather forecasting";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::wrf
+
+#endif // ALBERTA_BENCHMARKS_WRF_BENCHMARK_H

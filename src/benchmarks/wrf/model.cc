@@ -1,0 +1,425 @@
+#include "benchmarks/wrf/model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::wrf {
+
+namespace {
+
+constexpr double kGravity = 9.81;
+constexpr double kCoriolis = 5e-5;
+constexpr double kBaseHeight = 8000.0;
+
+} // namespace
+
+std::string
+Namelist::serialize() const
+{
+    std::ostringstream os;
+    os << "&physics\n";
+    os << " steps = " << steps << '\n';
+    os << " dt = " << dt << '\n';
+    os << " mp_physics = " << microphysics << '\n';
+    os << " ra_lw_physics = " << longwaveRadiation << '\n';
+    os << " sf_surface_physics = " << surfaceScheme << '\n';
+    os << " bl_pbl_physics = " << boundaryLayer << '\n';
+    os << "/\n";
+    return os.str();
+}
+
+Namelist
+Namelist::parse(const std::string &text)
+{
+    Namelist nl;
+    for (const auto &line : support::split(text, '\n')) {
+        const auto trimmed = support::trim(line);
+        if (trimmed.empty() || trimmed[0] == '&' || trimmed[0] == '/')
+            continue;
+        const auto eq = trimmed.find('=');
+        support::fatalIf(eq == std::string_view::npos,
+                         "namelist: malformed line '",
+                         std::string(trimmed), "'");
+        const std::string key(support::trim(trimmed.substr(0, eq)));
+        const std::string value(support::trim(trimmed.substr(eq + 1)));
+        if (key == "steps")
+            nl.steps = static_cast<int>(support::parseInt(value));
+        else if (key == "dt")
+            nl.dt = support::parseDouble(value);
+        else if (key == "mp_physics")
+            nl.microphysics =
+                static_cast<int>(support::parseInt(value));
+        else if (key == "ra_lw_physics")
+            nl.longwaveRadiation =
+                static_cast<int>(support::parseInt(value));
+        else if (key == "sf_surface_physics")
+            nl.surfaceScheme =
+                static_cast<int>(support::parseInt(value));
+        else if (key == "bl_pbl_physics")
+            nl.boundaryLayer =
+                static_cast<int>(support::parseInt(value));
+        else
+            support::fatal("namelist: unknown key '", key, "'");
+    }
+    support::fatalIf(nl.dt <= 0 || nl.steps < 0,
+                     "namelist: bad steps/dt");
+    return nl;
+}
+
+std::string
+InputFields::serialize() const
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "wrfinput " << nx << ' ' << ny << ' ' << dx << '\n';
+    const auto dump = [&](const char *name,
+                          const std::vector<double> &field) {
+        os << name;
+        for (const double v : field)
+            os << ' ' << v;
+        os << '\n';
+    };
+    dump("height", height);
+    dump("u", u);
+    dump("v", v);
+    dump("moisture", moisture);
+    return os.str();
+}
+
+InputFields
+InputFields::parse(const std::string &text)
+{
+    InputFields in;
+    const auto lines = support::split(text, '\n');
+    support::fatalIf(lines.size() < 5, "wrfinput: truncated file");
+    {
+        const auto header = support::splitWhitespace(lines[0]);
+        support::fatalIf(header.size() != 4 ||
+                             header[0] != "wrfinput",
+                         "wrfinput: bad header");
+        in.nx = static_cast<int>(support::parseInt(header[1]));
+        in.ny = static_cast<int>(support::parseInt(header[2]));
+        in.dx = support::parseDouble(header[3]);
+        support::fatalIf(in.nx < 4 || in.ny < 4 || in.dx <= 0,
+                         "wrfinput: bad dimensions");
+    }
+    const std::size_t cells =
+        static_cast<std::size_t>(in.nx) * in.ny;
+    const auto loadField = [&](const std::string &line,
+                               const char *name,
+                               std::vector<double> &field) {
+        const auto fields = support::splitWhitespace(line);
+        support::fatalIf(fields.empty() || fields[0] != name,
+                         "wrfinput: expected field '", name, "'");
+        support::fatalIf(fields.size() != cells + 1, "wrfinput: '",
+                         name, "' has ", fields.size() - 1,
+                         " values; expected ", cells);
+        field.reserve(cells);
+        for (std::size_t i = 1; i < fields.size(); ++i)
+            field.push_back(support::parseDouble(fields[i]));
+    };
+    loadField(lines[1], "height", in.height);
+    loadField(lines[2], "u", in.u);
+    loadField(lines[3], "v", in.v);
+    loadField(lines[4], "moisture", in.moisture);
+    return in;
+}
+
+InputFields
+makeStorm(StormKind kind, int nx, int ny, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    InputFields in;
+    in.nx = nx;
+    in.ny = ny;
+    const std::size_t cells = static_cast<std::size_t>(nx) * ny;
+    in.height.assign(cells, kBaseHeight);
+    in.u.assign(cells, 0.0);
+    in.v.assign(cells, 0.0);
+    in.moisture.assign(cells, 0.01);
+
+    const double cx = nx * rng.real(0.35, 0.65);
+    const double cy = ny * rng.real(0.35, 0.65);
+
+    double depth, radius, moist;
+    switch (kind) {
+      case StormKind::Hurricane:
+        depth = 600.0;
+        radius = nx * 0.10;
+        moist = 0.035;
+        break;
+      case StormKind::Typhoon:
+        depth = 350.0;
+        radius = nx * 0.22;
+        moist = 0.030;
+        break;
+      default: // Front
+        depth = 200.0;
+        radius = nx * 0.3;
+        moist = 0.022;
+        break;
+    }
+
+    for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+            const std::size_t i =
+                x + static_cast<std::size_t>(nx) * y;
+            if (kind == StormKind::Front) {
+                // A shear line across the domain.
+                const double band =
+                    std::exp(-std::pow((y - cy) / radius, 2));
+                in.u[i] = 18.0 * band * (x > cx ? 1.0 : -1.0);
+                in.height[i] -= depth * band * 0.5;
+                in.moisture[i] += (moist - 0.01) * band;
+                continue;
+            }
+            const double dx0 = x - cx, dy0 = y - cy;
+            const double r = std::sqrt(dx0 * dx0 + dy0 * dy0);
+            const double shape = std::exp(-(r * r) /
+                                          (2 * radius * radius));
+            in.height[i] -= depth * shape;
+            // Gradient-wind vortex (cyclonic).
+            const double speed =
+                depth * shape * (r / (radius * radius)) * 0.8;
+            if (r > 1e-6) {
+                in.u[i] = -speed * dy0 / r;
+                in.v[i] = speed * dx0 / r;
+            }
+            in.moisture[i] += (moist - 0.01) * shape;
+        }
+    }
+    // Environmental noise so no two events are identical.
+    for (auto &h : in.height)
+        h += rng.real(-3.0, 3.0);
+    return in;
+}
+
+Model::Model(InputFields input, const Namelist &namelist)
+    : state_(std::move(input)), namelist_(namelist)
+{
+    const std::size_t cells =
+        static_cast<std::size_t>(state_.nx) * state_.ny;
+    support::fatalIf(state_.height.size() != cells,
+                     "wrf: field size mismatch");
+}
+
+void
+Model::dynamicsStep(runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("wrf::dynamics", 4400);
+    auto &m = ctx.machine();
+    const int nx = state_.nx, ny = state_.ny;
+    const double dt = namelist_.dt;
+    const double inv2dx = 1.0 / (2.0 * state_.dx);
+
+    const auto wrap = [&](int a, int n) { return (a + n) % n; };
+    const auto idx = [&](int x, int y) {
+        return static_cast<std::size_t>(wrap(x, nx)) +
+               static_cast<std::size_t>(nx) * wrap(y, ny);
+    };
+
+    std::vector<double> nh = state_.height, nu = state_.u,
+                        nv = state_.v, nq = state_.moisture;
+    for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+            const std::size_t i = idx(x, y);
+            const double hE = state_.height[idx(x + 1, y)];
+            const double hW = state_.height[idx(x - 1, y)];
+            const double hN = state_.height[idx(x, y + 1)];
+            const double hS = state_.height[idx(x, y - 1)];
+            const double uE = state_.u[idx(x + 1, y)];
+            const double uW = state_.u[idx(x - 1, y)];
+            const double vN = state_.v[idx(x, y + 1)];
+            const double vS = state_.v[idx(x, y - 1)];
+
+            // Lax scheme: the time update starts from the neighbour
+            // average, which stabilizes the centered space
+            // derivatives for CFL < 1.
+            const double hAvg = 0.25 * (hE + hW + hN + hS);
+            const double uAvg =
+                0.25 * (uE + uW + state_.u[idx(x, y + 1)] +
+                        state_.u[idx(x, y - 1)]);
+            const double vAvg =
+                0.25 * (vN + vS + state_.v[idx(x + 1, y)] +
+                        state_.v[idx(x - 1, y)]);
+
+            // Continuity: dh/dt = -H (du/dx + dv/dy) (linearized).
+            nh[i] = hAvg - dt * kBaseHeight *
+                               ((uE - uW) + (vN - vS)) * inv2dx;
+
+            // Momentum with Coriolis.
+            nu[i] = uAvg - dt * (kGravity * (hE - hW) * inv2dx -
+                                 kCoriolis * state_.v[i]);
+            nv[i] = vAvg - dt * (kGravity * (hN - hS) * inv2dx +
+                                 kCoriolis * state_.u[i]);
+
+            // Moisture advection (upwind).
+            const double qx = state_.u[i] > 0
+                                  ? state_.moisture[i] -
+                                        state_.moisture[idx(x - 1, y)]
+                                  : state_.moisture[idx(x + 1, y)] -
+                                        state_.moisture[i];
+            const double qy = state_.v[i] > 0
+                                  ? state_.moisture[i] -
+                                        state_.moisture[idx(x, y - 1)]
+                                  : state_.moisture[idx(x, y + 1)] -
+                                        state_.moisture[i];
+            nq[i] = state_.moisture[i] -
+                    dt * 2.0 * inv2dx *
+                        (std::abs(state_.u[i]) * qx +
+                         std::abs(state_.v[i]) * qy);
+
+            // Upwind-direction selection branches: per-cell and
+            // data-dependent (sign fields flip across the vortex).
+            m.branch(1, state_.u[i] > 0);
+            m.branch(5, state_.v[i] > 0);
+            if ((i & 7) == 0) {
+                m.stream(topdown::OpKind::Load, i * 8, 16, 8);
+                m.ops(topdown::OpKind::FpMul, 8 * 14);
+                m.ops(topdown::OpKind::FpAdd, 8 * 16);
+            }
+        }
+    }
+    state_.height.swap(nh);
+    state_.u.swap(nu);
+    state_.v.swap(nv);
+    state_.moisture.swap(nq);
+}
+
+void
+Model::physicsStep(runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("wrf::physics", 3600);
+    auto &m = ctx.machine();
+    const int nx = state_.nx, ny = state_.ny;
+    const double dt = namelist_.dt;
+    const std::size_t cells =
+        static_cast<std::size_t>(nx) * ny;
+
+    // Microphysics: condensation above saturation releases latent
+    // heat (raises the column height a little) and precipitates.
+    if (namelist_.microphysics > 0) {
+        auto mpScope = ctx.method(namelist_.microphysics == 2
+                                      ? "wrf::mp_ice"
+                                      : "wrf::mp_warm_rain",
+                                  2400);
+        const double saturation =
+            namelist_.microphysics == 2 ? 0.024 : 0.028;
+        for (std::size_t i = 0; i < cells; ++i) {
+            m.load(0xE00000000ULL + i * 8);
+            if (m.branch(2, state_.moisture[i] > saturation)) {
+                const double excess =
+                    state_.moisture[i] - saturation;
+                state_.moisture[i] = saturation;
+                precipitation_ += excess;
+                state_.height[i] += excess * 2000.0; // latent heat
+                m.ops(topdown::OpKind::FpMul, 4);
+                if (namelist_.microphysics == 2) {
+                    // Ice phase: extra work per condensing cell.
+                    m.ops(topdown::OpKind::FpDiv, 2);
+                    state_.height[i] += excess * 500.0;
+                }
+            }
+        }
+    }
+
+    // Long-wave radiation: slow cooling (height relaxation).
+    if (namelist_.longwaveRadiation > 0) {
+        auto lwScope = ctx.method(namelist_.longwaveRadiation == 2
+                                      ? "wrf::ra_lw_layered"
+                                      : "wrf::ra_lw_uniform",
+                                  1800);
+        for (std::size_t i = 0; i < cells; ++i) {
+            double rate = 1e-6;
+            if (namelist_.longwaveRadiation == 2) {
+                // Layered scheme: cooling depends on anomaly size.
+                rate *= 1.0 + std::abs(state_.height[i] -
+                                       kBaseHeight) /
+                                  1000.0;
+                m.ops(topdown::OpKind::FpDiv, 1);
+            }
+            state_.height[i] -=
+                dt * rate * (state_.height[i] - kBaseHeight);
+        }
+        m.ops(topdown::OpKind::FpMul, cells / 4);
+    }
+
+    // Surface drag.
+    if (namelist_.surfaceScheme == 1) {
+        auto sfScope = ctx.method("wrf::sf_drag", 1100);
+        const double drag = 1.0 - 2e-4 * dt;
+        for (std::size_t i = 0; i < cells; ++i) {
+            state_.u[i] *= drag;
+            state_.v[i] *= drag;
+        }
+        m.ops(topdown::OpKind::FpMul, cells / 2);
+    }
+
+    // Boundary-layer mixing: Laplacian smoothing of the winds.
+    {
+        auto blScope = ctx.method(namelist_.boundaryLayer == 2
+                                      ? "wrf::bl_strong_mixing"
+                                      : "wrf::bl_weak_mixing",
+                                  2000);
+        const double k =
+            namelist_.boundaryLayer == 2 ? 0.08 : 0.02;
+        const auto wrap = [&](int a, int n) { return (a + n) % n; };
+        const auto idx = [&](int x, int y) {
+            return static_cast<std::size_t>(wrap(x, nx)) +
+                   static_cast<std::size_t>(nx) * wrap(y, ny);
+        };
+        std::vector<double> su = state_.u, sv = state_.v;
+        for (int y = 0; y < ny; ++y) {
+            for (int x = 0; x < nx; ++x) {
+                const std::size_t i = idx(x, y);
+                su[i] = (1 - 4 * k) * state_.u[i] +
+                        k * (state_.u[idx(x + 1, y)] +
+                             state_.u[idx(x - 1, y)] +
+                             state_.u[idx(x, y + 1)] +
+                             state_.u[idx(x, y - 1)]);
+                sv[i] = (1 - 4 * k) * state_.v[i] +
+                        k * (state_.v[idx(x + 1, y)] +
+                             state_.v[idx(x - 1, y)] +
+                             state_.v[idx(x, y - 1)] +
+                             state_.v[idx(x, y + 1)]);
+            }
+        }
+        state_.u.swap(su);
+        state_.v.swap(sv);
+        m.ops(topdown::OpKind::FpMul, cells);
+        m.stream(topdown::OpKind::Load, 0xE10000000ULL, cells / 8,
+                 8);
+    }
+}
+
+ForecastStats
+Model::run(runtime::ExecutionContext &ctx)
+{
+    for (int step = 0; step < namelist_.steps; ++step) {
+        dynamicsStep(ctx);
+        physicsStep(ctx);
+    }
+
+    ForecastStats stats;
+    const std::size_t cells = state_.height.size();
+    for (std::size_t i = 0; i < cells; ++i) {
+        stats.totalMass += state_.height[i];
+        stats.maxWind = std::max(
+            stats.maxWind, std::sqrt(state_.u[i] * state_.u[i] +
+                                     state_.v[i] * state_.v[i]));
+    }
+    stats.meanHeight =
+        stats.totalMass / static_cast<double>(cells);
+    stats.totalPrecipitation = precipitation_;
+    stats.cellUpdates = static_cast<std::uint64_t>(cells) *
+                        namelist_.steps;
+    ctx.consume(stats.meanHeight);
+    ctx.consume(stats.maxWind);
+    ctx.consume(stats.totalPrecipitation * 1e6);
+    return stats;
+}
+
+} // namespace alberta::wrf

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Numerical weather model for the 521.wrf_r mini-benchmark: 2D
+ * shallow-water dynamics with Coriolis force plus pluggable physics
+ * options (microphysics, long-wave radiation, surface drag, and
+ * boundary-layer mixing), mirroring the WRF namelist knobs the
+ * Alberta workloads sweep.
+ */
+#ifndef ALBERTA_BENCHMARKS_WRF_MODEL_H
+#define ALBERTA_BENCHMARKS_WRF_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+#include "support/rng.h"
+
+namespace alberta::wrf {
+
+/** Physics options (the namelist). */
+struct Namelist
+{
+    int steps = 20;
+    double dt = 20.0;            //!< seconds
+    int microphysics = 1;        //!< 0 off, 1 warm rain, 2 with ice
+    int longwaveRadiation = 1;   //!< 0 off, 1 uniform, 2 layered
+    int surfaceScheme = 1;       //!< 0 free-slip, 1 drag
+    int boundaryLayer = 1;       //!< 1 weak mixing, 2 strong mixing
+
+    std::string serialize() const;
+    static Namelist parse(const std::string &text);
+};
+
+/** Gridded initial condition (the wrfinput stand-in). */
+struct InputFields
+{
+    int nx = 0, ny = 0;
+    double dx = 10000.0;            //!< meters
+    std::vector<double> height;     //!< fluid depth (m)
+    std::vector<double> u, v;       //!< winds (m/s)
+    std::vector<double> moisture;   //!< specific humidity proxy
+
+    std::string serialize() const;
+    static InputFields parse(const std::string &text);
+};
+
+/** Storm archetypes for initial-condition synthesis. */
+enum class StormKind
+{
+    Hurricane, //!< compact intense vortex (Katrina-like)
+    Typhoon,   //!< broad moderate vortex (Rusa-like)
+    Front,     //!< linear wind shear band
+};
+
+/** Build the wrfinput fields for a storm event. */
+InputFields makeStorm(StormKind kind, int nx, int ny,
+                      std::uint64_t seed);
+
+/** Forecast diagnostics. */
+struct ForecastStats
+{
+    double totalMass = 0.0;
+    double maxWind = 0.0;
+    double totalPrecipitation = 0.0;
+    double meanHeight = 0.0;
+    std::uint64_t cellUpdates = 0;
+};
+
+/** The model. */
+class Model
+{
+  public:
+    Model(InputFields input, const Namelist &namelist);
+
+    /** Run the forecast. */
+    ForecastStats run(runtime::ExecutionContext &ctx);
+
+  private:
+    void dynamicsStep(runtime::ExecutionContext &ctx);
+    void physicsStep(runtime::ExecutionContext &ctx);
+
+    InputFields state_;
+    Namelist namelist_;
+    double precipitation_ = 0.0;
+};
+
+} // namespace alberta::wrf
+
+#endif // ALBERTA_BENCHMARKS_WRF_MODEL_H

@@ -1,0 +1,135 @@
+#include "benchmarks/x264/benchmark.h"
+
+#include "benchmarks/x264/codec.h"
+#include "support/check.h"
+
+namespace alberta::x264 {
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, const VideoConfig &video, int qp,
+             bool twoPass, int startFrame, int frameCount,
+             int dumpInterval)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = video.seed;
+    w.params.set("qp", static_cast<long long>(qp));
+    w.params.set("two_pass", twoPass);
+    w.params.set("start_frame", static_cast<long long>(startFrame));
+    w.params.set("frame_count", static_cast<long long>(frameCount));
+    w.params.set("dump_interval",
+                 static_cast<long long>(dumpInterval));
+
+    // Workloads ship as encoded streams, like SPEC's .264 inputs; the
+    // generation script encodes the raw clip at high quality.
+    runtime::ExecutionContext scratch;
+    CodecConfig master;
+    master.qp = 2;
+    const auto clip = generateVideo(video);
+    const auto stream = encode(clip, master, scratch);
+    w.files["input.264"] =
+        std::string(stream.begin(), stream.end());
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+X264Benchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+
+    VideoConfig ref;
+    ref.seed = 0x525F;
+    ref.frames = 40;
+    ref.style = VideoStyle::MovingBlocks;
+    out.push_back(makeWorkload("refrate", ref, 8, false, 0, 24, 4));
+
+    VideoConfig train = ref;
+    train.seed = 0x5251;
+    train.frames = 10;
+    out.push_back(makeWorkload("train", train, 8, false, 0, 10, 5));
+
+    VideoConfig test = ref;
+    test.seed = 0x5252;
+    test.frames = 4;
+    test.width = 96;
+    test.height = 64;
+    out.push_back(makeWorkload("test", test, 8, false, 0, 4, 2));
+
+    // Alberta workloads: different clips and script parameters
+    // (start frame, frame count, dump interval, 1-/2-pass).
+    VideoConfig zoom = ref;
+    zoom.seed = 0xE1;
+    zoom.style = VideoStyle::Zoom;
+    zoom.frames = 18;
+    out.push_back(
+        makeWorkload("alberta.zoom-1pass", zoom, 8, false, 0, 18, 3));
+    out.push_back(
+        makeWorkload("alberta.zoom-2pass", zoom, 8, true, 0, 18, 3));
+
+    VideoConfig talking = ref;
+    talking.seed = 0xE2;
+    talking.style = VideoStyle::Talking;
+    talking.frames = 20;
+    out.push_back(makeWorkload("alberta.talking-midclip", talking, 6,
+                               false, 6, 12, 4));
+
+    VideoConfig noise = ref;
+    noise.seed = 0xE3;
+    noise.style = VideoStyle::Noise;
+    noise.frames = 8;
+    out.push_back(
+        makeWorkload("alberta.noise-hard", noise, 12, false, 0, 8, 2));
+
+    VideoConfig fine = ref;
+    fine.seed = 0xE4;
+    fine.frames = 14;
+    out.push_back(
+        makeWorkload("alberta.fine-quant", fine, 3, false, 0, 14, 7));
+    return out;
+}
+
+void
+X264Benchmark::run(const runtime::Workload &workload,
+                   runtime::ExecutionContext &context) const
+{
+    // Program 1: ldecod_r decodes the distributed stream.
+    const std::string &raw = workload.file("input.264");
+    const std::vector<std::uint8_t> stream(raw.begin(), raw.end());
+    const std::vector<Frame> source = decode(stream, context);
+
+    const int start = static_cast<int>(
+        workload.params.getInt("start_frame", 0));
+    const int count = static_cast<int>(workload.params.getInt(
+        "frame_count", static_cast<long long>(source.size())));
+    support::fatalIf(start < 0 ||
+                         start + count >
+                             static_cast<int>(source.size()),
+                     "x264: frame range out of bounds");
+    const std::vector<Frame> clip(source.begin() + start,
+                                  source.begin() + start + count);
+
+    // Program 2: x264_r encodes the selected range.
+    CodecConfig config;
+    config.qp =
+        static_cast<int>(workload.params.getInt("qp", 8));
+    config.twoPass = workload.params.getBool("two_pass", false);
+    EncodeStats stats;
+    const auto encoded = encode(clip, config, context, &stats);
+
+    // Program 3: imagevalidate_r compares decoded output frames.
+    const auto decoded = decode(encoded, context);
+    const int interval = static_cast<int>(
+        workload.params.getInt("dump_interval", 1));
+    const double meanDb =
+        validate(decoded, clip, interval, 18.0, context);
+
+    context.consume(static_cast<std::uint64_t>(encoded.size()));
+    context.consume(stats.sadEvaluations);
+    context.consume(meanDb);
+}
+
+} // namespace alberta::x264

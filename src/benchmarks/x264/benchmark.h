@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The 525.x264_r mini-benchmark: decode -> encode -> validate over
+ * synthetic clips, mirroring the three-program SPEC workload
+ * (ldecod_r, x264_r, imagevalidate_r).
+ */
+#ifndef ALBERTA_BENCHMARKS_X264_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_X264_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::x264 {
+
+/** See file comment. */
+class X264Benchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "525.x264_r"; }
+    std::string area() const override { return "Video compression"; }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::x264
+
+#endif // ALBERTA_BENCHMARKS_X264_BENCHMARK_H

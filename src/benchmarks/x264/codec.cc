@@ -1,0 +1,471 @@
+#include "benchmarks/x264/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace alberta::x264 {
+
+namespace {
+
+constexpr std::uint8_t kMagic = 0xC4;
+constexpr int kMb = 16; //!< macroblock size
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t
+getVarint(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+        support::fatalIf(pos >= in.size(), "x264: truncated stream");
+        const std::uint8_t byte = in[pos++];
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+        support::fatalIf(shift > 63, "x264: oversized varint");
+    }
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** 1D 8-point Hadamard butterfly (involution up to scaling). */
+void
+hadamard8(const std::int32_t in[8], std::int32_t out[8])
+{
+    std::int32_t a[8];
+    for (int i = 0; i < 4; ++i) {
+        a[i] = in[i] + in[i + 4];
+        a[i + 4] = in[i] - in[i + 4];
+    }
+    std::int32_t b[8];
+    for (int half = 0; half < 8; half += 4) {
+        for (int i = 0; i < 2; ++i) {
+            b[half + i] = a[half + i] + a[half + i + 2];
+            b[half + i + 2] = a[half + i] - a[half + i + 2];
+        }
+    }
+    for (int pair = 0; pair < 8; pair += 2) {
+        out[pair] = b[pair] + b[pair + 1];
+        out[pair + 1] = b[pair] - b[pair + 1];
+    }
+}
+
+void
+transform2d(const std::int32_t in[64], std::int32_t out[64])
+{
+    std::int32_t tmp[64];
+    std::int32_t row[8], res[8];
+    for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c)
+            row[c] = in[r * 8 + c];
+        hadamard8(row, res);
+        for (int c = 0; c < 8; ++c)
+            tmp[r * 8 + c] = res[c];
+    }
+    for (int c = 0; c < 8; ++c) {
+        for (int r = 0; r < 8; ++r)
+            row[r] = tmp[r * 8 + c];
+        hadamard8(row, res);
+        for (int r = 0; r < 8; ++r)
+            out[r * 8 + c] = res[r];
+    }
+}
+
+int
+clampByte(int v)
+{
+    return std::clamp(v, 0, 255);
+}
+
+/** SAD of a 16x16 block at (bx,by) in cur vs (rx,ry) in ref. */
+std::uint32_t
+sad16(const Frame &cur, int bx, int by, const Frame &ref, int rx,
+      int ry)
+{
+    std::uint32_t total = 0;
+    for (int y = 0; y < kMb; ++y) {
+        const std::uint8_t *cp = &cur.samples[(by + y) * cur.width +
+                                              bx];
+        const std::uint8_t *rp = &ref.samples[(ry + y) * ref.width +
+                                              rx];
+        for (int x = 0; x < kMb; ++x)
+            total += static_cast<std::uint32_t>(
+                std::abs(int(cp[x]) - int(rp[x])));
+    }
+    return total;
+}
+
+} // namespace
+
+void
+forwardDct(const std::int32_t in[64], std::int32_t out[64])
+{
+    transform2d(in, out);
+}
+
+void
+inverseDct(const std::int32_t in[64], std::int32_t out[64])
+{
+    std::int32_t raw[64];
+    transform2d(in, raw);
+    for (int i = 0; i < 64; ++i)
+        out[i] = raw[i] / 64; // Hadamard is 64x its own inverse
+}
+
+namespace {
+
+struct MotionVector
+{
+    int dx = 0;
+    int dy = 0;
+};
+
+/** Diamond search around (0,0) within the configured range. */
+MotionVector
+searchMotion(const Frame &cur, int bx, int by, const Frame &ref,
+             int range, runtime::ExecutionContext &ctx,
+             EncodeStats &stats)
+{
+    auto &m = ctx.machine();
+    MotionVector best;
+    const auto tryVector = [&](int dx, int dy,
+                               std::uint32_t &bestCost) {
+        const int rx = bx + dx, ry = by + dy;
+        if (rx < 0 || ry < 0 || rx + kMb > ref.width ||
+            ry + kMb > ref.height)
+            return false;
+        const std::uint32_t cost =
+            sad16(cur, bx, by, ref, rx, ry) +
+            4 * (std::abs(dx) + std::abs(dy)); // rate bias
+        ++stats.sadEvaluations;
+        m.stream(topdown::OpKind::Load,
+                 0x800000000ULL +
+                     static_cast<std::uint64_t>(ry) * ref.width + rx,
+                 kMb * kMb / 8, 8);
+        m.ops(topdown::OpKind::IntAlu, kMb * kMb / 4);
+        if (m.branch(1, cost < bestCost)) {
+            bestCost = cost;
+            best = {dx, dy};
+            return true;
+        }
+        return false;
+    };
+
+    std::uint32_t bestCost = ~0u;
+    tryVector(0, 0, bestCost);
+    int step = std::max(1, range / 2);
+    while (step >= 1) {
+        bool improved = false;
+        const int cx = best.dx, cy = best.dy;
+        improved |= tryVector(cx + step, cy, bestCost);
+        improved |= tryVector(cx - step, cy, bestCost);
+        improved |= tryVector(cx, cy + step, bestCost);
+        improved |= tryVector(cx, cy - step, bestCost);
+        if (!m.branch(2, improved))
+            step /= 2;
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encode(const std::vector<Frame> &clip, const CodecConfig &config,
+       runtime::ExecutionContext &ctx, EncodeStats *statsOut)
+{
+    support::fatalIf(clip.empty(), "x264: empty clip");
+    support::fatalIf(config.qp < 1, "x264: qp must be >= 1");
+    auto &m = ctx.machine();
+    EncodeStats stats;
+
+    const int width = clip[0].width, height = clip[0].height;
+    std::vector<std::uint8_t> stream = {kMagic};
+    putVarint(stream, width);
+    putVarint(stream, height);
+    putVarint(stream, clip.size());
+    putVarint(stream, config.qp);
+
+    // Optional first pass: coarse motion statistics drive per-frame
+    // rate control in the second pass (busy frames get a coarser
+    // quantizer, quiet frames a finer one).
+    std::vector<int> frameQp(clip.size(), config.qp);
+    if (config.twoPass) {
+        auto scope = ctx.method("x264::first_pass", 2400);
+        std::vector<double> activity(clip.size(), 0.0);
+        Frame prev = clip[0];
+        for (std::size_t f = 1; f < clip.size(); ++f) {
+            double residual = 0.0;
+            for (int by = 0; by + kMb <= height; by += kMb) {
+                for (int bx = 0; bx + kMb <= width; bx += kMb) {
+                    const MotionVector mv = searchMotion(
+                        clip[f], bx, by, prev,
+                        std::max(2, config.searchRange / 2), ctx,
+                        stats);
+                    residual += sad16(clip[f], bx, by, prev,
+                                      bx + mv.dx, by + mv.dy);
+                }
+            }
+            activity[f] = residual;
+            prev = clip[f];
+        }
+        double mean = 0.0;
+        for (std::size_t f = 1; f < clip.size(); ++f)
+            mean += activity[f];
+        if (clip.size() > 1)
+            mean /= static_cast<double>(clip.size() - 1);
+        for (std::size_t f = 1; f < clip.size() && mean > 0; ++f) {
+            if (activity[f] > 1.5 * mean)
+                frameQp[f] = std::min(config.qp * 2, config.qp + 8);
+            else if (activity[f] < 0.5 * mean)
+                frameQp[f] = std::max(1, config.qp / 2);
+        }
+    }
+
+    Frame reference(width, height);
+    double psnrSum = 0.0;
+    for (std::size_t f = 0; f < clip.size(); ++f) {
+        const Frame &cur = clip[f];
+        Frame reconstructed(width, height);
+        const bool intra = f == 0;
+        const int qp = frameQp[f];
+        putVarint(stream, qp); // per-frame quantizer (rate control)
+
+        for (int by = 0; by + kMb <= height; by += kMb) {
+            for (int bx = 0; bx + kMb <= width; bx += kMb) {
+                MotionVector mv;
+                if (!intra) {
+                    auto scope = ctx.method("x264::motion_search",
+                                            3600);
+                    mv = searchMotion(cur, bx, by, reference,
+                                      config.searchRange, ctx, stats);
+                }
+                putVarint(stream, zigzag(mv.dx));
+                putVarint(stream, zigzag(mv.dy));
+
+                // Residual blocks (4 per macroblock).
+                auto scope = ctx.method("x264::transform_quant", 3000);
+                for (int sub = 0; sub < 4; ++sub) {
+                    const int ox = bx + (sub % 2) * 8;
+                    const int oy = by + (sub / 2) * 8;
+                    std::int32_t block[64], coeffs[64];
+                    for (int y = 0; y < 8; ++y) {
+                        for (int x = 0; x < 8; ++x) {
+                            const int pred =
+                                intra ? 128
+                                      : reference.at(ox + x + mv.dx,
+                                                     oy + y + mv.dy);
+                            block[y * 8 + x] =
+                                int(cur.at(ox + x, oy + y)) - pred;
+                        }
+                    }
+                    m.stream(topdown::OpKind::Load,
+                             0x900000000ULL +
+                                 static_cast<std::uint64_t>(oy) *
+                                     width +
+                                 ox,
+                             8, 8);
+                    forwardDct(block, coeffs);
+                    m.ops(topdown::OpKind::IntAlu, 64 * 3);
+
+                    bool allZero = true;
+                    for (int i = 0; i < 64; ++i) {
+                        coeffs[i] /= qp;
+                        allZero &= coeffs[i] == 0;
+                    }
+                    m.ops(topdown::OpKind::IntDiv, 8);
+
+                    // Entropy stage: RLE of zeros + zigzagged values.
+                    auto entropy = ctx.method("x264::entropy", 2200);
+                    if (m.branch(3, allZero)) {
+                        putVarint(stream, 0); // skip marker
+                        ++stats.skipBlocks;
+                    } else {
+                        putVarint(stream, 1);
+                        int zeros = 0;
+                        for (int i = 0; i < 64; ++i) {
+                            if (coeffs[i] == 0) {
+                                ++zeros;
+                                continue;
+                            }
+                            putVarint(stream, zeros + 1);
+                            putVarint(stream, zigzag(coeffs[i]));
+                            zeros = 0;
+                            m.ops(topdown::OpKind::IntAlu, 6);
+                        }
+                        putVarint(stream, 0); // end of block
+                    }
+
+                    // Reconstruct exactly as the decoder will.
+                    std::int32_t dequant[64], spatial[64];
+                    for (int i = 0; i < 64; ++i)
+                        dequant[i] = coeffs[i] * qp;
+                    inverseDct(dequant, spatial);
+                    for (int y = 0; y < 8; ++y) {
+                        for (int x = 0; x < 8; ++x) {
+                            const int pred =
+                                intra ? 128
+                                      : reference.at(ox + x + mv.dx,
+                                                     oy + y + mv.dy);
+                            reconstructed.at(ox + x, oy + y) =
+                                static_cast<std::uint8_t>(clampByte(
+                                    pred + spatial[y * 8 + x]));
+                        }
+                    }
+                }
+            }
+        }
+        psnrSum += psnr(cur, reconstructed);
+        reference = std::move(reconstructed);
+    }
+
+    stats.bitsEstimated = stream.size();
+    stats.meanPsnr = psnrSum / static_cast<double>(clip.size());
+    if (statsOut)
+        *statsOut = stats;
+    ctx.consume(static_cast<std::uint64_t>(stream.size()));
+    ctx.consume(stats.skipBlocks);
+    return stream;
+}
+
+std::vector<Frame>
+decode(const std::vector<std::uint8_t> &stream,
+       runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("x264::decode", 3400);
+    auto &m = ctx.machine();
+    support::fatalIf(stream.empty() || stream[0] != kMagic,
+                     "x264: bad stream magic");
+    std::size_t pos = 1;
+    const int width = static_cast<int>(getVarint(stream, pos));
+    const int height = static_cast<int>(getVarint(stream, pos));
+    const auto frameCount = getVarint(stream, pos);
+    const int baseQp = static_cast<int>(getVarint(stream, pos));
+    support::fatalIf(width <= 0 || height <= 0 || baseQp < 1,
+                     "x264: bad stream header");
+
+    std::vector<Frame> frames;
+    Frame reference(width, height);
+    for (std::uint64_t f = 0; f < frameCount; ++f) {
+        Frame out(width, height);
+        const bool intra = f == 0;
+        // Per-frame quantizer (rate control can vary it).
+        const int qp = static_cast<int>(getVarint(stream, pos));
+        support::fatalIf(qp < 1, "x264: bad frame quantizer");
+        for (int by = 0; by + kMb <= height; by += kMb) {
+            for (int bx = 0; bx + kMb <= width; bx += kMb) {
+                const int dx = static_cast<int>(
+                    unzigzag(getVarint(stream, pos)));
+                const int dy = static_cast<int>(
+                    unzigzag(getVarint(stream, pos)));
+                support::fatalIf(
+                    !intra && (bx + dx < 0 || by + dy < 0 ||
+                               bx + dx + kMb > width ||
+                               by + dy + kMb > height),
+                    "x264: motion vector out of bounds");
+                for (int sub = 0; sub < 4; ++sub) {
+                    const int ox = bx + (sub % 2) * 8;
+                    const int oy = by + (sub / 2) * 8;
+                    std::int32_t coeffs[64] = {};
+                    const auto marker = getVarint(stream, pos);
+                    if (m.branch(1, marker != 0)) {
+                        int idx = 0;
+                        while (true) {
+                            const auto run = getVarint(stream, pos);
+                            if (run == 0)
+                                break;
+                            idx += static_cast<int>(run) - 1;
+                            support::fatalIf(idx >= 64,
+                                             "x264: coefficient "
+                                             "overflow");
+                            coeffs[idx++] = static_cast<std::int32_t>(
+                                unzigzag(getVarint(stream, pos)));
+                            m.ops(topdown::OpKind::IntAlu, 4);
+                        }
+                    }
+                    std::int32_t dequant[64], spatial[64];
+                    for (int i = 0; i < 64; ++i)
+                        dequant[i] = coeffs[i] * qp;
+                    inverseDct(dequant, spatial);
+                    m.ops(topdown::OpKind::IntAlu, 64 * 3);
+                    m.stream(topdown::OpKind::Store,
+                             0xA00000000ULL +
+                                 static_cast<std::uint64_t>(oy) *
+                                     width +
+                                 ox,
+                             8, 8);
+                    for (int y = 0; y < 8; ++y) {
+                        for (int x = 0; x < 8; ++x) {
+                            const int pred =
+                                intra
+                                    ? 128
+                                    : reference.at(ox + x + dx,
+                                                   oy + y + dy);
+                            out.at(ox + x, oy + y) =
+                                static_cast<std::uint8_t>(clampByte(
+                                    pred + spatial[y * 8 + x]));
+                        }
+                    }
+                }
+            }
+        }
+        frames.push_back(out);
+        reference = std::move(out);
+    }
+    ctx.consume(frames.size());
+    return frames;
+}
+
+double
+validate(const std::vector<Frame> &decoded,
+         const std::vector<Frame> &reference, int dumpInterval,
+         double minDb, runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("x264::imagevalidate", 1800);
+    auto &m = ctx.machine();
+    support::fatalIf(decoded.size() != reference.size(),
+                     "imagevalidate: frame count mismatch");
+    support::fatalIf(dumpInterval < 1, "imagevalidate: bad interval");
+    double sum = 0.0;
+    int counted = 0;
+    for (std::size_t f = 0; f < decoded.size(); f += dumpInterval) {
+        const double db = psnr(decoded[f], reference[f]);
+        m.ops(topdown::OpKind::FpAdd,
+              decoded[f].samples.size() / 16);
+        m.stream(topdown::OpKind::Load, 0xB00000000ULL,
+                 decoded[f].samples.size() / 64, 64);
+        support::fatalIf(db < minDb, "imagevalidate: frame ", f,
+                         " PSNR ", db, " below ", minDb);
+        sum += db;
+        ++counted;
+    }
+    const double mean = sum / counted;
+    ctx.consume(mean);
+    return mean;
+}
+
+} // namespace alberta::x264

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The mini video codec for 525.x264_r: 16x16 macroblocks, diamond
+ * motion search against the previous reconstructed frame, 8x8 integer
+ * DCT + quantization of residuals, and a byte-oriented entropy stage.
+ * The decoder (the ldecod_r stand-in) exactly inverts the bitstream.
+ */
+#ifndef ALBERTA_BENCHMARKS_X264_CODEC_H
+#define ALBERTA_BENCHMARKS_X264_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "benchmarks/x264/video.h"
+#include "runtime/context.h"
+
+namespace alberta::x264 {
+
+/** Encoder configuration. */
+struct CodecConfig
+{
+    int qp = 8;           //!< quantization step (higher = lossier)
+    int searchRange = 12; //!< motion search radius in pixels
+    bool twoPass = false; //!< first pass collects stats, second encodes
+};
+
+/** Encoder statistics. */
+struct EncodeStats
+{
+    std::uint64_t sadEvaluations = 0; //!< motion candidates scored
+    std::uint64_t bitsEstimated = 0;  //!< entropy-stage size in bytes
+    std::uint64_t skipBlocks = 0;     //!< zero-residual macroblocks
+    double meanPsnr = 0.0;            //!< reconstruction quality
+};
+
+/** Encode @p clip; the stream is self-describing. */
+std::vector<std::uint8_t> encode(const std::vector<Frame> &clip,
+                                 const CodecConfig &config,
+                                 runtime::ExecutionContext &ctx,
+                                 EncodeStats *stats = nullptr);
+
+/** Decode a stream produced by @ref encode. */
+std::vector<Frame> decode(const std::vector<std::uint8_t> &stream,
+                          runtime::ExecutionContext &ctx);
+
+/**
+ * The imagevalidate_r stand-in: mean PSNR of @p decoded against
+ * @p reference frames at the dump interval; fatal below @p minDb.
+ */
+double validate(const std::vector<Frame> &decoded,
+                const std::vector<Frame> &reference, int dumpInterval,
+                double minDb, runtime::ExecutionContext &ctx);
+
+/** 8x8 forward integer transform (exposed for tests). */
+void forwardDct(const std::int32_t in[64], std::int32_t out[64]);
+
+/** 8x8 inverse integer transform (exact inverse after scaling). */
+void inverseDct(const std::int32_t in[64], std::int32_t out[64]);
+
+} // namespace alberta::x264
+
+#endif // ALBERTA_BENCHMARKS_X264_CODEC_H

@@ -1,0 +1,113 @@
+#include "benchmarks/x264/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace alberta::x264 {
+
+std::vector<Frame>
+generateVideo(const VideoConfig &config)
+{
+    support::fatalIf(config.width % 16 != 0 || config.height % 16 != 0,
+                     "x264: dimensions must be multiples of 16");
+    support::Rng rng(config.seed);
+    std::vector<Frame> clip;
+
+    struct Object
+    {
+        double x, y, dx, dy;
+        int size;
+        int brightness;
+    };
+    std::vector<Object> objects;
+    const int objectCount =
+        config.style == VideoStyle::Talking ? 1 : 5;
+    for (int i = 0; i < objectCount; ++i) {
+        objects.push_back({rng.real() * config.width,
+                           rng.real() * config.height,
+                           rng.real(-2.0, 2.0), rng.real(-1.5, 1.5),
+                           8 + static_cast<int>(rng.below(24)),
+                           60 + static_cast<int>(rng.below(160))});
+    }
+
+    for (int f = 0; f < config.frames; ++f) {
+        Frame frame(config.width, config.height);
+        const double zoom =
+            config.style == VideoStyle::Zoom ? 1.0 + 0.01 * f : 1.0;
+
+        for (int y = 0; y < config.height; ++y) {
+            for (int x = 0; x < config.width; ++x) {
+                // Gradient background.
+                int value = 40 +
+                            (x * 80) / config.width +
+                            (y * 60) / config.height;
+                if (config.style == VideoStyle::Zoom) {
+                    value = 40 +
+                            static_cast<int>((x * 80 * zoom)) /
+                                config.width +
+                            (y * 60) / config.height;
+                }
+                frame.at(x, y) =
+                    static_cast<std::uint8_t>(std::clamp(value, 0,
+                                                         255));
+            }
+        }
+
+        if (config.style == VideoStyle::Noise) {
+            for (auto &s : frame.samples)
+                s = static_cast<std::uint8_t>(rng.below(256));
+        } else {
+            for (const Object &obj : objects) {
+                const int cx = static_cast<int>(obj.x + f * obj.dx);
+                const int cy = static_cast<int>(obj.y + f * obj.dy);
+                for (int dy = -obj.size; dy <= obj.size; ++dy) {
+                    for (int dx = -obj.size; dx <= obj.size; ++dx) {
+                        const int px =
+                            ((cx + dx) % config.width +
+                             config.width) %
+                            config.width;
+                        const int py =
+                            ((cy + dy) % config.height +
+                             config.height) %
+                            config.height;
+                        frame.at(px, py) = static_cast<std::uint8_t>(
+                            obj.brightness);
+                    }
+                }
+            }
+            // Light sensor noise keeps residuals nonzero.
+            for (int i = 0; i < config.width * config.height / 16;
+                 ++i) {
+                const auto idx = rng.below(frame.samples.size());
+                frame.samples[idx] = static_cast<std::uint8_t>(
+                    std::clamp<int>(frame.samples[idx] +
+                                        static_cast<int>(
+                                            rng.range(-6, 6)),
+                                    0, 255));
+            }
+        }
+        clip.push_back(std::move(frame));
+    }
+    return clip;
+}
+
+double
+psnr(const Frame &a, const Frame &b)
+{
+    support::fatalIf(a.width != b.width || a.height != b.height,
+                     "psnr: frame size mismatch");
+    double mse = 0.0;
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        const double d = static_cast<double>(a.samples[i]) -
+                         static_cast<double>(b.samples[i]);
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.samples.size());
+    if (mse <= 1e-12)
+        return 99.0;
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace alberta::x264

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Frames, synthetic video sources, and PSNR validation for the
+ * 525.x264_r mini-benchmark (stand-ins for the public-domain HD clips
+ * and the imagevalidate_r tool).
+ */
+#ifndef ALBERTA_BENCHMARKS_X264_VIDEO_H
+#define ALBERTA_BENCHMARKS_X264_VIDEO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace alberta::x264 {
+
+/** A luma-only frame (8-bit samples). */
+struct Frame
+{
+    int width = 0;
+    int height = 0;
+    std::vector<std::uint8_t> samples; //!< row-major, width*height
+
+    Frame() = default;
+    Frame(int w, int h) : width(w), height(h), samples(w * h, 0) {}
+
+    std::uint8_t
+    at(int x, int y) const
+    {
+        return samples[y * width + x];
+    }
+
+    std::uint8_t &
+    at(int x, int y)
+    {
+        return samples[y * width + x];
+    }
+};
+
+/** Synthetic video style. */
+enum class VideoStyle
+{
+    MovingBlocks, //!< rigid objects over a gradient: easy to predict
+    Zoom,         //!< slow global change
+    Noise,        //!< temporally incoherent noise: hard to predict
+    Talking,      //!< static background + small moving region
+};
+
+/** Synthetic video source configuration. */
+struct VideoConfig
+{
+    std::uint64_t seed = 1;
+    int width = 192;  //!< multiple of 16
+    int height = 112; //!< multiple of 16
+    int frames = 16;
+    VideoStyle style = VideoStyle::MovingBlocks;
+};
+
+/** Generate a deterministic synthetic clip. */
+std::vector<Frame> generateVideo(const VideoConfig &config);
+
+/** Peak signal-to-noise ratio between two equal-sized frames (dB). */
+double psnr(const Frame &a, const Frame &b);
+
+} // namespace alberta::x264
+
+#endif // ALBERTA_BENCHMARKS_X264_VIDEO_H

@@ -1,0 +1,279 @@
+#include "benchmarks/xalancbmk/benchmark.h"
+
+#include <array>
+#include <sstream>
+
+#include "benchmarks/xalancbmk/xslt.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace alberta::xalancbmk {
+
+namespace {
+
+const std::array<const char *, 12> kNames = {
+    "alice", "bob",   "carol", "dave",  "erin",  "frank",
+    "grace", "heidi", "ivan",  "judy",  "mallory", "oscar"};
+
+const std::array<const char *, 8> kProducts = {
+    "widget", "gadget", "sprocket", "gizmo",
+    "doohickey", "contraption", "apparatus", "device"};
+
+const std::array<const char *, 5> kRegions = {"north", "south", "east",
+                                              "west", "central"};
+
+} // namespace
+
+std::string
+generateSalesXml(int records, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::ostringstream os;
+    os << "<?xml version=\"1.0\"?>\n<sales>";
+    for (int i = 0; i < records; ++i) {
+        os << "<record id=\"" << i << "\" region=\""
+           << kRegions[rng.below(kRegions.size())] << "\">"
+           << "<customer>" << kNames[rng.below(kNames.size())]
+           << "</customer>"
+           << "<product>" << kProducts[rng.below(kProducts.size())]
+           << "</product>"
+           << "<quantity>" << (1 + rng.below(40)) << "</quantity>"
+           << "<price>" << (5 + rng.below(995)) << "</price>"
+           << "</record>";
+    }
+    os << "</sales>";
+    return os.str();
+}
+
+std::string
+generateAuctionXml(int items, int people, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::ostringstream os;
+    os << "<site>";
+    os << "<people>";
+    for (int p = 0; p < people; ++p) {
+        os << "<person id=\"p" << p << "\"><name>"
+           << kNames[rng.below(kNames.size())] << "</name><country>"
+           << kRegions[rng.below(kRegions.size())]
+           << "</country></person>";
+    }
+    os << "</people>";
+    os << "<items>";
+    for (int i = 0; i < items; ++i) {
+        os << "<item id=\"i" << i << "\" featured=\""
+           << (rng.chance(0.2) ? "yes" : "no") << "\">"
+           << "<title>" << kProducts[rng.below(kProducts.size())] << ' '
+           << i << "</title>"
+           << "<seller>p" << rng.below(people) << "</seller>"
+           << "<reserve>" << (10 + rng.below(990)) << "</reserve>";
+        const int bids = static_cast<int>(rng.below(6));
+        for (int b = 0; b < bids; ++b) {
+            os << "<bid bidder=\"p" << rng.below(people)
+               << "\"><amount>" << (10 + rng.below(2000))
+               << "</amount></bid>";
+        }
+        os << "</item>";
+    }
+    os << "</items></site>";
+    return os.str();
+}
+
+std::string
+salesStylesheet()
+{
+    return R"(<xsl:stylesheet version="1.0">
+<xsl:template match="sales">
+  <html><body><table>
+    <xsl:for-each select="record">
+      <tr>
+        <td><xsl:value-of select="@id"/></td>
+        <td><xsl:value-of select="customer"/></td>
+        <td><xsl:value-of select="product"/></td>
+        <td><xsl:value-of select="quantity"/></td>
+        <td><xsl:value-of select="price"/></td>
+        <xsl:if test="@region='north'"><td>N</td></xsl:if>
+      </tr>
+    </xsl:for-each>
+  </table></body></html>
+</xsl:template>
+</xsl:stylesheet>)";
+}
+
+std::string
+auctionStylesheet()
+{
+    // Eighteen "queries" combined into one stylesheet, mirroring the
+    // Alberta XMark workload construction.
+    std::ostringstream os;
+    os << "<xsl:stylesheet version=\"1.0\">\n";
+    os << "<xsl:template match=\"site\">\n<report>\n";
+    for (int q = 1; q <= 18; ++q) {
+        os << "<query n=\"" << q << "\">";
+        switch (q % 6) {
+          case 0:
+            os << "<xsl:for-each select=\"items/item\">"
+                  "<xsl:if test=\"@featured='yes'\">"
+                  "<hit><xsl:value-of select=\"title\"/></hit>"
+                  "</xsl:if></xsl:for-each>";
+            break;
+          case 1:
+            os << "<xsl:for-each select=\"people/person\">"
+                  "<p><xsl:value-of select=\"name\"/></p>"
+                  "</xsl:for-each>";
+            break;
+          case 2:
+            os << "<xsl:for-each select=\"items/item\">"
+                  "<t><xsl:value-of select=\"reserve\"/></t>"
+                  "</xsl:for-each>";
+            break;
+          case 3:
+            os << "<xsl:for-each select=\"items/item/bid\">"
+                  "<b><xsl:value-of select=\"amount\"/></b>"
+                  "</xsl:for-each>";
+            break;
+          case 4:
+            os << "<xsl:for-each select=\"people/person\">"
+                  "<xsl:if test=\"country='north'\">"
+                  "<n><xsl:value-of select=\"name\"/></n>"
+                  "</xsl:if></xsl:for-each>";
+            break;
+          default:
+            os << "<xsl:apply-templates select=\"items/item\"/>";
+            break;
+        }
+        os << "</query>\n";
+    }
+    os << "</report>\n</xsl:template>\n";
+    os << "<xsl:template match=\"item\">"
+          "<i><xsl:value-of select=\"@id\"/>:"
+          "<xsl:value-of select=\"seller\"/></i>"
+          "</xsl:template>\n";
+    os << "</xsl:stylesheet>";
+    return os.str();
+}
+
+namespace {
+
+void
+appendNested(std::ostringstream &os, int depth, int fanout,
+             support::Rng &rng, int &id)
+{
+    os << "<node id=\"" << id++ << "\" k=\""
+       << kRegions[rng.below(kRegions.size())] << "\">";
+    if (depth > 0) {
+        const int children =
+            1 + static_cast<int>(rng.below(fanout));
+        for (int c = 0; c < children; ++c)
+            appendNested(os, depth - 1, fanout, rng, id);
+    } else {
+        os << kProducts[rng.below(kProducts.size())];
+    }
+    os << "</node>";
+}
+
+} // namespace
+
+std::string
+generateNestedXml(int depth, int fanout, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::ostringstream os;
+    os << "<tree>";
+    int id = 0;
+    for (int r = 0; r < 3; ++r)
+        appendNested(os, depth, fanout, rng, id);
+    os << "</tree>";
+    return os.str();
+}
+
+std::string
+nestedStylesheet()
+{
+    return R"(<xsl:stylesheet version="1.0">
+<xsl:template match="tree">
+  <out-tree><xsl:apply-templates select="node"/></out-tree>
+</xsl:template>
+<xsl:template match="node">
+  <div>
+    <xsl:if test="@k='north'"><n><xsl:value-of select="@id"/></n></xsl:if>
+    <xsl:apply-templates select="node"/>
+  </div>
+</xsl:template>
+</xsl:stylesheet>)";
+}
+
+namespace {
+
+runtime::Workload
+makeWorkload(const std::string &name, std::uint64_t seed,
+             std::string xml, std::string xsl)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = seed;
+    w.files["input.xml"] = std::move(xml);
+    w.files["transform.xsl"] = std::move(xsl);
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+XalancbmkBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+    out.push_back(makeWorkload("refrate", 0x523F,
+                               generateAuctionXml(2600, 700, 0x523F),
+                               auctionStylesheet()));
+    out.push_back(makeWorkload("train", 0x5231,
+                               generateAuctionXml(200, 60, 0x5231),
+                               auctionStylesheet()));
+    out.push_back(makeWorkload("test", 0x5232,
+                               generateSalesXml(40, 0x5232),
+                               salesStylesheet()));
+
+    // Five Alberta workloads: XSLTMark-style sized variants plus the
+    // combined XMark queries (Section IV-A).
+    out.push_back(makeWorkload("alberta.xsltmark-small", 0xD1,
+                               generateSalesXml(400, 0xD1),
+                               salesStylesheet()));
+    out.push_back(makeWorkload("alberta.nested-deep", 0xD2,
+                               generateNestedXml(9, 2, 0xD2),
+                               nestedStylesheet()));
+    out.push_back(makeWorkload("alberta.xsltmark-large", 0xD3,
+                               generateSalesXml(9000, 0xD3),
+                               salesStylesheet()));
+    out.push_back(makeWorkload("alberta.xmark-combined", 0xD4,
+                               generateAuctionXml(700, 200, 0xD4),
+                               auctionStylesheet()));
+    out.push_back(makeWorkload("alberta.xmark-dense-bids", 0xD5,
+                               generateAuctionXml(350, 60, 0xD5),
+                               auctionStylesheet()));
+    return out;
+}
+
+void
+XalancbmkBenchmark::run(const runtime::Workload &workload,
+                        runtime::ExecutionContext &context) const
+{
+    const auto input = parseXml(workload.file("input.xml"), context);
+    const auto sheetDoc =
+        parseXml(workload.file("transform.xsl"), context);
+    const Stylesheet stylesheet(*sheetDoc);
+    const auto output = stylesheet.transform(*input, context);
+
+    std::string serialized;
+    {
+        auto scope = context.method("xalanc::serialize", 1600);
+        serialized = output->serialize();
+        context.machine().stream(topdown::OpKind::Store, 0x600000000ULL,
+                                 serialized.size() / 8 + 1, 8);
+    }
+    support::fatalIf(serialized.size() < 8,
+                     "xalancbmk: empty transform output");
+    context.consume(static_cast<std::uint64_t>(serialized.size()));
+    context.consume(std::hash<std::string>{}(serialized));
+}
+
+} // namespace alberta::xalancbmk

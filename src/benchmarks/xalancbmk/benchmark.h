@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The 523.xalancbmk_r mini-benchmark: XSLT transformation of XML data,
+ * with XSLTMark-style generated documents and an XMark-style combined
+ * query stylesheet (Section IV-A).
+ */
+#ifndef ALBERTA_BENCHMARKS_XALANCBMK_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_XALANCBMK_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::xalancbmk {
+
+/**
+ * Generate an XSLTMark-style sales document with @p records records:
+ * random content, fixed schema, so one stylesheet fits all sizes.
+ */
+std::string generateSalesXml(int records, std::uint64_t seed);
+
+/**
+ * Generate an XMark-style auction document with @p items items and
+ * @p people people.
+ */
+std::string generateAuctionXml(int items, int people,
+                               std::uint64_t seed);
+
+/** The fixed stylesheet for sales documents (HTML table report). */
+std::string salesStylesheet();
+
+/** The combined-queries stylesheet for auction documents. */
+std::string auctionStylesheet();
+
+/**
+ * Generate a deeply nested random tree document (recursion-heavy
+ * parsing and template application).
+ */
+std::string generateNestedXml(int depth, int fanout,
+                              std::uint64_t seed);
+
+/** Recursive stylesheet matching @ref generateNestedXml documents. */
+std::string nestedStylesheet();
+
+/** See file comment. */
+class XalancbmkBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "523.xalancbmk_r"; }
+    std::string area() const override
+    {
+        return "XML to HTML conversion";
+    }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::xalancbmk
+
+#endif // ALBERTA_BENCHMARKS_XALANCBMK_BENCHMARK_H

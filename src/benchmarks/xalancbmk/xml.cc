@@ -1,0 +1,330 @@
+#include "benchmarks/xalancbmk/xml.h"
+
+#include <cctype>
+
+#include "support/check.h"
+
+namespace alberta::xalancbmk {
+
+std::unique_ptr<XmlNode>
+XmlNode::element(std::string name)
+{
+    auto node = std::unique_ptr<XmlNode>(new XmlNode());
+    node->kind_ = Kind::Element;
+    node->name_ = std::move(name);
+    return node;
+}
+
+std::unique_ptr<XmlNode>
+XmlNode::text(std::string content)
+{
+    auto node = std::unique_ptr<XmlNode>(new XmlNode());
+    node->kind_ = Kind::Text;
+    node->content_ = std::move(content);
+    return node;
+}
+
+void
+XmlNode::setAttribute(const std::string &key, const std::string &value)
+{
+    attributes_[key] = value;
+}
+
+const std::string &
+XmlNode::attribute(const std::string &key) const
+{
+    static const std::string kEmpty;
+    const auto it = attributes_.find(key);
+    return it == attributes_.end() ? kEmpty : it->second;
+}
+
+XmlNode &
+XmlNode::appendChild(std::unique_ptr<XmlNode> child)
+{
+    children_.push_back(std::move(child));
+    return *children_.back();
+}
+
+std::string
+XmlNode::textValue() const
+{
+    if (kind_ == Kind::Text)
+        return content_;
+    std::string out;
+    for (const auto &child : children_)
+        out += child->textValue();
+    return out;
+}
+
+const XmlNode *
+XmlNode::firstChild(const std::string &name) const
+{
+    for (const auto &child : children_) {
+        if (child->kind() == Kind::Element && child->name() == name)
+            return child.get();
+    }
+    return nullptr;
+}
+
+namespace {
+
+void
+escapeInto(std::string &out, const std::string &text)
+{
+    for (const char ch : text) {
+        switch (ch) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += ch;
+        }
+    }
+}
+
+void
+serializeInto(std::string &out, const XmlNode &node)
+{
+    if (node.kind() == XmlNode::Kind::Text) {
+        escapeInto(out, node.content());
+        return;
+    }
+    out += '<';
+    out += node.name();
+    for (const auto &[key, value] : node.attributes()) {
+        out += ' ';
+        out += key;
+        out += "=\"";
+        escapeInto(out, value);
+        out += '"';
+    }
+    if (node.children().empty()) {
+        out += "/>";
+        return;
+    }
+    out += '>';
+    for (const auto &child : node.children())
+        serializeInto(out, *child);
+    out += "</";
+    out += node.name();
+    out += '>';
+}
+
+} // namespace
+
+std::string
+XmlNode::serialize() const
+{
+    std::string out;
+    serializeInto(out, *this);
+    return out;
+}
+
+std::size_t
+XmlNode::subtreeSize() const
+{
+    std::size_t n = 1;
+    for (const auto &child : children_)
+        n += child->subtreeSize();
+    return n;
+}
+
+namespace {
+
+/** Recursive-descent XML parser with probe instrumentation. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, runtime::ExecutionContext &ctx)
+        : text_(text), ctx_(ctx), m_(ctx.machine())
+    {
+    }
+
+    std::unique_ptr<XmlNode>
+    parse()
+    {
+        skipProlog();
+        auto root = parseElement();
+        skipWhitespace();
+        support::fatalIf(pos_ != text_.size(),
+                         "xml: trailing content after root element");
+        return root;
+    }
+
+  private:
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    char
+    next()
+    {
+        support::fatalIf(pos_ >= text_.size(), "xml: unexpected end");
+        m_.load(0x400000000ULL + pos_);
+        return text_[pos_++];
+    }
+
+    void
+    expect(char ch)
+    {
+        const char got = next();
+        support::fatalIf(got != ch, "xml: expected '", ch, "', got '",
+                         got, "' at ", pos_ - 1);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    void
+    skipProlog()
+    {
+        skipWhitespace();
+        while (pos_ + 1 < text_.size() && text_[pos_] == '<' &&
+               (text_[pos_ + 1] == '?' || text_[pos_ + 1] == '!')) {
+            const std::size_t close = text_.find('>', pos_);
+            support::fatalIf(close == std::string::npos,
+                             "xml: unterminated prolog");
+            pos_ = close + 1;
+            skipWhitespace();
+        }
+    }
+
+    std::string
+    parseName()
+    {
+        std::string name;
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_];
+            const bool nameChar =
+                std::isalnum(static_cast<unsigned char>(ch)) ||
+                ch == '-' || ch == '_' || ch == ':' || ch == '.';
+            if (!m_.branch(1, nameChar))
+                break;
+            name += ch;
+            ++pos_;
+        }
+        support::fatalIf(name.empty(), "xml: empty name at ", pos_);
+        return name;
+    }
+
+    std::string
+    decodeEntities(const std::string &raw)
+    {
+        std::string out;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i] != '&') {
+                out += raw[i];
+                continue;
+            }
+            const std::size_t semi = raw.find(';', i);
+            support::fatalIf(semi == std::string::npos,
+                             "xml: unterminated entity");
+            const std::string entity = raw.substr(i + 1, semi - i - 1);
+            if (entity == "lt") out += '<';
+            else if (entity == "gt") out += '>';
+            else if (entity == "amp") out += '&';
+            else if (entity == "quot") out += '"';
+            else if (entity == "apos") out += '\'';
+            else
+                support::fatal("xml: unknown entity &", entity, ";");
+            i = semi;
+        }
+        return out;
+    }
+
+    std::unique_ptr<XmlNode>
+    parseElement()
+    {
+        auto scope = ctx_.method("xalanc::parse_element", 3000);
+        expect('<');
+        auto node = XmlNode::element(parseName());
+        m_.ops(topdown::OpKind::IntAlu, 8);
+
+        // Attributes.
+        while (true) {
+            skipWhitespace();
+            const char ch = peek();
+            if (m_.branch(2, ch == '>' || ch == '/'))
+                break;
+            const std::string key = parseName();
+            skipWhitespace();
+            expect('=');
+            skipWhitespace();
+            const char quote = next();
+            support::fatalIf(quote != '"' && quote != '\'',
+                             "xml: unquoted attribute");
+            std::string value;
+            while (peek() != quote)
+                value += next();
+            expect(quote);
+            node->setAttribute(key, decodeEntities(value));
+            m_.ops(topdown::OpKind::IntAlu, 6);
+        }
+
+        if (m_.branch(3, peek() == '/')) {
+            expect('/');
+            expect('>');
+            return node;
+        }
+        expect('>');
+
+        // Children until the closing tag.
+        while (true) {
+            support::fatalIf(pos_ >= text_.size(),
+                             "xml: unexpected end inside <",
+                             node->name(), ">");
+            if (m_.branch(4, peek() == '<')) {
+                if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/')
+                    break;
+                if (pos_ + 3 < text_.size() && text_[pos_ + 1] == '!' &&
+                    text_[pos_ + 2] == '-' && text_[pos_ + 3] == '-') {
+                    const std::size_t close = text_.find("-->", pos_);
+                    support::fatalIf(close == std::string::npos,
+                                     "xml: unterminated comment");
+                    pos_ = close + 3;
+                    continue;
+                }
+                node->appendChild(parseElement());
+            } else {
+                std::string raw;
+                while (pos_ < text_.size() && peek() != '<')
+                    raw += next();
+                node->appendChild(
+                    XmlNode::text(decodeEntities(raw)));
+            }
+        }
+        expect('<');
+        expect('/');
+        const std::string closing = parseName();
+        support::fatalIf(closing != node->name(), "xml: mismatched </",
+                         closing, "> for <", node->name(), ">");
+        skipWhitespace();
+        expect('>');
+        return node;
+    }
+
+    const std::string &text_;
+    runtime::ExecutionContext &ctx_;
+    topdown::Machine &m_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<XmlNode>
+parseXml(const std::string &text, runtime::ExecutionContext &ctx)
+{
+    Parser parser(text, ctx);
+    auto root = parser.parse();
+    ctx.consume(static_cast<std::uint64_t>(root->subtreeSize()));
+    return root;
+}
+
+} // namespace alberta::xalancbmk

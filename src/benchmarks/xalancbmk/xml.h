@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A small XML DOM and parser for the 523.xalancbmk_r mini-benchmark.
+ * Supports elements, attributes, text, comments, and the five basic
+ * entities — enough to express XSLTMark/XMark-style documents and the
+ * stylesheets that transform them.
+ */
+#ifndef ALBERTA_BENCHMARKS_XALANCBMK_XML_H
+#define ALBERTA_BENCHMARKS_XALANCBMK_XML_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace alberta::xalancbmk {
+
+/** An XML node: an element with children, or a text node. */
+class XmlNode
+{
+  public:
+    /** Node kinds. */
+    enum class Kind
+    {
+        Element,
+        Text,
+    };
+
+    /** Construct an element node. */
+    static std::unique_ptr<XmlNode> element(std::string name);
+
+    /** Construct a text node. */
+    static std::unique_ptr<XmlNode> text(std::string content);
+
+    Kind kind() const { return kind_; }
+    /** Element name (empty for text nodes). */
+    const std::string &name() const { return name_; }
+    /** Text content (raw for text nodes). */
+    const std::string &content() const { return content_; }
+    /** Attributes in document order of first appearance. */
+    const std::map<std::string, std::string> &attributes() const
+    {
+        return attributes_;
+    }
+    /** Child nodes. */
+    const std::vector<std::unique_ptr<XmlNode>> &children() const
+    {
+        return children_;
+    }
+
+    /** Set (or overwrite) an attribute. */
+    void setAttribute(const std::string &key, const std::string &value);
+    /** Attribute value or empty string. */
+    const std::string &attribute(const std::string &key) const;
+    /** Append a child node, returning a handle to it. */
+    XmlNode &appendChild(std::unique_ptr<XmlNode> child);
+
+    /** Concatenated descendant text (the XPath string value). */
+    std::string textValue() const;
+
+    /** First child element with @p name, or nullptr. */
+    const XmlNode *firstChild(const std::string &name) const;
+
+    /** Serialize this subtree to XML text. */
+    std::string serialize() const;
+
+    /** Total node count in this subtree (testing aid). */
+    std::size_t subtreeSize() const;
+
+  private:
+    XmlNode() = default;
+
+    Kind kind_ = Kind::Element;
+    std::string name_;
+    std::string content_;
+    std::map<std::string, std::string> attributes_;
+    std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/**
+ * Parse an XML document, reporting micro-ops through @p ctx.
+ *
+ * @return the root element
+ * @throws support::FatalError on malformed XML
+ */
+std::unique_ptr<XmlNode> parseXml(const std::string &text,
+                                  runtime::ExecutionContext &ctx);
+
+} // namespace alberta::xalancbmk
+
+#endif // ALBERTA_BENCHMARKS_XALANCBMK_XML_H

@@ -1,0 +1,197 @@
+#include "benchmarks/xalancbmk/xslt.h"
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/text.h"
+
+namespace alberta::xalancbmk {
+
+Stylesheet::Stylesheet(const XmlNode &document)
+{
+    support::fatalIf(document.name() != "xsl:stylesheet",
+                     "xslt: root must be xsl:stylesheet, got '",
+                     document.name(), "'");
+    for (const auto &child : document.children()) {
+        if (child->kind() != XmlNode::Kind::Element ||
+            child->name() != "xsl:template")
+            continue;
+        const std::string &match = child->attribute("match");
+        support::fatalIf(match.empty(),
+                         "xslt: template without match pattern");
+        templates_.push_back({match, child.get()});
+    }
+    support::fatalIf(templates_.empty(), "xslt: no template rules");
+}
+
+const Stylesheet::Template *
+Stylesheet::findTemplate(const std::string &name) const
+{
+    for (const Template &t : templates_) {
+        if (t.match == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+std::vector<const XmlNode *>
+Stylesheet::selectNodes(const XmlNode &context,
+                        const std::string &select) const
+{
+    std::vector<const XmlNode *> out;
+    if (select.empty() || select == "*") {
+        for (const auto &child : context.children()) {
+            if (child->kind() == XmlNode::Kind::Element)
+                out.push_back(child.get());
+        }
+        return out;
+    }
+    if (select == ".") {
+        out.push_back(&context);
+        return out;
+    }
+    if (select == "text()") {
+        for (const auto &child : context.children()) {
+            if (child->kind() == XmlNode::Kind::Text)
+                out.push_back(child.get());
+        }
+        return out;
+    }
+    // Path steps: "a/b/c".
+    std::vector<const XmlNode *> frontier = {&context};
+    for (const auto &step : support::split(select, '/')) {
+        std::vector<const XmlNode *> next;
+        for (const XmlNode *node : frontier) {
+            for (const auto &child : node->children()) {
+                if (child->kind() == XmlNode::Kind::Element &&
+                    (step == "*" || child->name() == step))
+                    next.push_back(child.get());
+            }
+        }
+        frontier = std::move(next);
+    }
+    return frontier;
+}
+
+std::string
+Stylesheet::selectString(const XmlNode &context,
+                         const std::string &select) const
+{
+    if (select == ".")
+        return context.textValue();
+    if (!select.empty() && select[0] == '@')
+        return context.attribute(select.substr(1));
+    const auto nodes = selectNodes(context, select);
+    return nodes.empty() ? std::string() : nodes.front()->textValue();
+}
+
+void
+Stylesheet::applyTemplates(const XmlNode &context, XmlNode &out,
+                           const std::string &select,
+                           runtime::ExecutionContext &ctx) const
+{
+    auto scope = ctx.method("xalanc::apply_templates", 2800);
+    auto &m = ctx.machine();
+    for (const XmlNode *node : selectNodes(context, select)) {
+        m.indirect(1, support::mix64(
+                          std::hash<std::string>{}(node->name())));
+        const Template *rule = findTemplate(node->name());
+        m.ops(topdown::OpKind::IntAlu,
+              4 * templates_.size()); // linear rule scan
+        if (m.branch(2, rule != nullptr)) {
+            for (const auto &instruction : rule->body->children())
+                instantiate(*instruction, *node, out, ctx);
+        } else {
+            // Built-in rule: copy text, recurse into elements.
+            for (const auto &child : node->children()) {
+                if (child->kind() == XmlNode::Kind::Text)
+                    out.appendChild(XmlNode::text(child->content()));
+            }
+            applyTemplates(*node, out, "", ctx);
+        }
+    }
+}
+
+void
+Stylesheet::instantiate(const XmlNode &instruction,
+                        const XmlNode &context, XmlNode &out,
+                        runtime::ExecutionContext &ctx) const
+{
+    auto &m = ctx.machine();
+    if (instruction.kind() == XmlNode::Kind::Text) {
+        out.appendChild(XmlNode::text(instruction.content()));
+        return;
+    }
+    const std::string &name = instruction.name();
+    m.load(0x500000000ULL + std::hash<std::string>{}(name) % 65536);
+
+    if (m.branch(3, name == "xsl:apply-templates")) {
+        applyTemplates(context, out, instruction.attribute("select"),
+                       ctx);
+    } else if (m.branch(4, name == "xsl:value-of")) {
+        auto valueScope = ctx.method("xalanc::xpath_string", 2400);
+        out.appendChild(XmlNode::text(
+            selectString(context, instruction.attribute("select"))));
+        m.ops(topdown::OpKind::IntAlu, 12);
+    } else if (m.branch(5, name == "xsl:for-each")) {
+        auto forScope = ctx.method("xalanc::for_each", 2000);
+        for (const XmlNode *node :
+             selectNodes(context, instruction.attribute("select"))) {
+            for (const auto &child : instruction.children())
+                instantiate(*child, *node, out, ctx);
+        }
+    } else if (m.branch(6, name == "xsl:if")) {
+        auto ifScope = ctx.method("xalanc::evaluate_test", 1700);
+        const std::string &test = instruction.attribute("test");
+        bool pass = false;
+        const auto eq = test.find('=');
+        if (eq != std::string::npos) {
+            // "@attr='value'" or "name='value'" equality.
+            std::string lhs(support::trim(test.substr(0, eq)));
+            std::string rhs(support::trim(test.substr(eq + 1)));
+            if (rhs.size() >= 2 && rhs.front() == '\'')
+                rhs = rhs.substr(1, rhs.size() - 2);
+            pass = selectString(context, lhs) == rhs;
+        } else {
+            pass = !selectNodes(context, std::string(
+                                             support::trim(test)))
+                        .empty();
+        }
+        if (m.branch(7, pass)) {
+            for (const auto &child : instruction.children())
+                instantiate(*child, context, out, ctx);
+        }
+    } else if (support::startsWith(name, "xsl:")) {
+        support::fatal("xslt: unsupported instruction <", name, ">");
+    } else {
+        // Literal result element.
+        auto literalScope = ctx.method("xalanc::literal_result", 1500);
+        auto &element = out.appendChild(XmlNode::element(name));
+        for (const auto &[key, value] : instruction.attributes())
+            element.setAttribute(key, value);
+        for (const auto &child : instruction.children())
+            instantiate(*child, context, element, ctx);
+    }
+}
+
+std::unique_ptr<XmlNode>
+Stylesheet::transform(const XmlNode &input,
+                      runtime::ExecutionContext &ctx) const
+{
+    auto scope = ctx.method("xalanc::transform", 4200);
+    auto root = XmlNode::element("out");
+
+    // A "/" template takes priority; otherwise match the root element.
+    const Template *rule = findTemplate("/");
+    if (rule == nullptr)
+        rule = findTemplate(input.name());
+    if (rule != nullptr) {
+        for (const auto &instruction : rule->body->children())
+            instantiate(*instruction, input, *root, ctx);
+    } else {
+        applyTemplates(input, *root, "", ctx);
+    }
+    ctx.consume(static_cast<std::uint64_t>(root->subtreeSize()));
+    return root;
+}
+
+} // namespace alberta::xalancbmk

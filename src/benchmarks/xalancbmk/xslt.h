@@ -1,0 +1,69 @@
+/**
+ * @file
+ * XSLT-lite transform engine for the 523.xalancbmk_r mini-benchmark.
+ *
+ * Supports the subset of XSLT 1.0 the XSLTMark/XMark-style workloads
+ * need: template rules matched by element name (or "/"),
+ * apply-templates, value-of, for-each, if (attribute equality or child
+ * existence), literal result elements, and an XPath-lite select syntax
+ * ("." , "@attr", "name", "name/sub", "*", "text()").
+ */
+#ifndef ALBERTA_BENCHMARKS_XALANCBMK_XSLT_H
+#define ALBERTA_BENCHMARKS_XALANCBMK_XSLT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmarks/xalancbmk/xml.h"
+#include "runtime/context.h"
+
+namespace alberta::xalancbmk {
+
+/** A compiled stylesheet. */
+class Stylesheet
+{
+  public:
+    /**
+     * Compile a stylesheet document (an `xsl:stylesheet` element with
+     * `xsl:template` children).
+     */
+    explicit Stylesheet(const XmlNode &document);
+
+    /**
+     * Transform @p input, producing the output tree rooted at a
+     * synthetic "out" element.
+     */
+    std::unique_ptr<XmlNode> transform(const XmlNode &input,
+                                       runtime::ExecutionContext &ctx)
+        const;
+
+    /** Number of template rules (testing aid). */
+    std::size_t templateCount() const { return templates_.size(); }
+
+  private:
+    struct Template
+    {
+        std::string match;    //!< element name or "/"
+        const XmlNode *body;  //!< instruction sequence
+    };
+
+    const Template *findTemplate(const std::string &name) const;
+    void instantiate(const XmlNode &instruction, const XmlNode &context,
+                     XmlNode &out,
+                     runtime::ExecutionContext &ctx) const;
+    void applyTemplates(const XmlNode &context, XmlNode &out,
+                        const std::string &select,
+                        runtime::ExecutionContext &ctx) const;
+    std::vector<const XmlNode *>
+    selectNodes(const XmlNode &context, const std::string &select)
+        const;
+    std::string selectString(const XmlNode &context,
+                             const std::string &select) const;
+
+    std::vector<Template> templates_;
+};
+
+} // namespace alberta::xalancbmk
+
+#endif // ALBERTA_BENCHMARKS_XALANCBMK_XSLT_H

@@ -1,0 +1,151 @@
+#include "benchmarks/xz/benchmark.h"
+
+#include "benchmarks/xz/generator.h"
+#include "benchmarks/xz/lz77.h"
+#include "support/check.h"
+
+namespace alberta::xz {
+
+namespace {
+
+std::string
+toString(const std::vector<std::uint8_t> &bytes)
+{
+    return std::string(bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t>
+toBytes(const std::string &text)
+{
+    return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+runtime::Workload
+makeWorkload(const std::string &name, const FileConfig &file,
+             std::uint32_t chainDepth = 48)
+{
+    runtime::Workload w;
+    w.name = name;
+    w.seed = file.seed;
+    w.params.set("bytes", static_cast<long long>(file.bytes));
+    w.params.set("kind", static_cast<long long>(file.kind));
+    w.params.set("chain_depth", static_cast<long long>(chainDepth));
+
+    // Workloads ship compressed, exactly like SPEC's xz inputs.
+    const std::vector<std::uint8_t> raw = generateFile(file);
+    runtime::ExecutionContext scratch;
+    CodecConfig codec;
+    w.files["input.alz"] = toString(compress(raw, codec, scratch));
+    return w;
+}
+
+} // namespace
+
+std::vector<runtime::Workload>
+XzBenchmark::workloads() const
+{
+    std::vector<runtime::Workload> out;
+    const std::size_t dict = CodecConfig{}.dictionaryBytes; // 64 KiB
+
+    FileConfig ref;
+    ref.seed = 0x557A0;
+    ref.kind = ContentKind::Log;
+    ref.bytes = 24 * dict;
+    out.push_back(makeWorkload("refrate", ref));
+
+    FileConfig train = ref;
+    train.seed = 0x557A1;
+    train.bytes = 6 * dict;
+    out.push_back(makeWorkload("train", train));
+
+    FileConfig test = ref;
+    test.seed = 0x557A2;
+    test.bytes = dict / 2;
+    out.push_back(makeWorkload("test", test));
+
+    // The eight Alberta workloads: {very compressible, not very
+    // compressible} x {smaller, larger than the dictionary} plus
+    // content-class variants.
+    FileConfig a;
+    a.seed = 0xB1;
+    a.kind = ContentKind::Text;
+    a.bytes = dict / 2;
+    out.push_back(makeWorkload("alberta.text-small", a));
+
+    a.seed = 0xB2;
+    a.bytes = 10 * dict;
+    out.push_back(makeWorkload("alberta.text-large", a));
+
+    a.seed = 0xB3;
+    a.kind = ContentKind::Random;
+    a.bytes = dict / 2;
+    out.push_back(makeWorkload("alberta.random-small", a));
+
+    a.seed = 0xB4;
+    a.bytes = 8 * dict;
+    out.push_back(makeWorkload("alberta.random-large", a));
+
+    a.seed = 0xB5;
+    a.kind = ContentKind::Log;
+    a.bytes = 12 * dict;
+    out.push_back(makeWorkload("alberta.log-large", a));
+
+    a.seed = 0xB6;
+    a.kind = ContentKind::Binary;
+    a.bytes = 8 * dict;
+    out.push_back(makeWorkload("alberta.binary-large", a));
+
+    // Repeat unit far smaller than the dictionary: every copy after the
+    // first is one long dictionary match (the discovered skew).
+    FileConfig rep;
+    rep.seed = 0xB7;
+    rep.kind = ContentKind::RepeatedFile;
+    rep.repeatUnitKind = ContentKind::Random;
+    rep.repeatUnit = dict / 16;
+    rep.bytes = 10 * dict;
+    out.push_back(makeWorkload("alberta.repeat-in-dict", rep));
+
+    // Repeat unit larger than the dictionary: previous copies fall out
+    // of the window, so redundancy must be rediscovered locally.
+    rep.seed = 0xB8;
+    rep.repeatUnit = 3 * dict;
+    rep.bytes = 9 * dict;
+    out.push_back(makeWorkload("alberta.repeat-beyond-dict", rep));
+
+    FileConfig mixed;
+    mixed.seed = 0xB9;
+    mixed.kind = ContentKind::Binary;
+    mixed.bytes = dict / 4;
+    out.push_back(makeWorkload("alberta.binary-small", mixed));
+
+    return out;
+}
+
+void
+XzBenchmark::run(const runtime::Workload &workload,
+                 runtime::ExecutionContext &context) const
+{
+    const auto stored = toBytes(workload.file("input.alz"));
+
+    // Pass 1: decompress the stored input to memory.
+    const std::vector<std::uint8_t> raw = decompress(stored, context);
+
+    // Pass 2: recompress at the workload's effort level.
+    CodecConfig codec;
+    codec.maxChainDepth = static_cast<std::uint32_t>(
+        workload.params.getInt("chain_depth", 48));
+    CompressStats stats;
+    const std::vector<std::uint8_t> packed =
+        compress(raw, codec, context, &stats);
+
+    // Pass 3: decompress again and verify the round trip.
+    const std::vector<std::uint8_t> again = decompress(packed, context);
+    support::fatalIf(again != raw, "xz: round-trip mismatch on '",
+                     workload.name, "'");
+
+    context.consume(static_cast<std::uint64_t>(packed.size()));
+    context.consume(stats.chainSteps);
+    context.consume(stats.matches);
+}
+
+} // namespace alberta::xz

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The 557.xz_r mini-benchmark: decompress -> compress -> decompress over
+ * files whose redundancy structure interacts with the dictionary size.
+ */
+#ifndef ALBERTA_BENCHMARKS_XZ_BENCHMARK_H
+#define ALBERTA_BENCHMARKS_XZ_BENCHMARK_H
+
+#include "runtime/benchmark.h"
+
+namespace alberta::xz {
+
+/** See file comment. */
+class XzBenchmark : public runtime::Benchmark
+{
+  public:
+    std::string name() const override { return "557.xz_r"; }
+    std::string area() const override { return "Data compression"; }
+    std::vector<runtime::Workload> workloads() const override;
+    void run(const runtime::Workload &workload,
+             runtime::ExecutionContext &context) const override;
+};
+
+} // namespace alberta::xz
+
+#endif // ALBERTA_BENCHMARKS_XZ_BENCHMARK_H

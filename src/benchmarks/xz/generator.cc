@@ -1,0 +1,123 @@
+#include "benchmarks/xz/generator.h"
+
+#include <array>
+#include <cstring>
+#include <string>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace alberta::xz {
+
+namespace {
+
+const std::array<const char *, 32> kVocabulary = {
+    "the",     "workload", "benchmark", "system",  "compiler",
+    "cache",   "branch",   "profile",   "vector",  "stream",
+    "window",  "buffer",   "lattice",   "network", "packet",
+    "kernel",  "thread",   "memory",    "record",  "index",
+    "search",  "matrix",   "signal",    "filter",  "render",
+    "shader",  "cycle",    "retire",    "issue",   "fetch",
+    "decode",  "commit"};
+
+void
+appendText(std::vector<std::uint8_t> &out, std::size_t bytes,
+           support::Rng &rng)
+{
+    while (out.size() < bytes) {
+        const char *word = kVocabulary[rng.below(kVocabulary.size())];
+        out.insert(out.end(), word, word + std::strlen(word));
+        out.push_back(rng.chance(0.12) ? '\n' : ' ');
+    }
+    out.resize(bytes);
+}
+
+void
+appendLog(std::vector<std::uint8_t> &out, std::size_t bytes,
+          support::Rng &rng)
+{
+    std::uint64_t timestamp = 1500000000;
+    while (out.size() < bytes) {
+        timestamp += rng.below(20);
+        std::string line = "[" + std::to_string(timestamp) + "] ";
+        line += rng.chance(0.85) ? "INFO" : "WARN";
+        line += " service=frontend request=/api/v1/resource status=";
+        line += rng.chance(0.9) ? "200" : "503";
+        line += " latency_ms=" + std::to_string(rng.below(250)) + "\n";
+        out.insert(out.end(), line.begin(), line.end());
+    }
+    out.resize(bytes);
+}
+
+void
+appendBinary(std::vector<std::uint8_t> &out, std::size_t bytes,
+             support::Rng &rng)
+{
+    // 32-byte records: constant tag, incrementing id, noisy payload.
+    std::uint32_t id = 0;
+    while (out.size() < bytes) {
+        out.push_back(0xCA);
+        out.push_back(0xFE);
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<std::uint8_t>(id >> (8 * i)));
+        ++id;
+        for (int i = 0; i < 10; ++i)
+            out.push_back(static_cast<std::uint8_t>(rng.below(4)));
+        for (int i = 0; i < 16; ++i)
+            out.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    out.resize(bytes);
+}
+
+void
+appendRandom(std::vector<std::uint8_t> &out, std::size_t bytes,
+             support::Rng &rng)
+{
+    while (out.size() < bytes)
+        out.push_back(static_cast<std::uint8_t>(rng.below(256)));
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+generateFile(const FileConfig &config)
+{
+    support::fatalIf(config.bytes == 0, "xz: zero-byte workload file");
+    support::Rng rng(config.seed);
+    std::vector<std::uint8_t> out;
+    out.reserve(config.bytes);
+
+    switch (config.kind) {
+      case ContentKind::Text:
+        appendText(out, config.bytes, rng);
+        break;
+      case ContentKind::Log:
+        appendLog(out, config.bytes, rng);
+        break;
+      case ContentKind::Binary:
+        appendBinary(out, config.bytes, rng);
+        break;
+      case ContentKind::Random:
+        appendRandom(out, config.bytes, rng);
+        break;
+      case ContentKind::RepeatedFile: {
+        // The paper's memoization-sensitive construction: repeat one
+        // short unit until the target size.
+        std::vector<std::uint8_t> unit;
+        support::Rng unitRng = rng.fork(1);
+        if (config.repeatUnitKind == ContentKind::Random)
+            appendRandom(unit, config.repeatUnit, unitRng);
+        else
+            appendText(unit, config.repeatUnit, unitRng);
+        while (out.size() < config.bytes) {
+            const std::size_t take =
+                std::min(unit.size(), config.bytes - out.size());
+            out.insert(out.end(), unit.begin(), unit.begin() + take);
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace alberta::xz

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload file synthesizer for the 557.xz_r mini-benchmark.
+ *
+ * Reproduces the Alberta workload design of Section IV-A: files that
+ * are very compressible and files that are barely compressible, both
+ * smaller and larger than the codec dictionary, plus the
+ * repeated-short-file construction whose interaction with the sliding
+ * window the paper discovered to skew execution toward dictionary
+ * lookups.
+ */
+#ifndef ALBERTA_BENCHMARKS_XZ_GENERATOR_H
+#define ALBERTA_BENCHMARKS_XZ_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace alberta::xz {
+
+/** Content classes for synthesized files. */
+enum class ContentKind
+{
+    Text,        //!< anglophone-looking text from a small vocabulary
+    Log,         //!< highly redundant structured log lines
+    Binary,      //!< mildly structured binary records
+    Random,      //!< incompressible random bytes
+    RepeatedFile //!< one short file repeated until the target size
+};
+
+/** Generator knobs. */
+struct FileConfig
+{
+    std::uint64_t seed = 1;
+    ContentKind kind = ContentKind::Text;
+    std::size_t bytes = 1 << 16;      //!< target file size
+    std::size_t repeatUnit = 1 << 12; //!< unit size for RepeatedFile
+    /** Content of the repeated unit (Text = internally compressible,
+     * Random = redundancy exists only across repetitions). */
+    ContentKind repeatUnitKind = ContentKind::Text;
+};
+
+/** Synthesize a file with the requested redundancy structure. */
+std::vector<std::uint8_t> generateFile(const FileConfig &config);
+
+} // namespace alberta::xz
+
+#endif // ALBERTA_BENCHMARKS_XZ_GENERATOR_H

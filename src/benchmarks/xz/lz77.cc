@@ -1,0 +1,247 @@
+#include "benchmarks/xz/lz77.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace alberta::xz {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 0xA7;
+constexpr std::uint8_t kMagic1 = 0x5A;
+constexpr std::uint32_t kHashBits = 15;
+constexpr std::uint32_t kHashSize = 1u << kHashBits;
+constexpr std::uint32_t kNoPos = 0xffffffffu;
+
+std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    __builtin_memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t
+getVarint(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+        support::fatalIf(pos >= in.size(), "xz: truncated varint");
+        const std::uint8_t byte = in[pos++];
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+        support::fatalIf(shift > 63, "xz: oversized varint");
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+compress(const std::vector<std::uint8_t> &input, const CodecConfig &config,
+         runtime::ExecutionContext &ctx, CompressStats *stats)
+{
+    auto &m = ctx.machine();
+    CompressStats local;
+
+    std::vector<std::uint8_t> out;
+    out.reserve(input.size() / 2 + 64);
+    out.push_back(kMagic0);
+    out.push_back(kMagic1);
+    {
+        auto scope = ctx.method("xz::write_header", 400);
+        putVarint(out, config.dictionaryBytes);
+        putVarint(out, input.size());
+    }
+
+    std::vector<std::uint32_t> hashHead(kHashSize, kNoPos);
+    std::vector<std::uint32_t> chain(input.size(), kNoPos);
+
+    const std::uint64_t winBase = 0x100000000ULL;  // window addresses
+    const std::uint64_t chainBase = 0x200000000ULL;
+
+    std::size_t pos = 0;
+    std::size_t literalRun = 0;
+    std::vector<std::uint8_t> literals;
+
+    const auto flushLiterals = [&] {
+        if (literalRun == 0)
+            return;
+        auto scope = ctx.method("xz::emit_literals", 900);
+        putVarint(out, (literalRun << 1) | 0); // tag 0: literal run
+        out.insert(out.end(), literals.end() - literalRun,
+                   literals.end());
+        m.stream(topdown::OpKind::Store, winBase + out.size(),
+                 literalRun, 1);
+        local.literals += literalRun;
+        literalRun = 0;
+        literals.clear();
+    };
+
+    while (pos < input.size()) {
+        std::uint32_t bestLen = 0;
+        std::uint32_t bestDist = 0;
+
+        if (pos + config.minMatch <= input.size()) {
+            auto scope = ctx.method("xz::find_match", 2600);
+            const std::uint32_t h = hash4(&input[pos]);
+            m.ops(topdown::OpKind::IntMul, 1);
+            std::uint32_t candidate = hashHead[h];
+            m.load(chainBase + h * 4);
+            std::uint32_t depth = 0;
+            const std::size_t limit =
+                pos > config.dictionaryBytes
+                    ? pos - config.dictionaryBytes
+                    : 0;
+            while (candidate != kNoPos && depth < config.maxChainDepth) {
+                ++local.chainSteps;
+                ++depth;
+                if (m.branch(1, candidate < limit))
+                    break; // left the dictionary window
+                // Compare candidate and current look-ahead.
+                const std::uint8_t *a = &input[candidate];
+                const std::uint8_t *b = &input[pos];
+                const std::size_t maxLen = std::min<std::size_t>(
+                    config.maxMatch, input.size() - pos);
+                std::uint32_t len = 0;
+                m.load(winBase + candidate);
+                m.load(winBase + pos);
+                // Data-dependent comparison branches: the dominant
+                // mispredict source in match finders.
+                m.branch(4, maxLen > 0 && a[0] == b[0]);
+                while (len < maxLen && a[len] == b[len]) {
+                    ++len;
+                    if ((len & 7) == 0) {
+                        m.ops(topdown::OpKind::IntAlu, 2);
+                        m.branch(5, a[len - 1] == b[len - 1]);
+                    }
+                }
+                m.branch(2, len >= config.minMatch);
+                if (len >= config.minMatch && len > bestLen) {
+                    // No early exit at maxMatch: like LZMA's bt4
+                    // finder the search keeps walking the chain for
+                    // the best candidate, which is what makes
+                    // dictionary-resident repetition lookup-bound
+                    // (the paper's Section IV-A discovery).
+                    bestLen = len;
+                    bestDist = static_cast<std::uint32_t>(pos -
+                                                          candidate);
+                }
+                candidate = chain[candidate];
+                m.load(chainBase + 0x1000000 + candidate * 4ULL);
+            }
+        }
+
+        if (bestLen >= config.minMatch) {
+            flushLiterals();
+            auto scope = ctx.method("xz::emit_match", 1100);
+            putVarint(out, (static_cast<std::uint64_t>(bestLen) << 1) |
+                               1); // tag 1: match
+            putVarint(out, bestDist);
+            m.ops(topdown::OpKind::IntAlu, 6);
+            ++local.matches;
+            local.matchedBytes += bestLen;
+            // Insert every covered position into the dictionary.
+            auto scope2 = ctx.method("xz::hash_insert", 700);
+            const std::size_t end =
+                std::min(pos + bestLen, input.size() - 3);
+            for (std::size_t p = pos; p < end; ++p) {
+                const std::uint32_t h = hash4(&input[p]);
+                chain[p] = hashHead[h];
+                hashHead[h] = static_cast<std::uint32_t>(p);
+                m.store(chainBase + h * 4);
+                // Adaptive bit-model update branch (LZMA codes every
+                // position through data-dependent probability bits).
+                m.branch(6, (input[p] & 1) != 0);
+            }
+            pos += bestLen;
+        } else {
+            auto scope = ctx.method("xz::hash_insert", 700);
+            literals.push_back(input[pos]);
+            ++literalRun;
+            if (pos + 4 <= input.size()) {
+                const std::uint32_t h = hash4(&input[pos]);
+                chain[pos] = hashHead[h];
+                hashHead[h] = static_cast<std::uint32_t>(pos);
+                m.store(chainBase + h * 4);
+            }
+            m.load(winBase + pos);
+            m.branch(6, (input[pos] & 1) != 0); // bit-model update
+            ++pos;
+        }
+    }
+    flushLiterals();
+
+    if (stats)
+        *stats = local;
+    ctx.consume(static_cast<std::uint64_t>(out.size()));
+    return out;
+}
+
+std::vector<std::uint8_t>
+decompress(const std::vector<std::uint8_t> &stream,
+           runtime::ExecutionContext &ctx)
+{
+    auto scope = ctx.method("xz::decompress", 2000);
+    auto &m = ctx.machine();
+
+    support::fatalIf(stream.size() < 4 || stream[0] != kMagic0 ||
+                         stream[1] != kMagic1,
+                     "xz: bad stream magic");
+    std::size_t pos = 2;
+    const std::uint64_t dict = getVarint(stream, pos);
+    const std::uint64_t rawSize = getVarint(stream, pos);
+    support::fatalIf(dict == 0, "xz: zero dictionary");
+
+    std::vector<std::uint8_t> out;
+    out.reserve(rawSize);
+    const std::uint64_t outBase = 0x300000000ULL;
+
+    while (pos < stream.size()) {
+        const std::uint64_t token = getVarint(stream, pos);
+        m.ops(topdown::OpKind::IntAlu, 3);
+        if (m.branch(1, (token & 1) == 0)) {
+            const std::uint64_t run = token >> 1;
+            support::fatalIf(pos + run > stream.size(),
+                             "xz: truncated literal run");
+            out.insert(out.end(), stream.begin() + pos,
+                       stream.begin() + pos + run);
+            m.stream(topdown::OpKind::Load, outBase + pos, run, 1);
+            pos += run;
+        } else {
+            const std::uint64_t len = token >> 1;
+            const std::uint64_t dist = getVarint(stream, pos);
+            support::fatalIf(dist == 0 || dist > out.size(),
+                             "xz: match distance out of range");
+            support::fatalIf(dist > dict,
+                             "xz: match distance beyond dictionary");
+            std::size_t src = out.size() - dist;
+            for (std::uint64_t i = 0; i < len; ++i) {
+                out.push_back(out[src + i]);
+                if ((i & 15) == 0)
+                    m.load(outBase + src + i);
+            }
+            m.ops(topdown::OpKind::IntAlu, len / 4 + 1);
+        }
+    }
+    support::fatalIf(out.size() != rawSize,
+                     "xz: size mismatch after decompression: ",
+                     out.size(), " vs ", rawSize);
+    ctx.consume(static_cast<std::uint64_t>(out.size()));
+    return out;
+}
+
+} // namespace alberta::xz

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sliding-window LZ77 codec for the 557.xz_r mini-benchmark.
+ *
+ * Implements the behaviour the paper's Section IV-A analysis hinges on:
+ * a dictionary (sliding window) plus look-ahead buffer, with a
+ * hash-chain match finder whose work shifts between literal encoding
+ * and dictionary lookups depending on how the input's redundancy
+ * interacts with the dictionary size.
+ */
+#ifndef ALBERTA_BENCHMARKS_XZ_LZ77_H
+#define ALBERTA_BENCHMARKS_XZ_LZ77_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/context.h"
+
+namespace alberta::xz {
+
+/** Codec parameters. */
+struct CodecConfig
+{
+    std::uint32_t dictionaryBytes = 1 << 16; //!< sliding-window size
+    std::uint32_t minMatch = 4;              //!< shortest coded match
+    std::uint32_t maxMatch = 273;            //!< longest coded match
+    std::uint32_t maxChainDepth = 48;        //!< match-finder effort
+};
+
+/** Compression outcome statistics. */
+struct CompressStats
+{
+    std::uint64_t literals = 0;     //!< bytes emitted as literals
+    std::uint64_t matches = 0;      //!< match tokens emitted
+    std::uint64_t matchedBytes = 0; //!< bytes covered by matches
+    std::uint64_t chainSteps = 0;   //!< dictionary chain nodes visited
+};
+
+/**
+ * Compress @p input, reporting micro-ops through @p ctx.
+ *
+ * The output stream is self-describing: a small header holding the
+ * dictionary size followed by literal/match tokens with varint fields.
+ */
+std::vector<std::uint8_t> compress(const std::vector<std::uint8_t> &input,
+                                   const CodecConfig &config,
+                                   runtime::ExecutionContext &ctx,
+                                   CompressStats *stats = nullptr);
+
+/**
+ * Decompress a stream produced by @ref compress.
+ *
+ * @throws support::FatalError on a corrupt stream
+ */
+std::vector<std::uint8_t>
+decompress(const std::vector<std::uint8_t> &stream,
+           runtime::ExecutionContext &ctx);
+
+} // namespace alberta::xz
+
+#endif // ALBERTA_BENCHMARKS_XZ_LZ77_H

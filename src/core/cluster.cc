@@ -1,0 +1,118 @@
+#include "core/cluster.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.h"
+
+namespace alberta::core {
+
+double
+l1Distance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    support::panicIf(a.size() != b.size(),
+                     "cluster: dimension mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += std::abs(a[i] - b[i]);
+    return sum;
+}
+
+Clustering
+kMedoids(const std::vector<std::vector<double>> &points, std::size_t k)
+{
+    support::fatalIf(k == 0, "cluster: k must be positive");
+    support::fatalIf(k > points.size(), "cluster: k = ", k,
+                     " exceeds point count ", points.size());
+    const std::size_t n = points.size();
+
+    // Pairwise distances once.
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            dist[i][j] = dist[j][i] =
+                l1Distance(points[i], points[j]);
+
+    Clustering out;
+    // Farthest-point seeding from point 0.
+    out.medoids.push_back(0);
+    while (out.medoids.size() < k) {
+        std::size_t best = 0;
+        double bestDist = -1.0;
+        for (std::size_t p = 0; p < n; ++p) {
+            double nearest = std::numeric_limits<double>::max();
+            for (const std::size_t m : out.medoids)
+                nearest = std::min(nearest, dist[p][m]);
+            if (nearest > bestDist) {
+                bestDist = nearest;
+                best = p;
+            }
+        }
+        out.medoids.push_back(best);
+    }
+
+    // Alternate assignment and medoid refinement to a fixed point.
+    out.assignment.assign(n, 0);
+    for (int round = 0; round < 64; ++round) {
+        // Assign every point to its nearest medoid.
+        for (std::size_t p = 0; p < n; ++p) {
+            double nearest = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < out.medoids.size(); ++c) {
+                if (dist[p][out.medoids[c]] < nearest) {
+                    nearest = dist[p][out.medoids[c]];
+                    out.assignment[p] = c;
+                }
+            }
+        }
+        // Recompute each cluster's medoid.
+        bool changed = false;
+        for (std::size_t c = 0; c < out.medoids.size(); ++c) {
+            double bestCost = std::numeric_limits<double>::max();
+            std::size_t bestPoint = out.medoids[c];
+            for (std::size_t candidate = 0; candidate < n;
+                 ++candidate) {
+                if (out.assignment[candidate] != c)
+                    continue;
+                double cost = 0.0;
+                for (std::size_t p = 0; p < n; ++p) {
+                    if (out.assignment[p] == c)
+                        cost += dist[p][candidate];
+                }
+                if (cost < bestCost) {
+                    bestCost = cost;
+                    bestPoint = candidate;
+                }
+            }
+            if (bestPoint != out.medoids[c]) {
+                out.medoids[c] = bestPoint;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    out.cost = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+        out.cost += dist[p][out.medoids[out.assignment[p]]];
+    return out;
+}
+
+std::vector<double>
+topdownFeatures(const stats::TopdownRatios &r)
+{
+    return {r.frontend, r.backend, r.badspec, r.retiring};
+}
+
+Clustering
+clusterWorkloads(const Characterization &characterization,
+                 std::size_t k)
+{
+    std::vector<std::vector<double>> points;
+    points.reserve(characterization.topdownPerWorkload.size());
+    for (const auto &r : characterization.topdownPerWorkload)
+        points.push_back(topdownFeatures(r));
+    return kMedoids(points, k);
+}
+
+} // namespace alberta::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload clustering for sampling — the methodology of Berube et
+ * al. (CGO 2009) the paper cites in Section VI: when a development
+ * group has too many workloads, cluster them by behaviour and keep
+ * one representative per cluster.
+ *
+ * Workloads are points in top-down-fraction space; clustering is
+ * k-medoids with deterministic farthest-point seeding, so the chosen
+ * representatives are actual workloads (not synthetic centroids).
+ */
+#ifndef ALBERTA_CORE_CLUSTER_H
+#define ALBERTA_CORE_CLUSTER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/suite.h"
+
+namespace alberta::core {
+
+/** Result of clustering n points into k groups. */
+struct Clustering
+{
+    /** Indices of the medoid (representative) points, size k. */
+    std::vector<std::size_t> medoids;
+    /** For each point, the index into @ref medoids it belongs to. */
+    std::vector<std::size_t> assignment;
+    /** Sum of point-to-medoid distances (the clustering cost). */
+    double cost = 0.0;
+};
+
+/** L1 distance between two feature vectors of equal length. */
+double l1Distance(const std::vector<double> &a,
+                  const std::vector<double> &b);
+
+/**
+ * k-medoids over arbitrary feature vectors: farthest-point seeding
+ * followed by alternating assignment / medoid-update sweeps until a
+ * fixed point. Deterministic.
+ *
+ * @throws support::FatalError when k is 0 or exceeds the point count
+ */
+Clustering kMedoids(const std::vector<std::vector<double>> &points,
+                    std::size_t k);
+
+/** Feature vector of one workload: its four top-down fractions. */
+std::vector<double> topdownFeatures(const stats::TopdownRatios &r);
+
+/**
+ * Cluster a characterized benchmark's workloads into @p k behaviour
+ * groups (Berube-style workload reduction).
+ */
+Clustering clusterWorkloads(const Characterization &characterization,
+                            std::size_t k);
+
+} // namespace alberta::core
+
+#endif // ALBERTA_CORE_CLUSTER_H

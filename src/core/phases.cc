@@ -1,0 +1,79 @@
+#include "core/phases.h"
+
+#include <cmath>
+
+#include "core/cluster.h"
+#include "support/check.h"
+
+namespace alberta::core {
+
+double
+behaviourDistance(const stats::TopdownRatios &a,
+                  const stats::TopdownRatios &b)
+{
+    return std::abs(a.frontend - b.frontend) +
+           std::abs(a.backend - b.backend) +
+           std::abs(a.badspec - b.badspec) +
+           std::abs(a.retiring - b.retiring);
+}
+
+namespace {
+
+stats::TopdownRatios
+ratiosOf(const topdown::SlotCounts &slots)
+{
+    stats::TopdownRatios r;
+    const double total = slots.total();
+    if (total <= 0.0)
+        return r;
+    r.frontend = slots.frontend / total;
+    r.backend = slots.backend / total;
+    r.badspec = slots.badspec / total;
+    r.retiring = slots.retiring / total;
+    return r;
+}
+
+} // namespace
+
+PhaseAnalysis
+analyzePhases(const runtime::Benchmark &benchmark,
+              const runtime::Workload &workload, int targetIntervals)
+{
+    support::fatalIf(targetIntervals < 2,
+                     "phases: need at least two intervals");
+
+    // Sizing run: how many uops does this workload retire?
+    const auto sizing = runtime::runOnce(benchmark, workload);
+    const std::uint64_t perInterval =
+        std::max<std::uint64_t>(1000,
+                                sizing.retiredOps /
+                                    targetIntervals);
+
+    // Recorded run.
+    runtime::ExecutionContext context;
+    context.machine().recordIntervals(perInterval);
+    benchmark.run(workload, context);
+
+    PhaseAnalysis out;
+    out.fullRun = context.machine().ratios();
+    const auto &intervals = context.machine().intervals();
+    support::fatalIf(intervals.size() < 2,
+                     "phases: run too short for interval analysis");
+
+    std::vector<std::vector<double>> points;
+    for (const auto &slots : intervals) {
+        const auto r = ratiosOf(slots);
+        out.intervalRatios.push_back(r);
+        points.push_back(topdownFeatures(r));
+    }
+
+    const Clustering clustering = kMedoids(points, 1);
+    out.representative = clustering.medoids[0];
+    out.representativeRatios =
+        out.intervalRatios[out.representative];
+    out.selfError =
+        behaviourDistance(out.representativeRatios, out.fullRun);
+    return out;
+}
+
+} // namespace alberta::core

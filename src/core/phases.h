@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Kernel/phase representativeness analysis — the Section VII research
+ * question: "it would be nice to know if kernels created from SPEC
+ * benchmark suites to allow faster simulation actually represent the
+ * range of behaviours of the benchmarks when they are executed with
+ * multiple workloads."
+ *
+ * A run is sliced into equal-retired-uop intervals (SimPoint-style);
+ * the medoid interval is the simulation kernel. The analysis then
+ * measures how far that kernel's behaviour sits from the full run of
+ * each workload.
+ */
+#ifndef ALBERTA_CORE_PHASES_H
+#define ALBERTA_CORE_PHASES_H
+
+#include "core/suite.h"
+
+namespace alberta::core {
+
+/** Phase decomposition of one (benchmark, workload) execution. */
+struct PhaseAnalysis
+{
+    /** Top-down fractions of each completed interval. */
+    std::vector<stats::TopdownRatios> intervalRatios;
+    /** Index of the medoid (most representative) interval. */
+    std::size_t representative = 0;
+    /** The kernel's behaviour vector. */
+    stats::TopdownRatios representativeRatios;
+    /** Whole-run behaviour vector. */
+    stats::TopdownRatios fullRun;
+    /** L1 distance between kernel and full run (same workload). */
+    double selfError = 0.0;
+};
+
+/**
+ * Execute @p workload recording ~@p targetIntervals equal-sized
+ * intervals and pick the medoid as the simulation kernel.
+ *
+ * @throws support::FatalError if the run is too short to form at
+ *         least two intervals
+ */
+PhaseAnalysis analyzePhases(const runtime::Benchmark &benchmark,
+                            const runtime::Workload &workload,
+                            int targetIntervals = 12);
+
+/** L1 distance between two top-down behaviour vectors. */
+double behaviourDistance(const stats::TopdownRatios &a,
+                         const stats::TopdownRatios &b);
+
+} // namespace alberta::core
+
+#endif // ALBERTA_CORE_PHASES_H

@@ -1,0 +1,83 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace alberta::core {
+
+std::string
+renderReport(const Characterization &c)
+{
+    using support::formatFixed;
+    using support::formatPercent;
+    std::ostringstream os;
+
+    os << "# " << c.benchmark << " — workload behaviour report\n\n";
+    os << "Application area: " << c.area << "\n\n";
+    os << "Workloads characterized: " << c.workloadNames.size()
+       << "\n";
+    if (!c.refrateRuns.empty()) {
+        os << "refrate time: " << formatFixed(c.refrateSeconds, 3)
+           << " s (mean of " << c.refrateRuns.size() << " runs:";
+        for (const double t : c.refrateRuns)
+            os << ' ' << formatFixed(t, 3);
+        os << ")\n";
+    }
+
+    os << "\n## Per-workload top-down fractions\n\n";
+    os << "| workload | front-end | back-end | bad-spec | retiring "
+          "|\n";
+    os << "|---|---|---|---|---|\n";
+    for (std::size_t i = 0; i < c.workloadNames.size(); ++i) {
+        const auto &r = c.topdownPerWorkload[i];
+        os << "| " << c.workloadNames[i] << " | "
+           << formatPercent(r.frontend, 1) << "% | "
+           << formatPercent(r.backend, 1) << "% | "
+           << formatPercent(r.badspec, 1) << "% | "
+           << formatPercent(r.retiring, 1) << "% |\n";
+    }
+
+    os << "\n## Method coverage (percent of execution)\n\n";
+    os << "| workload |";
+    for (const auto &method : c.coverage.methods)
+        os << ' ' << method << " |";
+    os << "\n|---|";
+    for (std::size_t j = 0; j < c.coverage.methods.size(); ++j)
+        os << "---|";
+    os << "\n";
+    for (std::size_t i = 0; i < c.workloadNames.size(); ++i) {
+        os << "| " << c.workloadNames[i] << " |";
+        for (std::size_t j = 0; j < c.coverage.methods.size(); ++j)
+            os << ' ' << formatFixed(c.coverage.matrix[i][j], 1)
+               << " |";
+        os << "\n";
+    }
+
+    os << "\n## Section V summaries\n\n";
+    os << "| category | mu_g | sigma_g | V |\n|---|---|---|---|\n";
+    const auto row = [&](const char *name,
+                         const stats::GeoSummary &s) {
+        os << "| " << name << " | " << formatPercent(s.mean, 2)
+           << "% | " << formatFixed(s.stddev, 2) << " | "
+           << formatFixed(s.variation, 2) << " |\n";
+    };
+    row("front-end bound", c.topdown.frontend);
+    row("back-end bound", c.topdown.backend);
+    row("bad speculation", c.topdown.badspec);
+    row("retiring", c.topdown.retiring);
+
+    os << "\n- mu_g(V) = " << formatFixed(c.topdown.muGV, 2) << "\n";
+    os << "- mu_g(M) = " << formatFixed(c.coverage.muGM, 2) << "\n";
+    if (c.topdown.badspec.mean < 0.005 ||
+        c.topdown.frontend.mean < 0.005) {
+        os << "\n> **Caveat (paper, Section V-B):** a category's "
+              "geometric mean is close to\n> zero, so mu_g(V) is "
+              "inflated by the small-mean pathology; do not compare "
+              "it\n> against other benchmarks without looking into "
+              "the data.\n";
+    }
+    return os.str();
+}
+
+} // namespace alberta::core

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Per-benchmark report generation: the textual analogue of the
+ * "individual benchmark reports distributed with the Alberta
+ * Workloads" — per-workload execution times, top-down fractions,
+ * method-coverage tables, and the Section V summaries, as Markdown.
+ */
+#ifndef ALBERTA_CORE_REPORT_H
+#define ALBERTA_CORE_REPORT_H
+
+#include <string>
+
+#include "core/suite.h"
+
+namespace alberta::core {
+
+/**
+ * Render a full Markdown report for one characterized benchmark:
+ * header and metadata, a per-workload measurement table, the method-
+ * coverage matrix, and the mu_g(V) / mu_g(M) summary with the
+ * small-mean caveat flagged when it applies.
+ */
+std::string renderReport(const Characterization &characterization);
+
+} // namespace alberta::core
+
+#endif // ALBERTA_CORE_REPORT_H

@@ -1,0 +1,138 @@
+#include "core/suite.h"
+
+#include "benchmarks/blender/benchmark.h"
+#include "benchmarks/cactubssn/benchmark.h"
+#include "benchmarks/deepsjeng/benchmark.h"
+#include "benchmarks/exchange2/benchmark.h"
+#include "benchmarks/gcc/benchmark.h"
+#include "benchmarks/lbm/benchmark.h"
+#include "benchmarks/leela/benchmark.h"
+#include "benchmarks/mcf/benchmark.h"
+#include "benchmarks/nab/benchmark.h"
+#include "benchmarks/omnetpp/benchmark.h"
+#include "benchmarks/parest/benchmark.h"
+#include "benchmarks/povray/benchmark.h"
+#include "benchmarks/wrf/benchmark.h"
+#include "benchmarks/x264/benchmark.h"
+#include "benchmarks/xalancbmk/benchmark.h"
+#include "benchmarks/xz/benchmark.h"
+#include "support/check.h"
+#include "support/table.h"
+
+namespace alberta::core {
+
+std::vector<std::unique_ptr<runtime::Benchmark>>
+allBenchmarks()
+{
+    std::vector<std::unique_ptr<runtime::Benchmark>> out;
+    out.push_back(std::make_unique<gcc::GccBenchmark>());
+    out.push_back(std::make_unique<mcf::McfBenchmark>());
+    out.push_back(std::make_unique<cactubssn::CactuBssnBenchmark>());
+    out.push_back(std::make_unique<parest::ParestBenchmark>());
+    out.push_back(std::make_unique<povray::PovrayBenchmark>());
+    out.push_back(std::make_unique<lbm::LbmBenchmark>());
+    out.push_back(std::make_unique<omnetpp::OmnetppBenchmark>());
+    out.push_back(std::make_unique<wrf::WrfBenchmark>());
+    out.push_back(std::make_unique<xalancbmk::XalancbmkBenchmark>());
+    out.push_back(std::make_unique<x264::X264Benchmark>());
+    out.push_back(std::make_unique<blender::BlenderBenchmark>());
+    out.push_back(std::make_unique<deepsjeng::DeepsjengBenchmark>());
+    out.push_back(std::make_unique<leela::LeelaBenchmark>());
+    out.push_back(std::make_unique<nab::NabBenchmark>());
+    out.push_back(std::make_unique<exchange2::Exchange2Benchmark>());
+    out.push_back(std::make_unique<xz::XzBenchmark>());
+    return out;
+}
+
+std::unique_ptr<runtime::Benchmark>
+makeBenchmark(const std::string &name)
+{
+    for (auto &bm : allBenchmarks()) {
+        if (bm->name() == name)
+            return std::move(bm);
+    }
+    support::fatal("suite: unknown benchmark '", name, "'");
+}
+
+const std::vector<std::string> &
+table2Names()
+{
+    static const std::vector<std::string> names = {
+        "502.gcc_r",       "505.mcf_r",       "507.cactuBSSN_r",
+        "510.parest_r",    "511.povray_r",    "519.lbm_r",
+        "520.omnetpp_r",   "521.wrf_r",       "523.xalancbmk_r",
+        "526.blender_r",   "531.deepsjeng_r", "541.leela_r",
+        "544.nab_r",       "548.exchange2_r", "557.xz_r"};
+    return names;
+}
+
+Characterization
+characterize(const runtime::Benchmark &benchmark,
+             const CharacterizeOptions &options)
+{
+    Characterization c;
+    c.benchmark = benchmark.name();
+    c.area = benchmark.area();
+
+    for (const auto &workload : benchmark.workloads()) {
+        if (!options.includeTest && workload.name == "test")
+            continue;
+        const runtime::RunMeasurement m =
+            runtime::runOnce(benchmark, workload);
+        c.workloadNames.push_back(workload.name);
+        c.topdownPerWorkload.push_back(m.topdown);
+        c.coveragePerWorkload.push_back(m.coverage);
+        if (workload.isRefrate()) {
+            c.refrateRuns.push_back(m.seconds);
+            for (int rep = 1; rep < options.refrateRepetitions;
+                 ++rep) {
+                c.refrateRuns.push_back(
+                    runtime::runOnce(benchmark, workload).seconds);
+            }
+        }
+    }
+    support::fatalIf(c.workloadNames.empty(), "suite: ",
+                     benchmark.name(), " has no workloads");
+
+    c.topdown = stats::summarizeTopdown(c.topdownPerWorkload);
+    c.coverage = stats::summarizeCoverage(c.coveragePerWorkload);
+    if (!c.refrateRuns.empty()) {
+        double sum = 0.0;
+        for (const double t : c.refrateRuns)
+            sum += t;
+        c.refrateSeconds = sum / c.refrateRuns.size();
+    }
+    return c;
+}
+
+std::vector<std::string>
+table2Header()
+{
+    return {"Benchmark", "#wl",   "f.mu_g", "f.sg",  "b.mu_g",
+            "b.sg",      "s.mu_g", "s.sg",  "r.mu_g", "r.sg",
+            "mu_g(V)",   "mu_g(M)", "refrate(s)"};
+}
+
+std::vector<std::string>
+table2Row(const Characterization &c)
+{
+    using support::formatFixed;
+    using support::formatPercent;
+    return {
+        c.benchmark,
+        std::to_string(c.workloadNames.size()),
+        formatPercent(c.topdown.frontend.mean, 1),
+        formatFixed(c.topdown.frontend.stddev, 1),
+        formatPercent(c.topdown.backend.mean, 1),
+        formatFixed(c.topdown.backend.stddev, 1),
+        formatPercent(c.topdown.badspec.mean, 1),
+        formatFixed(c.topdown.badspec.stddev, 1),
+        formatPercent(c.topdown.retiring.mean, 1),
+        formatFixed(c.topdown.retiring.stddev, 1),
+        formatFixed(c.topdown.muGV, 1),
+        formatFixed(c.coverage.muGM, 2),
+        formatFixed(c.refrateSeconds, 2),
+    };
+}
+
+} // namespace alberta::core

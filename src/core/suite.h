@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Alberta Workloads suite: every mini-benchmark with its workload
+ * set, plus the characterization pipeline that reproduces the paper's
+ * Table II and Figures 1-2 (per-workload top-down fractions, method
+ * coverage, and the mu_g(V) / mu_g(M) summaries).
+ */
+#ifndef ALBERTA_CORE_SUITE_H
+#define ALBERTA_CORE_SUITE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/benchmark.h"
+#include "stats/summary.h"
+
+namespace alberta::core {
+
+/** Construct every benchmark the paper covers (INT + FP). */
+std::vector<std::unique_ptr<runtime::Benchmark>> allBenchmarks();
+
+/** Construct one benchmark by SPEC id (e.g. "505.mcf_r"). */
+std::unique_ptr<runtime::Benchmark>
+makeBenchmark(const std::string &name);
+
+/** The 15 benchmarks of the paper's Table II, in row order. */
+const std::vector<std::string> &table2Names();
+
+/** Everything measured for one benchmark across its workloads. */
+struct Characterization
+{
+    std::string benchmark;
+    std::string area;
+    std::vector<std::string> workloadNames;
+    std::vector<stats::TopdownRatios> topdownPerWorkload;
+    std::vector<stats::CoverageMap> coveragePerWorkload;
+    stats::TopdownSummary topdown;   //!< Eqs. 1-4 over the workloads
+    stats::CoverageSummary coverage; //!< Eq. 5 over the workloads
+    double refrateSeconds = 0.0;     //!< mean wall time, refrate
+    std::vector<double> refrateRuns; //!< raw per-run times
+};
+
+/** Characterization options. */
+struct CharacterizeOptions
+{
+    int refrateRepetitions = 3; //!< the paper's three timed runs
+    bool includeTest = true;    //!< count "test" among workloads
+};
+
+/**
+ * Run every workload of @p benchmark once through the model (plus
+ * timed refrate repetitions) and summarize with the paper's
+ * methodology.
+ */
+Characterization characterize(const runtime::Benchmark &benchmark,
+                              const CharacterizeOptions &options = {});
+
+/** One formatted Table II row (strings ready for printing). */
+std::vector<std::string> table2Row(const Characterization &c);
+
+/** The Table II header, matching @ref table2Row. */
+std::vector<std::string> table2Header();
+
+} // namespace alberta::core
+
+#endif // ALBERTA_CORE_SUITE_H

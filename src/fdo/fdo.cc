@@ -1,0 +1,163 @@
+#include "fdo/fdo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "profile/coverage.h"
+#include "support/check.h"
+
+namespace alberta::fdo {
+
+void
+Profile::merge(const Profile &other)
+{
+    for (const auto &[key, counts] : other.sites) {
+        auto &mine = sites[key];
+        mine.taken += counts.taken;
+        mine.total += counts.total;
+    }
+    const double selfWeight =
+        retiredOps + other.retiredOps > 0
+            ? static_cast<double>(retiredOps) /
+                  (retiredOps + other.retiredOps)
+            : 0.5;
+    for (auto &[key, hotness] : methodHotness)
+        hotness *= selfWeight;
+    for (const auto &[key, hotness] : other.methodHotness)
+        methodHotness[key] += hotness * (1.0 - selfWeight);
+    retiredOps += other.retiredOps;
+}
+
+Profile
+collectProfile(const runtime::Benchmark &benchmark,
+               const runtime::Workload &workload)
+{
+    runtime::ExecutionContext context;
+    context.machine().collectProfile(true);
+    benchmark.run(workload, context);
+
+    Profile profile;
+    profile.sites = context.machine().siteProfiles();
+    profile.retiredOps = context.machine().retiredOps();
+
+    // Method hotness via stable keys.
+    const auto &perMethod = context.machine().perMethod();
+    double total = 0.0;
+    for (const auto &slots : perMethod)
+        total += slots.total();
+    // Re-derive stable keys through the coverage map: names are the
+    // stable identity, so hash them the same way the profiler does.
+    for (const auto &[name, fraction] : context.coverage()) {
+        profile.methodHotness[std::hash<std::string>{}(name)] =
+            fraction;
+    }
+    (void)total;
+    return profile;
+}
+
+Optimization
+compileOptimization(const Profile &profile,
+                    const OptimizerConfig &config)
+{
+    Optimization opt;
+    for (const auto &[key, counts] : profile.sites) {
+        if (counts.total < config.minSamples)
+            continue;
+        const double bias = static_cast<double>(counts.taken) /
+                            static_cast<double>(counts.total);
+        if (bias >= config.hintBias) {
+            opt.hints.direction[key] = true;
+            ++opt.hintedSites;
+        } else if (bias <= 1.0 - config.hintBias) {
+            opt.hints.direction[key] = false;
+            ++opt.hintedSites;
+        }
+    }
+    for (const auto &[key, hotness] : profile.methodHotness) {
+        if (hotness >= config.hotCoverage) {
+            opt.layout.scale[key] = config.hotScale;
+            ++opt.hotMethods;
+        }
+    }
+    return opt;
+}
+
+FdoMeasurement
+runOptimized(const runtime::Benchmark &benchmark,
+             const runtime::Workload &workload,
+             const Optimization *optimization)
+{
+    runtime::ExecutionContext context;
+    if (optimization) {
+        context.installOptimization(&optimization->hints,
+                                    &optimization->layout);
+    }
+    benchmark.run(workload, context);
+    FdoMeasurement m;
+    m.cycles = context.machine().cycles();
+    m.topdown = context.machine().ratios();
+    m.checksum = context.checksum();
+    return m;
+}
+
+double
+fdoSpeedup(const runtime::Benchmark &benchmark,
+           const runtime::Workload &train,
+           const runtime::Workload &eval)
+{
+    const Profile profile = collectProfile(benchmark, train);
+    const Optimization opt = compileOptimization(profile);
+    const FdoMeasurement base = runOptimized(benchmark, eval, nullptr);
+    const FdoMeasurement tuned = runOptimized(benchmark, eval, &opt);
+    support::panicIf(base.checksum != tuned.checksum,
+                     "fdo: optimization changed program output");
+    return base.cycles / tuned.cycles;
+}
+
+CrossValidation
+crossValidate(const runtime::Benchmark &benchmark,
+              const std::string &trainName)
+{
+    const auto workloads = benchmark.workloads();
+    const runtime::Workload train =
+        runtime::findWorkload(benchmark, trainName);
+
+    const Profile profile = collectProfile(benchmark, train);
+    const Optimization opt = compileOptimization(profile);
+
+    CrossValidation cv;
+    cv.benchmark = benchmark.name();
+    cv.trainWorkload = trainName;
+
+    const auto speedupOn = [&](const runtime::Workload &w) {
+        const FdoMeasurement base = runOptimized(benchmark, w,
+                                                 nullptr);
+        const FdoMeasurement tuned = runOptimized(benchmark, w, &opt);
+        return base.cycles / tuned.cycles;
+    };
+
+    cv.selfSpeedup = speedupOn(train);
+    double logSum = 0.0;
+    cv.minCross = 1e30;
+    cv.maxCross = -1e30;
+    int count = 0;
+    for (const auto &w : workloads) {
+        if (w.name == trainName)
+            continue;
+        const double speedup = speedupOn(w);
+        if (w.isRefrate())
+            cv.refSpeedup = speedup;
+        cv.evalNames.push_back(w.name);
+        cv.evalSpeedups.push_back(speedup);
+        logSum += std::log(speedup);
+        cv.minCross = std::min(cv.minCross, speedup);
+        cv.maxCross = std::max(cv.maxCross, speedup);
+        ++count;
+    }
+    support::fatalIf(count == 0,
+                     "fdo: benchmark has no evaluation workloads");
+    cv.meanCross = std::exp(logSum / count);
+    return cv;
+}
+
+} // namespace alberta::fdo

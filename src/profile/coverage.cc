@@ -1,0 +1,107 @@
+#include "profile/coverage.h"
+
+#include "support/check.h"
+
+namespace alberta::profile {
+
+std::uint32_t
+MethodRegistry::intern(std::string_view name, std::uint32_t code_bytes)
+{
+    const auto it = index_.find(std::string(name));
+    if (it != index_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(name);
+    codeBytes_.push_back(code_bytes);
+    index_.emplace(names_.back(), id);
+    return id;
+}
+
+const std::string &
+MethodRegistry::name(std::uint32_t id) const
+{
+    support::panicIf(id >= names_.size(), "method id ", id,
+                     " out of range");
+    return names_[id];
+}
+
+std::uint32_t
+MethodRegistry::codeBytes(std::uint32_t id) const
+{
+    support::panicIf(id >= codeBytes_.size(), "method id ", id,
+                     " out of range");
+    return codeBytes_[id];
+}
+
+std::uint64_t
+MethodRegistry::stableKey(std::uint32_t id) const
+{
+    return std::hash<std::string>{}(name(id));
+}
+
+MethodScope::MethodScope(CoverageProfiler &profiler, std::uint32_t id)
+    : profiler_(profiler)
+{
+    profiler_.push(id);
+}
+
+MethodScope::~MethodScope()
+{
+    profiler_.pop();
+}
+
+CoverageProfiler::CoverageProfiler(topdown::Machine &machine)
+    : machine_(machine)
+{
+    stack_.push_back(0);
+}
+
+void
+CoverageProfiler::push(std::uint32_t id)
+{
+    support::panicIf(registry_ == nullptr,
+                     "CoverageProfiler has no bound MethodRegistry");
+    stack_.push_back(id);
+    machine_.setMethod(id, registry_->codeBytes(id),
+                       registry_->stableKey(id));
+}
+
+void
+CoverageProfiler::pop()
+{
+    support::panicIf(stack_.size() <= 1, "method scope underflow");
+    stack_.pop_back();
+    const std::uint32_t id = stack_.back();
+    machine_.setMethod(id, registry_ ? registry_->codeBytes(id) : 1024,
+                       registry_ ? registry_->stableKey(id) : id);
+}
+
+stats::CoverageMap
+CoverageProfiler::coverage(const MethodRegistry &registry) const
+{
+    const auto &perMethod = machine_.perMethod();
+    double total = 0.0;
+    for (const auto &slots : perMethod)
+        total += slots.total();
+
+    stats::CoverageMap out;
+    if (total <= 0.0)
+        return out;
+    for (std::uint32_t id = 0; id < perMethod.size(); ++id) {
+        const double t = perMethod[id].total();
+        if (t <= 0.0)
+            continue;
+        const std::string &name =
+            id < registry.size() ? registry.name(id) : "<unknown>";
+        out[name] += t / total;
+    }
+    return out;
+}
+
+void
+CoverageProfiler::reset()
+{
+    stack_.assign(1, 0);
+}
+
+} // namespace alberta::profile

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Method-coverage profiling: the paper's second characterization axis
+ * (Section V-C), the fraction of execution spent in each method.
+ *
+ * Attribution is deterministic: instead of sampling wall time, coverage
+ * is measured in accounted pipeline slots from the top-down machine, so
+ * the same (benchmark, workload, seed) triple always yields identical
+ * coverage vectors. Wall time is still measured separately for the
+ * tables that report seconds.
+ */
+#ifndef ALBERTA_PROFILE_COVERAGE_H
+#define ALBERTA_PROFILE_COVERAGE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/summary.h"
+#include "topdown/machine.h"
+
+namespace alberta::profile {
+
+/** Interns method names to dense ids with per-method code footprints. */
+class MethodRegistry
+{
+  public:
+    /**
+     * Intern @p name, returning a stable dense id (> 0).
+     *
+     * @param code_bytes approximate static code size of the method; used
+     *        by the top-down model for instruction-cache pressure. The
+     *        first interning of a name fixes its code size.
+     */
+    std::uint32_t intern(std::string_view name,
+                         std::uint32_t code_bytes = 1024);
+
+    /** Name of method @p id ("<unattributed>" for id 0). */
+    const std::string &name(std::uint32_t id) const;
+
+    /** Declared code footprint of method @p id. */
+    std::uint32_t codeBytes(std::uint32_t id) const;
+
+    /** Run-independent identity of method @p id (name hash). */
+    std::uint64_t stableKey(std::uint32_t id) const;
+
+    /** Number of ids in use, including the implicit id 0. */
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    std::vector<std::string> names_ = {"<unattributed>"};
+    std::vector<std::uint32_t> codeBytes_ = {1024};
+    std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+class CoverageProfiler;
+
+/** RAII guard that scopes slot attribution to one method. */
+class MethodScope
+{
+  public:
+    MethodScope(CoverageProfiler &profiler, std::uint32_t id);
+    ~MethodScope();
+
+    MethodScope(const MethodScope &) = delete;
+    MethodScope &operator=(const MethodScope &) = delete;
+
+  private:
+    CoverageProfiler &profiler_;
+};
+
+/**
+ * Maintains the active-method stack and reads back per-method coverage
+ * fractions from the top-down machine's slot attribution.
+ */
+class CoverageProfiler
+{
+  public:
+    explicit CoverageProfiler(topdown::Machine &machine);
+
+    /** Enter method @p id; prefer the RAII @ref MethodScope. */
+    void push(std::uint32_t id);
+
+    /** Leave the innermost method. */
+    void pop();
+
+    /** Per-method fraction of accounted slots, keyed by method name. */
+    stats::CoverageMap coverage(const MethodRegistry &registry) const;
+
+    /** Reset the stack (machine state is reset separately). */
+    void reset();
+
+  private:
+    topdown::Machine &machine_;
+    const MethodRegistry *registry_ = nullptr;
+    std::vector<std::uint32_t> stack_;
+
+    friend class MethodScope;
+
+  public:
+    /** Bind the registry used to resolve code footprints on push. */
+    void bindRegistry(const MethodRegistry &registry)
+    {
+        registry_ = &registry;
+    }
+};
+
+} // namespace alberta::profile
+
+#endif // ALBERTA_PROFILE_COVERAGE_H

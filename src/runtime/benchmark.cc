@@ -1,0 +1,63 @@
+#include "runtime/benchmark.h"
+
+#include <chrono>
+
+#include "support/check.h"
+
+namespace alberta::runtime {
+
+RunMeasurement
+runOnce(const Benchmark &benchmark, const Workload &workload)
+{
+    ExecutionContext context;
+    const auto start = std::chrono::steady_clock::now();
+    benchmark.run(workload, context);
+    const auto stop = std::chrono::steady_clock::now();
+
+    RunMeasurement m;
+    m.seconds = std::chrono::duration<double>(stop - start).count();
+    m.simCycles = context.machine().cycles();
+    m.retiredOps = context.machine().retiredOps();
+    m.checksum = context.checksum();
+    m.topdown = context.machine().ratios();
+    m.coverage = context.coverage();
+    return m;
+}
+
+WorkloadMeasurement
+runRepeated(const Benchmark &benchmark, const Workload &workload,
+            int repetitions)
+{
+    support::fatalIf(repetitions < 1, "need at least one repetition");
+    WorkloadMeasurement agg;
+    agg.workload = workload.name;
+    double sum = 0.0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        RunMeasurement m = runOnce(benchmark, workload);
+        if (rep == 0) {
+            agg.representative = m;
+        } else {
+            support::panicIf(
+                m.checksum != agg.representative.checksum,
+                benchmark.name(), "/", workload.name,
+                ": nondeterministic checksum across repetitions");
+        }
+        agg.runSeconds.push_back(m.seconds);
+        sum += m.seconds;
+    }
+    agg.meanSeconds = sum / repetitions;
+    return agg;
+}
+
+Workload
+findWorkload(const Benchmark &benchmark, std::string_view name)
+{
+    for (auto &w : benchmark.workloads()) {
+        if (w.name == name)
+            return w;
+    }
+    support::fatal(benchmark.name(), " has no workload named '",
+                   std::string(name), "'");
+}
+
+} // namespace alberta::runtime

@@ -1,0 +1,25 @@
+#include "runtime/context.h"
+
+namespace alberta::runtime {
+
+ExecutionContext::ExecutionContext() : profiler_(machine_)
+{
+    profiler_.bindRegistry(registry_);
+}
+
+profile::MethodScope
+ExecutionContext::method(std::string_view name, std::uint32_t code_bytes)
+{
+    const std::uint32_t id = registry_.intern(name, code_bytes);
+    return profile::MethodScope(profiler_, id);
+}
+
+void
+ExecutionContext::reset()
+{
+    machine_.reset();
+    profiler_.reset();
+    checksum_ = 0;
+}
+
+} // namespace alberta::runtime

@@ -1,0 +1,86 @@
+#include "runtime/workload.h"
+
+#include <sstream>
+
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::runtime {
+
+Params &
+Params::set(std::string_view key, std::string_view value)
+{
+    entries_[std::string(key)] = std::string(value);
+    return *this;
+}
+
+Params &
+Params::set(std::string_view key, long long value)
+{
+    entries_[std::string(key)] = std::to_string(value);
+    return *this;
+}
+
+Params &
+Params::set(std::string_view key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    entries_[std::string(key)] = os.str();
+    return *this;
+}
+
+Params &
+Params::set(std::string_view key, bool value)
+{
+    entries_[std::string(key)] = value ? "true" : "false";
+    return *this;
+}
+
+std::string
+Params::getString(std::string_view key, std::string_view fallback) const
+{
+    const auto it = entries_.find(std::string(key));
+    return it == entries_.end() ? std::string(fallback) : it->second;
+}
+
+long long
+Params::getInt(std::string_view key, long long fallback) const
+{
+    const auto it = entries_.find(std::string(key));
+    return it == entries_.end() ? fallback : support::parseInt(it->second);
+}
+
+double
+Params::getDouble(std::string_view key, double fallback) const
+{
+    const auto it = entries_.find(std::string(key));
+    return it == entries_.end() ? fallback
+                                : support::parseDouble(it->second);
+}
+
+bool
+Params::getBool(std::string_view key, bool fallback) const
+{
+    const auto it = entries_.find(std::string(key));
+    if (it == entries_.end())
+        return fallback;
+    return it->second == "true" || it->second == "1";
+}
+
+bool
+Params::has(std::string_view key) const
+{
+    return entries_.count(std::string(key)) > 0;
+}
+
+const std::string &
+Workload::file(std::string_view file) const
+{
+    const auto it = files.find(std::string(file));
+    support::fatalIf(it == files.end(), "workload '", name,
+                     "' has no artifact '", std::string(file), "'");
+    return it->second;
+}
+
+} // namespace alberta::runtime

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Workload representation: a named, seeded input for one benchmark,
+ * carrying a parameter bag and any generated input artifacts.
+ */
+#ifndef ALBERTA_RUNTIME_WORKLOAD_H
+#define ALBERTA_RUNTIME_WORKLOAD_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace alberta::runtime {
+
+/** Typed key/value parameter bag for workload configuration. */
+class Params
+{
+  public:
+    /** Set a string parameter. */
+    Params &set(std::string_view key, std::string_view value);
+    /** Set a string parameter (keeps literals away from the bool
+     * overload). */
+    Params &
+    set(std::string_view key, const char *value)
+    {
+        return set(key, std::string_view(value));
+    }
+    /** Set an integer parameter. */
+    Params &set(std::string_view key, long long value);
+    /** Set a floating-point parameter. */
+    Params &set(std::string_view key, double value);
+    /** Set a boolean parameter. */
+    Params &set(std::string_view key, bool value);
+
+    /** String parameter or @p fallback when absent. */
+    std::string getString(std::string_view key,
+                          std::string_view fallback = "") const;
+    /** Integer parameter or @p fallback when absent. */
+    long long getInt(std::string_view key, long long fallback = 0) const;
+    /** Floating-point parameter or @p fallback when absent. */
+    double getDouble(std::string_view key, double fallback = 0.0) const;
+    /** Boolean parameter or @p fallback when absent. */
+    bool getBool(std::string_view key, bool fallback = false) const;
+
+    /** True if @p key is present. */
+    bool has(std::string_view key) const;
+
+    /** All parameters in key order (for manifests and reports). */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+/**
+ * One workload of a benchmark.
+ *
+ * The conventional names follow SPEC and the paper: "refrate" and
+ * "train" for the distributed inputs, "test" for the functional check,
+ * and "alberta.<family>-<n>" for the new workloads.
+ */
+struct Workload
+{
+    std::string name;        //!< e.g. "refrate" or "alberta.city-1"
+    std::uint64_t seed = 0;  //!< generator seed; fully determines inputs
+    Params params;           //!< structured parameters
+    /** Named generated artifacts (input "files" kept in memory). */
+    std::map<std::string, std::string> files;
+
+    /** Convenience: content of artifact @p file (fatal if absent). */
+    const std::string &file(std::string_view file) const;
+
+    /** True for the SPEC-distributed reference workload. */
+    bool isRefrate() const { return name == "refrate"; }
+    /** True for any Alberta-generated workload. */
+    bool isAlberta() const { return name.rfind("alberta.", 0) == 0; }
+};
+
+} // namespace alberta::runtime
+
+#endif // ALBERTA_RUNTIME_WORKLOAD_H

@@ -1,0 +1,169 @@
+#include "stats/pca.h"
+
+#include <cmath>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace alberta::stats {
+
+Matrix
+standardize(const Matrix &data)
+{
+    support::fatalIf(data.empty(), "pca: empty matrix");
+    const std::size_t n = data.size();
+    const std::size_t dims = data[0].size();
+    for (const auto &row : data)
+        support::fatalIf(row.size() != dims, "pca: ragged matrix");
+
+    Matrix out(n, std::vector<double>(dims, 0.0));
+    for (std::size_t d = 0; d < dims; ++d) {
+        double mean = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            mean += data[i][d];
+        mean /= static_cast<double>(n);
+        double var = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            var += (data[i][d] - mean) * (data[i][d] - mean);
+        var /= static_cast<double>(n);
+        const double sd = std::sqrt(var);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i][d] = sd > 1e-12 ? (data[i][d] - mean) / sd : 0.0;
+    }
+    return out;
+}
+
+namespace {
+
+/** Covariance matrix of row-major data (population normalization). */
+Matrix
+covariance(const Matrix &data)
+{
+    const std::size_t n = data.size();
+    const std::size_t dims = data[0].size();
+    std::vector<double> mean(dims, 0.0);
+    for (const auto &row : data)
+        for (std::size_t d = 0; d < dims; ++d)
+            mean[d] += row[d];
+    for (auto &m : mean)
+        m /= static_cast<double>(n);
+
+    Matrix cov(dims, std::vector<double>(dims, 0.0));
+    for (const auto &row : data) {
+        for (std::size_t a = 0; a < dims; ++a) {
+            for (std::size_t b = a; b < dims; ++b) {
+                cov[a][b] +=
+                    (row[a] - mean[a]) * (row[b] - mean[b]);
+            }
+        }
+    }
+    for (std::size_t a = 0; a < dims; ++a)
+        for (std::size_t b = a; b < dims; ++b) {
+            cov[a][b] /= static_cast<double>(n);
+            cov[b][a] = cov[a][b];
+        }
+    return cov;
+}
+
+/** Largest eigenpair of a symmetric matrix by power iteration. */
+std::pair<std::vector<double>, double>
+powerIteration(const Matrix &m)
+{
+    const std::size_t dims = m.size();
+    support::Rng rng(0xEC4A);
+    std::vector<double> v(dims);
+    for (auto &x : v)
+        x = rng.real(-1.0, 1.0);
+
+    double eigenvalue = 0.0;
+    for (int iter = 0; iter < 500; ++iter) {
+        std::vector<double> next(dims, 0.0);
+        for (std::size_t a = 0; a < dims; ++a)
+            for (std::size_t b = 0; b < dims; ++b)
+                next[a] += m[a][b] * v[b];
+        double norm = 0.0;
+        for (const double x : next)
+            norm += x * x;
+        norm = std::sqrt(norm);
+        if (norm < 1e-14)
+            return {std::vector<double>(dims, 0.0), 0.0};
+        for (auto &x : next)
+            x /= norm;
+        // Rayleigh quotient.
+        double quotient = 0.0;
+        for (std::size_t a = 0; a < dims; ++a) {
+            double row = 0.0;
+            for (std::size_t b = 0; b < dims; ++b)
+                row += m[a][b] * next[b];
+            quotient += next[a] * row;
+        }
+        const double delta = std::abs(quotient - eigenvalue);
+        eigenvalue = quotient;
+        v = next;
+        if (delta < 1e-13)
+            break;
+    }
+    return {v, eigenvalue};
+}
+
+} // namespace
+
+PcaResult
+principalComponents(const Matrix &data, std::size_t k)
+{
+    support::fatalIf(data.empty(), "pca: empty matrix");
+    const std::size_t dims = data[0].size();
+    support::fatalIf(k == 0 || k > dims, "pca: invalid component "
+                                         "count ", k);
+
+    Matrix cov = covariance(data);
+    double totalVariance = 0.0;
+    for (std::size_t d = 0; d < dims; ++d)
+        totalVariance += cov[d][d];
+
+    PcaResult result;
+    for (std::size_t c = 0; c < k; ++c) {
+        auto [vec, eigenvalue] = powerIteration(cov);
+        result.components.push_back(vec);
+        result.eigenvalues.push_back(eigenvalue);
+        // Deflate: cov -= lambda * v v^T.
+        for (std::size_t a = 0; a < dims; ++a)
+            for (std::size_t b = 0; b < dims; ++b)
+                cov[a][b] -= eigenvalue * vec[a] * vec[b];
+    }
+
+    // Project observations (centred on the data mean).
+    std::vector<double> mean(dims, 0.0);
+    for (const auto &row : data)
+        for (std::size_t d = 0; d < dims; ++d)
+            mean[d] += row[d];
+    for (auto &m : mean)
+        m /= static_cast<double>(data.size());
+    for (const auto &row : data) {
+        std::vector<double> proj(k, 0.0);
+        for (std::size_t c = 0; c < k; ++c)
+            for (std::size_t d = 0; d < dims; ++d)
+                proj[c] +=
+                    (row[d] - mean[d]) * result.components[c][d];
+        result.projections.push_back(std::move(proj));
+    }
+
+    double captured = 0.0;
+    for (const double e : result.eigenvalues)
+        captured += e;
+    result.varianceExplained =
+        totalVariance > 1e-12 ? captured / totalVariance : 1.0;
+    return result;
+}
+
+double
+pcaDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    support::panicIf(a.size() != b.size(), "pca: dimension mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(sum);
+}
+
+} // namespace alberta::stats

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Principal-component analysis for program-similarity studies — the
+ * Eeckhout / Phansalkar methodology the paper discusses in Section
+ * VI: standardize per-benchmark feature vectors, extract the leading
+ * principal components by power iteration with deflation, and project
+ * the benchmarks into a low-dimensional similarity space.
+ */
+#ifndef ALBERTA_STATS_PCA_H
+#define ALBERTA_STATS_PCA_H
+
+#include <cstddef>
+#include <vector>
+
+namespace alberta::stats {
+
+/** Row-major data matrix: one row per observation (benchmark). */
+using Matrix = std::vector<std::vector<double>>;
+
+/** Result of a PCA decomposition. */
+struct PcaResult
+{
+    /** Principal directions (unit vectors), size k x dims. */
+    Matrix components;
+    /** Variance captured by each component (eigenvalues). */
+    std::vector<double> eigenvalues;
+    /** Projected observations, size n x k. */
+    Matrix projections;
+    /** Fraction of total variance captured by the k components. */
+    double varianceExplained = 0.0;
+};
+
+/**
+ * Standardize columns of @p data to zero mean and unit variance.
+ * Constant columns become all-zero instead of dividing by zero.
+ */
+Matrix standardize(const Matrix &data);
+
+/**
+ * PCA via power iteration + deflation on the covariance matrix of
+ * (already standardized or raw) @p data.
+ *
+ * @param k number of components (1 <= k <= dims)
+ * @throws support::FatalError on an empty or ragged matrix
+ */
+PcaResult principalComponents(const Matrix &data, std::size_t k);
+
+/** Euclidean distance between two projected observations. */
+double pcaDistance(const std::vector<double> &a,
+                   const std::vector<double> &b);
+
+} // namespace alberta::stats
+
+#endif // ALBERTA_STATS_PCA_H

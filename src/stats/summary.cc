@@ -1,0 +1,191 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/check.h"
+
+namespace alberta::stats {
+
+double
+mean(std::span<const double> values)
+{
+    support::fatalIf(values.empty(), "mean of empty sample");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(std::span<const double> values)
+{
+    const double mu = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - mu) * (v - mu);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+geometricMean(std::span<const double> values)
+{
+    support::fatalIf(values.empty(), "geometric mean of empty sample");
+    double logSum = 0.0;
+    for (double v : values) {
+        support::fatalIf(v <= 0.0, "geometric mean requires positive "
+                                   "values; got ", v);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+geometricStddev(std::span<const double> values)
+{
+    const double mu = geometricMean(values);
+    double acc = 0.0;
+    for (double v : values) {
+        const double d = std::log(v / mu);
+        acc += d * d;
+    }
+    return std::exp(std::sqrt(acc / static_cast<double>(values.size())));
+}
+
+GeoSummary
+summarize(std::span<const double> values)
+{
+    GeoSummary s;
+    s.mean = geometricMean(values);
+    s.stddev = geometricStddev(values);
+    s.variation = s.stddev / s.mean;
+    return s;
+}
+
+TopdownSummary
+summarizeTopdown(std::span<const TopdownRatios> workloads, double floor)
+{
+    support::fatalIf(workloads.empty(), "top-down summary of zero "
+                                        "workloads");
+    std::array<std::vector<double>, 4> series;
+    for (auto &s : series)
+        s.reserve(workloads.size());
+    for (const auto &w : workloads) {
+        const auto ratios = w.asArray();
+        for (std::size_t k = 0; k < 4; ++k)
+            series[k].push_back(std::max(ratios[k], floor));
+    }
+
+    TopdownSummary out;
+    out.frontend = summarize(series[0]);
+    out.backend = summarize(series[1]);
+    out.badspec = summarize(series[2]);
+    out.retiring = summarize(series[3]);
+
+    const std::array<double, 4> variations = {
+        out.frontend.variation, out.backend.variation,
+        out.badspec.variation, out.retiring.variation};
+    out.muGV = geometricMean(variations);
+    return out;
+}
+
+CoverageSummary
+summarizeCoverage(std::span<const CoverageMap> workloads,
+                  double groupThresholdPercent, double offsetPercent)
+{
+    support::fatalIf(workloads.empty(), "coverage summary of zero "
+                                        "workloads");
+
+    // Collect the union of method names across workloads.
+    std::set<std::string> names;
+    for (const auto &w : workloads)
+        for (const auto &[name, frac] : w)
+            names.insert(name);
+
+    // A method survives grouping if it reaches the threshold in at least
+    // one workload; everything else is summed into "others".
+    std::vector<std::string> kept;
+    for (const auto &name : names) {
+        bool significant = false;
+        for (const auto &w : workloads) {
+            const auto it = w.find(name);
+            const double pct = it == w.end() ? 0.0 : it->second * 100.0;
+            if (pct >= groupThresholdPercent) {
+                significant = true;
+                break;
+            }
+        }
+        if (significant)
+            kept.push_back(name);
+    }
+    const bool haveOthers = kept.size() < names.size();
+
+    CoverageSummary out;
+    out.methods = kept;
+    if (haveOthers)
+        out.methods.push_back("others");
+
+    // Build the percent-unit matrix with the paper's +0.01 offset.
+    out.matrix.resize(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        auto &row = out.matrix[i];
+        row.assign(out.methods.size(), 0.0);
+        double grouped = 0.0;
+        double keptSum = 0.0;
+        for (std::size_t j = 0; j < kept.size(); ++j) {
+            const auto it = workloads[i].find(kept[j]);
+            const double pct =
+                (it == workloads[i].end() ? 0.0 : it->second * 100.0);
+            row[j] = pct + offsetPercent;
+            keptSum += pct;
+        }
+        for (const auto &[name, frac] : workloads[i])
+            grouped += frac * 100.0;
+        grouped -= keptSum;
+        if (haveOthers)
+            row.back() = std::max(grouped, 0.0) + offsetPercent;
+    }
+
+    // Eqs. 1-3 per method, Eq. 5 across methods.
+    std::vector<double> variations;
+    variations.reserve(out.methods.size());
+    for (std::size_t j = 0; j < out.methods.size(); ++j) {
+        std::vector<double> series;
+        series.reserve(workloads.size());
+        for (std::size_t i = 0; i < workloads.size(); ++i)
+            series.push_back(out.matrix[i][j]);
+        out.perMethod.push_back(summarize(series));
+        variations.push_back(out.perMethod.back().variation);
+    }
+    out.muGM = geometricMean(variations);
+
+    // Present methods in declining mean-coverage order ("others" last).
+    std::vector<std::size_t> order(out.methods.size());
+    for (std::size_t j = 0; j < order.size(); ++j)
+        order[j] = j;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         const bool aOthers =
+                             haveOthers && a + 1 == out.methods.size();
+                         const bool bOthers =
+                             haveOthers && b + 1 == out.methods.size();
+                         if (aOthers != bOthers)
+                             return bOthers;
+                         return out.perMethod[a].mean >
+                                out.perMethod[b].mean;
+                     });
+    CoverageSummary sorted;
+    sorted.muGM = out.muGM;
+    sorted.matrix.resize(out.matrix.size());
+    for (std::size_t j : order) {
+        sorted.methods.push_back(out.methods[j]);
+        sorted.perMethod.push_back(out.perMethod[j]);
+    }
+    for (std::size_t i = 0; i < out.matrix.size(); ++i)
+        for (std::size_t j : order)
+            sorted.matrix[i].push_back(out.matrix[i][j]);
+    return sorted;
+}
+
+} // namespace alberta::stats

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The paper's behaviour-summarization methodology (Section V, Eqs. 1-5).
+ *
+ * Given per-workload observations of a set of ratios — the four Intel
+ * top-down categories, or the per-method time-coverage fractions — the
+ * methodology condenses them into a single per-benchmark sensitivity
+ * scalar:
+ *
+ *  - Eq. 1: geometric mean mu_g of each ratio across workloads.
+ *  - Eq. 2: geometric standard deviation sigma_g of each ratio.
+ *  - Eq. 3: proportional variation V = sigma_g / mu_g.
+ *  - Eq. 4: mu_g(V) = geometric mean of V over the four top-down ratios.
+ *  - Eq. 5: mu_g(M) = geometric mean of V over the methods of a program.
+ *
+ * Scale conventions (chosen to reproduce the magnitudes of the paper's
+ * Table II): top-down ratios are fractions in [0, 1]; method-coverage
+ * values are percentages in [0, 100] with the paper's +0.01 offset added
+ * and with methods below 0.05% in every workload grouped into "others".
+ */
+#ifndef ALBERTA_STATS_SUMMARY_H
+#define ALBERTA_STATS_SUMMARY_H
+
+#include <array>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace alberta::stats {
+
+/** Arithmetic mean of @p values; values must be non-empty. */
+double mean(std::span<const double> values);
+
+/** Population standard deviation of @p values. */
+double stddev(std::span<const double> values);
+
+/** Eq. 1: geometric mean; every value must be positive. */
+double geometricMean(std::span<const double> values);
+
+/** Eq. 2: geometric standard deviation; every value must be positive. */
+double geometricStddev(std::span<const double> values);
+
+/** Per-ratio summary across workloads. */
+struct GeoSummary
+{
+    double mean = 0.0;      //!< Eq. 1, mu_g
+    double stddev = 1.0;    //!< Eq. 2, sigma_g (dimensionless, >= 1)
+    double variation = 0.0; //!< Eq. 3, V = sigma_g / mu_g
+};
+
+/** Compute mu_g, sigma_g, and V for one ratio across workloads. */
+GeoSummary summarize(std::span<const double> values);
+
+/** One workload's top-down outcome: fractions summing to ~1. */
+struct TopdownRatios
+{
+    double frontend = 0.0;  //!< f: front-end bound
+    double backend = 0.0;   //!< b: back-end bound
+    double badspec = 0.0;   //!< s: bad speculation
+    double retiring = 0.0;  //!< r: retiring
+
+    /** The four ratios in the paper's (f, b, s, r) order. */
+    std::array<double, 4> asArray() const
+    {
+        return {frontend, backend, badspec, retiring};
+    }
+};
+
+/** Per-benchmark summary of top-down behaviour across workloads. */
+struct TopdownSummary
+{
+    GeoSummary frontend;
+    GeoSummary backend;
+    GeoSummary badspec;
+    GeoSummary retiring;
+    double muGV = 0.0; //!< Eq. 4: geomean of the four V values
+};
+
+/**
+ * Summarize top-down ratios across workloads (Eqs. 1-4).
+ *
+ * Ratios of exactly zero are clamped to @p floor before taking
+ * logarithms, mirroring the counter-sampling noise floor of the
+ * measurements in the paper.
+ */
+TopdownSummary summarizeTopdown(std::span<const TopdownRatios> workloads,
+                                double floor = 1e-4);
+
+/** Method-coverage observations: method name -> fraction of time [0,1]. */
+using CoverageMap = std::map<std::string, double>;
+
+/** Per-benchmark summary of method coverage across workloads (Eq. 5). */
+struct CoverageSummary
+{
+    /** Method names after "others" grouping, in declining mean order. */
+    std::vector<std::string> methods;
+    /** Per-method summary, parallel to @ref methods (percent units). */
+    std::vector<GeoSummary> perMethod;
+    /** Coverage matrix [workload][method] in percent, after grouping. */
+    std::vector<std::vector<double>> matrix;
+    /** Eq. 5: mu_g(M), the coverage-variation scalar. */
+    double muGM = 0.0;
+};
+
+/**
+ * Summarize method coverage across workloads using the paper's recipe:
+ * group methods below @p groupThresholdPercent in every workload into an
+ * "others" category, add @p offsetPercent to every value, then apply
+ * Eqs. 1-3 per method and Eq. 5 across methods.
+ */
+CoverageSummary
+summarizeCoverage(std::span<const CoverageMap> workloads,
+                  double groupThresholdPercent = 0.05,
+                  double offsetPercent = 0.01);
+
+} // namespace alberta::stats
+
+#endif // ALBERTA_STATS_SUMMARY_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error-reporting helpers shared across the suite.
+ *
+ * Following the gem5 convention: `fatal` conditions are the user's fault
+ * (bad workload file, inconsistent parameters) and raise a catchable
+ * exception; `panic` conditions are internal invariant violations.
+ */
+#ifndef ALBERTA_SUPPORT_CHECK_H
+#define ALBERTA_SUPPORT_CHECK_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace alberta::support {
+
+/** Exception thrown for user-correctable errors (bad inputs, config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Exception thrown for internal invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+template <typename Error, typename... Args>
+[[noreturn]] void
+raise(const char *prefix, Args &&...args)
+{
+    std::ostringstream os;
+    os << prefix;
+    (os << ... << args);
+    throw Error(os.str());
+}
+
+} // namespace detail
+
+/** Raise a FatalError with a streamed message. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::raise<FatalError>("fatal: ", std::forward<Args>(args)...);
+}
+
+/** Raise a PanicError with a streamed message. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::raise<PanicError>("panic: ", std::forward<Args>(args)...);
+}
+
+/** Raise a FatalError unless the user-dependent condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        detail::raise<FatalError>("fatal: ", std::forward<Args>(args)...);
+}
+
+/** Raise a PanicError if the internal invariant is violated. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        detail::raise<PanicError>("panic: ", std::forward<Args>(args)...);
+}
+
+} // namespace alberta::support
+
+#endif // ALBERTA_SUPPORT_CHECK_H

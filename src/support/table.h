@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table and CSV rendering used by the bench harnesses to print the
+ * rows of the paper's tables and the series behind its figures.
+ */
+#ifndef ALBERTA_SUPPORT_TABLE_H
+#define ALBERTA_SUPPORT_TABLE_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace alberta::support {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Benchmark", "mu_g(V)", "mu_g(M)"});
+ *   t.addRow({"502.gcc_r", "5.1", "25"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render with aligned columns and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (comma-separated, minimal quoting). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimal places. */
+std::string formatFixed(double value, int decimals);
+
+/** Format a fraction (0..1) as a percentage with given decimals. */
+std::string formatPercent(double fraction, int decimals);
+
+} // namespace alberta::support
+
+#endif // ALBERTA_SUPPORT_TABLE_H

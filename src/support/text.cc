@@ -1,0 +1,104 @@
+#include "support/text.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace alberta::support {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view text)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(text.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.front())))
+        text.remove_prefix(1);
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.back())))
+        text.remove_suffix(1);
+    return text;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+long long
+parseInt(std::string_view text)
+{
+    text = trim(text);
+    long long value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    fatalIf(ec != std::errc() || ptr != text.data() + text.size(),
+            "malformed integer: '", std::string(text), "'");
+    return value;
+}
+
+double
+parseDouble(std::string_view text)
+{
+    text = trim(text);
+    fatalIf(text.empty(), "malformed number: empty string");
+    // std::from_chars for doubles is missing on some libstdc++ versions;
+    // strtod on a bounded copy is portable and adequate here.
+    std::string copy(text);
+    char *end = nullptr;
+    const double value = std::strtod(copy.c_str(), &end);
+    fatalIf(end != copy.c_str() + copy.size(), "malformed number: '", copy,
+            "'");
+    return value;
+}
+
+} // namespace alberta::support

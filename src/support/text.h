@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small string and file-content helpers shared by the workload parsers
+ * and generators.
+ */
+#ifndef ALBERTA_SUPPORT_TEXT_H
+#define ALBERTA_SUPPORT_TEXT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alberta::support {
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Split @p text on any whitespace, dropping empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Remove leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Parse a signed integer; raises FatalError on malformed input. */
+long long parseInt(std::string_view text);
+
+/** Parse a floating-point value; raises FatalError on malformed input. */
+double parseDouble(std::string_view text);
+
+} // namespace alberta::support
+
+#endif // ALBERTA_SUPPORT_TEXT_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Branch direction prediction for the top-down model: a gshare predictor
+ * with an optional table of static FDO hints, plus a last-target
+ * predictor for indirect branches (virtual dispatch, VM interpreters).
+ */
+#ifndef ALBERTA_TOPDOWN_BRANCH_H
+#define ALBERTA_TOPDOWN_BRANCH_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace alberta::topdown {
+
+/** Static per-site branch hints produced by the FDO optimizer. */
+struct BranchHints
+{
+    /**
+     * Site key -> hinted direction. A hinted site bypasses dynamic
+     * prediction entirely, modelling a compiler that laid out the code
+     * so the hinted direction is the fall-through path.
+     */
+    std::unordered_map<std::uint64_t, bool> direction;
+};
+
+/** gshare conditional-branch predictor (12-bit history, 2-bit counters). */
+class BranchPredictor
+{
+  public:
+    BranchPredictor();
+
+    /**
+     * Predict and update for one conditional branch.
+     *
+     * @param site stable identifier of the static branch site
+     * @param taken the actual outcome
+     * @return true if the prediction was correct
+     */
+    bool conditional(std::uint64_t site, bool taken);
+
+    /**
+     * Predict and update for one indirect branch via a last-target
+     * table keyed by site.
+     *
+     * @return true if the predicted target matched @p target
+     */
+    bool indirect(std::uint64_t site, std::uint64_t target);
+
+    /** Install (or clear, with nullptr) FDO branch hints. */
+    void setHints(const BranchHints *hints) { hints_ = hints; }
+
+    /** Forget all learned state (hints persist). */
+    void reset();
+
+    /** Conditional branches observed. */
+    std::uint64_t conditionals() const { return conditionals_; }
+    /** Conditional mispredictions observed. */
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    static constexpr int kHistoryBits = 12;
+    static constexpr std::size_t kTableSize = std::size_t(1)
+                                              << kHistoryBits;
+
+    std::vector<std::uint8_t> counters_;
+    /** Indirect-target table indexed by site ^ folded history, so
+     * interpreter dispatch loops with repeating opcode patterns are
+     * predictable (ITTAGE-like behaviour). */
+    std::unordered_map<std::uint64_t, std::uint64_t> targets_;
+    std::uint64_t history_ = 0;
+    std::uint64_t indirectHistory_ = 0;
+    std::uint64_t conditionals_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    const BranchHints *hints_ = nullptr;
+};
+
+} // namespace alberta::topdown
+
+#endif // ALBERTA_TOPDOWN_BRANCH_H

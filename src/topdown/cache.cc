@@ -1,0 +1,114 @@
+#include "topdown/cache.h"
+
+#include <bit>
+
+namespace alberta::topdown {
+
+namespace {
+
+int
+log2Exact(std::uint64_t value)
+{
+    support::fatalIf(!std::has_single_bit(value),
+                     "cache geometry must be a power of two; got ", value);
+    return std::countr_zero(value);
+}
+
+} // namespace
+
+Cache::Cache(std::uint64_t bytes, int ways, int line_bytes)
+    : ways_(ways), lineShift_(log2Exact(line_bytes))
+{
+    support::fatalIf(ways <= 0, "cache needs at least one way");
+    const std::uint64_t lines = bytes / line_bytes;
+    support::fatalIf(lines % ways != 0, "cache bytes not divisible into ",
+                     ways, " ways");
+    const std::uint64_t sets = lines / ways;
+    log2Exact(sets); // validate power of two
+    setMask_ = sets - 1;
+    tags_.assign(lines, ~0ULL);
+    lru_.assign(lines, 0);
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++accesses_;
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t set = line & setMask_;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    ++stamp_;
+
+    std::size_t victim = base;
+    std::uint64_t oldest = ~0ULL;
+    for (int w = 0; w < ways_; ++w) {
+        const std::size_t idx = base + w;
+        if (tags_[idx] == line) {
+            lru_[idx] = stamp_;
+            return true;
+        }
+        if (lru_[idx] < oldest) {
+            oldest = lru_[idx];
+            victim = idx;
+        }
+    }
+    ++misses_;
+    tags_[victim] = line;
+    lru_[victim] = stamp_;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    std::fill(tags_.begin(), tags_.end(), ~0ULL);
+    std::fill(lru_.begin(), lru_.end(), 0);
+    accesses_ = 0;
+    misses_ = 0;
+    stamp_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy()
+    : l1d_(32 * 1024, 8, 64),
+      l1i_(32 * 1024, 8, 64),
+      l2_(256 * 1024, 8, 64),
+      l3_(2 * 1024 * 1024, 16, 64)
+{
+}
+
+double
+MemoryHierarchy::beyondL1(std::uint64_t addr)
+{
+    if (l2_.access(addr))
+        return lat_.l2;
+    if (l3_.access(addr))
+        return lat_.l3;
+    return lat_.memory;
+}
+
+double
+MemoryHierarchy::data(std::uint64_t addr)
+{
+    if (l1d_.access(addr))
+        return 0.0;
+    return beyondL1(addr);
+}
+
+double
+MemoryHierarchy::fetch(std::uint64_t addr)
+{
+    if (l1i_.access(addr))
+        return 0.0;
+    return beyondL1(addr);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1d_.reset();
+    l1i_.reset();
+    l2_.reset();
+    l3_.reset();
+}
+
+} // namespace alberta::topdown

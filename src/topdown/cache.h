@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Set-associative LRU caches and a three-level memory hierarchy used by
+ * the top-down model to derive front-end (instruction) and back-end
+ * (data) stall slots.
+ */
+#ifndef ALBERTA_TOPDOWN_CACHE_H
+#define ALBERTA_TOPDOWN_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace alberta::topdown {
+
+/** A single set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param bytes total capacity in bytes (power of two)
+     * @param ways associativity
+     * @param line_bytes cache line size in bytes (power of two)
+     */
+    Cache(std::uint64_t bytes, int ways, int line_bytes);
+
+    /** Access @p addr; returns true on hit and updates LRU state. */
+    bool access(std::uint64_t addr);
+
+    /** Forget all cached lines (used between workload runs). */
+    void reset();
+
+    /** Accesses observed since construction or reset. */
+    std::uint64_t accesses() const { return accesses_; }
+    /** Misses observed since construction or reset. */
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    int ways_;
+    int lineShift_;
+    std::uint64_t setMask_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t stamp_ = 0;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> lru_;
+};
+
+/** Latencies (cycles) of the modelled hierarchy levels. */
+struct HierarchyLatency
+{
+    double l2 = 12.0;
+    double l3 = 40.0;
+    double memory = 200.0;
+};
+
+/**
+ * L1 + shared L2/L3 lookup returning the extra latency beyond an L1 hit.
+ *
+ * Instruction and data sides own private L1s and share the L2/L3 of the
+ * enclosing @ref MemoryHierarchy.
+ */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy();
+
+    /** Data access; returns extra cycles beyond the L1D hit latency. */
+    double data(std::uint64_t addr);
+
+    /** Instruction fetch; returns extra cycles beyond the L1I hit. */
+    double fetch(std::uint64_t addr);
+
+    /** Forget all cached state. */
+    void reset();
+
+    /** L1 data-cache statistics (for tests and reports). */
+    const Cache &l1d() const { return l1d_; }
+    /** L1 instruction-cache statistics. */
+    const Cache &l1i() const { return l1i_; }
+    /** Shared L2 statistics. */
+    const Cache &l2() const { return l2_; }
+    /** Shared L3 statistics. */
+    const Cache &l3() const { return l3_; }
+
+  private:
+    double beyondL1(std::uint64_t addr);
+
+    HierarchyLatency lat_;
+    Cache l1d_;
+    Cache l1i_;
+    Cache l2_;
+    Cache l3_;
+};
+
+} // namespace alberta::topdown
+
+#endif // ALBERTA_TOPDOWN_CACHE_H

@@ -1,0 +1,223 @@
+#include "topdown/machine.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace alberta::topdown {
+
+Machine::Machine(const MachineConfig &config) : config_(config)
+{
+    methods_.resize(1); // method 0 = unattributed work
+}
+
+void
+Machine::reset()
+{
+    hierarchy_.reset();
+    predictor_.reset();
+    methods_.assign(1, SlotCounts{});
+    method_ = 0;
+    stableKey_ = 0;
+    codeBase_ = 0;
+    codeBytes_ = 4096;
+    codeCursor_ = 0;
+    retired_ = 0;
+    profiles_.clear();
+    intervalUops_ = 0;
+    nextBoundary_ = 0;
+    lastSnapshot_ = SlotCounts{};
+    intervals_.clear();
+}
+
+void
+Machine::setMethod(std::uint32_t id, std::uint32_t code_bytes,
+                   std::uint64_t stable_key)
+{
+    if (id >= methods_.size())
+        methods_.resize(id + 1);
+    method_ = id;
+    stableKey_ = stable_key == ~0ULL ? id : stable_key;
+    double scaled = code_bytes;
+    if (layout_) {
+        const auto it = layout_->scale.find(stableKey_);
+        if (it != layout_->scale.end())
+            scaled *= it->second;
+    }
+    codeBytes_ = std::max<std::uint32_t>(
+        64, static_cast<std::uint32_t>(scaled));
+    // Methods live in disjoint 16 MiB code regions; tags always differ.
+    codeBase_ = (static_cast<std::uint64_t>(id) + 1) << 24;
+    codeCursor_ = 0;
+}
+
+void
+Machine::advanceCode(std::uint64_t uops)
+{
+    // Each uop occupies ~4 bytes of code; fetch one line per 64 bytes.
+    std::uint64_t bytes = uops * 4;
+    while (bytes > 0) {
+        const std::uint32_t before = codeCursor_ >> 6;
+        const std::uint64_t step =
+            std::min<std::uint64_t>(bytes, codeBytes_ - codeCursor_);
+        const std::uint32_t firstLine = before;
+        const std::uint32_t lastLine =
+            static_cast<std::uint32_t>((codeCursor_ + step - 1) >> 6);
+        for (std::uint32_t line = firstLine; line <= lastLine; ++line) {
+            const double extra =
+                hierarchy_.fetch(codeBase_ + (static_cast<std::uint64_t>(
+                                                  line)
+                                              << 6));
+            if (extra > 0.0) {
+                current().frontend += extra * config_.issueWidth *
+                                      config_.fetchStallFactor;
+            }
+        }
+        codeCursor_ =
+            static_cast<std::uint32_t>((codeCursor_ + step) % codeBytes_);
+        bytes -= step;
+    }
+}
+
+void
+Machine::recordIntervals(std::uint64_t uops_per_interval)
+{
+    support::fatalIf(retired_ != 0 && uops_per_interval != 0,
+                     "machine: interval recording must be enabled "
+                     "before execution starts");
+    intervalUops_ = uops_per_interval;
+    nextBoundary_ = uops_per_interval;
+    lastSnapshot_ = SlotCounts{};
+    intervals_.clear();
+}
+
+void
+Machine::ops(OpKind k, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    SlotCounts &slots = current();
+    const double dn = static_cast<double>(n);
+    slots.retiring += dn;
+    slots.backend += dn * config_.backendCost[static_cast<int>(k)];
+    slots.frontend += dn * config_.decodeFrontend;
+    retired_ += n;
+    if (intervalUops_ != 0 && retired_ >= nextBoundary_) {
+        const SlotCounts now = totals();
+        SlotCounts delta = now;
+        delta.frontend -= lastSnapshot_.frontend;
+        delta.backend -= lastSnapshot_.backend;
+        delta.badspec -= lastSnapshot_.badspec;
+        delta.retiring -= lastSnapshot_.retiring;
+        intervals_.push_back(delta);
+        lastSnapshot_ = now;
+        nextBoundary_ += intervalUops_;
+    }
+    advanceCode(n);
+}
+
+void
+Machine::memory(OpKind kind, std::uint64_t addr)
+{
+    ops(kind, 1);
+    const double extra = hierarchy_.data(addr);
+    if (extra > 0.0) {
+        current().backend +=
+            extra * config_.issueWidth * config_.memStallFactor;
+    }
+}
+
+void
+Machine::stream(OpKind kind, std::uint64_t addr, std::uint64_t count,
+                std::uint32_t stride)
+{
+    if (count == 0)
+        return;
+    support::panicIf(kind != OpKind::Load && kind != OpKind::Store,
+                     "stream requires Load or Store");
+    ops(kind, count);
+    // One hierarchy access per distinct line touched by the stream.
+    const std::uint64_t bytes = count * stride;
+    const std::uint64_t firstLine = addr >> 6;
+    const std::uint64_t lastLine = (addr + (bytes ? bytes - 1 : 0)) >> 6;
+    for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
+        const double extra = hierarchy_.data(line << 6);
+        if (extra > 0.0) {
+            current().backend +=
+                extra * config_.issueWidth * config_.memStallFactor;
+        }
+    }
+}
+
+bool
+Machine::branch(std::uint32_t site, bool taken)
+{
+    ops(OpKind::Branch, 1);
+    const std::uint64_t key = siteKey(site);
+    if (profiling_) {
+        auto &prof = profiles_[key];
+        ++prof.total;
+        if (taken)
+            ++prof.taken;
+    }
+    const bool correct = predictor_.conditional(key, taken);
+    SlotCounts &slots = current();
+    if (!correct) {
+        slots.badspec +=
+            config_.mispredictWrongPath * config_.issueWidth;
+        slots.frontend +=
+            config_.mispredictRedirect * config_.issueWidth;
+    } else if (taken) {
+        slots.frontend += config_.takenBranchFrontend;
+    }
+    return taken;
+}
+
+void
+Machine::indirect(std::uint32_t site, std::uint64_t target)
+{
+    ops(OpKind::Branch, 1);
+    const bool correct = predictor_.indirect(siteKey(site), target);
+    SlotCounts &slots = current();
+    if (!correct) {
+        slots.badspec +=
+            config_.mispredictWrongPath * config_.issueWidth;
+        slots.frontend +=
+            config_.mispredictRedirect * config_.issueWidth;
+    } else {
+        slots.frontend += config_.takenBranchFrontend;
+    }
+}
+
+void
+Machine::call()
+{
+    ops(OpKind::Call, 1);
+    current().frontend += config_.callFrontend;
+}
+
+SlotCounts
+Machine::totals() const
+{
+    SlotCounts sum;
+    for (const auto &m : methods_)
+        sum += m;
+    return sum;
+}
+
+stats::TopdownRatios
+Machine::ratios() const
+{
+    const SlotCounts sum = totals();
+    const double total = sum.total();
+    stats::TopdownRatios r;
+    if (total <= 0.0)
+        return r;
+    r.frontend = sum.frontend / total;
+    r.backend = sum.backend / total;
+    r.badspec = sum.badspec / total;
+    r.retiring = sum.retiring / total;
+    return r;
+}
+
+} // namespace alberta::topdown

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Slot-accounting pipeline model implementing the Intel top-down
+ * classification (front-end bound, back-end bound, bad speculation,
+ * retiring) over micro-op streams emitted by the mini-benchmarks.
+ *
+ * This is the reproduction's stand-in for the PMU counters + VTune
+ * top-down analysis used in the paper: it derives the same four
+ * fractions from the same microarchitectural causes (fetch stalls,
+ * mispredict squashes, memory and long-latency stalls), so workload-
+ * induced shifts in behaviour are preserved even though absolute values
+ * differ from real hardware.
+ */
+#ifndef ALBERTA_TOPDOWN_MACHINE_H
+#define ALBERTA_TOPDOWN_MACHINE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/summary.h"
+#include "topdown/branch.h"
+#include "topdown/cache.h"
+#include "topdown/uop.h"
+
+namespace alberta::topdown {
+
+/** Tunable model parameters (defaults approximate a 4-wide OoO core). */
+struct MachineConfig
+{
+    int issueWidth = 4;          //!< allocation slots per cycle
+    double decodeFrontend = 0.06;   //!< front-end slots per uop baseline
+    double takenBranchFrontend = 0.5; //!< fetch-break cost per taken branch
+    double callFrontend = 0.6;      //!< fetch-redirect cost per call
+    double mispredictWrongPath = 8.0; //!< wrong-path issue cycles
+    double mispredictRedirect = 5.0;  //!< post-recovery fetch-bubble cycles
+    double memStallFactor = 0.35;   //!< fraction of miss latency not hidden
+    double fetchStallFactor = 0.8;  //!< fraction of I-miss latency exposed
+    /** Back-end slots charged per uop of each kind (dependency stalls). */
+    std::array<double, kNumOpKinds> backendCost = {
+        0.10, // IntAlu
+        0.60, // IntMul
+        16.0, // IntDiv
+        0.80, // FpAdd
+        1.00, // FpMul
+        14.0, // FpDiv
+        0.55, // Load (L1-hit baseline)
+        0.15, // Store
+        0.05, // Branch
+        0.10, // Call
+    };
+};
+
+/** Per-site conditional-branch profile collected for FDO. */
+struct SiteProfile
+{
+    std::uint64_t taken = 0;
+    std::uint64_t total = 0;
+};
+
+/** FDO code-layout decisions: per-method code-footprint scaling. */
+struct CodeLayout
+{
+    /**
+     * Stable method key -> multiplicative scale on the method's code
+     * bytes. Hot/cold splitting yields scales < 1 for hot methods.
+     */
+    std::unordered_map<std::uint64_t, double> scale;
+};
+
+/**
+ * The top-down slot-accounting machine.
+ *
+ * Benchmarks report micro-ops through the narrow API below; the machine
+ * attributes allocation slots to the four top-down categories and to the
+ * currently active method (for the paper's method-coverage metric).
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = {});
+
+    /** Discard all accounted slots and learned predictor/cache state. */
+    void reset();
+
+    /**
+     * Switch slot attribution to method @p id.
+     *
+     * @param id dense method identifier assigned by the runtime
+     * @param code_bytes approximate static code footprint of the method,
+     *        used to model instruction-cache pressure
+     * @param stable_key run-independent method identity (a hash of the
+     *        method name); FDO hints and layout decisions are keyed on
+     *        it so profiles transfer between runs. Defaults to @p id.
+     */
+    void setMethod(std::uint32_t id, std::uint32_t code_bytes,
+                   std::uint64_t stable_key = ~0ULL);
+
+    /** Report one micro-op of kind @p k (no memory, no control flow). */
+    void
+    op(OpKind k)
+    {
+        ops(k, 1);
+    }
+
+    /** Report @p n consecutive micro-ops of kind @p k. */
+    void ops(OpKind k, std::uint64_t n);
+
+    /** Report one load from logical address @p addr. */
+    void load(std::uint64_t addr) { memory(OpKind::Load, addr); }
+
+    /** Report one store to logical address @p addr. */
+    void store(std::uint64_t addr) { memory(OpKind::Store, addr); }
+
+    /**
+     * Report a streaming access of @p count elements of @p stride bytes
+     * starting at @p addr (one cache access per line touched).
+     */
+    void stream(OpKind kind, std::uint64_t addr, std::uint64_t count,
+                std::uint32_t stride);
+
+    /**
+     * Report one conditional branch at local site @p site with outcome
+     * @p taken; returns @p taken so it can wrap a condition in place.
+     */
+    bool branch(std::uint32_t site, bool taken);
+
+    /** Report one indirect branch (virtual dispatch, interpreter). */
+    void indirect(std::uint32_t site, std::uint64_t target);
+
+    /** Report one call / unconditional control transfer. */
+    void call();
+
+    /** Sum of all slots across methods. */
+    SlotCounts totals() const;
+
+    /** The four top-down fractions of all accounted slots. */
+    stats::TopdownRatios ratios() const;
+
+    /** Per-method slot counts indexed by method id. */
+    const std::vector<SlotCounts> &perMethod() const { return methods_; }
+
+    /** Estimated core cycles (total slots / issue width). */
+    double cycles() const { return totals().total() / config_.issueWidth; }
+
+    /** Total micro-ops retired. */
+    std::uint64_t retiredOps() const { return retired_; }
+
+    /** Enable or disable FDO profile collection (off by default). */
+    void collectProfile(bool enabled) { profiling_ = enabled; }
+
+    /**
+     * Record execution intervals of @p uops_per_interval retired
+     * micro-ops each (SimPoint-style phase analysis; 0 disables).
+     * Must be set before any ops are reported.
+     */
+    void recordIntervals(std::uint64_t uops_per_interval);
+
+    /**
+     * Per-interval slot counts (deltas, one entry per completed
+     * interval). The trailing partial interval is not included.
+     */
+    const std::vector<SlotCounts> &intervals() const
+    {
+        return intervals_;
+    }
+
+    /** Collected conditional-branch profiles keyed by global site key. */
+    const std::unordered_map<std::uint64_t, SiteProfile> &
+    siteProfiles() const
+    {
+        return profiles_;
+    }
+
+    /** Install FDO branch hints (nullptr to clear). */
+    void setHints(const BranchHints *hints) { predictor_.setHints(hints); }
+
+    /** Install FDO code-layout scaling (nullptr to clear). */
+    void setLayout(const CodeLayout *layout) { layout_ = layout; }
+
+    /** Branch predictor statistics (for tests and reports). */
+    const BranchPredictor &predictor() const { return predictor_; }
+
+    /** Memory hierarchy statistics (for tests and reports). */
+    const MemoryHierarchy &hierarchy() const { return hierarchy_; }
+
+    /** Global site key for the current method and local @p site:
+     * derived from the stable method key so it is identical across
+     * runs and workloads. */
+    std::uint64_t
+    siteKey(std::uint32_t site) const
+    {
+        return stableKey_ * 0x9e3779b97f4a7c15ULL + site;
+    }
+
+  private:
+    void memory(OpKind kind, std::uint64_t addr);
+    void advanceCode(std::uint64_t uops);
+    SlotCounts &current() { return methods_[method_]; }
+
+    MachineConfig config_;
+    MemoryHierarchy hierarchy_;
+    BranchPredictor predictor_;
+    const CodeLayout *layout_ = nullptr;
+
+    std::vector<SlotCounts> methods_;
+    std::uint32_t method_ = 0;
+    std::uint64_t stableKey_ = 0;
+    std::uint64_t codeBase_ = 0;
+    std::uint32_t codeBytes_ = 4096;
+    std::uint32_t codeCursor_ = 0;
+    std::uint64_t retired_ = 0;
+
+    bool profiling_ = false;
+    std::unordered_map<std::uint64_t, SiteProfile> profiles_;
+
+    std::uint64_t intervalUops_ = 0;   //!< 0 = interval recording off
+    std::uint64_t nextBoundary_ = 0;
+    SlotCounts lastSnapshot_;
+    std::vector<SlotCounts> intervals_;
+};
+
+} // namespace alberta::topdown
+
+#endif // ALBERTA_TOPDOWN_MACHINE_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Micro-operation vocabulary for the top-down pipeline model.
+ *
+ * The mini-benchmarks emit abstract micro-ops from their real control
+ * flow; the @ref alberta::topdown::Machine classifies the corresponding
+ * pipeline slots into the four Intel top-down categories.
+ */
+#ifndef ALBERTA_TOPDOWN_UOP_H
+#define ALBERTA_TOPDOWN_UOP_H
+
+#include <cstdint>
+
+namespace alberta::topdown {
+
+/** Kinds of micro-operations the model distinguishes. */
+enum class OpKind : std::uint8_t
+{
+    IntAlu,  //!< simple integer ALU op (add, shift, compare, logic)
+    IntMul,  //!< integer multiply
+    IntDiv,  //!< integer divide / modulo
+    FpAdd,   //!< floating-point add/sub
+    FpMul,   //!< floating-point multiply
+    FpDiv,   //!< floating-point divide / sqrt
+    Load,    //!< memory read
+    Store,   //!< memory write
+    Branch,  //!< conditional branch
+    Call,    //!< call/return or unconditional jump
+    NumKinds
+};
+
+/** Number of distinct op kinds. */
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::NumKinds);
+
+/** Slot counts per top-down category (fractional slots allowed). */
+struct SlotCounts
+{
+    double frontend = 0.0; //!< front-end bound slots
+    double backend = 0.0;  //!< back-end bound slots
+    double badspec = 0.0;  //!< bad-speculation slots
+    double retiring = 0.0; //!< retiring slots
+
+    /** Total allocation slots accounted. */
+    double
+    total() const
+    {
+        return frontend + backend + badspec + retiring;
+    }
+
+    SlotCounts &
+    operator+=(const SlotCounts &o)
+    {
+        frontend += o.frontend;
+        backend += o.backend;
+        badspec += o.badspec;
+        retiring += o.retiring;
+        return *this;
+    }
+};
+
+} // namespace alberta::topdown
+
+#endif // ALBERTA_TOPDOWN_UOP_H

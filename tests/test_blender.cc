@@ -1,0 +1,177 @@
+/** @file Tests for the 526.blender_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/blender/benchmark.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::blender;
+
+TEST(Mesh, CubeHasTwelveTriangles)
+{
+    const Mesh cube = makeMesh(MeshKind::Cube, 2);
+    EXPECT_EQ(cube.vertices.size(), 8u);
+    EXPECT_EQ(cube.triangles.size(), 12u);
+}
+
+TEST(Mesh, ResolutionScalesTriangleCount)
+{
+    const Mesh coarse = makeMesh(MeshKind::Sphere, 4);
+    const Mesh fine = makeMesh(MeshKind::Sphere, 12);
+    EXPECT_GT(fine.triangles.size(), coarse.triangles.size() * 4);
+    const Mesh torus = makeMesh(MeshKind::Torus, 6);
+    EXPECT_GT(torus.triangles.size(), 50u);
+}
+
+TEST(Mesh, TriangleIndicesAreValid)
+{
+    for (const auto kind : {MeshKind::Cube, MeshKind::Sphere,
+                            MeshKind::Torus, MeshKind::Terrain}) {
+        const Mesh mesh = makeMesh(kind, 6, 3);
+        for (const auto &tri : mesh.triangles) {
+            for (const int idx : tri) {
+                ASSERT_GE(idx, 0);
+                ASSERT_LT(idx,
+                          static_cast<int>(mesh.vertices.size()));
+            }
+        }
+    }
+}
+
+TEST(BlendScene, SerializeParseRoundTrip)
+{
+    const auto pool = makeScenePool(5, 7);
+    const BlendScene &scene = pool[0];
+    const BlendScene parsed = BlendScene::parse(scene.serialize());
+    EXPECT_EQ(parsed.objects.size(), scene.objects.size());
+    EXPECT_EQ(parsed.frameCount, scene.frameCount);
+    EXPECT_EQ(parsed.renderable, scene.renderable);
+}
+
+TEST(BlendScene, ParseRejectsGarbage)
+{
+    EXPECT_THROW(BlendScene::parse("whatever 1"),
+                 support::FatalError);
+    EXPECT_THROW(
+        BlendScene::parse("blend 64 48 0 4 1\nobject 9 8 0 0 0 1 0 "
+                          "0\n"),
+        support::FatalError); // unsupported object kind
+}
+
+TEST(Validate, RejectsResourceAndBrokenScenes)
+{
+    BlendScene resource;
+    resource.renderable = false;
+    resource.objects.push_back(SceneObject{});
+    EXPECT_FALSE(validateScene(resource));
+
+    BlendScene empty;
+    EXPECT_FALSE(validateScene(empty));
+
+    BlendScene broken;
+    SceneObject bad;
+    bad.resolution = 1;
+    broken.objects.push_back(bad);
+    EXPECT_FALSE(validateScene(broken));
+
+    BlendScene good;
+    good.objects.push_back(SceneObject{});
+    EXPECT_TRUE(validateScene(good));
+}
+
+TEST(ScenePool, ContainsRenderableAndResourceFiles)
+{
+    const auto pool = makeScenePool(40, 11);
+    int renderable = 0;
+    for (const auto &scene : pool)
+        renderable += validateScene(scene);
+    EXPECT_GT(renderable, 10);
+    EXPECT_LT(renderable, 40);
+    // The selection script always lands on a renderable one.
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL})
+        EXPECT_TRUE(validateScene(pickRenderableScene(pool, seed)));
+}
+
+TEST(Render, DrawsVisibleTriangles)
+{
+    BlendScene scene;
+    SceneObject cube;
+    cube.kind = MeshKind::Cube;
+    cube.position = {0, 0, 1};
+    scene.objects.push_back(cube);
+    scene.width = 48;
+    scene.height = 36;
+    scene.frameCount = 2;
+    runtime::ExecutionContext ctx;
+    RenderStats stats;
+    const auto frames = renderAnimation(scene, ctx, &stats);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_GT(stats.trianglesDrawn, 0u);
+    EXPECT_GT(stats.trianglesCulled, 0u); // backfaces
+    EXPECT_GT(stats.pixelsShaded, 0u);
+    EXPECT_GT(stats.meanLuminance, 0.05); // brighter than background
+}
+
+TEST(Render, AnimationChangesFrames)
+{
+    BlendScene scene;
+    SceneObject torus;
+    torus.kind = MeshKind::Torus;
+    torus.resolution = 6;
+    torus.spinPerFrame = 0.5;
+    torus.position = {0, 0, 1};
+    scene.objects.push_back(torus);
+    scene.width = 40;
+    scene.height = 30;
+    scene.frameCount = 3;
+    runtime::ExecutionContext ctx;
+    const auto frames = renderAnimation(scene, ctx);
+    EXPECT_NE(frames[0], frames[1]);
+}
+
+TEST(Render, StartFrameShiftsAnimation)
+{
+    const auto pool = makeScenePool(10, 13);
+    BlendScene scene = pickRenderableScene(pool, 5);
+    scene.width = 32;
+    scene.height = 24;
+    scene.frameCount = 1;
+    runtime::ExecutionContext ctx;
+    scene.startFrame = 0;
+    const auto early = renderAnimation(scene, ctx);
+    scene.startFrame = 9;
+    const auto late = renderAnimation(scene, ctx);
+    EXPECT_NE(early[0], late[0]);
+}
+
+TEST(BlenderBenchmark, WorkloadSetMatchesPaper)
+{
+    BlenderBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 16u); // Table II: 16 workloads
+    int alberta = 0;
+    bool variedStart = false;
+    for (const auto &wl : w) {
+        alberta += wl.isAlberta();
+        variedStart |= wl.params.getInt("start_frame") > 0;
+    }
+    EXPECT_EQ(alberta, 13); // paper: thirteen new workloads
+    EXPECT_TRUE(variedStart);
+}
+
+TEST(BlenderBenchmark, RunsDeterministically)
+{
+    BlenderBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    bool anyRaster = false;
+    for (const auto &[name, frac] : a.coverage)
+        anyRaster |= name.rfind("blender::raster", 0) == 0;
+    EXPECT_TRUE(anyRaster);
+}
+
+} // namespace

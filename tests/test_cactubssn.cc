@@ -1,0 +1,127 @@
+/** @file Tests for the 507.cactuBSSN_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/cactubssn/benchmark.h"
+#include "benchmarks/cactubssn/wave.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::cactubssn;
+
+TEST(WaveConfig, SerializeParseRoundTrip)
+{
+    WaveConfig cfg;
+    cfg.n = 24;
+    cfg.steps = 7;
+    cfg.cfl = 0.3;
+    cfg.dissipation = 0.12;
+    cfg.planeWaveInit = true;
+    cfg.modes = 3;
+    const WaveConfig parsed = WaveConfig::parse(cfg.serialize());
+    EXPECT_EQ(parsed.n, 24);
+    EXPECT_EQ(parsed.steps, 7);
+    EXPECT_DOUBLE_EQ(parsed.cfl, 0.3);
+    EXPECT_DOUBLE_EQ(parsed.dissipation, 0.12);
+    EXPECT_TRUE(parsed.planeWaveInit);
+    EXPECT_EQ(parsed.modes, 3);
+}
+
+TEST(WaveConfig, ParseRejectsBadInput)
+{
+    EXPECT_THROW(WaveConfig::parse("nonsense"), support::FatalError);
+    EXPECT_THROW(WaveConfig::parse("mystery::knob = 3\n"),
+                 support::FatalError);
+    EXPECT_THROW(WaveConfig::parse("grid::n = 2\n"),
+                 support::FatalError);
+    EXPECT_THROW(
+        WaveConfig::parse("grid::n = 16\nevolve::cfl = 0.9\n"),
+        support::FatalError);
+}
+
+TEST(WaveSolver, EnergyApproximatelyConservedWithoutDissipation)
+{
+    WaveConfig cfg;
+    cfg.n = 20;
+    cfg.width = 0.3; // well-resolved pulse
+    cfg.steps = 0;
+    WaveSolver initial(cfg);
+    runtime::ExecutionContext ctx;
+    const double e0 = initial.run(ctx).energy;
+
+    cfg.steps = 20;
+    WaveSolver evolved(cfg);
+    const double e1 = evolved.run(ctx).energy;
+    EXPECT_NEAR(e1, e0, 0.05 * e0);
+}
+
+TEST(WaveSolver, DissipationDampsEnergy)
+{
+    WaveConfig clean, damped;
+    clean.n = damped.n = 12;
+    clean.steps = damped.steps = 24;
+    damped.dissipation = 0.4;
+    runtime::ExecutionContext ctx;
+    const double eClean = WaveSolver(clean).run(ctx).energy;
+    const double eDamped = WaveSolver(damped).run(ctx).energy;
+    EXPECT_LT(eDamped, eClean);
+}
+
+TEST(WaveSolver, ConvergesToPlaneWaveSolution)
+{
+    // Fourth-order stencil: halving dx must shrink the error a lot.
+    runtime::ExecutionContext ctx;
+    WaveConfig coarse;
+    coarse.planeWaveInit = true;
+    coarse.n = 12;
+    coarse.steps = 12;
+    WaveConfig fine = coarse;
+    fine.n = 24;
+    fine.steps = 24; // same physical time (dt halves with dx)
+    const double errCoarse =
+        WaveSolver(coarse).run(ctx).l2ErrorVsExact;
+    const double errFine = WaveSolver(fine).run(ctx).l2ErrorVsExact;
+    EXPECT_LT(errFine, errCoarse / 6.0);
+    EXPECT_LT(errFine, 0.05);
+}
+
+TEST(WaveSolver, StaysBoundedOverLongRuns)
+{
+    WaveConfig cfg;
+    cfg.n = 10;
+    cfg.steps = 60;
+    cfg.dissipation = 0.1;
+    runtime::ExecutionContext ctx;
+    const WaveStats stats = WaveSolver(cfg).run(ctx);
+    EXPECT_TRUE(std::isfinite(stats.maxU));
+    EXPECT_LT(stats.maxU, 10.0);
+}
+
+TEST(CactuBenchmark, WorkloadSetMatchesPaper)
+{
+    CactuBssnBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 11u); // Table II: 11 workloads
+    int alberta = 0;
+    for (const auto &wl : w)
+        alberta += wl.isAlberta();
+    EXPECT_GE(alberta, 7); // paper: seven suggested variations
+}
+
+TEST(CactuBenchmark, RunsDeterministically)
+{
+    CactuBssnBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("cactus::evolve"));
+    // Dense FP stencil code: tiny bad-speculation share, like the
+    // paper's 0.2% for 507.cactuBSSN_r.
+    EXPECT_LT(a.topdown.badspec, 0.05);
+}
+
+} // namespace

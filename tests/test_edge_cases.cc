@@ -1,0 +1,166 @@
+/** @file Edge-case sweep across modules: rarely-hit code paths. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/gcc/codegen.h"
+#include "benchmarks/gcc/parser.h"
+#include "benchmarks/leela/goboard.h"
+#include "benchmarks/mcf/mincost.h"
+#include "benchmarks/povray/tracer.h"
+#include "benchmarks/xz/generator.h"
+#include "benchmarks/xz/lz77.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+
+TEST(McfEdge, CommentLinesAreIgnored)
+{
+    runtime::ExecutionContext ctx;
+    const auto inst = mcf::Instance::parse(
+        "c a DIMACS comment\np min 2 1\nc another\nn 0 3\nn 1 -3\n"
+        "a 0 1 0 5 1\n",
+        ctx);
+    EXPECT_EQ(inst.nodes(), 2);
+    EXPECT_EQ(inst.arcs.size(), 1u);
+}
+
+TEST(McfEdge, ZeroSupplyInstanceSolvesTrivially)
+{
+    mcf::Instance inst;
+    inst.supplies = {0, 0};
+    inst.arcs.push_back({0, 1, 0, 5, 2});
+    runtime::ExecutionContext ctx;
+    mcf::Solver solver(inst);
+    const auto sol = solver.solve(ctx);
+    EXPECT_TRUE(sol.feasible);
+    EXPECT_EQ(sol.totalCost, 0);
+    EXPECT_EQ(sol.flows[0], 0);
+}
+
+TEST(GccEdge, DeepRecursionOverflowsCallStack)
+{
+    // Direct infinite recursion trips the VM's frame guard before the
+    // instruction budget.
+    const char *src = "int f(int a, int b) { return f(a, b); }"
+                      "int main(void) { return f(1, 2); }";
+    runtime::ExecutionContext ctx;
+    gcc::Program p = gcc::parseSource(src, ctx);
+    const gcc::Module module = gcc::compile(p, ctx);
+    try {
+        gcc::execute(module, ctx);
+        FAIL() << "expected an overflow";
+    } catch (const support::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("stack"),
+                  std::string::npos);
+    }
+}
+
+TEST(GccEdge, DuplicateFunctionIsRejected)
+{
+    const char *src = "int f(int a, int b) { return a; }"
+                      "int f(int a, int b) { return b; }"
+                      "int main(void) { return 0; }";
+    runtime::ExecutionContext ctx;
+    gcc::Program p = gcc::parseSource(src, ctx);
+    EXPECT_THROW(gcc::compile(p, ctx), support::FatalError);
+}
+
+TEST(GccEdge, WrongArityCallIsRejected)
+{
+    const char *src = "int f(int a, int b) { return a; }"
+                      "int main(void) { return f(1); }";
+    runtime::ExecutionContext ctx;
+    gcc::Program p = gcc::parseSource(src, ctx);
+    EXPECT_THROW(gcc::compile(p, ctx), support::FatalError);
+}
+
+TEST(GccEdge, EmptyFunctionReturnsZero)
+{
+    runtime::ExecutionContext ctx;
+    gcc::Program p =
+        gcc::parseSource("int main(void) { }", ctx);
+    const gcc::Module module = gcc::compile(p, ctx);
+    EXPECT_EQ(gcc::execute(module, ctx).value, 0);
+}
+
+TEST(GccEdge, ErrorMessagesCarryLineNumbers)
+{
+    runtime::ExecutionContext ctx;
+    try {
+        gcc::parseSource("int main(void)\n{\n  return @;\n}", ctx);
+        FAIL() << "expected a lex error";
+    } catch (const support::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(LeelaEdge, LargerBoardsPlayLegally)
+{
+    for (const int size : {13, 19}) {
+        leela::GoBoard board(size);
+        EXPECT_EQ(board.area(), size * size);
+        board.play(board.point(0, 0), leela::Color::Black);
+        board.play(board.point(size - 1, size - 1),
+                   leela::Color::White);
+        EXPECT_EQ(board.stones(leela::Color::Black), 1);
+        EXPECT_EQ(board.stones(leela::Color::White), 1);
+    }
+}
+
+TEST(LeelaEdge, SgfWithOnlyPassesParses)
+{
+    const auto game = leela::SgfGame::parse("(;SZ[9];B[];W[])");
+    ASSERT_EQ(game.moves.size(), 2u);
+    EXPECT_EQ(game.moves[0], leela::kPass);
+    EXPECT_EQ(game.moves[1], leela::kPass);
+}
+
+TEST(PovrayEdge, SceneCommentsAndEmptyLines)
+{
+    const std::string text =
+        "# a scene file\n\nrender 16 12 2 1\n"
+        "camera 0 1 -4 0 0 0 60 0 4\n"
+        "# lights\nlight 0 5 -2 0 0 0 -1 1\n"
+        "sphere 0 0 0 0 0 0 1 0.5 0 0 1.5 0\n";
+    const povray::Scene scene = povray::Scene::parse(text);
+    EXPECT_EQ(scene.shapes.size(), 1u);
+    EXPECT_EQ(scene.lights.size(), 1u);
+    runtime::ExecutionContext ctx;
+    EXPECT_NO_THROW(povray::render(scene, ctx));
+}
+
+TEST(PovrayEdge, SceneWithNoLightsIsAmbientOnly)
+{
+    povray::Scene scene;
+    povray::Shape ball;
+    ball.kind = povray::ShapeKind::Sphere;
+    ball.center = {0, 0, 0};
+    ball.radius = 1.0;
+    scene.shapes.push_back(ball);
+    scene.width = 8;
+    scene.height = 8;
+    runtime::ExecutionContext ctx;
+    const auto image = povray::render(scene, ctx);
+    for (const double v : image)
+        EXPECT_LE(v, 0.3); // ambient + sky only
+}
+
+TEST(XzEdge, ZeroByteFileIsRejectedByGenerator)
+{
+    xz::FileConfig cfg;
+    cfg.bytes = 0;
+    EXPECT_THROW(xz::generateFile(cfg), support::FatalError);
+}
+
+TEST(XzEdge, SingleByteRoundTrip)
+{
+    runtime::ExecutionContext ctx;
+    const std::vector<std::uint8_t> raw = {42};
+    const auto packed = xz::compress(raw, {}, ctx);
+    EXPECT_EQ(xz::decompress(packed, ctx), raw);
+}
+
+} // namespace

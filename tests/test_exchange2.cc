@@ -1,0 +1,178 @@
+/** @file Tests for the 548.exchange2_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/exchange2/benchmark.h"
+#include "benchmarks/exchange2/sudoku.h"
+#include "support/check.h"
+#include "support/text.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::exchange2;
+
+// A classic easy puzzle and its unique solution.
+const char *kEasy = "530070000"
+                    "600195000"
+                    "098000060"
+                    "800060003"
+                    "400803001"
+                    "700020006"
+                    "060000280"
+                    "000419005"
+                    "000080079";
+
+TEST(Grid, ParseSerializeRoundTrip)
+{
+    const Grid g = Grid::parse(kEasy);
+    EXPECT_EQ(g.serialize(), kEasy);
+    EXPECT_EQ(g.clues(), 30);
+    EXPECT_TRUE(g.consistent());
+    EXPECT_FALSE(g.solved());
+}
+
+TEST(Grid, ParseAcceptsDotsForEmpty)
+{
+    std::string dotted(kEasy);
+    for (auto &ch : dotted)
+        if (ch == '0')
+            ch = '.';
+    EXPECT_EQ(Grid::parse(dotted).serialize(), kEasy);
+}
+
+TEST(Grid, ParseRejectsBadInput)
+{
+    EXPECT_THROW(Grid::parse("123"), support::FatalError);
+    std::string bad(kEasy);
+    bad[5] = 'x';
+    EXPECT_THROW(Grid::parse(bad), support::FatalError);
+    // Duplicate in a row is inconsistent.
+    std::string dup(81, '0');
+    dup[0] = dup[1] = '5';
+    EXPECT_THROW(Grid::parse(dup), support::FatalError);
+}
+
+TEST(Solver, SolvesEasyPuzzleUniquely)
+{
+    runtime::ExecutionContext ctx;
+    const SolveResult r = solve(Grid::parse(kEasy), ctx, 2);
+    EXPECT_EQ(r.solutions, 1);
+    EXPECT_TRUE(r.solution.solved());
+    EXPECT_GT(r.nodes, 0u);
+    // Clues are preserved in the solution.
+    const Grid g = Grid::parse(kEasy);
+    for (int i = 0; i < 81; ++i) {
+        if (g.cells[i] != 0)
+            EXPECT_EQ(r.solution.cells[i], g.cells[i]);
+    }
+}
+
+TEST(Solver, DetectsMultipleSolutions)
+{
+    // An almost-empty grid has many solutions.
+    std::string sparse(81, '0');
+    sparse[0] = '1';
+    runtime::ExecutionContext ctx;
+    EXPECT_EQ(solve(Grid::parse(sparse), ctx, 2).solutions, 2);
+}
+
+TEST(Solver, DetectsUnsolvablePuzzle)
+{
+    // Row 0 holds 1..8 leaving only 9 for r0c8, but column 8 already
+    // contains a 9 further down: consistent as given, yet unsolvable.
+    std::string puzzle = "123456780" + std::string(72, '0');
+    puzzle[4 * 9 + 8] = '9'; // r4c8 = 9 (outside row 0 and box 2)
+    runtime::ExecutionContext ctx;
+    EXPECT_EQ(solve(Grid::parse(puzzle), ctx, 2).solutions, 0);
+}
+
+TEST(Transform, PreservesCluePatternCardinality)
+{
+    const Grid seed = Grid::parse(kEasy);
+    support::Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        const Grid t = transformPuzzle(seed, rng);
+        EXPECT_EQ(t.clues(), seed.clues());
+        EXPECT_TRUE(t.consistent());
+    }
+}
+
+TEST(Transform, PreservesUniqueSolvability)
+{
+    const Grid seed = Grid::parse(kEasy);
+    support::Rng rng(5);
+    runtime::ExecutionContext ctx;
+    for (int i = 0; i < 5; ++i) {
+        const Grid t = transformPuzzle(seed, rng);
+        EXPECT_EQ(solve(t, ctx, 2).solutions, 1);
+    }
+}
+
+TEST(Transform, ProducesDistinctPuzzles)
+{
+    const Grid seed = Grid::parse(kEasy);
+    support::Rng rng(7);
+    const Grid a = transformPuzzle(seed, rng);
+    const Grid b = transformPuzzle(seed, rng);
+    EXPECT_NE(a.serialize(), b.serialize());
+}
+
+TEST(SeedCreator, ProducesUniquePuzzlesNearTarget)
+{
+    runtime::ExecutionContext ctx;
+    support::Rng rng(11);
+    const Grid p = createSeedPuzzle(rng, 28, ctx);
+    EXPECT_LE(p.clues(), 40);
+    EXPECT_GE(p.clues(), 20);
+    EXPECT_EQ(solve(p, ctx, 2).solutions, 1);
+}
+
+TEST(SeedCreator, FewerCluesMeansMoreSearchNodes)
+{
+    runtime::ExecutionContext ctx;
+    support::Rng r1(13), r2(13);
+    const Grid hard = createSeedPuzzle(r1, 24, ctx);
+    const Grid easy = createSeedPuzzle(r2, 45, ctx);
+    runtime::ExecutionContext fresh;
+    const auto hardNodes = solve(hard, fresh, 1).nodes;
+    const auto easyNodes = solve(easy, fresh, 1).nodes;
+    EXPECT_GT(hardNodes, easyNodes);
+}
+
+TEST(Exchange2Benchmark, DistributedSeedsAreStable)
+{
+    const std::string a = Exchange2Benchmark::distributedSeeds();
+    const std::string b = Exchange2Benchmark::distributedSeeds();
+    EXPECT_EQ(a, b);
+    const auto lines = support::splitWhitespace(a);
+    EXPECT_EQ(lines.size(), 27u); // the benchmark's 27 seeds
+    runtime::ExecutionContext ctx;
+    for (const auto &line : {lines[0], lines[13], lines[26]}) {
+        const Grid g = Grid::parse(line);
+        EXPECT_EQ(solve(g, ctx, 2).solutions, 1);
+    }
+}
+
+TEST(Exchange2Benchmark, WorkloadSetMatchesPaper)
+{
+    Exchange2Benchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 13u); // Table II: 13 workloads
+    int alberta = 0;
+    for (const auto &wl : w)
+        alberta += wl.isAlberta();
+    EXPECT_EQ(alberta, 10); // paper: ten additional workloads
+}
+
+TEST(Exchange2Benchmark, RunsDeterministically)
+{
+    Exchange2Benchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("exchange2::solve"));
+    EXPECT_TRUE(a.coverage.count("exchange2::transform"));
+}
+
+} // namespace

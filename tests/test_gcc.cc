@@ -1,0 +1,319 @@
+/** @file Tests for the 502.gcc_r mini-benchmark (compiler + OneFile). */
+#include <gtest/gtest.h>
+
+#include "benchmarks/gcc/benchmark.h"
+#include "benchmarks/gcc/codegen.h"
+#include "benchmarks/gcc/generator.h"
+#include "benchmarks/gcc/onefile.h"
+#include "benchmarks/gcc/optimizer.h"
+#include "benchmarks/gcc/parser.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::gcc;
+
+std::int64_t
+runProgram(const std::string &source)
+{
+    runtime::ExecutionContext ctx;
+    Program program = parseSource(source, ctx);
+    const Module module = compile(program, ctx);
+    return execute(module, ctx).value;
+}
+
+std::int64_t
+runOptimized(const std::string &source)
+{
+    runtime::ExecutionContext ctx;
+    Program program = parseSource(source, ctx);
+    optimize(program, ctx);
+    const Module module = compile(program, ctx);
+    return execute(module, ctx).value;
+}
+
+TEST(Lexer, TokenizesOperatorsAndKeywords)
+{
+    runtime::ExecutionContext ctx;
+    const auto tokens =
+        tokenize("int x = 1 << 3; if (x >= 8) x = x && 1;", ctx);
+    ASSERT_GT(tokens.size(), 10u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::KwInt);
+    EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[4].kind, TokenKind::Shl);
+    EXPECT_EQ(tokens.back().kind, TokenKind::End);
+}
+
+TEST(Lexer, SkipsComments)
+{
+    runtime::ExecutionContext ctx;
+    const auto tokens =
+        tokenize("int a; // line\n/* block\ncomment */ int b;", ctx);
+    int idents = 0;
+    for (const auto &t : tokens)
+        idents += t.kind == TokenKind::Identifier;
+    EXPECT_EQ(idents, 2);
+}
+
+TEST(Lexer, RejectsUnknownCharacters)
+{
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(tokenize("int a @ b;", ctx), support::FatalError);
+}
+
+TEST(Compiler, ArithmeticAndPrecedence)
+{
+    EXPECT_EQ(runProgram("int main(void) { return 2 + 3 * 4; }"), 14);
+    EXPECT_EQ(runProgram("int main(void) { return (2 + 3) * 4; }"),
+              20);
+    EXPECT_EQ(runProgram("int main(void) { return 7 % 3 + 10 / 4; }"),
+              3);
+    EXPECT_EQ(runProgram("int main(void) { return 1 << 4 | 3; }"), 19);
+}
+
+TEST(Compiler, VariablesAndAssignment)
+{
+    EXPECT_EQ(runProgram("int main(void) { int x = 5; x = x + 2; "
+                         "return x; }"),
+              7);
+}
+
+TEST(Compiler, GlobalsPersistAcrossCalls)
+{
+    const char *src = "int counter = 0;"
+                      "int bump(int a, int b) { counter = counter + a "
+                      "+ b; return counter; }"
+                      "int main(void) { bump(1, 2); bump(3, 4); "
+                      "return counter; }";
+    EXPECT_EQ(runProgram(src), 10);
+}
+
+TEST(Compiler, ControlFlow)
+{
+    const char *src =
+        "int main(void) { int s = 0; int i = 0;"
+        "for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) s = s + i; }"
+        "while (s > 15) s = s - 1;"
+        "return s; }";
+    EXPECT_EQ(runProgram(src), 15);
+}
+
+TEST(Compiler, RecursionWorks)
+{
+    const char *src = "int fib(int n, int unused) { if (n < 2) return "
+                      "n; return fib(n - 1, 0) + fib(n - 2, 0); }"
+                      "int main(void) { return fib(12, 0); }";
+    EXPECT_EQ(runProgram(src), 144);
+}
+
+TEST(Compiler, ScopingShadowsCorrectly)
+{
+    const char *src = "int x = 100;"
+                      "int main(void) { int x = 1; { int x = 2; } "
+                      "return x; }";
+    EXPECT_EQ(runProgram(src), 1);
+}
+
+TEST(Compiler, ErrorsAreFatal)
+{
+    EXPECT_THROW(runProgram("int main(void) { return y; }"),
+                 support::FatalError); // undefined variable
+    EXPECT_THROW(runProgram("int main(void) { return f(1); }"),
+                 support::FatalError); // undefined function
+    EXPECT_THROW(runProgram("int f(int a) { return a; }"),
+                 support::FatalError); // no main
+    EXPECT_THROW(runProgram("int main(void) { return 1 / 0; }"),
+                 support::FatalError); // division by zero
+    EXPECT_THROW(runProgram("int main(void) { while (1) { } }"),
+                 support::FatalError); // budget exceeded
+}
+
+TEST(Optimizer, FoldsConstants)
+{
+    runtime::ExecutionContext ctx;
+    Program p = parseSource(
+        "int main(void) { return 2 * 3 + (10 - 4); }", ctx);
+    const OptStats stats = optimize(p, ctx);
+    EXPECT_GT(stats.foldedExprs, 0u);
+    const Module module = compile(p, ctx);
+    EXPECT_EQ(execute(module, ctx).value, 12);
+}
+
+TEST(Optimizer, RemovesDeadBranches)
+{
+    runtime::ExecutionContext ctx;
+    Program p = parseSource("int main(void) { if (0) return 1; "
+                            "while (0) return 2; return 3; }",
+                            ctx);
+    const OptStats stats = optimize(p, ctx);
+    EXPECT_GE(stats.deadBranches, 2u);
+    const Module module = compile(p, ctx);
+    EXPECT_EQ(execute(module, ctx).value, 3);
+}
+
+TEST(Optimizer, PreservesSemantics)
+{
+    // Property: optimized and unoptimized programs agree.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        ProgramConfig cfg;
+        cfg.seed = seed;
+        cfg.functions = 10;
+        const std::string source = generateProgram(cfg);
+        EXPECT_EQ(runProgram(source), runOptimized(source))
+            << "seed " << seed;
+    }
+}
+
+TEST(Optimizer, AppliesAlgebraicIdentities)
+{
+    runtime::ExecutionContext ctx;
+    Program p = parseSource(
+        "int main(void) { int x = 7; return x * 1 + 0 + x / 1; }",
+        ctx);
+    const OptStats stats = optimize(p, ctx);
+    EXPECT_GT(stats.simplified, 0u);
+    const Module module = compile(p, ctx);
+    EXPECT_EQ(execute(module, ctx).value, 14);
+}
+
+TEST(PrettyPrint, RoundTripsThroughParser)
+{
+    ProgramConfig cfg;
+    cfg.seed = 42;
+    cfg.functions = 8;
+    const std::string source = generateProgram(cfg);
+    runtime::ExecutionContext ctx;
+    Program p = parseSource(source, ctx);
+    const std::string printed = p.prettyPrint();
+    Program again = parseSource(printed, ctx);
+    EXPECT_EQ(again.prettyPrint(), printed); // fixpoint
+    EXPECT_EQ(runProgram(source), runProgram(printed));
+}
+
+TEST(Generator, ProgramsCompileAndRunAcrossStyles)
+{
+    for (const auto style :
+         {ProgramStyle::Balanced, ProgramStyle::LoopHeavy,
+          ProgramStyle::BranchHeavy, ProgramStyle::CallHeavy,
+          ProgramStyle::Arithmetic}) {
+        ProgramConfig cfg;
+        cfg.seed = 7 + static_cast<int>(style);
+        cfg.functions = 12;
+        cfg.style = style;
+        const std::string source = generateProgram(cfg);
+        EXPECT_NO_THROW(runProgram(source))
+            << "style " << static_cast<int>(style);
+    }
+}
+
+TEST(Generator, DeterministicPerSeed)
+{
+    ProgramConfig cfg;
+    cfg.seed = 11;
+    EXPECT_EQ(generateProgram(cfg), generateProgram(cfg));
+    ProgramConfig other = cfg;
+    other.seed = 12;
+    EXPECT_NE(generateProgram(cfg), generateProgram(other));
+}
+
+TEST(OneFile, ManglesStaticCollisions)
+{
+    const std::vector<std::string> sources = {
+        "static int v = 1;"
+        "static int get(int a, int b) { return v + a + b; }"
+        "int first(int a, int b) { return get(a, b); }"
+        "int main(void) { return first(1, 2) + second(3, 4); }",
+        "static int v = 10;"
+        "static int get(int a, int b) { return v * (a + b); }"
+        "int second(int a, int b) { return get(a, b); }",
+    };
+    runtime::ExecutionContext ctx;
+    const OneFileResult merged = oneFileFromSources(sources, ctx);
+    EXPECT_GE(merged.renamedSymbols, 4);
+    const Module module = compile(merged.merged, ctx);
+    // first: 1 + 1 + 2 = 4; second: 10 * 7 = 70.
+    EXPECT_EQ(execute(module, ctx).value, 74);
+}
+
+TEST(OneFile, LocalsShadowManagedStatics)
+{
+    // A local named like a static must not be renamed.
+    const std::vector<std::string> sources = {
+        "static int s = 5;"
+        "int f(int a, int b) { int s = 100; return s + a + b; }"
+        "int g(int a, int b) { return s + a + b; }"
+        "int main(void) { return f(1, 1) + g(1, 1); }",
+        "static int s = 7;"
+        "int h(int a, int b) { return s + a; }",
+    };
+    runtime::ExecutionContext ctx;
+    const OneFileResult merged = oneFileFromSources(sources, ctx);
+    const Module module = compile(merged.merged, ctx);
+    // f = 102 (local s), g = 7 (unit-0 static s).
+    EXPECT_EQ(execute(module, ctx).value, 109);
+}
+
+TEST(OneFile, RejectsExternalCollisions)
+{
+    const std::vector<std::string> sources = {
+        "int shared(int a, int b) { return a; }"
+        "int main(void) { return 0; }",
+        "int shared(int a, int b) { return b; }",
+    };
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(oneFileFromSources(sources, ctx),
+                 support::FatalError);
+}
+
+TEST(OneFile, RejectsMissingOrDuplicateMain)
+{
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(
+        oneFileFromSources({"int f(int a, int b) { return a; }"}, ctx),
+        support::FatalError);
+    EXPECT_THROW(oneFileFromSources({"int main(void) { return 0; }",
+                                     "int main(void) { return 1; }"},
+                                    ctx),
+                 support::FatalError);
+}
+
+TEST(OneFile, MultiUnitGeneratorMergesAndRuns)
+{
+    ProgramConfig cfg;
+    cfg.seed = 21;
+    cfg.functions = 12;
+    const auto sources = generateMultiUnitProgram(cfg, 4);
+    ASSERT_EQ(sources.size(), 4u);
+    runtime::ExecutionContext ctx;
+    const OneFileResult merged = oneFileFromSources(sources, ctx);
+    EXPECT_GT(merged.renamedSymbols, 0);
+    const Module module = compile(merged.merged, ctx);
+    EXPECT_NO_THROW(execute(module, ctx));
+}
+
+TEST(GccBenchmark, WorkloadSetMatchesPaper)
+{
+    GccBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 19u); // Table II: 19 workloads
+    int onefile = 0;
+    for (const auto &wl : w)
+        onefile += wl.name.find("onefile") != std::string::npos;
+    EXPECT_EQ(onefile, 3); // mcf, lbm, johnripper (Section IV-A)
+}
+
+TEST(GccBenchmark, RunsDeterministically)
+{
+    GccBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("gcc::lex"));
+    EXPECT_TRUE(a.coverage.count("gcc::parse"));
+    EXPECT_TRUE(a.coverage.count("gcc::codegen"));
+    EXPECT_TRUE(a.coverage.count("gcc::vm_execute"));
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/** @file Tests for the 519.lbm_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/lbm/benchmark.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::lbm;
+
+Geometry
+emptyChannel(int nx = 8, int ny = 8, int nz = 16)
+{
+    GeometryConfig cfg;
+    cfg.nx = nx;
+    cfg.ny = ny;
+    cfg.nz = nz;
+    cfg.sizeFraction = 0.0;
+    return generateGeometry(cfg);
+}
+
+TEST(Geometry, SerializeParseRoundTrip)
+{
+    GeometryConfig cfg;
+    cfg.seed = 4;
+    cfg.shape = ObstacleShape::RandomBlobs;
+    cfg.sizeFraction = 0.4;
+    const Geometry g = generateGeometry(cfg);
+    const Geometry parsed = Geometry::parse(g.serialize());
+    EXPECT_EQ(parsed.nx, g.nx);
+    EXPECT_EQ(parsed.cells, g.cells);
+}
+
+TEST(Geometry, ParseRejectsGarbage)
+{
+    EXPECT_THROW(Geometry::parse("not a geometry"),
+                 support::FatalError);
+    EXPECT_THROW(Geometry::parse("4 4 4\n....\n..x.\n"),
+                 support::FatalError);
+}
+
+TEST(Geometry, ShapeAndSizeControlSolidCells)
+{
+    GeometryConfig small, large;
+    small.seed = large.seed = 5;
+    small.sizeFraction = 0.2;
+    large.sizeFraction = 0.7;
+    EXPECT_GT(generateGeometry(large).solidCells(),
+              generateGeometry(small).solidCells() * 3);
+}
+
+TEST(Geometry, DensityAddsScatteredCells)
+{
+    GeometryConfig clean, dusty;
+    clean.seed = dusty.seed = 6;
+    clean.sizeFraction = dusty.sizeFraction = 0.0;
+    dusty.density = 0.05;
+    EXPECT_EQ(generateGeometry(clean).solidCells(), 0u);
+    EXPECT_GT(generateGeometry(dusty).solidCells(), 10u);
+}
+
+TEST(Lattice, ConservesMassInEmptyChannel)
+{
+    const Geometry g = emptyChannel();
+    LbmConfig cfg;
+    cfg.steps = 10;
+    Lattice lattice(g, cfg);
+    runtime::ExecutionContext ctx;
+    const FlowStats stats = lattice.run(ctx);
+    const double cells = 8.0 * 8.0 * 16.0;
+    EXPECT_NEAR(stats.totalMass, cells, cells * 1e-6);
+}
+
+TEST(Lattice, BodyForceAcceleratesFlow)
+{
+    const Geometry g = emptyChannel();
+    LbmConfig cfg;
+    cfg.steps = 15;
+    Lattice lattice(g, cfg);
+    runtime::ExecutionContext ctx;
+    const FlowStats stats = lattice.run(ctx);
+    EXPECT_GT(stats.meanVelocityZ, 0.01);
+}
+
+TEST(Lattice, ObstacleSlowsMeanFlow)
+{
+    GeometryConfig blocked;
+    blocked.seed = 7;
+    blocked.nx = blocked.ny = 8;
+    blocked.nz = 16;
+    blocked.shape = ObstacleShape::Sphere;
+    blocked.sizeFraction = 0.8;
+    const Geometry obst = generateGeometry(blocked);
+    ASSERT_GT(obst.solidCells(), 0u);
+
+    LbmConfig cfg;
+    cfg.steps = 15;
+    runtime::ExecutionContext ctx;
+    Lattice open(emptyChannel(), cfg);
+    Lattice closed(obst, cfg);
+    EXPECT_GT(open.run(ctx).meanVelocityZ,
+              closed.run(ctx).meanVelocityZ);
+}
+
+TEST(Lattice, TrtAndBgkBothStable)
+{
+    GeometryConfig cfg;
+    cfg.seed = 8;
+    cfg.nx = cfg.ny = 8;
+    cfg.nz = 16;
+    cfg.sizeFraction = 0.3;
+    const Geometry g = generateGeometry(cfg);
+    runtime::ExecutionContext ctx;
+    for (const auto model :
+         {CollisionModel::Bgk, CollisionModel::Trt}) {
+        LbmConfig sim;
+        sim.steps = 12;
+        sim.model = model;
+        Lattice lattice(g, sim);
+        const FlowStats stats = lattice.run(ctx);
+        EXPECT_TRUE(std::isfinite(stats.kineticEnergy));
+        EXPECT_GT(stats.totalMass, 0.0);
+    }
+}
+
+TEST(Lattice, RejectsBadTau)
+{
+    LbmConfig cfg;
+    cfg.tau = 0.5;
+    EXPECT_THROW(Lattice(emptyChannel(), cfg),
+                 support::FatalError);
+}
+
+TEST(LbmBenchmark, WorkloadSetMatchesPaper)
+{
+    LbmBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 30u); // Table II: 30 workloads
+    int alberta = 0;
+    for (const auto &wl : w)
+        alberta += wl.isAlberta();
+    EXPECT_GE(alberta, 24); // paper: twenty-four new workloads
+}
+
+TEST(LbmBenchmark, RunsDeterministically)
+{
+    LbmBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("lbm::collide_stream"));
+    // lbm is numerically dominated: almost no bad speculation, like
+    // the paper's 0.4% geometric mean.
+    EXPECT_LT(a.topdown.badspec, 0.05);
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+/** @file Tests for the 541.leela_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/leela/benchmark.h"
+#include "benchmarks/leela/mcts.h"
+#include "support/check.h"
+#include "support/text.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::leela;
+
+TEST(GoBoard, RejectsBadSizes)
+{
+    EXPECT_THROW(GoBoard(8), support::FatalError);
+    EXPECT_NO_THROW(GoBoard(9));
+    EXPECT_NO_THROW(GoBoard(13));
+    EXPECT_NO_THROW(GoBoard(19));
+}
+
+TEST(GoBoard, SimpleCapture)
+{
+    GoBoard b(9);
+    // White stone at (4,4) surrounded by black on three sides, then
+    // the fourth.
+    b.play(b.point(4, 4), Color::White);
+    b.play(b.point(3, 4), Color::Black);
+    b.play(b.point(5, 4), Color::Black);
+    b.play(b.point(4, 3), Color::Black);
+    EXPECT_EQ(b.at(b.point(4, 4)), Color::White);
+    const int captured = b.play(b.point(4, 5), Color::Black);
+    EXPECT_EQ(captured, 1);
+    EXPECT_EQ(b.at(b.point(4, 4)), Color::Empty);
+}
+
+TEST(GoBoard, GroupCapture)
+{
+    GoBoard b(9);
+    // Two connected white stones on the edge.
+    b.play(b.point(0, 0), Color::White);
+    b.play(b.point(0, 1), Color::White);
+    b.play(b.point(1, 0), Color::Black);
+    b.play(b.point(1, 1), Color::Black);
+    const int captured = b.play(b.point(0, 2), Color::Black);
+    EXPECT_EQ(captured, 2);
+    EXPECT_EQ(b.at(b.point(0, 0)), Color::Empty);
+    EXPECT_EQ(b.at(b.point(0, 1)), Color::Empty);
+}
+
+TEST(GoBoard, SuicideIsIllegal)
+{
+    GoBoard b(9);
+    b.play(b.point(0, 1), Color::Black);
+    b.play(b.point(1, 0), Color::Black);
+    // (0,0) is now a suicide point for white.
+    EXPECT_FALSE(b.legal(b.point(0, 0), Color::White));
+    EXPECT_TRUE(b.legal(b.point(0, 0), Color::Black));
+}
+
+TEST(GoBoard, CaptureBeatsSuicide)
+{
+    GoBoard b(9);
+    // Black (0,1),(1,0); white (0,0) would be suicide, but if black
+    // (0,1) is in atari white capturing it is legal.
+    b.play(b.point(0, 1), Color::Black);
+    b.play(b.point(1, 0), Color::Black);
+    b.play(b.point(1, 1), Color::White);
+    b.play(b.point(0, 2), Color::White);
+    // Black (0,1) has liberty only at (0,0).
+    EXPECT_TRUE(b.legal(b.point(0, 0), Color::White));
+    const int captured = b.play(b.point(0, 0), Color::White);
+    EXPECT_EQ(captured, 1);
+}
+
+TEST(GoBoard, SimpleKoForbidden)
+{
+    GoBoard b(9);
+    // Standard ko shape around (4,4)/(4,5).
+    b.play(b.point(3, 4), Color::Black);
+    b.play(b.point(5, 4), Color::Black);
+    b.play(b.point(4, 3), Color::Black);
+    b.play(b.point(3, 5), Color::White);
+    b.play(b.point(5, 5), Color::White);
+    b.play(b.point(4, 6), Color::White);
+    b.play(b.point(4, 4), Color::White);
+    // Black captures the ko stone.
+    const int captured = b.play(b.point(4, 5), Color::Black);
+    EXPECT_EQ(captured, 1);
+    // Immediate recapture at (4,4) is forbidden.
+    EXPECT_FALSE(b.legal(b.point(4, 4), Color::White));
+    // After a move elsewhere the ko opens again.
+    b.play(b.point(8, 8), Color::White);
+    EXPECT_TRUE(b.legal(b.point(4, 4), Color::White));
+}
+
+TEST(GoBoard, TrueEyeDetection)
+{
+    GoBoard b(9);
+    // Black eye at (0,0): neighbours (0,1),(1,0) black + diagonal
+    // (1,1) black.
+    b.play(b.point(0, 1), Color::Black);
+    b.play(b.point(1, 0), Color::Black);
+    b.play(b.point(1, 1), Color::Black);
+    EXPECT_TRUE(b.isTrueEye(b.point(0, 0), Color::Black));
+    EXPECT_FALSE(b.isTrueEye(b.point(0, 0), Color::White));
+}
+
+TEST(GoBoard, AreaScoreCountsTerritory)
+{
+    GoBoard b(9);
+    // A black wall splitting the board: column 4 all black.
+    for (int r = 0; r < 9; ++r)
+        b.play(b.point(r, 4), Color::Black);
+    // All empty territory touches only black.
+    EXPECT_EQ(b.areaScore(), 81);
+    b.play(b.point(4, 6), Color::White);
+    // White stone breaks the right territory.
+    EXPECT_LT(b.areaScore(), 81);
+}
+
+TEST(GoBoard, PassesAccumulateAndReset)
+{
+    GoBoard b(9);
+    b.play(kPass, Color::Black);
+    EXPECT_EQ(b.passes(), 1);
+    b.play(b.point(0, 0), Color::White);
+    EXPECT_EQ(b.passes(), 0);
+    b.play(kPass, Color::Black);
+    b.play(kPass, Color::White);
+    EXPECT_EQ(b.passes(), 2);
+}
+
+TEST(Sgf, SerializeParseRoundTrip)
+{
+    SgfGame game;
+    game.boardSize = 9;
+    game.moves = {0, 40, 80, kPass, 12};
+    const SgfGame parsed = SgfGame::parse(game.serialize());
+    EXPECT_EQ(parsed.boardSize, 9);
+    EXPECT_EQ(parsed.moves, game.moves);
+    EXPECT_EQ(parsed.firstColor, Color::Black);
+}
+
+TEST(Sgf, ParseRejectsGarbage)
+{
+    EXPECT_THROW(SgfGame::parse("not sgf"), support::FatalError);
+    EXPECT_THROW(SgfGame::parse("(;SZ[9];B[zz])"),
+                 support::FatalError);
+}
+
+TEST(Generator, GamesAreReplayable)
+{
+    support::Rng rng(5);
+    const SgfGame game = generateGame(9, rng);
+    EXPECT_GT(game.moves.size(), 20u);
+    // Replaying must hit no illegal move.
+    GoBoard board(9);
+    Color toMove = Color::Black;
+    for (const int move : game.moves) {
+        if (move == kPass) {
+            board.play(kPass, toMove);
+        } else {
+            const int p = board.point(move / 9, move % 9);
+            ASSERT_TRUE(board.legal(p, toMove));
+            board.play(p, toMove);
+        }
+        toMove = opponent(toMove);
+    }
+}
+
+TEST(Generator, CullRemovesEndMoves)
+{
+    support::Rng rng(6);
+    const SgfGame game = generateGame(9, rng);
+    const SgfGame culled = cullEndMoves(game, 10);
+    EXPECT_EQ(culled.moves.size(), game.moves.size() - 10);
+    for (std::size_t i = 0; i < culled.moves.size(); ++i)
+        EXPECT_EQ(culled.moves[i], game.moves[i]);
+}
+
+TEST(Mcts, ChoosesLegalMoves)
+{
+    GoBoard board(9);
+    MctsConfig cfg;
+    cfg.simulationsPerMove = 20;
+    MctsEngine engine(cfg, 7);
+    runtime::ExecutionContext ctx;
+    const int move = engine.chooseMove(board, Color::Black, ctx);
+    EXPECT_TRUE(move == kPass || board.legal(move, Color::Black));
+}
+
+TEST(Mcts, PlaysGameToCompletion)
+{
+    support::Rng rng(8);
+    const SgfGame culled = cullEndMoves(generateGame(9, rng), 8);
+    MctsConfig cfg;
+    cfg.simulationsPerMove = 10;
+    cfg.maxGameMoves = 20;
+    MctsEngine engine(cfg, 9);
+    runtime::ExecutionContext ctx;
+    const GameStats stats = engine.playToEnd(culled, ctx);
+    EXPECT_GT(stats.movesPlayed, 0);
+    EXPECT_GT(stats.simulations, 0u);
+    EXPECT_GT(stats.playoutMoves, 0u);
+}
+
+TEST(LeelaBenchmark, WorkloadSetMatchesPaper)
+{
+    LeelaBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 12u); // Table II: 12 workloads
+    int alberta = 0;
+    bool saw13 = false, saw19 = false;
+    for (const auto &wl : w) {
+        alberta += wl.isAlberta();
+        if (wl.params.getInt("board_size") == 13)
+            saw13 = true;
+        if (wl.params.getInt("board_size") == 19)
+            saw19 = true;
+    }
+    EXPECT_EQ(alberta, 9); // paper: nine additional workloads
+    EXPECT_TRUE(saw13);    // "three board sizes to choose from"
+    EXPECT_TRUE(saw19);
+}
+
+TEST(LeelaBenchmark, RunsDeterministically)
+{
+    LeelaBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("leela::playout"));
+    EXPECT_TRUE(a.coverage.count("leela::uct_tree"));
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/** @file Tests for the 505.mcf_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/mcf/benchmark.h"
+#include "benchmarks/mcf/generator.h"
+#include "benchmarks/mcf/mincost.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::mcf;
+
+Solution
+solveInstance(const Instance &inst)
+{
+    runtime::ExecutionContext ctx;
+    Solver solver(inst);
+    return solver.solve(ctx);
+}
+
+TEST(MinCost, TrivialSingleArc)
+{
+    Instance inst;
+    inst.supplies = {5, -5};
+    inst.arcs.push_back({0, 1, 0, 10, 3});
+    const Solution s = solveInstance(inst);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_EQ(s.totalCost, 15);
+    EXPECT_EQ(s.flows[0], 5);
+    EXPECT_TRUE(verifyOptimal(inst, s));
+}
+
+TEST(MinCost, PrefersCheaperParallelArc)
+{
+    Instance inst;
+    inst.supplies = {4, -4};
+    inst.arcs.push_back({0, 1, 0, 3, 10}); // expensive
+    inst.arcs.push_back({0, 1, 0, 3, 1});  // cheap
+    const Solution s = solveInstance(inst);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_EQ(s.flows[1], 3);
+    EXPECT_EQ(s.flows[0], 1);
+    EXPECT_EQ(s.totalCost, 3 * 1 + 1 * 10);
+    EXPECT_TRUE(verifyOptimal(inst, s));
+}
+
+TEST(MinCost, RespectsLowerBounds)
+{
+    Instance inst;
+    inst.supplies = {2, 0, -2};
+    inst.arcs.push_back({0, 1, 1, 2, 5}); // must carry >= 1
+    inst.arcs.push_back({1, 2, 0, 2, 1});
+    inst.arcs.push_back({0, 2, 0, 2, 1}); // cheaper bypass
+    const Solution s = solveInstance(inst);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_GE(s.flows[0], 1);
+    EXPECT_TRUE(verifyOptimal(inst, s));
+}
+
+TEST(MinCost, DetectsInfeasibility)
+{
+    Instance inst;
+    inst.supplies = {3, -3};
+    inst.arcs.push_back({0, 1, 0, 2, 1}); // capacity below supply
+    const Solution s = solveInstance(inst);
+    EXPECT_FALSE(s.feasible);
+}
+
+TEST(MinCost, DiamondChoosesShortestRoute)
+{
+    // 0 -> {1,2} -> 3 with asymmetric costs.
+    Instance inst;
+    inst.supplies = {1, 0, 0, -1};
+    inst.arcs.push_back({0, 1, 0, 1, 1});
+    inst.arcs.push_back({0, 2, 0, 1, 5});
+    inst.arcs.push_back({1, 3, 0, 1, 1});
+    inst.arcs.push_back({2, 3, 0, 1, 1});
+    const Solution s = solveInstance(inst);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_EQ(s.totalCost, 2);
+    EXPECT_EQ(s.flows[0], 1);
+    EXPECT_EQ(s.flows[1], 0);
+    EXPECT_TRUE(verifyOptimal(inst, s));
+}
+
+TEST(MinCost, SerializeParseRoundTrip)
+{
+    Instance inst;
+    inst.supplies = {7, 0, -7};
+    inst.arcs.push_back({0, 1, 1, 5, 3});
+    inst.arcs.push_back({1, 2, 0, 9, 2});
+    inst.arcs.push_back({0, 2, 2, 7, 1});
+    runtime::ExecutionContext ctx;
+    const Instance parsed = Instance::parse(inst.serialize(), ctx);
+    ASSERT_EQ(parsed.nodes(), inst.nodes());
+    ASSERT_EQ(parsed.arcs.size(), inst.arcs.size());
+    EXPECT_EQ(parsed.supplies, inst.supplies);
+    for (std::size_t i = 0; i < inst.arcs.size(); ++i) {
+        EXPECT_EQ(parsed.arcs[i].from, inst.arcs[i].from);
+        EXPECT_EQ(parsed.arcs[i].capacity, inst.arcs[i].capacity);
+        EXPECT_EQ(parsed.arcs[i].cost, inst.arcs[i].cost);
+    }
+}
+
+TEST(MinCost, ParseRejectsMalformedInput)
+{
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(Instance::parse("p min 2 1\na 0 5 0 1 1\n", ctx),
+                 support::FatalError);
+    EXPECT_THROW(Instance::parse("p min 1 0\nn 0 3\n", ctx),
+                 support::FatalError); // unbalanced supply
+    EXPECT_THROW(Instance::parse("q min 1 0\n", ctx),
+                 support::FatalError);
+}
+
+TEST(CityGenerator, DeterministicForSameSeed)
+{
+    CityConfig cfg;
+    cfg.seed = 77;
+    cfg.trips = 50;
+    const VehicleProblem a = generateCity(cfg);
+    const VehicleProblem b = generateCity(cfg);
+    EXPECT_EQ(a.instance.serialize(), b.instance.serialize());
+}
+
+TEST(CityGenerator, DifferentSeedsDiffer)
+{
+    CityConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    a.trips = b.trips = 50;
+    EXPECT_NE(generateCity(a).instance.serialize(),
+              generateCity(b).instance.serialize());
+}
+
+TEST(CityGenerator, TripsAreTimeConsistent)
+{
+    CityConfig cfg;
+    cfg.seed = 3;
+    cfg.trips = 80;
+    const VehicleProblem prob = generateCity(cfg);
+    for (const Trip &t : prob.trips) {
+        EXPECT_LT(t.startMinute, t.endMinute);
+        EXPECT_NE(t.fromTerminal, t.toTerminal);
+        EXPECT_LT(t.endMinute, cfg.dayMinutes + 200);
+    }
+}
+
+TEST(CityGenerator, CircadianProfileHasRushPeaks)
+{
+    const int day = 1200;
+    const double night = circadianWeight(0, day);
+    const double amRush = circadianWeight(day / 4, day);
+    const double midday = circadianWeight(day * 45 / 100, day);
+    EXPECT_GT(amRush, night * 3);
+    EXPECT_GT(amRush, midday);
+}
+
+TEST(CityGenerator, ConnectivityControlsDeadheads)
+{
+    CityConfig sparse, dense;
+    sparse.seed = dense.seed = 9;
+    sparse.trips = dense.trips = 100;
+    sparse.connectivity = 0.1;
+    dense.connectivity = 0.9;
+    EXPECT_GT(generateCity(dense).deadheads,
+              generateCity(sparse).deadheads * 3);
+}
+
+TEST(CityGenerator, GeneratedProblemsAreFeasibleAndOptimal)
+{
+    for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+        CityConfig cfg;
+        cfg.seed = seed;
+        cfg.trips = 60;
+        const VehicleProblem prob = generateCity(cfg);
+        const Solution s = solveInstance(prob.instance);
+        ASSERT_TRUE(s.feasible) << "seed " << seed;
+        EXPECT_TRUE(verifyOptimal(prob.instance, s)) << "seed " << seed;
+    }
+}
+
+TEST(McfBenchmark, WorkloadSetMatchesPaper)
+{
+    McfBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 7u); // Table II: 7 workloads for 505.mcf_r
+    EXPECT_EQ(w[0].name, "refrate");
+    int alberta = 0;
+    for (const auto &wl : w)
+        alberta += wl.isAlberta();
+    EXPECT_GE(alberta, 3); // paper: three generated city problems
+}
+
+TEST(McfBenchmark, RunsDeterministically)
+{
+    McfBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_GT(a.retiredOps, 1000u);
+    EXPECT_TRUE(a.coverage.count("mcf::shortest_path"));
+}
+
+TEST(McfBenchmark, DifferentWorkloadsGiveDifferentBehaviour)
+{
+    McfBenchmark bm;
+    const auto a =
+        runtime::runOnce(bm, runtime::findWorkload(bm, "test"));
+    const auto b =
+        runtime::runOnce(bm, runtime::findWorkload(bm, "alberta.city-1"));
+    EXPECT_NE(a.checksum, b.checksum);
+}
+
+} // namespace

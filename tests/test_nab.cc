@@ -1,0 +1,161 @@
+/** @file Tests for the 544.nab_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/nab/benchmark.h"
+#include "benchmarks/nab/forcefield.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::nab;
+
+TEST(Pdb, SerializeParseRoundTrip)
+{
+    const Molecule mol = generateProtein(10, 5);
+    const Molecule parsed = Molecule::parsePdb(mol.serializePdb());
+    ASSERT_EQ(parsed.atoms.size(), mol.atoms.size());
+    ASSERT_EQ(parsed.bonds.size(), mol.bonds.size());
+    for (std::size_t i = 0; i < mol.atoms.size(); ++i) {
+        EXPECT_NEAR(parsed.atoms[i].position[0],
+                    mol.atoms[i].position[0], 1e-5);
+        EXPECT_NEAR(parsed.atoms[i].charge, mol.atoms[i].charge,
+                    1e-5);
+    }
+}
+
+TEST(Pdb, ParseRejectsGarbage)
+{
+    EXPECT_THROW(Molecule::parsePdb("HELLO 1 2 3\n"),
+                 support::FatalError);
+    EXPECT_THROW(Molecule::parsePdb("ATOM 0 C 0 0 0 0\n"),
+                 support::FatalError); // missing mass field
+    EXPECT_THROW(Molecule::parsePdb("END\n"), support::FatalError);
+    EXPECT_THROW(
+        Molecule::parsePdb("ATOM 0 C 0 0 0 0 12\nCONECT 0 5 1.0\n"),
+        support::FatalError); // bond to nonexistent atom
+}
+
+TEST(Prm, SerializeParseRoundTrip)
+{
+    PrmConfig cfg;
+    cfg.steps = 9;
+    cfg.dt = 0.004;
+    cfg.cutoff = 11.0;
+    cfg.dielectric = 2.5;
+    const PrmConfig parsed = PrmConfig::parse(cfg.serialize());
+    EXPECT_EQ(parsed.steps, 9);
+    EXPECT_DOUBLE_EQ(parsed.dt, 0.004);
+    EXPECT_DOUBLE_EQ(parsed.cutoff, 11.0);
+    EXPECT_DOUBLE_EQ(parsed.dielectric, 2.5);
+}
+
+TEST(Protein, GeneratorChainIsConnected)
+{
+    const Molecule mol = generateProtein(20, 7);
+    EXPECT_EQ(mol.atoms.size(), 40u);      // backbone + side chain
+    EXPECT_EQ(mol.bonds.size(), 19u + 20u); // chain + side bonds
+    // Consecutive backbone atoms sit ~3.8 A apart.
+    for (std::size_t b = 0; b < mol.bonds.size(); ++b) {
+        const auto [i, j] = mol.bonds[b];
+        double r2 = 0;
+        for (int k = 0; k < 3; ++k) {
+            const double d = mol.atoms[i].position[k] -
+                             mol.atoms[j].position[k];
+            r2 += d * d;
+        }
+        EXPECT_LT(std::sqrt(r2), 8.0);
+    }
+}
+
+TEST(Forces, TwoLjAtomsAtMinimumFeelNoForce)
+{
+    // Build a 2-atom molecule at the LJ minimum distance 2^{1/6} s.
+    Molecule mol;
+    Atom a;
+    a.charge = 0.0;
+    mol.atoms.push_back(a);
+    a.position = {std::pow(2.0, 1.0 / 6.0) * a.sigma, 0, 0};
+    mol.atoms.push_back(a);
+    PrmConfig prm;
+    prm.steps = 0;
+    Simulation sim(mol, prm);
+    runtime::ExecutionContext ctx;
+    const MdStats stats = sim.run(ctx);
+    EXPECT_LT(stats.maxForce, 1e-9);
+    EXPECT_LT(stats.potentialEnergy, 0.0); // in the well
+}
+
+TEST(Forces, OppositeChargesAttract)
+{
+    Molecule mol;
+    Atom plus, minus;
+    plus.charge = 0.5;
+    minus.charge = -0.5;
+    minus.position = {8.0, 0, 0}; // outside LJ range, inside cutoff
+    mol.atoms.push_back(plus);
+    mol.atoms.push_back(minus);
+    PrmConfig prm;
+    prm.steps = 3;
+    prm.dt = 0.01;
+    Simulation sim(mol, prm);
+    runtime::ExecutionContext ctx;
+    sim.run(ctx);
+    // After a few steps they must have moved toward each other; the
+    // potential becomes more negative.
+    Simulation fresh(mol, prm);
+    EXPECT_LT(sim.potentialEnergy(ctx), fresh.potentialEnergy(ctx));
+}
+
+TEST(Forces, CutoffLimitsPairCount)
+{
+    const Molecule mol = generateProtein(30, 9);
+    PrmConfig tight, loose;
+    tight.steps = loose.steps = 1;
+    tight.cutoff = 4.0;
+    loose.cutoff = 40.0;
+    runtime::ExecutionContext ctx;
+    Simulation a(mol, tight), b(mol, loose);
+    EXPECT_LT(a.run(ctx).pairInteractions,
+              b.run(ctx).pairInteractions);
+}
+
+TEST(Dynamics, EnergyStaysBoundedAtSmallDt)
+{
+    const Molecule mol = generateProtein(15, 11);
+    PrmConfig prm;
+    prm.steps = 30;
+    prm.dt = 0.001;
+    Simulation sim(mol, prm);
+    runtime::ExecutionContext ctx;
+    const MdStats stats = sim.run(ctx);
+    EXPECT_TRUE(std::isfinite(stats.potentialEnergy));
+    EXPECT_TRUE(std::isfinite(stats.kineticEnergy));
+    EXPECT_LT(stats.kineticEnergy, 1e7);
+}
+
+TEST(NabBenchmark, WorkloadSetMatchesPaper)
+{
+    NabBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 11u); // Table II: 11 workloads
+    int alberta = 0;
+    for (const auto &wl : w)
+        alberta += wl.isAlberta();
+    EXPECT_GE(alberta, 7); // paper: seven distinct proteins
+}
+
+TEST(NabBenchmark, RunsDeterministically)
+{
+    NabBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("nab::nonbonded_forces"));
+    EXPECT_TRUE(a.coverage.count("nab::bonded_forces"));
+}
+
+} // namespace

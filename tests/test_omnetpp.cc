@@ -1,0 +1,164 @@
+/** @file Tests for the 520.omnetpp_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/omnetpp/benchmark.h"
+#include "benchmarks/omnetpp/sim.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::omnetpp;
+
+TEST(Topology, GeneratorsProduceExpectedShapes)
+{
+    EXPECT_EQ(makeLine(10).links.size(), 9u);
+    EXPECT_EQ(makeRing(10).links.size(), 10u);
+    EXPECT_EQ(makeStar(10).links.size(), 9u);
+    EXPECT_EQ(makeTree(15).links.size(), 14u);
+}
+
+TEST(Topology, GeneratorsAreConnected)
+{
+    EXPECT_TRUE(makeLine(12).connected());
+    EXPECT_TRUE(makeRing(12).connected());
+    EXPECT_TRUE(makeStar(12).connected());
+    EXPECT_TRUE(makeTree(12).connected());
+    support::Rng rng(4);
+    EXPECT_TRUE(makeRandom(10, 14, rng).connected());
+}
+
+TEST(Topology, RandomHasRequestedEdges)
+{
+    support::Rng rng(5);
+    const Topology t = makeRandom(10, 18, rng);
+    EXPECT_EQ(t.links.size(), 18u);
+    EXPECT_EQ(t.nodes, 10);
+}
+
+TEST(Topology, SerializeParseRoundTrip)
+{
+    support::Rng rng(6);
+    const Topology t = makeRandom(8, 12, rng);
+    const Topology parsed = Topology::parse(t.serialize());
+    EXPECT_EQ(parsed.nodes, t.nodes);
+    ASSERT_EQ(parsed.links.size(), t.links.size());
+    for (std::size_t i = 0; i < t.links.size(); ++i) {
+        EXPECT_EQ(parsed.links[i].a, t.links[i].a);
+        EXPECT_EQ(parsed.links[i].b, t.links[i].b);
+        EXPECT_NEAR(parsed.links[i].delayUs, t.links[i].delayUs, 1e-6);
+    }
+}
+
+TEST(Topology, ParseRejectsGarbage)
+{
+    EXPECT_THROW(Topology::parse("nonsense 1 2\n"),
+                 support::FatalError);
+    EXPECT_THROW(Topology::parse("network x\nnodes 2\nlink 0 5 1 1\n"),
+                 support::FatalError);
+    EXPECT_THROW(Topology::parse(""), support::FatalError);
+}
+
+TEST(Simulator, RoutesFollowShortestPaths)
+{
+    const Topology line = makeLine(5);
+    Simulator sim(line, SimConfig{});
+    EXPECT_EQ(sim.nextHop(0, 4), 1);
+    EXPECT_EQ(sim.nextHop(4, 0), 3);
+    EXPECT_EQ(sim.nextHop(2, 2), -1);
+}
+
+TEST(Simulator, StarRoutesThroughHub)
+{
+    const Topology star = makeStar(6);
+    Simulator sim(star, SimConfig{});
+    EXPECT_EQ(sim.nextHop(3, 5), 0);
+    EXPECT_EQ(sim.nextHop(0, 5), 5);
+}
+
+TEST(Simulator, DeliversPackets)
+{
+    const Topology ring = makeRing(8);
+    SimConfig cfg;
+    cfg.simTimeUs = 5000;
+    cfg.seed = 11;
+    Simulator sim(ring, cfg);
+    runtime::ExecutionContext ctx;
+    const SimStats stats = sim.run(ctx);
+    EXPECT_GT(stats.eventsProcessed, 100u);
+    EXPECT_GT(stats.packetsDelivered, 0u);
+    EXPECT_GT(stats.meanLatencyUs(), 0.0);
+    // Conservation: everything sent is delivered, dropped, or in
+    // flight at the horizon.
+    EXPECT_GE(stats.packetsSent,
+              stats.packetsDelivered + stats.packetsDropped);
+}
+
+TEST(Simulator, CongestionCausesDrops)
+{
+    const Topology star = makeStar(12);
+    SimConfig busy;
+    busy.simTimeUs = 20000;
+    busy.meanInterarrivalUs = 4.0; // hammer the hub
+    busy.queueLimit = 8;
+    busy.seed = 12;
+    Simulator sim(star, busy);
+    runtime::ExecutionContext ctx;
+    const SimStats stats = sim.run(ctx);
+    EXPECT_GT(stats.packetsDropped, 0u);
+}
+
+TEST(Simulator, LongerHorizonProcessesMoreEvents)
+{
+    const Topology tree = makeTree(15);
+    SimConfig shortCfg, longCfg;
+    shortCfg.simTimeUs = 2000;
+    longCfg.simTimeUs = 20000;
+    runtime::ExecutionContext ctx;
+    Simulator a(tree, shortCfg), b(tree, longCfg);
+    EXPECT_GT(b.run(ctx).eventsProcessed * 1.0,
+              a.run(ctx).eventsProcessed * 5.0);
+}
+
+TEST(Simulator, DisconnectedTopologyIsFatal)
+{
+    Topology t;
+    t.name = "broken";
+    t.nodes = 4;
+    t.links.push_back({0, 1, 1.0, 100.0});
+    EXPECT_THROW(Simulator(t, SimConfig{}), support::FatalError);
+}
+
+TEST(OmnetppBenchmark, WorkloadSetMatchesPaper)
+{
+    OmnetppBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 10u); // Table II: 10 workloads
+    int alberta = 0;
+    for (const auto &wl : w)
+        alberta += wl.isAlberta();
+    EXPECT_EQ(alberta, 7); // line, ring, star, tree, random x3
+}
+
+TEST(OmnetppBenchmark, TrainAndRefShareTopology)
+{
+    OmnetppBenchmark bm;
+    const auto ref = runtime::findWorkload(bm, "refrate");
+    const auto train = runtime::findWorkload(bm, "train");
+    EXPECT_EQ(ref.file("network.ned"), train.file("network.ned"));
+    EXPECT_GT(ref.params.getDouble("sim_time_us"),
+              train.params.getDouble("sim_time_us"));
+}
+
+TEST(OmnetppBenchmark, RunsDeterministically)
+{
+    OmnetppBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("omnetpp::handle_event"));
+    EXPECT_TRUE(a.coverage.count("omnetpp::route"));
+}
+
+} // namespace

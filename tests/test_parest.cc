@@ -1,0 +1,146 @@
+/** @file Tests for the 510.parest_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/parest/benchmark.h"
+#include "benchmarks/parest/solver.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::parest;
+
+CsrMatrix
+identity3()
+{
+    CsrMatrix m;
+    m.rows = 3;
+    m.rowStart = {0, 1, 2, 3};
+    m.column = {0, 1, 2};
+    m.value = {1.0, 1.0, 1.0};
+    return m;
+}
+
+TEST(Csr, MultiplyMatchesDense)
+{
+    // [2 1 0; 1 3 0; 0 0 4] * [1 2 3]
+    CsrMatrix m;
+    m.rows = 3;
+    m.rowStart = {0, 2, 4, 5};
+    m.column = {0, 1, 0, 1, 2};
+    m.value = {2, 1, 1, 3, 4};
+    runtime::ExecutionContext ctx;
+    std::vector<double> y;
+    m.multiply({1, 2, 3}, y, ctx);
+    EXPECT_DOUBLE_EQ(y[0], 4.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+    EXPECT_DOUBLE_EQ(y[2], 12.0);
+}
+
+TEST(Cg, SolvesIdentityInstantly)
+{
+    runtime::ExecutionContext ctx;
+    std::vector<double> x;
+    const CgResult r = conjugateGradient(identity3(), {1, 2, 3}, x,
+                                         1e-12, 10, ctx);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 1.0, 1e-10);
+    EXPECT_NEAR(x[2], 3.0, 1e-10);
+}
+
+TEST(Cg, SolvesAssembledPoissonSystem)
+{
+    runtime::ExecutionContext ctx;
+    const int n = 12;
+    const CsrMatrix a = assemble(n, 1, {1.0}, ctx);
+    std::vector<double> rhs(n * n, 1.0), x;
+    const CgResult r =
+        conjugateGradient(a, rhs, x, 1e-10, 1000, ctx);
+    ASSERT_TRUE(r.converged);
+    // Verify the residual directly.
+    std::vector<double> ax;
+    a.multiply(x, ax, ctx);
+    double err = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i)
+        err = std::max(err, std::abs(ax[i] - rhs[i]));
+    EXPECT_LT(err, 1e-7);
+    // The Poisson solution with positive rhs is positive, max in the
+    // interior.
+    for (const double v : x)
+        EXPECT_GT(v, 0.0);
+}
+
+TEST(Assemble, HigherCoefficientsReduceSolution)
+{
+    runtime::ExecutionContext ctx;
+    const int n = 10;
+    std::vector<double> x1, x2, rhs(n * n, 1.0);
+    conjugateGradient(assemble(n, 1, {1.0}, ctx), rhs, x1, 1e-10,
+                      1000, ctx);
+    conjugateGradient(assemble(n, 1, {4.0}, ctx), rhs, x2, 1e-10,
+                      1000, ctx);
+    // Four-fold conductivity scales the solution down four-fold.
+    EXPECT_NEAR(x2[n * n / 2] * 4.0, x1[n * n / 2], 1e-6);
+}
+
+TEST(Assemble, RejectsBadCoefficients)
+{
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(assemble(8, 2, {1.0}, ctx), support::FatalError);
+    EXPECT_THROW(assemble(8, 1, {0.0}, ctx), support::FatalError);
+}
+
+TEST(Problem, SerializeParseRoundTrip)
+{
+    runtime::ExecutionContext ctx;
+    const EstimationProblem p = makeProblem(8, 2, 5, ctx);
+    const EstimationProblem parsed =
+        EstimationProblem::parse(p.serialize());
+    EXPECT_EQ(parsed.n, 8);
+    EXPECT_EQ(parsed.subdomains, 2);
+    ASSERT_EQ(parsed.measurements.size(), p.measurements.size());
+    EXPECT_NEAR(parsed.measurements[10], p.measurements[10], 1e-12);
+}
+
+TEST(Estimate, RecoversCoefficients)
+{
+    runtime::ExecutionContext ctx;
+    EstimationProblem p = makeProblem(12, 2, 7, ctx);
+    p.descentIterations = 8;
+    const EstimationResult r = estimate(p, ctx);
+    EXPECT_GT(r.forwardSolves, 5);
+    // Coordinate descent should land near the truth.
+    EXPECT_LT(r.coefficientError, 0.35);
+}
+
+TEST(Estimate, MoreDescentReducesMisfit)
+{
+    runtime::ExecutionContext ctx;
+    EstimationProblem p = makeProblem(10, 2, 9, ctx);
+    EstimationProblem shallow = p, deep = p;
+    shallow.descentIterations = 1;
+    deep.descentIterations = 8;
+    EXPECT_LE(estimate(deep, ctx).misfit,
+              estimate(shallow, ctx).misfit);
+}
+
+TEST(ParestBenchmark, WorkloadSetMatchesPaper)
+{
+    ParestBenchmark bm;
+    EXPECT_EQ(bm.workloads().size(), 8u); // Table II: 8 workloads
+}
+
+TEST(ParestBenchmark, RunsDeterministically)
+{
+    ParestBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("parest::cg_solve"));
+    EXPECT_TRUE(a.coverage.count("parest::assemble"));
+}
+
+} // namespace

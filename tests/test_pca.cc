@@ -1,0 +1,128 @@
+/** @file Tests for the PCA similarity substrate. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/pca.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::stats;
+
+TEST(Standardize, ZeroMeanUnitVariance)
+{
+    const Matrix data = {{1, 10}, {2, 20}, {3, 30}, {4, 40}};
+    const Matrix z = standardize(data);
+    for (std::size_t d = 0; d < 2; ++d) {
+        double mean = 0, var = 0;
+        for (const auto &row : z)
+            mean += row[d];
+        mean /= z.size();
+        for (const auto &row : z)
+            var += (row[d] - mean) * (row[d] - mean);
+        var /= z.size();
+        EXPECT_NEAR(mean, 0.0, 1e-12);
+        EXPECT_NEAR(var, 1.0, 1e-12);
+    }
+}
+
+TEST(Standardize, ConstantColumnBecomesZero)
+{
+    const Matrix data = {{5, 1}, {5, 2}, {5, 3}};
+    const Matrix z = standardize(data);
+    for (const auto &row : z)
+        EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(Standardize, RejectsRaggedOrEmpty)
+{
+    EXPECT_THROW(standardize({}), support::FatalError);
+    EXPECT_THROW(standardize({{1, 2}, {3}}), support::FatalError);
+}
+
+TEST(Pca, FindsDominantDirectionOfAnisotropicCloud)
+{
+    // Points along y = 2x with small noise: PC1 ~ (1,2)/sqrt(5).
+    support::Rng rng(9);
+    Matrix data;
+    for (int i = 0; i < 200; ++i) {
+        const double t = rng.real(-1.0, 1.0);
+        data.push_back(
+            {t + 0.01 * rng.gaussian(), 2 * t + 0.01 * rng.gaussian()});
+    }
+    const PcaResult pca = principalComponents(data, 1);
+    const auto &pc1 = pca.components[0];
+    const double expected0 = 1.0 / std::sqrt(5.0);
+    const double expected1 = 2.0 / std::sqrt(5.0);
+    // Sign of the eigenvector is arbitrary.
+    const double sign = pc1[0] > 0 ? 1.0 : -1.0;
+    EXPECT_NEAR(sign * pc1[0], expected0, 0.02);
+    EXPECT_NEAR(sign * pc1[1], expected1, 0.02);
+    EXPECT_GT(pca.varianceExplained, 0.99);
+}
+
+TEST(Pca, ComponentsAreOrthonormal)
+{
+    support::Rng rng(11);
+    Matrix data;
+    for (int i = 0; i < 60; ++i)
+        data.push_back({rng.gaussian(), rng.gaussian() * 2,
+                        rng.gaussian() * 0.5, rng.gaussian()});
+    const PcaResult pca = principalComponents(data, 3);
+    for (std::size_t a = 0; a < 3; ++a) {
+        double norm = 0.0;
+        for (const double x : pca.components[a])
+            norm += x * x;
+        EXPECT_NEAR(norm, 1.0, 1e-6);
+        for (std::size_t b = a + 1; b < 3; ++b) {
+            double dot = 0.0;
+            for (std::size_t d = 0; d < 4; ++d)
+                dot += pca.components[a][d] * pca.components[b][d];
+            EXPECT_NEAR(dot, 0.0, 1e-4);
+        }
+    }
+}
+
+TEST(Pca, EigenvaluesDecrease)
+{
+    support::Rng rng(13);
+    Matrix data;
+    for (int i = 0; i < 80; ++i)
+        data.push_back({rng.gaussian() * 3, rng.gaussian() * 2,
+                        rng.gaussian()});
+    const PcaResult pca = principalComponents(data, 3);
+    EXPECT_GE(pca.eigenvalues[0], pca.eigenvalues[1] - 1e-9);
+    EXPECT_GE(pca.eigenvalues[1], pca.eigenvalues[2] - 1e-9);
+    EXPECT_NEAR(pca.varianceExplained, 1.0, 1e-6);
+}
+
+TEST(Pca, ProjectionsSeparateDistinctGroups)
+{
+    // Two groups far apart project to distinct PC1 coordinates.
+    Matrix data;
+    for (int i = 0; i < 10; ++i) {
+        data.push_back({0.0 + 0.01 * i, 0.0});
+        data.push_back({10.0 + 0.01 * i, 1.0});
+    }
+    const PcaResult pca = principalComponents(data, 1);
+    // Pairwise distance within a group is tiny vs across groups.
+    const double within =
+        pcaDistance(pca.projections[0], pca.projections[2]);
+    const double across =
+        pcaDistance(pca.projections[0], pca.projections[1]);
+    EXPECT_LT(within * 20, across);
+}
+
+TEST(Pca, InvalidComponentCountIsFatal)
+{
+    const Matrix data = {{1, 2}, {3, 4}};
+    EXPECT_THROW(principalComponents(data, 0),
+                 support::FatalError);
+    EXPECT_THROW(principalComponents(data, 3),
+                 support::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/** @file Tests for interval recording and phase analysis. */
+#include <gtest/gtest.h>
+
+#include "core/phases.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::core;
+
+TEST(MachineIntervals, RecordsEqualSizedDeltas)
+{
+    topdown::Machine machine;
+    machine.recordIntervals(1000);
+    machine.setMethod(1, 512);
+    for (int i = 0; i < 10; ++i)
+        machine.ops(topdown::OpKind::IntAlu, 500);
+    ASSERT_EQ(machine.intervals().size(), 5u);
+    for (const auto &slots : machine.intervals())
+        EXPECT_NEAR(slots.retiring, 1000.0, 1.0);
+}
+
+TEST(MachineIntervals, DeltasSumToTotals)
+{
+    topdown::Machine machine;
+    machine.recordIntervals(2000);
+    machine.setMethod(1, 2048);
+    support::Rng rng(4);
+    for (int i = 0; i < 9000; ++i) {
+        machine.branch(1, rng() & 1);
+        machine.load(rng() % (1 << 20));
+    }
+    topdown::SlotCounts sum;
+    for (const auto &slots : machine.intervals())
+        sum += slots;
+    const auto totals = machine.totals();
+    // Completed intervals cover all but the trailing partial one.
+    EXPECT_LE(sum.total(), totals.total());
+    EXPECT_GT(sum.total(), totals.total() * 0.7);
+}
+
+TEST(MachineIntervals, PhasedWorkloadShowsDistinctIntervals)
+{
+    topdown::Machine machine;
+    machine.recordIntervals(5000);
+    machine.setMethod(1, 512);
+    // Phase 1: clean ALU. Phase 2: cache-hostile loads.
+    machine.ops(topdown::OpKind::IntAlu, 15000);
+    support::Rng rng(5);
+    for (int i = 0; i < 15000; ++i)
+        machine.load((rng() % (1 << 24)) & ~63ULL);
+    const auto &iv = machine.intervals();
+    ASSERT_GE(iv.size(), 4u);
+    const double firstBackend =
+        iv.front().backend / iv.front().total();
+    const double lastBackend = iv.back().backend / iv.back().total();
+    EXPECT_GT(lastBackend, firstBackend * 2);
+}
+
+TEST(MachineIntervals, EnablingMidRunIsFatal)
+{
+    topdown::Machine machine;
+    machine.setMethod(1, 512);
+    machine.ops(topdown::OpKind::IntAlu, 10);
+    EXPECT_THROW(machine.recordIntervals(100),
+                 support::FatalError);
+}
+
+TEST(MachineIntervals, ResetClearsIntervals)
+{
+    topdown::Machine machine;
+    machine.recordIntervals(100);
+    machine.setMethod(1, 512);
+    machine.ops(topdown::OpKind::IntAlu, 500);
+    EXPECT_FALSE(machine.intervals().empty());
+    machine.reset();
+    EXPECT_TRUE(machine.intervals().empty());
+}
+
+TEST(PhaseAnalysis, KernelApproximatesOwnRun)
+{
+    const auto bm = makeBenchmark("557.xz_r");
+    const auto w = runtime::findWorkload(*bm, "train");
+    const PhaseAnalysis analysis = analyzePhases(*bm, w, 10);
+    EXPECT_GE(analysis.intervalRatios.size(), 5u);
+    EXPECT_LT(analysis.representative,
+              analysis.intervalRatios.size());
+    // A medoid interval of the same run should sit close to the
+    // whole-run behaviour (L1 over 4 fractions; max possible 2.0).
+    EXPECT_LT(analysis.selfError, 0.5);
+}
+
+TEST(PhaseAnalysis, BehaviourDistanceIsAMetricOnExamples)
+{
+    stats::TopdownRatios a{0.2, 0.5, 0.1, 0.2};
+    stats::TopdownRatios b{0.1, 0.6, 0.1, 0.2};
+    EXPECT_DOUBLE_EQ(behaviourDistance(a, a), 0.0);
+    EXPECT_NEAR(behaviourDistance(a, b), 0.2, 1e-12);
+    EXPECT_DOUBLE_EQ(behaviourDistance(a, b),
+                     behaviourDistance(b, a));
+}
+
+TEST(PhaseAnalysis, TooFewIntervalsIsFatal)
+{
+    const auto bm = makeBenchmark("557.xz_r");
+    const auto w = runtime::findWorkload(*bm, "test");
+    EXPECT_THROW(analyzePhases(*bm, w, 1), support::FatalError);
+}
+
+} // namespace

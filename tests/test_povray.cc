@@ -1,0 +1,169 @@
+/** @file Tests for the 511.povray_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/povray/benchmark.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::povray;
+
+TEST(Vec3, BasicAlgebra)
+{
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_DOUBLE_EQ((a + b).y, 7.0);
+    EXPECT_DOUBLE_EQ((b - a).z, 3.0);
+    EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+    const Vec3 c = a.cross(b);
+    EXPECT_DOUBLE_EQ(c.x, -3.0);
+    EXPECT_DOUBLE_EQ(c.y, 6.0);
+    EXPECT_DOUBLE_EQ(c.z, -3.0);
+    EXPECT_NEAR((Vec3{3, 4, 0}.length()), 5.0, 1e-12);
+    EXPECT_NEAR((Vec3{0, 0, 9}.normalized().z), 1.0, 1e-12);
+}
+
+TEST(Scene, SerializeParseRoundTrip)
+{
+    const Scene scene = makeCollectionScene(3, 8);
+    const Scene parsed = Scene::parse(scene.serialize());
+    EXPECT_EQ(parsed.shapes.size(), scene.shapes.size());
+    EXPECT_EQ(parsed.lights.size(), scene.lights.size());
+    EXPECT_NEAR(parsed.camera.position.z, scene.camera.position.z,
+                1e-9);
+}
+
+TEST(Scene, ParseRejectsGarbage)
+{
+    EXPECT_THROW(Scene::parse("bogus 1 2 3"), support::FatalError);
+    EXPECT_THROW(Scene::parse("render 32 32 4 1\n"),
+                 support::FatalError); // no camera / objects
+}
+
+TEST(Render, ProducesNonTrivialImage)
+{
+    Scene scene = makeLumpyScene(5, 3);
+    scene.width = 24;
+    scene.height = 18;
+    runtime::ExecutionContext ctx;
+    RenderStats stats;
+    const auto image = render(scene, ctx, &stats);
+    ASSERT_EQ(image.size(), 24u * 18u);
+    double lo = 1e9, hi = -1e9;
+    for (const double v : image) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_LT(lo, hi); // contrast exists
+    EXPECT_GT(stats.primaryRays, 0u);
+    EXPECT_GT(stats.shadowRays, 0u);
+}
+
+TEST(Render, DeterministicImages)
+{
+    Scene scene = makePrimitiveScene(6, true, 0.2);
+    scene.width = 16;
+    scene.height = 12;
+    runtime::ExecutionContext ctx;
+    const auto a = render(scene, ctx);
+    const auto b = render(scene, ctx);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Render, ReflectiveSceneCastsReflectionRays)
+{
+    Scene scene = makePrimitiveScene(7, false, 0.0);
+    scene.width = 24;
+    scene.height = 18;
+    runtime::ExecutionContext ctx;
+    RenderStats stats;
+    render(scene, ctx, &stats);
+    EXPECT_GT(stats.reflectionRays, 0u);
+    EXPECT_EQ(stats.refractionRays, 0u);
+}
+
+TEST(Render, RefractiveSceneCastsRefractionRays)
+{
+    Scene scene = makePrimitiveScene(8, true, 0.0);
+    scene.width = 24;
+    scene.height = 18;
+    runtime::ExecutionContext ctx;
+    RenderStats stats;
+    render(scene, ctx, &stats);
+    EXPECT_GT(stats.refractionRays, 0u);
+}
+
+TEST(Render, DepthZeroStopsSecondaryRays)
+{
+    Scene scene = makePrimitiveScene(9, true, 0.0);
+    scene.width = 16;
+    scene.height = 12;
+    scene.maxDepth = 0;
+    runtime::ExecutionContext ctx;
+    RenderStats stats;
+    render(scene, ctx, &stats);
+    EXPECT_EQ(stats.reflectionRays + stats.refractionRays, 0u);
+}
+
+TEST(Render, ShadowsDarkenOccludedGround)
+{
+    // A sphere directly between the light and a ground point.
+    Scene scene;
+    Shape plane;
+    plane.kind = ShapeKind::Plane;
+    plane.radius = 0.0;
+    plane.material.shade = 0.9;
+    scene.shapes.push_back(plane);
+    Shape ball;
+    ball.kind = ShapeKind::Sphere;
+    ball.center = {0, 1.5, 0};
+    ball.radius = 0.7;
+    scene.shapes.push_back(ball);
+    Light sun;
+    sun.position = {0, 8, 0};
+    sun.intensity = 1.2;
+    scene.lights.push_back(sun);
+    scene.camera.position = {0, 3, -6};
+    scene.camera.lookAt = {0, 0, 0};
+    scene.width = 48;
+    scene.height = 36;
+    runtime::ExecutionContext ctx;
+    const auto image = render(scene, ctx);
+    // The shadowed center column must be darker than the edges.
+    const auto at = [&](int x, int y) {
+        return image[y * 48 + x];
+    };
+    // The image center looks at the shadowed ground origin; the left
+    // edge of the same row sees lit ground.
+    EXPECT_LT(at(24, 18), at(4, 18));
+}
+
+TEST(PovrayBenchmark, WorkloadSetMatchesPaper)
+{
+    PovrayBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 10u); // Table II: 10 workloads
+    int collection = 0, lumpy = 0, primitive = 0;
+    for (const auto &wl : w) {
+        collection += wl.name.find("collection") != std::string::npos;
+        lumpy += wl.name.find("lumpy") != std::string::npos;
+        primitive += wl.name.find("primitive") != std::string::npos;
+    }
+    EXPECT_GE(collection, 2); // the three families of Section IV-B
+    EXPECT_GE(lumpy, 1);
+    EXPECT_GE(primitive, 3);
+}
+
+TEST(PovrayBenchmark, RunsDeterministically)
+{
+    PovrayBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("povray::trace_ray"));
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/** @file Tests for the method-coverage profiler. */
+#include <gtest/gtest.h>
+
+#include "profile/coverage.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::profile;
+
+TEST(MethodRegistry, InternIsStable)
+{
+    MethodRegistry reg;
+    const auto a = reg.intern("foo", 512);
+    const auto b = reg.intern("bar");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.intern("foo", 9999), a); // re-intern keeps first size
+    EXPECT_EQ(reg.codeBytes(a), 512u);
+    EXPECT_EQ(reg.name(b), "bar");
+    EXPECT_EQ(reg.name(0), "<unattributed>");
+}
+
+TEST(MethodRegistry, OutOfRangeIdPanics)
+{
+    MethodRegistry reg;
+    EXPECT_THROW(reg.name(99), support::PanicError);
+}
+
+struct ProfilerFixture : ::testing::Test
+{
+    topdown::Machine machine;
+    MethodRegistry registry;
+    CoverageProfiler profiler{machine};
+
+    void
+    SetUp() override
+    {
+        profiler.bindRegistry(registry);
+    }
+};
+
+TEST_F(ProfilerFixture, AttributesWorkToActiveScope)
+{
+    const auto idA = registry.intern("a");
+    const auto idB = registry.intern("b");
+    {
+        MethodScope s(profiler, idA);
+        machine.ops(topdown::OpKind::IntAlu, 200000);
+    }
+    {
+        MethodScope s(profiler, idB);
+        machine.ops(topdown::OpKind::IntAlu, 600000);
+    }
+    const auto cov = profiler.coverage(registry);
+    ASSERT_TRUE(cov.count("a"));
+    ASSERT_TRUE(cov.count("b"));
+    // Cold instruction-cache fills add a small constant per method, so
+    // the ratio approaches 3 without hitting it exactly.
+    EXPECT_NEAR(cov.at("b") / cov.at("a"), 3.0, 0.2);
+}
+
+TEST_F(ProfilerFixture, NestedScopesSelfTime)
+{
+    const auto outer = registry.intern("outer");
+    const auto inner = registry.intern("inner");
+    {
+        MethodScope so(profiler, outer);
+        machine.ops(topdown::OpKind::IntAlu, 400000);
+        {
+            MethodScope si(profiler, inner);
+            machine.ops(topdown::OpKind::IntAlu, 400000);
+        }
+        machine.ops(topdown::OpKind::IntAlu, 400000);
+    }
+    const auto cov = profiler.coverage(registry);
+    // Callee slots go to the callee only (self-time semantics).
+    EXPECT_NEAR(cov.at("outer") / cov.at("inner"), 2.0, 0.1);
+}
+
+TEST_F(ProfilerFixture, CoverageSumsToOne)
+{
+    for (int i = 0; i < 5; ++i) {
+        MethodScope s(profiler,
+                      registry.intern("m" + std::to_string(i)));
+        machine.ops(topdown::OpKind::IntAlu, 100 * (i + 1));
+    }
+    double sum = 0.0;
+    for (const auto &[name, frac] : profiler.coverage(registry))
+        sum += frac;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(ProfilerFixture, EmptyRunYieldsEmptyCoverage)
+{
+    EXPECT_TRUE(profiler.coverage(registry).empty());
+}
+
+TEST_F(ProfilerFixture, PopUnderflowPanics)
+{
+    EXPECT_THROW(profiler.pop(), support::PanicError);
+}
+
+TEST(Profiler, UnboundRegistryPanicsOnPush)
+{
+    topdown::Machine machine;
+    CoverageProfiler profiler(machine);
+    EXPECT_THROW(profiler.push(1), support::PanicError);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+/** @file Tests for the per-benchmark report renderer. */
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::core;
+
+Characterization
+characterizeMcf()
+{
+    static const Characterization cached = [] {
+        const auto bm = makeBenchmark("505.mcf_r");
+        CharacterizeOptions options;
+        options.refrateRepetitions = 2;
+        return characterize(*bm, options);
+    }();
+    return cached;
+}
+
+TEST(Report, ContainsAllSections)
+{
+    const std::string report = renderReport(characterizeMcf());
+    EXPECT_NE(report.find("# 505.mcf_r"), std::string::npos);
+    EXPECT_NE(report.find("## Per-workload top-down fractions"),
+              std::string::npos);
+    EXPECT_NE(report.find("## Method coverage"), std::string::npos);
+    EXPECT_NE(report.find("## Section V summaries"),
+              std::string::npos);
+    EXPECT_NE(report.find("mu_g(V)"), std::string::npos);
+    EXPECT_NE(report.find("mu_g(M)"), std::string::npos);
+}
+
+TEST(Report, ListsEveryWorkloadRow)
+{
+    const Characterization c = characterizeMcf();
+    const std::string report = renderReport(c);
+    for (const auto &name : c.workloadNames)
+        EXPECT_NE(report.find("| " + name + " |"),
+                  std::string::npos)
+            << name;
+}
+
+TEST(Report, ListsCoverageMethods)
+{
+    const Characterization c = characterizeMcf();
+    const std::string report = renderReport(c);
+    for (const auto &method : c.coverage.methods)
+        EXPECT_NE(report.find(method), std::string::npos) << method;
+}
+
+TEST(Report, FlagsSmallMeanPathology)
+{
+    // lbm has the near-zero bad-speculation mean; its report must
+    // carry the Section V-B caveat. mcf's must not.
+    const auto lbm = makeBenchmark("519.lbm_r");
+    CharacterizeOptions options;
+    options.refrateRepetitions = 1;
+    const std::string lbmReport =
+        renderReport(characterize(*lbm, options));
+    EXPECT_NE(lbmReport.find("Caveat"), std::string::npos);
+
+    const std::string mcfReport = renderReport(characterizeMcf());
+    EXPECT_EQ(mcfReport.find("Caveat"), std::string::npos);
+}
+
+TEST(Report, RecordsRefrateRuns)
+{
+    const std::string report = renderReport(characterizeMcf());
+    EXPECT_NE(report.find("mean of 2 runs"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+/** @file Tests for the paper's summarization methodology (Eqs. 1-5). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta::stats;
+
+TEST(Descriptive, MeanAndStddev)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Descriptive, MeanOfEmptyIsFatal)
+{
+    EXPECT_THROW(mean({}), alberta::support::FatalError);
+}
+
+TEST(GeometricMean, HandComputed)
+{
+    const std::vector<double> v = {2.0, 8.0};
+    EXPECT_NEAR(geometricMean(v), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive)
+{
+    EXPECT_THROW(geometricMean(std::vector<double>{1.0, 0.0}),
+                 alberta::support::FatalError);
+    EXPECT_THROW(geometricMean(std::vector<double>{-1.0}),
+                 alberta::support::FatalError);
+}
+
+TEST(GeometricStddev, ConstantSeriesIsOne)
+{
+    const std::vector<double> v = {3.0, 3.0, 3.0, 3.0};
+    EXPECT_NEAR(geometricStddev(v), 1.0, 1e-12);
+}
+
+TEST(GeometricStddev, HandComputed)
+{
+    // Eq. 2 on {e, 1/e}: mu_g = 1, deviations ln(e)=1 and ln(1/e)=-1,
+    // mean square = 1, sigma_g = e.
+    const std::vector<double> v = {std::exp(1.0), std::exp(-1.0)};
+    EXPECT_NEAR(geometricStddev(v), std::exp(1.0), 1e-12);
+}
+
+TEST(GeometricStddev, IsScaleInvariant)
+{
+    const std::vector<double> v = {1.0, 2.0, 5.0};
+    std::vector<double> scaled;
+    for (double x : v)
+        scaled.push_back(x * 37.0);
+    EXPECT_NEAR(geometricStddev(v), geometricStddev(scaled), 1e-12);
+}
+
+TEST(Summarize, VariationOfConstantSeries)
+{
+    // Eq. 3: V = sigma_g / mu_g = 1 / value for a constant series.
+    const std::vector<double> v = {0.25, 0.25, 0.25};
+    const GeoSummary s = summarize(v);
+    EXPECT_NEAR(s.mean, 0.25, 1e-12);
+    EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+    EXPECT_NEAR(s.variation, 4.0, 1e-12);
+}
+
+/**
+ * Eq. 4 consistency with the paper's Table II: the 502.gcc_r row reports
+ * mu_g = {23.4%, 33.6%, 11.9%, 29.5%}, sigma_g = {1.2, 1.2, 1.2, 1.1},
+ * and mu_g(V) = 5.1, which is exactly the geometric mean of
+ * sigma_g / mu_g with ratios taken as fractions.
+ */
+TEST(TopdownSummary, MatchesPaperGccRowArithmetic)
+{
+    const double v[4] = {1.2 / 0.234, 1.2 / 0.336, 1.2 / 0.119,
+                         1.1 / 0.295};
+    const double muGV =
+        std::pow(v[0] * v[1] * v[2] * v[3], 0.25);
+    EXPECT_NEAR(muGV, 5.1, 0.05);
+}
+
+TEST(TopdownSummary, UniformWorkloadsGiveMinimalVariation)
+{
+    std::vector<TopdownRatios> w(5, TopdownRatios{0.2, 0.4, 0.1, 0.3});
+    const TopdownSummary s = summarizeTopdown(w);
+    EXPECT_NEAR(s.frontend.mean, 0.2, 1e-12);
+    EXPECT_NEAR(s.backend.mean, 0.4, 1e-12);
+    EXPECT_NEAR(s.badspec.mean, 0.1, 1e-12);
+    EXPECT_NEAR(s.retiring.mean, 0.3, 1e-12);
+    // With sigma_g = 1 for all categories, mu_g(V) = geomean of 1/mu_g.
+    const double expected = std::pow(5.0 * 2.5 * 10.0 * (1 / 0.3), 0.25);
+    EXPECT_NEAR(s.muGV, expected, 1e-9);
+}
+
+TEST(TopdownSummary, MoreVariableWorkloadsScoreHigher)
+{
+    std::vector<TopdownRatios> stable = {
+        {0.20, 0.40, 0.10, 0.30},
+        {0.21, 0.39, 0.10, 0.30},
+        {0.19, 0.41, 0.10, 0.30},
+    };
+    std::vector<TopdownRatios> variable = {
+        {0.10, 0.60, 0.05, 0.25},
+        {0.30, 0.20, 0.20, 0.30},
+        {0.20, 0.40, 0.10, 0.30},
+    };
+    EXPECT_GT(summarizeTopdown(variable).muGV,
+              summarizeTopdown(stable).muGV);
+}
+
+/**
+ * The 519.lbm_r pathology from Section V-B: a category whose geometric
+ * mean is tiny (bad speculation ~0.4%) combined with high relative
+ * spread inflates mu_g(V) even when the other categories are stable.
+ */
+TEST(TopdownSummary, SmallMeanCategoryInflatesMuGV)
+{
+    std::vector<TopdownRatios> lbmLike = {
+        {0.02, 0.61, 0.002, 0.34},
+        {0.02, 0.61, 0.012, 0.34},
+        {0.02, 0.61, 0.001, 0.34},
+    };
+    std::vector<TopdownRatios> balanced = {
+        {0.02, 0.60, 0.10, 0.34},
+        {0.02, 0.62, 0.09, 0.33},
+        {0.02, 0.61, 0.11, 0.34},
+    };
+    EXPECT_GT(summarizeTopdown(lbmLike).muGV,
+              summarizeTopdown(balanced).muGV * 2.0);
+}
+
+TEST(TopdownSummary, ZeroRatiosAreFloored)
+{
+    std::vector<TopdownRatios> w = {
+        {0.2, 0.5, 0.0, 0.3},
+        {0.2, 0.5, 0.0, 0.3},
+    };
+    const TopdownSummary s = summarizeTopdown(w, 1e-4);
+    EXPECT_NEAR(s.badspec.mean, 1e-4, 1e-12);
+}
+
+TEST(CoverageSummary, SingleStableMethod)
+{
+    std::vector<CoverageMap> w(3);
+    for (auto &m : w)
+        m["solve"] = 1.0;
+    const CoverageSummary s = summarizeCoverage(w);
+    ASSERT_EQ(s.methods.size(), 1u);
+    EXPECT_EQ(s.methods[0], "solve");
+    // Constant series: sigma_g = 1, mu_g = 100.01 percent.
+    EXPECT_NEAR(s.perMethod[0].stddev, 1.0, 1e-12);
+    EXPECT_NEAR(s.muGM, 1.0 / 100.01, 1e-9);
+}
+
+TEST(CoverageSummary, GroupsTinyMethodsIntoOthers)
+{
+    std::vector<CoverageMap> w(2);
+    w[0]["hot"] = 0.999;
+    w[0]["tiny1"] = 0.0004; // < 0.05% in all workloads -> grouped
+    w[0]["tiny2"] = 0.0003;
+    w[1]["hot"] = 0.9990;
+    w[1]["tiny1"] = 0.0004;
+    w[1]["tiny2"] = 0.0004;
+    const CoverageSummary s = summarizeCoverage(w);
+    ASSERT_EQ(s.methods.size(), 2u);
+    EXPECT_EQ(s.methods[0], "hot");
+    EXPECT_EQ(s.methods[1], "others");
+    // The grouped bucket holds the sum of the tiny methods (in percent).
+    EXPECT_NEAR(s.matrix[0][1], 0.07 + 0.01, 1e-9);
+}
+
+TEST(CoverageSummary, MethodAboveThresholdInOneWorkloadIsKept)
+{
+    std::vector<CoverageMap> w(2);
+    w[0]["hot"] = 0.999;
+    w[0]["phase"] = 0.0001;
+    w[1]["hot"] = 0.899;
+    w[1]["phase"] = 0.1000; // significant here -> kept everywhere
+    const CoverageSummary s = summarizeCoverage(w);
+    EXPECT_NE(std::find(s.methods.begin(), s.methods.end(), "phase"),
+              s.methods.end());
+}
+
+TEST(CoverageSummary, ShiftingCoverageScoresHigherThanStable)
+{
+    std::vector<CoverageMap> stable(3), shifting(3);
+    for (int i = 0; i < 3; ++i) {
+        stable[i]["a"] = 0.5;
+        stable[i]["b"] = 0.5;
+    }
+    shifting[0]["a"] = 0.9;
+    shifting[0]["b"] = 0.1;
+    shifting[1]["a"] = 0.1;
+    shifting[1]["b"] = 0.9;
+    shifting[2]["a"] = 0.5;
+    shifting[2]["b"] = 0.5;
+    EXPECT_GT(summarizeCoverage(shifting).muGM,
+              summarizeCoverage(stable).muGM);
+}
+
+TEST(CoverageSummary, MissingMethodTreatedAsZero)
+{
+    std::vector<CoverageMap> w(2);
+    w[0]["a"] = 1.0;
+    w[1]["a"] = 0.5;
+    w[1]["b"] = 0.5;
+    const CoverageSummary s = summarizeCoverage(w);
+    ASSERT_EQ(s.methods.size(), 2u);
+    // "b" absent from workload 0 -> offset-only value 0.01 percent.
+    const auto bIdx =
+        std::find(s.methods.begin(), s.methods.end(), "b") -
+        s.methods.begin();
+    EXPECT_NEAR(s.matrix[0][bIdx], 0.01, 1e-12);
+}
+
+TEST(CoverageSummary, MethodsSortedByMeanCoverage)
+{
+    std::vector<CoverageMap> w(2);
+    w[0]["small"] = 0.2;
+    w[0]["big"] = 0.8;
+    w[1]["small"] = 0.3;
+    w[1]["big"] = 0.7;
+    const CoverageSummary s = summarizeCoverage(w);
+    ASSERT_EQ(s.methods.size(), 2u);
+    EXPECT_EQ(s.methods[0], "big");
+    EXPECT_EQ(s.methods[1], "small");
+}
+
+/** Property sweep: Eq. 1/2 invariants across sample shapes. */
+class GeoProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GeoProperty, MeanBetweenMinAndMax)
+{
+    const int n = GetParam();
+    std::vector<double> v;
+    double lo = 1e9, hi = 0.0;
+    for (int i = 1; i <= n; ++i) {
+        v.push_back(0.1 * i);
+        lo = std::min(lo, v.back());
+        hi = std::max(hi, v.back());
+    }
+    const double g = geometricMean(v);
+    EXPECT_GE(g, lo - 1e-12);
+    EXPECT_LE(g, hi + 1e-12);
+    // AM-GM inequality.
+    EXPECT_LE(g, mean(v) + 1e-12);
+}
+
+TEST_P(GeoProperty, StddevAtLeastOne)
+{
+    const int n = GetParam();
+    std::vector<double> v;
+    for (int i = 1; i <= n; ++i)
+        v.push_back(1.0 + (i % 3));
+    EXPECT_GE(geometricStddev(v), 1.0 - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeoProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 30));
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Cross-benchmark property suite: invariants every mini-benchmark
+ * must satisfy, enforced uniformly over all 16 programs via
+ * parameterized tests.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/suite.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+
+class SuiteProperty : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    std::unique_ptr<runtime::Benchmark>
+    benchmark() const
+    {
+        return core::makeBenchmark(GetParam());
+    }
+};
+
+TEST_P(SuiteProperty, WorkloadNamesAreUniqueAndComplete)
+{
+    const auto bm = benchmark();
+    std::set<std::string> names;
+    for (const auto &w : bm->workloads()) {
+        EXPECT_TRUE(names.insert(w.name).second)
+            << "duplicate workload " << w.name;
+        EXPECT_FALSE(w.files.empty() && w.params.entries().empty())
+            << w.name << " carries no inputs at all";
+    }
+    EXPECT_TRUE(names.count("refrate"));
+    EXPECT_TRUE(names.count("train"));
+    EXPECT_TRUE(names.count("test"));
+}
+
+TEST_P(SuiteProperty, WorkloadGenerationIsDeterministic)
+{
+    const auto bm = benchmark();
+    const auto a = bm->workloads();
+    const auto b = bm->workloads();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_EQ(a[i].files, b[i].files) << a[i].name;
+    }
+}
+
+TEST_P(SuiteProperty, TestWorkloadRunsReproducibly)
+{
+    const auto bm = benchmark();
+    const auto w = runtime::findWorkload(*bm, "test");
+    const auto first = runtime::runOnce(*bm, w);
+    const auto second = runtime::runOnce(*bm, w);
+    EXPECT_EQ(first.checksum, second.checksum);
+    EXPECT_EQ(first.retiredOps, second.retiredOps);
+    EXPECT_DOUBLE_EQ(first.topdown.retiring,
+                     second.topdown.retiring);
+    EXPECT_EQ(first.coverage, second.coverage);
+}
+
+TEST_P(SuiteProperty, TopdownFractionsAreNormalized)
+{
+    const auto bm = benchmark();
+    const auto m =
+        runtime::runOnce(*bm, runtime::findWorkload(*bm, "test"));
+    const auto &r = m.topdown;
+    EXPECT_NEAR(r.frontend + r.backend + r.badspec + r.retiring, 1.0,
+                1e-9);
+    for (const double v :
+         {r.frontend, r.backend, r.badspec, r.retiring}) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+    EXPECT_GT(m.retiredOps, 100u) << "suspiciously tiny run";
+}
+
+TEST_P(SuiteProperty, CoverageFractionsSumToOne)
+{
+    const auto bm = benchmark();
+    const auto m =
+        runtime::runOnce(*bm, runtime::findWorkload(*bm, "test"));
+    ASSERT_FALSE(m.coverage.empty());
+    double sum = 0.0;
+    for (const auto &[method, fraction] : m.coverage) {
+        EXPECT_GE(fraction, 0.0) << method;
+        EXPECT_LE(fraction, 1.0) << method;
+        sum += fraction;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(SuiteProperty, DifferentWorkloadsProduceDifferentOutputs)
+{
+    const auto bm = benchmark();
+    const auto a =
+        runtime::runOnce(*bm, runtime::findWorkload(*bm, "test"));
+    const auto b =
+        runtime::runOnce(*bm, runtime::findWorkload(*bm, "train"));
+    EXPECT_NE(a.checksum, b.checksum);
+}
+
+TEST_P(SuiteProperty, MissingArtifactIsFatal)
+{
+    const auto bm = benchmark();
+    runtime::Workload broken =
+        runtime::findWorkload(*bm, "test");
+    if (broken.files.empty())
+        GTEST_SKIP() << "benchmark takes no file artifacts";
+    broken.files.clear();
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(bm->run(broken, ctx), support::FatalError);
+}
+
+TEST_P(SuiteProperty, CorruptArtifactIsRejected)
+{
+    const auto bm = benchmark();
+    runtime::Workload broken =
+        runtime::findWorkload(*bm, "test");
+    if (broken.files.empty())
+        GTEST_SKIP() << "benchmark takes no file artifacts";
+    // Truncate every artifact to a junk prefix.
+    for (auto &[name, content] : broken.files)
+        content = "!corrupt";
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(bm->run(broken, ctx), std::exception);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteProperty,
+    ::testing::Values("502.gcc_r", "505.mcf_r", "507.cactuBSSN_r",
+                      "510.parest_r", "511.povray_r", "519.lbm_r",
+                      "520.omnetpp_r", "521.wrf_r",
+                      "523.xalancbmk_r", "525.x264_r",
+                      "526.blender_r", "531.deepsjeng_r",
+                      "541.leela_r", "544.nab_r", "548.exchange2_r",
+                      "557.xz_r"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &ch : name)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+} // namespace

@@ -1,0 +1,217 @@
+/** @file Unit and property tests for the support module. */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/text.h"
+
+namespace {
+
+using namespace alberta::support;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStreams)
+{
+    Rng parent(5);
+    Rng c1 = parent.fork(1);
+    Rng parent2(5);
+    parent2();
+    Rng c2 = parent2.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += c1() == c2();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Mix64, IsInjectiveOnSmallDomain)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        seen.insert(mix64(i));
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Check, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+    EXPECT_THROW(fatalIf(true, "x"), FatalError);
+    EXPECT_NO_THROW(fatalIf(false, "x"));
+}
+
+TEST(Check, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_THROW(panicIf(true, "bug"), PanicError);
+    EXPECT_NO_THROW(panicIf(false, "bug"));
+}
+
+TEST(Check, MessageIsStreamed)
+{
+    try {
+        fatal("value=", 3, " name=", "abc");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: value=3 name=abc");
+    }
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    Table t({"a", "bbbb"});
+    t.addRow({"xxxxx", "y"});
+    EXPECT_EQ(t.rows(), 1u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("a      bbbb"), std::string::npos);
+    EXPECT_NE(text.find("xxxxx  y"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, CsvQuotesSpecialCharacters)
+{
+    Table t({"name", "value"});
+    t.addRow({"has,comma", "has\"quote"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,value\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Text, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Text, SplitWhitespaceDropsEmpty)
+{
+    const auto parts = splitWhitespace("  a\t b\n\nc  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Text, JoinRoundTripsSplit)
+{
+    const std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(join(parts, ","), "x,y,z");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Text, TrimRemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  hi \t"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \n "), "");
+}
+
+TEST(Text, ParseIntAcceptsSignedValues)
+{
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt(" -7 "), -7);
+    EXPECT_THROW(parseInt("4x"), FatalError);
+    EXPECT_THROW(parseInt(""), FatalError);
+}
+
+TEST(Text, ParseDoubleAcceptsFloats)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-1e3"), -1000.0);
+    EXPECT_THROW(parseDouble("abc"), FatalError);
+}
+
+TEST(Text, StartsWith)
+{
+    EXPECT_TRUE(startsWith("alberta.city-1", "alberta."));
+    EXPECT_FALSE(startsWith("ref", "refrate"));
+}
+
+} // namespace

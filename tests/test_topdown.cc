@@ -1,0 +1,332 @@
+/** @file Tests for the top-down pipeline model substrate. */
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "topdown/branch.h"
+#include "topdown/cache.h"
+#include "topdown/machine.h"
+
+namespace {
+
+using namespace alberta::topdown;
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(63));  // same line
+    EXPECT_FALSE(c.access(64)); // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsOldestWay)
+{
+    // 2-way, 64B lines, 1024B -> 8 sets. Lines 0, 8, 16 map to set 0.
+    Cache c(1024, 2, 64);
+    c.access(0 << 6);
+    c.access(8 << 6);
+    c.access(0 << 6);      // refresh line 0
+    c.access(16 << 6);     // evicts line 8 (LRU)
+    EXPECT_TRUE(c.access(0 << 6));
+    EXPECT_FALSE(c.access(8 << 6));
+}
+
+TEST(Cache, WorkingSetLargerThanCapacityThrashes)
+{
+    Cache c(1024, 2, 64);
+    const int lines = 64; // 4 KiB working set in a 1 KiB cache
+    for (int pass = 0; pass < 3; ++pass)
+        for (int i = 0; i < lines; ++i)
+            c.access(static_cast<std::uint64_t>(i) << 6);
+    EXPECT_GT(static_cast<double>(c.misses()) / c.accesses(), 0.9);
+}
+
+TEST(Cache, SmallWorkingSetFitsAfterWarmup)
+{
+    Cache c(32 * 1024, 8, 64);
+    for (int pass = 0; pass < 10; ++pass)
+        for (int i = 0; i < 64; ++i)
+            c.access(static_cast<std::uint64_t>(i) << 6);
+    EXPECT_EQ(c.misses(), 64u);
+}
+
+TEST(Cache, ResetForgetsContents)
+{
+    Cache c(1024, 2, 64);
+    c.access(0);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache(1000, 2, 64), alberta::support::FatalError);
+}
+
+TEST(Hierarchy, MissLatencyGrowsWithDistance)
+{
+    MemoryHierarchy h;
+    const double first = h.data(0);
+    const double second = h.data(0);
+    EXPECT_GT(first, 0.0);   // cold miss reaches memory
+    EXPECT_EQ(second, 0.0);  // L1 hit
+}
+
+TEST(Hierarchy, L2HitCheaperThanMemory)
+{
+    MemoryHierarchy h;
+    const double cold = h.data(1 << 20);
+    // Evict from L1 (32 KiB, 8-way) but not from L2 by touching 64 KiB.
+    for (int i = 1; i <= 1024; ++i)
+        h.data((1 << 20) + static_cast<std::uint64_t>(i) * 64);
+    const double l2Hit = h.data(1 << 20);
+    EXPECT_GT(l2Hit, 0.0);
+    EXPECT_LT(l2Hit, cold);
+}
+
+TEST(Branch, LearnsStableDirection)
+{
+    BranchPredictor p;
+    for (int i = 0; i < 1000; ++i)
+        p.conditional(7, true);
+    EXPECT_LT(p.mispredicts(), 5u);
+}
+
+TEST(Branch, RandomDirectionMispredictsOften)
+{
+    BranchPredictor p;
+    std::uint64_t state = 123;
+    for (int i = 0; i < 4000; ++i)
+        p.conditional(7, alberta::support::splitmix64(state) & 1);
+    const double rate =
+        static_cast<double>(p.mispredicts()) / p.conditionals();
+    EXPECT_GT(rate, 0.3);
+}
+
+TEST(Branch, LearnsAlternatingPatternViaHistory)
+{
+    BranchPredictor p;
+    for (int i = 0; i < 4000; ++i)
+        p.conditional(9, i % 2 == 0);
+    const double rate =
+        static_cast<double>(p.mispredicts()) / p.conditionals();
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(Branch, HintsBypassDynamicPrediction)
+{
+    BranchHints hints;
+    hints.direction[42] = true;
+    BranchPredictor p;
+    p.setHints(&hints);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(p.conditional(42, true));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(p.conditional(42, false));
+    EXPECT_EQ(p.mispredicts(), 100u);
+}
+
+TEST(Branch, IndirectLearnsRepeatingTargetSequences)
+{
+    // A repeating dispatch pattern (like an interpreter loop) should
+    // become nearly perfectly predictable via target history.
+    BranchPredictor p;
+    const std::uint64_t pattern[4] = {100, 200, 100, 300};
+    for (int warm = 0; warm < 64; ++warm)
+        for (const auto target : pattern)
+            p.indirect(1, target);
+    const auto before = p.mispredicts();
+    for (int i = 0; i < 64; ++i)
+        for (const auto target : pattern)
+            p.indirect(1, target);
+    EXPECT_EQ(p.mispredicts(), before);
+}
+
+TEST(Branch, IndirectRandomTargetsMispredict)
+{
+    BranchPredictor p;
+    std::uint64_t state = 3;
+    int misses = 0;
+    const auto before = p.mispredicts();
+    for (int i = 0; i < 2000; ++i)
+        p.indirect(7, alberta::support::splitmix64(state) % 64);
+    misses = static_cast<int>(p.mispredicts() - before);
+    EXPECT_GT(misses, 1000);
+}
+
+TEST(Machine, RetiringDominatesCleanAluStream)
+{
+    Machine m;
+    m.setMethod(1, 256);
+    m.ops(OpKind::IntAlu, 100000);
+    const auto r = m.ratios();
+    EXPECT_GT(r.retiring, 0.7);
+    EXPECT_NEAR(r.frontend + r.backend + r.badspec + r.retiring, 1.0,
+                1e-9);
+}
+
+TEST(Machine, DivisionHeavyStreamIsBackendBound)
+{
+    Machine m;
+    m.setMethod(1, 256);
+    m.ops(OpKind::IntDiv, 100000);
+    const auto r = m.ratios();
+    EXPECT_GT(r.backend, 0.8);
+}
+
+TEST(Machine, RandomBranchesRaiseBadSpeculation)
+{
+    Machine clean, noisy;
+    clean.setMethod(1, 256);
+    noisy.setMethod(1, 256);
+    std::uint64_t state = 7;
+    for (int i = 0; i < 20000; ++i) {
+        clean.branch(1, true);
+        noisy.branch(1, alberta::support::splitmix64(state) & 1);
+        clean.ops(OpKind::IntAlu, 4);
+        noisy.ops(OpKind::IntAlu, 4);
+    }
+    EXPECT_GT(noisy.ratios().badspec, clean.ratios().badspec * 5.0);
+}
+
+TEST(Machine, BigWorkingSetRaisesBackendBound)
+{
+    Machine small, big;
+    small.setMethod(1, 256);
+    big.setMethod(1, 256);
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t i = 0; i < 20000; ++i) {
+            small.load((i % 128) * 64);
+            big.load((i * 97 % 1000000) * 64);
+        }
+    }
+    EXPECT_GT(big.ratios().backend, small.ratios().backend * 1.5);
+}
+
+TEST(Machine, LargeCodeFootprintRaisesFrontendBound)
+{
+    Machine smallCode, bigCode;
+    smallCode.setMethod(1, 512);
+    bigCode.setMethod(1, 512 * 1024);
+    smallCode.ops(OpKind::IntAlu, 400000);
+    bigCode.ops(OpKind::IntAlu, 400000);
+    EXPECT_GT(bigCode.ratios().frontend,
+              smallCode.ratios().frontend * 3.0);
+}
+
+TEST(Machine, PerMethodAttribution)
+{
+    Machine m;
+    m.setMethod(1, 256);
+    m.ops(OpKind::IntAlu, 1000);
+    m.setMethod(2, 256);
+    m.ops(OpKind::IntAlu, 3000);
+    const auto &pm = m.perMethod();
+    ASSERT_GE(pm.size(), 3u);
+    EXPECT_NEAR(pm[2].retiring / pm[1].retiring, 3.0, 1e-9);
+}
+
+TEST(Machine, ProfileCollectionCountsDirections)
+{
+    Machine m;
+    m.collectProfile(true);
+    m.setMethod(3, 256);
+    for (int i = 0; i < 10; ++i)
+        m.branch(5, i < 7);
+    const auto &profiles = m.siteProfiles();
+    // Stable site key: stable_key * golden + site (default key = id).
+    const auto it =
+        profiles.find(std::uint64_t(3) * 0x9e3779b97f4a7c15ULL + 5);
+    ASSERT_NE(it, profiles.end());
+    EXPECT_EQ(it->second.total, 10u);
+    EXPECT_EQ(it->second.taken, 7u);
+}
+
+TEST(Machine, LayoutScaleShrinksCodeFootprint)
+{
+    CodeLayout layout;
+    layout.scale[1] = 0.125;
+    Machine plain, optimized;
+    optimized.setLayout(&layout);
+    plain.setMethod(1, 64 * 1024);
+    optimized.setMethod(1, 64 * 1024);
+    plain.ops(OpKind::IntAlu, 200000);
+    optimized.ops(OpKind::IntAlu, 200000);
+    EXPECT_LT(optimized.ratios().frontend, plain.ratios().frontend);
+}
+
+TEST(Machine, ResetClearsEverything)
+{
+    Machine m;
+    m.setMethod(1, 256);
+    m.ops(OpKind::IntAlu, 100);
+    m.reset();
+    EXPECT_EQ(m.retiredOps(), 0u);
+    EXPECT_EQ(m.totals().total(), 0.0);
+}
+
+TEST(Machine, StreamTouchesEachLineOnce)
+{
+    Machine m;
+    m.setMethod(1, 256);
+    m.stream(OpKind::Load, 0, 1024, 8); // 8 KiB = 128 lines
+    EXPECT_EQ(m.hierarchy().l1d().accesses(), 128u);
+    EXPECT_EQ(m.retiredOps(), 1024u);
+}
+
+TEST(Machine, DeterministicAcrossInstances)
+{
+    auto run = [] {
+        Machine m;
+        m.setMethod(1, 2048);
+        std::uint64_t state = 99;
+        for (int i = 0; i < 50000; ++i) {
+            const auto r = alberta::support::splitmix64(state);
+            m.branch(1, r & 1);
+            m.load((r >> 1) % (1 << 22));
+            m.ops(OpKind::IntAlu, 3);
+        }
+        return m.ratios();
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_DOUBLE_EQ(a.frontend, b.frontend);
+    EXPECT_DOUBLE_EQ(a.backend, b.backend);
+    EXPECT_DOUBLE_EQ(a.badspec, b.badspec);
+    EXPECT_DOUBLE_EQ(a.retiring, b.retiring);
+}
+
+/** Parameterized issue-width sweep: fractions stay normalized. */
+class MachineWidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MachineWidth, FractionsAlwaysNormalized)
+{
+    MachineConfig cfg;
+    cfg.issueWidth = GetParam();
+    Machine m(cfg);
+    m.setMethod(1, 1024);
+    std::uint64_t state = 5;
+    for (int i = 0; i < 10000; ++i) {
+        m.branch(1, alberta::support::splitmix64(state) & 3);
+        m.load((state >> 3) % (1 << 20));
+        m.ops(OpKind::FpMul, 2);
+    }
+    const auto r = m.ratios();
+    EXPECT_NEAR(r.frontend + r.backend + r.badspec + r.retiring, 1.0,
+                1e-9);
+    EXPECT_GE(r.frontend, 0.0);
+    EXPECT_GE(r.backend, 0.0);
+    EXPECT_GE(r.badspec, 0.0);
+    EXPECT_GE(r.retiring, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MachineWidth,
+                         ::testing::Values(1, 2, 4, 6, 8));
+
+} // namespace

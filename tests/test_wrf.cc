@@ -1,0 +1,166 @@
+/** @file Tests for the 521.wrf_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchmarks/wrf/benchmark.h"
+#include "benchmarks/wrf/model.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::wrf;
+
+TEST(Namelist, SerializeParseRoundTrip)
+{
+    Namelist nl;
+    nl.steps = 14;
+    nl.dt = 15.0;
+    nl.microphysics = 2;
+    nl.longwaveRadiation = 2;
+    nl.surfaceScheme = 0;
+    nl.boundaryLayer = 2;
+    const Namelist parsed = Namelist::parse(nl.serialize());
+    EXPECT_EQ(parsed.steps, 14);
+    EXPECT_DOUBLE_EQ(parsed.dt, 15.0);
+    EXPECT_EQ(parsed.microphysics, 2);
+    EXPECT_EQ(parsed.longwaveRadiation, 2);
+    EXPECT_EQ(parsed.surfaceScheme, 0);
+    EXPECT_EQ(parsed.boundaryLayer, 2);
+}
+
+TEST(Namelist, ParseRejectsGarbage)
+{
+    EXPECT_THROW(Namelist::parse("mystery = 1\n"),
+                 support::FatalError);
+    EXPECT_THROW(Namelist::parse("no equals here\n"),
+                 support::FatalError);
+}
+
+TEST(InputFields, SerializeParseRoundTrip)
+{
+    const InputFields in = makeStorm(StormKind::Hurricane, 12, 10, 3);
+    const InputFields parsed = InputFields::parse(in.serialize());
+    EXPECT_EQ(parsed.nx, 12);
+    EXPECT_EQ(parsed.ny, 10);
+    ASSERT_EQ(parsed.height.size(), in.height.size());
+    for (std::size_t i = 0; i < in.height.size(); ++i)
+        ASSERT_NEAR(parsed.height[i], in.height[i], 1e-6);
+}
+
+TEST(InputFields, ParseRejectsTruncation)
+{
+    const InputFields in = makeStorm(StormKind::Typhoon, 8, 8, 4);
+    std::string text = in.serialize();
+    text.resize(text.size() / 2);
+    EXPECT_THROW(InputFields::parse(text), support::FatalError);
+}
+
+TEST(Storm, HurricaneIsDeeperAndTighterThanTyphoon)
+{
+    const InputFields h = makeStorm(StormKind::Hurricane, 32, 32, 5);
+    const InputFields t = makeStorm(StormKind::Typhoon, 32, 32, 5);
+    double hMin = 1e9, tMin = 1e9;
+    for (std::size_t i = 0; i < h.height.size(); ++i) {
+        hMin = std::min(hMin, h.height[i]);
+        tMin = std::min(tMin, t.height[i]);
+    }
+    EXPECT_LT(hMin, tMin); // deeper central depression
+}
+
+TEST(Storm, VortexWindsCirculate)
+{
+    const InputFields h = makeStorm(StormKind::Hurricane, 32, 32, 6);
+    double maxWind = 0.0;
+    for (std::size_t i = 0; i < h.u.size(); ++i)
+        maxWind = std::max(maxWind,
+                           std::hypot(h.u[i], h.v[i]));
+    EXPECT_GT(maxWind, 5.0);
+}
+
+TEST(Model, MassApproximatelyConserved)
+{
+    const InputFields in = makeStorm(StormKind::Typhoon, 24, 24, 7);
+    double before = 0.0;
+    for (const double h : in.height)
+        before += h;
+    Namelist nl;
+    nl.steps = 15;
+    nl.microphysics = 0; // latent heating injects mass-proxy
+    Model model(in, nl);
+    runtime::ExecutionContext ctx;
+    const ForecastStats stats = model.run(ctx);
+    EXPECT_NEAR(stats.totalMass, before, 0.01 * before);
+}
+
+TEST(Model, MicrophysicsProducesPrecipitationInMoistStorms)
+{
+    const InputFields in =
+        makeStorm(StormKind::Hurricane, 24, 24, 8);
+    Namelist wet, dry;
+    wet.steps = dry.steps = 10;
+    wet.microphysics = 1;
+    dry.microphysics = 0;
+    runtime::ExecutionContext ctx;
+    const auto wetStats = Model(in, wet).run(ctx);
+    const auto dryStats = Model(in, dry).run(ctx);
+    EXPECT_GT(wetStats.totalPrecipitation, 0.0);
+    EXPECT_EQ(dryStats.totalPrecipitation, 0.0);
+}
+
+TEST(Model, StrongBoundaryLayerDampsWinds)
+{
+    const InputFields in =
+        makeStorm(StormKind::Hurricane, 24, 24, 9);
+    Namelist weak, strong;
+    weak.steps = strong.steps = 12;
+    weak.boundaryLayer = 1;
+    strong.boundaryLayer = 2;
+    runtime::ExecutionContext ctx;
+    EXPECT_GT(Model(in, weak).run(ctx).maxWind,
+              Model(in, strong).run(ctx).maxWind);
+}
+
+TEST(Model, ForecastStaysFinite)
+{
+    const InputFields in = makeStorm(StormKind::Front, 20, 20, 10);
+    Namelist nl;
+    nl.steps = 40;
+    Model model(in, nl);
+    runtime::ExecutionContext ctx;
+    const ForecastStats stats = model.run(ctx);
+    EXPECT_TRUE(std::isfinite(stats.maxWind));
+    EXPECT_LT(stats.maxWind, 200.0);
+}
+
+TEST(WrfBenchmark, WorkloadSetMatchesPaper)
+{
+    WrfBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 16u); // Table II: 16 workloads
+    int alberta = 0;
+    bool katrina = false, rusa = false;
+    for (const auto &wl : w) {
+        alberta += wl.isAlberta();
+        katrina |= wl.name.find("katrina") != std::string::npos;
+        rusa |= wl.name.find("rusa") != std::string::npos;
+    }
+    EXPECT_GE(alberta, 12); // paper: twelve new workloads
+    EXPECT_TRUE(katrina);   // two data sets per Section IV-B
+    EXPECT_TRUE(rusa);
+}
+
+TEST(WrfBenchmark, RunsDeterministically)
+{
+    WrfBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("wrf::dynamics"));
+    EXPECT_TRUE(a.coverage.count("wrf::mp_warm_rain") ||
+                a.coverage.count("wrf::bl_weak_mixing"));
+}
+
+} // namespace

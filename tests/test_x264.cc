@@ -1,0 +1,230 @@
+/** @file Tests for the 525.x264_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/x264/benchmark.h"
+#include "benchmarks/x264/codec.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::x264;
+
+TEST(Video, GeneratorIsDeterministicAndSized)
+{
+    VideoConfig cfg;
+    cfg.seed = 3;
+    cfg.frames = 5;
+    const auto a = generateVideo(cfg);
+    const auto b = generateVideo(cfg);
+    ASSERT_EQ(a.size(), 5u);
+    EXPECT_EQ(a[2].samples, b[2].samples);
+    EXPECT_EQ(a[0].width, cfg.width);
+}
+
+TEST(Video, RejectsNonMacroblockDimensions)
+{
+    VideoConfig cfg;
+    cfg.width = 100; // not a multiple of 16
+    EXPECT_THROW(generateVideo(cfg), support::FatalError);
+}
+
+TEST(Video, PsnrIdentityIsHuge)
+{
+    VideoConfig cfg;
+    cfg.frames = 1;
+    const auto clip = generateVideo(cfg);
+    EXPECT_GE(psnr(clip[0], clip[0]), 99.0);
+}
+
+TEST(Dct, ForwardInverseRoundTripsExactly)
+{
+    std::int32_t block[64], coeffs[64], back[64];
+    for (int i = 0; i < 64; ++i)
+        block[i] = (i * 7919) % 255 - 127;
+    forwardDct(block, coeffs);
+    inverseDct(coeffs, back);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(back[i], block[i]) << "index " << i;
+}
+
+TEST(Dct, ConcentratesEnergyForFlatBlocks)
+{
+    std::int32_t block[64], coeffs[64];
+    for (int i = 0; i < 64; ++i)
+        block[i] = 50;
+    forwardDct(block, coeffs);
+    EXPECT_EQ(coeffs[0], 50 * 64);
+    for (int i = 1; i < 64; ++i)
+        ASSERT_EQ(coeffs[i], 0);
+}
+
+TEST(Codec, EncodeDecodeRoundTripsAtQp1)
+{
+    // qp=1 is lossless for our integer transform.
+    VideoConfig cfg;
+    cfg.seed = 5;
+    cfg.frames = 4;
+    cfg.width = 96;
+    cfg.height = 64;
+    const auto clip = generateVideo(cfg);
+    runtime::ExecutionContext ctx;
+    CodecConfig codec;
+    codec.qp = 1;
+    const auto stream = encode(clip, codec, ctx);
+    const auto decoded = decode(stream, ctx);
+    ASSERT_EQ(decoded.size(), clip.size());
+    for (std::size_t f = 0; f < clip.size(); ++f)
+        EXPECT_GE(psnr(decoded[f], clip[f]), 99.0) << "frame " << f;
+}
+
+TEST(Codec, HigherQpSmallerStreamLowerQuality)
+{
+    VideoConfig cfg;
+    cfg.seed = 6;
+    cfg.frames = 6;
+    cfg.width = 96;
+    cfg.height = 64;
+    const auto clip = generateVideo(cfg);
+    runtime::ExecutionContext ctx;
+    CodecConfig fine, coarse;
+    fine.qp = 2;
+    coarse.qp = 16;
+    EncodeStats fineStats, coarseStats;
+    const auto fineStream = encode(clip, fine, ctx, &fineStats);
+    const auto coarseStream = encode(clip, coarse, ctx, &coarseStats);
+    EXPECT_LT(coarseStream.size(), fineStream.size());
+    EXPECT_LT(coarseStats.meanPsnr, fineStats.meanPsnr);
+    EXPECT_GT(coarseStats.meanPsnr, 20.0);
+}
+
+TEST(Codec, MotionSearchHelpsMovingContent)
+{
+    VideoConfig cfg;
+    cfg.seed = 7;
+    cfg.frames = 6;
+    cfg.width = 96;
+    cfg.height = 64;
+    cfg.style = VideoStyle::MovingBlocks;
+    const auto clip = generateVideo(cfg);
+    runtime::ExecutionContext ctx;
+    CodecConfig wide, none;
+    wide.searchRange = 12;
+    none.searchRange = 0;
+    EncodeStats wideStats, noneStats;
+    const auto wideStream = encode(clip, wide, ctx, &wideStats);
+    const auto noneStream = encode(clip, none, ctx, &noneStats);
+    EXPECT_LE(wideStream.size(), noneStream.size());
+}
+
+TEST(Codec, NoiseIsHarderThanMotion)
+{
+    VideoConfig moving, noise;
+    moving.seed = noise.seed = 8;
+    moving.frames = noise.frames = 4;
+    moving.width = noise.width = 96;
+    moving.height = noise.height = 64;
+    noise.style = VideoStyle::Noise;
+    runtime::ExecutionContext ctx;
+    const auto movingStream =
+        encode(generateVideo(moving), {}, ctx);
+    const auto noiseStream = encode(generateVideo(noise), {}, ctx);
+    EXPECT_GT(noiseStream.size(), movingStream.size() * 2);
+}
+
+TEST(Codec, TwoPassRateControlRoundTrips)
+{
+    // A clip with one violent scene change: rate control must raise
+    // that frame's quantizer without breaking decodability.
+    VideoConfig calm;
+    calm.seed = 21;
+    calm.frames = 6;
+    calm.width = 96;
+    calm.height = 64;
+    calm.style = VideoStyle::Talking;
+    auto clip = generateVideo(calm);
+    VideoConfig burst = calm;
+    burst.style = VideoStyle::Noise;
+    burst.frames = 1;
+    clip[3] = generateVideo(burst)[0]; // scene cut
+
+    runtime::ExecutionContext ctx;
+    CodecConfig onePass, twoPass;
+    onePass.qp = twoPass.qp = 6;
+    twoPass.twoPass = true;
+    EncodeStats s1, s2;
+    const auto stream1 = encode(clip, onePass, ctx, &s1);
+    const auto stream2 = encode(clip, twoPass, ctx, &s2);
+
+    // Both decode to the right frame count.
+    const auto decoded1 = decode(stream1, ctx);
+    const auto decoded2 = decode(stream2, ctx);
+    ASSERT_EQ(decoded1.size(), clip.size());
+    ASSERT_EQ(decoded2.size(), clip.size());
+    // The first pass did extra motion work...
+    EXPECT_GT(s2.sadEvaluations, s1.sadEvaluations);
+    // ...and the adapted quantizers change the emitted stream.
+    EXPECT_NE(stream1, stream2);
+    // Rate control spends finer quantization on the calm frames, so
+    // their reconstruction quality improves.
+    EXPECT_GT(psnr(decoded2[1], clip[1]),
+              psnr(decoded1[1], clip[1]));
+}
+
+TEST(Codec, DecodeRejectsCorruptStream)
+{
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(decode({0x00, 0x01}, ctx), support::FatalError);
+    VideoConfig cfg;
+    cfg.frames = 2;
+    cfg.width = 32;
+    cfg.height = 32;
+    auto stream = encode(generateVideo(cfg), {}, ctx);
+    stream.resize(stream.size() / 2);
+    EXPECT_THROW(decode(stream, ctx), support::FatalError);
+}
+
+TEST(Codec, ValidateFlagsQualityFloor)
+{
+    VideoConfig cfg;
+    cfg.frames = 3;
+    cfg.width = 32;
+    cfg.height = 32;
+    const auto clip = generateVideo(cfg);
+    runtime::ExecutionContext ctx;
+    CodecConfig codec;
+    codec.qp = 1;
+    const auto decoded = decode(encode(clip, codec, ctx), ctx);
+    EXPECT_GE(validate(decoded, clip, 1, 40.0, ctx), 99.0);
+    // An impossible floor trips the validator.
+    EXPECT_THROW(validate(decoded, clip, 1, 100.0, ctx),
+                 support::FatalError);
+}
+
+TEST(X264Benchmark, WorkloadsIncludeTwoPassAndRanges)
+{
+    X264Benchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_GE(w.size(), 8u);
+    bool twoPass = false, midClip = false;
+    for (const auto &wl : w) {
+        twoPass |= wl.params.getBool("two_pass");
+        midClip |= wl.params.getInt("start_frame") > 0;
+    }
+    EXPECT_TRUE(twoPass); // script encodes "in one and in two passes"
+    EXPECT_TRUE(midClip); // "the video frame where encoding starts"
+}
+
+TEST(X264Benchmark, RunsDeterministically)
+{
+    X264Benchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("x264::motion_search"));
+    EXPECT_TRUE(a.coverage.count("x264::decode"));
+    EXPECT_TRUE(a.coverage.count("x264::imagevalidate"));
+}
+
+} // namespace

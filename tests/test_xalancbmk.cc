@@ -1,0 +1,217 @@
+/** @file Tests for the 523.xalancbmk_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/xalancbmk/benchmark.h"
+#include "benchmarks/xalancbmk/xslt.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::xalancbmk;
+
+std::unique_ptr<XmlNode>
+parse(const std::string &text)
+{
+    runtime::ExecutionContext ctx;
+    return parseXml(text, ctx);
+}
+
+TEST(Xml, ParsesElementsAttributesText)
+{
+    const auto root =
+        parse("<a x=\"1\" y='two'><b>hello</b><c/>tail</a>");
+    EXPECT_EQ(root->name(), "a");
+    EXPECT_EQ(root->attribute("x"), "1");
+    EXPECT_EQ(root->attribute("y"), "two");
+    ASSERT_EQ(root->children().size(), 3u);
+    EXPECT_EQ(root->children()[0]->name(), "b");
+    EXPECT_EQ(root->children()[0]->textValue(), "hello");
+    EXPECT_EQ(root->children()[1]->name(), "c");
+    EXPECT_EQ(root->children()[2]->content(), "tail");
+}
+
+TEST(Xml, HandlesPrologAndComments)
+{
+    const auto root = parse(
+        "<?xml version=\"1.0\"?>\n<!-- header -->\n"
+        "<r><!-- inner --><x>1</x></r>");
+    EXPECT_EQ(root->name(), "r");
+    ASSERT_EQ(root->children().size(), 1u);
+}
+
+TEST(Xml, DecodesEntities)
+{
+    const auto root = parse("<t a=\"&lt;&amp;&gt;\">x &quot;y&quot;</t>");
+    EXPECT_EQ(root->attribute("a"), "<&>");
+    EXPECT_EQ(root->textValue(), "x \"y\"");
+}
+
+TEST(Xml, SerializeParseRoundTrip)
+{
+    const std::string text =
+        "<a x=\"1\"><b>t&lt;xt</b><c k=\"v\"/></a>";
+    const auto root = parse(text);
+    const auto again = parse(root->serialize());
+    EXPECT_EQ(again->serialize(), root->serialize());
+}
+
+TEST(Xml, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parse("<a><b></a></b>"), support::FatalError);
+    EXPECT_THROW(parse("<a>"), support::FatalError);
+    EXPECT_THROW(parse("<a></a><b></b>"), support::FatalError);
+    EXPECT_THROW(parse("<a x=1></a>"), support::FatalError);
+    EXPECT_THROW(parse("<a>&unknown;</a>"), support::FatalError);
+}
+
+TEST(Xml, FirstChildAndSubtreeSize)
+{
+    const auto root = parse("<a><b/><c/><b/></a>");
+    ASSERT_NE(root->firstChild("b"), nullptr);
+    EXPECT_EQ(root->firstChild("missing"), nullptr);
+    EXPECT_EQ(root->subtreeSize(), 4u);
+}
+
+TEST(Xslt, ValueOfAndForEach)
+{
+    const auto sheet = parse(
+        "<xsl:stylesheet>"
+        "<xsl:template match=\"list\">"
+        "<ul><xsl:for-each select=\"item\">"
+        "<li><xsl:value-of select=\".\"/></li>"
+        "</xsl:for-each></ul>"
+        "</xsl:template></xsl:stylesheet>");
+    const Stylesheet stylesheet(*sheet);
+    const auto input =
+        parse("<list><item>a</item><item>b</item></list>");
+    runtime::ExecutionContext ctx;
+    const auto out = stylesheet.transform(*input, ctx);
+    EXPECT_EQ(out->serialize(),
+              "<out><ul><li>a</li><li>b</li></ul></out>");
+}
+
+TEST(Xslt, AttributeSelectionAndIf)
+{
+    const auto sheet = parse(
+        "<xsl:stylesheet>"
+        "<xsl:template match=\"r\">"
+        "<xsl:for-each select=\"x\">"
+        "<xsl:if test=\"@keep='yes'\">"
+        "<k><xsl:value-of select=\"@id\"/></k>"
+        "</xsl:if>"
+        "</xsl:for-each>"
+        "</xsl:template></xsl:stylesheet>");
+    const Stylesheet stylesheet(*sheet);
+    const auto input = parse("<r><x id=\"1\" keep=\"yes\"/>"
+                             "<x id=\"2\" keep=\"no\"/>"
+                             "<x id=\"3\" keep=\"yes\"/></r>");
+    runtime::ExecutionContext ctx;
+    const auto out = stylesheet.transform(*input, ctx);
+    EXPECT_EQ(out->serialize(), "<out><k>1</k><k>3</k></out>");
+}
+
+TEST(Xslt, ApplyTemplatesWithRules)
+{
+    const auto sheet = parse(
+        "<xsl:stylesheet>"
+        "<xsl:template match=\"doc\">"
+        "<o><xsl:apply-templates select=\"sec\"/></o>"
+        "</xsl:template>"
+        "<xsl:template match=\"sec\">"
+        "<s><xsl:value-of select=\"title\"/></s>"
+        "</xsl:template></xsl:stylesheet>");
+    const Stylesheet stylesheet(*sheet);
+    const auto input = parse(
+        "<doc><sec><title>one</title></sec>"
+        "<sec><title>two</title></sec></doc>");
+    runtime::ExecutionContext ctx;
+    const auto out = stylesheet.transform(*input, ctx);
+    EXPECT_EQ(out->serialize(), "<out><o><s>one</s><s>two</s></o></out>");
+}
+
+TEST(Xslt, PathSelection)
+{
+    const auto sheet = parse(
+        "<xsl:stylesheet>"
+        "<xsl:template match=\"a\">"
+        "<xsl:for-each select=\"b/c\">"
+        "<v><xsl:value-of select=\".\"/></v>"
+        "</xsl:for-each>"
+        "</xsl:template></xsl:stylesheet>");
+    const Stylesheet stylesheet(*sheet);
+    const auto input =
+        parse("<a><b><c>1</c><c>2</c></b><b><c>3</c></b></a>");
+    runtime::ExecutionContext ctx;
+    const auto out = stylesheet.transform(*input, ctx);
+    EXPECT_EQ(out->serialize(),
+              "<out><v>1</v><v>2</v><v>3</v></out>");
+}
+
+TEST(Xslt, RejectsUnsupportedInstruction)
+{
+    const auto sheet = parse(
+        "<xsl:stylesheet>"
+        "<xsl:template match=\"a\"><xsl:sort/></xsl:template>"
+        "</xsl:stylesheet>");
+    const Stylesheet stylesheet(*sheet);
+    const auto input = parse("<a/>");
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(stylesheet.transform(*input, ctx),
+                 support::FatalError);
+}
+
+TEST(Generators, SalesXmlIsWellFormedAndSized)
+{
+    const std::string small = generateSalesXml(10, 1);
+    const std::string large = generateSalesXml(100, 1);
+    EXPECT_GT(large.size(), small.size() * 5);
+    const auto root = parse(large);
+    EXPECT_EQ(root->name(), "sales");
+    EXPECT_EQ(root->children().size(), 100u);
+}
+
+TEST(Generators, AuctionXmlIsWellFormed)
+{
+    const auto root = parse(generateAuctionXml(20, 8, 2));
+    EXPECT_EQ(root->name(), "site");
+    ASSERT_NE(root->firstChild("items"), nullptr);
+    EXPECT_EQ(root->firstChild("items")->children().size(), 20u);
+}
+
+TEST(Generators, StylesheetsCompile)
+{
+    {
+        const auto doc = parse(salesStylesheet());
+        EXPECT_GE(Stylesheet(*doc).templateCount(), 1u);
+    }
+    {
+        const auto doc = parse(auctionStylesheet());
+        EXPECT_GE(Stylesheet(*doc).templateCount(), 2u);
+    }
+}
+
+TEST(XalancbmkBenchmark, WorkloadSetMatchesPaper)
+{
+    XalancbmkBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 8u); // Table II: 8 workloads
+    int alberta = 0;
+    for (const auto &wl : w)
+        alberta += wl.isAlberta();
+    EXPECT_EQ(alberta, 5); // paper: five new workloads
+}
+
+TEST(XalancbmkBenchmark, RunsDeterministically)
+{
+    XalancbmkBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("xalanc::parse_element"));
+    EXPECT_TRUE(a.coverage.count("xalanc::transform") ||
+                a.coverage.count("xalanc::apply_templates"));
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/** @file Tests for the 557.xz_r mini-benchmark. */
+#include <gtest/gtest.h>
+
+#include "benchmarks/xz/benchmark.h"
+#include "benchmarks/xz/generator.h"
+#include "benchmarks/xz/lz77.h"
+#include "support/check.h"
+
+namespace {
+
+using namespace alberta;
+using namespace alberta::xz;
+
+std::vector<std::uint8_t>
+roundTrip(const std::vector<std::uint8_t> &raw,
+          const CodecConfig &cfg = {})
+{
+    runtime::ExecutionContext ctx;
+    return decompress(compress(raw, cfg, ctx), ctx);
+}
+
+TEST(Lz77, RoundTripsEmptyInput)
+{
+    EXPECT_EQ(roundTrip({}), std::vector<std::uint8_t>{});
+}
+
+TEST(Lz77, RoundTripsShortLiteral)
+{
+    const std::vector<std::uint8_t> raw = {'a', 'b', 'c'};
+    EXPECT_EQ(roundTrip(raw), raw);
+}
+
+TEST(Lz77, RoundTripsRepetitiveData)
+{
+    std::vector<std::uint8_t> raw;
+    for (int i = 0; i < 5000; ++i)
+        raw.push_back("abcabcab"[i % 8]);
+    EXPECT_EQ(roundTrip(raw), raw);
+}
+
+TEST(Lz77, CompressesRedundantDataWell)
+{
+    FileConfig cfg;
+    cfg.kind = ContentKind::RepeatedFile;
+    cfg.repeatUnit = 1024;
+    cfg.bytes = 64 * 1024;
+    const auto raw = generateFile(cfg);
+    runtime::ExecutionContext ctx;
+    const auto packed = compress(raw, {}, ctx);
+    EXPECT_LT(packed.size(), raw.size() / 10);
+}
+
+TEST(Lz77, RandomDataBarelyCompresses)
+{
+    FileConfig cfg;
+    cfg.kind = ContentKind::Random;
+    cfg.bytes = 64 * 1024;
+    const auto raw = generateFile(cfg);
+    runtime::ExecutionContext ctx;
+    const auto packed = compress(raw, {}, ctx);
+    EXPECT_GT(packed.size(), raw.size() * 95 / 100);
+    EXPECT_EQ(roundTrip(raw), raw);
+}
+
+TEST(Lz77, MatchesNeverExceedDictionary)
+{
+    // A repeat distance beyond the window must not produce far matches;
+    // the stream itself must stay decodable and bounded.
+    CodecConfig cfg;
+    cfg.dictionaryBytes = 4096;
+    FileConfig file;
+    file.kind = ContentKind::RepeatedFile;
+    file.repeatUnit = 16 * 1024; // unit >> window
+    file.bytes = 64 * 1024;
+    const auto raw = generateFile(file);
+    runtime::ExecutionContext ctx;
+    const auto packed = compress(raw, cfg, ctx);
+    EXPECT_EQ(decompress(packed, ctx), raw);
+}
+
+TEST(Lz77, SmallWindowCompressesWorseThanLarge)
+{
+    FileConfig file;
+    file.seed = 4;
+    file.kind = ContentKind::RepeatedFile;
+    file.repeatUnit = 8 * 1024;
+    file.bytes = 128 * 1024;
+    const auto raw = generateFile(file);
+    runtime::ExecutionContext ctx;
+    CodecConfig small, large;
+    small.dictionaryBytes = 4096; // smaller than the repeat unit
+    large.dictionaryBytes = 64 * 1024;
+    const auto packedSmall = compress(raw, small, ctx);
+    const auto packedLarge = compress(raw, large, ctx);
+    EXPECT_GT(packedSmall.size(), packedLarge.size() * 2);
+}
+
+TEST(Lz77, RepeatedUnitInsideDictSpendsTimeInLookups)
+{
+    // The paper's 557.xz_r observation: a short file repeated within
+    // the dictionary skews work from literal compression to
+    // dictionary lookups (long matches, deep chains).
+    FileConfig inDict, beyond;
+    inDict.seed = beyond.seed = 5;
+    inDict.kind = beyond.kind = ContentKind::RepeatedFile;
+    inDict.repeatUnit = 4 * 1024;
+    beyond.repeatUnit = 192 * 1024;
+    inDict.bytes = beyond.bytes = 384 * 1024;
+
+    runtime::ExecutionContext ctx;
+    CompressStats sIn, sBeyond;
+    compress(generateFile(inDict), {}, ctx, &sIn);
+    compress(generateFile(beyond), {}, ctx, &sBeyond);
+    // Within-dictionary repetition: nearly everything matches.
+    EXPECT_GT(static_cast<double>(sIn.matchedBytes),
+              0.95 * (sIn.matchedBytes + sIn.literals));
+    EXPECT_LT(sIn.literals, sBeyond.literals);
+}
+
+TEST(Lz77, DecompressRejectsCorruptStreams)
+{
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(decompress({0x00, 0x01, 0x02}, ctx),
+                 support::FatalError);
+    // Valid magic, truncated payload.
+    std::vector<std::uint8_t> raw(100, 'x');
+    auto packed = compress(raw, {}, ctx);
+    packed.resize(packed.size() - 2);
+    EXPECT_THROW(decompress(packed, ctx), support::FatalError);
+}
+
+TEST(Lz77, DecompressRejectsBadDistance)
+{
+    // Hand-craft: magic, dict=16, rawSize=4, then a match token with
+    // distance 9 > available output.
+    std::vector<std::uint8_t> stream = {0xA7, 0x5A, 16, 4};
+    stream.push_back((4 << 1) | 1); // match length 4
+    stream.push_back(9);            // distance 9 into empty history
+    runtime::ExecutionContext ctx;
+    EXPECT_THROW(decompress(stream, ctx), support::FatalError);
+}
+
+TEST(Generator, DeterministicPerSeed)
+{
+    FileConfig cfg;
+    cfg.seed = 9;
+    cfg.bytes = 10000;
+    EXPECT_EQ(generateFile(cfg), generateFile(cfg));
+    cfg.seed = 10;
+    EXPECT_NE(generateFile(FileConfig{}), generateFile(cfg));
+}
+
+TEST(Generator, ProducesExactSize)
+{
+    for (auto kind : {ContentKind::Text, ContentKind::Log,
+                      ContentKind::Binary, ContentKind::Random,
+                      ContentKind::RepeatedFile}) {
+        FileConfig cfg;
+        cfg.kind = kind;
+        cfg.bytes = 12345;
+        EXPECT_EQ(generateFile(cfg).size(), 12345u);
+    }
+}
+
+TEST(Generator, RepeatedFileActuallyRepeats)
+{
+    FileConfig cfg;
+    cfg.kind = ContentKind::RepeatedFile;
+    cfg.repeatUnit = 512;
+    cfg.bytes = 4096;
+    const auto data = generateFile(cfg);
+    for (std::size_t i = 512; i < data.size(); ++i)
+        ASSERT_EQ(data[i], data[i - 512]);
+}
+
+TEST(XzBenchmark, WorkloadSetMatchesPaper)
+{
+    XzBenchmark bm;
+    const auto w = bm.workloads();
+    EXPECT_EQ(w.size(), 12u); // Table II: 12 workloads for 557.xz_r
+    int alberta = 0;
+    for (const auto &wl : w)
+        alberta += wl.isAlberta();
+    EXPECT_GE(alberta, 8); // paper: eight new workloads (+1 repeat demo)
+}
+
+TEST(XzBenchmark, TestWorkloadRunsAndVerifies)
+{
+    XzBenchmark bm;
+    const auto w = runtime::findWorkload(bm, "test");
+    const auto a = runtime::runOnce(bm, w);
+    const auto b = runtime::runOnce(bm, w);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_TRUE(a.coverage.count("xz::find_match"));
+    EXPECT_TRUE(a.coverage.count("xz::decompress"));
+}
+
+TEST(XzBenchmark, CoverageShiftsWithWorkload)
+{
+    XzBenchmark bm;
+    const auto inDict = runtime::runOnce(
+        bm, runtime::findWorkload(bm, "alberta.repeat-in-dict"));
+    const auto random = runtime::runOnce(
+        bm, runtime::findWorkload(bm, "alberta.random-small"));
+    // Dictionary-resident repetition shifts time into match finding.
+    EXPECT_GT(inDict.coverage.at("xz::find_match"), 0.0);
+    ASSERT_TRUE(random.coverage.count("xz::emit_literals"));
+    EXPECT_GT(random.coverage.at("xz::emit_literals"),
+              inDict.coverage.count("xz::emit_literals")
+                  ? inDict.coverage.at("xz::emit_literals")
+                  : 0.0);
+}
+
+} // namespace
