@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fdo_combined.dir/ablation_fdo_combined.cc.o"
+  "CMakeFiles/ablation_fdo_combined.dir/ablation_fdo_combined.cc.o.d"
+  "ablation_fdo_combined"
+  "ablation_fdo_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fdo_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

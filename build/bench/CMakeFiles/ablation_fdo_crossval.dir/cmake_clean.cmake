@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fdo_crossval.dir/ablation_fdo_crossval.cc.o"
+  "CMakeFiles/ablation_fdo_crossval.dir/ablation_fdo_crossval.cc.o.d"
+  "ablation_fdo_crossval"
+  "ablation_fdo_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fdo_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

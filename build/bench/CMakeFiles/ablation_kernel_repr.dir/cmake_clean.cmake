@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel_repr.dir/ablation_kernel_repr.cc.o"
+  "CMakeFiles/ablation_kernel_repr.dir/ablation_kernel_repr.cc.o.d"
+  "ablation_kernel_repr"
+  "ablation_kernel_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lbm_variation.dir/ablation_lbm_variation.cc.o"
+  "CMakeFiles/ablation_lbm_variation.dir/ablation_lbm_variation.cc.o.d"
+  "ablation_lbm_variation"
+  "ablation_lbm_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lbm_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_cli.dir/alberta_cli.cpp.o"
+  "CMakeFiles/alberta_cli.dir/alberta_cli.cpp.o.d"
+  "alberta_cli"
+  "alberta_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_workloads.cpp" "examples/CMakeFiles/cluster_workloads.dir/cluster_workloads.cpp.o" "gcc" "examples/CMakeFiles/cluster_workloads.dir/cluster_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/alberta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdo/CMakeFiles/alberta_fdo.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/mcf/CMakeFiles/alberta_bm_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/cactubssn/CMakeFiles/alberta_bm_cactubssn.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/parest/CMakeFiles/alberta_bm_parest.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/povray/CMakeFiles/alberta_bm_povray.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/lbm/CMakeFiles/alberta_bm_lbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/omnetpp/CMakeFiles/alberta_bm_omnetpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/wrf/CMakeFiles/alberta_bm_wrf.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/xalancbmk/CMakeFiles/alberta_bm_xalancbmk.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/x264/CMakeFiles/alberta_bm_x264.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/blender/CMakeFiles/alberta_bm_blender.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/deepsjeng/CMakeFiles/alberta_bm_deepsjeng.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/leela/CMakeFiles/alberta_bm_leela.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/nab/CMakeFiles/alberta_bm_nab.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/exchange2/CMakeFiles/alberta_bm_exchange2.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/xz/CMakeFiles/alberta_bm_xz.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/alberta_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/alberta_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/topdown/CMakeFiles/alberta_topdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/alberta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alberta_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_workloads.dir/cluster_workloads.cpp.o"
+  "CMakeFiles/cluster_workloads.dir/cluster_workloads.cpp.o.d"
+  "cluster_workloads"
+  "cluster_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdo_cross_validation.dir/fdo_cross_validation.cpp.o"
+  "CMakeFiles/fdo_cross_validation.dir/fdo_cross_validation.cpp.o.d"
+  "fdo_cross_validation"
+  "fdo_cross_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdo_cross_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_reports.dir/generate_reports.cpp.o"
+  "CMakeFiles/generate_reports.dir/generate_reports.cpp.o.d"
+  "generate_reports"
+  "generate_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_suite.dir/generate_suite.cpp.o"
+  "CMakeFiles/generate_suite.dir/generate_suite.cpp.o.d"
+  "generate_suite"
+  "generate_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

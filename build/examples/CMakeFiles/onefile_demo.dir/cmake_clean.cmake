@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onefile_demo.dir/onefile_demo.cpp.o"
+  "CMakeFiles/onefile_demo.dir/onefile_demo.cpp.o.d"
+  "onefile_demo"
+  "onefile_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onefile_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

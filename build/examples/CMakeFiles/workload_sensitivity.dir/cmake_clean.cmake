@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_sensitivity.dir/workload_sensitivity.cpp.o"
+  "CMakeFiles/workload_sensitivity.dir/workload_sensitivity.cpp.o.d"
+  "workload_sensitivity"
+  "workload_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

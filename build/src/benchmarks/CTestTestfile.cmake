@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/benchmarks
+# Build directory: /root/repo/build/src/benchmarks
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("mcf")
+subdirs("xz")
+subdirs("exchange2")
+subdirs("deepsjeng")
+subdirs("leela")
+subdirs("omnetpp")
+subdirs("xalancbmk")
+subdirs("gcc")
+subdirs("x264")
+subdirs("lbm")
+subdirs("cactubssn")
+subdirs("nab")
+subdirs("wrf")
+subdirs("parest")
+subdirs("povray")
+subdirs("blender")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_blender.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_blender.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_blender.dir/render.cc.o"
+  "CMakeFiles/alberta_bm_blender.dir/render.cc.o.d"
+  "libalberta_bm_blender.a"
+  "libalberta_bm_blender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_blender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

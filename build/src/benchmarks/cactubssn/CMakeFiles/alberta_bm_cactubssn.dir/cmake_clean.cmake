@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_cactubssn.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_cactubssn.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_cactubssn.dir/wave.cc.o"
+  "CMakeFiles/alberta_bm_cactubssn.dir/wave.cc.o.d"
+  "libalberta_bm_cactubssn.a"
+  "libalberta_bm_cactubssn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_cactubssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_deepsjeng.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_deepsjeng.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_deepsjeng.dir/board.cc.o"
+  "CMakeFiles/alberta_bm_deepsjeng.dir/board.cc.o.d"
+  "CMakeFiles/alberta_bm_deepsjeng.dir/search.cc.o"
+  "CMakeFiles/alberta_bm_deepsjeng.dir/search.cc.o.d"
+  "libalberta_bm_deepsjeng.a"
+  "libalberta_bm_deepsjeng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_deepsjeng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

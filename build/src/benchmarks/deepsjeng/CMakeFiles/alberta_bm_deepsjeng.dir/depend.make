@@ -1,0 +1,2 @@
+# Empty dependencies file for alberta_bm_deepsjeng.
+# This may be replaced when dependencies are built.

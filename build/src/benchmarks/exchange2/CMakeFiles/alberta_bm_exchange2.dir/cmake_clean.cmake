@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_exchange2.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_exchange2.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_exchange2.dir/sudoku.cc.o"
+  "CMakeFiles/alberta_bm_exchange2.dir/sudoku.cc.o.d"
+  "libalberta_bm_exchange2.a"
+  "libalberta_bm_exchange2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_exchange2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for alberta_bm_exchange2.
+# This may be replaced when dependencies are built.

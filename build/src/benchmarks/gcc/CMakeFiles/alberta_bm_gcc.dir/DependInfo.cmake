@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/gcc/ast.cc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/ast.cc.o" "gcc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/ast.cc.o.d"
+  "/root/repo/src/benchmarks/gcc/benchmark.cc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/benchmark.cc.o" "gcc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/benchmark.cc.o.d"
+  "/root/repo/src/benchmarks/gcc/codegen.cc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/codegen.cc.o" "gcc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/codegen.cc.o.d"
+  "/root/repo/src/benchmarks/gcc/generator.cc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/generator.cc.o" "gcc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/generator.cc.o.d"
+  "/root/repo/src/benchmarks/gcc/lexer.cc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/lexer.cc.o" "gcc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/lexer.cc.o.d"
+  "/root/repo/src/benchmarks/gcc/onefile.cc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/onefile.cc.o" "gcc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/onefile.cc.o.d"
+  "/root/repo/src/benchmarks/gcc/optimizer.cc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/optimizer.cc.o" "gcc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/optimizer.cc.o.d"
+  "/root/repo/src/benchmarks/gcc/parser.cc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/parser.cc.o" "gcc" "src/benchmarks/gcc/CMakeFiles/alberta_bm_gcc.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/alberta_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/alberta_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/alberta_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/topdown/CMakeFiles/alberta_topdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/alberta_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

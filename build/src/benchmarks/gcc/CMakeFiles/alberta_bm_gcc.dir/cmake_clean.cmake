@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_gcc.dir/ast.cc.o"
+  "CMakeFiles/alberta_bm_gcc.dir/ast.cc.o.d"
+  "CMakeFiles/alberta_bm_gcc.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_gcc.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_gcc.dir/codegen.cc.o"
+  "CMakeFiles/alberta_bm_gcc.dir/codegen.cc.o.d"
+  "CMakeFiles/alberta_bm_gcc.dir/generator.cc.o"
+  "CMakeFiles/alberta_bm_gcc.dir/generator.cc.o.d"
+  "CMakeFiles/alberta_bm_gcc.dir/lexer.cc.o"
+  "CMakeFiles/alberta_bm_gcc.dir/lexer.cc.o.d"
+  "CMakeFiles/alberta_bm_gcc.dir/onefile.cc.o"
+  "CMakeFiles/alberta_bm_gcc.dir/onefile.cc.o.d"
+  "CMakeFiles/alberta_bm_gcc.dir/optimizer.cc.o"
+  "CMakeFiles/alberta_bm_gcc.dir/optimizer.cc.o.d"
+  "CMakeFiles/alberta_bm_gcc.dir/parser.cc.o"
+  "CMakeFiles/alberta_bm_gcc.dir/parser.cc.o.d"
+  "libalberta_bm_gcc.a"
+  "libalberta_bm_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for alberta_bm_gcc.
+# This may be replaced when dependencies are built.

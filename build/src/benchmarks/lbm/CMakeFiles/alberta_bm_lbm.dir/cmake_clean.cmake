@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_lbm.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_lbm.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_lbm.dir/lattice.cc.o"
+  "CMakeFiles/alberta_bm_lbm.dir/lattice.cc.o.d"
+  "libalberta_bm_lbm.a"
+  "libalberta_bm_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_leela.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_leela.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_leela.dir/goboard.cc.o"
+  "CMakeFiles/alberta_bm_leela.dir/goboard.cc.o.d"
+  "CMakeFiles/alberta_bm_leela.dir/mcts.cc.o"
+  "CMakeFiles/alberta_bm_leela.dir/mcts.cc.o.d"
+  "libalberta_bm_leela.a"
+  "libalberta_bm_leela.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_leela.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

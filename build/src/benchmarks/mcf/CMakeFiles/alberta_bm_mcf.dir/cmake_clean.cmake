@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_mcf.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_mcf.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_mcf.dir/generator.cc.o"
+  "CMakeFiles/alberta_bm_mcf.dir/generator.cc.o.d"
+  "CMakeFiles/alberta_bm_mcf.dir/mincost.cc.o"
+  "CMakeFiles/alberta_bm_mcf.dir/mincost.cc.o.d"
+  "libalberta_bm_mcf.a"
+  "libalberta_bm_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

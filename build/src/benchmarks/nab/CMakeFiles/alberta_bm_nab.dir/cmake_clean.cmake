@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_nab.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_nab.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_nab.dir/forcefield.cc.o"
+  "CMakeFiles/alberta_bm_nab.dir/forcefield.cc.o.d"
+  "libalberta_bm_nab.a"
+  "libalberta_bm_nab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_nab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

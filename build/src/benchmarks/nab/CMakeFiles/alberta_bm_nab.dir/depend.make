@@ -1,0 +1,2 @@
+# Empty dependencies file for alberta_bm_nab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_omnetpp.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_omnetpp.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_omnetpp.dir/sim.cc.o"
+  "CMakeFiles/alberta_bm_omnetpp.dir/sim.cc.o.d"
+  "CMakeFiles/alberta_bm_omnetpp.dir/topology.cc.o"
+  "CMakeFiles/alberta_bm_omnetpp.dir/topology.cc.o.d"
+  "libalberta_bm_omnetpp.a"
+  "libalberta_bm_omnetpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_omnetpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

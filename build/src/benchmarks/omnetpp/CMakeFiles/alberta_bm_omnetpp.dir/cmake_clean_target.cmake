@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalberta_bm_omnetpp.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_parest.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_parest.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_parest.dir/solver.cc.o"
+  "CMakeFiles/alberta_bm_parest.dir/solver.cc.o.d"
+  "libalberta_bm_parest.a"
+  "libalberta_bm_parest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_parest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_povray.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_povray.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_povray.dir/tracer.cc.o"
+  "CMakeFiles/alberta_bm_povray.dir/tracer.cc.o.d"
+  "libalberta_bm_povray.a"
+  "libalberta_bm_povray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_povray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_wrf.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_wrf.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_wrf.dir/model.cc.o"
+  "CMakeFiles/alberta_bm_wrf.dir/model.cc.o.d"
+  "libalberta_bm_wrf.a"
+  "libalberta_bm_wrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_wrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_x264.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_x264.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_x264.dir/codec.cc.o"
+  "CMakeFiles/alberta_bm_x264.dir/codec.cc.o.d"
+  "CMakeFiles/alberta_bm_x264.dir/video.cc.o"
+  "CMakeFiles/alberta_bm_x264.dir/video.cc.o.d"
+  "libalberta_bm_x264.a"
+  "libalberta_bm_x264.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_x264.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

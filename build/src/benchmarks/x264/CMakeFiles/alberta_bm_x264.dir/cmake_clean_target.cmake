@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalberta_bm_x264.a"
+)

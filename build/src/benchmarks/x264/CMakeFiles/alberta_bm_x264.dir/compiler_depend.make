@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alberta_bm_x264.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_xalancbmk.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_xalancbmk.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_xalancbmk.dir/xml.cc.o"
+  "CMakeFiles/alberta_bm_xalancbmk.dir/xml.cc.o.d"
+  "CMakeFiles/alberta_bm_xalancbmk.dir/xslt.cc.o"
+  "CMakeFiles/alberta_bm_xalancbmk.dir/xslt.cc.o.d"
+  "libalberta_bm_xalancbmk.a"
+  "libalberta_bm_xalancbmk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_xalancbmk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_bm_xz.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_bm_xz.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_bm_xz.dir/generator.cc.o"
+  "CMakeFiles/alberta_bm_xz.dir/generator.cc.o.d"
+  "CMakeFiles/alberta_bm_xz.dir/lz77.cc.o"
+  "CMakeFiles/alberta_bm_xz.dir/lz77.cc.o.d"
+  "libalberta_bm_xz.a"
+  "libalberta_bm_xz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_bm_xz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_core.dir/cluster.cc.o"
+  "CMakeFiles/alberta_core.dir/cluster.cc.o.d"
+  "CMakeFiles/alberta_core.dir/phases.cc.o"
+  "CMakeFiles/alberta_core.dir/phases.cc.o.d"
+  "CMakeFiles/alberta_core.dir/report.cc.o"
+  "CMakeFiles/alberta_core.dir/report.cc.o.d"
+  "CMakeFiles/alberta_core.dir/suite.cc.o"
+  "CMakeFiles/alberta_core.dir/suite.cc.o.d"
+  "libalberta_core.a"
+  "libalberta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_fdo.dir/fdo.cc.o"
+  "CMakeFiles/alberta_fdo.dir/fdo.cc.o.d"
+  "libalberta_fdo.a"
+  "libalberta_fdo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_fdo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for alberta_fdo.
+# This may be replaced when dependencies are built.

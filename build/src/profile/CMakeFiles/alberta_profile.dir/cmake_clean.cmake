@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_profile.dir/coverage.cc.o"
+  "CMakeFiles/alberta_profile.dir/coverage.cc.o.d"
+  "libalberta_profile.a"
+  "libalberta_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

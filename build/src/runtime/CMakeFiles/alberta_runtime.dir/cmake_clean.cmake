@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_runtime.dir/benchmark.cc.o"
+  "CMakeFiles/alberta_runtime.dir/benchmark.cc.o.d"
+  "CMakeFiles/alberta_runtime.dir/context.cc.o"
+  "CMakeFiles/alberta_runtime.dir/context.cc.o.d"
+  "CMakeFiles/alberta_runtime.dir/workload.cc.o"
+  "CMakeFiles/alberta_runtime.dir/workload.cc.o.d"
+  "libalberta_runtime.a"
+  "libalberta_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

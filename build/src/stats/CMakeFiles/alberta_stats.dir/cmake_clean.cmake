@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_stats.dir/pca.cc.o"
+  "CMakeFiles/alberta_stats.dir/pca.cc.o.d"
+  "CMakeFiles/alberta_stats.dir/summary.cc.o"
+  "CMakeFiles/alberta_stats.dir/summary.cc.o.d"
+  "libalberta_stats.a"
+  "libalberta_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

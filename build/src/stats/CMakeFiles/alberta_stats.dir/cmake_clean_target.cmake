@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalberta_stats.a"
+)

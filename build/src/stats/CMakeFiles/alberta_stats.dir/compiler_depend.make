@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alberta_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_support.dir/table.cc.o"
+  "CMakeFiles/alberta_support.dir/table.cc.o.d"
+  "CMakeFiles/alberta_support.dir/text.cc.o"
+  "CMakeFiles/alberta_support.dir/text.cc.o.d"
+  "libalberta_support.a"
+  "libalberta_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

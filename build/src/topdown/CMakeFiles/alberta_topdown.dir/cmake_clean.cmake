@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alberta_topdown.dir/branch.cc.o"
+  "CMakeFiles/alberta_topdown.dir/branch.cc.o.d"
+  "CMakeFiles/alberta_topdown.dir/cache.cc.o"
+  "CMakeFiles/alberta_topdown.dir/cache.cc.o.d"
+  "CMakeFiles/alberta_topdown.dir/machine.cc.o"
+  "CMakeFiles/alberta_topdown.dir/machine.cc.o.d"
+  "libalberta_topdown.a"
+  "libalberta_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alberta_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

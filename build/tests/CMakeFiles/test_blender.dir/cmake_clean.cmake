@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blender.dir/test_blender.cc.o"
+  "CMakeFiles/test_blender.dir/test_blender.cc.o.d"
+  "test_blender"
+  "test_blender.pdb"
+  "test_blender[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

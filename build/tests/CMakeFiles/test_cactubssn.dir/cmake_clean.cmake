@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cactubssn.dir/test_cactubssn.cc.o"
+  "CMakeFiles/test_cactubssn.dir/test_cactubssn.cc.o.d"
+  "test_cactubssn"
+  "test_cactubssn.pdb"
+  "test_cactubssn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cactubssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deepsjeng.dir/test_deepsjeng.cc.o"
+  "CMakeFiles/test_deepsjeng.dir/test_deepsjeng.cc.o.d"
+  "test_deepsjeng"
+  "test_deepsjeng.pdb"
+  "test_deepsjeng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deepsjeng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

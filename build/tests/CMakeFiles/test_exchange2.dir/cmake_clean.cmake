@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exchange2.dir/test_exchange2.cc.o"
+  "CMakeFiles/test_exchange2.dir/test_exchange2.cc.o.d"
+  "test_exchange2"
+  "test_exchange2.pdb"
+  "test_exchange2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exchange2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fdo.dir/test_fdo.cc.o"
+  "CMakeFiles/test_fdo.dir/test_fdo.cc.o.d"
+  "test_fdo"
+  "test_fdo.pdb"
+  "test_fdo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fdo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcc.dir/test_gcc.cc.o"
+  "CMakeFiles/test_gcc.dir/test_gcc.cc.o.d"
+  "test_gcc"
+  "test_gcc.pdb"
+  "test_gcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leela.dir/test_leela.cc.o"
+  "CMakeFiles/test_leela.dir/test_leela.cc.o.d"
+  "test_leela"
+  "test_leela.pdb"
+  "test_leela[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leela.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

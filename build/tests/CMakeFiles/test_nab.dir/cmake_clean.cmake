@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nab.dir/test_nab.cc.o"
+  "CMakeFiles/test_nab.dir/test_nab.cc.o.d"
+  "test_nab"
+  "test_nab.pdb"
+  "test_nab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

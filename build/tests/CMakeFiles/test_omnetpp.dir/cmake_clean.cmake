@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omnetpp.dir/test_omnetpp.cc.o"
+  "CMakeFiles/test_omnetpp.dir/test_omnetpp.cc.o.d"
+  "test_omnetpp"
+  "test_omnetpp.pdb"
+  "test_omnetpp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omnetpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parest.dir/test_parest.cc.o"
+  "CMakeFiles/test_parest.dir/test_parest.cc.o.d"
+  "test_parest"
+  "test_parest.pdb"
+  "test_parest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_povray.dir/test_povray.cc.o"
+  "CMakeFiles/test_povray.dir/test_povray.cc.o.d"
+  "test_povray"
+  "test_povray.pdb"
+  "test_povray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_povray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_profile.cc" "tests/CMakeFiles/test_profile.dir/test_profile.cc.o" "gcc" "tests/CMakeFiles/test_profile.dir/test_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/alberta_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/topdown/CMakeFiles/alberta_topdown.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/alberta_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alberta_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

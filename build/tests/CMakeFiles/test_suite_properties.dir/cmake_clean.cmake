@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_properties.dir/test_suite_properties.cc.o"
+  "CMakeFiles/test_suite_properties.dir/test_suite_properties.cc.o.d"
+  "test_suite_properties"
+  "test_suite_properties.pdb"
+  "test_suite_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x264.dir/test_x264.cc.o"
+  "CMakeFiles/test_x264.dir/test_x264.cc.o.d"
+  "test_x264"
+  "test_x264.pdb"
+  "test_x264[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x264.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

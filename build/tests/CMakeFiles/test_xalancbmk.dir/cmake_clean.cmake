@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xalancbmk.dir/test_xalancbmk.cc.o"
+  "CMakeFiles/test_xalancbmk.dir/test_xalancbmk.cc.o.d"
+  "test_xalancbmk"
+  "test_xalancbmk.pdb"
+  "test_xalancbmk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xalancbmk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

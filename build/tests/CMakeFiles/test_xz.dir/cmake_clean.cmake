@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xz.dir/test_xz.cc.o"
+  "CMakeFiles/test_xz.dir/test_xz.cc.o.d"
+  "test_xz"
+  "test_xz.pdb"
+  "test_xz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
