@@ -20,6 +20,10 @@ namespace {
 
 using namespace alberta;
 
+/** Baselines recur between the single and combined evaluations; the
+ * cache computes each exactly once. */
+runtime::ResultCache baselineCache;
+
 /** Geometric-mean speedup of @p opt over all workloads not in
  * @p excluded. */
 double
@@ -37,7 +41,8 @@ geomeanSpeedup(const runtime::Benchmark &benchmark,
             skip |= w.name == name;
         if (skip)
             continue;
-        const auto base = fdo::runOptimized(benchmark, w, nullptr);
+        const auto base =
+            fdo::runOptimized(benchmark, w, nullptr, &baselineCache);
         const auto tuned = fdo::runOptimized(benchmark, w, &opt);
         const double speedup = base.cycles / tuned.cycles;
         logSum += std::log(speedup);

@@ -29,11 +29,17 @@ main()
                           "crossval min", "crossval max",
                           "overstatement"});
 
+    runtime::Executor executor;
+    runtime::ResultCache cache;
+    fdo::CrossValidateOptions options;
+    options.executor = &executor;
+    options.cache = &cache;
     for (const char *name :
          {"505.mcf_r", "557.xz_r", "531.deepsjeng_r",
           "523.xalancbmk_r", "520.omnetpp_r", "548.exchange2_r"}) {
         const auto bm = core::makeBenchmark(name);
-        const fdo::CrossValidation cv = fdo::crossValidate(*bm);
+        const fdo::CrossValidation cv =
+            fdo::crossValidate(*bm, "train", options);
         table.addRow(
             {name, support::formatFixed(cv.selfSpeedup, 4),
              support::formatFixed(cv.refSpeedup, 4),

@@ -13,12 +13,16 @@
 namespace {
 
 void
-plotBenchmark(const std::string &name)
+plotBenchmark(const std::string &name,
+              alberta::runtime::Executor &executor,
+              alberta::runtime::ResultCache &cache)
 {
     using namespace alberta;
     const auto bm = core::makeBenchmark(name);
     core::CharacterizeOptions options;
     options.refrateRepetitions = 1;
+    options.executor = &executor;
+    options.cache = &cache;
     const core::Characterization c = core::characterize(*bm, options);
 
     std::cout << "\n" << name << " (Figure 1 series)\n";
@@ -64,7 +68,9 @@ main()
     std::cout << "Figure 1: top-down fractions per workload — "
                  "523.xalancbmk_r vs 557.xz_r.\nExpected shape: "
                  "larger cross-workload spread for xalancbmk.\n";
-    plotBenchmark("523.xalancbmk_r");
-    plotBenchmark("557.xz_r");
+    alberta::runtime::Executor executor;
+    alberta::runtime::ResultCache cache;
+    plotBenchmark("523.xalancbmk_r", executor, cache);
+    plotBenchmark("557.xz_r", executor, cache);
     return 0;
 }

@@ -15,12 +15,16 @@
 namespace {
 
 void
-plotCoverage(const std::string &name)
+plotCoverage(const std::string &name,
+             alberta::runtime::Executor &executor,
+             alberta::runtime::ResultCache &cache)
 {
     using namespace alberta;
     const auto bm = core::makeBenchmark(name);
     core::CharacterizeOptions options;
     options.refrateRepetitions = 1;
+    options.executor = &executor;
+    options.cache = &cache;
     const core::Characterization c = core::characterize(*bm, options);
 
     std::cout << "\n" << name << " (Figure 2 series)\n";
@@ -60,7 +64,9 @@ main()
                  "deepsjeng's distribution is stable across "
                  "workloads; xz's shifts\nwith compressibility and "
                  "dictionary fit.\n";
-    plotCoverage("531.deepsjeng_r");
-    plotCoverage("557.xz_r");
+    alberta::runtime::Executor executor;
+    alberta::runtime::ResultCache cache;
+    plotCoverage("531.deepsjeng_r", executor, cache);
+    plotCoverage("557.xz_r", executor, cache);
     return 0;
 }

@@ -10,35 +10,201 @@
  * benchmarks are workload-sensitive, the small-mean bad-speculation
  * inflation for lbm/cactuBSSN, and the coverage-variation ordering —
  * not the absolute hardware values.
+ *
+ * The suite is characterized three times to exercise and track the
+ * parallel execution engine:
+ *
+ *   1. serial baseline        (jobs=1, no result cache)
+ *   2. parallel, cold cache   (--jobs pool, empty cache)
+ *   3. parallel, warm cache   (same pool, memoized results)
+ *
+ * Model outputs must be bit-identical across all three; wall times and
+ * the derived speedups are written to BENCH_table2.json so the engine's
+ * performance is tracked across PRs.
+ *
+ *   bench_table2 [--jobs N] [--json PATH]
  */
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/suite.h"
 #include "support/table.h"
 
-int
-main()
+namespace {
+
+using namespace alberta;
+
+/** One full-suite characterization; returns rows in Table II order. */
+std::vector<core::Characterization>
+characterizeSuite(const core::CharacterizeOptions &options,
+                  const char *label)
 {
-    using namespace alberta;
+    std::vector<core::Characterization> out;
+    for (const auto &name : core::table2Names()) {
+        const auto bm = core::makeBenchmark(name);
+        out.push_back(core::characterize(*bm, options));
+        std::cerr << "  [table2:" << label << "] " << name << " done ("
+                  << out.back().workloadNames.size() << " workloads)\n";
+    }
+    return out;
+}
+
+bool
+bitIdentical(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+           std::bit_cast<std::uint64_t>(b);
+}
+
+/** Bit-exact comparison of the deterministic model outputs. */
+bool
+identicalModelOutputs(const std::vector<core::Characterization> &a,
+                      const std::vector<core::Characterization> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto &x = a[i];
+        const auto &y = b[i];
+        if (x.workloadNames != y.workloadNames ||
+            x.checksumPerWorkload != y.checksumPerWorkload)
+            return false;
+        if (!bitIdentical(x.topdown.muGV, y.topdown.muGV) ||
+            !bitIdentical(x.coverage.muGM, y.coverage.muGM))
+            return false;
+        for (std::size_t w = 0; w < x.topdownPerWorkload.size(); ++w) {
+            const auto xa = x.topdownPerWorkload[w].asArray();
+            const auto ya = y.topdownPerWorkload[w].asArray();
+            for (std::size_t k = 0; k < xa.size(); ++k) {
+                if (!bitIdentical(xa[k], ya[k]))
+                    return false;
+            }
+        }
+        if (x.coveragePerWorkload != y.coveragePerWorkload)
+            return false;
+    }
+    return true;
+}
+
+double
+timeSuite(std::vector<core::Characterization> &out,
+          const core::CharacterizeOptions &options, const char *label)
+{
+    const auto start = std::chrono::steady_clock::now();
+    out = characterizeSuite(options, label);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = 8;
+    if (const char *env = std::getenv("ALBERTA_JOBS")) {
+        if (std::atoi(env) > 0)
+            jobs = std::atoi(env);
+    }
+    std::string jsonPath = "BENCH_table2.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else {
+            std::cerr << "usage: bench_table2 [--jobs N] [--json "
+                         "PATH]\n";
+            return 2;
+        }
+    }
 
     std::cout << "Table II: workload counts, top-down summaries "
                  "(Eqs. 1-4), method-coverage\nsummary mu_g(M) "
                  "(Eq. 5), and refrate times for the Alberta "
                  "workload sets.\n\n";
 
+    // 1. Serial baseline: the pre-executor code path.
+    std::vector<core::Characterization> serial;
+    core::CharacterizeOptions serialOptions;
+    serialOptions.jobs = 1;
+    const double serialSeconds =
+        timeSuite(serial, serialOptions, "serial");
+
+    // 2. Parallel with a cold cache: pure thread-pool speedup.
+    runtime::Executor executor(jobs);
+    runtime::ResultCache cache;
+    runtime::ExecutorStats stats;
+    core::CharacterizeOptions parallelOptions;
+    parallelOptions.executor = &executor;
+    parallelOptions.cache = &cache;
+    parallelOptions.stats = &stats;
+    std::vector<core::Characterization> parallel;
+    const double parallelSeconds =
+        timeSuite(parallel, parallelOptions, "parallel");
+
+    // 3. Same pool, warm cache: the memoized re-characterization.
+    std::vector<core::Characterization> warm;
+    const double warmSeconds = timeSuite(warm, parallelOptions, "warm");
+
+    const bool identical = identicalModelOutputs(serial, parallel) &&
+                           identicalModelOutputs(serial, warm);
+
     support::Table table(core::table2Header());
-    for (const auto &name : core::table2Names()) {
-        const auto bm = core::makeBenchmark(name);
-        const core::Characterization c = core::characterize(*bm);
+    for (const auto &c : serial)
         table.addRow(core::table2Row(c));
-        std::cerr << "  [table2] " << name << " done ("
-                  << c.workloadNames.size() << " workloads)\n";
-    }
     table.print(std::cout);
 
     std::cout << "\nColumns: mu_g as percent; sg dimensionless; "
                  "mu_g(V) = geomean of sg/mu_g over f,b,s,r;\n"
                  "mu_g(M) = geomean of per-method proportional "
                  "variation (percent-scale, +0.01 offset).\n";
-    return 0;
+
+    std::cout << "\nExecution engine (" << executor.jobs()
+              << " jobs):\n"
+              << "  serial baseline    : " << serialSeconds << " s\n"
+              << "  parallel, cold     : " << parallelSeconds
+              << " s (speedup "
+              << serialSeconds / parallelSeconds << "x)\n"
+              << "  parallel, warm     : " << warmSeconds
+              << " s (speedup " << serialSeconds / warmSeconds
+              << "x)\n"
+              << "  tasks run          : " << stats.tasksRun << "\n"
+              << "  task queue / run   : " << stats.queueSeconds
+              << " s / " << stats.runSeconds << " s\n"
+              << "  cache hits/misses  : " << stats.cacheHits << "/"
+              << stats.cacheMisses << " (" << cache.size()
+              << " entries)\n"
+              << "  model outputs      : "
+              << (identical ? "bit-identical across all runs"
+                            : "MISMATCH (bug!)")
+              << "\n";
+
+    std::ofstream json(jsonPath);
+    json << "{\n"
+         << "  \"bench\": \"table2\",\n"
+         << "  \"jobs\": " << executor.jobs() << ",\n"
+         << "  \"benchmarks\": " << serial.size() << ",\n"
+         << "  \"serial_seconds\": " << serialSeconds << ",\n"
+         << "  \"parallel_cold_seconds\": " << parallelSeconds << ",\n"
+         << "  \"parallel_warm_seconds\": " << warmSeconds << ",\n"
+         << "  \"speedup_parallel_cold\": "
+         << serialSeconds / parallelSeconds << ",\n"
+         << "  \"speedup_parallel_warm\": "
+         << serialSeconds / warmSeconds << ",\n"
+         << "  \"cache_hits\": " << stats.cacheHits << ",\n"
+         << "  \"cache_misses\": " << stats.cacheMisses << ",\n"
+         << "  \"identical_model_outputs\": "
+         << (identical ? "true" : "false") << "\n"
+         << "}\n";
+    std::cerr << "  [table2] wrote " << jsonPath << "\n";
+
+    return identical ? 0 : 1;
 }

@@ -8,8 +8,16 @@
  *   alberta_cli characterize <benchmark>  Table II row for one program
  *   alberta_cli report <benchmark>        Markdown report to stdout
  *   alberta_cli cluster <benchmark> <k>   Berube-style representatives
+ *
+ * Global flags (before or after the subcommand):
+ *
+ *   --jobs N   worker threads for model runs (default: ALBERTA_JOBS
+ *              when set, otherwise the hardware concurrency)
+ *   --stats    print executor/cache statistics to stderr on exit
  */
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "core/cluster.h"
 #include "core/report.h"
@@ -19,6 +27,37 @@
 namespace {
 
 using namespace alberta;
+
+/** Parallel-execution state shared by the characterizing commands. */
+struct Engine
+{
+    runtime::Executor executor;
+    runtime::ResultCache cache;
+    runtime::ExecutorStats stats;
+
+    explicit Engine(int jobs) : executor(jobs) {}
+
+    core::CharacterizeOptions
+    options()
+    {
+        core::CharacterizeOptions o;
+        o.executor = &executor;
+        o.cache = &cache;
+        o.stats = &stats;
+        return o;
+    }
+
+    void
+    printStats() const
+    {
+        std::cerr << "[stats] jobs=" << executor.jobs()
+                  << " tasks=" << stats.tasksRun
+                  << " queue=" << stats.queueSeconds << "s"
+                  << " run=" << stats.runSeconds << "s"
+                  << " cache_hits=" << stats.cacheHits
+                  << " cache_misses=" << stats.cacheMisses << "\n";
+    }
+};
 
 int
 cmdList()
@@ -75,10 +114,10 @@ cmdRun(const std::string &name, const std::string &workloadName,
 }
 
 int
-cmdCharacterize(const std::string &name)
+cmdCharacterize(const std::string &name, Engine &engine)
 {
     const auto bm = core::makeBenchmark(name);
-    const auto c = core::characterize(*bm);
+    const auto c = core::characterize(*bm, engine.options());
     support::Table table(core::table2Header());
     table.addRow(core::table2Row(c));
     table.print(std::cout);
@@ -86,20 +125,19 @@ cmdCharacterize(const std::string &name)
 }
 
 int
-cmdReport(const std::string &name)
+cmdReport(const std::string &name, Engine &engine)
 {
     const auto bm = core::makeBenchmark(name);
-    core::CharacterizeOptions options;
-    const auto c = core::characterize(*bm, options);
+    const auto c = core::characterize(*bm, engine.options());
     std::cout << core::renderReport(c);
     return 0;
 }
 
 int
-cmdCluster(const std::string &name, std::size_t k)
+cmdCluster(const std::string &name, std::size_t k, Engine &engine)
 {
     const auto bm = core::makeBenchmark(name);
-    core::CharacterizeOptions options;
+    auto options = engine.options();
     options.refrateRepetitions = 1;
     const auto c = core::characterize(*bm, options);
     const auto clustering = core::clusterWorkloads(c, k);
@@ -125,7 +163,7 @@ void
 usage()
 {
     std::cerr
-        << "usage:\n"
+        << "usage: alberta_cli [--jobs N] [--stats] <command>\n"
            "  alberta_cli list\n"
            "  alberta_cli workloads <benchmark>\n"
            "  alberta_cli run <benchmark> <workload> [reps]\n"
@@ -139,29 +177,47 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    int jobs = 0; // 0 = ALBERTA_JOBS / hardware concurrency
+    bool printStats = false;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--stats") == 0)
+            printStats = true;
+        else
+            args.emplace_back(argv[i]);
+    }
+    if (args.empty()) {
         usage();
         return 2;
     }
-    const std::string command = argv[1];
+    const std::string &command = args[0];
+    Engine engine(jobs);
+    int rc = 2;
     try {
         if (command == "list")
-            return cmdList();
-        if (command == "workloads" && argc >= 3)
-            return cmdWorkloads(argv[2]);
-        if (command == "run" && argc >= 4)
-            return cmdRun(argv[2], argv[3],
-                          argc >= 5 ? std::atoi(argv[4]) : 3);
-        if (command == "characterize" && argc >= 3)
-            return cmdCharacterize(argv[2]);
-        if (command == "report" && argc >= 3)
-            return cmdReport(argv[2]);
-        if (command == "cluster" && argc >= 4)
-            return cmdCluster(argv[2], std::atoi(argv[3]));
+            rc = cmdList();
+        else if (command == "workloads" && args.size() >= 2)
+            rc = cmdWorkloads(args[1]);
+        else if (command == "run" && args.size() >= 3)
+            rc = cmdRun(args[1], args[2],
+                        args.size() >= 4 ? std::atoi(args[3].c_str())
+                                         : 3);
+        else if (command == "characterize" && args.size() >= 2)
+            rc = cmdCharacterize(args[1], engine);
+        else if (command == "report" && args.size() >= 2)
+            rc = cmdReport(args[1], engine);
+        else if (command == "cluster" && args.size() >= 3)
+            rc = cmdCluster(args[1], std::atoi(args[2].c_str()),
+                            engine);
+        else
+            usage();
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        rc = 1;
     }
-    usage();
-    return 2;
+    if (printStats)
+        engine.printStats();
+    return rc;
 }

@@ -5,6 +5,9 @@
  * measurements, coverage matrices, and the Section V summaries.
  *
  *   ./generate_reports [output-dir] [benchmark]
+ *
+ * Model runs execute on a shared worker pool (ALBERTA_JOBS controls
+ * the size); reports are emitted in Table II order regardless.
  */
 #include <filesystem>
 #include <fstream>
@@ -22,12 +25,16 @@ main(int argc, char **argv)
     const std::string only = argc > 2 ? argv[2] : "";
     fs::create_directories(root);
 
+    runtime::Executor executor;
+    runtime::ResultCache cache;
     for (const auto &name : core::table2Names()) {
         if (!only.empty() && name != only)
             continue;
         const auto benchmark = core::makeBenchmark(name);
         core::CharacterizeOptions options;
         options.refrateRepetitions = 3;
+        options.executor = &executor;
+        options.cache = &cache;
         const core::Characterization c =
             core::characterize(*benchmark, options);
         const fs::path file = root / (name + ".md");

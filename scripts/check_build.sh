@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the cross-PR performance tracker.
+#
+#   scripts/check_build.sh [build-dir]
+#
+# Runs the canonical configure/build/test sequence from ROADMAP.md and
+# then regenerates BENCH_table2.json (serial vs parallel wall time of
+# the full Table II characterization) so the execution engine's speedup
+# is tracked across PRs. Set ALBERTA_SKIP_BENCH=1 to stop after ctest,
+# and ALBERTA_JOBS to control the worker-pool size.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+if [[ "${ALBERTA_SKIP_BENCH:-0}" != "1" ]]; then
+    "$BUILD_DIR"/bench/bench_table2 --json BENCH_table2.json \
+        > /dev/null
+    echo "== BENCH_table2.json =="
+    cat BENCH_table2.json
+fi
+
+echo "check_build: OK"

@@ -1,5 +1,8 @@
 #include "core/suite.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "benchmarks/blender/benchmark.h"
 #include "benchmarks/cactubssn/benchmark.h"
 #include "benchmarks/deepsjeng/benchmark.h"
@@ -74,25 +77,99 @@ characterize(const runtime::Benchmark &benchmark,
     c.benchmark = benchmark.name();
     c.area = benchmark.area();
 
-    for (const auto &workload : benchmark.workloads()) {
+    // Select the workloads up front so results can be gathered in
+    // workload order no matter which worker finishes first.
+    std::vector<runtime::Workload> workloads;
+    for (auto &workload : benchmark.workloads()) {
         if (!options.includeTest && workload.name == "test")
             continue;
-        const runtime::RunMeasurement m =
-            runtime::runOnce(benchmark, workload);
-        c.workloadNames.push_back(workload.name);
-        c.topdownPerWorkload.push_back(m.topdown);
-        c.coveragePerWorkload.push_back(m.coverage);
-        if (workload.isRefrate()) {
-            c.refrateRuns.push_back(m.seconds);
-            for (int rep = 1; rep < options.refrateRepetitions;
-                 ++rep) {
-                c.refrateRuns.push_back(
-                    runtime::runOnce(benchmark, workload).seconds);
-            }
+        workloads.push_back(std::move(workload));
+    }
+    support::fatalIf(workloads.empty(), "suite: ", benchmark.name(),
+                     " has no workloads");
+
+    const int repetitions = std::max(1, options.refrateRepetitions);
+    std::size_t refrateIndex = workloads.size();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (workloads[i].isRefrate()) {
+            refrateIndex = i;
+            break;
         }
     }
-    support::fatalIf(c.workloadNames.empty(), "suite: ",
-                     benchmark.name(), " has no workloads");
+
+    runtime::ResultCache *cache = options.cache;
+    const std::uint64_t hitsBefore = cache ? cache->hits() : 0;
+    const std::uint64_t missesBefore = cache ? cache->misses() : 0;
+
+    runtime::Executor *executor = options.executor;
+    std::optional<runtime::Executor> local;
+    if (!executor) {
+        local.emplace(options.jobs);
+        executor = &*local;
+    }
+    const runtime::ExecutorStats statsBefore = executor->stats();
+
+    // Phase 1: every workload except refrate runs through the pool;
+    // each task owns a fresh ExecutionContext, so model outputs are
+    // bit-identical to the serial path.
+    std::vector<std::size_t> modelIndices;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (i != refrateIndex)
+            modelIndices.push_back(i);
+    }
+    std::vector<runtime::RunMeasurement> results(workloads.size());
+    executor->parallelFor(
+        modelIndices.size(), [&](std::size_t task) {
+            const std::size_t i = modelIndices[task];
+            results[i] =
+                runtime::measureCached(benchmark, workloads[i], cache);
+        });
+
+    // Phase 2: timed refrate repetitions on the (now quiesced) calling
+    // thread; the first timed run doubles as refrate's model run.
+    if (refrateIndex != workloads.size()) {
+        const runtime::Workload &refrate = workloads[refrateIndex];
+        runtime::CachedRun cached;
+        if (cache && cache->lookup(benchmark, refrate, &cached) &&
+            static_cast<int>(cached.timedSeconds.size()) >=
+                repetitions) {
+            results[refrateIndex] = cached.measurement;
+            c.refrateRuns.assign(cached.timedSeconds.begin(),
+                                 cached.timedSeconds.begin() +
+                                     repetitions);
+        } else {
+            const runtime::RunMeasurement first =
+                runtime::runOnce(benchmark, refrate);
+            results[refrateIndex] = first;
+            c.refrateRuns.push_back(first.seconds);
+            for (int rep = 1; rep < repetitions; ++rep) {
+                c.refrateRuns.push_back(
+                    runtime::runOnce(benchmark, refrate).seconds);
+            }
+            if (cache)
+                cache->insert(benchmark, refrate,
+                              {first, c.refrateRuns});
+        }
+    }
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        c.workloadNames.push_back(workloads[i].name);
+        c.topdownPerWorkload.push_back(results[i].topdown);
+        c.coveragePerWorkload.push_back(results[i].coverage);
+        c.checksumPerWorkload.push_back(results[i].checksum);
+    }
+
+    if (options.stats) {
+        const runtime::ExecutorStats after = executor->stats();
+        runtime::ExecutorStats delta;
+        delta.tasksRun = after.tasksRun - statsBefore.tasksRun;
+        delta.queueSeconds =
+            after.queueSeconds - statsBefore.queueSeconds;
+        delta.runSeconds = after.runSeconds - statsBefore.runSeconds;
+        delta.cacheHits = cache ? cache->hits() - hitsBefore : 0;
+        delta.cacheMisses = cache ? cache->misses() - missesBefore : 0;
+        options.stats->merge(delta);
+    }
 
     c.topdown = stats::summarizeTopdown(c.topdownPerWorkload);
     c.coverage = stats::summarizeCoverage(c.coveragePerWorkload);

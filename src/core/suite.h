@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "runtime/benchmark.h"
+#include "runtime/executor.h"
+#include "runtime/result_cache.h"
 #include "stats/summary.h"
 
 namespace alberta::core {
@@ -35,6 +37,7 @@ struct Characterization
     std::vector<std::string> workloadNames;
     std::vector<stats::TopdownRatios> topdownPerWorkload;
     std::vector<stats::CoverageMap> coveragePerWorkload;
+    std::vector<std::uint64_t> checksumPerWorkload;
     stats::TopdownSummary topdown;   //!< Eqs. 1-4 over the workloads
     stats::CoverageSummary coverage; //!< Eq. 5 over the workloads
     double refrateSeconds = 0.0;     //!< mean wall time, refrate
@@ -46,12 +49,32 @@ struct CharacterizeOptions
 {
     int refrateRepetitions = 3; //!< the paper's three timed runs
     bool includeTest = true;    //!< count "test" among workloads
+    /**
+     * Worker threads for the per-workload model runs: 1 = serial on
+     * the calling thread, 0 = runtime::Executor::defaultJobs(), N > 1
+     * = a pool of N. Ignored when @ref executor is set. Model outputs
+     * are bit-identical regardless of the thread count.
+     */
+    int jobs = 1;
+    /** Optional shared pool (e.g. one pool across a whole suite). */
+    runtime::Executor *executor = nullptr;
+    /** Optional memoization of deterministic model runs. */
+    runtime::ResultCache *cache = nullptr;
+    /** When set, this characterization's executor/cache activity is
+     * accumulated into the pointed-to stats block. */
+    runtime::ExecutorStats *stats = nullptr;
 };
 
 /**
  * Run every workload of @p benchmark once through the model (plus
  * timed refrate repetitions) and summarize with the paper's
  * methodology.
+ *
+ * Model runs may execute in parallel (see CharacterizeOptions::jobs)
+ * and are gathered in workload order; the timed refrate repetitions
+ * always run on the calling thread after the pool has drained so the
+ * wall-time column is measured on a quiesced machine, with the first
+ * timed run doubling as refrate's model run.
  */
 Characterization characterize(const runtime::Benchmark &benchmark,
                               const CharacterizeOptions &options = {});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "profile/coverage.h"
 #include "support/check.h"
@@ -85,15 +86,24 @@ compileOptimization(const Profile &profile,
 FdoMeasurement
 runOptimized(const runtime::Benchmark &benchmark,
              const runtime::Workload &workload,
-             const Optimization *optimization)
+             const Optimization *optimization,
+             runtime::ResultCache *cache)
 {
-    runtime::ExecutionContext context;
-    if (optimization) {
-        context.installOptimization(&optimization->hints,
-                                    &optimization->layout);
-    }
-    benchmark.run(workload, context);
     FdoMeasurement m;
+    if (!optimization) {
+        // A baseline run is exactly the deterministic model run the
+        // characterization pipeline memoizes; share its cache.
+        const runtime::RunMeasurement run =
+            runtime::measureCached(benchmark, workload, cache);
+        m.cycles = run.simCycles;
+        m.topdown = run.topdown;
+        m.checksum = run.checksum;
+        return m;
+    }
+    runtime::ExecutionContext context;
+    context.installOptimization(&optimization->hints,
+                                &optimization->layout);
+    benchmark.run(workload, context);
     m.cycles = context.machine().cycles();
     m.topdown = context.machine().ratios();
     m.checksum = context.checksum();
@@ -103,11 +113,13 @@ runOptimized(const runtime::Benchmark &benchmark,
 double
 fdoSpeedup(const runtime::Benchmark &benchmark,
            const runtime::Workload &train,
-           const runtime::Workload &eval)
+           const runtime::Workload &eval,
+           runtime::ResultCache *cache)
 {
     const Profile profile = collectProfile(benchmark, train);
     const Optimization opt = compileOptimization(profile);
-    const FdoMeasurement base = runOptimized(benchmark, eval, nullptr);
+    const FdoMeasurement base =
+        runOptimized(benchmark, eval, nullptr, cache);
     const FdoMeasurement tuned = runOptimized(benchmark, eval, &opt);
     support::panicIf(base.checksum != tuned.checksum,
                      "fdo: optimization changed program output");
@@ -116,7 +128,8 @@ fdoSpeedup(const runtime::Benchmark &benchmark,
 
 CrossValidation
 crossValidate(const runtime::Benchmark &benchmark,
-              const std::string &trainName)
+              const std::string &trainName,
+              const CrossValidateOptions &options)
 {
     const auto workloads = benchmark.workloads();
     const runtime::Workload train =
@@ -130,21 +143,43 @@ crossValidate(const runtime::Benchmark &benchmark,
     cv.trainWorkload = trainName;
 
     const auto speedupOn = [&](const runtime::Workload &w) {
-        const FdoMeasurement base = runOptimized(benchmark, w,
-                                                 nullptr);
+        const FdoMeasurement base =
+            runOptimized(benchmark, w, nullptr, options.cache);
         const FdoMeasurement tuned = runOptimized(benchmark, w, &opt);
         return base.cycles / tuned.cycles;
     };
 
-    cv.selfSpeedup = speedupOn(train);
+    std::vector<const runtime::Workload *> evals;
+    for (const auto &w : workloads) {
+        if (w.name != trainName)
+            evals.push_back(&w);
+    }
+    support::fatalIf(evals.empty(),
+                     "fdo: benchmark has no evaluation workloads");
+
+    // Every evaluation (and the self-evaluation) is an independent
+    // pair of model runs; fan them out and gather in workload order.
+    runtime::Executor *executor = options.executor;
+    std::optional<runtime::Executor> local;
+    if (!executor) {
+        local.emplace(options.jobs);
+        executor = &*local;
+    }
+    std::vector<double> speedups(evals.size());
+    executor->parallelFor(
+        evals.size() + 1, [&](std::size_t task) {
+            if (task == evals.size())
+                cv.selfSpeedup = speedupOn(train);
+            else
+                speedups[task] = speedupOn(*evals[task]);
+        });
+
     double logSum = 0.0;
     cv.minCross = 1e30;
     cv.maxCross = -1e30;
-    int count = 0;
-    for (const auto &w : workloads) {
-        if (w.name == trainName)
-            continue;
-        const double speedup = speedupOn(w);
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        const runtime::Workload &w = *evals[i];
+        const double speedup = speedups[i];
         if (w.isRefrate())
             cv.refSpeedup = speedup;
         cv.evalNames.push_back(w.name);
@@ -152,11 +187,9 @@ crossValidate(const runtime::Benchmark &benchmark,
         logSum += std::log(speedup);
         cv.minCross = std::min(cv.minCross, speedup);
         cv.maxCross = std::max(cv.maxCross, speedup);
-        ++count;
     }
-    support::fatalIf(count == 0,
-                     "fdo: benchmark has no evaluation workloads");
-    cv.meanCross = std::exp(logSum / count);
+    cv.meanCross =
+        std::exp(logSum / static_cast<double>(evals.size()));
     return cv;
 }
 

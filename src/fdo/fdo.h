@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "runtime/benchmark.h"
+#include "runtime/executor.h"
+#include "runtime/result_cache.h"
 #include "topdown/machine.h"
 
 namespace alberta::fdo {
@@ -69,15 +71,23 @@ struct FdoMeasurement
     std::uint64_t checksum = 0;
 };
 
-/** Run @p workload with (or without, pass nullptr) an optimization. */
+/**
+ * Run @p workload with (or without, pass nullptr) an optimization.
+ *
+ * Baseline runs (no optimization installed) are plain deterministic
+ * model runs, so they are memoized in @p cache when one is given;
+ * optimized runs depend on the installed artifacts and always execute.
+ */
 FdoMeasurement runOptimized(const runtime::Benchmark &benchmark,
                             const runtime::Workload &workload,
-                            const Optimization *optimization);
+                            const Optimization *optimization,
+                            runtime::ResultCache *cache = nullptr);
 
 /** Speedup of train-on-@p trainName applied to eval-on-@p evalName. */
 double fdoSpeedup(const runtime::Benchmark &benchmark,
                   const runtime::Workload &train,
-                  const runtime::Workload &eval);
+                  const runtime::Workload &eval,
+                  runtime::ResultCache *cache = nullptr);
 
 /** Outcome of the cross-validation methodology for one benchmark. */
 struct CrossValidation
@@ -96,13 +106,28 @@ struct CrossValidation
     double maxCross = 1.0;
 };
 
+/** Execution options for @ref crossValidate. */
+struct CrossValidateOptions
+{
+    /** Worker threads for the per-workload evaluations (1 = serial,
+     * 0 = runtime::Executor::defaultJobs()); ignored when @ref
+     * executor is set. */
+    int jobs = 1;
+    runtime::Executor *executor = nullptr; //!< optional shared pool
+    runtime::ResultCache *cache = nullptr; //!< baseline-run memoization
+};
+
 /**
  * The paper's prescribed experiment: train on "train", report both
  * the classic train->refrate number and the distribution across all
- * available (Alberta) workloads.
+ * available (Alberta) workloads. Per-workload evaluations are
+ * independent model runs, so they may execute in parallel; results
+ * are gathered in workload order and are bit-identical to the serial
+ * path.
  */
 CrossValidation crossValidate(const runtime::Benchmark &benchmark,
-                              const std::string &trainName = "train");
+                              const std::string &trainName = "train",
+                              const CrossValidateOptions &options = {});
 
 } // namespace alberta::fdo
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fixed-size thread-pool executor for (benchmark, workload) model runs.
+ *
+ * The characterization pipeline is embarrassingly parallel: every model
+ * run owns a fresh ExecutionContext, so tasks share no mutable state and
+ * the executor only has to distribute indices and collect timings.
+ * Results are always gathered in submission order, which keeps parallel
+ * characterizations bit-identical to the serial path.
+ */
+#ifndef ALBERTA_RUNTIME_EXECUTOR_H
+#define ALBERTA_RUNTIME_EXECUTOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace alberta::runtime {
+
+/** Aggregate observability counters for executor + cache activity. */
+struct ExecutorStats
+{
+    std::uint64_t tasksRun = 0;   //!< tasks executed (pool or inline)
+    double queueSeconds = 0.0;    //!< total submit -> start wait
+    double runSeconds = 0.0;      //!< total task execution time
+    std::uint64_t cacheHits = 0;  //!< result-cache hits (per consumer)
+    std::uint64_t cacheMisses = 0; //!< result-cache misses
+
+    /** Accumulate another stats block into this one. */
+    void
+    merge(const ExecutorStats &other)
+    {
+        tasksRun += other.tasksRun;
+        queueSeconds += other.queueSeconds;
+        runSeconds += other.runSeconds;
+        cacheHits += other.cacheHits;
+        cacheMisses += other.cacheMisses;
+    }
+};
+
+/**
+ * A fixed-size worker pool with a blocking `parallelFor`.
+ *
+ * With `jobs == 1` no threads are created and bodies run inline on the
+ * calling thread, so the serial path stays exactly the serial path.
+ * Nested `parallelFor` calls from worker threads degrade to inline
+ * execution instead of deadlocking.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param jobs worker count; values <= 0 resolve to @ref defaultJobs.
+     */
+    explicit Executor(int jobs = 0);
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Resolved worker count (>= 1). */
+    int jobs() const { return jobs_; }
+
+    /**
+     * Run `body(i)` for every `i` in `[0, count)` and block until all
+     * complete. Bodies may run on any worker in any order; callers must
+     * index into pre-sized result slots to keep gathering deterministic.
+     * The first exception thrown by a body is rethrown here after the
+     * batch drains.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Snapshot of the counters accumulated so far. */
+    ExecutorStats stats() const;
+
+    /**
+     * Default worker count: the `ALBERTA_JOBS` environment variable when
+     * set to a positive integer, otherwise the hardware concurrency
+     * (minimum 1).
+     */
+    static int defaultJobs();
+
+  private:
+    struct Task;
+
+    void workerLoop();
+    void runTask(Task &task);
+
+    int jobs_ = 1;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::queue<Task> queue_;
+    bool stopping_ = false;
+
+    ExecutorStats stats_;
+};
+
+} // namespace alberta::runtime
+
+#endif // ALBERTA_RUNTIME_EXECUTOR_H
