@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Microbenchmark for the top-down machine's accounting inner loop: the
+ * path every modelled micro-op funnels through. Five deterministic
+ * scenarios stress the distinct fast paths that PRs to src/topdown/
+ * must keep both fast and bit-identical:
+ *
+ *   alu        bulk ops() reports, the pure accounting hot path
+ *   branchy    patterned conditional branches (gshare + site profile)
+ *   memory     scattered loads over an L2-resident working set
+ *   streaming  stream() over long contiguous ranges (batched charges)
+ *   mixed      interpreter-style dispatch: indirect + load per step
+ *
+ * Each scenario reports retired micro-ops per second of wall time, and
+ * all model outputs (slot totals, cache and predictor counters) are
+ * folded into one 64-bit signature. The signature depends only on the
+ * model's decisions — never on timing — so scripts/check_build.sh can
+ * diff it against the committed BENCH_machine.json to detect any
+ * semantic change to the model, however small.
+ *
+ *   bench_machine [--json PATH] [--scale N]
+ */
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "topdown/machine.h"
+
+namespace {
+
+using namespace alberta;
+using topdown::Machine;
+using topdown::OpKind;
+
+/** FNV-1a style fold, matching ExecutionContext::consume's shape. */
+struct Signature
+{
+    std::uint64_t value = 0xcbf29ce484222325ULL;
+
+    void
+    fold(std::uint64_t v)
+    {
+        value = (value ^ v) * 0x100000001b3ULL;
+        value ^= value >> 29;
+    }
+
+    void fold(double v) { fold(std::bit_cast<std::uint64_t>(v)); }
+};
+
+/** Fold every externally observable model output into @p sig. */
+void
+foldMachine(const Machine &m, Signature &sig)
+{
+    const auto &t = m.totals();
+    sig.fold(t.frontend);
+    sig.fold(t.backend);
+    sig.fold(t.badspec);
+    sig.fold(t.retiring);
+    sig.fold(m.retiredOps());
+    const auto &h = m.hierarchy();
+    for (const topdown::Cache *c :
+         {&h.l1d(), &h.l1i(), &h.l2(), &h.l3()}) {
+        sig.fold(c->accesses());
+        sig.fold(c->misses());
+    }
+    sig.fold(m.predictor().conditionals());
+    sig.fold(m.predictor().mispredicts());
+}
+
+struct ScenarioResult
+{
+    std::string name;
+    std::uint64_t uops = 0;
+    double seconds = 0.0;
+
+    double
+    uopsPerSecond() const
+    {
+        return seconds > 0.0 ? static_cast<double>(uops) / seconds : 0.0;
+    }
+};
+
+/** Pure accounting: bulk ALU reports with periodic method switches. */
+void
+scenarioAlu(Machine &m, std::uint64_t scale)
+{
+    for (std::uint64_t rep = 0; rep < 200 * scale; ++rep) {
+        m.setMethod(1 + rep % 7, 2048 + 512 * (rep % 3),
+                    support::mix64(rep % 7));
+        m.ops(OpKind::IntAlu, 40000);
+        m.ops(OpKind::IntMul, 8000);
+    }
+}
+
+/** Patterned conditional branches: loop-like, biased, and noisy. */
+void
+scenarioBranchy(Machine &m, std::uint64_t scale)
+{
+    support::Rng rng(0xb7a2c001);
+    for (std::uint64_t i = 0; i < 3'000'000 * scale; ++i) {
+        m.branch(static_cast<std::uint32_t>(i % 13),
+                 (i & 7) != 0);                    // loop back-edge
+        m.branch(200, rng.chance(0.9));            // biased data branch
+        m.branch(300 + i % 3, (i >> (i % 5)) & 1); // phase-shifting
+    }
+}
+
+/** Scattered loads over ~128 KiB: L1-missing, L2-hitting. */
+void
+scenarioMemory(Machine &m, std::uint64_t scale)
+{
+    support::Rng rng(0x3e30a001);
+    for (std::uint64_t i = 0; i < 4'000'000 * scale; ++i) {
+        m.load(0x10000000ULL + rng.below(128 * 1024));
+        if ((i & 15) == 0)
+            m.store(0x20000000ULL + rng.below(64 * 1024));
+    }
+}
+
+/** Long contiguous streams: the batched line-accounting path. */
+void
+scenarioStreaming(Machine &m, std::uint64_t scale)
+{
+    for (std::uint64_t rep = 0; rep < 600 * scale; ++rep) {
+        const std::uint64_t base = 0x40000000ULL + (rep % 5) * (1 << 22);
+        m.stream(OpKind::Load, base, 20000, 8);
+        m.stream(OpKind::Store, base + (1 << 21), 10000, 8);
+        m.ops(OpKind::FpAdd, 30000);
+    }
+}
+
+/** Interpreter-style dispatch: indirect branch + load per step. */
+void
+scenarioMixed(Machine &m, std::uint64_t scale)
+{
+    support::Rng rng(0x371bed01);
+    std::vector<std::uint64_t> program(4096);
+    for (auto &op : program)
+        op = rng.below(48);
+    std::uint64_t pc = 0;
+    for (std::uint64_t i = 0; i < 2'000'000 * scale; ++i) {
+        const std::uint64_t op = program[pc];
+        m.load(0x750000000ULL + pc * 16);
+        m.indirect(2, op);
+        m.ops(OpKind::IntAlu, 2);
+        if (m.branch(3, (i & 31) == 0))
+            pc = (pc + op) % program.size();
+        else
+            pc = (pc + 1) % program.size();
+    }
+}
+
+template <typename Fn>
+ScenarioResult
+runScenario(const char *name, Fn &&body, std::uint64_t scale,
+            Signature &sig)
+{
+    Machine m;
+    m.setMethod(1, 4096, support::mix64(1));
+    const auto start = std::chrono::steady_clock::now();
+    body(m, scale);
+    ScenarioResult r;
+    r.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    r.name = name;
+    r.uops = m.retiredOps();
+    foldMachine(m, sig);
+    std::cerr << "  [machine] " << name << ": " << r.uops << " uops in "
+              << r.seconds << " s (" << r.uopsPerSecond() / 1e6
+              << " Muops/s)\n";
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath = "BENCH_machine.json";
+    std::uint64_t scale = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+            scale = std::strtoull(argv[++i], nullptr, 10);
+        else {
+            std::cerr << "usage: bench_machine [--json PATH] "
+                         "[--scale N]\n";
+            return 2;
+        }
+    }
+    if (scale == 0)
+        scale = 1;
+
+    Signature sig;
+    std::vector<ScenarioResult> results;
+    results.push_back(runScenario("alu", scenarioAlu, scale, sig));
+    results.push_back(
+        runScenario("branchy", scenarioBranchy, scale, sig));
+    results.push_back(runScenario("memory", scenarioMemory, scale, sig));
+    results.push_back(
+        runScenario("streaming", scenarioStreaming, scale, sig));
+    results.push_back(runScenario("mixed", scenarioMixed, scale, sig));
+
+    std::uint64_t totalUops = 0;
+    double totalSeconds = 0.0;
+    for (const auto &r : results) {
+        totalUops += r.uops;
+        totalSeconds += r.seconds;
+    }
+    const double overall =
+        totalSeconds > 0.0 ? totalUops / totalSeconds : 0.0;
+
+    char sigHex[19];
+    std::snprintf(sigHex, sizeof sigHex, "0x%016llx",
+                  static_cast<unsigned long long>(sig.value));
+
+    std::cout << "Machine hot-path throughput: " << overall / 1e6
+              << " Muops/s overall, model signature " << sigHex << "\n";
+
+    std::ofstream json(jsonPath);
+    json << "{\n"
+         << "  \"bench\": \"machine\",\n"
+         << "  \"scale\": " << scale << ",\n";
+    for (const auto &r : results) {
+        json << "  \"" << r.name
+             << "_uops_per_second\": " << r.uopsPerSecond() << ",\n";
+    }
+    json << "  \"total_uops\": " << totalUops << ",\n"
+         << "  \"overall_uops_per_second\": " << overall << ",\n"
+         << "  \"model_signature\": \"" << sigHex << "\"\n"
+         << "}\n";
+    std::cerr << "  [machine] wrote " << jsonPath << "\n";
+    return 0;
+}

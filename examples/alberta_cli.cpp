@@ -15,6 +15,8 @@
  *              when set, otherwise the hardware concurrency)
  *   --stats    print executor/cache statistics to stderr on exit
  */
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -27,6 +29,28 @@
 namespace {
 
 using namespace alberta;
+
+/**
+ * Parse the argument of `--jobs`: a positive decimal integer with no
+ * trailing junk. Prints a diagnostic and exits 2 on anything else —
+ * `std::atoi`-style silent zero would spawn a full hardware-concurrency
+ * pool for "--jobs abc".
+ */
+int
+parseJobs(const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value <= 0 ||
+        value > 1024) {
+        std::cerr << "alberta_cli: --jobs expects a positive integer "
+                     "(1..1024), got '"
+                  << text << "'\n";
+        std::exit(2);
+    }
+    return static_cast<int>(value);
+}
 
 /** Parallel-execution state shared by the characterizing commands. */
 struct Engine
@@ -55,7 +79,10 @@ struct Engine
                   << " queue=" << stats.queueSeconds << "s"
                   << " run=" << stats.runSeconds << "s"
                   << " cache_hits=" << stats.cacheHits
-                  << " cache_misses=" << stats.cacheMisses << "\n";
+                  << " cache_misses=" << stats.cacheMisses
+                  << " uops=" << stats.uopsRetired << " uops_per_sec="
+                  << support::formatFixed(stats.uopsPerSecond(), 0)
+                  << "\n";
     }
 };
 
@@ -181,9 +208,13 @@ main(int argc, char **argv)
     bool printStats = false;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
-            jobs = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--stats") == 0)
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "alberta_cli: --jobs requires an argument\n";
+                return 2;
+            }
+            jobs = parseJobs(argv[++i]);
+        } else if (std::strcmp(argv[i], "--stats") == 0)
             printStats = true;
         else
             args.emplace_back(argv[i]);

@@ -4,10 +4,19 @@
 #   scripts/check_build.sh [build-dir]
 #
 # Runs the canonical configure/build/test sequence from ROADMAP.md and
-# then regenerates BENCH_table2.json (serial vs parallel wall time of
-# the full Table II characterization) so the execution engine's speedup
-# is tracked across PRs. Set ALBERTA_SKIP_BENCH=1 to stop after ctest,
-# and ALBERTA_JOBS to control the worker-pool size.
+# then regenerates the performance trackers:
+#
+#   BENCH_machine.json  hot-path throughput of the top-down machine,
+#                       plus a 64-bit model signature over all model
+#                       outputs. The signature must match the committed
+#                       file bit-for-bit — any semantic change to the
+#                       model fails here unless it is explicitly
+#                       acknowledged with ALBERTA_ALLOW_MODEL_CHANGE=1.
+#   BENCH_table2.json   serial vs parallel wall time of the full
+#                       Table II characterization.
+#
+# Set ALBERTA_SKIP_BENCH=1 to stop after ctest, and ALBERTA_JOBS to
+# control the worker-pool size.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,6 +27,35 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 if [[ "${ALBERTA_SKIP_BENCH:-0}" != "1" ]]; then
+    committed_sig=""
+    if [[ -f BENCH_machine.json ]]; then
+        committed_sig="$(sed -n \
+            's/.*"model_signature": "\(0x[0-9a-f]*\)".*/\1/p' \
+            BENCH_machine.json)"
+    fi
+    "$BUILD_DIR"/bench/bench_machine --json BENCH_machine.json \
+        > /dev/null
+    new_sig="$(sed -n \
+         's/.*"model_signature": "\(0x[0-9a-f]*\)".*/\1/p' \
+        BENCH_machine.json)"
+    echo "== BENCH_machine.json =="
+    cat BENCH_machine.json
+    if [[ -n "$committed_sig" && "$committed_sig" != "$new_sig" ]]; then
+        if [[ "${ALBERTA_ALLOW_MODEL_CHANGE:-0}" == "1" ]]; then
+            echo "check_build: model signature changed" \
+                 "($committed_sig -> $new_sig), allowed by" \
+                 "ALBERTA_ALLOW_MODEL_CHANGE=1"
+        else
+            echo "check_build: FAIL: model signature changed" \
+                 "($committed_sig -> $new_sig)." >&2
+            echo "The top-down model no longer produces bit-identical" \
+                 "outputs. If intentional, rerun with" \
+                 "ALBERTA_ALLOW_MODEL_CHANGE=1 and commit the new" \
+                 "BENCH_machine.json." >&2
+            exit 1
+        fi
+    fi
+
     "$BUILD_DIR"/bench/bench_table2 --json BENCH_table2.json \
         > /dev/null
     echo "== BENCH_table2.json =="

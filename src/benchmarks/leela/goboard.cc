@@ -49,11 +49,11 @@ GoBoard::libertiesAndGroup(int p, std::vector<int> &group) const
 {
     const Color color = board_[p];
     group.clear();
-    std::fill(mark_.begin(), mark_.end(), 0);
+    ++markGen_;
     int liberties = 0;
     scratch_.clear();
     scratch_.push_back(p);
-    mark_[p] = 1;
+    mark_[p] = markGen_;
     const int dirs[4] = {1, -1, stride_, -stride_};
     while (!scratch_.empty()) {
         const int q = scratch_.back();
@@ -61,9 +61,9 @@ GoBoard::libertiesAndGroup(int p, std::vector<int> &group) const
         group.push_back(q);
         for (const int d : dirs) {
             const int nb = q + d;
-            if (mark_[nb])
+            if (mark_[nb] == markGen_)
                 continue;
-            mark_[nb] = 1;
+            mark_[nb] = markGen_;
             if (board_[nb] == Color::Empty)
                 ++liberties;
             else if (board_[nb] == color)
@@ -98,15 +98,13 @@ GoBoard::legal(int p, Color color) const
 
     // Otherwise the move is legal iff it captures something or joins a
     // group that retains a liberty.
-    auto *self = const_cast<GoBoard *>(this);
-    std::vector<int> group;
     for (const int d : dirs) {
         const int nb = p + d;
         if (board_[nb] == opponent(color)) {
-            if (self->libertiesAndGroup(nb, group) == 1)
+            if (libertiesAndGroup(nb, group_) == 1)
                 return true; // captures the neighbour group
         } else if (board_[nb] == color) {
-            if (self->libertiesAndGroup(nb, group) > 1)
+            if (libertiesAndGroup(nb, group_) > 1)
                 return true; // friendly group keeps a liberty
         }
     }
@@ -128,23 +126,22 @@ GoBoard::play(int p, Color color)
     const int dirs[4] = {1, -1, stride_, -stride_};
     int captured = 0;
     int lastCaptured = -2;
-    std::vector<int> group;
     for (const int d : dirs) {
         const int nb = p + d;
         if (board_[nb] != opponent(color))
             continue;
-        if (libertiesAndGroup(nb, group) == 0) {
-            captured += static_cast<int>(group.size());
-            if (group.size() == 1)
-                lastCaptured = group[0];
-            removeGroup(group);
+        if (libertiesAndGroup(nb, group_) == 0) {
+            captured += static_cast<int>(group_.size());
+            if (group_.size() == 1)
+                lastCaptured = group_[0];
+            removeGroup(group_);
         }
     }
 
     // Simple ko: single-stone capture by a single stone in atari.
     koPoint_ = -2;
     if (captured == 1 && lastCaptured >= 0) {
-        if (libertiesAndGroup(p, group) == 1 && group.size() == 1)
+        if (libertiesAndGroup(p, group_) == 1 && group_.size() == 1)
             koPoint_ = lastCaptured;
     }
     return captured;
@@ -189,19 +186,19 @@ int
 GoBoard::areaScore() const
 {
     int black = 0, white = 0;
-    std::fill(mark_.begin(), mark_.end(), 0);
+    ++markGen_;
     const int dirs[4] = {1, -1, stride_, -stride_};
     for (const int p : points_) {
         if (board_[p] == Color::Black) {
             ++black;
         } else if (board_[p] == Color::White) {
             ++white;
-        } else if (!mark_[p]) {
+        } else if (mark_[p] != markGen_) {
             // Flood-fill the empty region; assign if bordered by a
             // single color.
             scratch_.clear();
             scratch_.push_back(p);
-            mark_[p] = 1;
+            mark_[p] = markGen_;
             std::vector<int> region;
             bool touchesBlack = false, touchesWhite = false;
             while (!scratch_.empty()) {
@@ -214,8 +211,9 @@ GoBoard::areaScore() const
                         touchesBlack = true;
                     else if (board_[nb] == Color::White)
                         touchesWhite = true;
-                    else if (board_[nb] == Color::Empty && !mark_[nb]) {
-                        mark_[nb] = 1;
+                    else if (board_[nb] == Color::Empty &&
+                             mark_[nb] != markGen_) {
+                        mark_[nb] = markGen_;
                         scratch_.push_back(nb);
                     }
                 }

@@ -104,7 +104,12 @@ class GoBoard
     std::vector<Color> board_;
     std::vector<int> points_;
     mutable std::vector<int> scratch_;
-    mutable std::vector<std::uint8_t> mark_;
+    mutable std::vector<int> group_; //!< flood-fill result scratch
+    /** Visited marks as generation stamps: a point is marked iff
+     * mark_[p] == markGen_, so starting a new traversal is one counter
+     * bump instead of clearing the whole array. */
+    mutable std::vector<std::uint64_t> mark_;
+    mutable std::uint64_t markGen_ = 0;
 };
 
 /** Convert a 0-based (row, col) to SGF coordinates, e.g. (3,2)->"cd". */

@@ -168,6 +168,8 @@ characterize(const runtime::Benchmark &benchmark,
         delta.runSeconds = after.runSeconds - statsBefore.runSeconds;
         delta.cacheHits = cache ? cache->hits() - hitsBefore : 0;
         delta.cacheMisses = cache ? cache->misses() - missesBefore : 0;
+        for (const runtime::RunMeasurement &r : results)
+            delta.uopsRetired += r.retiredOps;
         options.stats->merge(delta);
     }
 

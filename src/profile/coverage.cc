@@ -13,6 +13,7 @@ MethodRegistry::intern(std::string_view name, std::uint32_t code_bytes)
     const auto id = static_cast<std::uint32_t>(names_.size());
     names_.emplace_back(name);
     codeBytes_.push_back(code_bytes);
+    stableKeys_.push_back(std::hash<std::string>{}(names_.back()));
     index_.emplace(names_.back(), id);
     return id;
 }
@@ -36,7 +37,9 @@ MethodRegistry::codeBytes(std::uint32_t id) const
 std::uint64_t
 MethodRegistry::stableKey(std::uint32_t id) const
 {
-    return std::hash<std::string>{}(name(id));
+    support::panicIf(id >= stableKeys_.size(), "method id ", id,
+                     " out of range");
+    return stableKeys_[id];
 }
 
 MethodScope::MethodScope(CoverageProfiler &profiler, std::uint32_t id)

@@ -43,7 +43,8 @@ class MethodRegistry
     /** Declared code footprint of method @p id. */
     std::uint32_t codeBytes(std::uint32_t id) const;
 
-    /** Run-independent identity of method @p id (name hash). */
+    /** Run-independent identity of method @p id (name hash, computed
+     * once at interning so scope switches never re-hash the name). */
     std::uint64_t stableKey(std::uint32_t id) const;
 
     /** Number of ids in use, including the implicit id 0. */
@@ -52,6 +53,8 @@ class MethodRegistry
   private:
     std::vector<std::string> names_ = {"<unattributed>"};
     std::vector<std::uint32_t> codeBytes_ = {1024};
+    std::vector<std::uint64_t> stableKeys_ = {
+        std::hash<std::string>{}("<unattributed>")};
     std::unordered_map<std::string, std::uint32_t> index_;
 };
 

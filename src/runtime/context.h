@@ -59,6 +59,9 @@ class ExecutionContext
     /** Verification checksum over consumed outputs. */
     std::uint64_t checksum() const { return checksum_; }
 
+    /** Micro-ops retired by this run so far (machine passthrough). */
+    std::uint64_t retiredOps() const { return machine_.retiredOps(); }
+
     /** Per-method coverage fractions observed so far. */
     stats::CoverageMap coverage() const
     {

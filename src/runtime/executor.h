@@ -29,6 +29,20 @@ struct ExecutorStats
     double runSeconds = 0.0;      //!< total task execution time
     std::uint64_t cacheHits = 0;  //!< result-cache hits (per consumer)
     std::uint64_t cacheMisses = 0; //!< result-cache misses
+    std::uint64_t uopsRetired = 0; //!< micro-ops retired by model runs
+
+    /**
+     * Model throughput in micro-ops per second of task execution time.
+     * Cache hits replay memoized results, so a warm pass reports a much
+     * higher apparent throughput than the raw machine speed.
+     */
+    double
+    uopsPerSecond() const
+    {
+        return runSeconds > 0.0
+                   ? static_cast<double>(uopsRetired) / runSeconds
+                   : 0.0;
+    }
 
     /** Accumulate another stats block into this one. */
     void
@@ -39,6 +53,7 @@ struct ExecutorStats
         runSeconds += other.runSeconds;
         cacheHits += other.cacheHits;
         cacheMisses += other.cacheMisses;
+        uopsRetired += other.uopsRetired;
     }
 };
 

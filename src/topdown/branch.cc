@@ -1,7 +1,5 @@
 #include "topdown/branch.h"
 
-#include "support/rng.h"
-
 namespace alberta::topdown {
 
 BranchPredictor::BranchPredictor()
@@ -10,58 +8,24 @@ BranchPredictor::BranchPredictor()
 }
 
 bool
-BranchPredictor::conditional(std::uint64_t site, bool taken)
-{
-    ++conditionals_;
-
-    if (hints_) {
-        const auto it = hints_->direction.find(site);
-        if (it != hints_->direction.end()) {
-            // Static hint: no dynamic state consulted or trained, the
-            // compiler fixed the layout. History still records the
-            // outcome so unhinted branches see a consistent context.
-            history_ = ((history_ << 1) | (taken ? 1 : 0)) &
-                       (kTableSize - 1);
-            const bool correct = it->second == taken;
-            if (!correct)
-                ++mispredicts_;
-            return correct;
-        }
-    }
-
-    const std::uint64_t index =
-        (support::mix64(site) ^ history_) & (kTableSize - 1);
-    std::uint8_t &counter = counters_[index];
-    const bool predicted = counter >= 2;
-    if (taken) {
-        if (counter < 3)
-            ++counter;
-    } else {
-        if (counter > 0)
-            --counter;
-    }
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) & (kTableSize - 1);
-    const bool correct = predicted == taken;
-    if (!correct)
-        ++mispredicts_;
-    return correct;
-}
-
-bool
 BranchPredictor::indirect(std::uint64_t site, std::uint64_t target)
 {
     // Combine the site with recent target history so repeating
     // dispatch sequences (interpreter loops, event kinds) predict.
+    // No pre-mixing: equality of keys (all that matters for outcomes)
+    // is unchanged by a bijective hash, and the table mixes for probe
+    // distribution itself.
     const std::uint64_t key =
-        support::mix64(site ^ indirectHistory_ * 0x9e3779b97f4a7c15ULL);
-    auto [it, inserted] = targets_.try_emplace(key, target);
+        site ^ indirectHistory_ * 0x9e3779b97f4a7c15ULL;
+    bool inserted = false;
+    std::uint64_t &entry = targets_.slot(key, &inserted);
     bool correct;
     if (inserted) {
         correct = false;
     } else {
-        correct = it->second == target;
-        it->second = target;
+        correct = entry == target;
     }
+    entry = target;
     indirectHistory_ =
         ((indirectHistory_ << 4) ^ support::mix64(target)) & 0xffff;
     if (!correct)

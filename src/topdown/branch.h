@@ -3,6 +3,11 @@
  * Branch direction prediction for the top-down model: a gshare predictor
  * with an optional table of static FDO hints, plus a last-target
  * predictor for indirect branches (virtual dispatch, VM interpreters).
+ *
+ * The conditional predict-and-update path lives in the header (it runs
+ * once per modelled branch), and the indirect-target table is a flat
+ * open-addressing map instead of `std::unordered_map` — same outcomes,
+ * no per-node allocation or pointer chasing.
  */
 #ifndef ALBERTA_TOPDOWN_BRANCH_H
 #define ALBERTA_TOPDOWN_BRANCH_H
@@ -10,6 +15,9 @@
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
+
+#include "support/rng.h"
+#include "topdown/flatmap.h"
 
 namespace alberta::topdown {
 
@@ -37,7 +45,44 @@ class BranchPredictor
      * @param taken the actual outcome
      * @return true if the prediction was correct
      */
-    bool conditional(std::uint64_t site, bool taken);
+    bool
+    conditional(std::uint64_t site, bool taken)
+    {
+        ++conditionals_;
+
+        if (hints_) {
+            const auto it = hints_->direction.find(site);
+            if (it != hints_->direction.end()) {
+                // Static hint: no dynamic state consulted or trained,
+                // the compiler fixed the layout. History still records
+                // the outcome so unhinted branches see a consistent
+                // context.
+                history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                           (kTableSize - 1);
+                const bool correct = it->second == taken;
+                if (!correct)
+                    ++mispredicts_;
+                return correct;
+            }
+        }
+
+        const std::uint64_t index =
+            (support::mix64(site) ^ history_) & (kTableSize - 1);
+        std::uint8_t &counter = counters_[index];
+        const bool predicted = counter >= 2;
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & (kTableSize - 1);
+        const bool correct = predicted == taken;
+        if (!correct)
+            ++mispredicts_;
+        return correct;
+    }
 
     /**
      * Predict and update for one indirect branch via a last-target
@@ -67,7 +112,7 @@ class BranchPredictor
     /** Indirect-target table indexed by site ^ folded history, so
      * interpreter dispatch loops with repeating opcode patterns are
      * predictable (ITTAGE-like behaviour). */
-    std::unordered_map<std::uint64_t, std::uint64_t> targets_;
+    FlatKeyMap<std::uint64_t> targets_;
     std::uint64_t history_ = 0;
     std::uint64_t indirectHistory_ = 0;
     std::uint64_t conditionals_ = 0;

@@ -28,23 +28,20 @@ Cache::Cache(std::uint64_t bytes, int ways, int line_bytes)
     setMask_ = sets - 1;
     tags_.assign(lines, ~0ULL);
     lru_.assign(lines, 0);
+    mru_.assign(sets, 0);
 }
 
 bool
-Cache::access(std::uint64_t addr)
+Cache::accessSlow(std::uint64_t line, std::uint64_t set,
+                  std::size_t base)
 {
-    ++accesses_;
-    const std::uint64_t line = addr >> lineShift_;
-    const std::uint64_t set = line & setMask_;
-    const std::size_t base = static_cast<std::size_t>(set) * ways_;
-    ++stamp_;
-
     std::size_t victim = base;
     std::uint64_t oldest = ~0ULL;
     for (int w = 0; w < ways_; ++w) {
         const std::size_t idx = base + w;
         if (tags_[idx] == line) {
             lru_[idx] = stamp_;
+            mru_[set] = static_cast<std::uint8_t>(w);
             return true;
         }
         if (lru_[idx] < oldest) {
@@ -55,6 +52,7 @@ Cache::access(std::uint64_t addr)
     ++misses_;
     tags_[victim] = line;
     lru_[victim] = stamp_;
+    mru_[set] = static_cast<std::uint8_t>(victim - base);
     return false;
 }
 
@@ -63,7 +61,7 @@ Cache::reset()
 {
     std::fill(tags_.begin(), tags_.end(), ~0ULL);
     std::fill(lru_.begin(), lru_.end(), 0);
-    accesses_ = 0;
+    std::fill(mru_.begin(), mru_.end(), 0);
     misses_ = 0;
     stamp_ = 0;
 }
@@ -84,22 +82,6 @@ MemoryHierarchy::beyondL1(std::uint64_t addr)
     if (l3_.access(addr))
         return lat_.l3;
     return lat_.memory;
-}
-
-double
-MemoryHierarchy::data(std::uint64_t addr)
-{
-    if (l1d_.access(addr))
-        return 0.0;
-    return beyondL1(addr);
-}
-
-double
-MemoryHierarchy::fetch(std::uint64_t addr)
-{
-    if (l1i_.access(addr))
-        return 0.0;
-    return beyondL1(addr);
 }
 
 void

@@ -9,6 +9,7 @@ namespace alberta::topdown {
 Machine::Machine(const MachineConfig &config) : config_(config)
 {
     methods_.resize(1); // method 0 = unattributed work
+    current_ = &methods_[0];
 }
 
 void
@@ -17,11 +18,15 @@ Machine::reset()
     hierarchy_.reset();
     predictor_.reset();
     methods_.assign(1, SlotCounts{});
+    current_ = &methods_[0];
+    total_ = SlotCounts{};
     method_ = 0;
     stableKey_ = 0;
     codeBase_ = 0;
     codeBytes_ = 4096;
     codeCursor_ = 0;
+    lastFetchLine_ = ~0ULL;
+    fastCodeBytes_ = 0;
     retired_ = 0;
     profiles_.clear();
     intervalUops_ = 0;
@@ -37,6 +42,7 @@ Machine::setMethod(std::uint32_t id, std::uint32_t code_bytes,
     if (id >= methods_.size())
         methods_.resize(id + 1);
     method_ = id;
+    current_ = &methods_[id];
     stableKey_ = stable_key == ~0ULL ? id : stable_key;
     double scaled = code_bytes;
     if (layout_) {
@@ -49,33 +55,49 @@ Machine::setMethod(std::uint32_t id, std::uint32_t code_bytes,
     // Methods live in disjoint 16 MiB code regions; tags always differ.
     codeBase_ = (static_cast<std::uint64_t>(id) + 1) << 24;
     codeCursor_ = 0;
+    fastCodeBytes_ = 0; // slow path re-establishes the line memo
 }
 
 void
-Machine::advanceCode(std::uint64_t uops)
+Machine::advanceCodeSlow(std::uint64_t bytes)
 {
-    // Each uop occupies ~4 bytes of code; fetch one line per 64 bytes.
-    std::uint64_t bytes = uops * 4;
+    // Each uop occupies ~4 bytes of code; fetch one line per 64 bytes,
+    // skipping the line fetched last: no other fetch has happened since,
+    // so it is still resident and most-recently-used — re-accessing it
+    // would be a guaranteed hit that cannot change any LRU decision.
     while (bytes > 0) {
-        const std::uint32_t before = codeCursor_ >> 6;
+        if (codeCursor_ >= codeBytes_)
+            codeCursor_ = 0; // fast path may have parked on the wrap
         const std::uint64_t step =
             std::min<std::uint64_t>(bytes, codeBytes_ - codeCursor_);
-        const std::uint32_t firstLine = before;
+        const std::uint32_t firstLine = codeCursor_ >> 6;
         const std::uint32_t lastLine =
             static_cast<std::uint32_t>((codeCursor_ + step - 1) >> 6);
         for (std::uint32_t line = firstLine; line <= lastLine; ++line) {
-            const double extra =
-                hierarchy_.fetch(codeBase_ + (static_cast<std::uint64_t>(
-                                                  line)
-                                              << 6));
+            const std::uint64_t lineAddr =
+                codeBase_ + (static_cast<std::uint64_t>(line) << 6);
+            if (lineAddr == lastFetchLine_)
+                continue;
+            lastFetchLine_ = lineAddr;
+            const double extra = hierarchy_.fetch(lineAddr);
             if (extra > 0.0) {
-                current().frontend += extra * config_.issueWidth *
-                                      config_.fetchStallFactor;
+                chargeFrontend(extra * config_.issueWidth *
+                               config_.fetchStallFactor);
             }
         }
         codeCursor_ =
             static_cast<std::uint32_t>((codeCursor_ + step) % codeBytes_);
         bytes -= step;
+    }
+    // Refill the fast-path budget: bytes consumable before the cursor
+    // leaves the just-fetched line or wraps the code footprint.
+    const std::uint64_t cursorLine =
+        codeBase_ + (static_cast<std::uint64_t>(codeCursor_ >> 6) << 6);
+    if (cursorLine == lastFetchLine_) {
+        fastCodeBytes_ = std::min<std::uint32_t>(
+            64 - (codeCursor_ & 63), codeBytes_ - codeCursor_);
+    } else {
+        fastCodeBytes_ = 0;
     }
 }
 
@@ -92,38 +114,25 @@ Machine::recordIntervals(std::uint64_t uops_per_interval)
 }
 
 void
-Machine::ops(OpKind k, std::uint64_t n)
+Machine::opsWithIntervals(OpKind k, std::uint64_t n)
 {
-    if (n == 0)
-        return;
-    SlotCounts &slots = current();
-    const double dn = static_cast<double>(n);
-    slots.retiring += dn;
-    slots.backend += dn * config_.backendCost[static_cast<int>(k)];
-    slots.frontend += dn * config_.decodeFrontend;
-    retired_ += n;
-    if (intervalUops_ != 0 && retired_ >= nextBoundary_) {
-        const SlotCounts now = totals();
-        SlotCounts delta = now;
-        delta.frontend -= lastSnapshot_.frontend;
-        delta.backend -= lastSnapshot_.backend;
-        delta.badspec -= lastSnapshot_.badspec;
-        delta.retiring -= lastSnapshot_.retiring;
-        intervals_.push_back(delta);
-        lastSnapshot_ = now;
-        nextBoundary_ += intervalUops_;
-    }
-    advanceCode(n);
-}
-
-void
-Machine::memory(OpKind kind, std::uint64_t addr)
-{
-    ops(kind, 1);
-    const double extra = hierarchy_.data(addr);
-    if (extra > 0.0) {
-        current().backend +=
-            extra * config_.issueWidth * config_.memStallFactor;
+    // Chunk the bulk report at interval boundaries so one ops(k, n)
+    // call is indistinguishable from n single-uop reports: one interval
+    // is emitted per boundary crossed, with this call's slots (and its
+    // code-fetch stalls) attributed to the intervals they fall in.
+    while (n > 0) {
+        const std::uint64_t room = nextBoundary_ - retired_;
+        const std::uint64_t chunk = n < room ? n : room;
+        account(k, chunk);
+        advanceCode(chunk * 4);
+        if (retired_ == nextBoundary_) {
+            SlotCounts delta = total_;
+            delta -= lastSnapshot_;
+            intervals_.push_back(delta);
+            lastSnapshot_ = total_;
+            nextBoundary_ += intervalUops_;
+        }
+        n -= chunk;
     }
 }
 
@@ -136,16 +145,15 @@ Machine::stream(OpKind kind, std::uint64_t addr, std::uint64_t count,
     support::panicIf(kind != OpKind::Load && kind != OpKind::Store,
                      "stream requires Load or Store");
     ops(kind, count);
-    // One hierarchy access per distinct line touched by the stream.
+    // One hierarchy access per line in the spanned byte range; the
+    // per-line extra latencies are summed and charged as one batch.
     const std::uint64_t bytes = count * stride;
     const std::uint64_t firstLine = addr >> 6;
     const std::uint64_t lastLine = (addr + (bytes ? bytes - 1 : 0)) >> 6;
-    for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
-        const double extra = hierarchy_.data(line << 6);
-        if (extra > 0.0) {
-            current().backend +=
-                extra * config_.issueWidth * config_.memStallFactor;
-        }
+    const double extra = hierarchy_.dataRange(firstLine, lastLine);
+    if (extra > 0.0) {
+        chargeBackend(extra * config_.issueWidth *
+                      config_.memStallFactor);
     }
 }
 
@@ -155,20 +163,17 @@ Machine::branch(std::uint32_t site, bool taken)
     ops(OpKind::Branch, 1);
     const std::uint64_t key = siteKey(site);
     if (profiling_) {
-        auto &prof = profiles_[key];
+        SiteProfile &prof = profiles_.slot(key);
         ++prof.total;
         if (taken)
             ++prof.taken;
     }
     const bool correct = predictor_.conditional(key, taken);
-    SlotCounts &slots = current();
     if (!correct) {
-        slots.badspec +=
-            config_.mispredictWrongPath * config_.issueWidth;
-        slots.frontend +=
-            config_.mispredictRedirect * config_.issueWidth;
+        chargeBadspec(config_.mispredictWrongPath * config_.issueWidth);
+        chargeFrontend(config_.mispredictRedirect * config_.issueWidth);
     } else if (taken) {
-        slots.frontend += config_.takenBranchFrontend;
+        chargeFrontend(config_.takenBranchFrontend);
     }
     return taken;
 }
@@ -178,45 +183,36 @@ Machine::indirect(std::uint32_t site, std::uint64_t target)
 {
     ops(OpKind::Branch, 1);
     const bool correct = predictor_.indirect(siteKey(site), target);
-    SlotCounts &slots = current();
     if (!correct) {
-        slots.badspec +=
-            config_.mispredictWrongPath * config_.issueWidth;
-        slots.frontend +=
-            config_.mispredictRedirect * config_.issueWidth;
+        chargeBadspec(config_.mispredictWrongPath * config_.issueWidth);
+        chargeFrontend(config_.mispredictRedirect * config_.issueWidth);
     } else {
-        slots.frontend += config_.takenBranchFrontend;
+        chargeFrontend(config_.takenBranchFrontend);
     }
 }
 
-void
-Machine::call()
+std::unordered_map<std::uint64_t, SiteProfile>
+Machine::siteProfiles() const
 {
-    ops(OpKind::Call, 1);
-    current().frontend += config_.callFrontend;
-}
-
-SlotCounts
-Machine::totals() const
-{
-    SlotCounts sum;
-    for (const auto &m : methods_)
-        sum += m;
-    return sum;
+    std::unordered_map<std::uint64_t, SiteProfile> out;
+    out.reserve(profiles_.size());
+    profiles_.forEach([&out](std::uint64_t key, const SiteProfile &p) {
+        out.emplace(key, p);
+    });
+    return out;
 }
 
 stats::TopdownRatios
 Machine::ratios() const
 {
-    const SlotCounts sum = totals();
-    const double total = sum.total();
+    const double total = total_.total();
     stats::TopdownRatios r;
     if (total <= 0.0)
         return r;
-    r.frontend = sum.frontend / total;
-    r.backend = sum.backend / total;
-    r.badspec = sum.badspec / total;
-    r.retiring = sum.retiring / total;
+    r.frontend = total_.frontend / total;
+    r.backend = total_.backend / total;
+    r.badspec = total_.badspec / total;
+    r.retiring = total_.retiring / total;
     return r;
 }
 

@@ -10,6 +10,17 @@
  * mispredict squashes, memory and long-latency stalls), so workload-
  * induced shifts in behaviour are preserved even though absolute values
  * differ from real hardware.
+ *
+ * Every micro-op the benchmarks emit funnels through @ref ops, so the
+ * accounting inner loop is organized as a header-inlined fast path with
+ * cold out-of-line slow paths (see the "Model hot path" section of
+ * DESIGN.md for the invariants):
+ *  - a running grand total makes @ref totals / @ref ratios O(1);
+ *  - @ref advanceCode consumes code bytes within the already-fetched
+ *    instruction line without touching the cache hierarchy;
+ *  - interval-boundary bookkeeping lives in a cold out-of-line path;
+ *  - branch-site profiles use a flat open-addressing table with a
+ *    last-site memo instead of `std::unordered_map`.
  */
 #ifndef ALBERTA_TOPDOWN_MACHINE_H
 #define ALBERTA_TOPDOWN_MACHINE_H
@@ -22,6 +33,7 @@
 #include "stats/summary.h"
 #include "topdown/branch.h"
 #include "topdown/cache.h"
+#include "topdown/flatmap.h"
 #include "topdown/uop.h"
 
 namespace alberta::topdown {
@@ -104,8 +116,26 @@ class Machine
         ops(k, 1);
     }
 
-    /** Report @p n consecutive micro-ops of kind @p k. */
-    void ops(OpKind k, std::uint64_t n);
+    /**
+     * Report @p n consecutive micro-ops of kind @p k.
+     *
+     * Hot path: three fused per-category adds into the current method
+     * and the running total, then code-footprint advance. Interval
+     * recording (off in normal characterization runs) diverts to the
+     * cold boundary-chunking path.
+     */
+    void
+    ops(OpKind k, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (intervalUops_ != 0) {
+            opsWithIntervals(k, n);
+            return;
+        }
+        account(k, n);
+        advanceCode(n * 4);
+    }
 
     /** Report one load from logical address @p addr. */
     void load(std::uint64_t addr) { memory(OpKind::Load, addr); }
@@ -115,7 +145,8 @@ class Machine
 
     /**
      * Report a streaming access of @p count elements of @p stride bytes
-     * starting at @p addr (one cache access per line touched).
+     * starting at @p addr (one cache access per line in the spanned
+     * byte range, charged as one batched stall).
      */
     void stream(OpKind kind, std::uint64_t addr, std::uint64_t count,
                 std::uint32_t stride);
@@ -130,19 +161,24 @@ class Machine
     void indirect(std::uint32_t site, std::uint64_t target);
 
     /** Report one call / unconditional control transfer. */
-    void call();
+    void
+    call()
+    {
+        ops(OpKind::Call, 1);
+        chargeFrontend(config_.callFrontend);
+    }
 
-    /** Sum of all slots across methods. */
-    SlotCounts totals() const;
+    /** Sum of all slots across methods (O(1): kept incrementally). */
+    const SlotCounts &totals() const { return total_; }
 
-    /** The four top-down fractions of all accounted slots. */
+    /** The four top-down fractions of all accounted slots (O(1)). */
     stats::TopdownRatios ratios() const;
 
     /** Per-method slot counts indexed by method id. */
     const std::vector<SlotCounts> &perMethod() const { return methods_; }
 
     /** Estimated core cycles (total slots / issue width). */
-    double cycles() const { return totals().total() / config_.issueWidth; }
+    double cycles() const { return total_.total() / config_.issueWidth; }
 
     /** Total micro-ops retired. */
     std::uint64_t retiredOps() const { return retired_; }
@@ -159,19 +195,22 @@ class Machine
 
     /**
      * Per-interval slot counts (deltas, one entry per completed
-     * interval). The trailing partial interval is not included.
+     * interval). A bulk @ref ops report that crosses several interval
+     * boundaries contributes one interval per boundary, so phase
+     * vectors are independent of the reporting stride. The trailing
+     * partial interval is not included.
      */
     const std::vector<SlotCounts> &intervals() const
     {
         return intervals_;
     }
 
-    /** Collected conditional-branch profiles keyed by global site key. */
-    const std::unordered_map<std::uint64_t, SiteProfile> &
-    siteProfiles() const
-    {
-        return profiles_;
-    }
+    /**
+     * Collected conditional-branch profiles keyed by global site key,
+     * materialized from the internal flat table (cold; intended for
+     * end-of-run FDO harvesting).
+     */
+    std::unordered_map<std::uint64_t, SiteProfile> siteProfiles() const;
 
     /** Install FDO branch hints (nullptr to clear). */
     void setHints(const BranchHints *hints) { predictor_.setHints(hints); }
@@ -195,9 +234,74 @@ class Machine
     }
 
   private:
-    void memory(OpKind kind, std::uint64_t addr);
-    void advanceCode(std::uint64_t uops);
-    SlotCounts &current() { return methods_[method_]; }
+    /** Charge @p n uops of kind @p k (per-method + running total). */
+    void
+    account(OpKind k, std::uint64_t n)
+    {
+        const double dn = static_cast<double>(n);
+        const double be = dn * config_.backendCost[static_cast<int>(k)];
+        const double fe = dn * config_.decodeFrontend;
+        SlotCounts &m = *current_;
+        m.retiring += dn;
+        m.backend += be;
+        m.frontend += fe;
+        total_.retiring += dn;
+        total_.backend += be;
+        total_.frontend += fe;
+        retired_ += n;
+    }
+
+    void
+    chargeFrontend(double slots)
+    {
+        current_->frontend += slots;
+        total_.frontend += slots;
+    }
+
+    void
+    chargeBackend(double slots)
+    {
+        current_->backend += slots;
+        total_.backend += slots;
+    }
+
+    void
+    chargeBadspec(double slots)
+    {
+        current_->badspec += slots;
+        total_.badspec += slots;
+    }
+
+    void
+    memory(OpKind kind, std::uint64_t addr)
+    {
+        ops(kind, 1);
+        const double extra = hierarchy_.data(addr);
+        if (extra > 0.0) {
+            chargeBackend(extra * config_.issueWidth *
+                          config_.memStallFactor);
+        }
+    }
+
+    /**
+     * Consume @p bytes of code. Fast path: the bytes fit inside the
+     * instruction line fetched last, which is still L1I-resident (no
+     * other fetch can have evicted it), so no cache access is needed
+     * and no hit/miss decision is skipped that could change state.
+     */
+    void
+    advanceCode(std::uint64_t bytes)
+    {
+        if (bytes <= fastCodeBytes_) {
+            fastCodeBytes_ -= static_cast<std::uint32_t>(bytes);
+            codeCursor_ += static_cast<std::uint32_t>(bytes);
+            return;
+        }
+        advanceCodeSlow(bytes);
+    }
+
+    void advanceCodeSlow(std::uint64_t bytes);
+    void opsWithIntervals(OpKind k, std::uint64_t n);
 
     MachineConfig config_;
     MemoryHierarchy hierarchy_;
@@ -205,6 +309,8 @@ class Machine
     const CodeLayout *layout_ = nullptr;
 
     std::vector<SlotCounts> methods_;
+    SlotCounts *current_ = nullptr; //!< &methods_[method_], cached
+    SlotCounts total_;              //!< running sum over all methods
     std::uint32_t method_ = 0;
     std::uint64_t stableKey_ = 0;
     std::uint64_t codeBase_ = 0;
@@ -212,8 +318,16 @@ class Machine
     std::uint32_t codeCursor_ = 0;
     std::uint64_t retired_ = 0;
 
+    /** Absolute address of the last instruction line fetched (~0 =
+     * none); fetches of this line are skipped — it is necessarily
+     * still resident and most-recently-used in the L1I. */
+    std::uint64_t lastFetchLine_ = ~0ULL;
+    /** Bytes consumable from codeCursor_ without leaving the last
+     * fetched line or wrapping the method's code footprint. */
+    std::uint32_t fastCodeBytes_ = 0;
+
     bool profiling_ = false;
-    std::unordered_map<std::uint64_t, SiteProfile> profiles_;
+    FlatKeyMap<SiteProfile> profiles_;
 
     std::uint64_t intervalUops_ = 0;   //!< 0 = interval recording off
     std::uint64_t nextBoundary_ = 0;

@@ -56,6 +56,16 @@ struct SlotCounts
         retiring += o.retiring;
         return *this;
     }
+
+    SlotCounts &
+    operator-=(const SlotCounts &o)
+    {
+        frontend -= o.frontend;
+        backend -= o.backend;
+        badspec -= o.badspec;
+        retiring -= o.retiring;
+        return *this;
+    }
 };
 
 } // namespace alberta::topdown

@@ -59,6 +59,51 @@ TEST(MachineIntervals, PhasedWorkloadShowsDistinctIntervals)
     EXPECT_GT(lastBackend, firstBackend * 2);
 }
 
+TEST(MachineIntervals, BulkOpsCrossingSeveralBoundaries)
+{
+    // Regression: a single bulk ops() report spanning many interval
+    // boundaries must emit one interval per boundary crossed, not one
+    // interval for the whole report.
+    topdown::Machine machine;
+    machine.recordIntervals(1000);
+    machine.setMethod(1, 512);
+    machine.ops(topdown::OpKind::IntAlu, 5500);
+    ASSERT_EQ(machine.intervals().size(), 5u);
+    for (const auto &slots : machine.intervals())
+        EXPECT_DOUBLE_EQ(slots.retiring, 1000.0);
+    EXPECT_EQ(machine.retiredOps(), 5500u);
+}
+
+TEST(MachineIntervals, PhaseVectorsIndependentOfReportingStride)
+{
+    // The same uop stream reported in different chunk sizes must give
+    // the same interval count and (up to FP accumulation order) the
+    // same per-interval slot deltas.
+    auto run = [](std::uint64_t chunk) {
+        topdown::Machine machine;
+        machine.recordIntervals(1000);
+        machine.setMethod(1, 2048);
+        for (std::uint64_t done = 0; done < 12000; done += chunk)
+            machine.ops(topdown::OpKind::FpMul, chunk);
+        return machine.intervals();
+    };
+    const auto bulk = run(12000);
+    const auto mid = run(300);
+    const auto fine = run(1);
+    ASSERT_EQ(bulk.size(), 12u);
+    ASSERT_EQ(mid.size(), 12u);
+    ASSERT_EQ(fine.size(), 12u);
+    for (std::size_t i = 0; i < bulk.size(); ++i) {
+        EXPECT_DOUBLE_EQ(bulk[i].retiring, fine[i].retiring);
+        EXPECT_NEAR(bulk[i].backend, fine[i].backend,
+                    1e-9 * (1.0 + fine[i].backend));
+        EXPECT_NEAR(bulk[i].frontend, fine[i].frontend,
+                    1e-9 * (1.0 + fine[i].frontend));
+        EXPECT_NEAR(mid[i].backend, fine[i].backend,
+                    1e-9 * (1.0 + fine[i].backend));
+    }
+}
+
 TEST(MachineIntervals, EnablingMidRunIsFatal)
 {
     topdown::Machine machine;

@@ -300,6 +300,226 @@ TEST(Machine, DeterministicAcrossInstances)
     EXPECT_DOUBLE_EQ(a.retiring, b.retiring);
 }
 
+/**
+ * Reference true-LRU set-associative cache: the straightforward scan
+ * the optimized Cache must stay decision-identical to.
+ */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(std::uint64_t bytes, int ways, int line_bytes)
+        : ways_(ways), lineBytes_(line_bytes),
+          sets_(bytes / line_bytes / ways)
+    {
+        tags_.assign(sets_ * ways_, ~0ULL);
+        stamps_.assign(sets_ * ways_, 0);
+    }
+
+    bool
+    access(std::uint64_t addr)
+    {
+        ++now_;
+        const std::uint64_t line = addr / lineBytes_;
+        const std::size_t base = (line % sets_) * ways_;
+        std::size_t victim = base;
+        std::uint64_t oldest = ~0ULL;
+        for (int w = 0; w < ways_; ++w) {
+            if (tags_[base + w] == line) {
+                stamps_[base + w] = now_;
+                return true;
+            }
+            if (stamps_[base + w] < oldest) {
+                oldest = stamps_[base + w];
+                victim = base + w;
+            }
+        }
+        tags_[victim] = line;
+        stamps_[victim] = now_;
+        return false;
+    }
+
+  private:
+    int ways_;
+    int lineBytes_;
+    std::size_t sets_;
+    std::uint64_t now_ = 0;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> stamps_;
+};
+
+TEST(Cache, MruFastPathMatchesReferenceLruOnRandomSequences)
+{
+    // Mix of repeat hits (exercising the MRU memo), set conflicts, and
+    // cold lines; every access must agree with the reference scan.
+    Cache fast(4096, 4, 64);
+    ReferenceLru ref(4096, 4, 64);
+    alberta::support::Rng rng(0x10ca1);
+    std::uint64_t last = 0;
+    for (int i = 0; i < 200000; ++i) {
+        std::uint64_t addr;
+        const auto mode = rng.below(4);
+        if (mode == 0)
+            addr = rng.below(64) * 64;          // small hot set
+        else if (mode == 1)
+            addr = rng.below(16) * 4096;        // one-set conflicts
+        else if (mode == 2)
+            addr = last;                         // repeat (MRU hit)
+        else
+            addr = rng.below(1 << 20);           // cold-ish
+        last = addr;
+        ASSERT_EQ(fast.access(addr), ref.access(addr))
+            << "divergence at access " << i << ", addr " << addr;
+    }
+}
+
+TEST(Cache, EvictionOrderSurvivesMruHits)
+{
+    // 2-way set: refresh the older way via the MRU fast path must not
+    // disturb which way is the LRU victim.
+    Cache c(1024, 2, 64);
+    c.access(0 << 6);  // way A <- line 0
+    c.access(8 << 6);  // way B <- line 8 (MRU)
+    c.access(8 << 6);  // MRU fast-path hit on B
+    c.access(8 << 6);  // and again
+    c.access(16 << 6); // must evict line 0 (A is LRU despite B's hits)
+    EXPECT_TRUE(c.access(8 << 6));
+    EXPECT_FALSE(c.access(0 << 6));
+}
+
+TEST(Cache, ResetRestoresColdStateIncludingMruMemo)
+{
+    Cache c(1024, 2, 64);
+    for (int i = 0; i < 100; ++i)
+        c.access(static_cast<std::uint64_t>(i % 10) << 6);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    // First access after reset must miss even at the previous MRU line.
+    EXPECT_FALSE(c.access(9 << 6));
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Machine, StreamWideStrideTouchesEverySpannedLine)
+{
+    // stride 256 > line size: the span [0, 16*256) covers 64 lines,
+    // and every one is accessed even though elements skip lines.
+    Machine m;
+    m.setMethod(1, 256);
+    m.stream(OpKind::Load, 0, 16, 256);
+    EXPECT_EQ(m.hierarchy().l1d().accesses(), 64u);
+    EXPECT_EQ(m.retiredOps(), 16u);
+}
+
+TEST(Machine, StreamZeroStrideTouchesOneLine)
+{
+    Machine m;
+    m.setMethod(1, 256);
+    m.stream(OpKind::Store, 4096, 1000, 0);
+    EXPECT_EQ(m.hierarchy().l1d().accesses(), 1u);
+    EXPECT_EQ(m.retiredOps(), 1000u);
+}
+
+TEST(Machine, StreamUnalignedSpanCoversBothEdgeLines)
+{
+    // 100 elements x 8B from 0x1f8: spans [0x1f8, 0x518) = lines 7..20.
+    Machine m;
+    m.setMethod(1, 256);
+    m.stream(OpKind::Load, 0x1f8, 100, 8);
+    EXPECT_EQ(m.hierarchy().l1d().accesses(), 14u);
+}
+
+TEST(Machine, StreamMatchesPerElementLoads)
+{
+    // The batched stream accounting must reach the same cache state
+    // and slot totals as per-element loads over the same span.
+    auto runStream = [] {
+        Machine m;
+        m.setMethod(1, 256);
+        m.stream(OpKind::Load, 0x8000, 4096, 64);
+        return m;
+    };
+    auto runLoads = [] {
+        Machine m;
+        m.setMethod(1, 256);
+        for (std::uint64_t i = 0; i < 4096; ++i)
+            m.load(0x8000 + i * 64);
+        return m;
+    };
+    const Machine a = runStream();
+    const Machine b = runLoads();
+    EXPECT_EQ(a.hierarchy().l1d().accesses(),
+              b.hierarchy().l1d().accesses());
+    EXPECT_EQ(a.hierarchy().l1d().misses(),
+              b.hierarchy().l1d().misses());
+    EXPECT_EQ(a.retiredOps(), b.retiredOps());
+    EXPECT_NEAR(a.totals().backend, b.totals().backend,
+                1e-9 * b.totals().backend);
+}
+
+TEST(Machine, CodeFetchCountIndependentOfReportingGranularity)
+{
+    // The I-cache fast path skips re-fetches of the current line; the
+    // modelled fetch stream must not depend on whether uops arrive one
+    // at a time or in bulk.
+    auto fetches = [](std::uint64_t chunk) {
+        Machine m;
+        m.setMethod(1, 8192);
+        for (std::uint64_t done = 0; done < 60000; done += chunk)
+            m.ops(OpKind::IntAlu, chunk);
+        return m.hierarchy().l1i().accesses();
+    };
+    const auto one = fetches(1);
+    EXPECT_EQ(one, fetches(3));
+    EXPECT_EQ(one, fetches(16));
+    EXPECT_EQ(one, fetches(60000));
+    // 60000 uops * 4B / 64B per line = 3750 line fetches through the
+    // 8 KiB footprint; each line is fetched once per wrap, never more.
+    EXPECT_EQ(one, 3750u);
+}
+
+TEST(Machine, RunningTotalsMatchPerMethodSums)
+{
+    Machine m;
+    alberta::support::Rng rng(0x707a1);
+    for (int i = 0; i < 30000; ++i) {
+        m.setMethod(1 + static_cast<std::uint32_t>(rng.below(5)), 2048);
+        m.branch(static_cast<std::uint32_t>(rng.below(3)), rng() & 1);
+        m.load(rng.below(1 << 22));
+        m.ops(OpKind::FpAdd, rng.below(7));
+    }
+    SlotCounts sum;
+    for (const auto &slots : m.perMethod())
+        sum += slots;
+    const auto &t = m.totals();
+    EXPECT_NEAR(t.frontend, sum.frontend, 1e-9 * sum.frontend);
+    EXPECT_NEAR(t.backend, sum.backend, 1e-9 * sum.backend);
+    EXPECT_NEAR(t.badspec, sum.badspec, 1e-9 * sum.badspec);
+    EXPECT_NEAR(t.retiring, sum.retiring, 1e-9 * sum.retiring);
+}
+
+TEST(Machine, ProfileTableSurvivesGrowthAcrossManySites)
+{
+    // More distinct sites than the flat table's initial capacity, so
+    // site profiles survive at least one rehash intact.
+    Machine m;
+    m.collectProfile(true);
+    m.setMethod(2, 256);
+    const int kSites = 3000;
+    for (int round = 0; round < 3; ++round) {
+        for (int s = 0; s < kSites; ++s)
+            m.branch(static_cast<std::uint32_t>(s), s % 2 == 0);
+    }
+    const auto profiles = m.siteProfiles();
+    ASSERT_EQ(profiles.size(), static_cast<std::size_t>(kSites));
+    for (int s = 0; s < kSites; ++s) {
+        const auto it = profiles.find(
+            std::uint64_t(2) * 0x9e3779b97f4a7c15ULL + s);
+        ASSERT_NE(it, profiles.end()) << "site " << s;
+        EXPECT_EQ(it->second.total, 3u) << "site " << s;
+        EXPECT_EQ(it->second.taken, s % 2 == 0 ? 3u : 0u);
+    }
+}
+
 /** Parameterized issue-width sweep: fractions stay normalized. */
 class MachineWidth : public ::testing::TestWithParam<int>
 {
