@@ -29,11 +29,9 @@ main()
                           "crossval min", "crossval max",
                           "overstatement"});
 
-    runtime::Executor executor;
-    runtime::ResultCache cache;
+    runtime::Engine engine;
     fdo::CrossValidateOptions options;
-    options.executor = &executor;
-    options.cache = &cache;
+    options.engine = &engine;
     for (const char *name :
          {"505.mcf_r", "557.xz_r", "531.deepsjeng_r",
           "523.xalancbmk_r", "520.omnetpp_r", "548.exchange2_r"}) {

@@ -14,15 +14,13 @@ namespace {
 
 void
 plotBenchmark(const std::string &name,
-              alberta::runtime::Executor &executor,
-              alberta::runtime::ResultCache &cache)
+              alberta::runtime::Engine &engine)
 {
     using namespace alberta;
     const auto bm = core::makeBenchmark(name);
     core::CharacterizeOptions options;
     options.refrateRepetitions = 1;
-    options.executor = &executor;
-    options.cache = &cache;
+    options.engine = &engine;
     const core::Characterization c = core::characterize(*bm, options);
 
     std::cout << "\n" << name << " (Figure 1 series)\n";
@@ -68,9 +66,8 @@ main()
     std::cout << "Figure 1: top-down fractions per workload — "
                  "523.xalancbmk_r vs 557.xz_r.\nExpected shape: "
                  "larger cross-workload spread for xalancbmk.\n";
-    alberta::runtime::Executor executor;
-    alberta::runtime::ResultCache cache;
-    plotBenchmark("523.xalancbmk_r", executor, cache);
-    plotBenchmark("557.xz_r", executor, cache);
+    alberta::runtime::Engine engine;
+    plotBenchmark("523.xalancbmk_r", engine);
+    plotBenchmark("557.xz_r", engine);
     return 0;
 }

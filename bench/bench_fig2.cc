@@ -16,15 +16,13 @@ namespace {
 
 void
 plotCoverage(const std::string &name,
-             alberta::runtime::Executor &executor,
-             alberta::runtime::ResultCache &cache)
+             alberta::runtime::Engine &engine)
 {
     using namespace alberta;
     const auto bm = core::makeBenchmark(name);
     core::CharacterizeOptions options;
     options.refrateRepetitions = 1;
-    options.executor = &executor;
-    options.cache = &cache;
+    options.engine = &engine;
     const core::Characterization c = core::characterize(*bm, options);
 
     std::cout << "\n" << name << " (Figure 2 series)\n";
@@ -64,9 +62,8 @@ main()
                  "deepsjeng's distribution is stable across "
                  "workloads; xz's shifts\nwith compressibility and "
                  "dictionary fit.\n";
-    alberta::runtime::Executor executor;
-    alberta::runtime::ResultCache cache;
-    plotCoverage("531.deepsjeng_r", executor, cache);
-    plotCoverage("557.xz_r", executor, cache);
+    alberta::runtime::Engine engine;
+    plotCoverage("531.deepsjeng_r", engine);
+    plotCoverage("557.xz_r", engine);
     return 0;
 }

@@ -18,17 +18,27 @@
  * diff it against the committed BENCH_machine.json to detect any
  * semantic change to the model, however small.
  *
- *   bench_machine [--json PATH] [--scale N]
+ * The whole suite runs twice: once with tracing disabled (the
+ * null-sink fast path whose overhead budget is < 2%) and once with a
+ * JSON-lines span trace. Both passes must produce the same signature
+ * — tracing can never change model outputs — and both throughputs are
+ * recorded so the observability overhead is tracked across PRs.
+ *
+ *   bench_machine [--json PATH] [--scale N] [--trace FILE]
  */
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "support/rng.h"
 #include "topdown/machine.h"
 
@@ -86,11 +96,16 @@ struct ScenarioResult
     }
 };
 
+/** Iterations per child span in the chunked scenarios. */
+constexpr std::uint64_t kChunk = 256 * 1024;
+
 /** Pure accounting: bulk ALU reports with periodic method switches. */
 void
-scenarioAlu(Machine &m, std::uint64_t scale)
+scenarioAlu(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
+            std::uint64_t parent)
 {
     for (std::uint64_t rep = 0; rep < 200 * scale; ++rep) {
+        obs::Span span(tracer, "alu_rep", "bench", parent);
         m.setMethod(1 + rep % 7, 2048 + 512 * (rep % 3),
                     support::mix64(rep % 7));
         m.ops(OpKind::IntAlu, 40000);
@@ -100,34 +115,50 @@ scenarioAlu(Machine &m, std::uint64_t scale)
 
 /** Patterned conditional branches: loop-like, biased, and noisy. */
 void
-scenarioBranchy(Machine &m, std::uint64_t scale)
+scenarioBranchy(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
+                std::uint64_t parent)
 {
     support::Rng rng(0xb7a2c001);
-    for (std::uint64_t i = 0; i < 3'000'000 * scale; ++i) {
-        m.branch(static_cast<std::uint32_t>(i % 13),
-                 (i & 7) != 0);                    // loop back-edge
-        m.branch(200, rng.chance(0.9));            // biased data branch
-        m.branch(300 + i % 3, (i >> (i % 5)) & 1); // phase-shifting
+    const std::uint64_t total = 3'000'000 * scale;
+    for (std::uint64_t base = 0; base < total; base += kChunk) {
+        obs::Span span(tracer, "branchy_chunk", "bench", parent);
+        const std::uint64_t end = std::min(total, base + kChunk);
+        for (std::uint64_t i = base; i < end; ++i) {
+            m.branch(static_cast<std::uint32_t>(i % 13),
+                     (i & 7) != 0);                    // loop back-edge
+            m.branch(200, rng.chance(0.9));            // biased branch
+            m.branch(300 + i % 3, (i >> (i % 5)) & 1); // phase-shifting
+        }
+        span.note("iters", end - base);
     }
 }
 
 /** Scattered loads over ~128 KiB: L1-missing, L2-hitting. */
 void
-scenarioMemory(Machine &m, std::uint64_t scale)
+scenarioMemory(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
+               std::uint64_t parent)
 {
     support::Rng rng(0x3e30a001);
-    for (std::uint64_t i = 0; i < 4'000'000 * scale; ++i) {
-        m.load(0x10000000ULL + rng.below(128 * 1024));
-        if ((i & 15) == 0)
-            m.store(0x20000000ULL + rng.below(64 * 1024));
+    const std::uint64_t total = 4'000'000 * scale;
+    for (std::uint64_t base = 0; base < total; base += kChunk) {
+        obs::Span span(tracer, "memory_chunk", "bench", parent);
+        const std::uint64_t end = std::min(total, base + kChunk);
+        for (std::uint64_t i = base; i < end; ++i) {
+            m.load(0x10000000ULL + rng.below(128 * 1024));
+            if ((i & 15) == 0)
+                m.store(0x20000000ULL + rng.below(64 * 1024));
+        }
+        span.note("iters", end - base);
     }
 }
 
 /** Long contiguous streams: the batched line-accounting path. */
 void
-scenarioStreaming(Machine &m, std::uint64_t scale)
+scenarioStreaming(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
+                  std::uint64_t parent)
 {
     for (std::uint64_t rep = 0; rep < 600 * scale; ++rep) {
+        obs::Span span(tracer, "stream_rep", "bench", parent);
         const std::uint64_t base = 0x40000000ULL + (rep % 5) * (1 << 22);
         m.stream(OpKind::Load, base, 20000, 8);
         m.stream(OpKind::Store, base + (1 << 21), 10000, 8);
@@ -137,34 +168,45 @@ scenarioStreaming(Machine &m, std::uint64_t scale)
 
 /** Interpreter-style dispatch: indirect branch + load per step. */
 void
-scenarioMixed(Machine &m, std::uint64_t scale)
+scenarioMixed(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
+              std::uint64_t parent)
 {
     support::Rng rng(0x371bed01);
     std::vector<std::uint64_t> program(4096);
     for (auto &op : program)
         op = rng.below(48);
     std::uint64_t pc = 0;
-    for (std::uint64_t i = 0; i < 2'000'000 * scale; ++i) {
-        const std::uint64_t op = program[pc];
-        m.load(0x750000000ULL + pc * 16);
-        m.indirect(2, op);
-        m.ops(OpKind::IntAlu, 2);
-        if (m.branch(3, (i & 31) == 0))
-            pc = (pc + op) % program.size();
-        else
-            pc = (pc + 1) % program.size();
+    const std::uint64_t total = 2'000'000 * scale;
+    for (std::uint64_t base = 0; base < total; base += kChunk) {
+        obs::Span span(tracer, "mixed_chunk", "bench", parent);
+        const std::uint64_t end = std::min(total, base + kChunk);
+        for (std::uint64_t i = base; i < end; ++i) {
+            const std::uint64_t op = program[pc];
+            m.load(0x750000000ULL + pc * 16);
+            m.indirect(2, op);
+            m.ops(OpKind::IntAlu, 2);
+            if (m.branch(3, (i & 31) == 0))
+                pc = (pc + op) % program.size();
+            else
+                pc = (pc + 1) % program.size();
+        }
+        span.note("iters", end - base);
     }
 }
 
 template <typename Fn>
 ScenarioResult
 runScenario(const char *name, Fn &&body, std::uint64_t scale,
-            Signature &sig)
+            Signature &sig, obs::Tracer *tracer, const char *pass)
 {
     Machine m;
     m.setMethod(1, 4096, support::mix64(1));
     const auto start = std::chrono::steady_clock::now();
-    body(m, scale);
+    {
+        obs::Span span(tracer, name, "bench");
+        body(m, scale, tracer, span.id());
+        span.note("uops", m.retiredOps());
+    }
     ScenarioResult r;
     r.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
@@ -172,10 +214,45 @@ runScenario(const char *name, Fn &&body, std::uint64_t scale,
     r.name = name;
     r.uops = m.retiredOps();
     foldMachine(m, sig);
-    std::cerr << "  [machine] " << name << ": " << r.uops << " uops in "
-              << r.seconds << " s (" << r.uopsPerSecond() / 1e6
-              << " Muops/s)\n";
+    std::cerr << "  [machine:" << pass << "] " << name << ": " << r.uops
+              << " uops in " << r.seconds << " s ("
+              << r.uopsPerSecond() / 1e6 << " Muops/s)\n";
     return r;
+}
+
+struct PassResult
+{
+    std::vector<ScenarioResult> results;
+    Signature sig;
+    std::uint64_t totalUops = 0;
+    double totalSeconds = 0.0;
+
+    double
+    overall() const
+    {
+        return totalSeconds > 0.0 ? totalUops / totalSeconds : 0.0;
+    }
+};
+
+PassResult
+runPass(std::uint64_t scale, obs::Tracer *tracer, const char *pass)
+{
+    PassResult p;
+    p.results.push_back(
+        runScenario("alu", scenarioAlu, scale, p.sig, tracer, pass));
+    p.results.push_back(runScenario("branchy", scenarioBranchy, scale,
+                                    p.sig, tracer, pass));
+    p.results.push_back(runScenario("memory", scenarioMemory, scale,
+                                    p.sig, tracer, pass));
+    p.results.push_back(runScenario("streaming", scenarioStreaming,
+                                    scale, p.sig, tracer, pass));
+    p.results.push_back(runScenario("mixed", scenarioMixed, scale,
+                                    p.sig, tracer, pass));
+    for (const auto &r : p.results) {
+        p.totalUops += r.uops;
+        p.totalSeconds += r.seconds;
+    }
+    return p;
 }
 
 } // namespace
@@ -184,57 +261,83 @@ int
 main(int argc, char **argv)
 {
     std::string jsonPath = "BENCH_machine.json";
+    std::string tracePath;
     std::uint64_t scale = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
         else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
             scale = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            tracePath = argv[++i];
         else {
             std::cerr << "usage: bench_machine [--json PATH] "
-                         "[--scale N]\n";
+                         "[--scale N] [--trace FILE]\n";
             return 2;
         }
     }
     if (scale == 0)
         scale = 1;
 
-    Signature sig;
-    std::vector<ScenarioResult> results;
-    results.push_back(runScenario("alu", scenarioAlu, scale, sig));
-    results.push_back(
-        runScenario("branchy", scenarioBranchy, scale, sig));
-    results.push_back(runScenario("memory", scenarioMemory, scale, sig));
-    results.push_back(
-        runScenario("streaming", scenarioStreaming, scale, sig));
-    results.push_back(runScenario("mixed", scenarioMixed, scale, sig));
+    // Warm-up pass (untimed): faults in code and data so the two
+    // measured passes below start from the same machine state and
+    // their throughputs are comparable.
+    (void)runPass(scale, nullptr, "warmup");
 
-    std::uint64_t totalUops = 0;
-    double totalSeconds = 0.0;
-    for (const auto &r : results) {
-        totalUops += r.uops;
-        totalSeconds += r.seconds;
+    // Pass 1 — tracing disabled: the null-sink fast path every
+    // production model run takes when no trace is requested.
+    const PassResult plain = runPass(scale, nullptr, "null");
+
+    // Pass 2 — full JSON-lines tracing (to --trace FILE, or discarded
+    // in memory when none is given). Model outputs must not move.
+    std::ostringstream discard;
+    std::unique_ptr<obs::JsonLinesSink> sink;
+    if (tracePath.empty())
+        sink = std::make_unique<obs::JsonLinesSink>(discard);
+    else
+        sink = std::make_unique<obs::JsonLinesSink>(tracePath);
+    obs::Tracer tracer(sink.get());
+    const PassResult traced = runPass(scale, &tracer, "traced");
+    sink->flush();
+
+    if (plain.sig.value != traced.sig.value) {
+        std::cerr << "bench_machine: FAIL: tracing changed model "
+                     "outputs (signature mismatch)\n";
+        return 1;
     }
-    const double overall =
-        totalSeconds > 0.0 ? totalUops / totalSeconds : 0.0;
+
+    const double overall = plain.overall();
+    const double tracedOverall = traced.overall();
+    const double overheadPercent =
+        overall > 0.0 ? (1.0 - tracedOverall / overall) * 100.0 : 0.0;
 
     char sigHex[19];
     std::snprintf(sigHex, sizeof sigHex, "0x%016llx",
-                  static_cast<unsigned long long>(sig.value));
+                  static_cast<unsigned long long>(plain.sig.value));
 
     std::cout << "Machine hot-path throughput: " << overall / 1e6
-              << " Muops/s overall, model signature " << sigHex << "\n";
+              << " Muops/s overall, model signature " << sigHex
+              << "\n"
+              << "Traced: " << tracedOverall / 1e6 << " Muops/s ("
+              << sink->spansWritten() << " spans, "
+              << overheadPercent << "% overhead)\n";
 
     std::ofstream json(jsonPath);
     json << "{\n"
          << "  \"bench\": \"machine\",\n"
          << "  \"scale\": " << scale << ",\n";
-    for (const auto &r : results) {
+    for (const auto &r : plain.results) {
         json << "  \"" << r.name
              << "_uops_per_second\": " << r.uopsPerSecond() << ",\n";
     }
-    json << "  \"total_uops\": " << totalUops << ",\n"
+    json << "  \"total_uops\": " << plain.totalUops << ",\n"
          << "  \"overall_uops_per_second\": " << overall << ",\n"
+         << "  \"traced_overall_uops_per_second\": " << tracedOverall
+         << ",\n"
+         << "  \"tracing_overhead_percent\": " << overheadPercent
+         << ",\n"
+         << "  \"trace_spans\": " << sink->spansWritten() << ",\n"
+         << "  \"signatures_identical\": true,\n"
          << "  \"model_signature\": \"" << sigHex << "\"\n"
          << "}\n";
     std::cerr << "  [machine] wrote " << jsonPath << "\n";

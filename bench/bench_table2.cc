@@ -138,14 +138,12 @@ main(int argc, char **argv)
     const double serialSeconds =
         timeSuite(serial, serialOptions, "serial");
 
-    // 2. Parallel with a cold cache: pure thread-pool speedup.
-    runtime::Executor executor(jobs);
-    runtime::ResultCache cache;
-    runtime::ExecutorStats stats;
+    // 2. Parallel with a cold cache: pure thread-pool speedup. The
+    // engine bundles the pool, cache, and stats the three raw
+    // pointers used to carry.
+    runtime::Engine engine(jobs);
     core::CharacterizeOptions parallelOptions;
-    parallelOptions.executor = &executor;
-    parallelOptions.cache = &cache;
-    parallelOptions.stats = &stats;
+    parallelOptions.engine = &engine;
     std::vector<core::Characterization> parallel;
     const double parallelSeconds =
         timeSuite(parallel, parallelOptions, "parallel");
@@ -167,7 +165,8 @@ main(int argc, char **argv)
                  "mu_g(M) = geomean of per-method proportional "
                  "variation (percent-scale, +0.01 offset).\n";
 
-    std::cout << "\nExecution engine (" << executor.jobs()
+    const runtime::ExecutorStats &stats = engine.stats();
+    std::cout << "\nExecution engine (" << engine.jobs()
               << " jobs):\n"
               << "  serial baseline    : " << serialSeconds << " s\n"
               << "  parallel, cold     : " << parallelSeconds
@@ -180,7 +179,7 @@ main(int argc, char **argv)
               << "  task queue / run   : " << stats.queueSeconds
               << " s / " << stats.runSeconds << " s\n"
               << "  cache hits/misses  : " << stats.cacheHits << "/"
-              << stats.cacheMisses << " (" << cache.size()
+              << stats.cacheMisses << " (" << engine.cache().size()
               << " entries)\n"
               << "  model outputs      : "
               << (identical ? "bit-identical across all runs"
@@ -190,7 +189,7 @@ main(int argc, char **argv)
     std::ofstream json(jsonPath);
     json << "{\n"
          << "  \"bench\": \"table2\",\n"
-         << "  \"jobs\": " << executor.jobs() << ",\n"
+         << "  \"jobs\": " << engine.jobs() << ",\n"
          << "  \"benchmarks\": " << serial.size() << ",\n"
          << "  \"serial_seconds\": " << serialSeconds << ",\n"
          << "  \"parallel_cold_seconds\": " << parallelSeconds << ",\n"

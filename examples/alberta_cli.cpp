@@ -6,17 +6,23 @@
  *   alberta_cli workloads <benchmark>     workload names + params
  *   alberta_cli run <benchmark> <workload> [reps]
  *   alberta_cli characterize <benchmark>  Table II row for one program
- *   alberta_cli report <benchmark>        Markdown report to stdout
+ *   alberta_cli report <benchmark>        behaviour report to stdout
  *   alberta_cli cluster <benchmark> <k>   Berube-style representatives
  *
  * Global flags (before or after the subcommand):
  *
- *   --jobs N   worker threads for model runs (default: ALBERTA_JOBS
- *              when set, otherwise the hardware concurrency)
- *   --stats    print executor/cache statistics to stderr on exit
+ *   --jobs N        worker threads for model runs (default:
+ *                   ALBERTA_JOBS when set, else hardware concurrency)
+ *   --format FMT    output format: text (default), md, or json
+ *   --trace FILE    write a JSON-lines span trace of the run session
+ *   --metrics       print the end-of-run metrics table to stderr
+ *   --stats         print the one-line executor/cache summary to
+ *                   stderr on exit
+ *
+ * All characterizing commands share one runtime::Engine: the worker
+ * pool, result cache, stats block, and observability layer for the
+ * whole invocation.
  */
-#include <cerrno>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -24,67 +30,13 @@
 #include "core/cluster.h"
 #include "core/report.h"
 #include "core/suite.h"
+#include "support/check.h"
 #include "support/table.h"
+#include "support/text.h"
 
 namespace {
 
 using namespace alberta;
-
-/**
- * Parse the argument of `--jobs`: a positive decimal integer with no
- * trailing junk. Prints a diagnostic and exits 2 on anything else —
- * `std::atoi`-style silent zero would spawn a full hardware-concurrency
- * pool for "--jobs abc".
- */
-int
-parseJobs(const char *text)
-{
-    char *end = nullptr;
-    errno = 0;
-    const long value = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0' || errno == ERANGE || value <= 0 ||
-        value > 1024) {
-        std::cerr << "alberta_cli: --jobs expects a positive integer "
-                     "(1..1024), got '"
-                  << text << "'\n";
-        std::exit(2);
-    }
-    return static_cast<int>(value);
-}
-
-/** Parallel-execution state shared by the characterizing commands. */
-struct Engine
-{
-    runtime::Executor executor;
-    runtime::ResultCache cache;
-    runtime::ExecutorStats stats;
-
-    explicit Engine(int jobs) : executor(jobs) {}
-
-    core::CharacterizeOptions
-    options()
-    {
-        core::CharacterizeOptions o;
-        o.executor = &executor;
-        o.cache = &cache;
-        o.stats = &stats;
-        return o;
-    }
-
-    void
-    printStats() const
-    {
-        std::cerr << "[stats] jobs=" << executor.jobs()
-                  << " tasks=" << stats.tasksRun
-                  << " queue=" << stats.queueSeconds << "s"
-                  << " run=" << stats.runSeconds << "s"
-                  << " cache_hits=" << stats.cacheHits
-                  << " cache_misses=" << stats.cacheMisses
-                  << " uops=" << stats.uopsRetired << " uops_per_sec="
-                  << support::formatFixed(stats.uopsPerSecond(), 0)
-                  << "\n";
-    }
-};
 
 int
 cmdList()
@@ -141,30 +93,36 @@ cmdRun(const std::string &name, const std::string &workloadName,
 }
 
 int
-cmdCharacterize(const std::string &name, Engine &engine)
+cmdCharacterize(const std::string &name, runtime::Engine &engine,
+                const core::ReportWriter &writer)
 {
     const auto bm = core::makeBenchmark(name);
-    const auto c = core::characterize(*bm, engine.options());
-    support::Table table(core::table2Header());
-    table.addRow(core::table2Row(c));
-    table.print(std::cout);
+    core::CharacterizeOptions options;
+    options.engine = &engine;
+    const auto c = core::characterize(*bm, options);
+    std::cout << writer.table2({c});
     return 0;
 }
 
 int
-cmdReport(const std::string &name, Engine &engine)
+cmdReport(const std::string &name, runtime::Engine &engine,
+          const core::ReportWriter &writer)
 {
     const auto bm = core::makeBenchmark(name);
-    const auto c = core::characterize(*bm, engine.options());
-    std::cout << core::renderReport(c);
+    core::CharacterizeOptions options;
+    options.engine = &engine;
+    const auto c = core::characterize(*bm, options);
+    std::cout << writer.report(c);
     return 0;
 }
 
 int
-cmdCluster(const std::string &name, std::size_t k, Engine &engine)
+cmdCluster(const std::string &name, std::size_t k,
+           runtime::Engine &engine)
 {
     const auto bm = core::makeBenchmark(name);
-    auto options = engine.options();
+    core::CharacterizeOptions options;
+    options.engine = &engine;
     options.refrateRepetitions = 1;
     const auto c = core::characterize(*bm, options);
     const auto clustering = core::clusterWorkloads(c, k);
@@ -187,10 +145,27 @@ cmdCluster(const std::string &name, std::size_t k, Engine &engine)
 }
 
 void
+printStats(runtime::Engine &engine)
+{
+    const runtime::ExecutorStats &stats = engine.stats();
+    std::cerr << "[stats] jobs=" << engine.jobs()
+              << " tasks=" << stats.tasksRun
+              << " queue=" << stats.queueSeconds << "s"
+              << " run=" << stats.runSeconds << "s"
+              << " cache_hits=" << stats.cacheHits
+              << " cache_misses=" << stats.cacheMisses
+              << " uops=" << stats.uopsRetired << " uops_per_sec="
+              << support::formatFixed(stats.uopsPerSecond(), 0)
+              << "\n";
+}
+
+void
 usage()
 {
     std::cerr
-        << "usage: alberta_cli [--jobs N] [--stats] <command>\n"
+        << "usage: alberta_cli [--jobs N] [--format {text,md,json}]\n"
+           "                   [--trace FILE] [--metrics] [--stats] "
+           "<command>\n"
            "  alberta_cli list\n"
            "  alberta_cli workloads <benchmark>\n"
            "  alberta_cli run <benchmark> <workload> [reps]\n"
@@ -205,50 +180,88 @@ int
 main(int argc, char **argv)
 {
     int jobs = 0; // 0 = ALBERTA_JOBS / hardware concurrency
-    bool printStats = false;
+    bool wantStats = false;
+    bool wantMetrics = false;
+    std::string tracePath;
+    core::ReportFormat format = core::ReportFormat::Text;
     std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0) {
-            if (i + 1 >= argc) {
-                std::cerr << "alberta_cli: --jobs requires an argument\n";
-                return 2;
-            }
-            jobs = parseJobs(argv[++i]);
-        } else if (std::strcmp(argv[i], "--stats") == 0)
-            printStats = true;
-        else
-            args.emplace_back(argv[i]);
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const auto flagArg = [&](const char *flag) {
+                if (i + 1 >= argc)
+                    support::fatal("alberta_cli: ", flag,
+                                   " requires an argument");
+                return argv[++i];
+            };
+            if (std::strcmp(argv[i], "--jobs") == 0)
+                jobs = static_cast<int>(support::parsePositiveInt(
+                    flagArg("--jobs"), "--jobs", 1024));
+            else if (std::strcmp(argv[i], "--format") == 0)
+                format =
+                    core::parseReportFormat(flagArg("--format"));
+            else if (std::strcmp(argv[i], "--trace") == 0)
+                tracePath = flagArg("--trace");
+            else if (std::strcmp(argv[i], "--metrics") == 0)
+                wantMetrics = true;
+            else if (std::strcmp(argv[i], "--stats") == 0)
+                wantStats = true;
+            else
+                args.emplace_back(argv[i]);
+        }
+    } catch (const support::FatalError &e) {
+        std::cerr << "alberta_cli: " << e.what() << "\n";
+        return 2;
     }
     if (args.empty()) {
         usage();
         return 2;
     }
     const std::string &command = args[0];
-    Engine engine(jobs);
+
     int rc = 2;
     try {
+        runtime::Engine engine = runtime::Engine::Builder()
+                                     .jobs(jobs)
+                                     .traceFile(tracePath)
+                                     .build();
+        const core::ReportWriter writer(format, &engine);
         if (command == "list")
             rc = cmdList();
         else if (command == "workloads" && args.size() >= 2)
             rc = cmdWorkloads(args[1]);
         else if (command == "run" && args.size() >= 3)
             rc = cmdRun(args[1], args[2],
-                        args.size() >= 4 ? std::atoi(args[3].c_str())
-                                         : 3);
+                        args.size() >= 4
+                            ? static_cast<int>(
+                                  support::parsePositiveInt(
+                                      args[3], "run repetitions",
+                                      1000))
+                            : 3);
         else if (command == "characterize" && args.size() >= 2)
-            rc = cmdCharacterize(args[1], engine);
+            rc = cmdCharacterize(args[1], engine, writer);
         else if (command == "report" && args.size() >= 2)
-            rc = cmdReport(args[1], engine);
+            rc = cmdReport(args[1], engine, writer);
         else if (command == "cluster" && args.size() >= 3)
-            rc = cmdCluster(args[1], std::atoi(args[2].c_str()),
+            rc = cmdCluster(args[1],
+                            static_cast<std::size_t>(
+                                support::parsePositiveInt(
+                                    args[2], "cluster k", 1024)),
                             engine);
         else
             usage();
+
+        if (wantMetrics)
+            std::cerr << writer.metrics(engine.metricsSnapshot());
+        if (wantStats)
+            printStats(engine);
+        engine.flushTrace();
+    } catch (const support::FatalError &e) {
+        // User error (bad argument, unknown benchmark/format/file).
+        std::cerr << "alberta_cli: " << e.what() << "\n";
+        rc = 2;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         rc = 1;
     }
-    if (printStats)
-        engine.printStats();
     return rc;
 }

@@ -11,7 +11,9 @@
 #include <iostream>
 
 #include "core/cluster.h"
+#include "support/check.h"
 #include "support/table.h"
+#include "support/text.h"
 
 int
 main(int argc, char **argv)
@@ -20,10 +22,21 @@ main(int argc, char **argv)
 
     const std::string benchmarkName =
         argc > 1 ? argv[1] : "519.lbm_r";
-    const std::size_t k = argc > 2 ? std::atoi(argv[2]) : 4;
+    std::size_t k = 4;
+    if (argc > 2) {
+        try {
+            k = static_cast<std::size_t>(
+                support::parsePositiveInt(argv[2], "cluster k", 64));
+        } catch (const support::FatalError &e) {
+            std::cerr << "cluster_workloads: " << e.what() << "\n";
+            return 2;
+        }
+    }
 
     const auto benchmark = core::makeBenchmark(benchmarkName);
+    runtime::Engine engine;
     core::CharacterizeOptions options;
+    options.engine = &engine;
     options.refrateRepetitions = 1;
     const core::Characterization c =
         core::characterize(*benchmark, options);

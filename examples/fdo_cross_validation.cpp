@@ -42,9 +42,13 @@ main(int argc, char **argv)
               << " hinted branch sites, " << opt.hotMethods
               << " hot methods laid out\n\n";
 
-    // Step 3: evaluate everywhere.
+    // Step 3: evaluate everywhere, sharing one run-session engine so
+    // baseline model runs are memoized across evaluations.
+    runtime::Engine engine;
+    fdo::CrossValidateOptions cvOptions;
+    cvOptions.engine = &engine;
     const fdo::CrossValidation cv =
-        fdo::crossValidate(*benchmark, trainName);
+        fdo::crossValidate(*benchmark, trainName, cvOptions);
 
     support::Table table({"evaluation workload", "speedup"});
     table.addRow({trainName + "  (train==eval)",

@@ -25,21 +25,21 @@ main(int argc, char **argv)
     const std::string only = argc > 2 ? argv[2] : "";
     fs::create_directories(root);
 
-    runtime::Executor executor;
-    runtime::ResultCache cache;
+    runtime::Engine engine;
+    const core::ReportWriter writer(core::ReportFormat::Markdown,
+                                    &engine);
     for (const auto &name : core::table2Names()) {
         if (!only.empty() && name != only)
             continue;
         const auto benchmark = core::makeBenchmark(name);
         core::CharacterizeOptions options;
         options.refrateRepetitions = 3;
-        options.executor = &executor;
-        options.cache = &cache;
+        options.engine = &engine;
         const core::Characterization c =
             core::characterize(*benchmark, options);
         const fs::path file = root / (name + ".md");
         std::ofstream out(file);
-        out << core::renderReport(c);
+        out << writer.report(c);
         std::cout << "wrote " << file.string() << "\n";
     }
     return 0;

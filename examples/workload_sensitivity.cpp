@@ -29,12 +29,15 @@ main(int argc, char **argv)
     };
     std::vector<Entry> entries;
 
+    // One engine for the whole sweep: shared pool + result cache.
+    runtime::Engine engine;
     for (const auto &name : core::table2Names()) {
         if (fast && entries.size() >= 5)
             break;
         const auto bm = core::makeBenchmark(name);
         core::CharacterizeOptions options;
         options.refrateRepetitions = 1;
+        options.engine = &engine;
         const core::Characterization c =
             core::characterize(*bm, options);
         entries.push_back({name, c.topdown.muGV, c.coverage.muGM,

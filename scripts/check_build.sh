@@ -26,6 +26,46 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
+# Observability smoke test: one traced characterization through the
+# CLI. The trace must be JSON-parseable line by line with at least one
+# span per workload, and the Table II row must be a JSON document.
+trace_file="$BUILD_DIR/check_trace.jsonl"
+table2_json="$BUILD_DIR/check_table2_row.json"
+"$BUILD_DIR"/examples/alberta_cli characterize 505.mcf_r \
+    --trace "$trace_file" --metrics --format json \
+    > "$table2_json" 2> /dev/null
+if command -v python3 > /dev/null; then
+    python3 - "$trace_file" "$table2_json" << 'EOF'
+import json, sys
+trace, table2 = sys.argv[1], sys.argv[2]
+spans = []
+with open(trace) as f:
+    for n, line in enumerate(f, 1):
+        try:
+            spans.append(json.loads(line))
+        except ValueError as e:
+            sys.exit(f"check_build: trace line {n} is not JSON: {e}")
+for key in ("id", "parent", "name", "cat", "start_s", "dur_s"):
+    if any(key not in s for s in spans):
+        sys.exit(f"check_build: trace span missing key '{key}'")
+runs = [s for s in spans if s["cat"] in ("model_run", "refrate_rep")]
+roots = [s for s in spans if s["cat"] == "characterize"]
+if not roots:
+    sys.exit("check_build: no characterize root span in trace")
+workloads = roots[0].get("workloads", 0)
+if len({r["name"] for r in runs}) < workloads:
+    sys.exit(f"check_build: {len(runs)} run spans for "
+             f"{workloads} workloads")
+row = json.load(open(table2))
+if row[0]["benchmark"] != "505.mcf_r":
+    sys.exit("check_build: bad JSON Table II row")
+print(f"check_build: trace OK ({len(spans)} spans, "
+      f"{workloads} workloads), JSON Table II row OK")
+EOF
+else
+    echo "check_build: python3 not found, skipping trace validation"
+fi
+
 if [[ "${ALBERTA_SKIP_BENCH:-0}" != "1" ]]; then
     committed_sig=""
     if [[ -f BENCH_machine.json ]]; then

@@ -16,3 +16,10 @@ ctest --test-dir build 2>&1 | tee test_output.txt
     echo "===== $b ====="
     "$b"
 done) 2>&1 | tee bench_output.txt
+
+# One fully observed run session: span trace + metrics table for the
+# suite's most workload-rich benchmark, kept alongside the bench logs.
+build/examples/alberta_cli characterize 502.gcc_r \
+    --trace trace_output.jsonl --metrics --format json \
+    > table2_gcc.json 2> metrics_output.txt
+echo "wrote trace_output.jsonl, table2_gcc.json, metrics_output.txt"

@@ -19,8 +19,8 @@
 #include "benchmarks/x264/benchmark.h"
 #include "benchmarks/xalancbmk/benchmark.h"
 #include "benchmarks/xz/benchmark.h"
+#include "core/report.h"
 #include "support/check.h"
-#include "support/table.h"
 
 namespace alberta::core {
 
@@ -97,11 +97,38 @@ characterize(const runtime::Benchmark &benchmark,
         }
     }
 
-    runtime::ResultCache *cache = options.cache;
+    // Resolve the execution session. An Engine supersedes the
+    // deprecated raw-pointer fields, which remain as a one-release
+    // compatibility shim.
+    runtime::Engine *engine = options.engine;
+    runtime::Executor *executor = nullptr;
+    runtime::ResultCache *cache = nullptr;
+    runtime::ExecutorStats *statsOut = nullptr;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+    executor = options.executor;
+    cache = options.cache;
+    statsOut = options.stats;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+    obs::Tracer *tracer = nullptr;
+    if (engine) {
+        executor = &engine->executor();
+        cache = &engine->cache();
+        statsOut = &engine->stats();
+        tracer = &engine->tracer();
+    }
+
+    obs::Span root(tracer, benchmark.name(), "characterize");
+    root.note("workloads",
+              static_cast<std::uint64_t>(workloads.size()));
+
     const std::uint64_t hitsBefore = cache ? cache->hits() : 0;
     const std::uint64_t missesBefore = cache ? cache->misses() : 0;
 
-    runtime::Executor *executor = options.executor;
     std::optional<runtime::Executor> local;
     if (!executor) {
         local.emplace(options.jobs);
@@ -111,19 +138,35 @@ characterize(const runtime::Benchmark &benchmark,
 
     // Phase 1: every workload except refrate runs through the pool;
     // each task owns a fresh ExecutionContext, so model outputs are
-    // bit-identical to the serial path.
+    // bit-identical to the serial path. The batch doubles as the
+    // cache-probe batch: each task probes the result cache once.
     std::vector<std::size_t> modelIndices;
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         if (i != refrateIndex)
             modelIndices.push_back(i);
     }
     std::vector<runtime::RunMeasurement> results(workloads.size());
-    executor->parallelFor(
-        modelIndices.size(), [&](std::size_t task) {
-            const std::size_t i = modelIndices[task];
-            results[i] =
-                runtime::measureCached(benchmark, workloads[i], cache);
-        });
+    {
+        obs::Span batch(tracer, "model_batch", "cache_probe",
+                        root.id());
+        const std::uint64_t batchId = batch.id();
+        executor->parallelFor(
+            modelIndices.size(), [&](std::size_t task) {
+                const std::size_t i = modelIndices[task];
+                obs::Span run(tracer, workloads[i].name, "model_run",
+                              batchId);
+                results[i] = runtime::measureCached(
+                    benchmark, workloads[i], cache);
+                run.note("uops", results[i].retiredOps);
+            });
+        batch.note("runs",
+                   static_cast<std::uint64_t>(modelIndices.size()));
+        if (cache) {
+            batch.note("cache_hits", cache->hits() - hitsBefore);
+            batch.note("cache_misses",
+                       cache->misses() - missesBefore);
+        }
+    }
 
     // Phase 2: timed refrate repetitions on the (now quiesced) calling
     // thread; the first timed run doubles as refrate's model run.
@@ -133,22 +176,29 @@ characterize(const runtime::Benchmark &benchmark,
         if (cache && cache->lookup(benchmark, refrate, &cached) &&
             static_cast<int>(cached.timedSeconds.size()) >=
                 repetitions) {
+            obs::Span replay(tracer, "refrate_replay", "cache_probe",
+                             root.id());
+            replay.note("reps",
+                        static_cast<std::uint64_t>(repetitions));
             results[refrateIndex] = cached.measurement;
             c.refrateRuns.assign(cached.timedSeconds.begin(),
                                  cached.timedSeconds.begin() +
                                      repetitions);
         } else {
-            const runtime::RunMeasurement first =
-                runtime::runOnce(benchmark, refrate);
-            results[refrateIndex] = first;
-            c.refrateRuns.push_back(first.seconds);
-            for (int rep = 1; rep < repetitions; ++rep) {
-                c.refrateRuns.push_back(
-                    runtime::runOnce(benchmark, refrate).seconds);
+            for (int rep = 0; rep < repetitions; ++rep) {
+                obs::Span timed(tracer, refrate.name, "refrate_rep",
+                                root.id());
+                timed.note("rep", static_cast<std::uint64_t>(rep));
+                const runtime::RunMeasurement m =
+                    runtime::runOnce(benchmark, refrate);
+                timed.note("seconds", m.seconds);
+                if (rep == 0)
+                    results[refrateIndex] = m;
+                c.refrateRuns.push_back(m.seconds);
             }
             if (cache)
                 cache->insert(benchmark, refrate,
-                              {first, c.refrateRuns});
+                              {results[refrateIndex], c.refrateRuns});
         }
     }
 
@@ -159,7 +209,7 @@ characterize(const runtime::Benchmark &benchmark,
         c.checksumPerWorkload.push_back(results[i].checksum);
     }
 
-    if (options.stats) {
+    if (statsOut) {
         const runtime::ExecutorStats after = executor->stats();
         runtime::ExecutorStats delta;
         delta.tasksRun = after.tasksRun - statsBefore.tasksRun;
@@ -170,11 +220,25 @@ characterize(const runtime::Benchmark &benchmark,
         delta.cacheMisses = cache ? cache->misses() - missesBefore : 0;
         for (const runtime::RunMeasurement &r : results)
             delta.uopsRetired += r.retiredOps;
-        options.stats->merge(delta);
+        statsOut->merge(delta);
+        if (engine) {
+            auto &registry = engine->metrics();
+            registry.counter("characterize.calls").add(1);
+            registry.counter("characterize.model_runs")
+                .add(workloads.size());
+            registry.counter("characterize.uops")
+                .add(delta.uopsRetired);
+            registry.histogram("characterize.run_seconds")
+                .record(delta.runSeconds);
+        }
     }
 
-    c.topdown = stats::summarizeTopdown(c.topdownPerWorkload);
-    c.coverage = stats::summarizeCoverage(c.coveragePerWorkload);
+    {
+        obs::Span summarize(tracer, "summarize", "summarize",
+                            root.id());
+        c.topdown = stats::summarizeTopdown(c.topdownPerWorkload);
+        c.coverage = stats::summarizeCoverage(c.coveragePerWorkload);
+    }
     if (!c.refrateRuns.empty()) {
         double sum = 0.0;
         for (const double t : c.refrateRuns)
@@ -187,31 +251,22 @@ characterize(const runtime::Benchmark &benchmark,
 std::vector<std::string>
 table2Header()
 {
-    return {"Benchmark", "#wl",   "f.mu_g", "f.sg",  "b.mu_g",
-            "b.sg",      "s.mu_g", "s.sg",  "r.mu_g", "r.sg",
-            "mu_g(V)",   "mu_g(M)", "refrate(s)"};
+    // Thin wrapper: the columns come from the same structured fields
+    // that drive the JSON emission (core::table2Fields), computed on
+    // a default Characterization since labels are value-independent.
+    std::vector<std::string> out;
+    for (const Table2Field &f : table2Fields(Characterization{}))
+        out.push_back(f.column);
+    return out;
 }
 
 std::vector<std::string>
 table2Row(const Characterization &c)
 {
-    using support::formatFixed;
-    using support::formatPercent;
-    return {
-        c.benchmark,
-        std::to_string(c.workloadNames.size()),
-        formatPercent(c.topdown.frontend.mean, 1),
-        formatFixed(c.topdown.frontend.stddev, 1),
-        formatPercent(c.topdown.backend.mean, 1),
-        formatFixed(c.topdown.backend.stddev, 1),
-        formatPercent(c.topdown.badspec.mean, 1),
-        formatFixed(c.topdown.badspec.stddev, 1),
-        formatPercent(c.topdown.retiring.mean, 1),
-        formatFixed(c.topdown.retiring.stddev, 1),
-        formatFixed(c.topdown.muGV, 1),
-        formatFixed(c.coverage.muGM, 2),
-        formatFixed(c.refrateSeconds, 2),
-    };
+    std::vector<std::string> out;
+    for (const Table2Field &f : table2Fields(c))
+        out.push_back(f.text);
+    return out;
 }
 
 } // namespace alberta::core

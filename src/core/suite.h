@@ -13,8 +13,7 @@
 #include <vector>
 
 #include "runtime/benchmark.h"
-#include "runtime/executor.h"
-#include "runtime/result_cache.h"
+#include "runtime/engine.h"
 #include "stats/summary.h"
 
 namespace alberta::core {
@@ -56,13 +55,38 @@ struct CharacterizeOptions
      * are bit-identical regardless of the thread count.
      */
     int jobs = 1;
-    /** Optional shared pool (e.g. one pool across a whole suite). */
-    runtime::Executor *executor = nullptr;
-    /** Optional memoization of deterministic model runs. */
-    runtime::ResultCache *cache = nullptr;
-    /** When set, this characterization's executor/cache activity is
-     * accumulated into the pointed-to stats block. */
-    runtime::ExecutorStats *stats = nullptr;
+    /**
+     * The run-session facade: pool, cache, stats, and observability in
+     * one object. When set it supersedes the deprecated raw-pointer
+     * fields below (and @ref jobs), model runs are traced through the
+     * engine's tracer, and executor/cache activity accumulates into
+     * `engine->stats()` and `engine->metrics()`.
+     */
+    runtime::Engine *engine = nullptr;
+    /** @deprecated Use @ref engine. Optional shared pool. */
+    [[deprecated("use CharacterizeOptions::engine")]]
+    runtime::Executor *executor;
+    /** @deprecated Use @ref engine. Optional model-run memoization. */
+    [[deprecated("use CharacterizeOptions::engine")]]
+    runtime::ResultCache *cache;
+    /** @deprecated Use @ref engine. Optional stats accumulator. */
+    [[deprecated("use CharacterizeOptions::engine")]]
+    runtime::ExecutorStats *stats;
+
+    // The deprecated members are initialized here (not via default
+    // member initializers) so that merely constructing the options
+    // does not trip -Wdeprecated-declarations in clean callers.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+    CharacterizeOptions()
+        : executor(nullptr), cache(nullptr), stats(nullptr)
+    {
+    }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 };
 
 /**

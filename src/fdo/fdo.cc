@@ -135,18 +135,39 @@ crossValidate(const runtime::Benchmark &benchmark,
     const runtime::Workload train =
         runtime::findWorkload(benchmark, trainName);
 
-    const Profile profile = collectProfile(benchmark, train);
+    // An engine supersedes the raw executor/cache pointers and adds
+    // tracing: one root span per cross-validation, one child span per
+    // evaluated workload.
+    runtime::Engine *engine = options.engine;
+    runtime::Executor *executor =
+        engine ? &engine->executor() : options.executor;
+    runtime::ResultCache *cache =
+        engine ? &engine->cache() : options.cache;
+    obs::Tracer *tracer = engine ? &engine->tracer() : nullptr;
+
+    obs::Span root(tracer, benchmark.name(), "crossvalidate");
+    root.note("train", trainName);
+
+    const Profile profile = [&] {
+        obs::Span span(tracer, "collect_profile", "fdo_train",
+                       root.id());
+        return collectProfile(benchmark, train);
+    }();
     const Optimization opt = compileOptimization(profile);
 
     CrossValidation cv;
     cv.benchmark = benchmark.name();
     cv.trainWorkload = trainName;
 
+    const std::uint64_t rootId = root.id();
     const auto speedupOn = [&](const runtime::Workload &w) {
+        obs::Span eval(tracer, w.name, "fdo_eval", rootId);
         const FdoMeasurement base =
-            runOptimized(benchmark, w, nullptr, options.cache);
+            runOptimized(benchmark, w, nullptr, cache);
         const FdoMeasurement tuned = runOptimized(benchmark, w, &opt);
-        return base.cycles / tuned.cycles;
+        const double speedup = base.cycles / tuned.cycles;
+        eval.note("speedup", speedup);
+        return speedup;
     };
 
     std::vector<const runtime::Workload *> evals;
@@ -159,7 +180,6 @@ crossValidate(const runtime::Benchmark &benchmark,
 
     // Every evaluation (and the self-evaluation) is an independent
     // pair of model runs; fan them out and gather in workload order.
-    runtime::Executor *executor = options.executor;
     std::optional<runtime::Executor> local;
     if (!executor) {
         local.emplace(options.jobs);
@@ -173,6 +193,9 @@ crossValidate(const runtime::Benchmark &benchmark,
             else
                 speedups[task] = speedupOn(*evals[task]);
         });
+    if (engine)
+        engine->metrics().counter("fdo.evaluations")
+            .add(evals.size() + 1);
 
     double logSum = 0.0;
     cv.minCross = 1e30;

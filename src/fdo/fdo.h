@@ -18,8 +18,7 @@
 #include <vector>
 
 #include "runtime/benchmark.h"
-#include "runtime/executor.h"
-#include "runtime/result_cache.h"
+#include "runtime/engine.h"
 #include "topdown/machine.h"
 
 namespace alberta::fdo {
@@ -111,8 +110,11 @@ struct CrossValidateOptions
 {
     /** Worker threads for the per-workload evaluations (1 = serial,
      * 0 = runtime::Executor::defaultJobs()); ignored when @ref
-     * executor is set. */
+     * engine or @ref executor is set. */
     int jobs = 1;
+    /** Preferred: the run-session facade (pool + cache + tracing).
+     * Supersedes the raw-pointer fields below. */
+    runtime::Engine *engine = nullptr;
     runtime::Executor *executor = nullptr; //!< optional shared pool
     runtime::ResultCache *cache = nullptr; //!< baseline-run memoization
 };

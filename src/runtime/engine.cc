@@ -1,0 +1,79 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+
+namespace alberta::runtime {
+
+Engine::Engine(Config config)
+    : sink_(std::move(config.sink)), tracePath_(config.tracePath),
+      tracer_(sink_.get()), executor_(config.jobs)
+{
+    executor_.attachObservability(&tracer_, &metrics_);
+    cache_.attachMetrics(&metrics_);
+}
+
+void
+Engine::flushTrace()
+{
+    if (sink_)
+        sink_->flush();
+}
+
+std::vector<obs::MetricSample>
+Engine::metricsSnapshot() const
+{
+    auto out = metrics_.snapshot();
+    const auto addCounter = [&](const char *name, std::uint64_t v) {
+        obs::MetricSample s;
+        s.name = name;
+        s.kind = "counter";
+        s.count = v;
+        s.value = static_cast<double>(v);
+        out.push_back(std::move(s));
+    };
+    const auto addGauge = [&](const char *name, double v) {
+        obs::MetricSample s;
+        s.name = name;
+        s.kind = "gauge";
+        s.value = v;
+        out.push_back(std::move(s));
+    };
+
+    const ExecutorStats es = executor_.stats();
+    addGauge("executor.jobs", executor_.jobs());
+    addCounter("executor.tasks_run", es.tasksRun);
+    addGauge("executor.queue_seconds", es.queueSeconds);
+    addGauge("executor.run_seconds", es.runSeconds);
+    addCounter("cache.entries", cache_.size());
+    addCounter("session.uops_retired", stats_.uopsRetired);
+    addGauge("session.uops_per_second", stats_.uopsPerSecond());
+    addGauge("session.run_seconds", stats_.runSeconds);
+
+    std::sort(out.begin(), out.end(),
+              [](const obs::MetricSample &a,
+                 const obs::MetricSample &b) { return a.name < b.name; });
+    return out;
+}
+
+Engine::Builder &
+Engine::Builder::traceFile(const std::string &path)
+{
+    if (path.empty()) {
+        config_.sink.reset();
+        config_.tracePath.clear();
+    } else {
+        config_.sink = std::make_unique<obs::JsonLinesSink>(path);
+        config_.tracePath = path;
+    }
+    return *this;
+}
+
+Engine::Builder &
+Engine::Builder::traceSink(std::unique_ptr<obs::TraceSink> sink)
+{
+    config_.sink = std::move(sink);
+    config_.tracePath.clear();
+    return *this;
+}
+
+} // namespace alberta::runtime

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The run-session facade: one object owning everything a
+ * characterization session shares — the worker pool, the result cache,
+ * the accumulated executor statistics, and the observability layer
+ * (metrics registry + tracer). `core::CharacterizeOptions` and
+ * `fdo::CrossValidateOptions` take a single `Engine*` instead of the
+ * historical executor/cache/stats raw-pointer triple.
+ *
+ * Construction is builder-style because the pool size and the trace
+ * sink must be fixed before the members come up:
+ *
+ * @code
+ *   runtime::Engine engine = runtime::Engine::Builder()
+ *                                .jobs(8)
+ *                                .traceFile("run.jsonl")
+ *                                .build();
+ *   core::CharacterizeOptions options;
+ *   options.engine = &engine;
+ * @endcode
+ *
+ * An Engine without a trace sink runs the null sink: every span entry
+ * point collapses to a single branch, and model outputs are
+ * bit-identical with tracing on or off.
+ */
+#ifndef ALBERTA_RUNTIME_ENGINE_H
+#define ALBERTA_RUNTIME_ENGINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "runtime/executor.h"
+#include "runtime/result_cache.h"
+
+namespace alberta::runtime {
+
+/** Shared execution + observability state for a run session. */
+class Engine
+{
+  public:
+    class Builder;
+
+    /** Default session: auto-sized pool, no tracing. */
+    Engine() : Engine(Config{}) {}
+
+    /** Convenience: pool of @p jobs (see Executor), no tracing. */
+    explicit Engine(int jobs) : Engine(makeConfig(jobs)) {}
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    Executor &executor() { return executor_; }
+    ResultCache &cache() { return cache_; }
+    /** Stats accumulated by every characterization run through this
+     * engine (the block `CharacterizeOptions::stats` pointed at). */
+    ExecutorStats &stats() { return stats_; }
+    obs::Registry &metrics() { return metrics_; }
+    obs::Tracer &tracer() { return tracer_; }
+
+    int jobs() const { return executor_.jobs(); }
+    bool tracing() const { return tracer_.enabled(); }
+    /** Trace file path ("" when tracing to a custom sink or off). */
+    const std::string &tracePath() const { return tracePath_; }
+
+    /** Flush the trace sink (no-op for the null sink). */
+    void flushTrace();
+
+    /**
+     * The end-of-run metrics table: every registry metric plus the
+     * executor/cache/session aggregates, sorted by name.
+     */
+    std::vector<obs::MetricSample> metricsSnapshot() const;
+
+  private:
+    struct Config
+    {
+        int jobs = 0;
+        std::string tracePath;
+        std::unique_ptr<obs::TraceSink> sink;
+    };
+
+    explicit Engine(Config config);
+
+    static Config
+    makeConfig(int jobs)
+    {
+        Config c;
+        c.jobs = jobs;
+        return c;
+    }
+
+    std::unique_ptr<obs::TraceSink> sink_; //!< null = null sink
+    std::string tracePath_;
+    obs::Registry metrics_;
+    obs::Tracer tracer_;
+    Executor executor_;
+    ResultCache cache_;
+    ExecutorStats stats_;
+};
+
+/** Builder-style Engine configuration. */
+class Engine::Builder
+{
+  public:
+    /** Worker count (0 = Executor::defaultJobs). */
+    Builder &
+    jobs(int n)
+    {
+        config_.jobs = n;
+        return *this;
+    }
+
+    /** Trace spans to @p path as JSON lines ("" = no tracing). */
+    Builder &traceFile(const std::string &path);
+
+    /** Trace spans to a custom sink (overrides traceFile). */
+    Builder &traceSink(std::unique_ptr<obs::TraceSink> sink);
+
+    /** Construct the engine (relies on guaranteed copy elision:
+     * Engine itself is neither copyable nor movable). */
+    Engine
+    build()
+    {
+        return Engine(std::move(config_));
+    }
+
+  private:
+    Config config_;
+};
+
+} // namespace alberta::runtime
+
+#endif // ALBERTA_RUNTIME_ENGINE_H

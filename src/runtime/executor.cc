@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "obs/obs.h"
+
 namespace alberta::runtime {
 
 namespace {
@@ -123,11 +125,29 @@ Executor::workerLoop()
 }
 
 void
+Executor::attachObservability(obs::Tracer *tracer,
+                              obs::Registry *metrics)
+{
+    tracer_ = tracer;
+    batchCounter_ =
+        metrics ? &metrics->counter("executor.batches") : nullptr;
+    taskCounter_ =
+        metrics ? &metrics->counter("executor.tasks") : nullptr;
+}
+
+void
 Executor::parallelFor(std::size_t count,
                       const std::function<void(std::size_t)> &body)
 {
     if (count == 0)
         return;
+
+    obs::Span span(tracer_, "parallel_for", "executor");
+    span.note("tasks", static_cast<std::uint64_t>(count));
+    if (batchCounter_) {
+        batchCounter_->add(1);
+        taskCounter_->add(count);
+    }
 
     // Serial executors and nested calls from worker threads run inline;
     // timings are still accounted so stats stay comparable.

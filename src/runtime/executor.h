@@ -19,6 +19,12 @@
 #include <thread>
 #include <vector>
 
+namespace alberta::obs {
+class Counter;
+class Registry;
+class Tracer;
+} // namespace alberta::obs
+
 namespace alberta::runtime {
 
 /** Aggregate observability counters for executor + cache activity. */
@@ -94,6 +100,15 @@ class Executor
     ExecutorStats stats() const;
 
     /**
+     * Attach observability (non-owning; pass nullptrs to detach).
+     * When attached, every `parallelFor` batch opens one span
+     * (category "executor") and bumps the `executor.batches` /
+     * `executor.tasks` counters. Detached, the hooks cost one branch.
+     */
+    void attachObservability(obs::Tracer *tracer,
+                             obs::Registry *metrics);
+
+    /**
      * Default worker count: the `ALBERTA_JOBS` environment variable when
      * set to a positive integer, otherwise the hardware concurrency
      * (minimum 1).
@@ -115,6 +130,10 @@ class Executor
     bool stopping_ = false;
 
     ExecutorStats stats_;
+
+    obs::Tracer *tracer_ = nullptr;
+    obs::Counter *batchCounter_ = nullptr;
+    obs::Counter *taskCounter_ = nullptr;
 };
 
 } // namespace alberta::runtime

@@ -1,5 +1,7 @@
 #include "runtime/result_cache.h"
 
+#include "obs/obs.h"
+
 namespace alberta::runtime {
 
 namespace {
@@ -68,11 +70,23 @@ ResultCache::lookup(const Benchmark &benchmark, const Workload &workload,
             if (out)
                 *out = it->second.run;
             ++hits_;
+            if (hitCounter_)
+                hitCounter_->add(1);
             return true;
         }
     }
     ++misses_;
+    if (missCounter_)
+        missCounter_->add(1);
     return false;
+}
+
+void
+ResultCache::attachMetrics(obs::Registry *metrics)
+{
+    hitCounter_ = metrics ? &metrics->counter("cache.hits") : nullptr;
+    missCounter_ =
+        metrics ? &metrics->counter("cache.misses") : nullptr;
 }
 
 void

@@ -23,6 +23,11 @@
 
 #include "runtime/benchmark.h"
 
+namespace alberta::obs {
+class Counter;
+class Registry;
+} // namespace alberta::obs
+
 namespace alberta::runtime {
 
 /** One memoized run: model outputs plus any recorded timing runs. */
@@ -63,6 +68,13 @@ class ResultCache
     /** Drop all entries and zero the counters. */
     void clear();
 
+    /**
+     * Mirror hit/miss activity into @p metrics as the `cache.hits` /
+     * `cache.misses` counters (non-owning; nullptr detaches). Probe
+     * results are unaffected — this is observation only.
+     */
+    void attachMetrics(obs::Registry *metrics);
+
   private:
     struct Entry
     {
@@ -77,6 +89,8 @@ class ResultCache
     std::unordered_map<std::string, Entry> entries_;
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
+    obs::Counter *hitCounter_ = nullptr;
+    obs::Counter *missCounter_ = nullptr;
 };
 
 /**

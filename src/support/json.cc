@@ -1,0 +1,68 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace alberta::support {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonQuote(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    out += jsonEscape(text);
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        value = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g",
+                  std::numeric_limits<double>::max_digits10, value);
+    return buf;
+}
+
+} // namespace alberta::support

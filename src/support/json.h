@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Minimal JSON encoding helpers shared by the trace sink, the report
+ * writer, and the bench harnesses' machine-readable output.
+ */
+#ifndef ALBERTA_SUPPORT_JSON_H
+#define ALBERTA_SUPPORT_JSON_H
+
+#include <string>
+#include <string_view>
+
+namespace alberta::support {
+
+/** Escape @p text for use inside a JSON string (no quotes added). */
+std::string jsonEscape(std::string_view text);
+
+/** @p text as a quoted, escaped JSON string literal. */
+std::string jsonQuote(std::string_view text);
+
+/**
+ * @p value as a JSON number. Round-trips doubles (max_digits10);
+ * non-finite values, which JSON cannot represent, encode as 0.
+ */
+std::string jsonNumber(double value);
+
+} // namespace alberta::support
+
+#endif // ALBERTA_SUPPORT_JSON_H

@@ -86,6 +86,20 @@ parseInt(std::string_view text)
     return value;
 }
 
+long long
+parsePositiveInt(std::string_view text, std::string_view what,
+                 long long max)
+{
+    long long value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    fatalIf(ec != std::errc() || ptr != text.data() + text.size() ||
+                value <= 0 || value > max,
+            what, " expects a positive integer (1..", max, "), got '",
+            std::string(text), "'");
+    return value;
+}
+
 double
 parseDouble(std::string_view text)
 {

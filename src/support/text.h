@@ -31,6 +31,16 @@ bool startsWith(std::string_view text, std::string_view prefix);
 /** Parse a signed integer; raises FatalError on malformed input. */
 long long parseInt(std::string_view text);
 
+/**
+ * Parse a positive decimal integer in [1, @p max] with no trailing
+ * junk — the validation every numeric CLI argument shares (`--jobs`,
+ * cluster `k`, `run` repetitions). Raises FatalError naming @p what
+ * on anything else: "--jobs abc" must be rejected, not silently
+ * parsed as zero.
+ */
+long long parsePositiveInt(std::string_view text, std::string_view what,
+                           long long max = 1000000);
+
 /** Parse a floating-point value; raises FatalError on malformed input. */
 double parseDouble(std::string_view text);
 

@@ -16,6 +16,14 @@
 #include "runtime/executor.h"
 #include "runtime/result_cache.h"
 
+// These tests deliberately exercise the deprecated raw-pointer
+// CharacterizeOptions fields: they are the one-release compatibility
+// shim, and its behaviour must keep matching the Engine facade until
+// it is removed (see tests/test_engine.cc for the facade itself).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace {
 
 using namespace alberta;

@@ -208,6 +208,36 @@ TEST(Text, ParseDoubleAcceptsFloats)
     EXPECT_THROW(parseDouble("abc"), FatalError);
 }
 
+TEST(Text, ParsePositiveIntAcceptsOneThroughMax)
+{
+    EXPECT_EQ(parsePositiveInt("1", "n"), 1);
+    EXPECT_EQ(parsePositiveInt("42", "n"), 42);
+    EXPECT_EQ(parsePositiveInt("8", "k", 8), 8);
+}
+
+TEST(Text, ParsePositiveIntRejectsBadInput)
+{
+    EXPECT_THROW(parsePositiveInt("0", "n"), FatalError);
+    EXPECT_THROW(parsePositiveInt("-3", "n"), FatalError);
+    EXPECT_THROW(parsePositiveInt("9", "k", 8), FatalError);
+    EXPECT_THROW(parsePositiveInt("4x", "n"), FatalError);
+    EXPECT_THROW(parsePositiveInt("", "n"), FatalError);
+    EXPECT_THROW(parsePositiveInt(" 5", "n"), FatalError);
+}
+
+TEST(Text, ParsePositiveIntNamesTheOffendingFlag)
+{
+    try {
+        parsePositiveInt("huge", "--jobs", 1024);
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("--jobs"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("1024"),
+                  std::string::npos);
+    }
+}
+
 TEST(Text, StartsWith)
 {
     EXPECT_TRUE(startsWith("alberta.city-1", "alberta."));
