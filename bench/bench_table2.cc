@@ -11,27 +11,40 @@
  * inflation for lbm/cactuBSSN, and the coverage-variation ordering —
  * not the absolute hardware values.
  *
- * The suite is characterized three times to exercise and track the
- * parallel execution engine:
+ * The suite is characterized four times to exercise and track the
+ * execution engine across PRs:
  *
- *   1. serial baseline        (jobs=1, no result cache)
- *   2. parallel, cold cache   (--jobs pool, empty cache)
- *   3. parallel, warm cache   (same pool, memoized results)
+ *   1. serial baseline      per-benchmark loop, jobs=1, no cache
+ *   2. suite-scheduled cold characterizeTable2 through one global
+ *                           longest-first batch, empty memory cache,
+ *                           cold disk cache
+ *   3. warm (in-process)    same engine, memoized results
+ *   4. disk-warm            a FRESH engine on the same cache
+ *                           directory — simulates a second process
+ *                           whose memory cache is empty but whose
+ *                           disk cache is populated
  *
- * Model outputs must be bit-identical across all three; wall times and
- * the derived speedups are written to BENCH_table2.json so the engine's
- * performance is tracked across PRs.
+ * Model outputs must be bit-identical across all four; wall times, the
+ * derived speedups, and the disk-cache counters are written to
+ * BENCH_table2.json.
  *
- *   bench_table2 [--jobs N] [--json PATH]
+ *   bench_table2 [--jobs N] [--json PATH] [--cache-dir DIR]
+ *
+ * Without --cache-dir a temporary directory is used and removed on
+ * exit; with it, the store (results + cost ledger) persists so later
+ * invocations start warm.
  */
 #include <bit>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "core/suite.h"
 #include "support/table.h"
@@ -40,10 +53,10 @@ namespace {
 
 using namespace alberta;
 
-/** One full-suite characterization; returns rows in Table II order. */
+/** The pre-scheduler code path: one benchmark at a time, serially. */
 std::vector<core::Characterization>
-characterizeSuite(const core::CharacterizeOptions &options,
-                  const char *label)
+characterizePerBenchmark(const core::CharacterizeOptions &options,
+                         const char *label)
 {
     std::vector<core::Characterization> out;
     for (const auto &name : core::table2Names()) {
@@ -92,15 +105,18 @@ identicalModelOutputs(const std::vector<core::Characterization> &a,
     return true;
 }
 
+template <typename Fn>
 double
-timeSuite(std::vector<core::Characterization> &out,
-          const core::CharacterizeOptions &options, const char *label)
+timeSuite(std::vector<core::Characterization> &out, Fn &&run,
+          const char *label)
 {
     const auto start = std::chrono::steady_clock::now();
-    out = characterizeSuite(options, label);
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
+    out = run();
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    std::cerr << "  [table2] " << label << ": " << seconds << " s\n";
+    return seconds;
 }
 
 } // namespace
@@ -114,16 +130,30 @@ main(int argc, char **argv)
             jobs = std::atoi(env);
     }
     std::string jsonPath = "BENCH_table2.json";
+    std::string cacheDir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
             jobs = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
+                 i + 1 < argc)
+            cacheDir = argv[++i];
         else {
             std::cerr << "usage: bench_table2 [--jobs N] [--json "
-                         "PATH]\n";
+                         "PATH] [--cache-dir DIR]\n";
             return 2;
         }
+    }
+
+    // A private scratch store unless the caller wants persistence.
+    bool scratchStore = false;
+    if (cacheDir.empty()) {
+        cacheDir = (std::filesystem::temp_directory_path() /
+                    ("alberta-bench-cache-" +
+                     std::to_string(::getpid())))
+                       .string();
+        scratchStore = true;
     }
 
     std::cout << "Table II: workload counts, top-down summaries "
@@ -131,29 +161,53 @@ main(int argc, char **argv)
                  "(Eq. 5), and refrate times for the Alberta "
                  "workload sets.\n\n";
 
-    // 1. Serial baseline: the pre-executor code path.
+    // 1. Serial baseline: the pre-scheduler code path.
     std::vector<core::Characterization> serial;
     core::CharacterizeOptions serialOptions;
     serialOptions.jobs = 1;
-    const double serialSeconds =
-        timeSuite(serial, serialOptions, "serial");
+    const double serialSeconds = timeSuite(
+        serial,
+        [&] { return characterizePerBenchmark(serialOptions, "serial"); },
+        "serial baseline");
 
-    // 2. Parallel with a cold cache: pure thread-pool speedup. The
-    // engine bundles the pool, cache, and stats the three raw
-    // pointers used to carry.
-    runtime::Engine engine(jobs);
-    core::CharacterizeOptions parallelOptions;
-    parallelOptions.engine = &engine;
-    std::vector<core::Characterization> parallel;
-    const double parallelSeconds =
-        timeSuite(parallel, parallelOptions, "parallel");
+    // 2. Suite-scheduled, cold: every (benchmark, workload) run across
+    // all 15 benchmarks in one longest-first Executor batch, memory
+    // and disk caches both empty. This pass also seeds the disk store
+    // and the cost ledger.
+    runtime::Engine engine = runtime::Engine::Builder()
+                                 .jobs(jobs)
+                                 .cacheDir(cacheDir)
+                                 .build();
+    core::CharacterizeOptions suiteOptions;
+    suiteOptions.engine = &engine;
+    std::vector<core::Characterization> suiteCold;
+    const double suiteColdSeconds = timeSuite(
+        suiteCold, [&] { return core::characterizeTable2(suiteOptions); },
+        "suite-scheduled cold");
 
-    // 3. Same pool, warm cache: the memoized re-characterization.
+    // 3. Same engine, warm memory cache: the memoized
+    // re-characterization.
     std::vector<core::Characterization> warm;
-    const double warmSeconds = timeSuite(warm, parallelOptions, "warm");
+    const double warmSeconds = timeSuite(
+        warm, [&] { return core::characterizeTable2(suiteOptions); },
+        "warm (in-process)");
 
-    const bool identical = identicalModelOutputs(serial, parallel) &&
-                           identicalModelOutputs(serial, warm);
+    // 4. Fresh engine, same directory: a second process's first run —
+    // the memory cache starts empty, every result is served from disk.
+    runtime::Engine second = runtime::Engine::Builder()
+                                 .jobs(jobs)
+                                 .cacheDir(cacheDir)
+                                 .build();
+    core::CharacterizeOptions secondOptions;
+    secondOptions.engine = &second;
+    std::vector<core::Characterization> diskWarm;
+    const double diskWarmSeconds = timeSuite(
+        diskWarm, [&] { return core::characterizeTable2(secondOptions); },
+        "disk-warm (fresh engine)");
+
+    const bool identical = identicalModelOutputs(serial, suiteCold) &&
+                           identicalModelOutputs(serial, warm) &&
+                           identicalModelOutputs(serial, diskWarm);
 
     support::Table table(core::table2Header());
     for (const auto &c : serial)
@@ -166,14 +220,18 @@ main(int argc, char **argv)
                  "variation (percent-scale, +0.01 offset).\n";
 
     const runtime::ExecutorStats &stats = engine.stats();
+    const runtime::PersistentCache *disk = second.disk();
     std::cout << "\nExecution engine (" << engine.jobs()
               << " jobs):\n"
               << "  serial baseline    : " << serialSeconds << " s\n"
-              << "  parallel, cold     : " << parallelSeconds
+              << "  suite-sched, cold  : " << suiteColdSeconds
               << " s (speedup "
-              << serialSeconds / parallelSeconds << "x)\n"
+              << serialSeconds / suiteColdSeconds << "x)\n"
               << "  parallel, warm     : " << warmSeconds
               << " s (speedup " << serialSeconds / warmSeconds
+              << "x)\n"
+              << "  disk-warm          : " << diskWarmSeconds
+              << " s (speedup " << serialSeconds / diskWarmSeconds
               << "x)\n"
               << "  tasks run          : " << stats.tasksRun << "\n"
               << "  task queue / run   : " << stats.queueSeconds
@@ -181,6 +239,8 @@ main(int argc, char **argv)
               << "  cache hits/misses  : " << stats.cacheHits << "/"
               << stats.cacheMisses << " (" << engine.cache().size()
               << " entries)\n"
+              << "  disk hits (2nd eng): " << disk->hits() << " ("
+              << disk->corrupt() << " corrupt)\n"
               << "  model outputs      : "
               << (identical ? "bit-identical across all runs"
                             : "MISMATCH (bug!)")
@@ -192,18 +252,29 @@ main(int argc, char **argv)
          << "  \"jobs\": " << engine.jobs() << ",\n"
          << "  \"benchmarks\": " << serial.size() << ",\n"
          << "  \"serial_seconds\": " << serialSeconds << ",\n"
-         << "  \"parallel_cold_seconds\": " << parallelSeconds << ",\n"
+         << "  \"suite_sched_cold_seconds\": " << suiteColdSeconds
+         << ",\n"
          << "  \"parallel_warm_seconds\": " << warmSeconds << ",\n"
-         << "  \"speedup_parallel_cold\": "
-         << serialSeconds / parallelSeconds << ",\n"
+         << "  \"disk_warm_seconds\": " << diskWarmSeconds << ",\n"
+         << "  \"speedup_suite_cold\": "
+         << serialSeconds / suiteColdSeconds << ",\n"
          << "  \"speedup_parallel_warm\": "
          << serialSeconds / warmSeconds << ",\n"
+         << "  \"speedup_disk_warm\": "
+         << serialSeconds / diskWarmSeconds << ",\n"
          << "  \"cache_hits\": " << stats.cacheHits << ",\n"
          << "  \"cache_misses\": " << stats.cacheMisses << ",\n"
+         << "  \"disk_hits\": " << disk->hits() << ",\n"
+         << "  \"disk_corrupt\": " << disk->corrupt() << ",\n"
          << "  \"identical_model_outputs\": "
          << (identical ? "true" : "false") << "\n"
          << "}\n";
     std::cerr << "  [table2] wrote " << jsonPath << "\n";
+
+    if (scratchStore) {
+        std::error_code ec;
+        std::filesystem::remove_all(cacheDir, ec);
+    }
 
     return identical ? 0 : 1;
 }

@@ -6,6 +6,8 @@
  *   alberta_cli workloads <benchmark>     workload names + params
  *   alberta_cli run <benchmark> <workload> [reps]
  *   alberta_cli characterize <benchmark>  Table II row for one program
+ *   alberta_cli suite                     full Table II through the
+ *                                         suite scheduler
  *   alberta_cli report <benchmark>        behaviour report to stdout
  *   alberta_cli cluster <benchmark> <k>   Berube-style representatives
  *
@@ -15,14 +17,19 @@
  *                   ALBERTA_JOBS when set, else hardware concurrency)
  *   --format FMT    output format: text (default), md, or json
  *   --trace FILE    write a JSON-lines span trace of the run session
+ *   --cache-dir DIR persist model results (and the scheduler's cost
+ *                   ledger) under DIR so later *processes* start warm
+ *                   (default: ALBERTA_CACHE_DIR when set, else no
+ *                   persistence)
  *   --metrics       print the end-of-run metrics table to stderr
- *   --stats         print the one-line executor/cache summary to
- *                   stderr on exit
+ *   --stats         print the one-line executor/cache/scheduler
+ *                   summary to stderr on exit
  *
  * All characterizing commands share one runtime::Engine: the worker
- * pool, result cache, stats block, and observability layer for the
- * whole invocation.
+ * pool, result cache (optionally disk-backed), stats block, and
+ * observability layer for the whole invocation.
  */
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -105,6 +112,16 @@ cmdCharacterize(const std::string &name, runtime::Engine &engine,
 }
 
 int
+cmdSuite(runtime::Engine &engine, const core::ReportWriter &writer)
+{
+    core::CharacterizeOptions options;
+    options.engine = &engine;
+    const auto results = core::characterizeTable2(options);
+    std::cout << writer.table2(results);
+    return 0;
+}
+
+int
 cmdReport(const std::string &name, runtime::Engine &engine,
           const core::ReportWriter &writer)
 {
@@ -157,6 +174,19 @@ printStats(runtime::Engine &engine)
               << " uops=" << stats.uopsRetired << " uops_per_sec="
               << support::formatFixed(stats.uopsPerSecond(), 0)
               << "\n";
+    auto &metrics = engine.metrics();
+    std::cerr << "[stats] scheduler_dispatched="
+              << metrics.counter("scheduler.dispatched").value()
+              << " scheduler_steals_avoided="
+              << metrics.counter("scheduler.steals_avoided").value()
+              << " ledger_entries=" << engine.ledger().size() << "\n";
+    if (const runtime::PersistentCache *disk = engine.disk()) {
+        std::cerr << "[stats] cache_dir=" << disk->dir()
+                  << " disk_hits=" << disk->hits()
+                  << " disk_misses=" << disk->misses()
+                  << " disk_corrupt=" << disk->corrupt()
+                  << " disk_writes=" << disk->writes() << "\n";
+    }
 }
 
 void
@@ -164,12 +194,13 @@ usage()
 {
     std::cerr
         << "usage: alberta_cli [--jobs N] [--format {text,md,json}]\n"
-           "                   [--trace FILE] [--metrics] [--stats] "
-           "<command>\n"
+           "                   [--trace FILE] [--cache-dir DIR]\n"
+           "                   [--metrics] [--stats] <command>\n"
            "  alberta_cli list\n"
            "  alberta_cli workloads <benchmark>\n"
            "  alberta_cli run <benchmark> <workload> [reps]\n"
            "  alberta_cli characterize <benchmark>\n"
+           "  alberta_cli suite\n"
            "  alberta_cli report <benchmark>\n"
            "  alberta_cli cluster <benchmark> <k>\n";
 }
@@ -183,6 +214,9 @@ main(int argc, char **argv)
     bool wantStats = false;
     bool wantMetrics = false;
     std::string tracePath;
+    std::string cacheDir;
+    if (const char *env = std::getenv("ALBERTA_CACHE_DIR"))
+        cacheDir = env;
     core::ReportFormat format = core::ReportFormat::Text;
     std::vector<std::string> args;
     try {
@@ -201,7 +235,12 @@ main(int argc, char **argv)
                     core::parseReportFormat(flagArg("--format"));
             else if (std::strcmp(argv[i], "--trace") == 0)
                 tracePath = flagArg("--trace");
-            else if (std::strcmp(argv[i], "--metrics") == 0)
+            else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+                cacheDir = flagArg("--cache-dir");
+                if (cacheDir.empty())
+                    support::fatal("alberta_cli: --cache-dir "
+                                   "requires a non-empty directory");
+            } else if (std::strcmp(argv[i], "--metrics") == 0)
                 wantMetrics = true;
             else if (std::strcmp(argv[i], "--stats") == 0)
                 wantStats = true;
@@ -220,9 +259,13 @@ main(int argc, char **argv)
 
     int rc = 2;
     try {
+        // Engine::Builder::build raises FatalError for a cache
+        // directory that cannot be created or is not a directory; the
+        // catch below turns that into a usage error.
         runtime::Engine engine = runtime::Engine::Builder()
                                      .jobs(jobs)
                                      .traceFile(tracePath)
+                                     .cacheDir(cacheDir)
                                      .build();
         const core::ReportWriter writer(format, &engine);
         if (command == "list")
@@ -239,6 +282,8 @@ main(int argc, char **argv)
                             : 3);
         else if (command == "characterize" && args.size() >= 2)
             rc = cmdCharacterize(args[1], engine, writer);
+        else if (command == "suite")
+            rc = cmdSuite(engine, writer);
         else if (command == "report" && args.size() >= 2)
             rc = cmdReport(args[1], engine, writer);
         else if (command == "cluster" && args.size() >= 3)

@@ -6,9 +6,13 @@
  *
  *   ./generate_reports [output-dir] [benchmark]
  *
- * Model runs execute on a shared worker pool (ALBERTA_JOBS controls
- * the size); reports are emitted in Table II order regardless.
+ * The full run goes through the suite scheduler: every model run
+ * across all 15 benchmarks is one longest-first Executor batch
+ * (ALBERTA_JOBS controls the pool size, ALBERTA_CACHE_DIR persists
+ * results across invocations); reports are emitted in Table II order
+ * regardless.
  */
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -25,22 +29,30 @@ main(int argc, char **argv)
     const std::string only = argc > 2 ? argv[2] : "";
     fs::create_directories(root);
 
-    runtime::Engine engine;
+    std::string cacheDir;
+    if (const char *env = std::getenv("ALBERTA_CACHE_DIR"))
+        cacheDir = env;
+    runtime::Engine engine =
+        runtime::Engine::Builder().cacheDir(cacheDir).build();
     const core::ReportWriter writer(core::ReportFormat::Markdown,
                                     &engine);
-    for (const auto &name : core::table2Names()) {
-        if (!only.empty() && name != only)
-            continue;
-        const auto benchmark = core::makeBenchmark(name);
-        core::CharacterizeOptions options;
-        options.refrateRepetitions = 3;
-        options.engine = &engine;
-        const core::Characterization c =
-            core::characterize(*benchmark, options);
-        const fs::path file = root / (name + ".md");
+    core::CharacterizeOptions options;
+    options.refrateRepetitions = 3;
+    options.engine = &engine;
+
+    const auto writeReport = [&](const core::Characterization &c) {
+        const fs::path file = root / (c.benchmark + ".md");
         std::ofstream out(file);
         out << writer.report(c);
         std::cout << "wrote " << file.string() << "\n";
+    };
+
+    if (!only.empty()) {
+        const auto benchmark = core::makeBenchmark(only);
+        writeReport(core::characterize(*benchmark, options));
+        return 0;
     }
+    for (const auto &c : core::characterizeTable2(options))
+        writeReport(c);
     return 0;
 }

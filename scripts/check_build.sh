@@ -12,8 +12,9 @@
 #                       file bit-for-bit — any semantic change to the
 #                       model fails here unless it is explicitly
 #                       acknowledged with ALBERTA_ALLOW_MODEL_CHANGE=1.
-#   BENCH_table2.json   serial vs parallel wall time of the full
-#                       Table II characterization.
+#   BENCH_table2.json   serial vs suite-scheduled vs cache-warm wall
+#                       time of the full Table II characterization
+#                       (suite_sched_cold/parallel_warm/disk_warm).
 #
 # Set ALBERTA_SKIP_BENCH=1 to stop after ctest, and ALBERTA_JOBS to
 # control the worker-pool size.
@@ -65,6 +66,35 @@ EOF
 else
     echo "check_build: python3 not found, skipping trace validation"
 fi
+
+# Persistent-cache smoke test: the same characterization through a
+# fresh cache directory twice. The second process must hit the disk
+# cache and produce a bit-identical JSON Table II row.
+cache_dir="$(mktemp -d "${TMPDIR:-/tmp}/alberta-check-cache.XXXXXX")"
+trap 'rm -rf "$cache_dir"' EXIT
+cold_row="$BUILD_DIR/check_cache_cold.json"
+warm_row="$BUILD_DIR/check_cache_warm.json"
+cold_stats="$BUILD_DIR/check_cache_cold.stats"
+warm_stats="$BUILD_DIR/check_cache_warm.stats"
+"$BUILD_DIR"/examples/alberta_cli characterize 505.mcf_r \
+    --cache-dir "$cache_dir" --stats --format json \
+    > "$cold_row" 2> "$cold_stats"
+"$BUILD_DIR"/examples/alberta_cli characterize 505.mcf_r \
+    --cache-dir "$cache_dir" --stats --format json \
+    > "$warm_row" 2> "$warm_stats"
+if ! cmp -s "$cold_row" "$warm_row"; then
+    echo "check_build: FAIL: disk-warm Table II row differs from" \
+         "the cold one" >&2
+    exit 1
+fi
+warm_hits="$(sed -n 's/.* disk_hits=\([0-9]*\).*/\1/p' "$warm_stats")"
+if [[ -z "$warm_hits" || "$warm_hits" -eq 0 ]]; then
+    echo "check_build: FAIL: second run reported no disk-cache hits" >&2
+    cat "$warm_stats" >&2
+    exit 1
+fi
+echo "check_build: persistent cache OK ($warm_hits disk hits," \
+     "identical JSON row)"
 
 if [[ "${ALBERTA_SKIP_BENCH:-0}" != "1" ]]; then
     committed_sig=""

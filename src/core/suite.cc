@@ -20,6 +20,7 @@
 #include "benchmarks/xalancbmk/benchmark.h"
 #include "benchmarks/xz/benchmark.h"
 #include "core/report.h"
+#include "runtime/scheduler.h"
 #include "support/check.h"
 
 namespace alberta::core {
@@ -97,30 +98,15 @@ characterize(const runtime::Benchmark &benchmark,
         }
     }
 
-    // Resolve the execution session. An Engine supersedes the
-    // deprecated raw-pointer fields, which remain as a one-release
-    // compatibility shim.
+    // Resolve the execution session from the engine (or run a local
+    // pool with no cache when none is given).
     runtime::Engine *engine = options.engine;
-    runtime::Executor *executor = nullptr;
-    runtime::ResultCache *cache = nullptr;
-    runtime::ExecutorStats *statsOut = nullptr;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-    executor = options.executor;
-    cache = options.cache;
-    statsOut = options.stats;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-    obs::Tracer *tracer = nullptr;
-    if (engine) {
-        executor = &engine->executor();
-        cache = &engine->cache();
-        statsOut = &engine->stats();
-        tracer = &engine->tracer();
-    }
+    runtime::Executor *executor =
+        engine ? &engine->executor() : nullptr;
+    runtime::ResultCache *cache = engine ? &engine->cache() : nullptr;
+    runtime::ExecutorStats *statsOut =
+        engine ? &engine->stats() : nullptr;
+    obs::Tracer *tracer = engine ? &engine->tracer() : nullptr;
 
     obs::Span root(tracer, benchmark.name(), "characterize");
     root.note("workloads",
@@ -246,6 +232,212 @@ characterize(const runtime::Benchmark &benchmark,
         c.refrateSeconds = sum / c.refrateRuns.size();
     }
     return c;
+}
+
+namespace {
+
+/** Per-benchmark gather slots for the suite scheduler: sized before
+ * any task closure captures into them, so references stay stable. */
+struct SuiteSlot
+{
+    std::vector<runtime::Workload> workloads;
+    std::size_t refrateIndex = 0; //!< == workloads.size() when absent
+    std::vector<runtime::RunMeasurement> results;
+    std::vector<double> refrateRuns;
+    bool insertRefrate = false; //!< refrate ran (vs cache replay)
+};
+
+} // namespace
+
+std::vector<Characterization>
+characterizeSuite(
+    std::span<const std::unique_ptr<runtime::Benchmark>> benchmarks,
+    const CharacterizeOptions &options)
+{
+    std::vector<Characterization> out(benchmarks.size());
+    if (benchmarks.empty())
+        return out;
+
+    runtime::Engine *engine = options.engine;
+    runtime::ResultCache *cache = engine ? &engine->cache() : nullptr;
+    runtime::ExecutorStats *statsOut =
+        engine ? &engine->stats() : nullptr;
+    obs::Tracer *tracer = engine ? &engine->tracer() : nullptr;
+    runtime::CostLedger *ledger = engine ? &engine->ledger() : nullptr;
+    runtime::Executor *executor =
+        engine ? &engine->executor() : nullptr;
+    std::optional<runtime::Executor> local;
+    if (!executor) {
+        local.emplace(options.jobs);
+        executor = &*local;
+    }
+
+    const int repetitions = std::max(1, options.refrateRepetitions);
+    const std::uint64_t hitsBefore = cache ? cache->hits() : 0;
+    const std::uint64_t missesBefore = cache ? cache->misses() : 0;
+    const runtime::ExecutorStats statsBefore = executor->stats();
+
+    obs::Span root(tracer, "suite", "characterize_suite");
+    root.note("benchmarks",
+              static_cast<std::uint64_t>(benchmarks.size()));
+
+    // Pass 1: select workloads and pre-size every gather slot.
+    std::vector<SuiteSlot> slots(benchmarks.size());
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const runtime::Benchmark &bm = *benchmarks[b];
+        SuiteSlot &slot = slots[b];
+        for (auto &workload : bm.workloads()) {
+            if (!options.includeTest && workload.name == "test")
+                continue;
+            slot.workloads.push_back(std::move(workload));
+        }
+        support::fatalIf(slot.workloads.empty(), "suite: ", bm.name(),
+                         " has no workloads");
+        slot.refrateIndex = slot.workloads.size();
+        for (std::size_t i = 0; i < slot.workloads.size(); ++i) {
+            if (slot.workloads[i].isRefrate()) {
+                slot.refrateIndex = i;
+                break;
+            }
+        }
+        slot.results.resize(slot.workloads.size());
+    }
+
+    // Pass 2: flatten everything runnable — refrate repetitions
+    // included — into one global task list. Cached refrates replay
+    // immediately and schedule nothing.
+    std::vector<runtime::SuiteTask> tasks;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const runtime::Benchmark &bm = *benchmarks[b];
+        SuiteSlot &slot = slots[b];
+        for (std::size_t i = 0; i < slot.workloads.size(); ++i) {
+            const std::string key =
+                bm.name() + '/' + slot.workloads[i].name;
+            if (i != slot.refrateIndex) {
+                tasks.push_back(
+                    {key, "model_run",
+                     [&slot, &bm, i, cache](obs::Span &span) {
+                         slot.results[i] = runtime::measureCached(
+                             bm, slot.workloads[i], cache);
+                         span.note("uops", slot.results[i].retiredOps);
+                     }});
+                continue;
+            }
+            runtime::CachedRun cached;
+            if (cache &&
+                cache->lookup(bm, slot.workloads[i], &cached) &&
+                static_cast<int>(cached.timedSeconds.size()) >=
+                    repetitions) {
+                obs::Span replay(tracer, "refrate_replay",
+                                 "cache_probe", root.id());
+                replay.note("benchmark", bm.name());
+                slot.results[i] = cached.measurement;
+                slot.refrateRuns.assign(cached.timedSeconds.begin(),
+                                        cached.timedSeconds.begin() +
+                                            repetitions);
+                continue;
+            }
+            // Each timed repetition is its own task: it overlaps
+            // other benchmarks' untimed runs instead of quiescing
+            // the pool, and rep 0 doubles as refrate's model run.
+            slot.insertRefrate = true;
+            slot.refrateRuns.resize(repetitions);
+            for (int rep = 0; rep < repetitions; ++rep) {
+                tasks.push_back(
+                    {key, "refrate_rep",
+                     [&slot, &bm, i, rep](obs::Span &span) {
+                         span.note("rep",
+                                   static_cast<std::uint64_t>(rep));
+                         const runtime::RunMeasurement m =
+                             runtime::runOnce(bm, slot.workloads[i]);
+                         span.note("seconds", m.seconds);
+                         if (rep == 0)
+                             slot.results[i] = m;
+                         slot.refrateRuns[rep] = m.seconds;
+                     }});
+            }
+        }
+    }
+    root.note("tasks", static_cast<std::uint64_t>(tasks.size()));
+
+    runtime::Scheduler scheduler(
+        executor, ledger, tracer,
+        engine ? &engine->metrics() : nullptr);
+    scheduler.run(std::move(tasks));
+
+    // Gather: results sit in pre-sized per-benchmark slots in
+    // workload order, so summaries are bit-identical to the serial
+    // per-benchmark path.
+    std::uint64_t totalWorkloads = 0;
+    std::uint64_t totalUops = 0;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const runtime::Benchmark &bm = *benchmarks[b];
+        SuiteSlot &slot = slots[b];
+        if (slot.insertRefrate && cache) {
+            cache->insert(bm, slot.workloads[slot.refrateIndex],
+                          {slot.results[slot.refrateIndex],
+                           slot.refrateRuns});
+        }
+        Characterization c;
+        c.benchmark = bm.name();
+        c.area = bm.area();
+        for (std::size_t i = 0; i < slot.workloads.size(); ++i) {
+            c.workloadNames.push_back(slot.workloads[i].name);
+            c.topdownPerWorkload.push_back(slot.results[i].topdown);
+            c.coveragePerWorkload.push_back(slot.results[i].coverage);
+            c.checksumPerWorkload.push_back(slot.results[i].checksum);
+            totalUops += slot.results[i].retiredOps;
+        }
+        totalWorkloads += slot.workloads.size();
+        {
+            obs::Span summarize(tracer, bm.name(), "summarize",
+                                root.id());
+            c.topdown = stats::summarizeTopdown(c.topdownPerWorkload);
+            c.coverage =
+                stats::summarizeCoverage(c.coveragePerWorkload);
+        }
+        c.refrateRuns = slot.refrateRuns;
+        if (!c.refrateRuns.empty()) {
+            double sum = 0.0;
+            for (const double t : c.refrateRuns)
+                sum += t;
+            c.refrateSeconds = sum / c.refrateRuns.size();
+        }
+        out[b] = std::move(c);
+    }
+
+    if (statsOut) {
+        const runtime::ExecutorStats after = executor->stats();
+        runtime::ExecutorStats delta;
+        delta.tasksRun = after.tasksRun - statsBefore.tasksRun;
+        delta.queueSeconds =
+            after.queueSeconds - statsBefore.queueSeconds;
+        delta.runSeconds = after.runSeconds - statsBefore.runSeconds;
+        delta.cacheHits = cache ? cache->hits() - hitsBefore : 0;
+        delta.cacheMisses = cache ? cache->misses() - missesBefore : 0;
+        delta.uopsRetired = totalUops;
+        statsOut->merge(delta);
+        if (engine) {
+            auto &registry = engine->metrics();
+            registry.counter("characterize.suite_runs").add(1);
+            registry.counter("characterize.model_runs")
+                .add(totalWorkloads);
+            registry.counter("characterize.uops").add(totalUops);
+            registry.histogram("characterize.run_seconds")
+                .record(delta.runSeconds);
+        }
+    }
+    return out;
+}
+
+std::vector<Characterization>
+characterizeTable2(const CharacterizeOptions &options)
+{
+    std::vector<std::unique_ptr<runtime::Benchmark>> benchmarks;
+    benchmarks.reserve(table2Names().size());
+    for (const auto &name : table2Names())
+        benchmarks.push_back(makeBenchmark(name));
+    return characterizeSuite(benchmarks, options);
 }
 
 std::vector<std::string>

@@ -9,6 +9,7 @@
 #define ALBERTA_CORE_SUITE_H
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,37 +57,17 @@ struct CharacterizeOptions
      */
     int jobs = 1;
     /**
-     * The run-session facade: pool, cache, stats, and observability in
-     * one object. When set it supersedes the deprecated raw-pointer
-     * fields below (and @ref jobs), model runs are traced through the
+     * The run-session facade: pool, cache (with optional disk
+     * backing), stats, and observability in one object. When set it
+     * supersedes @ref jobs, model runs are traced through the
      * engine's tracer, and executor/cache activity accumulates into
      * `engine->stats()` and `engine->metrics()`.
+     *
+     * The historical `executor`/`cache`/`stats` raw-pointer triple
+     * (deprecated in the release that introduced Engine) has been
+     * removed; sessions are configured exclusively through here.
      */
     runtime::Engine *engine = nullptr;
-    /** @deprecated Use @ref engine. Optional shared pool. */
-    [[deprecated("use CharacterizeOptions::engine")]]
-    runtime::Executor *executor;
-    /** @deprecated Use @ref engine. Optional model-run memoization. */
-    [[deprecated("use CharacterizeOptions::engine")]]
-    runtime::ResultCache *cache;
-    /** @deprecated Use @ref engine. Optional stats accumulator. */
-    [[deprecated("use CharacterizeOptions::engine")]]
-    runtime::ExecutorStats *stats;
-
-    // The deprecated members are initialized here (not via default
-    // member initializers) so that merely constructing the options
-    // does not trip -Wdeprecated-declarations in clean callers.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-    CharacterizeOptions()
-        : executor(nullptr), cache(nullptr), stats(nullptr)
-    {
-    }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 };
 
 /**
@@ -102,6 +83,31 @@ struct CharacterizeOptions
  */
 Characterization characterize(const runtime::Benchmark &benchmark,
                               const CharacterizeOptions &options = {});
+
+/**
+ * Characterize a whole suite through the suite-level scheduler: every
+ * (benchmark, workload) model run — refrate timed repetitions
+ * included — across all of @p benchmarks is flattened into one global
+ * task list and dispatched as a single Executor batch, ordered
+ * longest-expected-first from the session's cost ledger. Results are
+ * gathered into pre-sized per-benchmark slots, so every
+ * Characterization is bit-identical to calling @ref characterize per
+ * benchmark serially; returned in @p benchmarks order.
+ *
+ * Compared to the per-benchmark loop this removes the barrier between
+ * benchmarks and lets refrate repetitions overlap other benchmarks'
+ * untimed runs instead of quiescing the pool (refrate wall times are
+ * therefore measured on a busy machine when jobs > 1 — model outputs
+ * are unaffected).
+ */
+std::vector<Characterization> characterizeSuite(
+    std::span<const std::unique_ptr<runtime::Benchmark>> benchmarks,
+    const CharacterizeOptions &options = {});
+
+/** @ref characterizeSuite over the 15 Table II benchmarks in row
+ * order. */
+std::vector<Characterization>
+characterizeTable2(const CharacterizeOptions &options = {});
 
 /** One formatted Table II row (strings ready for printing). */
 std::vector<std::string> table2Row(const Characterization &c);

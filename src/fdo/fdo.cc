@@ -135,14 +135,13 @@ crossValidate(const runtime::Benchmark &benchmark,
     const runtime::Workload train =
         runtime::findWorkload(benchmark, trainName);
 
-    // An engine supersedes the raw executor/cache pointers and adds
+    // The engine supplies the shared pool, baseline-run cache, and
     // tracing: one root span per cross-validation, one child span per
     // evaluated workload.
     runtime::Engine *engine = options.engine;
     runtime::Executor *executor =
-        engine ? &engine->executor() : options.executor;
-    runtime::ResultCache *cache =
-        engine ? &engine->cache() : options.cache;
+        engine ? &engine->executor() : nullptr;
+    runtime::ResultCache *cache = engine ? &engine->cache() : nullptr;
     obs::Tracer *tracer = engine ? &engine->tracer() : nullptr;
 
     obs::Span root(tracer, benchmark.name(), "crossvalidate");

@@ -110,13 +110,12 @@ struct CrossValidateOptions
 {
     /** Worker threads for the per-workload evaluations (1 = serial,
      * 0 = runtime::Executor::defaultJobs()); ignored when @ref
-     * engine or @ref executor is set. */
+     * engine is set. */
     int jobs = 1;
-    /** Preferred: the run-session facade (pool + cache + tracing).
-     * Supersedes the raw-pointer fields below. */
+    /** The run-session facade (pool + cache + tracing). The
+     * historical executor/cache raw-pointer pair has been removed;
+     * sessions are configured exclusively through here. */
     runtime::Engine *engine = nullptr;
-    runtime::Executor *executor = nullptr; //!< optional shared pool
-    runtime::ResultCache *cache = nullptr; //!< baseline-run memoization
 };
 
 /**

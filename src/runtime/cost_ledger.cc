@@ -1,0 +1,94 @@
+#include "runtime/cost_ledger.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+namespace alberta::runtime {
+
+namespace {
+
+/** One line per entry: `<key>\t<seconds>`. */
+constexpr char kSeparator = '\t';
+
+} // namespace
+
+CostLedger::CostLedger(std::string path) : path_(std::move(path))
+{
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t sep = line.find(kSeparator);
+        if (sep == std::string::npos || sep == 0)
+            continue;
+        char *end = nullptr;
+        const double seconds =
+            std::strtod(line.c_str() + sep + 1, &end);
+        if (end == line.c_str() + sep + 1 || seconds < 0.0)
+            continue; // malformed line: skip, keep the rest
+        entries_[line.substr(0, sep)] = seconds;
+    }
+}
+
+double
+CostLedger::expectedSeconds(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    return it != entries_.end() ? it->second : 0.0;
+}
+
+void
+CostLedger::record(const std::string &key, double seconds)
+{
+    if (!(seconds >= 0.0)) // drop negatives and NaNs
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.emplace(key, seconds);
+    if (!inserted)
+        it->second = 0.5 * it->second + 0.5 * seconds;
+}
+
+void
+CostLedger::save() const
+{
+    if (path_.empty())
+        return;
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[key, seconds] : entries_)
+            os << key << kSeparator << seconds << '\n';
+    }
+    const std::string tmp =
+        path_ + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+            std::this_thread::get_id()));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return;
+        out << os.str();
+        if (!out.good())
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+std::size_t
+CostLedger::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace alberta::runtime

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-task expected-cost ledger for the suite scheduler.
+ *
+ * The scheduler orders the flattened (benchmark, workload) task list
+ * longest-expected-first so the pool never ends a batch waiting on one
+ * straggler. Expectations come from this ledger: a small key -> seconds
+ * table seeded from previously measured task run times, persisted as a
+ * text file alongside the persistent result cache so the estimates
+ * survive the process. Unknown keys report 0.0, which a stable sort
+ * keeps in submission order — the first cold run degrades gracefully
+ * to the natural order.
+ */
+#ifndef ALBERTA_RUNTIME_COST_LEDGER_H
+#define ALBERTA_RUNTIME_COST_LEDGER_H
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace alberta::runtime {
+
+/** Thread-safe expected-seconds table with optional persistence. */
+class CostLedger
+{
+  public:
+    /** In-memory ledger (no persistence). */
+    CostLedger() = default;
+
+    /** Ledger persisted at @p path; loads existing entries if the
+     * file parses (a missing or malformed file is an empty ledger). */
+    explicit CostLedger(std::string path);
+
+    /** Expected seconds for @p key (0.0 when unknown). */
+    double expectedSeconds(const std::string &key) const;
+
+    /**
+     * Fold a measured run time into the estimate. Known keys move by
+     * an exponential moving average (alpha 0.5) so one noisy run does
+     * not dominate; unknown keys adopt the measurement directly.
+     */
+    void record(const std::string &key, double seconds);
+
+    /** Write the ledger to its path (tmp file + atomic rename;
+     * no-op for in-memory ledgers, best effort on I/O errors). */
+    void save() const;
+
+    std::size_t size() const;
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::map<std::string, double> entries_;
+};
+
+} // namespace alberta::runtime
+
+#endif // ALBERTA_RUNTIME_COST_LEDGER_H

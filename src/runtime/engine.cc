@@ -1,15 +1,38 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <filesystem>
 
 namespace alberta::runtime {
 
+namespace {
+
+std::string
+ledgerPath(const std::string &cacheDir)
+{
+    if (cacheDir.empty())
+        return {}; // in-memory ledger
+    return (std::filesystem::path(cacheDir) / "cost_ledger.tsv")
+        .string();
+}
+
+} // namespace
+
 Engine::Engine(Config config)
     : sink_(std::move(config.sink)), tracePath_(config.tracePath),
-      tracer_(sink_.get()), executor_(config.jobs)
+      cacheDir_(config.cacheDir), tracer_(sink_.get()),
+      executor_(config.jobs),
+      disk_(cacheDir_.empty()
+                ? nullptr
+                : std::make_unique<PersistentCache>(cacheDir_)),
+      ledger_(ledgerPath(cacheDir_))
 {
     executor_.attachObservability(&tracer_, &metrics_);
     cache_.attachMetrics(&metrics_);
+    if (disk_) {
+        disk_->attachMetrics(&metrics_);
+        cache_.attachPersistent(disk_.get());
+    }
 }
 
 void
@@ -45,6 +68,8 @@ Engine::metricsSnapshot() const
     addGauge("executor.queue_seconds", es.queueSeconds);
     addGauge("executor.run_seconds", es.runSeconds);
     addCounter("cache.entries", cache_.size());
+    addGauge("scheduler.ledger_entries",
+             static_cast<double>(ledger_.size()));
     addCounter("session.uops_retired", stats_.uopsRetired);
     addGauge("session.uops_per_second", stats_.uopsPerSecond());
     addGauge("session.run_seconds", stats_.runSeconds);

@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "runtime/cost_ledger.h"
 #include "runtime/executor.h"
+#include "runtime/persistent_cache.h"
 #include "runtime/result_cache.h"
 
 namespace alberta::runtime {
@@ -54,15 +56,27 @@ class Engine
     Executor &executor() { return executor_; }
     ResultCache &cache() { return cache_; }
     /** Stats accumulated by every characterization run through this
-     * engine (the block `CharacterizeOptions::stats` pointed at). */
+     * engine. */
     ExecutorStats &stats() { return stats_; }
     obs::Registry &metrics() { return metrics_; }
     obs::Tracer &tracer() { return tracer_; }
+
+    /** On-disk result store backing the cache (nullptr when the
+     * engine was built without a cache directory). */
+    PersistentCache *disk() { return disk_.get(); }
+    /**
+     * Expected-cost ledger for the suite scheduler: persisted in the
+     * cache directory when one is set, in-memory otherwise (so warm
+     * in-process reruns still schedule longest-first).
+     */
+    CostLedger &ledger() { return ledger_; }
 
     int jobs() const { return executor_.jobs(); }
     bool tracing() const { return tracer_.enabled(); }
     /** Trace file path ("" when tracing to a custom sink or off). */
     const std::string &tracePath() const { return tracePath_; }
+    /** Cache directory ("" when the disk cache is disabled). */
+    const std::string &cacheDir() const { return cacheDir_; }
 
     /** Flush the trace sink (no-op for the null sink). */
     void flushTrace();
@@ -78,6 +92,7 @@ class Engine
     {
         int jobs = 0;
         std::string tracePath;
+        std::string cacheDir;
         std::unique_ptr<obs::TraceSink> sink;
     };
 
@@ -93,10 +108,13 @@ class Engine
 
     std::unique_ptr<obs::TraceSink> sink_; //!< null = null sink
     std::string tracePath_;
+    std::string cacheDir_;
     obs::Registry metrics_;
     obs::Tracer tracer_;
     Executor executor_;
+    std::unique_ptr<PersistentCache> disk_; //!< null = memory only
     ResultCache cache_;
+    CostLedger ledger_;
     ExecutorStats stats_;
 };
 
@@ -117,6 +135,19 @@ class Engine::Builder
 
     /** Trace spans to a custom sink (overrides traceFile). */
     Builder &traceSink(std::unique_ptr<obs::TraceSink> sink);
+
+    /**
+     * Back the result cache with the on-disk store at @p dir (created
+     * if needed; "" disables persistence) and persist the scheduler's
+     * cost ledger alongside it. `build()` raises support::FatalError
+     * when the directory cannot be created.
+     */
+    Builder &
+    cacheDir(const std::string &dir)
+    {
+        config_.cacheDir = dir;
+        return *this;
+    }
 
     /** Construct the engine (relies on guaranteed copy elision:
      * Engine itself is neither copyable nor movable). */

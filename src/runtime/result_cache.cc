@@ -1,6 +1,7 @@
 #include "runtime/result_cache.h"
 
 #include "obs/obs.h"
+#include "runtime/persistent_cache.h"
 
 namespace alberta::runtime {
 
@@ -75,6 +76,23 @@ ResultCache::lookup(const Benchmark &benchmark, const Workload &workload,
             return true;
         }
     }
+    // Fall through to the on-disk store; a disk hit is promoted into
+    // the memory table so later probes stay in-process.
+    CachedRun fromDisk;
+    if (disk_ && disk_->load(benchmark, workload, &fromDisk)) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            Entry &entry = entries_[k];
+            entry.fingerprint = fp;
+            entry.run = fromDisk;
+        }
+        if (out)
+            *out = std::move(fromDisk);
+        ++hits_;
+        if (hitCounter_)
+            hitCounter_->add(1);
+        return true;
+    }
     ++misses_;
     if (missCounter_)
         missCounter_->add(1);
@@ -90,9 +108,17 @@ ResultCache::attachMetrics(obs::Registry *metrics)
 }
 
 void
+ResultCache::attachPersistent(const PersistentCache *disk)
+{
+    disk_ = disk;
+}
+
+void
 ResultCache::insert(const Benchmark &benchmark, const Workload &workload,
                     CachedRun run)
 {
+    if (disk_)
+        disk_->store(benchmark, workload, run);
     Entry entry;
     entry.fingerprint = fingerprint(benchmark, workload);
     entry.run = std::move(run);

@@ -30,6 +30,8 @@ class Registry;
 
 namespace alberta::runtime {
 
+class PersistentCache;
+
 /** One memoized run: model outputs plus any recorded timing runs. */
 struct CachedRun
 {
@@ -75,6 +77,15 @@ class ResultCache
      */
     void attachMetrics(obs::Registry *metrics);
 
+    /**
+     * Back this cache with an on-disk store (non-owning; nullptr
+     * detaches). Lookups falling through the in-memory table probe
+     * the store and promote disk hits into memory — a disk-backed hit
+     * counts as a hit here and as a disk hit on @p disk — and every
+     * insert writes through, so a later process starts warm.
+     */
+    void attachPersistent(const PersistentCache *disk);
+
   private:
     struct Entry
     {
@@ -86,11 +97,13 @@ class ResultCache
                            const Workload &workload);
 
     mutable std::mutex mutex_;
-    std::unordered_map<std::string, Entry> entries_;
+    /** Mutable: lookup() promotes disk hits into the memory table. */
+    mutable std::unordered_map<std::string, Entry> entries_;
     mutable std::atomic<std::uint64_t> hits_{0};
     mutable std::atomic<std::uint64_t> misses_{0};
     obs::Counter *hitCounter_ = nullptr;
     obs::Counter *missCounter_ = nullptr;
+    const PersistentCache *disk_ = nullptr;
 };
 
 /**

@@ -1,0 +1,87 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace alberta::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+Scheduler::Scheduler(Executor *executor, CostLedger *ledger,
+                     obs::Tracer *tracer, obs::Registry *metrics)
+    : executor_(executor), ledger_(ledger), tracer_(tracer)
+{
+    support::panicIf(!executor_, "scheduler: executor is required");
+    if (metrics) {
+        dispatchCounter_ = &metrics->counter("scheduler.dispatched");
+        stealCounter_ = &metrics->counter("scheduler.steals_avoided");
+    }
+}
+
+SchedulerStats
+Scheduler::run(std::vector<SuiteTask> tasks)
+{
+    SchedulerStats stats;
+    if (tasks.empty())
+        return stats;
+
+    // Longest-expected-first order. The sort is stable, so tasks the
+    // ledger cannot estimate (0.0 s) keep their submission order and
+    // a cold first run degrades to the natural task sequence.
+    std::vector<double> expected(tasks.size(), 0.0);
+    if (ledger_) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            expected[i] = ledger_->expectedSeconds(tasks[i].costKey);
+    }
+    std::vector<std::size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return expected[a] > expected[b];
+                     });
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        if (order[pos] > pos)
+            ++stats.stealsAvoided;
+    }
+    stats.dispatched = tasks.size();
+    if (dispatchCounter_) {
+        dispatchCounter_->add(stats.dispatched);
+        stealCounter_->add(stats.stealsAvoided);
+    }
+
+    obs::Span batch(tracer_, "suite_batch", "scheduler");
+    batch.note("tasks", static_cast<std::uint64_t>(tasks.size()));
+    batch.note("reordered", stats.stealsAvoided);
+    const std::uint64_t batchId = batch.id();
+
+    const auto start = Clock::now();
+    executor_->parallelFor(tasks.size(), [&](std::size_t i) {
+        SuiteTask &task = tasks[order[i]];
+        obs::Span span(tracer_, task.costKey, task.category, batchId);
+        const auto taskStart = Clock::now();
+        task.run(span);
+        if (ledger_)
+            ledger_->record(task.costKey, secondsSince(taskStart));
+    });
+    stats.batchSeconds = secondsSince(start);
+    batch.note("seconds", stats.batchSeconds);
+
+    if (ledger_)
+        ledger_->save();
+    return stats;
+}
+
+} // namespace alberta::runtime

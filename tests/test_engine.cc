@@ -2,9 +2,9 @@
  * @file
  * Tests for the runtime::Engine facade: construction and builder
  * configuration, bit-identity of characterizations run through the
- * engine versus the legacy raw-pointer option fields, bit-identity
- * with tracing enabled versus disabled, span coverage (at least one
- * span per workload), and the end-of-run metrics snapshot.
+ * engine versus the bare serial path, bit-identity with tracing
+ * enabled versus disabled, span coverage (at least one span per
+ * workload), and the end-of-run metrics snapshot.
  */
 #include <gtest/gtest.h>
 
@@ -82,9 +82,10 @@ TEST(Engine, BuilderCustomSinkEnablesTracing)
     EXPECT_NE(out.str().find("\"probe\""), std::string::npos);
 }
 
-/** The facade and the deprecated pointer triple must be one code
- * path: characterizations through either are bit-identical. */
-TEST(Engine, MatchesLegacyPointerFieldsBitForBit)
+/** The facade and the bare serial path must be one code path:
+ * characterizations through either are bit-identical, and two
+ * identically-configured sessions see identical work. */
+TEST(Engine, MatchesBareSerialPathBitForBit)
 {
     const auto bm = core::makeBenchmark("505.mcf_r");
 
@@ -94,28 +95,22 @@ TEST(Engine, MatchesLegacyPointerFieldsBitForBit)
     viaEngine.refrateRepetitions = 2;
     const auto a = core::characterize(*bm, viaEngine);
 
-    runtime::Executor executor(2);
-    runtime::ResultCache cache;
-    runtime::ExecutorStats stats;
-    core::CharacterizeOptions viaPointers;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-    viaPointers.executor = &executor;
-    viaPointers.cache = &cache;
-    viaPointers.stats = &stats;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-    viaPointers.refrateRepetitions = 2;
-    const auto b = core::characterize(*bm, viaPointers);
+    core::CharacterizeOptions bare;
+    bare.jobs = 1;
+    bare.refrateRepetitions = 2;
+    const auto b = core::characterize(*bm, bare);
 
     expectSameModelOutputs(a, b);
-    // Both sessions saw the same work.
-    EXPECT_EQ(engine.stats().tasksRun, stats.tasksRun);
-    EXPECT_EQ(engine.stats().cacheMisses, stats.cacheMisses);
-    EXPECT_EQ(engine.stats().uopsRetired, stats.uopsRetired);
+
+    runtime::Engine twin(2);
+    core::CharacterizeOptions viaTwin;
+    viaTwin.engine = &twin;
+    viaTwin.refrateRepetitions = 2;
+    const auto c = core::characterize(*bm, viaTwin);
+    expectSameModelOutputs(a, c);
+    EXPECT_EQ(engine.stats().tasksRun, twin.stats().tasksRun);
+    EXPECT_EQ(engine.stats().cacheMisses, twin.stats().cacheMisses);
+    EXPECT_EQ(engine.stats().uopsRetired, twin.stats().uopsRetired);
 }
 
 /** The headline guarantee: tracing never changes model outputs. */

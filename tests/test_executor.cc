@@ -13,16 +13,9 @@
 #include <vector>
 
 #include "core/suite.h"
+#include "runtime/engine.h"
 #include "runtime/executor.h"
 #include "runtime/result_cache.h"
-
-// These tests deliberately exercise the deprecated raw-pointer
-// CharacterizeOptions fields: they are the one-release compatibility
-// shim, and its behaviour must keep matching the Engine facade until
-// it is removed (see tests/test_engine.cc for the facade itself).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 
 namespace {
 
@@ -131,10 +124,10 @@ TEST(ExecutorDeterminism, SerialAndParallelCharacterizationsMatch)
         const auto base = core::characterize(*bm, serial);
 
         for (const int jobs : {1, 2, 8}) {
-            runtime::Executor executor(jobs);
+            runtime::Engine engine(jobs);
             core::CharacterizeOptions options;
             options.refrateRepetitions = 1;
-            options.executor = &executor;
+            options.engine = &engine;
             const auto parallel = core::characterize(*bm, options);
             expectSameModelOutputs(base, parallel);
         }
@@ -183,14 +176,13 @@ TEST(ResultCache, StaleEntryMissesAfterContentChange)
 TEST(ResultCache, RecharacterizationIsFullyMemoized)
 {
     const auto bm = core::makeBenchmark("523.xalancbmk_r");
-    runtime::Executor executor(2);
-    runtime::ResultCache cache;
+    runtime::Engine engine(2);
     core::CharacterizeOptions options;
-    options.executor = &executor;
-    options.cache = &cache;
+    options.engine = &engine;
     options.refrateRepetitions = 2;
 
     const auto cold = core::characterize(*bm, options);
+    const auto &cache = engine.cache();
     const std::uint64_t coldMisses = cache.misses();
     EXPECT_EQ(cache.hits(), 0u);
     EXPECT_EQ(coldMisses, cold.workloadNames.size());
@@ -209,16 +201,13 @@ TEST(ResultCache, RecharacterizationIsFullyMemoized)
 TEST(CharacterizeOptions, StatsAccumulateAcrossRuns)
 {
     const auto bm = core::makeBenchmark("511.povray_r");
-    runtime::Executor executor(2);
-    runtime::ResultCache cache;
-    runtime::ExecutorStats stats;
+    runtime::Engine engine(2);
     core::CharacterizeOptions options;
-    options.executor = &executor;
-    options.cache = &cache;
-    options.stats = &stats;
+    options.engine = &engine;
     options.refrateRepetitions = 1;
 
     const auto c = core::characterize(*bm, options);
+    const auto &stats = engine.stats();
     // Refrate is timed on the calling thread, not as a pool task.
     EXPECT_EQ(stats.tasksRun, c.workloadNames.size() - 1);
     EXPECT_EQ(stats.cacheMisses, c.workloadNames.size());
