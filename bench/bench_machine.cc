@@ -41,13 +41,16 @@
 #include <string>
 #include <vector>
 
+#include "machine_scenarios.h"
 #include "obs/obs.h"
 #include "support/rng.h"
 #include "topdown/machine.h"
+#include "topdown/trace.h"
 
 namespace {
 
 using namespace alberta;
+using bench::kMachineScenarios;
 using topdown::Machine;
 using topdown::OpKind;
 
@@ -99,104 +102,6 @@ struct ScenarioResult
     }
 };
 
-/** Iterations per child span in the chunked scenarios. */
-constexpr std::uint64_t kChunk = 256 * 1024;
-
-/** Pure accounting: bulk ALU reports with periodic method switches. */
-void
-scenarioAlu(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
-            std::uint64_t parent)
-{
-    for (std::uint64_t rep = 0; rep < 200 * scale; ++rep) {
-        obs::Span span(tracer, "alu_rep", "bench", parent);
-        m.setMethod(1 + rep % 7, 2048 + 512 * (rep % 3),
-                    support::mix64(rep % 7));
-        m.ops(OpKind::IntAlu, 40000);
-        m.ops(OpKind::IntMul, 8000);
-    }
-}
-
-/** Patterned conditional branches: loop-like, biased, and noisy. */
-void
-scenarioBranchy(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
-                std::uint64_t parent)
-{
-    support::Rng rng(0xb7a2c001);
-    const std::uint64_t total = 3'000'000 * scale;
-    for (std::uint64_t base = 0; base < total; base += kChunk) {
-        obs::Span span(tracer, "branchy_chunk", "bench", parent);
-        const std::uint64_t end = std::min(total, base + kChunk);
-        for (std::uint64_t i = base; i < end; ++i) {
-            m.branch(static_cast<std::uint32_t>(i % 13),
-                     (i & 7) != 0);                    // loop back-edge
-            m.branch(200, rng.chance(0.9));            // biased branch
-            m.branch(300 + i % 3, (i >> (i % 5)) & 1); // phase-shifting
-        }
-        span.note("iters", end - base);
-    }
-}
-
-/** Scattered loads over ~128 KiB: L1-missing, L2-hitting. */
-void
-scenarioMemory(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
-               std::uint64_t parent)
-{
-    support::Rng rng(0x3e30a001);
-    const std::uint64_t total = 4'000'000 * scale;
-    for (std::uint64_t base = 0; base < total; base += kChunk) {
-        obs::Span span(tracer, "memory_chunk", "bench", parent);
-        const std::uint64_t end = std::min(total, base + kChunk);
-        for (std::uint64_t i = base; i < end; ++i) {
-            m.load(0x10000000ULL + rng.below(128 * 1024));
-            if ((i & 15) == 0)
-                m.store(0x20000000ULL + rng.below(64 * 1024));
-        }
-        span.note("iters", end - base);
-    }
-}
-
-/** Long contiguous streams: the batched line-accounting path. */
-void
-scenarioStreaming(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
-                  std::uint64_t parent)
-{
-    for (std::uint64_t rep = 0; rep < 600 * scale; ++rep) {
-        obs::Span span(tracer, "stream_rep", "bench", parent);
-        const std::uint64_t base = 0x40000000ULL + (rep % 5) * (1 << 22);
-        m.stream(OpKind::Load, base, 20000, 8);
-        m.stream(OpKind::Store, base + (1 << 21), 10000, 8);
-        m.ops(OpKind::FpAdd, 30000);
-    }
-}
-
-/** Interpreter-style dispatch: indirect branch + load per step. */
-void
-scenarioMixed(Machine &m, std::uint64_t scale, obs::Tracer *tracer,
-              std::uint64_t parent)
-{
-    support::Rng rng(0x371bed01);
-    std::vector<std::uint64_t> program(4096);
-    for (auto &op : program)
-        op = rng.below(48);
-    std::uint64_t pc = 0;
-    const std::uint64_t total = 2'000'000 * scale;
-    for (std::uint64_t base = 0; base < total; base += kChunk) {
-        obs::Span span(tracer, "mixed_chunk", "bench", parent);
-        const std::uint64_t end = std::min(total, base + kChunk);
-        for (std::uint64_t i = base; i < end; ++i) {
-            const std::uint64_t op = program[pc];
-            m.load(0x750000000ULL + pc * 16);
-            m.indirect(2, op);
-            m.ops(OpKind::IntAlu, 2);
-            if (m.branch(3, (i & 31) == 0))
-                pc = (pc + op) % program.size();
-            else
-                pc = (pc + 1) % program.size();
-        }
-        span.note("iters", end - base);
-    }
-}
-
 template <typename Fn>
 ScenarioResult
 runScenario(const char *name, Fn &&body, std::uint64_t scale,
@@ -241,21 +146,61 @@ PassResult
 runPass(std::uint64_t scale, obs::Tracer *tracer, const char *pass)
 {
     PassResult p;
-    p.results.push_back(
-        runScenario("alu", scenarioAlu, scale, p.sig, tracer, pass));
-    p.results.push_back(runScenario("branchy", scenarioBranchy, scale,
-                                    p.sig, tracer, pass));
-    p.results.push_back(runScenario("memory", scenarioMemory, scale,
-                                    p.sig, tracer, pass));
-    p.results.push_back(runScenario("streaming", scenarioStreaming,
-                                    scale, p.sig, tracer, pass));
-    p.results.push_back(runScenario("mixed", scenarioMixed, scale,
-                                    p.sig, tracer, pass));
+    for (const auto &scenario : kMachineScenarios) {
+        p.results.push_back(runScenario(scenario.name, scenario.run,
+                                        scale, p.sig, tracer, pass));
+    }
     for (const auto &r : p.results) {
         p.totalUops += r.uops;
         p.totalSeconds += r.seconds;
     }
     return p;
+}
+
+/**
+ * Capture/replay throughput probe for the segment runner: record every
+ * scenario into a UopTrace with simulation skipped, then replay into a
+ * fresh machine, and assert the replayed machine's signature equals the
+ * direct pass's. Reports record and replay rates so BENCH_machine.json
+ * tracks both sides of the segment pipeline's cost model.
+ */
+struct CaptureResult
+{
+    double recordSeconds = 0.0;
+    double replaySeconds = 0.0;
+    std::uint64_t uops = 0;
+    bool identical = false;
+};
+
+CaptureResult
+runCapturePass(std::uint64_t scale, const Signature &expected)
+{
+    CaptureResult c;
+    Signature replayed;
+    for (const auto &scenario : kMachineScenarios) {
+        topdown::UopTrace trace;
+        Machine recorder;
+        recorder.captureTo(&trace);
+        auto start = std::chrono::steady_clock::now();
+        recorder.setMethod(1, 4096, support::mix64(1));
+        scenario.run(recorder, scale, nullptr, 0);
+        c.recordSeconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+        Machine m;
+        start = std::chrono::steady_clock::now();
+        trace.replayAll(m);
+        c.replaySeconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+        c.uops += m.retiredOps();
+        foldMachine(m, replayed);
+        std::cerr << "  [machine:capture] " << scenario.name << ": "
+                  << trace.records() << " records, " << m.retiredOps()
+                  << " uops\n";
+    }
+    c.identical = replayed.value == expected.value;
+    return c;
 }
 
 } // namespace
@@ -319,6 +264,15 @@ main(int argc, char **argv)
         }
     }
 
+    // Capture/replay pass: trace-record each scenario, replay into a
+    // fresh machine, and require the replayed signature to match.
+    const CaptureResult capture = runCapturePass(scale, plain.sig);
+    if (!capture.identical) {
+        std::cerr << "bench_machine: FAIL: trace replay changed model "
+                     "outputs (signature mismatch)\n";
+        return 1;
+    }
+
     const auto medianOverall = [](std::vector<PassResult> &passes) {
         std::vector<double> rates;
         rates.reserve(passes.size());
@@ -369,6 +323,17 @@ main(int argc, char **argv)
          << "  \"tracing_overhead_percent\": " << overheadPercent
          << ",\n"
          << "  \"trace_spans\": " << sink->spansWritten() << ",\n"
+         << "  \"capture_record_uops_per_second\": "
+         << (capture.recordSeconds > 0.0
+                 ? capture.uops / capture.recordSeconds
+                 : 0.0)
+         << ",\n"
+         << "  \"capture_replay_uops_per_second\": "
+         << (capture.replaySeconds > 0.0
+                 ? capture.uops / capture.replaySeconds
+                 : 0.0)
+         << ",\n"
+         << "  \"capture_replay_identical\": true,\n"
          << "  \"signatures_identical\": true,\n"
          << "  \"model_signature\": \"" << sigHex << "\"\n"
          << "}\n";

@@ -11,7 +11,7 @@
  * inflation for lbm/cactuBSSN, and the coverage-variation ordering —
  * not the absolute hardware values.
  *
- * The suite is characterized four times to exercise and track the
+ * The suite is characterized five times to exercise and track the
  * execution engine across PRs:
  *
  *   1. serial baseline      per-benchmark loop, jobs=1, no cache
@@ -23,25 +23,37 @@
  *                           directory — simulates a second process
  *                           whose memory cache is empty but whose
  *                           disk cache is populated
+ *   5. segment-parallel     cold again (private scratch store), with
+ *                           checkpoint-and-splice segmentation of
+ *                           long model runs (--segments, default
+ *                           auto) breaking the single-run latency
+ *                           wall
  *
- * Model outputs must be bit-identical across all four; wall times, the
- * derived speedups, and the disk-cache counters are written to
- * BENCH_table2.json.
+ * Model outputs must be bit-identical across the four exact passes;
+ * the segmented pass must match checksums exactly and every top-down
+ * fraction within the pinned 1e-3 splice bound. Wall times, derived
+ * speedups, per-benchmark longest-chain seconds, the suite critical
+ * path, and the disk-cache counters are written to BENCH_table2.json.
  *
- *   bench_table2 [--jobs N] [--json PATH] [--cache-dir DIR]
+ *   bench_table2 [--jobs N] [--segments {auto,K}] [--json PATH]
+ *                [--cache-dir DIR]
  *
  * Without --cache-dir a temporary directory is used and removed on
  * exit; with it, the store (results + cost ledger) persists so later
  * invocations start warm.
  */
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -53,15 +65,25 @@ namespace {
 
 using namespace alberta;
 
-/** The pre-scheduler code path: one benchmark at a time, serially. */
+/** The pre-scheduler code path: one benchmark at a time, serially.
+ * When @p perBenchSeconds is non-null it receives each benchmark's
+ * wall seconds in table order. */
 std::vector<core::Characterization>
 characterizePerBenchmark(const core::CharacterizeOptions &options,
-                         const char *label)
+                         const char *label,
+                         std::vector<double> *perBenchSeconds = nullptr)
 {
     std::vector<core::Characterization> out;
     for (const auto &name : core::table2Names()) {
+        const auto start = std::chrono::steady_clock::now();
         const auto bm = core::makeBenchmark(name);
         out.push_back(core::characterize(*bm, options));
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (perBenchSeconds)
+            perBenchSeconds->push_back(seconds);
         std::cerr << "  [table2:" << label << "] " << name << " done ("
                   << out.back().workloadNames.size() << " workloads)\n";
     }
@@ -105,6 +127,48 @@ identicalModelOutputs(const std::vector<core::Characterization> &a,
     return true;
 }
 
+/**
+ * Largest absolute difference across every workload's four top-down
+ * fractions, or infinity when the workload sets or checksums differ
+ * (splicing never touches the checksum path, so checksums must be
+ * exactly equal).
+ */
+double
+maxSpliceError(const std::vector<core::Characterization> &exact,
+               const std::vector<core::Characterization> &spliced)
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (exact.size() != spliced.size())
+        return kInf;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        const auto &x = exact[i];
+        const auto &y = spliced[i];
+        if (x.workloadNames != y.workloadNames ||
+            x.checksumPerWorkload != y.checksumPerWorkload)
+            return kInf;
+        for (std::size_t w = 0; w < x.topdownPerWorkload.size(); ++w) {
+            const auto xa = x.topdownPerWorkload[w].asArray();
+            const auto ya = y.topdownPerWorkload[w].asArray();
+            for (std::size_t k = 0; k < xa.size(); ++k)
+                worst = std::max(worst, std::abs(xa[k] - ya[k]));
+        }
+    }
+    return worst;
+}
+
+/** Longest single-workload model run (the benchmark's critical
+ * chain: its workloads are independent, so the slowest one bounds
+ * the benchmark's latency on unlimited workers). */
+double
+longestChainSeconds(const core::Characterization &c)
+{
+    double chain = 0.0;
+    for (const double s : c.secondsPerWorkload)
+        chain = std::max(chain, s);
+    return chain;
+}
+
 template <typename Fn>
 double
 timeSuite(std::vector<core::Characterization> &out, Fn &&run,
@@ -129,19 +193,26 @@ main(int argc, char **argv)
         if (std::atoi(env) > 0)
             jobs = std::atoi(env);
     }
+    int segments = 0; // 0 = auto
     std::string jsonPath = "BENCH_table2.json";
     std::string cacheDir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
             jobs = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+        else if (std::strcmp(argv[i], "--segments") == 0 &&
+                 i + 1 < argc) {
+            ++i;
+            segments = std::strcmp(argv[i], "auto") == 0
+                           ? 0
+                           : std::atoi(argv[i]);
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
         else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
                  i + 1 < argc)
             cacheDir = argv[++i];
         else {
-            std::cerr << "usage: bench_table2 [--jobs N] [--json "
-                         "PATH] [--cache-dir DIR]\n";
+            std::cerr << "usage: bench_table2 [--jobs N] [--segments "
+                         "{auto,K}] [--json PATH] [--cache-dir DIR]\n";
             return 2;
         }
     }
@@ -161,13 +232,18 @@ main(int argc, char **argv)
                  "(Eq. 5), and refrate times for the Alberta "
                  "workload sets.\n\n";
 
-    // 1. Serial baseline: the pre-scheduler code path.
+    // 1. Serial baseline: the pre-scheduler code path. Per-benchmark
+    // wall seconds double as the longest-chain baseline.
     std::vector<core::Characterization> serial;
+    std::vector<double> serialPerBench;
     core::CharacterizeOptions serialOptions;
     serialOptions.jobs = 1;
     const double serialSeconds = timeSuite(
         serial,
-        [&] { return characterizePerBenchmark(serialOptions, "serial"); },
+        [&] {
+            return characterizePerBenchmark(serialOptions, "serial",
+                                            &serialPerBench);
+        },
         "serial baseline");
 
     // 2. Suite-scheduled, cold: every (benchmark, workload) run across
@@ -209,6 +285,32 @@ main(int argc, char **argv)
                            identicalModelOutputs(serial, warm) &&
                            identicalModelOutputs(serial, diskWarm);
 
+    // 5. Segment-parallel, cold: a private scratch store so nothing
+    // is served from the earlier passes, with long model runs cut
+    // into concurrent segment replays through the scheduler's
+    // expansion waves.
+    const std::string segCacheDir =
+        (std::filesystem::temp_directory_path() /
+         ("alberta-bench-segcache-" + std::to_string(::getpid())))
+            .string();
+    runtime::Engine segEngine = runtime::Engine::Builder()
+                                    .jobs(jobs)
+                                    .cacheDir(segCacheDir)
+                                    .build();
+    core::CharacterizeOptions segOptions;
+    segOptions.engine = &segEngine;
+    segOptions.segments = segments;
+    std::vector<core::Characterization> segmented;
+    const double segmentedSeconds = timeSuite(
+        segmented, [&] { return core::characterizeTable2(segOptions); },
+        "segment-parallel cold");
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(segCacheDir, ec);
+    }
+    const double spliceError = maxSpliceError(serial, segmented);
+    constexpr double kSpliceBound = 1e-3; // pinned by test_segment
+
     support::Table table(core::table2Header());
     for (const auto &c : serial)
         table.addRow(core::table2Row(c));
@@ -233,6 +335,9 @@ main(int argc, char **argv)
               << "  disk-warm          : " << diskWarmSeconds
               << " s (speedup " << serialSeconds / diskWarmSeconds
               << "x)\n"
+              << "  segmented, cold    : " << segmentedSeconds
+              << " s (speedup " << serialSeconds / segmentedSeconds
+              << "x, splice err " << spliceError << ")\n"
               << "  tasks run          : " << stats.tasksRun << "\n"
               << "  task queue / run   : " << stats.queueSeconds
               << " s / " << stats.runSeconds << " s\n"
@@ -242,26 +347,75 @@ main(int argc, char **argv)
               << "  disk hits (2nd eng): " << disk->hits() << " ("
               << disk->corrupt() << " corrupt)\n"
               << "  model outputs      : "
-              << (identical ? "bit-identical across all runs"
+              << (identical ? "bit-identical across exact runs"
                             : "MISMATCH (bug!)")
+              << "\n"
+              << "  spliced fractions  : "
+              << (spliceError < kSpliceBound
+                      ? "within pinned 1e-3 bound"
+                      : "OUT OF BOUND (bug!)")
               << "\n";
+
+    // Longest-chain view: each benchmark's slowest single model run,
+    // serial vs segmented — the latency segment parallelism exists to
+    // shrink. The suite critical path is the slowest chain.
+    double criticalSerial = 0.0;
+    double criticalSegmented = 0.0;
+    for (std::size_t b = 0; b < serial.size(); ++b) {
+        criticalSerial =
+            std::max(criticalSerial, longestChainSeconds(serial[b]));
+        criticalSegmented = std::max(
+            criticalSegmented, longestChainSeconds(segmented[b]));
+    }
+    std::cout << "  critical path      : " << criticalSerial
+              << " s serial -> " << criticalSegmented
+              << " s segmented ("
+              << criticalSerial / criticalSegmented << "x)\n";
 
     std::ofstream json(jsonPath);
     json << "{\n"
          << "  \"bench\": \"table2\",\n"
          << "  \"jobs\": " << engine.jobs() << ",\n"
+         << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"segments\": "
+         << (segments == 0 ? std::string("\"auto\"")
+                           : std::to_string(segments))
+         << ",\n"
          << "  \"benchmarks\": " << serial.size() << ",\n"
          << "  \"serial_seconds\": " << serialSeconds << ",\n"
          << "  \"suite_sched_cold_seconds\": " << suiteColdSeconds
          << ",\n"
          << "  \"parallel_warm_seconds\": " << warmSeconds << ",\n"
          << "  \"disk_warm_seconds\": " << diskWarmSeconds << ",\n"
+         << "  \"segmented_cold_seconds\": " << segmentedSeconds
+         << ",\n"
          << "  \"speedup_suite_cold\": "
          << serialSeconds / suiteColdSeconds << ",\n"
          << "  \"speedup_parallel_warm\": "
          << serialSeconds / warmSeconds << ",\n"
          << "  \"speedup_disk_warm\": "
          << serialSeconds / diskWarmSeconds << ",\n"
+         << "  \"speedup_segmented_cold\": "
+         << serialSeconds / segmentedSeconds << ",\n"
+         << "  \"critical_path_serial_seconds\": " << criticalSerial
+         << ",\n"
+         << "  \"critical_path_seconds\": " << criticalSegmented
+         << ",\n"
+         << "  \"splice_max_abs_error\": " << spliceError << ",\n"
+         << "  \"splice_within_bound\": "
+         << (spliceError < kSpliceBound ? "true" : "false") << ",\n"
+         << "  \"per_benchmark\": [\n";
+    for (std::size_t b = 0; b < serial.size(); ++b) {
+        json << "    {\"name\": \"" << serial[b].benchmark
+             << "\", \"serial_seconds\": " << serialPerBench[b]
+             << ", \"longest_chain_serial_seconds\": "
+             << longestChainSeconds(serial[b])
+             << ", \"longest_chain_segmented_seconds\": "
+             << longestChainSeconds(segmented[b]) << "}"
+             << (b + 1 < serial.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
          << "  \"cache_hits\": " << stats.cacheHits << ",\n"
          << "  \"cache_misses\": " << stats.cacheMisses << ",\n"
          << "  \"disk_hits\": " << disk->hits() << ",\n"
@@ -276,5 +430,5 @@ main(int argc, char **argv)
         std::filesystem::remove_all(cacheDir, ec);
     }
 
-    return identical ? 0 : 1;
+    return identical && spliceError < kSpliceBound ? 0 : 1;
 }

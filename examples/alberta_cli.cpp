@@ -15,6 +15,13 @@
  *
  *   --jobs N        worker threads for model runs (default:
  *                   ALBERTA_JOBS when set, else hardware concurrency)
+ *   --segments K    checkpoint-and-splice segment parallelism for
+ *                   model runs: "auto" (default) segments long
+ *                   workloads by their uop estimate, 1 forces every
+ *                   run exact, K > 1 forces K segments. Spliced
+ *                   top-down fractions are within 1e-3 of exact
+ *                   (pinned by test); checksums and uop counts are
+ *                   exact either way.
  *   --format FMT    output format: text (default), md, or json
  *   --trace FILE    write a JSON-lines span trace of the run session
  *   --cache-dir DIR persist model results (and the scheduler's cost
@@ -101,21 +108,24 @@ cmdRun(const std::string &name, const std::string &workloadName,
 
 int
 cmdCharacterize(const std::string &name, runtime::Engine &engine,
-                const core::ReportWriter &writer)
+                const core::ReportWriter &writer, int segments)
 {
     const auto bm = core::makeBenchmark(name);
     core::CharacterizeOptions options;
     options.engine = &engine;
+    options.segments = segments;
     const auto c = core::characterize(*bm, options);
     std::cout << writer.table2({c});
     return 0;
 }
 
 int
-cmdSuite(runtime::Engine &engine, const core::ReportWriter &writer)
+cmdSuite(runtime::Engine &engine, const core::ReportWriter &writer,
+         int segments)
 {
     core::CharacterizeOptions options;
     options.engine = &engine;
+    options.segments = segments;
     const auto results = core::characterizeTable2(options);
     std::cout << writer.table2(results);
     return 0;
@@ -123,11 +133,12 @@ cmdSuite(runtime::Engine &engine, const core::ReportWriter &writer)
 
 int
 cmdReport(const std::string &name, runtime::Engine &engine,
-          const core::ReportWriter &writer)
+          const core::ReportWriter &writer, int segments)
 {
     const auto bm = core::makeBenchmark(name);
     core::CharacterizeOptions options;
     options.engine = &engine;
+    options.segments = segments;
     const auto c = core::characterize(*bm, options);
     std::cout << writer.report(c);
     return 0;
@@ -179,6 +190,8 @@ printStats(runtime::Engine &engine)
               << metrics.counter("scheduler.dispatched").value()
               << " scheduler_steals_avoided="
               << metrics.counter("scheduler.steals_avoided").value()
+              << " scheduler_waves="
+              << metrics.counter("scheduler.waves").value()
               << " ledger_entries=" << engine.ledger().size() << "\n";
     if (const runtime::PersistentCache *disk = engine.disk()) {
         std::cerr << "[stats] cache_dir=" << disk->dir()
@@ -193,7 +206,8 @@ void
 usage()
 {
     std::cerr
-        << "usage: alberta_cli [--jobs N] [--format {text,md,json}]\n"
+        << "usage: alberta_cli [--jobs N] [--segments {auto,K}]\n"
+           "                   [--format {text,md,json}]\n"
            "                   [--trace FILE] [--cache-dir DIR]\n"
            "                   [--metrics] [--stats] <command>\n"
            "  alberta_cli list\n"
@@ -210,7 +224,8 @@ usage()
 int
 main(int argc, char **argv)
 {
-    int jobs = 0; // 0 = ALBERTA_JOBS / hardware concurrency
+    int jobs = 0;     // 0 = ALBERTA_JOBS / hardware concurrency
+    int segments = 0; // 0 = auto (segment by uop estimate)
     bool wantStats = false;
     bool wantMetrics = false;
     std::string tracePath;
@@ -230,7 +245,14 @@ main(int argc, char **argv)
             if (std::strcmp(argv[i], "--jobs") == 0)
                 jobs = static_cast<int>(support::parsePositiveInt(
                     flagArg("--jobs"), "--jobs", 1024));
-            else if (std::strcmp(argv[i], "--format") == 0)
+            else if (std::strcmp(argv[i], "--segments") == 0) {
+                const char *value = flagArg("--segments");
+                segments =
+                    std::strcmp(value, "auto") == 0
+                        ? 0
+                        : static_cast<int>(support::parsePositiveInt(
+                              value, "--segments", 1024));
+            } else if (std::strcmp(argv[i], "--format") == 0)
                 format =
                     core::parseReportFormat(flagArg("--format"));
             else if (std::strcmp(argv[i], "--trace") == 0)
@@ -281,11 +303,11 @@ main(int argc, char **argv)
                                       1000))
                             : 3);
         else if (command == "characterize" && args.size() >= 2)
-            rc = cmdCharacterize(args[1], engine, writer);
+            rc = cmdCharacterize(args[1], engine, writer, segments);
         else if (command == "suite")
-            rc = cmdSuite(engine, writer);
+            rc = cmdSuite(engine, writer, segments);
         else if (command == "report" && args.size() >= 2)
-            rc = cmdReport(args[1], engine, writer);
+            rc = cmdReport(args[1], engine, writer, segments);
         else if (command == "cluster" && args.size() >= 3)
             rc = cmdCluster(args[1],
                             static_cast<std::size_t>(

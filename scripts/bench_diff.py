@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json performance trackers and fail on regression.
+
+    scripts/bench_diff.py OLD.json NEW.json [--tolerance 0.10]
+
+Walks both documents and compares every numeric leaf they share, using
+the key name to decide which direction is a regression:
+
+  *_seconds, *_percent          lower is better -> regression when the
+                                new value exceeds old * (1 + tolerance)
+  *_per_second, speedup_*       higher is better -> regression when the
+                                new value drops below old / (1 + tolerance)
+
+Keys matching neither pattern (counts, signatures, booleans, strings)
+are reported when they differ but never fail the comparison — they are
+configuration, not performance. Exit status: 0 when no tracked metric
+regressed by more than the tolerance, 1 otherwise, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("_seconds", "_percent")
+HIGHER_IS_BETTER = ("_per_second",)
+HIGHER_PREFIXES = ("speedup_",)
+
+
+def flatten(node, prefix=""):
+    """Yield (dotted_path, leaf_value) pairs for a JSON document."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            # Prefer a stable name over a positional index so rows can
+            # be matched even when their order changes between runs.
+            label = (
+                value.get("name", index)
+                if isinstance(value, dict)
+                else index
+            )
+            yield from flatten(value, f"{prefix}{label}.")
+    else:
+        yield prefix[:-1], node
+
+
+def direction(path):
+    """'lower', 'higher', or None (untracked) for a metric path."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf.endswith(LOWER_IS_BETTER):
+        return "lower"
+    if leaf.endswith(HIGHER_IS_BETTER) or leaf.startswith(
+        HIGHER_PREFIXES
+    ):
+        return "higher"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when NEW.json regresses versus OLD.json."
+    )
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.old) as f:
+            old = dict(flatten(json.load(f)))
+        with open(args.new) as f:
+            new = dict(flatten(json.load(f)))
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_diff: {e}")
+
+    regressions = []
+    for path in sorted(old.keys() & new.keys()):
+        a, b = old[path], new[path]
+        if a == b:
+            continue
+        kind = direction(path)
+        numeric = isinstance(a, (int, float)) and isinstance(
+            b, (int, float)
+        )
+        if kind is None or not numeric:
+            print(f"  note  {path}: {a} -> {b}")
+            continue
+        delta = (b - a) / a if a else float("inf") if b else 0.0
+        arrow = f"{path}: {a:.6g} -> {b:.6g} ({delta:+.1%})"
+        worse = (
+            delta > args.tolerance
+            if kind == "lower"
+            else delta < -args.tolerance / (1.0 + args.tolerance)
+        )
+        if worse:
+            regressions.append(arrow)
+            print(f"  REGRESSION  {arrow}")
+        else:
+            print(f"  ok    {arrow}")
+
+    if regressions:
+        print(
+            f"bench_diff: {len(regressions)} metric(s) regressed "
+            f"beyond {args.tolerance:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench_diff: no regression beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

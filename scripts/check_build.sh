@@ -12,12 +12,19 @@
 #                       file bit-for-bit — any semantic change to the
 #                       model fails here unless it is explicitly
 #                       acknowledged with ALBERTA_ALLOW_MODEL_CHANGE=1.
-#   BENCH_table2.json   serial vs suite-scheduled vs cache-warm wall
-#                       time of the full Table II characterization
-#                       (suite_sched_cold/parallel_warm/disk_warm).
+#   BENCH_table2.json   serial vs suite-scheduled vs cache-warm vs
+#                       segment-parallel wall time of the full
+#                       Table II characterization, with the splice
+#                       error and critical-path columns.
+#
+# In between it smoke-tests the CLI: traced characterization (JSON
+# spans), persistent cache (disk-warm bit-identity), and checkpoint-
+# and-splice segmentation (--segments 4 within the pinned 1e-3
+# fraction tolerance, checksums exact).
 #
 # Set ALBERTA_SKIP_BENCH=1 to stop after ctest, and ALBERTA_JOBS to
-# control the worker-pool size.
+# control the worker-pool size. Compare two tracker snapshots with
+# scripts/bench_diff.py (fails on a >10% regression).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -95,6 +102,40 @@ if [[ -z "$warm_hits" || "$warm_hits" -eq 0 ]]; then
 fi
 echo "check_build: persistent cache OK ($warm_hits disk hits," \
      "identical JSON row)"
+
+# Segment-parallel smoke test: the same benchmark exact and spliced
+# into 4 segments. Checksums must match exactly; every per-workload
+# top-down fraction must agree within the pinned 1e-3 tolerance.
+exact_report="$BUILD_DIR/check_segments_exact.json"
+spliced_report="$BUILD_DIR/check_segments_spliced.json"
+"$BUILD_DIR"/examples/alberta_cli report 505.mcf_r \
+    --segments 1 --format json > "$exact_report" 2> /dev/null
+"$BUILD_DIR"/examples/alberta_cli report 505.mcf_r \
+    --segments 4 --format json > "$spliced_report" 2> /dev/null
+if command -v python3 > /dev/null; then
+    python3 - "$exact_report" "$spliced_report" << 'EOF'
+import json, sys
+exact = json.load(open(sys.argv[1]))
+spliced = json.load(open(sys.argv[2]))
+ew, sw = exact["workloads"], spliced["workloads"]
+if [w["name"] for w in ew] != [w["name"] for w in sw]:
+    sys.exit("check_build: segmented run changed the workload list")
+worst = 0.0
+for e, s in zip(ew, sw):
+    if e["checksum"] != s["checksum"]:
+        sys.exit(f"check_build: checksum drift on {e['name']}: "
+                 f"{e['checksum']} != {s['checksum']}")
+    for key in ("frontend", "backend", "badspec", "retiring"):
+        worst = max(worst, abs(e[key] - s[key]))
+if worst >= 1e-3:
+    sys.exit(f"check_build: spliced fraction error {worst:.2e} "
+             "exceeds the pinned 1e-3 tolerance")
+print(f"check_build: segment splice OK ({len(ew)} workloads, "
+      f"max fraction error {worst:.2e} < 1e-3, checksums exact)")
+EOF
+else
+    echo "check_build: python3 not found, skipping segment check"
+fi
 
 if [[ "${ALBERTA_SKIP_BENCH:-0}" != "1" ]]; then
     committed_sig=""

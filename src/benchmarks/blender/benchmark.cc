@@ -123,4 +123,16 @@ BlenderBenchmark::run(const runtime::Workload &workload,
     context.consume(stats.pixelsShaded);
 }
 
+double
+BlenderBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Refrate renders the dense scene; the Alberta scenes sample a
+    // much lighter animation whose per-frame cost varies with scene
+    // content, so frames is the only usable signal.
+    if (workload.isRefrate())
+        return 2.3e6;
+    return 15e3 *
+           static_cast<double>(workload.params.getInt("frames", 0));
+}
+
 } // namespace alberta::blender

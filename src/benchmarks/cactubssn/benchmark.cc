@@ -95,4 +95,23 @@ CactuBssnBenchmark::run(const runtime::Workload &workload,
     context.consume(stats.pointUpdates);
 }
 
+double
+CactuBssnBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Workload shape is baked into the named evolution setups rather
+    // than the parameter bag, so the hint is a per-name size class:
+    // most Alberta setups run the full refrate-sized grid; the named
+    // exceptions use coarser grids or shorter evolutions.
+    const std::string &n = workload.name;
+    if (n == "test")
+        return 0.34e6;
+    if (n == "train" || n == "alberta.long-evolution")
+        return 14.8e6;
+    if (n == "alberta.fine-grid")
+        return 23.2e6;
+    if (n == "alberta.small-cfl")
+        return 27.5e6;
+    return 118e6;
+}
+
 } // namespace alberta::cactubssn

@@ -23,6 +23,7 @@ class CactuBssnBenchmark : public runtime::Benchmark
     std::vector<runtime::Workload> workloads() const override;
     void run(const runtime::Workload &workload,
              runtime::ExecutionContext &context) const override;
+    double costHint(const runtime::Workload &workload) const override;
 };
 
 } // namespace alberta::cactubssn

@@ -1,5 +1,6 @@
 #include "benchmarks/deepsjeng/benchmark.h"
 
+#include <cmath>
 #include <mutex>
 #include <sstream>
 
@@ -132,6 +133,19 @@ DeepsjengBenchmark::run(const runtime::Workload &workload,
         context.consume(result.nodes);
     }
     context.consume(totalNodes);
+}
+
+double
+DeepsjengBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Alpha-beta search: exponential in depth (effective branching
+    // factor ~4 after pruning), linear in positions searched. Actual
+    // cost per position varies severalfold with the position itself.
+    const double positions = static_cast<double>(
+        workload.params.getInt("positions", 0));
+    const double maxPly = static_cast<double>(
+        workload.params.getInt("max_ply", 0));
+    return 1900.0 * positions * std::pow(4.0, maxPly);
 }
 
 } // namespace alberta::deepsjeng

@@ -136,4 +136,13 @@ Exchange2Benchmark::run(const runtime::Workload &workload,
     context.consume(totalNodes);
 }
 
+double
+Exchange2Benchmark::costHint(const runtime::Workload &workload) const
+{
+    // Linear in puzzles solved; individual puzzles vary severalfold
+    // with how constrained the generated grid happens to be.
+    return 2.1e6 * static_cast<double>(
+                       workload.params.getInt("puzzles_per_seed", 0));
+}
+
 } // namespace alberta::exchange2

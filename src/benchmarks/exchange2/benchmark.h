@@ -22,6 +22,7 @@ class Exchange2Benchmark : public runtime::Benchmark
     std::vector<runtime::Workload> workloads() const override;
     void run(const runtime::Workload &workload,
              runtime::ExecutionContext &context) const override;
+    double costHint(const runtime::Workload &workload) const override;
 
     /**
      * The 27 seed puzzles "distributed with the benchmark": a fixed,

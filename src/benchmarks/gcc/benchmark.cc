@@ -135,4 +135,30 @@ GccBenchmark::run(const runtime::Workload &workload,
                      "gcc: empty module from '", workload.name, "'");
 }
 
+double
+GccBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Whole-file workloads scale with translation units; synthetic
+    // ones with function count, at a per-function cost that depends
+    // strongly on the body style (loop bodies compile ~4x heavier
+    // than branch ladders, call chains in between).
+    if (workload.params.has("units"))
+        return 500e3 *
+               static_cast<double>(workload.params.getInt("units", 0));
+    const double functions =
+        static_cast<double>(workload.params.getInt("functions", 0));
+    switch (workload.params.getInt("style", 0)) {
+    case 1:
+        return 600e3 * functions; // loop-heavy bodies
+    case 2:
+        return 150e3 * functions; // branch ladders
+    case 3:
+        return 550e3 * functions; // call chains
+    case 4:
+        return 60e3 * functions; // straight-line arithmetic
+    default:
+        return 250e3 * functions; // mixed (refrate/train style)
+    }
+}
+
 } // namespace alberta::gcc

@@ -212,4 +212,18 @@ LbmBenchmark::run(const runtime::Workload &workload,
     context.consume(stats.cellUpdates);
 }
 
+double
+LbmBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Cost is linear in time steps over a fixed lattice; the TRT
+    // collision operator costs ~1.35x BGK per step, and refrate runs
+    // the full-size lattice (several times the Alberta grids).
+    const double steps =
+        static_cast<double>(workload.params.getInt("steps", 0));
+    const double perStep =
+        workload.params.getString("model", "bgk") == "trt" ? 1.62e6
+                                                           : 1.2e6;
+    return steps * perStep * (workload.isRefrate() ? 2.0 : 1.0);
+}
+
 } // namespace alberta::lbm

@@ -46,6 +46,7 @@ class LbmBenchmark : public runtime::Benchmark
     std::vector<runtime::Workload> workloads() const override;
     void run(const runtime::Workload &workload,
              runtime::ExecutionContext &context) const override;
+    double costHint(const runtime::Workload &workload) const override;
 };
 
 } // namespace alberta::lbm

@@ -137,4 +137,18 @@ LeelaBenchmark::run(const runtime::Workload &workload,
     context.consume(totalSims);
 }
 
+double
+LeelaBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // One playout touches the whole board; total work ~ moves played
+    // x simulations per move x board area.
+    const double moves = static_cast<double>(
+        workload.params.getInt("max_moves", 0));
+    const double sims = static_cast<double>(
+        workload.params.getInt("simulations", 0));
+    const double board = static_cast<double>(
+        workload.params.getInt("board_size", 9));
+    return 41.0 * moves * sims * board * board;
+}
+
 } // namespace alberta::leela

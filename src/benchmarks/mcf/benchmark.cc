@@ -99,4 +99,15 @@ McfBenchmark::run(const runtime::Workload &workload,
     context.consume(static_cast<std::uint64_t>(solution.augmentations));
 }
 
+double
+McfBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Solver work grows roughly quadratically in trips (each trip adds
+    // both a column and rows to price against); ~500 uops per trip^2
+    // fits refrate within 1% and every city within 2x.
+    const double trips =
+        static_cast<double>(workload.params.getInt("trips", 0));
+    return 500.0 * trips * trips;
+}
+
 } // namespace alberta::mcf

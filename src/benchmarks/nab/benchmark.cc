@@ -76,4 +76,13 @@ NabBenchmark::run(const runtime::Workload &workload,
     context.consume(stats.kineticEnergy);
 }
 
+double
+NabBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Nonbonded pair interactions dominate: quadratic in residues.
+    const double residues = static_cast<double>(
+        workload.params.getInt("residues", 0));
+    return 200.0 * residues * residues;
+}
+
 } // namespace alberta::nab

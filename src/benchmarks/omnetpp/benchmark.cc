@@ -83,4 +83,16 @@ OmnetppBenchmark::run(const runtime::Workload &workload,
     context.consume(stats.eventsProcessed);
 }
 
+double
+OmnetppBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Event count ~ simulated time / packet interarrival; ~1250 uops
+    // per injected packet across queueing, routing, and delivery.
+    const double simTime = static_cast<double>(
+        workload.params.getInt("sim_time_us", 0));
+    const double interarrival = static_cast<double>(
+        workload.params.getInt("interarrival_us", 1));
+    return interarrival > 0.0 ? 1250.0 * simTime / interarrival : 0.0;
+}
+
 } // namespace alberta::omnetpp

@@ -68,4 +68,15 @@ ParestBenchmark::run(const runtime::Workload &workload,
     context.consume(result.cgIterations);
 }
 
+double
+ParestBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Grid solves dominate: O(n^3) in the mesh parameter, scaled by
+    // the number of inversion subdomains.
+    const double n = static_cast<double>(workload.params.getInt("n", 0));
+    const double subdomains = static_cast<double>(
+        workload.params.getInt("subdomains", 1));
+    return 2400.0 * n * n * n * (subdomains / 2.0);
+}
+
 } // namespace alberta::parest

@@ -204,4 +204,17 @@ PovrayBenchmark::run(const runtime::Workload &workload,
     context.consume(stats.refractionRays);
 }
 
+double
+PovrayBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Scene complexity lives in the named scene definitions: refrate
+    // renders the big scene, the collection scenes are mid-size, and
+    // the lumpy/primitive studies are small single-object renders.
+    if (workload.isRefrate())
+        return 16.7e6;
+    if (workload.name.rfind("alberta.collection", 0) == 0)
+        return 1.3e6;
+    return 0.4e6;
+}
+
 } // namespace alberta::povray

@@ -100,4 +100,20 @@ WrfBenchmark::run(const runtime::Workload &workload,
     context.consume(stats.cellUpdates);
 }
 
+double
+WrfBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Domain size is fixed per named case: refrate integrates the
+    // large domain, the Alberta storm cases share a mid-size one
+    // (front-strongbl runs a longer forecast), and train/test are
+    // smoke-sized. Physics options only nudge the cost a few percent.
+    if (workload.isRefrate())
+        return 15.7e6;
+    if (workload.name == "alberta.front-strongbl")
+        return 1.3e6;
+    if (workload.isAlberta())
+        return 0.9e6;
+    return workload.name == "train" ? 0.3e6 : 0.03e6;
+}
+
 } // namespace alberta::wrf

@@ -132,4 +132,16 @@ X264Benchmark::run(const runtime::Workload &workload,
     context.consume(meanDb);
 }
 
+double
+X264Benchmark::costHint(const runtime::Workload &workload) const
+{
+    // Encoding cost is linear in frames; a second pass re-encodes
+    // everything with stats from the first.
+    const double frames = static_cast<double>(
+        workload.params.getInt("frame_count", 0));
+    const double passes =
+        workload.params.getBool("two_pass", false) ? 1.8 : 1.0;
+    return 250e3 * frames * passes;
+}
+
 } // namespace alberta::x264

@@ -276,4 +276,22 @@ XalancbmkBenchmark::run(const runtime::Workload &workload,
     context.consume(std::hash<std::string>{}(serialized));
 }
 
+double
+XalancbmkBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Document sizes are fixed per named input: the xsltmark pair
+    // brackets refrate, the xmark queries are mid-size, and the
+    // remaining inputs are small functional documents.
+    const std::string &n = workload.name;
+    if (n == "alberta.xsltmark-large")
+        return 3.2e6;
+    if (workload.isRefrate())
+        return 2.2e6;
+    if (n == "alberta.xmark-combined")
+        return 0.6e6;
+    if (n == "alberta.xmark-dense-bids")
+        return 0.29e6;
+    return 0.15e6;
+}
+
 } // namespace alberta::xalancbmk

@@ -148,4 +148,26 @@ XzBenchmark::run(const runtime::Workload &workload,
     context.consume(stats.matches);
 }
 
+double
+XzBenchmark::costHint(const runtime::Workload &workload) const
+{
+    // Linear in input bytes; the per-byte cost tracks match density:
+    // compressible text spends the most time extending matches,
+    // incompressible random data the least.
+    const double bytes =
+        static_cast<double>(workload.params.getInt("bytes", 0));
+    switch (workload.params.getInt("kind", 1)) {
+    case 0:
+        return 30.0 * bytes; // text
+    case 2:
+        return 28.0 * bytes; // binary
+    case 3:
+        return 20.0 * bytes; // random
+    case 4:
+        return 15.0 * bytes; // repeated blocks
+    default:
+        return 10.0 * bytes; // logs / mixed (refrate)
+    }
+}
+
 } // namespace alberta::xz

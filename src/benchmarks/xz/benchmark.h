@@ -19,6 +19,7 @@ class XzBenchmark : public runtime::Benchmark
     std::vector<runtime::Workload> workloads() const override;
     void run(const runtime::Workload &workload,
              runtime::ExecutionContext &context) const override;
+    double costHint(const runtime::Workload &workload) const override;
 };
 
 } // namespace alberta::xz

@@ -1,6 +1,8 @@
 #include "core/suite.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <optional>
 
 #include "benchmarks/blender/benchmark.h"
@@ -127,11 +129,36 @@ characterize(const runtime::Benchmark &benchmark,
     // bit-identical to the serial path. The batch doubles as the
     // cache-probe batch: each task probes the result cache once.
     std::vector<std::size_t> modelIndices;
+    std::vector<std::size_t> segmentedIndices;
+    std::vector<int> segmentCounts(workloads.size(), 1);
     for (std::size_t i = 0; i < workloads.size(); ++i) {
-        if (i != refrateIndex)
+        if (i == refrateIndex)
+            continue;
+        segmentCounts[i] = runtime::resolveSegments(
+            options.segments, benchmark.costHint(workloads[i]),
+            options.segmentTargetUops, executor->jobs());
+        if (segmentCounts[i] > 1)
+            segmentedIndices.push_back(i);
+        else
             modelIndices.push_back(i);
     }
     std::vector<runtime::RunMeasurement> results(workloads.size());
+    // Phase 1a: segmented workloads, one at a time — the record pass
+    // is inherently serial, but each workload's segment replays fan
+    // out across the pool, shrinking its single-run latency.
+    for (const std::size_t i : segmentedIndices) {
+        obs::Span run(tracer, workloads[i].name, "segment_run",
+                      root.id());
+        runtime::SegmentOptions seg;
+        seg.segments = segmentCounts[i];
+        seg.warmupUops = options.segmentWarmupUops;
+        seg.executor = executor;
+        seg.cache = cache;
+        results[i] = runtime::runSegmented(benchmark, workloads[i], seg);
+        run.note("segments",
+                 static_cast<std::uint64_t>(segmentCounts[i]));
+        run.note("uops", results[i].retiredOps);
+    }
     {
         obs::Span batch(tracer, "model_batch", "cache_probe",
                         root.id());
@@ -193,6 +220,7 @@ characterize(const runtime::Benchmark &benchmark,
         c.topdownPerWorkload.push_back(results[i].topdown);
         c.coveragePerWorkload.push_back(results[i].coverage);
         c.checksumPerWorkload.push_back(results[i].checksum);
+        c.secondsPerWorkload.push_back(results[i].seconds);
     }
 
     if (statsOut) {
@@ -246,6 +274,79 @@ struct SuiteSlot
     std::vector<double> refrateRuns;
     bool insertRefrate = false; //!< refrate ran (vs cache replay)
 };
+
+/**
+ * An expanding scheduler task for one segmented model run: the first
+ * wave executes the record pass (or replays a cached spliced result),
+ * then hands the scheduler one follow-up task per segment. The
+ * replays interleave with every other benchmark's tasks in the next
+ * wave; whichever replay finishes last splices and publishes the
+ * result, so no wave-wide barrier waits on this workload.
+ */
+runtime::SuiteTask
+makeSegmentTask(const std::string &key, SuiteSlot &slot,
+                const runtime::Benchmark &bm, std::size_t i,
+                runtime::ResultCache *cache, int segments,
+                std::uint64_t warmupUops, double hint)
+{
+    runtime::SuiteTask task;
+    task.costKey = key;
+    task.category = "segment_record";
+    task.costHint = hint;
+    task.expand = [&slot, &bm, i, cache, segments, warmupUops, key,
+                   hint](obs::Span &span) {
+        std::vector<runtime::SuiteTask> replays;
+        const runtime::Workload spliceKey = runtime::splicedWorkload(
+            slot.workloads[i], segments, warmupUops);
+        runtime::CachedRun cached;
+        if (cache && cache->lookup(bm, spliceKey, &cached)) {
+            slot.results[i] = cached.measurement;
+            return replays;
+        }
+        auto plan = std::make_shared<runtime::SegmentPlan>(
+            runtime::recordSegments(bm, slot.workloads[i], segments,
+                                    warmupUops));
+        span.note("segments",
+                  static_cast<std::uint64_t>(plan->segments));
+        span.note("uops", plan->retiredOps);
+        auto deltas =
+            std::make_shared<std::vector<runtime::SegmentDelta>>(
+                plan->segments);
+        auto remaining = std::make_shared<std::atomic<int>>(
+            plan->segments);
+        const double segmentHint =
+            hint / static_cast<double>(plan->segments);
+        for (int s = 0; s < plan->segments; ++s) {
+            runtime::SuiteTask replay;
+            replay.costKey = key + "#seg" + std::to_string(s) + "of" +
+                             std::to_string(plan->segments);
+            replay.category = "segment_replay";
+            replay.costHint = segmentHint;
+            replay.run = [&slot, &bm, i, cache, plan, deltas,
+                          remaining, s, segments,
+                          warmupUops](obs::Span &rspan) {
+                (*deltas)[s] = runtime::measureSegment(
+                    *plan, s, bm, slot.workloads[i], cache);
+                rspan.note("uops", (*deltas)[s].retired);
+                if (remaining->fetch_sub(1) == 1) {
+                    slot.results[i] = runtime::spliceSegments(
+                        *plan, *deltas);
+                    if (cache) {
+                        cache->insert(
+                            bm,
+                            runtime::splicedWorkload(
+                                slot.workloads[i], segments,
+                                warmupUops),
+                            {slot.results[i], {}});
+                    }
+                }
+            };
+            replays.push_back(std::move(replay));
+        }
+        return replays;
+    };
+    return task;
+}
 
 } // namespace
 
@@ -305,7 +406,10 @@ characterizeSuite(
 
     // Pass 2: flatten everything runnable — refrate repetitions
     // included — into one global task list. Cached refrates replay
-    // immediately and schedule nothing.
+    // immediately and schedule nothing. Every task carries the
+    // benchmark's uop-count hint so a cold ledger still dispatches
+    // the big runs first (the ledger converts hints to seconds
+    // through its persisted calibration rate).
     std::vector<runtime::SuiteTask> tasks;
     for (std::size_t b = 0; b < benchmarks.size(); ++b) {
         const runtime::Benchmark &bm = *benchmarks[b];
@@ -313,14 +417,27 @@ characterizeSuite(
         for (std::size_t i = 0; i < slot.workloads.size(); ++i) {
             const std::string key =
                 bm.name() + '/' + slot.workloads[i].name;
+            const double hint = bm.costHint(slot.workloads[i]);
             if (i != slot.refrateIndex) {
-                tasks.push_back(
-                    {key, "model_run",
-                     [&slot, &bm, i, cache](obs::Span &span) {
-                         slot.results[i] = runtime::measureCached(
-                             bm, slot.workloads[i], cache);
-                         span.note("uops", slot.results[i].retiredOps);
-                     }});
+                const int segments = runtime::resolveSegments(
+                    options.segments, hint, options.segmentTargetUops,
+                    executor->jobs());
+                if (segments > 1) {
+                    tasks.push_back(makeSegmentTask(
+                        key, slot, bm, i, cache, segments,
+                        options.segmentWarmupUops, hint));
+                    continue;
+                }
+                runtime::SuiteTask task;
+                task.costKey = key;
+                task.category = "model_run";
+                task.costHint = hint;
+                task.run = [&slot, &bm, i, cache](obs::Span &span) {
+                    slot.results[i] = runtime::measureCached(
+                        bm, slot.workloads[i], cache);
+                    span.note("uops", slot.results[i].retiredOps);
+                };
+                tasks.push_back(std::move(task));
                 continue;
             }
             runtime::CachedRun cached;
@@ -343,18 +460,20 @@ characterizeSuite(
             slot.insertRefrate = true;
             slot.refrateRuns.resize(repetitions);
             for (int rep = 0; rep < repetitions; ++rep) {
-                tasks.push_back(
-                    {key, "refrate_rep",
-                     [&slot, &bm, i, rep](obs::Span &span) {
-                         span.note("rep",
-                                   static_cast<std::uint64_t>(rep));
-                         const runtime::RunMeasurement m =
-                             runtime::runOnce(bm, slot.workloads[i]);
-                         span.note("seconds", m.seconds);
-                         if (rep == 0)
-                             slot.results[i] = m;
-                         slot.refrateRuns[rep] = m.seconds;
-                     }});
+                runtime::SuiteTask task;
+                task.costKey = key;
+                task.category = "refrate_rep";
+                task.costHint = hint;
+                task.run = [&slot, &bm, i, rep](obs::Span &span) {
+                    span.note("rep", static_cast<std::uint64_t>(rep));
+                    const runtime::RunMeasurement m =
+                        runtime::runOnce(bm, slot.workloads[i]);
+                    span.note("seconds", m.seconds);
+                    if (rep == 0)
+                        slot.results[i] = m;
+                    slot.refrateRuns[rep] = m.seconds;
+                };
+                tasks.push_back(std::move(task));
             }
         }
     }
@@ -386,6 +505,7 @@ characterizeSuite(
             c.topdownPerWorkload.push_back(slot.results[i].topdown);
             c.coveragePerWorkload.push_back(slot.results[i].coverage);
             c.checksumPerWorkload.push_back(slot.results[i].checksum);
+            c.secondsPerWorkload.push_back(slot.results[i].seconds);
             totalUops += slot.results[i].retiredOps;
         }
         totalWorkloads += slot.workloads.size();

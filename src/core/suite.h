@@ -15,6 +15,7 @@
 
 #include "runtime/benchmark.h"
 #include "runtime/engine.h"
+#include "runtime/segment.h"
 #include "stats/summary.h"
 
 namespace alberta::core {
@@ -42,6 +43,16 @@ struct Characterization
     stats::CoverageSummary coverage; //!< Eq. 5 over the workloads
     double refrateSeconds = 0.0;     //!< mean wall time, refrate
     std::vector<double> refrateRuns; //!< raw per-run times
+    /**
+     * Seconds of each workload's model run, in workload order. Exact
+     * runs report wall time. Segmented runs report the critical path
+     * (record pass plus the longest single replay) in thread CPU
+     * seconds — the latency the run would have with unlimited
+     * workers, the number segment parallelism exists to shrink —
+     * which stays meaningful when concurrent replays oversubscribe
+     * the cores.
+     */
+    std::vector<double> secondsPerWorkload;
 };
 
 /** Characterization options. */
@@ -68,6 +79,25 @@ struct CharacterizeOptions
      * removed; sessions are configured exclusively through here.
      */
     runtime::Engine *engine = nullptr;
+    /**
+     * Checkpoint-and-splice segment parallelism for model runs:
+     * 1 (default) runs every workload exact; 0 = auto, cutting
+     * workloads whose estimated uop count (Benchmark::costHint)
+     * exceeds @ref segmentTargetUops into roughly estimate/target
+     * segments, capped by the worker count; N > 1 forces N segments
+     * for every model run. Timed refrate repetitions always execute
+     * exact — their wall time is the paper's measurement. Spliced
+     * top-down fractions differ from exact by < 1e-3 absolute
+     * (pinned by test); spliced and exact results cache under
+     * distinct keys, so the two never serve each other's entries.
+     */
+    int segments = 1;
+    /** Warm-up uops replayed ahead of each segment. */
+    std::uint64_t segmentWarmupUops =
+        runtime::kDefaultSegmentWarmupUops;
+    /** Auto segmentation (segments == 0) aims for about this many
+     * retired uops per segment. */
+    std::uint64_t segmentTargetUops = 16'000'000;
 };
 
 /**

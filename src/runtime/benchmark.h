@@ -47,6 +47,23 @@ class Benchmark
      */
     virtual void run(const Workload &workload,
                      ExecutionContext &context) const = 0;
+
+    /**
+     * Rough retired-uop estimate for @p workload, derived from its
+     * parameters without running anything. Two consumers: the suite
+     * scheduler orders cold runs longest-first before any measured
+     * time exists (the CostLedger converts hints to seconds through
+     * its persisted calibration rate), and the segment planner sizes
+     * auto segment counts (see runtime::resolveSegments). Estimates
+     * need ranking power, not accuracy — being within a small factor
+     * is plenty. 0.0 means unknown (sorts as cheapest).
+     */
+    virtual double
+    costHint(const Workload &workload) const
+    {
+        (void)workload;
+        return 0.0;
+    }
 };
 
 /** Measurements from a single execution of one (benchmark, workload). */

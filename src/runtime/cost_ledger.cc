@@ -54,6 +54,20 @@ CostLedger::record(const std::string &key, double seconds)
         it->second = 0.5 * it->second + 0.5 * seconds;
 }
 
+double
+CostLedger::secondsPerUnit() const
+{
+    return expectedSeconds(kCalibrationKey);
+}
+
+void
+CostLedger::recordCalibration(double totalSeconds, double totalUnits)
+{
+    if (!(totalUnits > 0.0) || !(totalSeconds >= 0.0))
+        return;
+    record(kCalibrationKey, totalSeconds / totalUnits);
+}
+
 void
 CostLedger::save() const
 {

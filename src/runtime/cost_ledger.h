@@ -41,6 +41,25 @@ class CostLedger
      */
     void record(const std::string &key, double seconds);
 
+    /**
+     * Measured seconds per abstract cost unit (retired uops in
+     * practice), used to turn Benchmark::costHint estimates into
+     * expected seconds for keys the ledger has never timed. 0.0
+     * until the first calibration is recorded.
+     */
+    double secondsPerUnit() const;
+
+    /**
+     * Fold one batch's aggregate (wall seconds, cost-hint units) into
+     * the seconds-per-unit rate. Persisted with the other entries
+     * under a reserved key, so the very first task batch of a fresh
+     * process on a warm ledger already orders cold workloads by hint.
+     */
+    void recordCalibration(double totalSeconds, double totalUnits);
+
+    /** Reserved entry key holding the seconds-per-unit rate. */
+    static constexpr const char *kCalibrationKey = "__seconds_per_unit__";
+
     /** Write the ledger to its path (tmp file + atomic rename;
      * no-op for in-memory ledgers, best effort on I/O errors). */
     void save() const;

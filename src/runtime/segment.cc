@@ -1,0 +1,379 @@
+#include "runtime/segment.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.h"
+#include "support/timing.h"
+#include "topdown/machine.h"
+
+namespace alberta::runtime {
+
+namespace {
+
+// Record and replay phases are timed in thread CPU seconds (see
+// support/timing.h): their seconds feed the critical-path metric
+// (record + longest replay), which must stay meaningful when
+// concurrent replays oversubscribe the cores.
+using support::threadCpuSeconds;
+
+/** Issue width of the default machine the runtime paths construct. */
+int
+defaultIssueWidth()
+{
+    static const int width = topdown::MachineConfig{}.issueWidth;
+    return width;
+}
+
+const std::string kUnknownMethod = "<unknown>";
+
+/** Coverage fractions from per-method total slots, mirroring
+ * CoverageProfiler::coverage (same accumulation order, same skip
+ * rules) so exact-mode results are bit-identical to a direct run. */
+stats::CoverageMap
+coverageFromTotals(std::span<const double> method_totals,
+                   std::span<const std::string> names)
+{
+    double total = 0.0;
+    for (const double t : method_totals)
+        total += t;
+    stats::CoverageMap out;
+    if (total <= 0.0)
+        return out;
+    for (std::size_t id = 0; id < method_totals.size(); ++id) {
+        const double t = method_totals[id];
+        if (t <= 0.0)
+            continue;
+        const std::string &name =
+            id < names.size() ? names[id] : kUnknownMethod;
+        out[name] += t / total;
+    }
+    return out;
+}
+
+} // namespace
+
+SegmentPlan
+recordSegments(const Benchmark &benchmark, const Workload &workload,
+               int segments, std::uint64_t warmup_uops)
+{
+    support::fatalIf(segments < 1,
+                     "segment: need at least one segment");
+    SegmentPlan plan;
+    plan.segments = segments;
+    plan.warmupUops = warmup_uops;
+
+    auto trace = std::make_shared<topdown::UopTrace>();
+    // Records never outnumber retired uops (bulk records cover many),
+    // so the workload's uop estimate upper-bounds the lane size;
+    // reserving it up front spares the capture pass from copying
+    // gigabytes of lane data through capacity doublings. The clamp
+    // guards against a wild hint.
+    const double hint = benchmark.costHint(workload);
+    if (hint > 0.0)
+        trace->reserve(
+            static_cast<std::size_t>(std::min(hint, 1e9)));
+    ExecutionContext context;
+    context.machine().captureTo(trace.get());
+    const double cpu0 = threadCpuSeconds();
+    benchmark.run(workload, context);
+    context.machine().captureTo(nullptr);
+
+    plan.checksum = context.checksum();
+    plan.retiredOps = context.retiredOps();
+    const profile::MethodRegistry &registry = context.registry();
+    plan.methodNames.reserve(registry.size());
+    for (std::uint32_t id = 0; id < registry.size(); ++id)
+        plan.methodNames.push_back(registry.name(id));
+
+    plan.cuts = trace->cutPoints(segments);
+    plan.warmStarts = trace->planWarmStarts(plan.cuts, warmup_uops);
+    // Planning is part of the serial prefix every replay waits on, so
+    // it is charged to the record pass.
+    plan.recordSeconds = threadCpuSeconds() - cpu0;
+    plan.trace = std::move(trace);
+    return plan;
+}
+
+SegmentDelta
+replaySegment(const SegmentPlan &plan, int segment)
+{
+    support::panicIf(segment < 0 || segment >= plan.segments,
+                     "segment: index out of range");
+    const topdown::UopTrace &trace = *plan.trace;
+    const std::size_t start = plan.cuts[segment];
+    const std::size_t end = plan.cuts[segment + 1];
+
+    const double cpu0 = threadCpuSeconds();
+    topdown::Machine machine;
+    if (segment > 0) {
+        // Re-establish the method context active at the warm-up start
+        // (attribution inside the warm-up window is discarded with the
+        // baseline, but the code footprint and fetch cursor matter),
+        // then replay the planner's warm-up window to approximate the
+        // predictor and cache state the segment would have inherited
+        // (reuse-aware: see UopTrace::planWarmStarts).
+        const std::size_t warm = plan.warmStarts[segment];
+        const std::size_t methodRecord = trace.lastMethodAt(warm);
+        if (methodRecord != trace.records())
+            trace.replay(machine, methodRecord, methodRecord + 1);
+        trace.replay(machine, warm, start);
+    }
+    const topdown::MachineSnapshot baseline = machine.snapshot();
+    trace.replay(machine, start, end);
+
+    SegmentDelta delta;
+    delta.slots = machine.totals();
+    delta.slots -= baseline.total;
+    const auto &perMethod = machine.perMethod();
+    delta.methodTotals.resize(perMethod.size(), 0.0);
+    for (std::size_t id = 0; id < perMethod.size(); ++id) {
+        double base = 0.0;
+        if (id < baseline.methods.size())
+            base = baseline.methods[id].total();
+        delta.methodTotals[id] = perMethod[id].total() - base;
+    }
+    delta.retired = machine.retiredOps() - baseline.retired;
+    delta.seconds = threadCpuSeconds() - cpu0;
+    return delta;
+}
+
+RunMeasurement
+spliceSegments(const SegmentPlan &plan,
+               std::span<const SegmentDelta> deltas)
+{
+    support::panicIf(static_cast<int>(deltas.size()) != plan.segments,
+                     "segment: splice needs one delta per segment");
+    topdown::SlotCounts slots;
+    std::vector<double> methodTotals(plan.methodNames.size(), 0.0);
+    std::uint64_t retired = 0;
+    double longestReplay = 0.0;
+    for (const SegmentDelta &d : deltas) {
+        slots += d.slots;
+        retired += d.retired;
+        longestReplay = std::max(longestReplay, d.seconds);
+        if (d.methodTotals.size() > methodTotals.size())
+            methodTotals.resize(d.methodTotals.size(), 0.0);
+        for (std::size_t id = 0; id < d.methodTotals.size(); ++id)
+            methodTotals[id] += d.methodTotals[id];
+    }
+    support::panicIf(retired != plan.retiredOps,
+                     "segment: spliced segments retired ", retired,
+                     " uops, record pass retired ", plan.retiredOps,
+                     " (overlapping or missing segment)");
+
+    RunMeasurement out;
+    out.seconds = plan.recordSeconds + longestReplay;
+    out.simCycles = slots.total() / defaultIssueWidth();
+    out.retiredOps = retired;
+    out.checksum = plan.checksum;
+    const double total = slots.total();
+    if (total > 0.0) {
+        out.topdown.frontend = slots.frontend / total;
+        out.topdown.backend = slots.backend / total;
+        out.topdown.badspec = slots.badspec / total;
+        out.topdown.retiring = slots.retiring / total;
+    }
+    out.coverage = coverageFromTotals(methodTotals, plan.methodNames);
+    return out;
+}
+
+RunMeasurement
+replaySegmentsExact(const SegmentPlan &plan)
+{
+    const topdown::UopTrace &trace = *plan.trace;
+    auto machine = std::make_unique<topdown::Machine>();
+    double seconds = 0.0;
+    for (int s = 0; s < plan.segments; ++s) {
+        if (s > 0) {
+            // Hand the architectural state across the cut exactly:
+            // the next segment's machine adopts its predecessor's
+            // predictor tables, cache arrays, and fetch cursor.
+            const topdown::MachineSnapshot snap = machine->snapshot();
+            machine = std::make_unique<topdown::Machine>();
+            machine->restore(snap);
+        }
+        const double cpu0 = threadCpuSeconds();
+        trace.replay(*machine, plan.cuts[s], plan.cuts[s + 1]);
+        seconds += threadCpuSeconds() - cpu0;
+    }
+
+    RunMeasurement out;
+    out.seconds = seconds;
+    out.simCycles = machine->cycles();
+    out.retiredOps = machine->retiredOps();
+    out.checksum = plan.checksum;
+    out.topdown = machine->ratios();
+    const auto &perMethod = machine->perMethod();
+    std::vector<double> methodTotals;
+    methodTotals.reserve(perMethod.size());
+    for (const topdown::SlotCounts &m : perMethod)
+        methodTotals.push_back(m.total());
+    out.coverage = coverageFromTotals(methodTotals, plan.methodNames);
+    return out;
+}
+
+Workload
+splicedWorkload(const Workload &workload, int segments,
+                std::uint64_t warmup_uops)
+{
+    Workload out = workload;
+    out.name += "#spliced-k" + std::to_string(segments) + "-w" +
+                std::to_string(warmup_uops);
+    out.params.set("__segments", static_cast<long long>(segments));
+    out.params.set("__warmup_uops",
+                   static_cast<long long>(warmup_uops));
+    return out;
+}
+
+Workload
+segmentWorkload(const Workload &workload, int segments,
+                std::uint64_t warmup_uops, int segment,
+                std::size_t warm_start)
+{
+    Workload out = workload;
+    out.name += "#seg" + std::to_string(segment) + "of" +
+                std::to_string(segments) + "-w" +
+                std::to_string(warmup_uops);
+    out.params.set("__segments", static_cast<long long>(segments));
+    out.params.set("__segment", static_cast<long long>(segment));
+    out.params.set("__warmup_uops",
+                   static_cast<long long>(warmup_uops));
+    out.params.set("__warm_start",
+                   static_cast<long long>(warm_start));
+    return out;
+}
+
+namespace {
+
+/** Pack a segment delta into the cache's RunMeasurement payload: the
+ * topdown fields carry the four raw slot deltas (not fractions) and
+ * the coverage map carries raw per-method total-slot deltas keyed by
+ * method name. Decoding restores the vector through the plan's
+ * method-name table. */
+CachedRun
+encodeDelta(const SegmentPlan &plan, const SegmentDelta &delta)
+{
+    CachedRun run;
+    run.measurement.seconds = delta.seconds;
+    run.measurement.simCycles =
+        delta.slots.total() / defaultIssueWidth();
+    run.measurement.retiredOps = delta.retired;
+    run.measurement.checksum = plan.checksum;
+    run.measurement.topdown.frontend = delta.slots.frontend;
+    run.measurement.topdown.backend = delta.slots.backend;
+    run.measurement.topdown.badspec = delta.slots.badspec;
+    run.measurement.topdown.retiring = delta.slots.retiring;
+    for (std::size_t id = 0; id < delta.methodTotals.size(); ++id) {
+        if (delta.methodTotals[id] <= 0.0)
+            continue;
+        const std::string &name = id < plan.methodNames.size()
+                                      ? plan.methodNames[id]
+                                      : kUnknownMethod;
+        run.measurement.coverage[name] += delta.methodTotals[id];
+    }
+    return run;
+}
+
+bool
+decodeDelta(const SegmentPlan &plan, const CachedRun &run,
+            SegmentDelta *out)
+{
+    if (run.measurement.checksum != plan.checksum)
+        return false; // stale: recorded against different content
+    SegmentDelta delta;
+    delta.slots.frontend = run.measurement.topdown.frontend;
+    delta.slots.backend = run.measurement.topdown.backend;
+    delta.slots.badspec = run.measurement.topdown.badspec;
+    delta.slots.retiring = run.measurement.topdown.retiring;
+    delta.retired = run.measurement.retiredOps;
+    delta.seconds = run.measurement.seconds;
+    delta.methodTotals.assign(plan.methodNames.size(), 0.0);
+    std::unordered_map<std::string, std::size_t> ids;
+    ids.reserve(plan.methodNames.size());
+    for (std::size_t id = 0; id < plan.methodNames.size(); ++id)
+        ids.emplace(plan.methodNames[id], id);
+    for (const auto &[name, total] : run.measurement.coverage) {
+        const auto it = ids.find(name);
+        if (it == ids.end())
+            return false; // method set changed: recompute
+        delta.methodTotals[it->second] = total;
+    }
+    *out = delta;
+    return true;
+}
+
+} // namespace
+
+SegmentDelta
+measureSegment(const SegmentPlan &plan, int segment,
+               const Benchmark &benchmark, const Workload &workload,
+               ResultCache *cache)
+{
+    if (!cache)
+        return replaySegment(plan, segment);
+    const Workload key =
+        segmentWorkload(workload, plan.segments, plan.warmupUops,
+                        segment, plan.warmStarts[segment]);
+    CachedRun cached;
+    SegmentDelta delta;
+    if (cache->lookup(benchmark, key, &cached) &&
+        decodeDelta(plan, cached, &delta))
+        return delta;
+    delta = replaySegment(plan, segment);
+    cache->insert(benchmark, key, encodeDelta(plan, delta));
+    return delta;
+}
+
+RunMeasurement
+runSegmented(const Benchmark &benchmark, const Workload &workload,
+             const SegmentOptions &options)
+{
+    support::fatalIf(options.segments < 1,
+                     "segment: need at least one segment");
+    const Workload spliceKey = splicedWorkload(
+        workload, options.segments, options.warmupUops);
+    if (options.cache) {
+        CachedRun cached;
+        if (options.cache->lookup(benchmark, spliceKey, &cached))
+            return cached.measurement;
+    }
+
+    const SegmentPlan plan = recordSegments(
+        benchmark, workload, options.segments, options.warmupUops);
+    std::vector<SegmentDelta> deltas(plan.segments);
+    const auto runOne = [&](std::size_t s) {
+        deltas[s] =
+            measureSegment(plan, static_cast<int>(s), benchmark,
+                           workload, options.cache);
+    };
+    if (options.executor && plan.segments > 1) {
+        options.executor->parallelFor(
+            static_cast<std::size_t>(plan.segments), runOne);
+    } else {
+        for (int s = 0; s < plan.segments; ++s)
+            runOne(static_cast<std::size_t>(s));
+    }
+
+    const RunMeasurement out = spliceSegments(plan, deltas);
+    if (options.cache)
+        options.cache->insert(benchmark, spliceKey, {out, {}});
+    return out;
+}
+
+int
+resolveSegments(int requested, double estimated_uops,
+                std::uint64_t target_uops, int max_parallel)
+{
+    if (requested >= 1)
+        return requested;
+    if (estimated_uops <= 0.0 || max_parallel <= 1 ||
+        target_uops == 0)
+        return 1;
+    const double k = estimated_uops / static_cast<double>(target_uops);
+    if (k < 2.0)
+        return 1; // not worth a record pass for one short replay
+    return std::min(max_parallel, static_cast<int>(k));
+}
+
+} // namespace alberta::runtime

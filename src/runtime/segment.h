@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Checkpoint-and-splice segment parallelism: run one workload's model
+ * as K concurrent segment replays and splice the per-segment slot
+ * deltas back into a single RunMeasurement.
+ *
+ * The pipeline has three stages:
+ *
+ *  1. **Record** — the benchmark executes once with the machine in
+ *     trace-capture mode: all simulation is skipped, so this pass
+ *     costs the benchmark's own compute plus an append per machine
+ *     call. It yields the uop trace, the run checksum, and the
+ *     method-name table.
+ *  2. **Replay** — the trace is cut into K spans at record boundaries
+ *     near s·U/K retired uops. Each span replays independently on a
+ *     fresh machine: a warm-up window of the preceding trace
+ *     (default 1M uops) approximates the predictor/cache state the
+ *     segment would have inherited, a `Machine::snapshot` taken at
+ *     the span start serves as the baseline, and the segment's
+ *     contribution is the end-state minus that baseline.
+ *  3. **Splice** — per-segment global and per-method slot deltas are
+ *     summed and normalized into top-down fractions and coverage.
+ *
+ * Accuracy: segment 0 replays from the true initial state, so K=1
+ * splicing is bit-identical to a direct run. For K>1 the warm-up
+ * approximation and the reassociated floating-point sums bound the
+ * per-fraction error; the pinned bound (tested against the checksum
+ * suite) is < 1e-3 absolute per top-down fraction, an order of
+ * magnitude inside the 0.1-percentage-point target. Spliced results
+ * are deterministic for a fixed (K, warm-up) pair regardless of how
+ * the replays are scheduled, and are cached under their own keys so
+ * exact and spliced entries never collide.
+ *
+ * `replaySegmentsExact` chains the segments sequentially through
+ * snapshot/restore handoff instead of warm-up approximation; it is
+ * bit-identical to a direct run and exists to validate the snapshot
+ * machinery and the trace itself.
+ */
+#ifndef ALBERTA_RUNTIME_SEGMENT_H
+#define ALBERTA_RUNTIME_SEGMENT_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.h"
+#include "runtime/result_cache.h"
+#include "topdown/trace.h"
+
+namespace alberta::runtime {
+
+/** Default warm-up window ahead of each segment, in retired uops. */
+inline constexpr std::uint64_t kDefaultSegmentWarmupUops = 1'000'000;
+
+/** How a segmented run executes. */
+struct SegmentOptions
+{
+    /** Number of segments (>= 1; 1 degenerates to a full replay). */
+    int segments = 2;
+    /** Warm-up uops replayed ahead of each segment (approximates the
+     * inherited architectural state; larger = more accurate, slower). */
+    std::uint64_t warmupUops = kDefaultSegmentWarmupUops;
+    /** Pool for concurrent segment replays (nullptr = replay on the
+     * calling thread; results are identical either way). */
+    Executor *executor = nullptr;
+    /** Result cache for the spliced result and per-segment deltas
+     * (nullptr = uncached). */
+    ResultCache *cache = nullptr;
+};
+
+/** The record pass's outputs: everything replays and splices need. */
+struct SegmentPlan
+{
+    /** The captured uop stream (shared: segment tasks replay
+     * concurrently from the same trace). */
+    std::shared_ptr<const topdown::UopTrace> trace;
+    /** K+1 monotone record indices delimiting the segments. */
+    std::vector<std::size_t> cuts;
+    /** Per-segment warm-up start records from the reuse-aware planner
+     * (see UopTrace::planWarmStarts); warmStarts[0] is always 0. */
+    std::vector<std::size_t> warmStarts;
+    int segments = 1;
+    std::uint64_t warmupUops = kDefaultSegmentWarmupUops;
+    /** Run checksum from the record pass (capture does not touch the
+     * checksum path, so this equals a direct run's checksum). */
+    std::uint64_t checksum = 0;
+    /** Total retired uops (equals a direct run's count exactly). */
+    std::uint64_t retiredOps = 0;
+    /** Thread CPU seconds of the record pass plus segment planning —
+     * the serial prefix every replay waits on. */
+    double recordSeconds = 0.0;
+    /** Dense method id -> name, snapshot of the record context's
+     * registry (replays attribute slots by id; splice maps back). */
+    std::vector<std::string> methodNames;
+};
+
+/** One segment's contribution: deltas over its warm baseline. */
+struct SegmentDelta
+{
+    topdown::SlotCounts slots;        //!< global slot delta
+    std::vector<double> methodTotals; //!< per-method-id total-slot delta
+    std::uint64_t retired = 0;        //!< uops retired in the segment
+    double seconds = 0.0;             //!< thread CPU secs of the replay
+};
+
+/**
+ * Record pass: execute @p workload once in capture mode and plan the
+ * segment cuts. @p segments must be >= 1.
+ */
+SegmentPlan recordSegments(const Benchmark &benchmark,
+                           const Workload &workload, int segments,
+                           std::uint64_t warmup_uops =
+                               kDefaultSegmentWarmupUops);
+
+/** Replay segment @p segment of @p plan (warm-up + delta). */
+SegmentDelta replaySegment(const SegmentPlan &plan, int segment);
+
+/**
+ * Cached @ref replaySegment: probes @p cache under the segment's own
+ * key (see @ref segmentWorkload) and inserts on miss. @p workload is
+ * the base workload the plan was recorded from.
+ */
+SegmentDelta measureSegment(const SegmentPlan &plan, int segment,
+                            const Benchmark &benchmark,
+                            const Workload &workload,
+                            ResultCache *cache);
+
+/** Splice per-segment deltas into one measurement (see file docs).
+ * `seconds` reports the segmented critical path: record seconds plus
+ * the longest single replay. */
+RunMeasurement spliceSegments(const SegmentPlan &plan,
+                              std::span<const SegmentDelta> deltas);
+
+/**
+ * The full record -> replay -> splice pipeline for one workload,
+ * parallel across segments when @p options carries an executor and
+ * memoized under splice-specific keys when it carries a cache.
+ */
+RunMeasurement runSegmented(const Benchmark &benchmark,
+                            const Workload &workload,
+                            const SegmentOptions &options);
+
+/**
+ * Validation path: replay the plan's segments strictly in order,
+ * handing architectural state from segment to segment through
+ * `Machine::snapshot`/`restore` instead of warm-up approximation.
+ * Bit-identical to `runOnce` on the same workload (tested), including
+ * the coverage map; `seconds` is the summed replay time.
+ */
+RunMeasurement replaySegmentsExact(const SegmentPlan &plan);
+
+/**
+ * Synthetic workload keying the spliced result of @p workload at a
+ * given segmentation: name gains a "#spliced-k<K>-w<W>" suffix and
+ * the parameter bag gains `__segments`/`__warmup_uops`, so both the
+ * cache key string and the content fingerprint differ from the exact
+ * run's entry.
+ */
+Workload splicedWorkload(const Workload &workload, int segments,
+                         std::uint64_t warmup_uops);
+
+/** Synthetic workload keying one segment's delta ("#seg<i>of<K>-w<W>"
+ * suffix plus `__segment` in the parameter bag). @p warm_start is the
+ * segment's planned warm-up record (part of the content fingerprint: a
+ * replanned warm-up must miss rather than replay a stale delta). */
+Workload segmentWorkload(const Workload &workload, int segments,
+                         std::uint64_t warmup_uops, int segment,
+                         std::size_t warm_start = 0);
+
+/**
+ * Resolve the segment count for one workload: explicit requests pass
+ * through, `auto` (0) derives K from the benchmark's uop-count
+ * estimate so one segment covers about @p target_uops, clamped to
+ * [1, @p max_parallel]. Deterministic across runs — it depends only
+ * on the workload's content, never on measured times.
+ */
+int resolveSegments(int requested, double estimated_uops,
+                    std::uint64_t target_uops, int max_parallel);
+
+} // namespace alberta::runtime
+
+#endif // ALBERTA_RUNTIME_SEGMENT_H

@@ -1,5 +1,7 @@
 #include "topdown/branch.h"
 
+#include "topdown/uop.h"
+
 namespace alberta::topdown {
 
 BranchPredictor::BranchPredictor()
@@ -31,6 +33,22 @@ BranchPredictor::indirect(std::uint64_t site, std::uint64_t target)
     if (!correct)
         ++mispredicts_;
     return correct;
+}
+
+std::uint64_t
+BranchPredictor::digest(std::uint64_t seed) const
+{
+    for (const std::uint8_t counter : counters_)
+        seed = digestFold(seed, counter);
+    seed = digestFold(seed, history_);
+    seed = digestFold(seed, indirectHistory_);
+    seed = digestFold(seed, conditionals_);
+    seed = digestFold(seed, mispredicts_);
+    targets_.forEach([&seed](std::uint64_t key, std::uint64_t target) {
+        seed = digestFold(seed, key);
+        seed = digestFold(seed, target);
+    });
+    return seed;
 }
 
 void

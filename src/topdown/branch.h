@@ -95,6 +95,9 @@ class BranchPredictor
     /** Install (or clear, with nullptr) FDO branch hints. */
     void setHints(const BranchHints *hints) { hints_ = hints; }
 
+    /** Currently installed FDO hints (nullptr when none). */
+    const BranchHints *hints() const { return hints_; }
+
     /** Forget all learned state (hints persist). */
     void reset();
 
@@ -103,11 +106,24 @@ class BranchPredictor
     /** Conditional mispredictions observed. */
     std::uint64_t mispredicts() const { return mispredicts_; }
 
-  private:
+    /**
+     * Fold the full learned state — gshare counters, histories,
+     * indirect-target table, statistics — into @p seed. Equal digests
+     * mean identical predictions on every future branch sequence
+     * (installed hints are configuration, not learned state, and are
+     * not folded). The predictor is copyable, so machine snapshots
+     * copy it wholesale.
+     */
+    std::uint64_t digest(std::uint64_t seed) const;
+
+    /** gshare geometry, public so the segment warm-up planner
+     * (UopTrace::planWarmStarts) can mirror the counter indexing and
+     * track staleness per table entry. */
     static constexpr int kHistoryBits = 12;
     static constexpr std::size_t kTableSize = std::size_t(1)
                                               << kHistoryBits;
 
+  private:
     std::vector<std::uint8_t> counters_;
     /** Indirect-target table indexed by site ^ folded history, so
      * interpreter dispatch loops with repeating opcode patterns are

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "topdown/uop.h"
+
 namespace alberta::topdown {
 
 namespace {
@@ -56,6 +58,20 @@ Cache::accessSlow(std::uint64_t line, std::uint64_t set,
     return false;
 }
 
+std::uint64_t
+Cache::digest(std::uint64_t seed) const
+{
+    seed = digestFold(seed, stamp_);
+    seed = digestFold(seed, misses_);
+    for (const std::uint64_t tag : tags_)
+        seed = digestFold(seed, tag);
+    for (const std::uint64_t stamp : lru_)
+        seed = digestFold(seed, stamp);
+    for (const std::uint8_t way : mru_)
+        seed = digestFold(seed, way);
+    return seed;
+}
+
 void
 Cache::reset()
 {
@@ -82,6 +98,15 @@ MemoryHierarchy::beyondL1(std::uint64_t addr)
     if (l3_.access(addr))
         return lat_.l3;
     return lat_.memory;
+}
+
+std::uint64_t
+MemoryHierarchy::digest(std::uint64_t seed) const
+{
+    seed = l1d_.digest(seed);
+    seed = l1i_.digest(seed);
+    seed = l2_.digest(seed);
+    return l3_.digest(seed);
 }
 
 void

@@ -61,6 +61,16 @@ class Cache
     /** Misses observed since construction or reset. */
     std::uint64_t misses() const { return misses_; }
 
+    /**
+     * Fold the complete replacement state — tags, LRU stamps, MRU
+     * memos, counters — into @p seed. Two caches with equal digests
+     * behave identically on every future access sequence; used by
+     * `Machine::stateDigest` to verify snapshot/restore and reset
+     * completeness. The cache itself is copyable, so a snapshot of a
+     * machine simply copies it.
+     */
+    std::uint64_t digest(std::uint64_t seed) const;
+
   private:
     /** Full associative scan; called when the MRU way does not match. */
     bool accessSlow(std::uint64_t line, std::uint64_t set,
@@ -129,6 +139,9 @@ class MemoryHierarchy
 
     /** Forget all cached state. */
     void reset();
+
+    /** Fold the full state of all four caches into @p seed. */
+    std::uint64_t digest(std::uint64_t seed) const;
 
     /** L1 data-cache statistics (for tests and reports). */
     const Cache &l1d() const { return l1d_; }

@@ -1,0 +1,474 @@
+#include "topdown/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "topdown/branch.h"
+#include "topdown/flatmap.h"
+#include "topdown/machine.h"
+
+namespace alberta::topdown {
+
+void
+UopTrace::clear()
+{
+    size_ = 0;
+    streams_.clear();
+    methods_.clear();
+    methodMarks_.clear();
+    totalUops_ = 0;
+}
+
+void
+UopTrace::reserve(std::size_t records)
+{
+    if (records > capacity_)
+        grow(records);
+}
+
+void
+UopTrace::grow(std::size_t need)
+{
+    std::size_t cap = capacity_ ? capacity_ * 2 : 4096;
+    if (cap < need)
+        cap = need;
+    std::unique_ptr<std::uint8_t[]> op(new std::uint8_t[cap]);
+    std::unique_ptr<std::uint8_t[]> kind(new std::uint8_t[cap]);
+    std::unique_ptr<std::uint32_t[]> a(new std::uint32_t[cap]);
+    std::unique_ptr<std::uint64_t[]> b(new std::uint64_t[cap]);
+    if (size_ != 0) {
+        std::memcpy(op.get(), op_.get(), size_ * sizeof(op_[0]));
+        std::memcpy(kind.get(), kind_.get(), size_ * sizeof(kind_[0]));
+        std::memcpy(a.get(), a_.get(), size_ * sizeof(a_[0]));
+        std::memcpy(b.get(), b_.get(), size_ * sizeof(b_[0]));
+    }
+    op_ = std::move(op);
+    kind_ = std::move(kind);
+    a_ = std::move(a);
+    b_ = std::move(b);
+    capacity_ = cap;
+}
+
+void
+UopTrace::appendStream(OpKind k, std::uint64_t addr,
+                       std::uint64_t count, std::uint32_t stride)
+{
+    const auto idx = static_cast<std::uint32_t>(streams_.size());
+    streams_.push_back({addr, count, stride, k});
+    push(TraceOp::Stream, static_cast<std::uint8_t>(k), idx, 0);
+    totalUops_ += count;
+}
+
+void
+UopTrace::appendMethod(std::uint32_t id, std::uint32_t code_bytes,
+                       std::uint64_t stable_key)
+{
+    const auto idx = static_cast<std::uint32_t>(methods_.size());
+    methods_.push_back({id, code_bytes, stable_key});
+    methodMarks_.push_back(size_);
+    push(TraceOp::Method, 0, idx, 0);
+}
+
+void
+UopTrace::replay(Machine &machine, std::size_t first,
+                 std::size_t last) const
+{
+    support::panicIf(last > records() || first > last,
+                     "trace: replay range out of bounds");
+    for (std::size_t i = first; i < last; ++i) {
+        switch (static_cast<TraceOp>(op_[i])) {
+        case TraceOp::Ops:
+            machine.ops(static_cast<OpKind>(kind_[i]), b_[i]);
+            break;
+        case TraceOp::Memory:
+            if (static_cast<OpKind>(kind_[i]) == OpKind::Load)
+                machine.load(b_[i]);
+            else
+                machine.store(b_[i]);
+            break;
+        case TraceOp::Stream: {
+            const StreamArgs &s = streams_[a_[i]];
+            machine.stream(s.kind, s.addr, s.count, s.stride);
+            break;
+        }
+        case TraceOp::Branch:
+            machine.branch(a_[i], kind_[i] != 0);
+            break;
+        case TraceOp::Indirect:
+            machine.indirect(a_[i], b_[i]);
+            break;
+        case TraceOp::Call:
+            machine.call();
+            break;
+        case TraceOp::Method: {
+            const MethodArgs &m = methods_[a_[i]];
+            machine.setMethod(m.id, m.codeBytes, m.stableKey);
+            break;
+        }
+        }
+    }
+}
+
+std::vector<std::size_t>
+UopTrace::cutPoints(int segments) const
+{
+    support::fatalIf(segments < 1, "trace: need at least one segment");
+    std::vector<std::size_t> cuts;
+    cuts.reserve(static_cast<std::size_t>(segments) + 1);
+    cuts.push_back(0);
+    std::uint64_t cum = 0;
+    std::size_t record = 0;
+    for (int s = 1; s < segments; ++s) {
+        // Target cumulative uops for the end of segment s-1; advance
+        // to the first record boundary at or past it.
+        const std::uint64_t target =
+            totalUops_ / segments * s +
+            totalUops_ % segments * s / segments;
+        while (record < records() && cum < target)
+            cum += uopsOf(record++);
+        cuts.push_back(record);
+    }
+    cuts.push_back(records());
+    return cuts;
+}
+
+std::size_t
+UopTrace::lastMethodAt(std::size_t i) const
+{
+    // methodMarks_ is ascending; find the last mark <= i.
+    const auto it = std::upper_bound(methodMarks_.begin(),
+                                     methodMarks_.end(), i);
+    if (it == methodMarks_.begin())
+        return records();
+    return *(it - 1);
+}
+
+std::size_t
+UopTrace::warmStart(std::size_t cut, std::uint64_t warmup_uops) const
+{
+    std::size_t start = cut;
+    std::uint64_t seen = 0;
+    while (start > 0 && seen < warmup_uops)
+        seen += uopsOf(--start);
+    return start;
+}
+
+namespace {
+
+/** Stale-access budget per retired uop of a segment: one potentially
+ * mis-decided hit/miss or prediction per this many uops keeps the
+ * resulting slot-delta error well under the 1e-3 per-fraction splice
+ * bound (a wrong memory-level decision costs at most a few hundred
+ * slots against ~1.5 slots accounted per uop). */
+constexpr std::uint64_t kUopsPerStaleAccess = 1'000'000;
+
+/** Floor on a segment's stale budget: tiny segments may always wear a
+ * handful of stale accesses (their warm-up usually covers the whole
+ * prefix anyway). */
+constexpr std::uint64_t kMinStaleBudget = 2;
+
+/** Lines plausibly still resident in the modelled hierarchy at a
+ * segment cut: twice the L3 line capacity (2 MiB / 64 B = 32768
+ * lines; see MemoryHierarchy). A line whose most recent touch is not
+ * among this many distinct recently-touched lines has long been
+ * evicted in the true run too, so a replay missing it loses nothing. */
+constexpr std::size_t kResidentLines = 2 * 32768;
+
+/** Budget of plausibly-resident lines a segment replay may miss.
+ * Missing lines change *eviction pressure* — the true machine's
+ * caches hold them and evict the segment's live lines sooner — a
+ * weaker per-line effect than a directly mis-decided access, so the
+ * budget is looser than the stale-access one. */
+constexpr std::uint64_t kUopsPerMissingLine = 50'000;
+constexpr std::uint64_t kMinMissingLines = 2048;
+
+/** Domain salts keeping cache-line and indirect-predictor keys from
+ * colliding in the planner's last-touch table. */
+constexpr std::uint64_t kLineSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kIndirectSalt = 0x165667b19e3779f9ULL;
+
+/** The machine's global site key (Machine::siteKey, mirrored). */
+std::uint64_t
+globalSiteKey(std::uint64_t stable_key, std::uint32_t site)
+{
+    return stable_key * 0x9e3779b97f4a7c15ULL + site;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+UopTrace::planWarmStarts(std::span<const std::size_t> cuts,
+                         std::uint64_t warmup_uops) const
+{
+    support::panicIf(cuts.size() < 2 || cuts.front() != 0 ||
+                         cuts.back() != records(),
+                     "trace: malformed cut list");
+    const std::size_t segments = cuts.size() - 1;
+    std::vector<std::size_t> warm(segments, 0);
+    if (segments == 1)
+        return warm;
+
+    // Last record (plus one; 0 = never) that touched each piece of
+    // long-lived state. Cache lines and indirect-target slots live in
+    // hash maps; gshare counters get a dense table because the planner
+    // mirrors the predictor's exact indexing.
+    FlatKeyMap<std::size_t> lineTouch;
+    FlatKeyMap<std::size_t> indirectTouch;
+    std::vector<std::size_t> gshareLast(BranchPredictor::kTableSize, 0);
+    // Per-segment record indices of accesses whose previous touch
+    // precedes the segment (sorted later; the budget-th smallest
+    // becomes the warm-start constraint).
+    std::vector<std::vector<std::size_t>> stale(segments);
+    // Per-segment last-touch records of distinct lines touched before
+    // the segment's cut: the true machine's caches hold (a recency
+    // subset of) these lines, and a replay whose warm-up misses too
+    // many of them under-pressures its sets — live lines survive
+    // evictions they would not survive in the true run, even though
+    // every line the segment *itself* touches is warm.
+    std::vector<std::vector<std::size_t>> residentBefore(segments);
+    std::vector<std::uint64_t> segmentUops(segments, 0);
+
+    std::uint64_t stableKey = 0;
+    std::size_t seg = 0;
+    const auto note = [&](std::size_t &last, std::size_t record) {
+        const std::size_t prev = last;
+        last = record + 1;
+        if (seg == 0 || prev == 0)
+            return; // exact segment / true cold start
+        if (prev - 1 < cuts[seg])
+            stale[seg].push_back(prev - 1);
+    };
+    // Cache-line touch at an explicit segment: staleness for the
+    // access itself, plus the occupancy record — `prev` is the line's
+    // final touch before every cut boundary the gap (prev, record]
+    // spans.
+    const auto touchAt = [&](std::uint64_t key, std::size_t record,
+                             std::size_t at_seg) {
+        std::size_t &last = lineTouch.slot(key);
+        const std::size_t prev = last;
+        last = record + 1;
+        if (prev != 0) {
+            for (std::size_t b = at_seg; b >= 1 && cuts[b] > prev - 1;
+                 --b)
+                residentBefore[b].push_back(prev - 1);
+        }
+        if (at_seg == 0 || prev == 0)
+            return;
+        if (prev - 1 < cuts[at_seg])
+            stale[at_seg].push_back(prev - 1);
+    };
+    // Deferred code-fetch touch. The fetch cursor advances four bytes
+    // per uop, so consecutive records overwhelmingly re-fetch the same
+    // 64-byte line; within one segment those repeats only move the
+    // line's `last` forward (prev stays inside the segment, so the
+    // stale and occupancy branches cannot fire). Batching a run of
+    // same-line same-segment fetches into one touchAt — issued with
+    // the run's final record once the line, the segment, or a
+    // same-key data access breaks the run — performs the identical
+    // map updates and pushes at a fraction of the probes.
+    bool codePending = false;
+    std::uint64_t codeKey = 0;
+    std::size_t codeSeg = 0;
+    std::size_t codeRecord = 0;
+    const auto flushCode = [&] {
+        if (!codePending)
+            return;
+        codePending = false;
+        touchAt(codeKey, codeRecord, codeSeg);
+    };
+    const auto touchCode = [&](std::uint64_t key, std::size_t record) {
+        if (codePending) {
+            if (key == codeKey && seg == codeSeg) {
+                codeRecord = record;
+                return;
+            }
+            flushCode();
+        }
+        codePending = true;
+        codeKey = key;
+        codeSeg = seg;
+        codeRecord = record;
+    };
+    const auto touch = [&](std::uint64_t key, std::size_t record) {
+        // A data access to the pending code line must observe its
+        // batched fetches first, or `prev` chains out of order.
+        if (codePending && key == codeKey)
+            flushCode();
+        touchAt(key, record, seg);
+    };
+
+    // Predictor history registers, emulated exactly (the trace records
+    // every taken bit and indirect target, and a full-trace replay is
+    // the true run): staleness is tracked per *counter*, at the same
+    // site-XOR-history granularity the machine reads, not per site.
+    // Per-site tracking misses the case where a site recurs quickly
+    // but under a history context last seen far in the past — the
+    // dominant residual error for dictionary-compression workloads.
+    std::uint64_t history = 0;
+    std::uint64_t indirectHistory = 0;
+    constexpr std::uint64_t kIndexMask = BranchPredictor::kTableSize - 1;
+
+    // Code fetch, mirrored: every retiring record advances the cursor
+    // by four bytes per uop, cyclically through the current method's
+    // code footprint, fetching one instruction line per 64 bytes (see
+    // Machine::advanceCodeSlow). The footprint here is the raw
+    // pre-layout-scaling byte count — an installed code layout rescales
+    // footprints but leaves the access *pattern* per method intact, so
+    // staleness tracking stays sound. Call-heavy workloads that
+    // interleave many methods re-fetch a method's lines on the next
+    // activation, which may be a segment away.
+    std::uint64_t codeBase = 0;
+    std::uint64_t codeBytes = 4096; // fresh-machine default footprint
+    std::uint64_t codeCursor = 0;
+    const auto fetchSpan = [&](std::uint64_t from, std::uint64_t to,
+                               std::size_t record) {
+        // Byte range [from, to) of the current footprint, no wrap.
+        for (std::uint64_t line = from >> 6; line <= (to - 1) >> 6;
+             ++line)
+            touchCode(((codeBase >> 6) + line) * 2 + kLineSalt,
+                      record);
+    };
+    const auto fetch = [&](std::uint64_t uops, std::size_t record) {
+        const std::uint64_t bytes = uops * 4;
+        if (bytes == 0)
+            return;
+        if (bytes >= codeBytes) {
+            // Full wrap: every line of the footprint is fetched.
+            fetchSpan(0, codeBytes, record);
+            codeCursor = (codeCursor + bytes) % codeBytes;
+            return;
+        }
+        const std::uint64_t end = codeCursor + bytes;
+        if (end <= codeBytes) {
+            fetchSpan(codeCursor, end, record);
+            codeCursor = end == codeBytes ? 0 : end;
+        } else {
+            fetchSpan(codeCursor, codeBytes, record);
+            fetchSpan(0, end - codeBytes, record);
+            codeCursor = end - codeBytes;
+        }
+    };
+
+    const std::size_t total = records();
+    for (std::size_t i = 0; i < total; ++i) {
+        while (i >= cuts[seg + 1])
+            ++seg;
+        const std::uint64_t uops = uopsOf(i);
+        segmentUops[seg] += uops;
+        fetch(uops, i);
+        switch (static_cast<TraceOp>(op_[i])) {
+        case TraceOp::Ops:
+            break;
+        case TraceOp::Memory:
+            touch((b_[i] >> 6) * 2 + kLineSalt, i);
+            break;
+        case TraceOp::Stream: {
+            const StreamArgs &s = streams_[a_[i]];
+            const std::uint64_t stride = s.stride ? s.stride : 1;
+            const std::uint64_t firstLine = s.addr >> 6;
+            const std::uint64_t lastLine =
+                (s.addr + (s.count ? s.count - 1 : 0) * stride) >> 6;
+            for (std::uint64_t line = firstLine; line <= lastLine;
+                 ++line)
+                touch(line * 2 + kLineSalt, i);
+            break;
+        }
+        case TraceOp::Branch: {
+            // BranchPredictor::conditional, mirrored.
+            const std::uint64_t site = globalSiteKey(stableKey, a_[i]);
+            const std::uint64_t index =
+                (support::mix64(site) ^ history) & kIndexMask;
+            note(gshareLast[index], i);
+            history = ((history << 1) | (kind_[i] ? 1 : 0)) & kIndexMask;
+            break;
+        }
+        case TraceOp::Indirect: {
+            // BranchPredictor::indirect, mirrored.
+            const std::uint64_t site = globalSiteKey(stableKey, a_[i]);
+            const std::uint64_t key =
+                site ^ indirectHistory * 0x9e3779b97f4a7c15ULL;
+            note(indirectTouch.slot(key * 2 + kIndirectSalt), i);
+            indirectHistory =
+                ((indirectHistory << 4) ^ support::mix64(b_[i])) &
+                0xffff;
+            break;
+        }
+        case TraceOp::Call:
+            break;
+        case TraceOp::Method: {
+            const MethodArgs &m = methods_[a_[i]];
+            stableKey = m.stableKey == ~0ULL ? m.id : m.stableKey;
+            // Machine::setMethod, mirrored (disjoint 16 MiB regions).
+            codeBase = (static_cast<std::uint64_t>(m.id) + 1) << 24;
+            codeBytes = std::max<std::uint64_t>(64, m.codeBytes);
+            codeCursor = 0;
+            break;
+        }
+        }
+    }
+
+    flushCode();
+    // Flush final touches: a line touched for the last time at record
+    // t is (potentially) resident at every later cut without the scan
+    // loop ever seeing another gap that spans it.
+    lineTouch.forEach([&](std::uint64_t, std::size_t last) {
+        const std::size_t finalTouch = last - 1;
+        for (std::size_t b = segments - 1;
+             b >= 1 && cuts[b] > finalTouch; --b)
+            residentBefore[b].push_back(finalTouch);
+    });
+
+    for (std::size_t s = 1; s < segments; ++s) {
+        // Deepen the warm start until at most `budget` of the
+        // segment's state references reach back past it.
+        const std::uint64_t budget =
+            std::max<std::uint64_t>(kMinStaleBudget,
+                                    segmentUops[s] / kUopsPerStaleAccess);
+        std::size_t planned = warmStart(cuts[s], warmup_uops);
+        if (stale[s].size() > budget) {
+            std::vector<std::size_t> &p = stale[s];
+            // The budget-th smallest previous-touch index: warming
+            // from there leaves exactly `budget` references stale.
+            std::nth_element(p.begin(),
+                             p.begin() +
+                                 static_cast<std::ptrdiff_t>(budget),
+                             p.end());
+            planned = std::min(planned, p[budget]);
+        }
+        // Occupancy constraint: of the lines plausibly still resident
+        // at the cut (recency-capped at kResidentLines), the warm-up
+        // must rebuild all but a budget's worth, or the replay's
+        // under-pressured sets skip evictions the true run made.
+        std::vector<std::size_t> &r = residentBefore[s];
+        if (r.size() > kResidentLines) {
+            std::nth_element(r.begin(), r.end() - kResidentLines,
+                             r.end());
+            r.erase(r.begin(),
+                    r.end() - static_cast<std::ptrdiff_t>(kResidentLines));
+        }
+        const std::uint64_t lineBudget =
+            std::max<std::uint64_t>(kMinMissingLines,
+                                    segmentUops[s] / kUopsPerMissingLine);
+        if (r.size() > lineBudget) {
+            std::nth_element(r.begin(),
+                             r.begin() +
+                                 static_cast<std::ptrdiff_t>(lineBudget),
+                             r.end());
+            planned = std::min(planned, r[lineBudget]);
+        }
+        // Snap-to-exact: once the constraints push the warm start into
+        // the first few percent of the prefix, the replay saved is
+        // negligible — start from record 0 and spend the remaining
+        // budgets on nothing (init-heavy workloads park their warm
+        // start just past a block of init-only state, where whatever
+        // does reach further back is exactly what matters most).
+        if (planned < cuts[s] / 20)
+            planned = 0;
+        warm[s] = planned;
+    }
+    return warm;
+}
+
+} // namespace alberta::topdown

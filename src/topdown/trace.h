@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Micro-op trace capture and replay for segment-parallel execution.
+ *
+ * The machine is a pure observer of benchmark execution: benchmarks
+ * never read model state back, so the sequence of calls into the
+ * Machine API fully determines every model output. A UopTrace records
+ * that call sequence once — with all simulation skipped — and can then
+ * replay any sub-range of it into a fresh Machine, reproducing the
+ * exact arithmetic of a direct run (replay performs the same calls in
+ * the same order, so outputs are bit-identical by construction).
+ *
+ * Storage is struct-of-arrays: the one-byte opcode and kind streams,
+ * the 32-bit and 64-bit operand streams, and rare wide records
+ * (streaming accesses, method switches) spilled to side tables. The
+ * planning scans (uop counting for cut points, warm-up windows) touch
+ * only the narrow streams, and the replay inner loop reads each lane
+ * sequentially, so segment planning is memory-bandwidth cheap even for
+ * traces with tens of millions of records.
+ */
+#ifndef ALBERTA_TOPDOWN_TRACE_H
+#define ALBERTA_TOPDOWN_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "topdown/uop.h"
+
+namespace alberta::topdown {
+
+class Machine;
+
+/** Kind of one recorded Machine API call. */
+enum class TraceOp : std::uint8_t
+{
+    Ops,      //!< ops(kind, n): n in the 64-bit lane
+    Memory,   //!< load/store: address in the 64-bit lane
+    Stream,   //!< stream(...): side-table index in the 32-bit lane
+    Branch,   //!< branch(site, taken): site 32-bit, taken in kind lane
+    Indirect, //!< indirect(site, target): site 32-bit, target 64-bit
+    Call,     //!< call()
+    Method,   //!< setMethod(...): side-table index in the 32-bit lane
+};
+
+/** A recorded micro-op stream; see the file comment. */
+class UopTrace
+{
+  public:
+    /** Arguments of one recorded stream() call. */
+    struct StreamArgs
+    {
+        std::uint64_t addr = 0;
+        std::uint64_t count = 0;
+        std::uint32_t stride = 0;
+        OpKind kind = OpKind::Load;
+    };
+
+    /** Arguments of one recorded setMethod() call (pre-layout-scaling,
+     * so replay under the same layout reproduces the same footprint). */
+    struct MethodArgs
+    {
+        std::uint32_t id = 0;
+        std::uint32_t codeBytes = 0;
+        std::uint64_t stableKey = 0;
+    };
+
+    /** Number of recorded API calls. */
+    std::size_t records() const { return size_; }
+
+    /** Total micro-ops the recorded calls retire. */
+    std::uint64_t totalUops() const { return totalUops_; }
+
+    /** Drop all records (capacity kept). */
+    void clear();
+
+    /** Reserve room for @p records upcoming appends. */
+    void reserve(std::size_t records);
+
+    /// @name Append (driven by Machine capture mode)
+    /// @{
+    void
+    appendOps(OpKind k, std::uint64_t n)
+    {
+        push(TraceOp::Ops, static_cast<std::uint8_t>(k), 0, n);
+        totalUops_ += n;
+    }
+
+    void
+    appendMemory(OpKind k, std::uint64_t addr)
+    {
+        push(TraceOp::Memory, static_cast<std::uint8_t>(k), 0, addr);
+        ++totalUops_;
+    }
+
+    void appendStream(OpKind k, std::uint64_t addr, std::uint64_t count,
+                      std::uint32_t stride);
+
+    void
+    appendBranch(std::uint32_t site, bool taken)
+    {
+        push(TraceOp::Branch, taken ? 1 : 0, site, 0);
+        ++totalUops_;
+    }
+
+    void
+    appendIndirect(std::uint32_t site, std::uint64_t target)
+    {
+        push(TraceOp::Indirect, 0, site, target);
+        ++totalUops_;
+    }
+
+    void
+    appendCall()
+    {
+        push(TraceOp::Call, 0, 0, 0);
+        ++totalUops_;
+    }
+
+    void appendMethod(std::uint32_t id, std::uint32_t code_bytes,
+                      std::uint64_t stable_key);
+    /// @}
+
+    /** Micro-ops retired by record @p i (0 for Method records). */
+    std::uint64_t
+    uopsOf(std::size_t i) const
+    {
+        switch (static_cast<TraceOp>(op_[i])) {
+        case TraceOp::Ops:
+            return b_[i];
+        case TraceOp::Stream:
+            return streams_[a_[i]].count;
+        case TraceOp::Method:
+            return 0;
+        default:
+            return 1;
+        }
+    }
+
+    /**
+     * Replay records [@p first, @p last) into @p machine, performing
+     * the identical API calls the original run made. Replaying
+     * [0, records()) into a fresh machine reproduces the original
+     * run's model outputs bit-identically (given the same config and
+     * FDO artifacts installed).
+     */
+    void replay(Machine &machine, std::size_t first,
+                std::size_t last) const;
+
+    /** Replay the whole trace. */
+    void
+    replayAll(Machine &machine) const
+    {
+        replay(machine, 0, records());
+    }
+
+    /**
+     * K+1 monotone record indices cutting the trace into @p segments
+     * spans of near-equal retired-uop counts; cuts land on record
+     * boundaries (a bulk record is never split), so a span's uop count
+     * can deviate from total/K by at most the largest single record.
+     */
+    std::vector<std::size_t> cutPoints(int segments) const;
+
+    /**
+     * Index of the last Method record at or before record @p i, or
+     * records() when no method switch precedes it (the run is still
+     * in the implicit method 0).
+     */
+    std::size_t lastMethodAt(std::size_t i) const;
+
+    /**
+     * Warm-up start for a segment beginning at record @p cut: the
+     * largest record index from which replaying up to @p cut retires
+     * at least @p warmup_uops micro-ops (clamped to the trace start).
+     */
+    std::size_t warmStart(std::size_t cut,
+                          std::uint64_t warmup_uops) const;
+
+    /**
+     * Reuse-aware warm-up plan for the segments delimited by @p cuts
+     * (K+1 monotone indices as produced by @ref cutPoints): one warm
+     * start record index per segment, chosen so that replaying
+     * [warm, cut) rebuilds enough architectural state for the
+     * segment's delta to be accurate.
+     *
+     * The planner scans the trace once, tracking the previous record
+     * that touched each piece of long-lived machine state (cache lines
+     * for memory and stream records, predictor sites for branch and
+     * indirect records). A segment's accesses whose previous touch
+     * falls before its warm-up window are *stale*: the replaying
+     * machine may decide a hit/miss or prediction differently from the
+     * true run. Each segment's warm start is pushed back (deepened)
+     * until its stale-access count is within a small budget
+     * proportional to its size — short-reuse workloads keep cheap
+     * warm-ups, while long-memory workloads (dictionary compression,
+     * transposition tables) automatically warm from near the trace
+     * start, degrading toward the exact-but-serial replay rather than
+     * past the accuracy bound.
+     *
+     * Every warm start also covers at least @p warmup_uops retired
+     * uops (the @ref warmStart floor, for the predictor's short-range
+     * history), and segment 0 always starts at record 0 (exact).
+     * Deterministic: depends only on the trace contents and arguments.
+     */
+    std::vector<std::size_t>
+    planWarmStarts(std::span<const std::size_t> cuts,
+                   std::uint64_t warmup_uops) const;
+
+  private:
+    void
+    push(TraceOp op, std::uint8_t kind, std::uint32_t a,
+         std::uint64_t b)
+    {
+        if (size_ == capacity_) [[unlikely]]
+            grow(size_ + 1);
+        op_[size_] = static_cast<std::uint8_t>(op);
+        kind_[size_] = kind;
+        a_[size_] = a;
+        b_[size_] = b;
+        ++size_;
+    }
+
+    void grow(std::size_t need);
+
+    // The lanes grow in lockstep, so a single capacity check covers an
+    // append's four stores; raw buffers keep growth a memcpy with no
+    // zero-fill of the tail (a trace can run to gigabytes).
+    std::unique_ptr<std::uint8_t[]> op_;   //!< TraceOp lane
+    std::unique_ptr<std::uint8_t[]> kind_; //!< OpKind / taken-flag lane
+    std::unique_ptr<std::uint32_t[]> a_;   //!< site / side-table idx lane
+    std::unique_ptr<std::uint64_t[]> b_;   //!< count / addr / target lane
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+    std::vector<StreamArgs> streams_;
+    std::vector<MethodArgs> methods_;
+    /** Record indices of Method records, ascending (for lastMethodAt). */
+    std::vector<std::size_t> methodMarks_;
+    std::uint64_t totalUops_ = 0;
+};
+
+} // namespace alberta::topdown
+
+#endif // ALBERTA_TOPDOWN_TRACE_H

@@ -32,6 +32,18 @@ enum class OpKind : std::uint8_t
 /** Number of distinct op kinds. */
 inline constexpr int kNumOpKinds = static_cast<int>(OpKind::NumKinds);
 
+/**
+ * FNV-style fold used by the model-state digests (Machine, Cache,
+ * BranchPredictor): deterministic, order-sensitive, and cheap enough
+ * to walk full tag arrays in tests.
+ */
+inline std::uint64_t
+digestFold(std::uint64_t digest, std::uint64_t value)
+{
+    digest = (digest ^ value) * 0x100000001b3ULL;
+    return digest ^ (digest >> 29);
+}
+
 /** Slot counts per top-down category (fractional slots allowed). */
 struct SlotCounts
 {

@@ -111,6 +111,29 @@ TEST(CostLedger, MalformedFileLoadsEmpty)
     EXPECT_EQ(ledger.expectedSeconds("not"), 0.0);
 }
 
+TEST(CostLedger, CalibrationRatePersistsWithTheEntries)
+{
+    const std::string path = freshPath("ledger-cal") + ".tsv";
+    {
+        runtime::CostLedger ledger(path);
+        EXPECT_EQ(ledger.secondsPerUnit(), 0.0);
+        ledger.recordCalibration(2.0, 1e6); // 2 s over 1M units
+        EXPECT_DOUBLE_EQ(ledger.secondsPerUnit(), 2e-6);
+        // Degenerate batches never poison the rate.
+        ledger.recordCalibration(1.0, 0.0);
+        ledger.recordCalibration(-1.0, 1e6);
+        EXPECT_DOUBLE_EQ(ledger.secondsPerUnit(), 2e-6);
+        ledger.save();
+    }
+    // The rate rides the normal entry persistence, under its
+    // reserved key.
+    runtime::CostLedger reloaded(path);
+    EXPECT_DOUBLE_EQ(reloaded.secondsPerUnit(), 2e-6);
+    EXPECT_DOUBLE_EQ(reloaded.expectedSeconds(
+                         runtime::CostLedger::kCalibrationKey),
+                     2e-6);
+}
+
 TEST(Scheduler, DispatchesLongestExpectedFirst)
 {
     runtime::CostLedger ledger;
@@ -123,9 +146,10 @@ TEST(Scheduler, DispatchesLongestExpectedFirst)
     std::vector<std::string> ran;
     std::vector<runtime::SuiteTask> tasks;
     for (const char *key : {"short", "long", "medium", "unknown"}) {
-        tasks.push_back({key, "model_run", [&ran, key](obs::Span &) {
-                             ran.emplace_back(key);
-                         }});
+        runtime::SuiteTask t;
+        t.costKey = key;
+        t.run = [&ran, key](obs::Span &) { ran.emplace_back(key); };
+        tasks.push_back(std::move(t));
     }
     const auto stats = scheduler.run(std::move(tasks));
 
@@ -151,12 +175,122 @@ TEST(Scheduler, ColdLedgerKeepsSubmissionOrder)
     std::vector<int> ran;
     std::vector<runtime::SuiteTask> tasks;
     for (int i = 0; i < 5; ++i) {
-        tasks.push_back({"task" + std::to_string(i), "model_run",
-                         [&ran, i](obs::Span &) { ran.push_back(i); }});
+        runtime::SuiteTask t;
+        t.costKey = "task" + std::to_string(i);
+        t.run = [&ran, i](obs::Span &) { ran.push_back(i); };
+        tasks.push_back(std::move(t));
     }
     const auto stats = scheduler.run(std::move(tasks));
     EXPECT_EQ(ran, (std::vector<int>{0, 1, 2, 3, 4}));
     EXPECT_EQ(stats.stealsAvoided, 0u);
+}
+
+/** Satellite: a completely cold ledger still dispatches the biggest
+ * estimated workloads first, because tasks carry uop-count hints that
+ * the scheduler converts to expected seconds. */
+TEST(Scheduler, ColdLedgerOrdersByCostHint)
+{
+    runtime::CostLedger ledger; // empty: no measured seconds at all
+    runtime::Executor executor(1);
+    runtime::Scheduler scheduler(&executor, &ledger);
+
+    std::vector<std::string> ran;
+    const auto task = [&ran](const char *key, double hint) {
+        runtime::SuiteTask t;
+        t.costKey = key;
+        t.costHint = hint;
+        t.run = [&ran, key](obs::Span &) { ran.emplace_back(key); };
+        return t;
+    };
+    std::vector<runtime::SuiteTask> tasks;
+    tasks.push_back(task("small", 1e6));
+    tasks.push_back(task("huge", 100e6));
+    tasks.push_back(task("hintless", 0.0));
+    tasks.push_back(task("medium", 10e6));
+    const auto stats = scheduler.run(std::move(tasks));
+
+    const std::vector<std::string> expected = {"huge", "medium",
+                                               "small", "hintless"};
+    EXPECT_EQ(ran, expected);
+    EXPECT_EQ(stats.waves, 1u);
+    // The batch calibrated a seconds-per-unit rate from the hinted
+    // tasks' measured times.
+    EXPECT_GT(ledger.secondsPerUnit(), 0.0);
+}
+
+/** Measured ledger seconds always beat hint estimates: a key the
+ * ledger knows is ordered by its history, not its hint. */
+TEST(Scheduler, MeasuredSecondsOverrideHints)
+{
+    runtime::CostLedger ledger;
+    ledger.record("was-slow", 5.0);
+    runtime::Executor executor(1);
+    runtime::Scheduler scheduler(&executor, &ledger);
+
+    std::vector<std::string> ran;
+    std::vector<runtime::SuiteTask> tasks;
+    {
+        runtime::SuiteTask t;
+        t.costKey = "big-hint";
+        t.costHint = 1e9; // ~10 s at the uncalibrated prior
+        t.run = [&ran](obs::Span &) { ran.emplace_back("big-hint"); };
+        tasks.push_back(std::move(t));
+    }
+    {
+        runtime::SuiteTask t;
+        t.costKey = "was-slow";
+        t.costHint = 1.0; // tiny hint, but 5.0 measured seconds
+        t.run = [&ran](obs::Span &) { ran.emplace_back("was-slow"); };
+        tasks.push_back(std::move(t));
+    }
+    scheduler.run(std::move(tasks));
+    // 1e9 units * 1e-8 s/unit = 10 s expected > 5 s measured.
+    EXPECT_EQ(ran.front(), "big-hint");
+    EXPECT_EQ(ran.back(), "was-slow");
+}
+
+/** Expansion waves: a task can return follow-up tasks which the
+ * scheduler dispatches in the next wave, re-sorted longest-first
+ * among themselves. */
+TEST(Scheduler, ExpansionWavesRunFollowUpsLongestFirst)
+{
+    runtime::CostLedger ledger;
+    runtime::Executor executor(1);
+    runtime::Scheduler scheduler(&executor, &ledger);
+
+    std::vector<std::string> ran;
+    const auto leaf = [&ran](const std::string &key, double hint) {
+        runtime::SuiteTask t;
+        t.costKey = key;
+        t.costHint = hint;
+        t.run = [&ran, key](obs::Span &) { ran.push_back(key); };
+        return t;
+    };
+    runtime::SuiteTask parent;
+    parent.costKey = "parent";
+    parent.costHint = 30e6;
+    parent.expand = [&](obs::Span &) {
+        ran.emplace_back("parent");
+        std::vector<runtime::SuiteTask> follow;
+        follow.push_back(leaf("child-small", 1e6));
+        follow.push_back(leaf("child-big", 20e6));
+        return follow;
+    };
+    std::vector<runtime::SuiteTask> tasks;
+    tasks.push_back(std::move(parent));
+    tasks.push_back(leaf("plain", 2e6));
+    const auto stats = scheduler.run(std::move(tasks));
+
+    // Wave 1 runs parent (30M) then plain (2M); wave 2 runs the
+    // follow-ups re-sorted longest-first.
+    const std::vector<std::string> expected = {
+        "parent", "plain", "child-big", "child-small"};
+    EXPECT_EQ(ran, expected);
+    EXPECT_EQ(stats.waves, 2u);
+    EXPECT_EQ(stats.expanded, 1u);
+    EXPECT_EQ(stats.dispatched, 4u);
+    // Follow-up keys were measured into the ledger like any task.
+    EXPECT_GT(ledger.expectedSeconds("child-big"), 0.0);
 }
 
 /** The tentpole guarantee: one global longest-first batch across the
@@ -251,6 +385,47 @@ TEST(SuiteScheduler, LedgerPersistsAcrossEngines)
                   "505.mcf_r/" +
                   benchmarks[0]->workloads().front().name),
               0.0);
+}
+
+/** Segmented suite runs go through the scheduler's expansion waves
+ * (record task -> replay tasks -> splice) and land within the pinned
+ * splice tolerance of the exact serial pass; checksums and uop counts
+ * stay exact. */
+TEST(SuiteScheduler, SegmentedSuiteWithinSpliceBound)
+{
+    std::vector<std::unique_ptr<runtime::Benchmark>> benchmarks;
+    benchmarks.push_back(core::makeBenchmark("544.nab_r"));
+
+    core::CharacterizeOptions serialOptions;
+    serialOptions.jobs = 1;
+    serialOptions.refrateRepetitions = 1;
+    const auto exact = core::characterize(*benchmarks[0], serialOptions);
+
+    runtime::Engine engine(4);
+    core::CharacterizeOptions options;
+    options.engine = &engine;
+    options.refrateRepetitions = 1;
+    options.segments = 4;
+    const auto suite = core::characterizeSuite(benchmarks, options);
+    ASSERT_EQ(suite.size(), 1u);
+    const auto &spliced = suite[0];
+
+    ASSERT_EQ(spliced.workloadNames, exact.workloadNames);
+    // Checksums and retired-uop counts come from the record pass and
+    // are exact by construction.
+    EXPECT_EQ(spliced.checksumPerWorkload, exact.checksumPerWorkload);
+    for (std::size_t i = 0; i < exact.topdownPerWorkload.size(); ++i) {
+        const auto x = exact.topdownPerWorkload[i].asArray();
+        const auto y = spliced.topdownPerWorkload[i].asArray();
+        for (std::size_t k = 0; k < x.size(); ++k)
+            EXPECT_NEAR(x[k], y[k], 1e-3)
+                << exact.workloadNames[i] << " ratio " << k;
+    }
+
+    // The expansion machinery actually fired: at least one record
+    // task returned replay follow-ups, taking a second wave.
+    EXPECT_GE(engine.metrics().counter("scheduler.waves").value(),
+              2u);
 }
 
 } // namespace

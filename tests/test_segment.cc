@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Checkpoint-and-splice segment parallelism tests.
+ *
+ * The contract under test (see src/runtime/segment.h):
+ *  - trace replay and the exact segment paths (K=1 spliced,
+ *    snapshot/restore-chained K>1) are bit-identical to runOnce,
+ *    including the coverage map;
+ *  - the warm-up-approximated spliced path at K=4 stays within the
+ *    pinned per-fraction bound of 1e-3 absolute against the full
+ *    workload suite (an order of magnitude inside the 0.1-percentage-
+ *    point target), with checksum and retired-uop counts exact;
+ *  - segment and spliced cache keys never collide with the exact
+ *    run's entries;
+ *  - cut-point / warm-start planning and auto-K resolution behave as
+ *    documented.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/suite.h"
+#include "runtime/benchmark.h"
+#include "runtime/executor.h"
+#include "runtime/result_cache.h"
+#include "runtime/segment.h"
+#include "topdown/machine.h"
+#include "topdown/trace.h"
+
+namespace {
+
+using namespace alberta;
+using runtime::Benchmark;
+using runtime::RunMeasurement;
+using runtime::SegmentOptions;
+using runtime::Workload;
+using topdown::OpKind;
+using topdown::UopTrace;
+
+/** Expect two measurements' model outputs to be bit-identical. */
+void
+expectBitIdentical(const RunMeasurement &a, const RunMeasurement &b)
+{
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.retiredOps, b.retiredOps);
+    EXPECT_EQ(a.simCycles, b.simCycles);
+    EXPECT_EQ(a.topdown.frontend, b.topdown.frontend);
+    EXPECT_EQ(a.topdown.backend, b.topdown.backend);
+    EXPECT_EQ(a.topdown.badspec, b.topdown.badspec);
+    EXPECT_EQ(a.topdown.retiring, b.topdown.retiring);
+    ASSERT_EQ(a.coverage.size(), b.coverage.size());
+    for (const auto &[name, fraction] : a.coverage) {
+        const auto it = b.coverage.find(name);
+        ASSERT_NE(it, b.coverage.end()) << "method " << name;
+        EXPECT_EQ(fraction, it->second) << "method " << name;
+    }
+}
+
+TEST(SegmentPlanning, CutPointsPartitionTheTrace)
+{
+    UopTrace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.appendOps(OpKind::IntAlu, 10);
+    EXPECT_EQ(trace.totalUops(), 100u);
+    EXPECT_EQ(trace.records(), 10u);
+
+    const std::vector<std::size_t> cuts = trace.cutPoints(4);
+    ASSERT_EQ(cuts.size(), 5u);
+    EXPECT_EQ(cuts.front(), 0u);
+    EXPECT_EQ(cuts.back(), trace.records());
+    for (std::size_t s = 1; s < cuts.size(); ++s)
+        EXPECT_LE(cuts[s - 1], cuts[s]);
+
+    // Every record lands in exactly one span.
+    std::uint64_t uops = 0;
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s)
+        for (std::size_t i = cuts[s]; i < cuts[s + 1]; ++i)
+            uops += trace.uopsOf(i);
+    EXPECT_EQ(uops, trace.totalUops());
+
+    // K=1 degenerates to the whole trace.
+    const std::vector<std::size_t> one = trace.cutPoints(1);
+    ASSERT_EQ(one.size(), 2u);
+    EXPECT_EQ(one[0], 0u);
+    EXPECT_EQ(one[1], trace.records());
+}
+
+TEST(SegmentPlanning, WarmStartCountsBackwardAndClamps)
+{
+    UopTrace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.appendOps(OpKind::IntAlu, 10);
+    // 25 uops of warm-up before record 10 needs records 7..9 (30 uops).
+    EXPECT_EQ(trace.warmStart(10, 25), 7u);
+    EXPECT_EQ(trace.warmStart(10, 30), 7u);
+    EXPECT_EQ(trace.warmStart(10, 31), 6u);
+    // More warm-up than trace prefix: clamp to the start.
+    EXPECT_EQ(trace.warmStart(2, 1'000'000), 0u);
+    EXPECT_EQ(trace.warmStart(0, 1), 0u);
+}
+
+TEST(SegmentPlanning, LastMethodAtFindsThePrecedingSwitch)
+{
+    UopTrace trace;
+    trace.appendMethod(1, 4096, 1);          // record 0
+    for (int i = 0; i < 4; ++i)
+        trace.appendOps(OpKind::IntAlu, 5);  // records 1..4
+    trace.appendMethod(2, 2048, 2);          // record 5
+    trace.appendOps(OpKind::IntAlu, 5);      // record 6
+    EXPECT_EQ(trace.lastMethodAt(0), 0u);
+    EXPECT_EQ(trace.lastMethodAt(4), 0u);
+    EXPECT_EQ(trace.lastMethodAt(5), 5u);
+    EXPECT_EQ(trace.lastMethodAt(6), 5u);
+
+    UopTrace bare;
+    bare.appendOps(OpKind::IntAlu, 5);
+    // No method switch precedes record 0: sentinel is records().
+    EXPECT_EQ(bare.lastMethodAt(0), bare.records());
+}
+
+TEST(SegmentPlanning, ResolveSegmentsIsDeterministicAndClamped)
+{
+    using runtime::resolveSegments;
+    // Explicit requests pass through untouched.
+    EXPECT_EQ(resolveSegments(1, 0.0, 0, 0), 1);
+    EXPECT_EQ(resolveSegments(7, 1e9, 1'000'000, 2), 7);
+    // Auto: one segment per ~target uops, clamped to the pool.
+    EXPECT_EQ(resolveSegments(0, 10e6, 1'000'000, 16), 10);
+    EXPECT_EQ(resolveSegments(0, 10e6, 1'000'000, 4), 4);
+    // Short workloads are not worth a record pass.
+    EXPECT_EQ(resolveSegments(0, 1.5e6, 1'000'000, 8), 1);
+    // Degenerate inputs fall back to the exact path.
+    EXPECT_EQ(resolveSegments(0, 0.0, 1'000'000, 8), 1);
+    EXPECT_EQ(resolveSegments(0, 10e6, 0, 8), 1);
+    EXPECT_EQ(resolveSegments(0, 10e6, 1'000'000, 1), 1);
+}
+
+TEST(SegmentExact, ReplayMatchesDirectRunBitIdentically)
+{
+    const auto bench = core::makeBenchmark("505.mcf_r");
+    const Workload wl = runtime::findWorkload(*bench, "test");
+    const RunMeasurement direct = runtime::runOnce(*bench, wl);
+
+    const runtime::SegmentPlan plan =
+        runtime::recordSegments(*bench, wl, 1);
+    EXPECT_EQ(plan.checksum, direct.checksum);
+    EXPECT_EQ(plan.retiredOps, direct.retiredOps);
+    expectBitIdentical(runtime::replaySegmentsExact(plan), direct);
+}
+
+TEST(SegmentExact, SnapshotHandoffAtK4MatchesDirectRun)
+{
+    const auto bench = core::makeBenchmark("505.mcf_r");
+    const Workload wl = runtime::findWorkload(*bench, "test");
+    const RunMeasurement direct = runtime::runOnce(*bench, wl);
+
+    const runtime::SegmentPlan plan =
+        runtime::recordSegments(*bench, wl, 4);
+    expectBitIdentical(runtime::replaySegmentsExact(plan), direct);
+}
+
+TEST(SegmentExact, SplicedK1MatchesDirectRunBitIdentically)
+{
+    const auto bench = core::makeBenchmark("531.deepsjeng_r");
+    const Workload wl = runtime::findWorkload(*bench, "test");
+    const RunMeasurement direct = runtime::runOnce(*bench, wl);
+
+    SegmentOptions options;
+    options.segments = 1;
+    expectBitIdentical(runtime::runSegmented(*bench, wl, options),
+                       direct);
+}
+
+TEST(SegmentSpliced, DeterministicAcrossSerialAndParallelReplay)
+{
+    const auto bench = core::makeBenchmark("505.mcf_r");
+    const Workload wl = runtime::findWorkload(*bench, "train");
+
+    SegmentOptions serial;
+    serial.segments = 4;
+    const RunMeasurement a = runtime::runSegmented(*bench, wl, serial);
+
+    runtime::Executor pool(4);
+    SegmentOptions parallel;
+    parallel.segments = 4;
+    parallel.executor = &pool;
+    const RunMeasurement b =
+        runtime::runSegmented(*bench, wl, parallel);
+    expectBitIdentical(a, b);
+}
+
+/**
+ * The pinned accuracy bound of the warm-up-approximated spliced path:
+ * across every workload of every Table II benchmark, each of the four
+ * top-down fractions at K=4 stays within 1e-3 absolute of the exact
+ * replay from the same plan (which other tests pin to runOnce), and
+ * checksum / retired uops are exact. Tightening the model or the
+ * warm-up window may shrink the observed error; it must never grow
+ * past this bound.
+ */
+TEST(SegmentSpliced, FractionErrorWithinPinnedBoundAcrossSuite)
+{
+    constexpr double kBound = 1e-3;
+    constexpr int kSegments = 4;
+    double worst = 0.0;
+    for (const std::string &name : core::table2Names()) {
+        const auto bench = core::makeBenchmark(name);
+        for (const Workload &wl : bench->workloads()) {
+            const runtime::SegmentPlan plan =
+                runtime::recordSegments(*bench, wl, kSegments);
+            std::vector<runtime::SegmentDelta> deltas;
+            deltas.reserve(kSegments);
+            for (int s = 0; s < kSegments; ++s)
+                deltas.push_back(runtime::replaySegment(plan, s));
+            const RunMeasurement spliced =
+                runtime::spliceSegments(plan, deltas);
+            const RunMeasurement exact =
+                runtime::replaySegmentsExact(plan);
+
+            EXPECT_EQ(spliced.checksum, exact.checksum)
+                << name << "/" << wl.name;
+            EXPECT_EQ(spliced.retiredOps, exact.retiredOps)
+                << name << "/" << wl.name;
+            const double errors[] = {
+                std::fabs(spliced.topdown.frontend -
+                          exact.topdown.frontend),
+                std::fabs(spliced.topdown.backend -
+                          exact.topdown.backend),
+                std::fabs(spliced.topdown.badspec -
+                          exact.topdown.badspec),
+                std::fabs(spliced.topdown.retiring -
+                          exact.topdown.retiring),
+            };
+            for (const double e : errors) {
+                EXPECT_LT(e, kBound) << name << "/" << wl.name;
+                worst = std::max(worst, e);
+            }
+        }
+    }
+    std::cerr << "  worst spliced fraction error: " << worst << "\n";
+}
+
+TEST(SegmentCache, SplicedAndSegmentKeysNeverCollideWithExact)
+{
+    const auto bench = core::makeBenchmark("505.mcf_r");
+    const Workload wl = runtime::findWorkload(*bench, "test");
+    const Workload spliced = runtime::splicedWorkload(
+        wl, 4, runtime::kDefaultSegmentWarmupUops);
+    const Workload seg = runtime::segmentWorkload(
+        wl, 4, runtime::kDefaultSegmentWarmupUops, 2);
+
+    EXPECT_NE(spliced.name, wl.name);
+    EXPECT_NE(seg.name, wl.name);
+    EXPECT_NE(seg.name, spliced.name);
+    // Different warm-up or K = different key.
+    EXPECT_NE(runtime::splicedWorkload(wl, 2, 1000).name,
+              spliced.name);
+    // Content fingerprints differ too (belt and braces: a name
+    // collision alone would still miss in the cache).
+    const auto fp = [&](const Workload &w) {
+        return runtime::ResultCache::fingerprint(*bench, w);
+    };
+    EXPECT_NE(fp(spliced), fp(wl));
+    EXPECT_NE(fp(seg), fp(wl));
+    EXPECT_NE(fp(seg), fp(spliced));
+}
+
+TEST(SegmentCache, SecondSegmentedRunIsServedFromCache)
+{
+    const auto bench = core::makeBenchmark("505.mcf_r");
+    const Workload wl = runtime::findWorkload(*bench, "test");
+
+    runtime::ResultCache cache;
+    SegmentOptions options;
+    options.segments = 3;
+    options.cache = &cache;
+    const RunMeasurement first =
+        runtime::runSegmented(*bench, wl, options);
+    // Spliced result + one entry per segment.
+    EXPECT_EQ(cache.size(), 4u);
+
+    const RunMeasurement second =
+        runtime::runSegmented(*bench, wl, options);
+    expectBitIdentical(first, second);
+    EXPECT_EQ(cache.size(), 4u);
+
+    // The exact run's entry is untouched by segmented keys.
+    runtime::CachedRun cached;
+    EXPECT_FALSE(cache.lookup(*bench, wl, &cached));
+}
+
+} // namespace
