@@ -11,7 +11,7 @@
  * inflation for lbm/cactuBSSN, and the coverage-variation ordering —
  * not the absolute hardware values.
  *
- * The suite is characterized five times to exercise and track the
+ * The suite is characterized six times to exercise and track the
  * execution engine across PRs:
  *
  *   1. serial baseline      per-benchmark loop, jobs=1, no cache
@@ -28,8 +28,13 @@
  *                           long model runs (--segments, default
  *                           auto) breaking the single-run latency
  *                           wall
+ *   6. batched-exact cold   per-benchmark loop, jobs=1, no cache,
+ *                           every model run capture-then-batched-
+ *                           replay (the --batched CLI path) — tracks
+ *                           the block-batched kernel end to end,
+ *                           capture overhead included
  *
- * Model outputs must be bit-identical across the four exact passes;
+ * Model outputs must be bit-identical across the five exact passes;
  * the segmented pass must match checksums exactly and every top-down
  * fraction within the pinned 1e-3 splice bound. Wall times, derived
  * speedups, per-benchmark longest-chain seconds, the suite critical
@@ -281,9 +286,26 @@ main(int argc, char **argv)
         diskWarm, [&] { return core::characterizeTable2(secondOptions); },
         "disk-warm (fresh engine)");
 
+    // 6. Batched-exact, cold: the serial loop again, but every model
+    // run captures its uop stream once and replays it through the
+    // block-batched kernel (runtime::runBatchedExact). Same outputs,
+    // bit for bit; the wall time prices capture + batched replay
+    // against the fused generate-and-model serial baseline.
+    core::CharacterizeOptions batchedOptions;
+    batchedOptions.jobs = 1;
+    batchedOptions.batched = true;
+    std::vector<core::Characterization> batchedExact;
+    const double batchedSeconds = timeSuite(
+        batchedExact,
+        [&] {
+            return characterizePerBenchmark(batchedOptions, "batched");
+        },
+        "batched-exact cold");
+
     const bool identical = identicalModelOutputs(serial, suiteCold) &&
                            identicalModelOutputs(serial, warm) &&
-                           identicalModelOutputs(serial, diskWarm);
+                           identicalModelOutputs(serial, diskWarm) &&
+                           identicalModelOutputs(serial, batchedExact);
 
     // 5. Segment-parallel, cold: a private scratch store so nothing
     // is served from the earlier passes, with long model runs cut
@@ -338,6 +360,9 @@ main(int argc, char **argv)
               << "  segmented, cold    : " << segmentedSeconds
               << " s (speedup " << serialSeconds / segmentedSeconds
               << "x, splice err " << spliceError << ")\n"
+              << "  batched-exact, cold: " << batchedSeconds
+              << " s (speedup " << serialSeconds / batchedSeconds
+              << "x)\n"
               << "  tasks run          : " << stats.tasksRun << "\n"
               << "  task queue / run   : " << stats.queueSeconds
               << " s / " << stats.runSeconds << " s\n"
@@ -390,6 +415,9 @@ main(int argc, char **argv)
          << "  \"disk_warm_seconds\": " << diskWarmSeconds << ",\n"
          << "  \"segmented_cold_seconds\": " << segmentedSeconds
          << ",\n"
+         << "  \"batched_cold_seconds\": " << batchedSeconds << ",\n"
+         << "  \"speedup_batched_cold\": "
+         << serialSeconds / batchedSeconds << ",\n"
          << "  \"speedup_suite_cold\": "
          << serialSeconds / suiteColdSeconds << ",\n"
          << "  \"speedup_parallel_warm\": "

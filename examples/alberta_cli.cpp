@@ -22,6 +22,12 @@
  *                   top-down fractions are within 1e-3 of exact
  *                   (pinned by test); checksums and uop counts are
  *                   exact either way.
+ *   --batched       route unsegmented model runs through the
+ *                   trace-backed batched-exact path (capture once,
+ *                   replay through the block-batched kernel). Outputs
+ *                   are bit-identical to direct runs and share their
+ *                   cache keys; timed refrate repetitions still
+ *                   execute direct.
  *   --format FMT    output format: text (default), md, or json
  *   --trace FILE    write a JSON-lines span trace of the run session
  *   --cache-dir DIR persist model results (and the scheduler's cost
@@ -47,6 +53,7 @@
 #include "support/check.h"
 #include "support/table.h"
 #include "support/text.h"
+#include "topdown/machine.h"
 
 namespace {
 
@@ -108,12 +115,14 @@ cmdRun(const std::string &name, const std::string &workloadName,
 
 int
 cmdCharacterize(const std::string &name, runtime::Engine &engine,
-                const core::ReportWriter &writer, int segments)
+                const core::ReportWriter &writer, int segments,
+                bool batched)
 {
     const auto bm = core::makeBenchmark(name);
     core::CharacterizeOptions options;
     options.engine = &engine;
     options.segments = segments;
+    options.batched = batched;
     const auto c = core::characterize(*bm, options);
     std::cout << writer.table2({c});
     return 0;
@@ -121,11 +130,12 @@ cmdCharacterize(const std::string &name, runtime::Engine &engine,
 
 int
 cmdSuite(runtime::Engine &engine, const core::ReportWriter &writer,
-         int segments)
+         int segments, bool batched)
 {
     core::CharacterizeOptions options;
     options.engine = &engine;
     options.segments = segments;
+    options.batched = batched;
     const auto results = core::characterizeTable2(options);
     std::cout << writer.table2(results);
     return 0;
@@ -133,12 +143,14 @@ cmdSuite(runtime::Engine &engine, const core::ReportWriter &writer,
 
 int
 cmdReport(const std::string &name, runtime::Engine &engine,
-          const core::ReportWriter &writer, int segments)
+          const core::ReportWriter &writer, int segments,
+          bool batched)
 {
     const auto bm = core::makeBenchmark(name);
     core::CharacterizeOptions options;
     options.engine = &engine;
     options.segments = segments;
+    options.batched = batched;
     const auto c = core::characterize(*bm, options);
     std::cout << writer.report(c);
     return 0;
@@ -193,6 +205,35 @@ printStats(runtime::Engine &engine)
               << " scheduler_waves="
               << metrics.counter("scheduler.waves").value()
               << " ledger_entries=" << engine.ledger().size() << "\n";
+    // Per-pass replay throughput: the record pass appends to the
+    // trace while the benchmark computes; the replay pass is the
+    // model alone, so its uops/s isolates the kernel's speed.
+    const auto perPass = [&](const char *label, const char *uopsKey,
+                             const char *secondsKey) {
+        const std::uint64_t uops = metrics.counter(uopsKey).value();
+        const double seconds =
+            metrics.histogram(secondsKey).sum();
+        if (uops == 0)
+            return;
+        std::cerr << "[stats] " << label << "_uops=" << uops
+                  << " " << label << "_seconds="
+                  << support::formatFixed(seconds, 3) << " " << label
+                  << "_uops_per_sec="
+                  << support::formatFixed(
+                         seconds > 0.0
+                             ? static_cast<double>(uops) / seconds
+                             : 0.0,
+                         0)
+                  << "\n";
+    };
+    perPass("segment_record", "segment.record_uops",
+            "segment.record_seconds");
+    perPass("segment_replay", "segment.replay_uops",
+            "segment.replay_seconds");
+    const topdown::BatchCounters &batch = topdown::batchCounters();
+    std::cerr << "[stats] batch_blocks=" << batch.blocks.load()
+              << " batch_fallbacks=" << batch.fallbackBlocks.load()
+              << "\n";
     if (const runtime::PersistentCache *disk = engine.disk()) {
         std::cerr << "[stats] cache_dir=" << disk->dir()
                   << " disk_hits=" << disk->hits()
@@ -207,6 +248,7 @@ usage()
 {
     std::cerr
         << "usage: alberta_cli [--jobs N] [--segments {auto,K}]\n"
+           "                   [--batched]\n"
            "                   [--format {text,md,json}]\n"
            "                   [--trace FILE] [--cache-dir DIR]\n"
            "                   [--metrics] [--stats] <command>\n"
@@ -226,6 +268,7 @@ main(int argc, char **argv)
 {
     int jobs = 0;     // 0 = ALBERTA_JOBS / hardware concurrency
     int segments = 0; // 0 = auto (segment by uop estimate)
+    bool batched = false;
     bool wantStats = false;
     bool wantMetrics = false;
     std::string tracePath;
@@ -252,7 +295,9 @@ main(int argc, char **argv)
                         ? 0
                         : static_cast<int>(support::parsePositiveInt(
                               value, "--segments", 1024));
-            } else if (std::strcmp(argv[i], "--format") == 0)
+            } else if (std::strcmp(argv[i], "--batched") == 0)
+                batched = true;
+            else if (std::strcmp(argv[i], "--format") == 0)
                 format =
                     core::parseReportFormat(flagArg("--format"));
             else if (std::strcmp(argv[i], "--trace") == 0)
@@ -303,11 +348,13 @@ main(int argc, char **argv)
                                       1000))
                             : 3);
         else if (command == "characterize" && args.size() >= 2)
-            rc = cmdCharacterize(args[1], engine, writer, segments);
+            rc = cmdCharacterize(args[1], engine, writer, segments,
+                                 batched);
         else if (command == "suite")
-            rc = cmdSuite(engine, writer, segments);
+            rc = cmdSuite(engine, writer, segments, batched);
         else if (command == "report" && args.size() >= 2)
-            rc = cmdReport(args[1], engine, writer, segments);
+            rc = cmdReport(args[1], engine, writer, segments,
+                           batched);
         else if (command == "cluster" && args.size() >= 3)
             rc = cmdCluster(args[1],
                             static_cast<std::size_t>(

@@ -199,12 +199,12 @@ GoBoard::areaScore() const
             scratch_.clear();
             scratch_.push_back(p);
             mark_[p] = markGen_;
-            std::vector<int> region;
+            int regionSize = 0;
             bool touchesBlack = false, touchesWhite = false;
             while (!scratch_.empty()) {
                 const int q = scratch_.back();
                 scratch_.pop_back();
-                region.push_back(q);
+                ++regionSize;
                 for (const int d : dirs) {
                     const int nb = q + d;
                     if (board_[nb] == Color::Black)
@@ -219,9 +219,9 @@ GoBoard::areaScore() const
                 }
             }
             if (touchesBlack && !touchesWhite)
-                black += static_cast<int>(region.size());
+                black += regionSize;
             else if (touchesWhite && !touchesBlack)
-                white += static_cast<int>(region.size());
+                white += regionSize;
         }
     }
     return black - white;

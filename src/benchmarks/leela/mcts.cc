@@ -13,30 +13,29 @@ MctsEngine::MctsEngine(const MctsConfig &config, std::uint64_t seed)
 }
 
 int
-MctsEngine::playout(GoBoard board, Color toMove,
+MctsEngine::playout(GoBoard &board, Color toMove,
                     runtime::ExecutionContext &ctx)
 {
     auto scope = ctx.method("leela::playout", 3000);
     auto &m = ctx.machine();
 
     const int cap = board.area() + board.area() / 2;
-    std::vector<int> empties;
     int moves = 0;
     while (board.passes() < 2 && moves < cap) {
         // Collect empty points once, then sample candidates from them;
         // legality is checked lazily (cheap in the common case).
-        empties.clear();
+        empties_.clear();
         for (const int p : board.points()) {
             if (board.at(p) == Color::Empty)
-                empties.push_back(p);
+                empties_.push_back(p);
         }
         m.stream(topdown::OpKind::Load, 0x9000,
                  static_cast<std::uint64_t>(board.area()) / 8 + 1, 8);
 
         int chosen = kPass;
-        for (int attempt = 0; attempt < 10 && !empties.empty();
+        for (int attempt = 0; attempt < 10 && !empties_.empty();
              ++attempt) {
-            const int p = empties[rng_.below(empties.size())];
+            const int p = empties_[rng_.below(empties_.size())];
             m.load(0xA000 + p);
             if (m.branch(1, board.isTrueEye(p, toMove)))
                 continue;
@@ -57,11 +56,10 @@ MctsEngine::playout(GoBoard board, Color toMove,
 void
 MctsEngine::expand(int nodeIndex, const GoBoard &board, Color color)
 {
-    std::vector<int> legal;
-    board.legalPoints(color, legal);
+    board.legalPoints(color, legalBuf_);
     const int first = static_cast<int>(nodes_.size());
     int count = 0;
-    for (const int p : legal) {
+    for (const int p : legalBuf_) {
         if (board.isTrueEye(p, color))
             continue;
         Node child;
@@ -119,9 +117,11 @@ MctsEngine::chooseMove(const GoBoard &board, Color color,
     expand(0, board, color);
 
     for (int sim = 0; sim < config_.simulationsPerMove; ++sim) {
-        GoBoard scratch = board;
+        GoBoard &scratch = scratchBoard_;
+        scratch.copyPositionFrom(board);
         Color toMove = color;
-        std::vector<int> path = {0};
+        path_.clear();
+        path_.push_back(0);
 
         // Descend while nodes have expanded children.
         int current = 0;
@@ -129,7 +129,7 @@ MctsEngine::chooseMove(const GoBoard &board, Color color,
             const int childIdx = selectChild(nodes_[current], ctx);
             scratch.play(nodes_[childIdx].move, toMove);
             toMove = opponent(toMove);
-            path.push_back(childIdx);
+            path_.push_back(childIdx);
             current = childIdx;
             if (nodes_[current].visits < config_.expandThreshold)
                 break;
@@ -142,14 +142,14 @@ MctsEngine::chooseMove(const GoBoard &board, Color color,
 
         // Backpropagate from black's perspective, flipping per ply.
         Color mover = color;
-        for (std::size_t i = 1; i < path.size(); ++i) {
-            Node &node = nodes_[path[i]];
+        for (std::size_t i = 1; i < path_.size(); ++i) {
+            Node &node = nodes_[path_[i]];
             ++node.visits;
             const bool blackWins = score > 0;
             const bool moverIsBlack = mover == Color::Black;
             node.wins += (blackWins == moverIsBlack) ? 1.0 : 0.0;
             m.store(0xB000ULL +
-                    static_cast<std::uint64_t>(path[i]) * 32);
+                    static_cast<std::uint64_t>(path_[i]) * 32);
             mover = opponent(mover);
         }
         ++nodes_[0].visits;

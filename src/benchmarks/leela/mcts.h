@@ -69,7 +69,7 @@ class MctsEngine
         int childCount = 0;
     };
 
-    int playout(GoBoard board, Color toMove,
+    int playout(GoBoard &board, Color toMove,
                 runtime::ExecutionContext &ctx);
     void expand(int nodeIndex, const GoBoard &board, Color color);
     int selectChild(const Node &parent,
@@ -79,6 +79,14 @@ class MctsEngine
     support::Rng rng_;
     std::vector<Node> nodes_;
     std::uint64_t playoutMoves_ = 0;
+    // Reused across simulations so the hot loop does not allocate:
+    // one chooseMove runs simulationsPerMove full playouts, and a
+    // fresh board copy plus path/candidate vectors per simulation
+    // dominated the host-side cost of the generator.
+    GoBoard scratchBoard_{9};
+    std::vector<int> path_;
+    std::vector<int> empties_;
+    std::vector<int> legalBuf_;
 };
 
 } // namespace alberta::leela

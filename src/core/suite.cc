@@ -24,6 +24,7 @@
 #include "core/report.h"
 #include "runtime/scheduler.h"
 #include "support/check.h"
+#include "topdown/machine.h"
 
 namespace alberta::core {
 
@@ -116,6 +117,9 @@ characterize(const runtime::Benchmark &benchmark,
 
     const std::uint64_t hitsBefore = cache ? cache->hits() : 0;
     const std::uint64_t missesBefore = cache ? cache->misses() : 0;
+    const topdown::BatchCounters &bc = topdown::batchCounters();
+    const std::uint64_t batchBlocksBefore = bc.blocks.load();
+    const std::uint64_t batchFallbacksBefore = bc.fallbackBlocks.load();
 
     std::optional<runtime::Executor> local;
     if (!executor) {
@@ -154,6 +158,7 @@ characterize(const runtime::Benchmark &benchmark,
         seg.warmupUops = options.segmentWarmupUops;
         seg.executor = executor;
         seg.cache = cache;
+        seg.metrics = engine ? &engine->metrics() : nullptr;
         results[i] = runtime::runSegmented(benchmark, workloads[i], seg);
         run.note("segments",
                  static_cast<std::uint64_t>(segmentCounts[i]));
@@ -168,8 +173,12 @@ characterize(const runtime::Benchmark &benchmark,
                 const std::size_t i = modelIndices[task];
                 obs::Span run(tracer, workloads[i].name, "model_run",
                               batchId);
-                results[i] = runtime::measureCached(
-                    benchmark, workloads[i], cache);
+                results[i] =
+                    options.batched
+                        ? runtime::measureBatchedExact(
+                              benchmark, workloads[i], cache)
+                        : runtime::measureCached(benchmark,
+                                                 workloads[i], cache);
                 run.note("uops", results[i].retiredOps);
             });
         batch.note("runs",
@@ -244,6 +253,11 @@ characterize(const runtime::Benchmark &benchmark,
                 .add(delta.uopsRetired);
             registry.histogram("characterize.run_seconds")
                 .record(delta.runSeconds);
+            registry.counter("batch.blocks")
+                .add(bc.blocks.load() - batchBlocksBefore);
+            registry.counter("batch.fallbacks")
+                .add(bc.fallbackBlocks.load() -
+                     batchFallbacksBefore);
         }
     }
 
@@ -287,14 +301,15 @@ runtime::SuiteTask
 makeSegmentTask(const std::string &key, SuiteSlot &slot,
                 const runtime::Benchmark &bm, std::size_t i,
                 runtime::ResultCache *cache, int segments,
-                std::uint64_t warmupUops, double hint)
+                std::uint64_t warmupUops, double hint,
+                obs::Registry *metrics)
 {
     runtime::SuiteTask task;
     task.costKey = key;
     task.category = "segment_record";
     task.costHint = hint;
     task.expand = [&slot, &bm, i, cache, segments, warmupUops, key,
-                   hint](obs::Span &span) {
+                   hint, metrics](obs::Span &span) {
         std::vector<runtime::SuiteTask> replays;
         const runtime::Workload spliceKey = runtime::splicedWorkload(
             slot.workloads[i], segments, warmupUops);
@@ -309,6 +324,12 @@ makeSegmentTask(const std::string &key, SuiteSlot &slot,
         span.note("segments",
                   static_cast<std::uint64_t>(plan->segments));
         span.note("uops", plan->retiredOps);
+        if (metrics) {
+            metrics->counter("segment.record_uops")
+                .add(plan->retiredOps);
+            metrics->histogram("segment.record_seconds")
+                .record(plan->recordSeconds);
+        }
         auto deltas =
             std::make_shared<std::vector<runtime::SegmentDelta>>(
                 plan->segments);
@@ -323,11 +344,17 @@ makeSegmentTask(const std::string &key, SuiteSlot &slot,
             replay.category = "segment_replay";
             replay.costHint = segmentHint;
             replay.run = [&slot, &bm, i, cache, plan, deltas,
-                          remaining, s, segments,
-                          warmupUops](obs::Span &rspan) {
+                          remaining, s, segments, warmupUops,
+                          metrics](obs::Span &rspan) {
                 (*deltas)[s] = runtime::measureSegment(
                     *plan, s, bm, slot.workloads[i], cache);
                 rspan.note("uops", (*deltas)[s].retired);
+                if (metrics) {
+                    metrics->counter("segment.replay_uops")
+                        .add((*deltas)[s].retired);
+                    metrics->histogram("segment.replay_seconds")
+                        .record((*deltas)[s].seconds);
+                }
                 if (remaining->fetch_sub(1) == 1) {
                     slot.results[i] = runtime::spliceSegments(
                         *plan, *deltas);
@@ -376,6 +403,9 @@ characterizeSuite(
     const int repetitions = std::max(1, options.refrateRepetitions);
     const std::uint64_t hitsBefore = cache ? cache->hits() : 0;
     const std::uint64_t missesBefore = cache ? cache->misses() : 0;
+    const topdown::BatchCounters &bc = topdown::batchCounters();
+    const std::uint64_t batchBlocksBefore = bc.blocks.load();
+    const std::uint64_t batchFallbacksBefore = bc.fallbackBlocks.load();
     const runtime::ExecutorStats statsBefore = executor->stats();
 
     obs::Span root(tracer, "suite", "characterize_suite");
@@ -425,16 +455,22 @@ characterizeSuite(
                 if (segments > 1) {
                     tasks.push_back(makeSegmentTask(
                         key, slot, bm, i, cache, segments,
-                        options.segmentWarmupUops, hint));
+                        options.segmentWarmupUops, hint,
+                        engine ? &engine->metrics() : nullptr));
                     continue;
                 }
                 runtime::SuiteTask task;
                 task.costKey = key;
                 task.category = "model_run";
                 task.costHint = hint;
-                task.run = [&slot, &bm, i, cache](obs::Span &span) {
-                    slot.results[i] = runtime::measureCached(
-                        bm, slot.workloads[i], cache);
+                const bool batched = options.batched;
+                task.run = [&slot, &bm, i, cache,
+                            batched](obs::Span &span) {
+                    slot.results[i] =
+                        batched ? runtime::measureBatchedExact(
+                                      bm, slot.workloads[i], cache)
+                                : runtime::measureCached(
+                                      bm, slot.workloads[i], cache);
                     span.note("uops", slot.results[i].retiredOps);
                 };
                 tasks.push_back(std::move(task));
@@ -545,6 +581,11 @@ characterizeSuite(
             registry.counter("characterize.uops").add(totalUops);
             registry.histogram("characterize.run_seconds")
                 .record(delta.runSeconds);
+            registry.counter("batch.blocks")
+                .add(bc.blocks.load() - batchBlocksBefore);
+            registry.counter("batch.fallbacks")
+                .add(bc.fallbackBlocks.load() -
+                     batchFallbacksBefore);
         }
     }
     return out;

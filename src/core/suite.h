@@ -98,6 +98,18 @@ struct CharacterizeOptions
     /** Auto segmentation (segments == 0) aims for about this many
      * retired uops per segment. */
     std::uint64_t segmentTargetUops = 16'000'000;
+    /**
+     * Route untimed model runs through the trace-backed batched-exact
+     * path (`runtime::measureBatchedExact`): capture the workload
+     * once, then replay the whole trace through the block-batched
+     * kernel (`Machine::replayBatched`). Outputs are bit-identical to
+     * exact runs and cache under the same plain workload keys, so
+     * batched and direct sessions serve each other's entries. Timed
+     * refrate repetitions always execute direct — their wall time is
+     * the paper's measurement. Ignored for workloads that segment
+     * (segment replays already run through the batched kernel).
+     */
+    bool batched = false;
 };
 
 /**

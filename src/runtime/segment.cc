@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "support/check.h"
 #include "support/timing.h"
 #include "topdown/machine.h"
@@ -117,10 +118,10 @@ replaySegment(const SegmentPlan &plan, int segment)
         const std::size_t methodRecord = trace.lastMethodAt(warm);
         if (methodRecord != trace.records())
             trace.replay(machine, methodRecord, methodRecord + 1);
-        trace.replay(machine, warm, start);
+        trace.replayBatched(machine, warm, start);
     }
     const topdown::MachineSnapshot baseline = machine.snapshot();
-    trace.replay(machine, start, end);
+    trace.replayBatched(machine, start, end);
 
     SegmentDelta delta;
     delta.slots = machine.totals();
@@ -194,7 +195,7 @@ replaySegmentsExact(const SegmentPlan &plan)
             machine->restore(snap);
         }
         const double cpu0 = threadCpuSeconds();
-        trace.replay(*machine, plan.cuts[s], plan.cuts[s + 1]);
+        trace.replayBatched(*machine, plan.cuts[s], plan.cuts[s + 1]);
         seconds += threadCpuSeconds() - cpu0;
     }
 
@@ -341,6 +342,12 @@ runSegmented(const Benchmark &benchmark, const Workload &workload,
 
     const SegmentPlan plan = recordSegments(
         benchmark, workload, options.segments, options.warmupUops);
+    if (options.metrics) {
+        options.metrics->counter("segment.record_uops")
+            .add(plan.retiredOps);
+        options.metrics->histogram("segment.record_seconds")
+            .record(plan.recordSeconds);
+    }
     std::vector<SegmentDelta> deltas(plan.segments);
     const auto runOne = [&](std::size_t s) {
         deltas[s] =
@@ -355,10 +362,62 @@ runSegmented(const Benchmark &benchmark, const Workload &workload,
             runOne(static_cast<std::size_t>(s));
     }
 
+    if (options.metrics) {
+        std::uint64_t replayed = 0;
+        double replaySeconds = 0.0;
+        for (const SegmentDelta &d : deltas) {
+            replayed += d.retired;
+            replaySeconds += d.seconds;
+        }
+        options.metrics->counter("segment.replay_uops").add(replayed);
+        options.metrics->histogram("segment.replay_seconds")
+            .record(replaySeconds);
+    }
     const RunMeasurement out = spliceSegments(plan, deltas);
     if (options.cache)
         options.cache->insert(benchmark, spliceKey, {out, {}});
     return out;
+}
+
+RunMeasurement
+runBatchedExact(const Benchmark &benchmark, const Workload &workload)
+{
+    // The record pass (segments=1 keeps planning trivial) yields the
+    // checksum, method names, and the trace; the whole trace then
+    // replays through the batched kernel on a fresh machine, which is
+    // bit-identical to a direct run by construction.
+    const SegmentPlan plan = recordSegments(benchmark, workload, 1);
+    const double cpu0 = threadCpuSeconds();
+    topdown::Machine machine;
+    plan.trace->replayAllBatched(machine);
+
+    RunMeasurement out;
+    out.seconds = plan.recordSeconds + (threadCpuSeconds() - cpu0);
+    out.simCycles = machine.cycles();
+    out.retiredOps = machine.retiredOps();
+    out.checksum = plan.checksum;
+    out.topdown = machine.ratios();
+    const auto &perMethod = machine.perMethod();
+    std::vector<double> methodTotals;
+    methodTotals.reserve(perMethod.size());
+    for (const topdown::SlotCounts &m : perMethod)
+        methodTotals.push_back(m.total());
+    out.coverage = coverageFromTotals(methodTotals, plan.methodNames);
+    return out;
+}
+
+RunMeasurement
+measureBatchedExact(const Benchmark &benchmark,
+                    const Workload &workload, ResultCache *cache)
+{
+    if (!cache)
+        return runBatchedExact(benchmark, workload);
+    CachedRun cached;
+    if (cache->lookup(benchmark, workload, &cached))
+        return cached.measurement;
+    cached.measurement = runBatchedExact(benchmark, workload);
+    cache->insert(benchmark, workload, cached);
+    return cached.measurement;
 }
 
 int

@@ -49,6 +49,10 @@
 #include "runtime/result_cache.h"
 #include "topdown/trace.h"
 
+namespace alberta::obs {
+class Registry;
+} // namespace alberta::obs
+
 namespace alberta::runtime {
 
 /** Default warm-up window ahead of each segment, in retired uops. */
@@ -68,6 +72,11 @@ struct SegmentOptions
     /** Result cache for the spliced result and per-segment deltas
      * (nullptr = uncached). */
     ResultCache *cache = nullptr;
+    /** Metrics sink for per-pass observability (nullptr = none):
+     * `segment.record_uops`/`segment.replay_uops` counters and
+     * `segment.record_seconds`/`segment.replay_seconds` histograms,
+     * from which `--stats` derives per-pass uops/s. */
+    obs::Registry *metrics = nullptr;
 };
 
 /** The record pass's outputs: everything replays and splices need. */
@@ -150,6 +159,28 @@ RunMeasurement runSegmented(const Benchmark &benchmark,
  * the coverage map; `seconds` is the summed replay time.
  */
 RunMeasurement replaySegmentsExact(const SegmentPlan &plan);
+
+/**
+ * Trace-backed exact run: capture the workload once, then replay the
+ * whole trace through the block-batched kernel
+ * (`Machine::replayBatched`). Model outputs — checksum, retired ops,
+ * top-down fractions, coverage — are bit-identical to @ref runOnce;
+ * `seconds` is the record pass plus the batched replay in thread CPU
+ * time. Faster than a direct run whenever the batched replay's
+ * speedup outweighs the capture overhead (long traces, hot loops).
+ */
+RunMeasurement runBatchedExact(const Benchmark &benchmark,
+                               const Workload &workload);
+
+/**
+ * Cached @ref runBatchedExact. Because the outputs are bit-identical
+ * to a direct run, entries share the plain workload key with
+ * @ref measureCached — a batched run can serve a later exact lookup
+ * and vice versa.
+ */
+RunMeasurement measureBatchedExact(const Benchmark &benchmark,
+                                   const Workload &workload,
+                                   ResultCache *cache);
 
 /**
  * Synthetic workload keying the spliced result of @p workload at a

@@ -1,0 +1,851 @@
+/**
+ * @file
+ * Block-batched trace replay kernel (Machine::replayBatched).
+ *
+ * The scalar replay loop dispatches one Machine API call per trace
+ * record, and every call pays the same overheads: a hash of the branch
+ * site key, loads and stores through `current_`/`total_`, and the
+ * code-fetch cursor bookkeeping. This kernel consumes the trace in
+ * fixed blocks of 256 records and restructures that work around the
+ * SoA lanes without changing a single arithmetic operation:
+ *
+ *  - Precompute sweeps: per block, a decode pass hashes every
+ *    branch-family key — `mix64` of site keys, indirect table keys,
+ *    and indirect targets — before any record executes. This is safe
+ *    because the hashed inputs are trace-determined: the
+ *    stable-method-key shadow advances at Method records, and the
+ *    indirect key chain depends only on the recorded targets, so both
+ *    can be replayed ahead of execution. (gshare's *probe index* also
+ *    XORs the live branch history, so only the site hash is
+ *    precomputed; the XOR happens at execute time.)
+ *
+ *  - Uniform-block specialization: blocks that are Branch records end
+ *    to end (tight conditional loops produce them constantly) hash
+ *    their site keys in one dense sweep — vectorized 8-wide via
+ *    AVX-512DQ `vpmullq` when the host has it, runtime-dispatched —
+ *    and execute through a dense gshare loop that keeps the history
+ *    register and table pointer local, folds the integer predictor
+ *    statistics and the (integer-valued, hence order-free) retiring
+ *    lane once per block, and computes mispredict charges with
+ *    {0.0, 1.0} mask multiplies instead of data-dependent branches —
+ *    the modelled outcome stream is exactly what the host's own
+ *    branch predictor cannot learn, so the scalar path's charge
+ *    branches pay a host mispredict per hard modelled branch.
+ *
+ *  - Register mirrors: the per-method and total SlotCounts accumulators,
+ *    the retired-uop counter, and the code-fetch cursor state are
+ *    copied into locals for the duration of the replay range and
+ *    flushed back at method switches and at the end. A sequence of
+ *    `+=` on a register copy is bit-identical to the same sequence
+ *    through memory — the operations and their order are unchanged.
+ *
+ *  - Tag-compare sweeps: all cache probes route through
+ *    `Cache::accessSweep`, the fixed-trip branchless form of the
+ *    associative scan (identical hit/miss/eviction decisions).
+ *
+ *  - Wrap fast-forward: a bulk code advance that cycles the method's
+ *    footprint many times walks one full cycle scalar-wise, verifies
+ *    the steady-state fetch sequence is entirely L1I-resident, and
+ *    applies the remaining full cycles in closed form
+ *    (`Cache::fastForwardHits`) — all-hit cycles charge nothing and
+ *    evict nothing, so the final state is the same bit for bit.
+ *
+ * Records still *execute* strictly in order: slot accounting is
+ * floating-point and FP addition is not associative, so any
+ * re-association (per-kind partial sums folded per block) would break
+ * the model signature. The partitioning above is only used for the
+ * integer hash precompute, where order does not exist.
+ *
+ * Exactness is pinned by the randomized differential suite
+ * (tests/test_batched.cc), the 195-workload checksum suite, and the
+ * frozen bench signature.
+ */
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "topdown/machine.h"
+#include "topdown/trace.h"
+
+namespace alberta::topdown {
+
+namespace {
+
+/** Records consumed per batch: large enough to amortize the decode
+ * sweeps, small enough that the per-block scratch (a few KiB) stays
+ * resident in L1. */
+constexpr std::size_t kBlockRecords = 256;
+
+/** Golden-ratio multiplier shared with Machine::siteKey and the
+ * indirect-target key derivation in BranchPredictor::indirect. */
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/** Footprint ceiling for the wrap fast-forward: the modelled L1I holds
+ * 32 KiB, and a footprint of consecutive lines up to that size maps at
+ * most `ways` lines per set, so a full scalar probe cycle leaves every
+ * footprint line resident (verified per line regardless). */
+constexpr std::uint64_t kBulkFootprintMax = 32768;
+
+/** True when `ALBERTA_NO_BATCH` is set to a non-empty, non-"0" value
+ * (checked per replay call, so tests can flip it at runtime). */
+bool
+batchDisabled()
+{
+    const char *env = std::getenv("ALBERTA_NO_BATCH");
+    if (env == nullptr || *env == '\0')
+        return false;
+    return !(env[0] == '0' && env[1] == '\0');
+}
+
+/** True when ops[0..n) are all Branch records. Branch-free reduction
+ * so the compiler turns it into wide compares. */
+bool
+allBranch(const std::uint8_t *ops, std::size_t n)
+{
+    constexpr auto kBranch = static_cast<std::uint8_t>(TraceOp::Branch);
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc |= static_cast<std::uint8_t>(ops[i] ^ kBranch);
+    return acc == 0;
+}
+
+/** Count Branch and Indirect records in ops[0..n). Branch-free sums so
+ * the compiler turns the pass into wide compares. */
+void
+countBranchFamily(const std::uint8_t *ops, std::size_t n,
+                  std::size_t &branches, std::size_t &indirects)
+{
+    constexpr auto kBranch = static_cast<std::uint8_t>(TraceOp::Branch);
+    constexpr auto kIndirect =
+        static_cast<std::uint8_t>(TraceOp::Indirect);
+    std::size_t nb = 0, ni = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        nb += ops[i] == kBranch;
+        ni += ops[i] == kIndirect;
+    }
+    branches = nb;
+    indirects = ni;
+}
+
+/**
+ * Dense hash sweep for uniform branch blocks:
+ * `out[i] = mix64(site_base + a[i])`.
+ *
+ * The generic decode hashes keys one record at a time inside its
+ * switch; for an all-branch block the site key is a loop-invariant
+ * base plus the 32-bit site lane, so the whole sweep is a
+ * straight-line map with no lane interaction. mix64's two 64-bit lane
+ * multiplies need `vpmullq`, which only AVX-512DQ provides (SSE/AVX2
+ * have no packed 64x64 multiply), so the vector form is compiled for
+ * that target and selected at runtime. Both functions share one body:
+ * identical arithmetic, identical results, only the instruction
+ * encoding differs.
+ */
+void
+hashSweepPortable(const std::uint32_t *a, std::uint64_t site_base,
+                  std::uint64_t *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = support::mix64(site_base + a[i]);
+}
+
+/**
+ * Dense hash sweep over a 64-bit lane: `out[i] = mix64(in[i])`.
+ *
+ * Used by the mixed-block decode to hash whole lanes ahead of the
+ * chain walk: indirect targets feed the history chain, and the
+ * finished branch-family keys feed the table probes. Like
+ * @ref hashSweepPortable, the AVX-512 twin below shares this body.
+ */
+void
+mixSweepPortable(const std::uint64_t *in, std::uint64_t *out,
+                 std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = support::mix64(in[i]);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+__attribute__((target("avx512f,avx512dq,avx512vl,avx512bw"))) void
+hashSweepAvx512(const std::uint32_t *a, std::uint64_t site_base,
+                std::uint64_t *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = support::mix64(site_base + a[i]);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl,avx512bw"))) void
+mixSweepAvx512(const std::uint64_t *in, std::uint64_t *out,
+               std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = support::mix64(in[i]);
+}
+#endif
+
+using HashSweepFn = void (*)(const std::uint32_t *, std::uint64_t,
+                             std::uint64_t *, std::size_t);
+using MixSweepFn = void (*)(const std::uint64_t *, std::uint64_t *,
+                            std::size_t);
+
+bool
+hostHasAvx512()
+{
+#if defined(__x86_64__) && defined(__GNUC__)
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512vl");
+#else
+    return false;
+#endif
+}
+
+/** Resolved once per process; the host ISA does not change underfoot. */
+#if defined(__x86_64__) && defined(__GNUC__)
+const HashSweepFn kHashSweep =
+    hostHasAvx512() ? hashSweepAvx512 : hashSweepPortable;
+const MixSweepFn kMixSweep =
+    hostHasAvx512() ? mixSweepAvx512 : mixSweepPortable;
+#else
+const HashSweepFn kHashSweep = hashSweepPortable;
+const MixSweepFn kMixSweep = mixSweepPortable;
+#endif
+
+} // namespace
+
+BatchCounters &
+batchCounters()
+{
+    static BatchCounters counters;
+    return counters;
+}
+
+/** The per-range replay state machine; see the file comment. Lives for
+ * one replayBatched call and is a friend of Machine. */
+class BatchedKernel
+{
+  public:
+    BatchedKernel(Machine &machine, const UopTrace &trace)
+        : m_(machine), t_(trace),
+          issueWidth_(static_cast<double>(machine.config_.issueWidth)),
+          decodeFrontend_(machine.config_.decodeFrontend),
+          takenFrontend_(machine.config_.takenBranchFrontend),
+          callFrontend_(machine.config_.callFrontend),
+          memStallFactor_(machine.config_.memStallFactor),
+          fetchStallFactor_(machine.config_.fetchStallFactor),
+          // Scalar code recomputes these products per mispredict; the
+          // factors are constants, so the product is the same double.
+          mispredictBadspec_(machine.config_.mispredictWrongPath *
+                             machine.config_.issueWidth),
+          mispredictFrontend_(machine.config_.mispredictRedirect *
+                              machine.config_.issueWidth),
+          branchBackend_(
+              machine.config_
+                  .backendCost[static_cast<int>(OpKind::Branch)]),
+          hinted_(machine.predictor_.hints() != nullptr)
+    {
+    }
+
+    void
+    run(std::size_t first, std::size_t last)
+    {
+        loadMethod();
+        loadTotals();
+        retired_ = m_.retired_;
+        for (std::size_t base = first; base < last;
+             base += kBlockRecords) {
+            const std::size_t count =
+                std::min(kBlockRecords, last - base);
+            decode(base, count);
+            execute(base, count);
+        }
+        flushMethod();
+        flushTotals();
+        m_.retired_ = retired_;
+    }
+
+  private:
+    /// @name Accumulator mirrors
+    /// @{
+    void
+    loadMethod()
+    {
+        curFrontend_ = m_.current_->frontend;
+        curBackend_ = m_.current_->backend;
+        curBadspec_ = m_.current_->badspec;
+        curRetiring_ = m_.current_->retiring;
+        codeBase_ = m_.codeBase_;
+        codeBytes_ = m_.codeBytes_;
+        cursor_ = m_.codeCursor_;
+        fastBytes_ = m_.fastCodeBytes_;
+        lastLine_ = m_.lastFetchLine_;
+    }
+
+    void
+    flushMethod()
+    {
+        m_.current_->frontend = curFrontend_;
+        m_.current_->backend = curBackend_;
+        m_.current_->badspec = curBadspec_;
+        m_.current_->retiring = curRetiring_;
+        m_.codeCursor_ = cursor_;
+        m_.fastCodeBytes_ = fastBytes_;
+        m_.lastFetchLine_ = lastLine_;
+    }
+
+    void
+    loadTotals()
+    {
+        totFrontend_ = m_.total_.frontend;
+        totBackend_ = m_.total_.backend;
+        totBadspec_ = m_.total_.badspec;
+        totRetiring_ = m_.total_.retiring;
+    }
+
+    void
+    flushTotals()
+    {
+        m_.total_.frontend = totFrontend_;
+        m_.total_.backend = totBackend_;
+        m_.total_.badspec = totBadspec_;
+        m_.total_.retiring = totRetiring_;
+    }
+    /// @}
+
+    /// @name Slot charges (Machine::account / charge*, mirrored)
+    /// @{
+    void
+    account(OpKind k, std::uint64_t n)
+    {
+        const double dn = static_cast<double>(n);
+        const double be =
+            dn * m_.config_.backendCost[static_cast<int>(k)];
+        const double fe = dn * decodeFrontend_;
+        curRetiring_ += dn;
+        curBackend_ += be;
+        curFrontend_ += fe;
+        totRetiring_ += dn;
+        totBackend_ += be;
+        totFrontend_ += fe;
+        retired_ += n;
+    }
+
+    void
+    chargeFrontend(double slots)
+    {
+        curFrontend_ += slots;
+        totFrontend_ += slots;
+    }
+
+    void
+    chargeBackend(double slots)
+    {
+        curBackend_ += slots;
+        totBackend_ += slots;
+    }
+
+    void
+    chargeBadspec(double slots)
+    {
+        curBadspec_ += slots;
+        totBadspec_ += slots;
+    }
+    /// @}
+
+    /// @name Code-fetch cursor (Machine::advanceCode, mirrored)
+    /// @{
+    void
+    advance(std::uint64_t bytes)
+    {
+        if (bytes <= fastBytes_) {
+            fastBytes_ -= static_cast<std::uint32_t>(bytes);
+            cursor_ += static_cast<std::uint32_t>(bytes);
+            return;
+        }
+        advanceSlow(bytes);
+    }
+
+    /** The walk loop of Machine::advanceCodeSlow, minus the fast-path
+     * refill (shared by the slow path and the bulk probe cycle). */
+    void
+    walk(std::uint64_t bytes)
+    {
+        while (bytes > 0) {
+            if (cursor_ >= codeBytes_)
+                cursor_ = 0;
+            const std::uint64_t step =
+                std::min<std::uint64_t>(bytes, codeBytes_ - cursor_);
+            const std::uint32_t firstLine = cursor_ >> 6;
+            const std::uint32_t lastLine =
+                static_cast<std::uint32_t>((cursor_ + step - 1) >> 6);
+            for (std::uint32_t line = firstLine; line <= lastLine;
+                 ++line) {
+                const std::uint64_t lineAddr =
+                    codeBase_ + (static_cast<std::uint64_t>(line) << 6);
+                if (lineAddr == lastLine_)
+                    continue;
+                lastLine_ = lineAddr;
+                const double extra = m_.hierarchy_.fetchSweep(lineAddr);
+                if (extra > 0.0) {
+                    chargeFrontend(extra * issueWidth_ *
+                                   fetchStallFactor_);
+                }
+            }
+            cursor_ = static_cast<std::uint32_t>((cursor_ + step) %
+                                                 codeBytes_);
+            bytes -= step;
+        }
+    }
+
+    void
+    advanceSlow(std::uint64_t bytes)
+    {
+        if (bytes >= 2 * codeBytes_ && codeBytes_ <= kBulkFootprintMax)
+            bytes = fastForwardCycles(bytes);
+        walk(bytes);
+        // Refill the fast-path budget exactly as the scalar slow path
+        // does (a zero tail still refreshes it after a fast-forward).
+        const std::uint64_t cursorLine =
+            codeBase_ + (static_cast<std::uint64_t>(cursor_ >> 6) << 6);
+        if (cursorLine == lastLine_) {
+            fastBytes_ = std::min<std::uint32_t>(
+                64 - (cursor_ & 63), codeBytes_ - cursor_);
+        } else {
+            fastBytes_ = 0;
+        }
+    }
+
+    /**
+     * Bulk-advance helper for @p bytes >= 2 footprints: walk one full
+     * cycle scalar-wise (cursor returns to its entry offset), then
+     * enumerate the steady-state cycle's fetched-line sequence — the
+     * span walk with the lastFetchLine skip, which from now on repeats
+     * exactly, as every subsequent cycle enters with the same cursor
+     * and last-fetched line (runtime-checked below) — and, if every
+     * line in it is L1I-resident, apply the remaining full cycles in
+     * closed form: all-hit cycles charge no stalls and cannot evict,
+     * so only the stamps, MRU memos, and the access counter move, and
+     * Cache::fastForwardHits lands them on their exact final values.
+     * Returns the bytes still to walk scalar-wise (the partial tail,
+     * or everything after the probe cycle when verification fails).
+     */
+    std::uint64_t
+    fastForwardCycles(std::uint64_t bytes)
+    {
+        if (cursor_ >= codeBytes_)
+            cursor_ = 0; // fast path may have parked on the wrap
+        walk(codeBytes_); // probe cycle; cursor_ wraps to its entry
+        bytes -= codeBytes_;
+
+        // Steady-cycle fetch sequence: spans [cursor_, C) then
+        // [0, cursor_). Consecutive lines split at most one line
+        // across the two spans, so at most C/64 + 1 fetches.
+        std::array<std::uint32_t, kBulkFootprintMax / 64 + 1> idxs;
+        std::size_t n = 0;
+        std::uint64_t simLast = lastLine_;
+        bool resident = true;
+        const auto scan = [&](std::uint64_t from, std::uint64_t to) {
+            for (std::uint64_t line = from >> 6; line <= (to - 1) >> 6;
+                 ++line) {
+                const std::uint64_t lineAddr =
+                    codeBase_ + (line << 6);
+                if (lineAddr == simLast)
+                    continue;
+                simLast = lineAddr;
+                const std::ptrdiff_t idx =
+                    m_.hierarchy_.fetchResident(lineAddr);
+                if (idx < 0) {
+                    resident = false;
+                    return;
+                }
+                idxs[n++] = static_cast<std::uint32_t>(idx);
+            }
+        };
+        if (cursor_ == 0) {
+            scan(0, codeBytes_);
+        } else {
+            scan(cursor_, codeBytes_);
+            if (resident)
+                scan(0, cursor_);
+        }
+        // The cycle's last fetched line must match the probe cycle's
+        // (both end on the byte before the cursor), or the sequence
+        // would not be steady — walk scalar-wise instead.
+        if (!resident || simLast != lastLine_)
+            return bytes;
+        const std::uint64_t cycles = bytes / codeBytes_;
+        if (cycles > 0) {
+            m_.hierarchy_.fetchFastForward(
+                std::span<const std::uint32_t>(idxs.data(), n), cycles);
+            bytes -= cycles * codeBytes_;
+        }
+        return bytes;
+    }
+    /// @}
+
+    /**
+     * Precompute pass over records [@p base, @p base + @p count):
+     * partition the block by record kind, replay the trace-determined
+     * shadows (stable method key, indirect target history), and hash
+     * all keys ahead of execution.
+     *
+     * Uniform all-branch blocks — tight conditional loops produce
+     * them constantly — take a dense path: the site key is one
+     * loop-invariant base plus the site lane, so the whole hash sweep
+     * vectorizes (AVX-512 when available), and execute() takes the
+     * dense branch loop that needs only the hash lane. Mixed blocks
+     * with enough branch-family records bracket the in-order chain
+     * walk with two dense mix64 sweeps (targets before, finished keys
+     * after), so no mix64 sits on the history recurrence; sparse
+     * blocks hash inline at their records. The shadows are exact
+     * because all prior blocks have executed, so the machine's stable
+     * key and indirect history are live at block entry.
+     */
+    void
+    decode(std::size_t base, std::size_t count)
+    {
+        const std::uint8_t *op = t_.opLane();
+        const std::uint32_t *a = t_.aLane();
+        const std::uint64_t *b = t_.bLane();
+
+        denseBranch_ = !hinted_ && !m_.profiling_ &&
+                       allBranch(op + base, count);
+        if (denseBranch_) {
+            // key_ stays unwritten: the dense loop never consults the
+            // hint table or the site profiles, so only hashes matter.
+            kHashSweep(a + base, m_.stableKey_ * kGolden, hash_.data(),
+                       count);
+            return;
+        }
+
+        std::size_t branches = 0, indirects = 0;
+        countBranchFamily(op + base, count, branches, indirects);
+        if (branches + indirects == 0)
+            return; // nothing probes a table; no keys to derive
+
+        // The indirect history chain is the only serial dependence in
+        // the decode: hist' = ((hist << 4) ^ mix64(target)) & 0xffff,
+        // so a record's key cannot be derived until every earlier
+        // indirect's target hash is in. Walked naively that chains one
+        // full mix64 latency per indirect — the dominant cost on
+        // indirect-heavy traces. Hashing the target lane ahead of the
+        // walk takes mix64 off the chain entirely, leaving a two-cycle
+        // shift-xor recurrence; likewise the finished keys are hashed
+        // in one dense sweep after the walk instead of one at a time
+        // inside it. Both sweeps cover the whole block including dead
+        // lanes (key_ is zero-initialized so dead reads are defined),
+        // which is profitable only when the records are actually
+        // there: sparse blocks hash inline where the chain has slack
+        // between indirects anyway.
+        const bool sweep = (branches + indirects) * 4 >= count;
+        if (sweep && indirects > 0)
+            kMixSweep(b + base, targetMix_.data(), count);
+
+        std::uint64_t stable = m_.stableKey_;
+        std::uint64_t indirectHistory =
+            m_.predictor_.indirectHistory();
+        for (std::size_t j = 0; j < count; ++j) {
+            switch (static_cast<TraceOp>(op[base + j])) {
+            case TraceOp::Branch: {
+                const std::uint64_t key =
+                    stable * kGolden + a[base + j];
+                key_[j] = key;
+                if (!sweep)
+                    hash_[j] = support::mix64(key);
+                break;
+            }
+            case TraceOp::Indirect: {
+                if (!sweep)
+                    targetMix_[j] = support::mix64(b[base + j]);
+                const std::uint64_t site =
+                    stable * kGolden + a[base + j];
+                const std::uint64_t key =
+                    site ^ indirectHistory * kGolden;
+                key_[j] = key;
+                if (!sweep)
+                    hash_[j] = support::mix64(key);
+                indirectHistory =
+                    ((indirectHistory << 4) ^ targetMix_[j]) & 0xffff;
+                break;
+            }
+            case TraceOp::Method: {
+                const UopTrace::MethodArgs &margs =
+                    t_.methodArgsAt(a[base + j]);
+                stable = margs.stableKey == ~0ULL ? margs.id
+                                                  : margs.stableKey;
+                break;
+            }
+            default:
+                break;
+            }
+        }
+        if (sweep)
+            kMixSweep(key_.data(), hash_.data(), count);
+    }
+
+    /**
+     * Dense loop for a uniform all-branch block with no hints
+     * installed and profiling off (decode() checked both). The gshare
+     * registers live in locals for the block, the integer predictor
+     * statistics and the retiring lane fold once at the end —
+     * conditionals/mispredicts are plain counters, and retiring only
+     * ever accumulates integer addends, so a sum of 1.0s below 2^53
+     * is exact in any association — and the charge tail is the
+     * mask-multiplied branch-free form. Everything that rounds keeps
+     * strict record order: backend/frontend decode charges, code-line
+     * crossings inside advance(), and mispredict charges interleave
+     * exactly as the scalar path interleaves them.
+     */
+    void
+    executeBranchRun(std::size_t base, std::size_t count)
+    {
+        const std::uint8_t *kind = t_.kindLane();
+        BranchPredictor &pred = m_.predictor_;
+        std::uint8_t *counters = pred.counters_.data();
+        std::uint64_t history = pred.history_;
+        std::uint64_t wrong = 0;
+        for (std::size_t j = 0; j < count; ++j) {
+            curBackend_ += branchBackend_;
+            totBackend_ += branchBackend_;
+            curFrontend_ += decodeFrontend_;
+            totFrontend_ += decodeFrontend_;
+            advance(4);
+            const bool taken = kind[base + j] != 0;
+            const std::uint64_t index =
+                (hash_[j] ^ history) &
+                (BranchPredictor::kTableSize - 1);
+            const std::uint8_t counter = counters[index];
+            const bool predicted = counter >= 2;
+            const std::uint8_t up =
+                counter + static_cast<std::uint8_t>(counter < 3);
+            const std::uint8_t down =
+                counter - static_cast<std::uint8_t>(counter > 0);
+            counters[index] = taken ? up : down;
+            history = ((history << 1) | (taken ? 1 : 0)) &
+                      (BranchPredictor::kTableSize - 1);
+            const bool correct = predicted == taken;
+            wrong += static_cast<std::uint64_t>(!correct);
+            const double correctD = static_cast<double>(correct);
+            const double wrongD = 1.0 - correctD;
+            const double badspec = wrongD * mispredictBadspec_;
+            const double frontend =
+                wrongD * mispredictFrontend_ +
+                correctD * (static_cast<double>(taken) *
+                            takenFrontend_);
+            curBadspec_ += badspec;
+            totBadspec_ += badspec;
+            curFrontend_ += frontend;
+            totFrontend_ += frontend;
+        }
+        pred.history_ = history;
+        pred.conditionals_ += count;
+        pred.mispredicts_ += wrong;
+        const double retiredD = static_cast<double>(count);
+        curRetiring_ += retiredD;
+        totRetiring_ += retiredD;
+        retired_ += count;
+    }
+
+    /** Execute records [@p base, @p base + @p count) strictly in
+     * order, performing the exact scalar operation sequence. */
+    void
+    execute(std::size_t base, std::size_t count)
+    {
+        if (denseBranch_) {
+            executeBranchRun(base, count);
+            return;
+        }
+        const std::uint8_t *op = t_.opLane();
+        const std::uint8_t *kind = t_.kindLane();
+        const std::uint32_t *a = t_.aLane();
+        const std::uint64_t *b = t_.bLane();
+        for (std::size_t j = 0; j < count; ++j) {
+            const std::size_t i = base + j;
+            switch (static_cast<TraceOp>(op[i])) {
+            case TraceOp::Ops: {
+                const std::uint64_t n = b[i];
+                if (n == 0)
+                    break;
+                account(static_cast<OpKind>(kind[i]), n);
+                advance(n * 4);
+                break;
+            }
+            case TraceOp::Memory: {
+                account(static_cast<OpKind>(kind[i]), 1);
+                advance(4);
+                const double extra = m_.hierarchy_.dataSweep(b[i]);
+                if (extra > 0.0) {
+                    chargeBackend(extra * issueWidth_ *
+                                  memStallFactor_);
+                }
+                break;
+            }
+            case TraceOp::Stream: {
+                const UopTrace::StreamArgs &s = t_.streamArgsAt(a[i]);
+                if (s.count == 0)
+                    break;
+                account(s.kind, s.count);
+                advance(s.count * 4);
+                const std::uint64_t bytes = s.count * s.stride;
+                const std::uint64_t firstLine = s.addr >> 6;
+                const std::uint64_t lastLine =
+                    (s.addr + (bytes ? bytes - 1 : 0)) >> 6;
+                const double extra =
+                    m_.hierarchy_.dataRangeSweep(firstLine, lastLine);
+                if (extra > 0.0) {
+                    chargeBackend(extra * issueWidth_ *
+                                  memStallFactor_);
+                }
+                break;
+            }
+            case TraceOp::Branch: {
+                account(OpKind::Branch, 1);
+                advance(4);
+                const bool taken = kind[i] != 0;
+                if (m_.profiling_) {
+                    SiteProfile &prof =
+                        m_.profiles_.slotHashed(key_[j], hash_[j]);
+                    ++prof.total;
+                    if (taken)
+                        ++prof.taken;
+                }
+                // Outcome patterns are exactly what the host branch
+                // predictor cannot learn, so the whole
+                // predict-train-charge tail runs branch-free: the
+                // predictor update uses the cmov variant (hints force
+                // the table-consulting path), and the charges are
+                // computed by multiplying the constants with {0.0,
+                // 1.0} masks — FP selects would compile back into
+                // branches, multiplies cannot. Every product is exact
+                // (1.0*c == c, 0.0*c == +0.0 for the positive cost
+                // constants), and adding the resulting +0.0 to the
+                // nonnegative slot accumulators is exact too, so the
+                // sums stay bit-identical to the scalar if/else
+                // chain.
+                const bool correct =
+                    hinted_ ? m_.predictor_.conditionalHashed(
+                                  key_[j], hash_[j], taken)
+                            : m_.predictor_.conditionalPrepared(
+                                  hash_[j], taken);
+                const double correctD = static_cast<double>(correct);
+                const double wrongD = 1.0 - correctD;
+                const double badspec = wrongD * mispredictBadspec_;
+                const double frontend =
+                    wrongD * mispredictFrontend_ +
+                    correctD * (static_cast<double>(taken) *
+                                takenFrontend_);
+                curBadspec_ += badspec;
+                totBadspec_ += badspec;
+                curFrontend_ += frontend;
+                totFrontend_ += frontend;
+                break;
+            }
+            case TraceOp::Indirect: {
+                account(OpKind::Branch, 1);
+                advance(4);
+                const bool correct = m_.predictor_.indirectPrepared(
+                    key_[j], hash_[j], b[i], targetMix_[j]);
+                // Mask-multiplied charges, same exactness argument as
+                // the Branch case above.
+                const double correctD = static_cast<double>(correct);
+                const double wrongD = 1.0 - correctD;
+                const double badspec = wrongD * mispredictBadspec_;
+                const double frontend = wrongD * mispredictFrontend_ +
+                                        correctD * takenFrontend_;
+                curBadspec_ += badspec;
+                totBadspec_ += badspec;
+                curFrontend_ += frontend;
+                totFrontend_ += frontend;
+                break;
+            }
+            case TraceOp::Call: {
+                account(OpKind::Call, 1);
+                advance(4);
+                chargeFrontend(callFrontend_);
+                break;
+            }
+            case TraceOp::Method: {
+                // setMethod may resize methods_ (moving current_) and
+                // resets the cursor state: flush, switch, reload.
+                flushMethod();
+                const UopTrace::MethodArgs &margs =
+                    t_.methodArgsAt(a[i]);
+                m_.setMethod(margs.id, margs.codeBytes,
+                             margs.stableKey);
+                loadMethod();
+                break;
+            }
+            }
+        }
+    }
+
+    Machine &m_;
+    const UopTrace &t_;
+
+    // Config constants, hoisted once per replay range.
+    const double issueWidth_;
+    const double decodeFrontend_;
+    const double takenFrontend_;
+    const double callFrontend_;
+    const double memStallFactor_;
+    const double fetchStallFactor_;
+    const double mispredictBadspec_;
+    const double mispredictFrontend_;
+    const double branchBackend_;
+    /** FDO hints installed? Hinted sites must consult the hint table,
+     * so the branch-free predictor variant only runs without them. */
+    const bool hinted_;
+    /** Set by decode(): current block is uniform Branch records and
+     * may take the dense loop (executeBranchRun). */
+    bool denseBranch_ = false;
+
+    // Accumulator mirrors (see loadMethod/loadTotals).
+    double curFrontend_ = 0, curBackend_ = 0;
+    double curBadspec_ = 0, curRetiring_ = 0;
+    double totFrontend_ = 0, totBackend_ = 0;
+    double totBadspec_ = 0, totRetiring_ = 0;
+    std::uint64_t retired_ = 0;
+    std::uint64_t codeBase_ = 0;
+    std::uint64_t lastLine_ = ~0ULL;
+    std::uint32_t codeBytes_ = 0;
+    std::uint32_t cursor_ = 0;
+    std::uint32_t fastBytes_ = 0;
+
+    // Per-block decode scratch, indexed by position within the block.
+    // key_ is zero-initialized because the dense key-hash sweep reads
+    // the whole array, dead lanes included.
+    std::array<std::uint64_t, kBlockRecords> key_{};
+    std::array<std::uint64_t, kBlockRecords> hash_;
+    std::array<std::uint64_t, kBlockRecords> targetMix_;
+};
+
+void
+Machine::replayBatched(const UopTrace &trace, std::size_t first,
+                       std::size_t last)
+{
+    support::panicIf(last > trace.records() || first > last,
+                     "trace: replay range out of bounds");
+    if (first == last)
+        return;
+    const std::uint64_t blocks =
+        (last - first + kBlockRecords - 1) / kBlockRecords;
+    if (divert_ || batchDisabled()) {
+        // Capture and interval recording thread per-record state the
+        // kernel does not mirror; ALBERTA_NO_BATCH is the operational
+        // escape hatch. Both take the reference scalar loop.
+        batchCounters().fallbackBlocks.fetch_add(
+            blocks, std::memory_order_relaxed);
+        trace.replay(*this, first, last);
+        return;
+    }
+    batchCounters().blocks.fetch_add(blocks,
+                                     std::memory_order_relaxed);
+    BatchedKernel kernel(*this, trace);
+    kernel.run(first, last);
+}
+
+} // namespace alberta::topdown

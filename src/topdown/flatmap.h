@@ -53,33 +53,33 @@ class FlatKeyMap
             return lastIndex_ == kZeroIndex ? zeroValue_
                                             : entries_[lastIndex_].value;
         }
-        if (key == kEmptyKey) {
+        if (key == kEmptyKey)
+            return zeroSlot(inserted);
+        return probe(key, support::mix64(key), inserted);
+    }
+
+    /**
+     * @ref slot with the probe hash precomputed by the caller as
+     * `support::mix64(key)`. The batched replay kernel hashes whole
+     * blocks of keys in one vectorizable sweep, then probes with the
+     * results; behavior and resulting table state are identical to
+     * calling @ref slot (the full 64-bit hash is stored nowhere, so a
+     * rehash between hashing and probing is harmless — the table mask
+     * is applied at probe time).
+     */
+    Value &
+    slotHashed(std::uint64_t key, std::uint64_t hash,
+               bool *inserted = nullptr)
+    {
+        if (key == lastKey_ && lastIndex_ != kNoIndex) {
             if (inserted)
-                *inserted = !hasZero_;
-            if (!hasZero_) {
-                hasZero_ = true;
-                zeroValue_ = Value{};
-            }
-            lastKey_ = key;
-            lastIndex_ = kZeroIndex;
-            return zeroValue_;
+                *inserted = false;
+            return lastIndex_ == kZeroIndex ? zeroValue_
+                                            : entries_[lastIndex_].value;
         }
-        std::size_t idx = findIndex(key);
-        if (entries_[idx].key == kEmptyKey) {
-            if ((count_ + 1) * 4 > entries_.size() * 3) {
-                rehash(entries_.size() * 2);
-                idx = findIndex(key);
-            }
-            entries_[idx].key = key;
-            ++count_;
-            if (inserted)
-                *inserted = true;
-        } else if (inserted) {
-            *inserted = false;
-        }
-        lastKey_ = key;
-        lastIndex_ = idx;
-        return entries_[idx].value;
+        if (key == kEmptyKey)
+            return zeroSlot(inserted);
+        return probe(key, hash, inserted);
     }
 
     /** Number of distinct keys stored. */
@@ -130,13 +130,61 @@ class FlatKeyMap
     static constexpr std::size_t kNoIndex = ~std::size_t(0);
     static constexpr std::size_t kZeroIndex = kNoIndex - 1;
 
+    /** The empty-marker key's dedicated side slot. */
+    Value &
+    zeroSlot(bool *inserted)
+    {
+        if (inserted)
+            *inserted = !hasZero_;
+        if (!hasZero_) {
+            hasZero_ = true;
+            zeroValue_ = Value{};
+        }
+        lastKey_ = kEmptyKey;
+        lastIndex_ = kZeroIndex;
+        return zeroValue_;
+    }
+
+    /** Shared probe-or-insert tail of slot()/slotHashed(); @p hash must
+     * be `support::mix64(key)` and @p key must not be the marker. */
+    Value &
+    probe(std::uint64_t key, std::uint64_t hash, bool *inserted)
+    {
+        std::size_t idx = findHashed(key, hash);
+        if (entries_[idx].key == kEmptyKey) {
+            // 3/4 max load, measured, not folklore: halving it shortens
+            // probe chains but doubles the table footprint, and for the
+            // big indirect-target maps (tens of thousands of keys) the
+            // extra cache misses cost more than the probes saved.
+            if ((count_ + 1) * 4 > entries_.size() * 3) {
+                rehash(entries_.size() * 2);
+                idx = findHashed(key, hash);
+            }
+            entries_[idx].key = key;
+            ++count_;
+            if (inserted)
+                *inserted = true;
+        } else if (inserted) {
+            *inserted = false;
+        }
+        lastKey_ = key;
+        lastIndex_ = idx;
+        return entries_[idx].value;
+    }
+
     /** Index of @p key's slot, or of the empty slot where it belongs.
      * @p key must not be the empty marker. */
     std::size_t
     findIndex(std::uint64_t key) const
     {
+        return findHashed(key, support::mix64(key));
+    }
+
+    std::size_t
+    findHashed(std::uint64_t key, std::uint64_t hash) const
+    {
         const std::size_t mask = entries_.size() - 1;
-        std::size_t idx = support::mix64(key) & mask;
+        std::size_t idx = hash & mask;
         while (entries_[idx].key != kEmptyKey && entries_[idx].key != key)
             idx = (idx + 1) & mask;
         return idx;

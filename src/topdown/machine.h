@@ -26,6 +26,7 @@
 #define ALBERTA_TOPDOWN_MACHINE_H
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,24 @@
 namespace alberta::topdown {
 
 class UopTrace;
+class BatchedKernel;
+
+/**
+ * Process-wide batched-replay observability counters (relaxed atomics,
+ * bumped once per `Machine::replayBatched` call): how many 256-record
+ * blocks went through the batched kernel vs. fell back to the scalar
+ * replay loop (capture/interval mode, or `ALBERTA_NO_BATCH` set).
+ * The runtime layer mirrors deltas into `obs::Registry` so `--stats`
+ * can report fast-path coverage.
+ */
+struct BatchCounters
+{
+    std::atomic<std::uint64_t> blocks{0};
+    std::atomic<std::uint64_t> fallbackBlocks{0};
+};
+
+/** The process-wide counter instance. */
+BatchCounters &batchCounters();
 
 /** Tunable model parameters (defaults approximate a 4-wide OoO core). */
 struct MachineConfig
@@ -223,6 +242,21 @@ class Machine
      * clears capture mode.
      */
     void captureTo(UopTrace *trace);
+
+    /**
+     * Replay trace records [@p first, @p last) through the block-
+     * batched kernel: records are consumed in fixed-size blocks whose
+     * hashable operands (branch site keys, indirect target mixes) are
+     * precomputed in dense sweeps before an in-order execute pass that
+     * performs the exact scalar operation sequence — outputs are
+     * bit-identical to `UopTrace::replay` by construction. Falls back
+     * to the scalar replay loop (and counts the blocks as fallbacks in
+     * @ref batchCounters) when this machine is capturing or recording
+     * intervals, or when `ALBERTA_NO_BATCH` is set and non-zero in the
+     * environment.
+     */
+    void replayBatched(const UopTrace &trace, std::size_t first,
+                       std::size_t last);
 
     /** Copy the complete architectural state (see MachineSnapshot). */
     MachineSnapshot snapshot() const;
@@ -432,6 +466,10 @@ class Machine
     /** True when ops() must leave the fast path (intervals or
      * capture); kept in sync by @ref updateDivert. */
     bool divert_ = false;
+
+    /** The batched replay kernel mirrors the accumulator fields into
+     * locals for the duration of a replay range (see batched.cc). */
+    friend class BatchedKernel;
 };
 
 } // namespace alberta::topdown

@@ -111,6 +111,13 @@ UopTrace::replay(Machine &machine, std::size_t first,
     }
 }
 
+void
+UopTrace::replayBatched(Machine &machine, std::size_t first,
+                        std::size_t last) const
+{
+    machine.replayBatched(*this, first, last);
+}
+
 std::vector<std::size_t>
 UopTrace::cutPoints(int segments) const
 {

@@ -157,6 +157,45 @@ class UopTrace
     }
 
     /**
+     * Replay records [@p first, @p last) through the block-batched
+     * kernel (`Machine::replayBatched`): bit-identical outputs to
+     * @ref replay, several times faster. Falls back to the scalar
+     * path when the machine is capturing or recording intervals, or
+     * when `ALBERTA_NO_BATCH` is set in the environment.
+     */
+    void replayBatched(Machine &machine, std::size_t first,
+                       std::size_t last) const;
+
+    /** Batched replay of the whole trace. */
+    void
+    replayAllBatched(Machine &machine) const
+    {
+        replayBatched(machine, 0, records());
+    }
+
+    /// @name Raw lane access (batched kernel, tests)
+    /// The four lockstep lanes, each records() entries long; see the
+    /// TraceOp enum for which lane carries which operand per record.
+    /// @{
+    const std::uint8_t *opLane() const { return op_.get(); }
+    const std::uint8_t *kindLane() const { return kind_.get(); }
+    const std::uint32_t *aLane() const { return a_.get(); }
+    const std::uint64_t *bLane() const { return b_.get(); }
+    /** Side-table row behind a Stream record's 32-bit lane index. */
+    const StreamArgs &
+    streamArgsAt(std::uint32_t idx) const
+    {
+        return streams_[idx];
+    }
+    /** Side-table row behind a Method record's 32-bit lane index. */
+    const MethodArgs &
+    methodArgsAt(std::uint32_t idx) const
+    {
+        return methods_[idx];
+    }
+    /// @}
+
+    /**
      * K+1 monotone record indices cutting the trace into @p segments
      * spans of near-equal retired-uop counts; cuts land on record
      * boundaries (a bulk record is never split), so a span's uop count

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Differential tests for the block-batched replay kernel: batched
+ * replay must be bit-identical to scalar replay — same state digest,
+ * same slot totals, same retired count — on arbitrary interleaved call
+ * sequences, across block boundaries, mid-trace range splits, FDO
+ * hints, profiling, and the ALBERTA_NO_BATCH / interval fallbacks.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/rng.h"
+#include "topdown/branch.h"
+#include "topdown/machine.h"
+#include "topdown/trace.h"
+
+namespace {
+
+using namespace alberta::topdown;
+using alberta::support::mix64;
+using alberta::support::Rng;
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/** Emit one random Machine API call drawn from the full vocabulary. */
+void
+randomCall(Machine &m, Rng &rng)
+{
+    switch (rng.below(16)) {
+    case 0:
+    case 1:
+    case 2:
+        m.ops(static_cast<OpKind>(rng.below(kNumOpKinds)),
+              1 + rng.below(100));
+        break;
+    case 3:
+        // Bulk report: wraps the code footprint many times, the wrap
+        // fast-forward's trigger condition.
+        m.ops(static_cast<OpKind>(rng.below(kNumOpKinds)),
+              1 + rng.below(50'000));
+        break;
+    case 4:
+    case 5:
+        m.load(0x10000000ULL + rng.below(1 << 18));
+        break;
+    case 6:
+        m.store(0x20000000ULL + rng.below(1 << 16));
+        break;
+    case 7:
+        m.stream(rng.chance(0.5) ? OpKind::Load : OpKind::Store,
+                 0x40000000ULL + rng.below(1 << 22),
+                 1 + rng.below(5000),
+                 static_cast<std::uint32_t>(rng.below(65)));
+        break;
+    case 8:
+    case 9:
+    case 10:
+        m.branch(static_cast<std::uint32_t>(rng.below(32)),
+                 rng.chance(0.7));
+        break;
+    case 11:
+    case 12:
+        m.indirect(static_cast<std::uint32_t>(rng.below(8)),
+                   rng.below(16));
+        break;
+    case 13:
+        m.call();
+        break;
+    case 14:
+        // Stable-keyed method with a small-to-medium footprint.
+        m.setMethod(static_cast<std::uint32_t>(rng.below(10)),
+                    64 + static_cast<std::uint32_t>(rng.below(8192)),
+                    mix64(rng.below(10)));
+        break;
+    case 15:
+        // Default stable key (= id); footprints up to ~40 KB exceed
+        // the wrap fast-forward's L1I ceiling, forcing scalar walks.
+        m.setMethod(static_cast<std::uint32_t>(rng.below(4)),
+                    64 + static_cast<std::uint32_t>(rng.below(40'000)),
+                    ~0ULL);
+        break;
+    }
+}
+
+/** Capture a random @p events -call trace seeded by @p seed. */
+UopTrace
+randomTrace(std::uint64_t seed, std::size_t events)
+{
+    UopTrace trace;
+    Machine m;
+    m.captureTo(&trace);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < events; ++i)
+        randomCall(m, rng);
+    m.captureTo(nullptr);
+    return trace;
+}
+
+/** Hints covering every site key the random generator can produce. */
+BranchHints
+coveringHints()
+{
+    BranchHints hints;
+    for (std::uint64_t site = 0; site < 32; ++site) {
+        // Initial method 0 (stableKey 0) and id-keyed methods 0-3.
+        for (std::uint64_t stable = 0; stable < 4; ++stable)
+            hints.direction[stable * kGolden + site] = (site & 1) != 0;
+        // mix64-keyed methods 0-9.
+        for (std::uint64_t k = 0; k < 10; ++k)
+            hints.direction[mix64(k) * kGolden + site] = (site & 1) == 0;
+    }
+    return hints;
+}
+
+struct CaseConfig
+{
+    bool profiling = false;
+    const BranchHints *hints = nullptr;
+};
+
+/** Replay @p trace scalar and batched into fresh machines and demand
+ * bit-identical outcomes. Returns the common digest. */
+std::uint64_t
+expectEquivalent(const UopTrace &trace, const CaseConfig &cfg = {})
+{
+    Machine scalar;
+    Machine batched;
+    for (Machine *m : {&scalar, &batched}) {
+        m->collectProfile(cfg.profiling);
+        m->setHints(cfg.hints);
+    }
+    trace.replayAll(scalar);
+    trace.replayAllBatched(batched);
+    EXPECT_EQ(scalar.stateDigest(), batched.stateDigest());
+    EXPECT_EQ(scalar.retiredOps(), batched.retiredOps());
+    EXPECT_EQ(scalar.totals().frontend, batched.totals().frontend);
+    EXPECT_EQ(scalar.totals().backend, batched.totals().backend);
+    EXPECT_EQ(scalar.totals().badspec, batched.totals().badspec);
+    EXPECT_EQ(scalar.totals().retiring, batched.totals().retiring);
+    EXPECT_EQ(scalar.hierarchy().l1d().accesses(),
+              batched.hierarchy().l1d().accesses());
+    EXPECT_EQ(scalar.hierarchy().l1i().misses(),
+              batched.hierarchy().l1i().misses());
+    EXPECT_EQ(scalar.predictor().mispredicts(),
+              batched.predictor().mispredicts());
+    return batched.stateDigest();
+}
+
+TEST(BatchedReplay, RandomizedDifferential)
+{
+    const BranchHints hints = coveringHints();
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        CaseConfig cfg;
+        cfg.profiling = seed % 3 == 0;
+        cfg.hints = seed % 5 == 0 ? &hints : nullptr;
+        const UopTrace trace =
+            randomTrace(0xba7c4ed0 + seed, 1500 + seed * 37);
+        expectEquivalent(trace, cfg);
+    }
+}
+
+TEST(BatchedReplay, BlockBoundaryStraddles)
+{
+    // Trace lengths around the 256-record block size, built from
+    // branches (every record exercises predictor + accounting).
+    for (const std::size_t records :
+         {std::size_t{1}, std::size_t{255}, std::size_t{256},
+          std::size_t{257}, std::size_t{511}, std::size_t{512},
+          std::size_t{513}}) {
+        UopTrace trace;
+        Machine rec;
+        rec.captureTo(&trace);
+        for (std::size_t i = 0; i < records; ++i)
+            rec.branch(static_cast<std::uint32_t>(i % 7), (i & 3) != 0);
+        rec.captureTo(nullptr);
+        ASSERT_EQ(trace.records(), records);
+        expectEquivalent(trace);
+    }
+}
+
+TEST(BatchedReplay, DenseBranchBlocksAllConfigs)
+{
+    // Uniform all-branch blocks take the dense register-mirrored
+    // gshare loop; installed hints or enabled profiling must reroute
+    // them through the generic per-record path. All three
+    // configurations must match the scalar replay bit for bit.
+    UopTrace trace;
+    Machine rec;
+    rec.captureTo(&trace);
+    rec.setMethod(2, 2048, mix64(3));
+    Rng rng(0xdeb5);
+    for (std::size_t i = 0; i < 5000; ++i)
+        rec.branch(static_cast<std::uint32_t>(i % 31),
+                   rng.chance(0.6) || (i & 15) == 0);
+    rec.captureTo(nullptr);
+
+    const BranchHints hints = coveringHints();
+    for (int variant = 0; variant < 3; ++variant) {
+        CaseConfig cfg;
+        cfg.profiling = variant == 1;
+        cfg.hints = variant == 2 ? &hints : nullptr;
+        expectEquivalent(trace, cfg);
+    }
+}
+
+TEST(BatchedReplay, MidTraceRangeSplits)
+{
+    const UopTrace trace = randomTrace(0x5eedc0de, 2000);
+    const std::size_t n = trace.records();
+    // Split replay at awkward offsets: the batched ranges start and
+    // end off any block boundary, mid-method, mid-history.
+    for (const std::size_t cut : {std::size_t{3}, std::size_t{100},
+                                  n / 2 + 1, n - 5}) {
+        Machine scalar;
+        trace.replay(scalar, 0, n);
+        Machine split;
+        trace.replayBatched(split, 0, cut);
+        trace.replayBatched(split, cut, n);
+        EXPECT_EQ(scalar.stateDigest(), split.stateDigest());
+    }
+}
+
+TEST(BatchedReplay, WrapFastForwardMatchesScalar)
+{
+    // Bulk advances through small footprints: millions of code bytes
+    // over 64-4096-byte methods, with unaligned cursors in between.
+    UopTrace trace;
+    Machine rec;
+    rec.captureTo(&trace);
+    for (std::uint32_t footprint : {64u, 100u, 256u, 4096u, 32768u}) {
+        rec.setMethod(1, footprint, mix64(footprint));
+        rec.ops(OpKind::IntAlu, 1); // desync the cursor from the wrap
+        rec.ops(OpKind::IntAlu, 1'000'000);
+        rec.load(0x900000ULL + footprint);
+        rec.ops(OpKind::FpMul, 500'000);
+    }
+    rec.captureTo(nullptr);
+    expectEquivalent(trace);
+}
+
+TEST(BatchedReplay, CountsBlocksAndFallbacks)
+{
+    const UopTrace trace = randomTrace(0xc07a57, 600);
+    const std::uint64_t blocksBefore = batchCounters().blocks.load();
+    const std::uint64_t fallbacksBefore =
+        batchCounters().fallbackBlocks.load();
+
+    Machine fast;
+    trace.replayAllBatched(fast);
+    const std::uint64_t expectBlocks = (trace.records() + 255) / 256;
+    EXPECT_EQ(batchCounters().blocks.load() - blocksBefore,
+              expectBlocks);
+
+    ::setenv("ALBERTA_NO_BATCH", "1", 1);
+    Machine slow;
+    trace.replayAllBatched(slow);
+    ::unsetenv("ALBERTA_NO_BATCH");
+    EXPECT_EQ(batchCounters().fallbackBlocks.load() - fallbacksBefore,
+              expectBlocks);
+    EXPECT_EQ(fast.stateDigest(), slow.stateDigest());
+}
+
+TEST(BatchedReplay, NoBatchEnvMatchesBatched)
+{
+    const UopTrace trace = randomTrace(0xe5ca9e, 1200);
+    const std::uint64_t batchedDigest = expectEquivalent(trace);
+
+    // "0" and empty do NOT disable batching; "1" does, and the
+    // fallback still produces the identical digest.
+    for (const char *value : {"", "0", "1"}) {
+        ::setenv("ALBERTA_NO_BATCH", value, 1);
+        Machine m;
+        trace.replayAllBatched(m);
+        EXPECT_EQ(m.stateDigest(), batchedDigest) << "env=" << value;
+    }
+    ::unsetenv("ALBERTA_NO_BATCH");
+}
+
+TEST(BatchedReplay, IntervalRecordingFallsBackExactly)
+{
+    const UopTrace trace = randomTrace(0x17e4a1, 1000);
+    Machine scalar;
+    scalar.recordIntervals(10'000);
+    trace.replayAll(scalar);
+
+    Machine viaBatched;
+    viaBatched.recordIntervals(10'000);
+    trace.replayAllBatched(viaBatched); // divert_ -> scalar fallback
+    EXPECT_EQ(scalar.stateDigest(), viaBatched.stateDigest());
+    EXPECT_FALSE(viaBatched.intervals().empty());
+    EXPECT_EQ(scalar.intervals().size(), viaBatched.intervals().size());
+}
+
+TEST(BatchedReplay, EmptyRangeIsANoOp)
+{
+    const UopTrace trace = randomTrace(0xe09f, 300);
+    Machine m;
+    const std::uint64_t fresh = m.stateDigest();
+    trace.replayBatched(m, 10, 10);
+    EXPECT_EQ(m.stateDigest(), fresh);
+
+    UopTrace empty;
+    Machine m2;
+    empty.replayAllBatched(m2);
+    EXPECT_EQ(m2.stateDigest(), fresh);
+}
+
+} // namespace
