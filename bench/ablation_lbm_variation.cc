@@ -43,10 +43,10 @@ main()
          {"519.lbm_r", "507.cactuBSSN_r", "557.xz_r",
           "531.deepsjeng_r"}) {
         const auto bm = core::makeBenchmark(name);
-        core::CharacterizeOptions options;
-        options.refrateRepetitions = 1;
+        core::RunRequest request;
+        request.refrateRepetitions = 1;
         const core::Characterization c =
-            core::characterize(*bm, options);
+            core::characterize(*bm, request);
 
         // Recompute with a 1% floor on bad speculation.
         const stats::TopdownSummary floored = stats::summarizeTopdown(

@@ -20,10 +20,10 @@ plotCoverage(const std::string &name,
 {
     using namespace alberta;
     const auto bm = core::makeBenchmark(name);
-    core::CharacterizeOptions options;
-    options.refrateRepetitions = 1;
-    options.engine = &engine;
-    const core::Characterization c = core::characterize(*bm, options);
+    core::RunRequest request;
+    request.refrateRepetitions = 1;
+    const core::Characterization c =
+        core::characterize(*bm, request, &engine);
 
     std::cout << "\n" << name << " (Figure 2 series)\n";
     std::vector<std::string> header = {"workload"};

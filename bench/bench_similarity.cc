@@ -26,10 +26,10 @@ main()
     stats::Matrix features;
     for (const auto &name : core::table2Names()) {
         const auto bm = core::makeBenchmark(name);
-        core::CharacterizeOptions options;
-        options.refrateRepetitions = 1;
+        core::RunRequest request;
+        request.refrateRepetitions = 1;
         const core::Characterization c =
-            core::characterize(*bm, options);
+            core::characterize(*bm, request);
         names.push_back(name);
         features.push_back({
             c.topdown.frontend.mean,

@@ -74,7 +74,7 @@ using namespace alberta;
  * When @p perBenchSeconds is non-null it receives each benchmark's
  * wall seconds in table order. */
 std::vector<core::Characterization>
-characterizePerBenchmark(const core::CharacterizeOptions &options,
+characterizePerBenchmark(const core::RunRequest &request,
                          const char *label,
                          std::vector<double> *perBenchSeconds = nullptr)
 {
@@ -82,7 +82,7 @@ characterizePerBenchmark(const core::CharacterizeOptions &options,
     for (const auto &name : core::table2Names()) {
         const auto start = std::chrono::steady_clock::now();
         const auto bm = core::makeBenchmark(name);
-        out.push_back(core::characterize(*bm, options));
+        out.push_back(core::characterize(*bm, request));
         const double seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
@@ -241,12 +241,12 @@ main(int argc, char **argv)
     // wall seconds double as the longest-chain baseline.
     std::vector<core::Characterization> serial;
     std::vector<double> serialPerBench;
-    core::CharacterizeOptions serialOptions;
-    serialOptions.jobs = 1;
+    core::RunRequest serialRequest;
+    serialRequest.jobs = 1;
     const double serialSeconds = timeSuite(
         serial,
         [&] {
-            return characterizePerBenchmark(serialOptions, "serial",
+            return characterizePerBenchmark(serialRequest, "serial",
                                             &serialPerBench);
         },
         "serial baseline");
@@ -259,18 +259,19 @@ main(int argc, char **argv)
                                  .jobs(jobs)
                                  .cacheDir(cacheDir)
                                  .build();
-    core::CharacterizeOptions suiteOptions;
-    suiteOptions.engine = &engine;
+    core::RunRequest suiteRequest;
     std::vector<core::Characterization> suiteCold;
     const double suiteColdSeconds = timeSuite(
-        suiteCold, [&] { return core::characterizeTable2(suiteOptions); },
+        suiteCold,
+        [&] { return core::characterizeTable2(suiteRequest, &engine); },
         "suite-scheduled cold");
 
     // 3. Same engine, warm memory cache: the memoized
     // re-characterization.
     std::vector<core::Characterization> warm;
     const double warmSeconds = timeSuite(
-        warm, [&] { return core::characterizeTable2(suiteOptions); },
+        warm,
+        [&] { return core::characterizeTable2(suiteRequest, &engine); },
         "warm (in-process)");
 
     // 4. Fresh engine, same directory: a second process's first run —
@@ -279,11 +280,10 @@ main(int argc, char **argv)
                                  .jobs(jobs)
                                  .cacheDir(cacheDir)
                                  .build();
-    core::CharacterizeOptions secondOptions;
-    secondOptions.engine = &second;
     std::vector<core::Characterization> diskWarm;
     const double diskWarmSeconds = timeSuite(
-        diskWarm, [&] { return core::characterizeTable2(secondOptions); },
+        diskWarm,
+        [&] { return core::characterizeTable2(suiteRequest, &second); },
         "disk-warm (fresh engine)");
 
     // 6. Batched-exact, cold: the serial loop again, but every model
@@ -291,14 +291,14 @@ main(int argc, char **argv)
     // block-batched kernel (runtime::runBatchedExact). Same outputs,
     // bit for bit; the wall time prices capture + batched replay
     // against the fused generate-and-model serial baseline.
-    core::CharacterizeOptions batchedOptions;
-    batchedOptions.jobs = 1;
-    batchedOptions.batched = true;
+    core::RunRequest batchedRequest;
+    batchedRequest.jobs = 1;
+    batchedRequest.batched = true;
     std::vector<core::Characterization> batchedExact;
     const double batchedSeconds = timeSuite(
         batchedExact,
         [&] {
-            return characterizePerBenchmark(batchedOptions, "batched");
+            return characterizePerBenchmark(batchedRequest, "batched");
         },
         "batched-exact cold");
 
@@ -319,12 +319,12 @@ main(int argc, char **argv)
                                     .jobs(jobs)
                                     .cacheDir(segCacheDir)
                                     .build();
-    core::CharacterizeOptions segOptions;
-    segOptions.engine = &segEngine;
-    segOptions.segments = segments;
+    core::RunRequest segRequest;
+    segRequest.segments = segments;
     std::vector<core::Characterization> segmented;
     const double segmentedSeconds = timeSuite(
-        segmented, [&] { return core::characterizeTable2(segOptions); },
+        segmented,
+        [&] { return core::characterizeTable2(segRequest, &segEngine); },
         "segment-parallel cold");
     {
         std::error_code ec;

@@ -11,7 +11,7 @@
  *   alberta_cli report <benchmark>        behaviour report to stdout
  *   alberta_cli cluster <benchmark> <k>   Berube-style representatives
  *
- * Global flags (before or after the subcommand):
+ * Flags (before or after the subcommand; see --help):
  *
  *   --jobs N        worker threads for model runs (default:
  *                   ALBERTA_JOBS when set, else hardware concurrency)
@@ -38,18 +38,21 @@
  *   --stats         print the one-line executor/cache/scheduler
  *                   summary to stderr on exit
  *
- * All characterizing commands share one runtime::Engine: the worker
- * pool, result cache (optionally disk-backed), stats block, and
- * observability layer for the whole invocation.
+ * The characterizing commands build one core::RunRequest — the same
+ * serializable spec `alberta_serve` accepts over its socket — and
+ * execute it through one shared runtime::Engine, so `--format json`
+ * output here is byte-identical to the daemon's payload for the same
+ * request and cache.
  */
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/cluster.h"
 #include "core/report.h"
+#include "core/request.h"
 #include "core/suite.h"
+#include "support/argparse.h"
 #include "support/check.h"
 #include "support/table.h"
 #include "support/text.h"
@@ -113,46 +116,24 @@ cmdRun(const std::string &name, const std::string &workloadName,
     return 0;
 }
 
+/** characterize / suite / report: one RunRequest executed through the
+ * shared engine. JSON output prints the deliverable payload verbatim
+ * (the daemon serves the same bytes); text and Markdown render the
+ * characterized rows through the session's ReportWriter. */
 int
-cmdCharacterize(const std::string &name, runtime::Engine &engine,
-                const core::ReportWriter &writer, int segments,
-                bool batched)
+cmdRequest(core::RunRequest request, runtime::Engine &engine,
+           const core::ReportWriter &writer,
+           core::ReportFormat format)
 {
-    const auto bm = core::makeBenchmark(name);
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.segments = segments;
-    options.batched = batched;
-    const auto c = core::characterize(*bm, options);
-    std::cout << writer.table2({c});
-    return 0;
-}
-
-int
-cmdSuite(runtime::Engine &engine, const core::ReportWriter &writer,
-         int segments, bool batched)
-{
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.segments = segments;
-    options.batched = batched;
-    const auto results = core::characterizeTable2(options);
-    std::cout << writer.table2(results);
-    return 0;
-}
-
-int
-cmdReport(const std::string &name, runtime::Engine &engine,
-          const core::ReportWriter &writer, int segments,
-          bool batched)
-{
-    const auto bm = core::makeBenchmark(name);
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.segments = segments;
-    options.batched = batched;
-    const auto c = core::characterize(*bm, options);
-    std::cout << writer.report(c);
+    std::vector<core::Characterization> rows;
+    const core::RunResult result =
+        core::execute(request, engine, &rows);
+    if (format == core::ReportFormat::Json) {
+        std::cout << result.payload << '\n';
+        return 0;
+    }
+    std::cout << (request.kind == "report" ? writer.report(rows[0])
+                                           : writer.table2(rows));
     return 0;
 }
 
@@ -161,10 +142,9 @@ cmdCluster(const std::string &name, std::size_t k,
            runtime::Engine &engine)
 {
     const auto bm = core::makeBenchmark(name);
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.refrateRepetitions = 1;
-    const auto c = core::characterize(*bm, options);
+    core::RunRequest request;
+    request.refrateRepetitions = 1;
+    const auto c = core::characterize(*bm, request, &engine);
     const auto clustering = core::clusterWorkloads(c, k);
     support::Table table({"cluster", "representative", "members"});
     for (std::size_t cl = 0; cl < clustering.medoids.size(); ++cl) {
@@ -243,23 +223,15 @@ printStats(runtime::Engine &engine)
     }
 }
 
-void
-usage()
-{
-    std::cerr
-        << "usage: alberta_cli [--jobs N] [--segments {auto,K}]\n"
-           "                   [--batched]\n"
-           "                   [--format {text,md,json}]\n"
-           "                   [--trace FILE] [--cache-dir DIR]\n"
-           "                   [--metrics] [--stats] <command>\n"
-           "  alberta_cli list\n"
-           "  alberta_cli workloads <benchmark>\n"
-           "  alberta_cli run <benchmark> <workload> [reps]\n"
-           "  alberta_cli characterize <benchmark>\n"
-           "  alberta_cli suite\n"
-           "  alberta_cli report <benchmark>\n"
-           "  alberta_cli cluster <benchmark> <k>\n";
-}
+constexpr const char *kUsageTail =
+    "commands:\n"
+    "  list                        all benchmarks + areas\n"
+    "  workloads <benchmark>       workload names + params\n"
+    "  run <benchmark> <workload> [reps]\n"
+    "  characterize <benchmark>    Table II row for one program\n"
+    "  suite                       full Table II (suite scheduler)\n"
+    "  report <benchmark>          behaviour report to stdout\n"
+    "  cluster <benchmark> <k>     representative workloads\n";
 
 } // namespace
 
@@ -273,53 +245,61 @@ main(int argc, char **argv)
     bool wantMetrics = false;
     std::string tracePath;
     std::string cacheDir;
-    if (const char *env = std::getenv("ALBERTA_CACHE_DIR"))
-        cacheDir = env;
+    bool cacheDirGiven = false;
     core::ReportFormat format = core::ReportFormat::Text;
+
+    support::ArgParser parser("alberta_cli", kUsageTail);
+    parser
+        .positiveInt("--jobs", "N",
+                     "worker threads for model runs (default: "
+                     "ALBERTA_JOBS, else hardware concurrency)",
+                     &jobs)
+        .custom("--segments", "{auto,K}",
+                "segment parallelism: auto (default), 1 = exact, "
+                "K > 1 = force K segments",
+                [&](const std::string &value) {
+                    segments =
+                        value == "auto"
+                            ? 0
+                            : static_cast<int>(
+                                  support::parsePositiveInt(
+                                      value, "--segments", 1024));
+                })
+        .flag("--batched",
+              "trace-backed batched-exact model runs (bit-identical)",
+              &batched)
+        .custom("--format", "{text,md,json}",
+                "output format (default: text)",
+                [&](const std::string &value) {
+                    format = core::parseReportFormat(value);
+                })
+        .option("--trace", "FILE",
+                "write a JSON-lines span trace of the run session",
+                &tracePath)
+        .option("--cache-dir", "DIR",
+                "persist model results under DIR (default: "
+                "ALBERTA_CACHE_DIR, else no persistence)",
+                &cacheDir, &cacheDirGiven)
+        .flag("--metrics",
+              "print the end-of-run metrics table to stderr",
+              &wantMetrics)
+        .flag("--stats",
+              "print executor/cache/scheduler summaries to stderr",
+              &wantStats);
+
     std::vector<std::string> args;
     try {
-        for (int i = 1; i < argc; ++i) {
-            const auto flagArg = [&](const char *flag) {
-                if (i + 1 >= argc)
-                    support::fatal("alberta_cli: ", flag,
-                                   " requires an argument");
-                return argv[++i];
-            };
-            if (std::strcmp(argv[i], "--jobs") == 0)
-                jobs = static_cast<int>(support::parsePositiveInt(
-                    flagArg("--jobs"), "--jobs", 1024));
-            else if (std::strcmp(argv[i], "--segments") == 0) {
-                const char *value = flagArg("--segments");
-                segments =
-                    std::strcmp(value, "auto") == 0
-                        ? 0
-                        : static_cast<int>(support::parsePositiveInt(
-                              value, "--segments", 1024));
-            } else if (std::strcmp(argv[i], "--batched") == 0)
-                batched = true;
-            else if (std::strcmp(argv[i], "--format") == 0)
-                format =
-                    core::parseReportFormat(flagArg("--format"));
-            else if (std::strcmp(argv[i], "--trace") == 0)
-                tracePath = flagArg("--trace");
-            else if (std::strcmp(argv[i], "--cache-dir") == 0) {
-                cacheDir = flagArg("--cache-dir");
-                if (cacheDir.empty())
-                    support::fatal("alberta_cli: --cache-dir "
-                                   "requires a non-empty directory");
-            } else if (std::strcmp(argv[i], "--metrics") == 0)
-                wantMetrics = true;
-            else if (std::strcmp(argv[i], "--stats") == 0)
-                wantStats = true;
-            else
-                args.emplace_back(argv[i]);
-        }
+        args = parser.parse(argc, argv);
     } catch (const support::FatalError &e) {
         std::cerr << "alberta_cli: " << e.what() << "\n";
         return 2;
     }
+    if (parser.helpRequested()) {
+        std::cout << parser.help();
+        return 0;
+    }
     if (args.empty()) {
-        usage();
+        std::cerr << parser.help();
         return 2;
     }
     const std::string &command = args[0];
@@ -329,12 +309,16 @@ main(int argc, char **argv)
         // Engine::Builder::build raises FatalError for a cache
         // directory that cannot be created or is not a directory; the
         // catch below turns that into a usage error.
-        runtime::Engine engine = runtime::Engine::Builder()
-                                     .jobs(jobs)
-                                     .traceFile(tracePath)
-                                     .cacheDir(cacheDir)
-                                     .build();
+        runtime::Engine engine =
+            runtime::Engine::Builder()
+                .jobs(jobs)
+                .traceFile(tracePath)
+                .cacheDirOption(cacheDir, cacheDirGiven)
+                .build();
         const core::ReportWriter writer(format, &engine);
+        core::RunRequest request;
+        request.segments = segments;
+        request.batched = batched;
         if (command == "list")
             rc = cmdList();
         else if (command == "workloads" && args.size() >= 2)
@@ -347,22 +331,25 @@ main(int argc, char **argv)
                                       args[3], "run repetitions",
                                       1000))
                             : 3);
-        else if (command == "characterize" && args.size() >= 2)
-            rc = cmdCharacterize(args[1], engine, writer, segments,
-                                 batched);
-        else if (command == "suite")
-            rc = cmdSuite(engine, writer, segments, batched);
-        else if (command == "report" && args.size() >= 2)
-            rc = cmdReport(args[1], engine, writer, segments,
-                           batched);
-        else if (command == "cluster" && args.size() >= 3)
+        else if (command == "characterize" && args.size() >= 2) {
+            request.kind = "characterize";
+            request.benchmark = args[1];
+            rc = cmdRequest(request, engine, writer, format);
+        } else if (command == "suite") {
+            request.kind = "suite";
+            rc = cmdRequest(request, engine, writer, format);
+        } else if (command == "report" && args.size() >= 2) {
+            request.kind = "report";
+            request.benchmark = args[1];
+            rc = cmdRequest(request, engine, writer, format);
+        } else if (command == "cluster" && args.size() >= 3)
             rc = cmdCluster(args[1],
                             static_cast<std::size_t>(
                                 support::parsePositiveInt(
                                     args[2], "cluster k", 1024)),
                             engine);
         else
-            usage();
+            std::cerr << parser.help();
 
         if (wantMetrics)
             std::cerr << writer.metrics(engine.metricsSnapshot());

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * `alberta_serve` — the characterization daemon. Binds an AF_UNIX
+ * socket, builds one shared runtime::Engine, and serves the
+ * line-delimited JSON request protocol (see src/serve/protocol.h)
+ * until SIGTERM/SIGINT or a client's "shutdown" op, then drains
+ * gracefully: every admitted request is answered before exit.
+ *
+ * Quick start:
+ *
+ *   alberta_serve --socket /tmp/alberta.sock --cache-dir ~/.alberta &
+ *   printf '%s\n' '{"op":"run","id":1,"run":{"kind":"suite"}}' \
+ *       | nc -U /tmp/alberta.sock
+ *
+ * The served payload is byte-identical to
+ * `alberta_cli suite --format json` on the same cache.
+ */
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "serve/server.h"
+#include "support/argparse.h"
+#include "support/check.h"
+
+namespace {
+
+// SIGTERM/SIGINT land on a self-pipe: the handler only write()s (the
+// one async-signal-safe thing to do) and a watcher thread turns the
+// byte into Server::beginShutdown().
+int gSignalPipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(gSignalPipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    alberta::serve::ServerOptions options;
+    int queueCapacity = 64;
+    alberta::support::ArgParser parser(
+        "alberta_serve",
+        "serves characterization requests (line-delimited JSON) on a "
+        "local socket;\nsee src/serve/protocol.h for the request "
+        "grammar.\n");
+    parser
+        .option("--socket", "PATH",
+                "AF_UNIX socket path to listen on (required)",
+                &options.socketPath)
+        .positiveInt("--jobs", "N",
+                     "engine worker threads (default: hardware "
+                     "concurrency)",
+                     &options.jobs)
+        .option("--cache-dir", "DIR",
+                "persist model results under DIR (default: "
+                "ALBERTA_CACHE_DIR, else no persistence)",
+                &options.cacheDir, &options.cacheDirGiven)
+        .positiveInt("--queue", "N",
+                     "admission bound on queued run requests "
+                     "(default: 64)",
+                     &queueCapacity, 100000)
+        .option("--trace", "FILE",
+                "write a JSON-lines span trace of the serving "
+                "session",
+                &options.traceFile);
+
+    try {
+        const auto positionals = parser.parse(argc, argv);
+        if (parser.helpRequested()) {
+            std::cout << parser.help();
+            return 0;
+        }
+        alberta::support::fatalIf(!positionals.empty(),
+                                  "unexpected argument '",
+                                  positionals.front(), "'");
+        alberta::support::fatalIf(options.socketPath.empty(),
+                                  "--socket is required");
+    } catch (const alberta::support::FatalError &e) {
+        std::cerr << "alberta_serve: " << e.what() << "\n";
+        return 2;
+    }
+    options.queueCapacity =
+        static_cast<std::size_t>(queueCapacity);
+    options.verbose = true;
+
+    // A client vanishing mid-response must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (::pipe(gSignalPipe) != 0) {
+        std::cerr << "alberta_serve: pipe(): "
+                  << std::strerror(errno) << "\n";
+        return 1;
+    }
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    int rc = 0;
+    try {
+        alberta::serve::Server server(std::move(options));
+        std::thread watcher([&server] {
+            char byte;
+            while (::read(gSignalPipe[0], &byte, 1) < 0 &&
+                   errno == EINTR) {
+            }
+            server.beginShutdown();
+        });
+        server.serve();
+        // serve() returned: wake the watcher if no signal arrived
+        // (shutdown came from a client op).
+        onSignal(0);
+        watcher.join();
+    } catch (const alberta::support::FatalError &e) {
+        std::cerr << "alberta_serve: " << e.what() << "\n";
+        rc = 2;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        rc = 1;
+    }
+    ::close(gSignalPipe[0]);
+    ::close(gSignalPipe[1]);
+    return rc;
+}

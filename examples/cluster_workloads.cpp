@@ -35,11 +35,10 @@ main(int argc, char **argv)
 
     const auto benchmark = core::makeBenchmark(benchmarkName);
     runtime::Engine engine;
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.refrateRepetitions = 1;
+    core::RunRequest request;
+    request.refrateRepetitions = 1;
     const core::Characterization c =
-        core::characterize(*benchmark, options);
+        core::characterize(*benchmark, request, &engine);
 
     const core::Clustering clustering =
         core::clusterWorkloads(c, k);

@@ -29,16 +29,13 @@ main(int argc, char **argv)
     const std::string only = argc > 2 ? argv[2] : "";
     fs::create_directories(root);
 
-    std::string cacheDir;
-    if (const char *env = std::getenv("ALBERTA_CACHE_DIR"))
-        cacheDir = env;
-    runtime::Engine engine =
-        runtime::Engine::Builder().cacheDir(cacheDir).build();
+    runtime::Engine engine = runtime::Engine::Builder()
+                                 .cacheDirOption("", false)
+                                 .build();
     const core::ReportWriter writer(core::ReportFormat::Markdown,
                                     &engine);
-    core::CharacterizeOptions options;
-    options.refrateRepetitions = 3;
-    options.engine = &engine;
+    core::RunRequest request;
+    request.refrateRepetitions = 3;
 
     const auto writeReport = [&](const core::Characterization &c) {
         const fs::path file = root / (c.benchmark + ".md");
@@ -49,10 +46,10 @@ main(int argc, char **argv)
 
     if (!only.empty()) {
         const auto benchmark = core::makeBenchmark(only);
-        writeReport(core::characterize(*benchmark, options));
+        writeReport(core::characterize(*benchmark, request, &engine));
         return 0;
     }
-    for (const auto &c : core::characterizeTable2(options))
+    for (const auto &c : core::characterizeTable2(request, &engine))
         writeReport(c);
     return 0;
 }

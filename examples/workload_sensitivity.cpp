@@ -35,11 +35,10 @@ main(int argc, char **argv)
         if (fast && entries.size() >= 5)
             break;
         const auto bm = core::makeBenchmark(name);
-        core::CharacterizeOptions options;
-        options.refrateRepetitions = 1;
-        options.engine = &engine;
+        core::RunRequest request;
+        request.refrateRepetitions = 1;
         const core::Characterization c =
-            core::characterize(*bm, options);
+            core::characterize(*bm, request, &engine);
         entries.push_back({name, c.topdown.muGV, c.coverage.muGM,
                            c.topdown.badspec.mean});
         std::cerr << "  characterized " << name << "\n";

@@ -144,6 +144,93 @@ else
     echo "check_build: python3 not found, skipping segment check"
 fi
 
+# Serving-layer smoke test: a daemon on a temp socket must answer a
+# Table II suite request with bytes identical to the CLI run against
+# the same cache directory, answer /metrics out of the registry, and
+# drain cleanly on SIGTERM without leaving the socket or any temp
+# files behind. --segments 1 / "segments":1 pins the exact (unsliced)
+# path so the comparison is independent of the host's core count.
+serve_dir="$(mktemp -d "${TMPDIR:-/tmp}/alberta-check-serve.XXXXXX")"
+trap 'rm -rf "$cache_dir" "$serve_dir"' EXIT
+serve_sock="$serve_dir/daemon.sock"
+serve_cache="$serve_dir/cache"
+serve_log="$BUILD_DIR/check_serve.log"
+served_suite="$BUILD_DIR/check_serve_suite.json"
+cli_suite="$BUILD_DIR/check_cli_suite.json"
+if command -v python3 > /dev/null; then
+    "$BUILD_DIR"/examples/alberta_serve --socket "$serve_sock" \
+        --cache-dir "$serve_cache" > "$serve_log" 2>&1 &
+    serve_pid=$!
+    python3 - "$serve_sock" "$served_suite" << 'EOF'
+import json, socket, sys, time
+path, out = sys.argv[1], sys.argv[2]
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+deadline = time.time() + 10
+while True:
+    try:
+        s.connect(path)
+        break
+    except OSError:
+        if time.time() > deadline:
+            sys.exit("check_build: daemon socket never came up")
+        time.sleep(0.05)
+f = s.makefile("rwb")
+
+def ask(line):
+    f.write(line.encode() + b"\n")
+    f.flush()
+    resp = f.readline()
+    if not resp:
+        sys.exit("check_build: daemon hung up mid-conversation")
+    return resp.decode()
+
+resp = ask('{"op":"run","id":1,"run":{"kind":"suite","segments":1}}')
+env = json.loads(resp)
+if env["id"] != 1 or not env["ok"] or env["kind"] != "suite":
+    sys.exit(f"check_build: bad suite envelope: {resp[:200]}")
+body = resp.rstrip("\r\n")
+start = body.index(',"payload":') + len(',"payload":')
+with open(out, "w") as fh:
+    fh.write(body[start:-1] + "\n")
+env = json.loads(ask("/metrics"))
+if not env["ok"] or env["kind"] != "metrics":
+    sys.exit("check_build: bad /metrics envelope")
+rendered = json.dumps(env["payload"])
+for counter in ("serve.requests", "serve.responses"):
+    if counter not in rendered:
+        sys.exit(f"check_build: /metrics is missing {counter}")
+s.close()
+print("check_build: daemon answered the suite request and /metrics")
+EOF
+    "$BUILD_DIR"/examples/alberta_cli suite --format json --segments 1 \
+        --cache-dir "$serve_cache" > "$cli_suite" 2> /dev/null
+    if ! cmp -s "$served_suite" "$cli_suite"; then
+        echo "check_build: FAIL: served suite JSON differs from the" \
+             "CLI run on the same cache" >&2
+        exit 1
+    fi
+    kill -TERM "$serve_pid"
+    serve_rc=0
+    wait "$serve_pid" || serve_rc=$?
+    if [[ "$serve_rc" != "0" ]]; then
+        echo "check_build: FAIL: daemon exited $serve_rc on SIGTERM" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    if [[ -e "$serve_sock" ]]; then
+        echo "check_build: FAIL: daemon left its socket behind" >&2
+        exit 1
+    fi
+    if find "$serve_dir" -name '*.tmp*' | grep -q .; then
+        echo "check_build: FAIL: daemon left temp files behind" >&2
+        exit 1
+    fi
+    echo "check_build: serving layer OK (byte-identical suite JSON," \
+         "clean SIGTERM drain)"
+else
+    echo "check_build: python3 not found, skipping daemon check"
+fi
+
 if [[ "${ALBERTA_SKIP_BENCH:-0}" != "1" ]]; then
     committed_sig=""
     if [[ -f BENCH_machine.json ]]; then

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The first-class request API: one serializable RunRequest/RunResult
+ * pair is the single public way to specify and deliver a
+ * characterization run.
+ *
+ * Every entry point — `alberta_cli`, the `alberta_serve` daemon, the
+ * bench harnesses, and tests — constructs a RunRequest instead of
+ * poking fields on ad-hoc option structs, and the pair round-trips
+ * through JSON (via support::json), so the exact run a client asked
+ * for over the wire is the exact run the CLI would perform locally:
+ *
+ * @code
+ *   core::RunRequest request;
+ *   request.kind = "suite";
+ *   request.segments = 0; // auto
+ *   core::RunResult result = core::execute(request, engine);
+ *   std::cout << result.payload << "\n"; // Table II JSON
+ * @endcode
+ *
+ * RunResult::payload carries the rendered JSON deliverable verbatim
+ * (no trailing newline); RunResult::toJson() embeds it unmodified as
+ * the envelope's last member, so a served payload is byte-identical
+ * to the CLI's `--format json` output for the same request and cache.
+ */
+#ifndef ALBERTA_CORE_REQUEST_H
+#define ALBERTA_CORE_REQUEST_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/segment.h"
+#include "support/json.h"
+
+namespace alberta::runtime {
+class Engine;
+} // namespace alberta::runtime
+
+namespace alberta::core {
+
+struct Characterization;
+
+/**
+ * A fully serializable run specification: what to run (kind,
+ * benchmark, workload) plus the model configuration (repetitions,
+ * segmentation, batching). This is the payload the daemon accepts
+ * over its socket and the options block every in-process entry point
+ * takes; see @ref execute for the kinds.
+ */
+struct RunRequest
+{
+    /** "characterize" | "suite" | "report" | "run" | "metrics". */
+    std::string kind = "characterize";
+    /** Benchmark id (required for characterize/report/run). */
+    std::string benchmark;
+    /** Workload name (required for kind "run"). */
+    std::string workload;
+    /** Timed refrate repetitions (the paper's three). */
+    int refrateRepetitions = 3;
+    /** Count "test" among the characterized workloads. */
+    bool includeTest = true;
+    /**
+     * Worker threads when no Engine is supplied to characterize():
+     * 1 = serial, 0 = runtime::Executor::defaultJobs(), N > 1 = a
+     * local pool of N. Ignored when an Engine is given (the daemon
+     * always runs requests through its shared engine's pool).
+     */
+    int jobs = 1;
+    /**
+     * Checkpoint-and-splice segments per model run: 1 = exact,
+     * 0 = auto (by uop estimate), N > 1 = force N. Spliced fractions
+     * are within 1e-3 of exact (pinned by test); checksums exact.
+     */
+    int segments = 1;
+    /** Warm-up uops replayed ahead of each segment. */
+    std::uint64_t segmentWarmupUops =
+        runtime::kDefaultSegmentWarmupUops;
+    /** Auto segmentation aims for about this many uops/segment. */
+    std::uint64_t segmentTargetUops = 16'000'000;
+    /** Route untimed model runs through the trace-backed
+     * batched-exact path (bit-identical, shared cache keys). */
+    bool batched = false;
+
+    /** This request as one JSON object (round-trips via fromJson). */
+    std::string toJson() const;
+
+    /** Parse from a JSON object; unknown keys and ill-typed values
+     * are fatal, absent keys keep their defaults. */
+    static RunRequest fromJson(const support::JsonValue &value);
+
+    /** @ref fromJson over parsed @p text. */
+    static RunRequest fromJsonText(std::string_view text);
+
+    /** Raise FatalError unless the request is executable (known
+     * kind, required names present, numeric ranges sane). */
+    void validate() const;
+};
+
+/**
+ * The rendered deliverable for one executed RunRequest. `payload` is
+ * the JSON document the request's kind produces — a Table II row
+ * array, a full report object, a single-workload measurement, or the
+ * metrics table — without a trailing newline. Deterministic model
+ * outputs only, except refrate timings which are part of Table II by
+ * construction (and replay bit-identically from a shared cache).
+ */
+struct RunResult
+{
+    bool ok = true;
+    std::string kind;    //!< echoes RunRequest::kind
+    std::string error;   //!< set when !ok (payload empty)
+    std::string payload; //!< verbatim JSON deliverable
+
+    /**
+     * The wire form: `{"ok":...,"kind":...,"payload":...}` with the
+     * payload embedded verbatim as the last member (or an "error"
+     * member instead when !ok).
+     */
+    std::string toJson() const;
+
+    /**
+     * Parse a wire-form result. The payload is recovered
+     * byte-identically (it is extracted as the envelope's trailing
+     * member, then validated as JSON — never re-encoded).
+     */
+    static RunResult fromJsonText(std::string_view text);
+};
+
+/**
+ * Execute @p request through @p engine and render its deliverable.
+ *
+ * Kinds:
+ *   - "characterize": one benchmark's Table II row (JSON array of 1)
+ *   - "suite": the full Table II through the suite scheduler
+ *   - "report": one benchmark's complete characterization object
+ *   - "run": one (benchmark, workload) model run — deterministic
+ *     outputs only (top-down fractions, uops, checksum)
+ *   - "metrics": the engine's metrics snapshot
+ *
+ * When @p rows is non-null the characterized rows are copied out for
+ * programmatic consumers (the CLI's text/Markdown formats).
+ *
+ * Raises support::FatalError on an invalid request (unknown kind or
+ * benchmark, bad ranges); the daemon converts that into an error
+ * response, the CLI into a usage error — identical diagnostics.
+ */
+RunResult execute(const RunRequest &request, runtime::Engine &engine,
+                  std::vector<Characterization> *rows = nullptr);
+
+} // namespace alberta::core
+
+#endif // ALBERTA_CORE_REQUEST_H

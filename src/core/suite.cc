@@ -75,7 +75,7 @@ table2Names()
 
 Characterization
 characterize(const runtime::Benchmark &benchmark,
-             const CharacterizeOptions &options)
+             const RunRequest &request, runtime::Engine *engine)
 {
     Characterization c;
     c.benchmark = benchmark.name();
@@ -85,14 +85,14 @@ characterize(const runtime::Benchmark &benchmark,
     // workload order no matter which worker finishes first.
     std::vector<runtime::Workload> workloads;
     for (auto &workload : benchmark.workloads()) {
-        if (!options.includeTest && workload.name == "test")
+        if (!request.includeTest && workload.name == "test")
             continue;
         workloads.push_back(std::move(workload));
     }
     support::fatalIf(workloads.empty(), "suite: ", benchmark.name(),
                      " has no workloads");
 
-    const int repetitions = std::max(1, options.refrateRepetitions);
+    const int repetitions = std::max(1, request.refrateRepetitions);
     std::size_t refrateIndex = workloads.size();
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         if (workloads[i].isRefrate()) {
@@ -103,7 +103,6 @@ characterize(const runtime::Benchmark &benchmark,
 
     // Resolve the execution session from the engine (or run a local
     // pool with no cache when none is given).
-    runtime::Engine *engine = options.engine;
     runtime::Executor *executor =
         engine ? &engine->executor() : nullptr;
     runtime::ResultCache *cache = engine ? &engine->cache() : nullptr;
@@ -123,7 +122,7 @@ characterize(const runtime::Benchmark &benchmark,
 
     std::optional<runtime::Executor> local;
     if (!executor) {
-        local.emplace(options.jobs);
+        local.emplace(request.jobs);
         executor = &*local;
     }
     const runtime::ExecutorStats statsBefore = executor->stats();
@@ -139,8 +138,8 @@ characterize(const runtime::Benchmark &benchmark,
         if (i == refrateIndex)
             continue;
         segmentCounts[i] = runtime::resolveSegments(
-            options.segments, benchmark.costHint(workloads[i]),
-            options.segmentTargetUops, executor->jobs());
+            request.segments, benchmark.costHint(workloads[i]),
+            request.segmentTargetUops, executor->jobs());
         if (segmentCounts[i] > 1)
             segmentedIndices.push_back(i);
         else
@@ -155,7 +154,7 @@ characterize(const runtime::Benchmark &benchmark,
                       root.id());
         runtime::SegmentOptions seg;
         seg.segments = segmentCounts[i];
-        seg.warmupUops = options.segmentWarmupUops;
+        seg.warmupUops = request.segmentWarmupUops;
         seg.executor = executor;
         seg.cache = cache;
         seg.metrics = engine ? &engine->metrics() : nullptr;
@@ -174,7 +173,7 @@ characterize(const runtime::Benchmark &benchmark,
                 obs::Span run(tracer, workloads[i].name, "model_run",
                               batchId);
                 results[i] =
-                    options.batched
+                    request.batched
                         ? runtime::measureBatchedExact(
                               benchmark, workloads[i], cache)
                         : runtime::measureCached(benchmark,
@@ -380,13 +379,12 @@ makeSegmentTask(const std::string &key, SuiteSlot &slot,
 std::vector<Characterization>
 characterizeSuite(
     std::span<const std::unique_ptr<runtime::Benchmark>> benchmarks,
-    const CharacterizeOptions &options)
+    const RunRequest &request, runtime::Engine *engine)
 {
     std::vector<Characterization> out(benchmarks.size());
     if (benchmarks.empty())
         return out;
 
-    runtime::Engine *engine = options.engine;
     runtime::ResultCache *cache = engine ? &engine->cache() : nullptr;
     runtime::ExecutorStats *statsOut =
         engine ? &engine->stats() : nullptr;
@@ -396,11 +394,11 @@ characterizeSuite(
         engine ? &engine->executor() : nullptr;
     std::optional<runtime::Executor> local;
     if (!executor) {
-        local.emplace(options.jobs);
+        local.emplace(request.jobs);
         executor = &*local;
     }
 
-    const int repetitions = std::max(1, options.refrateRepetitions);
+    const int repetitions = std::max(1, request.refrateRepetitions);
     const std::uint64_t hitsBefore = cache ? cache->hits() : 0;
     const std::uint64_t missesBefore = cache ? cache->misses() : 0;
     const topdown::BatchCounters &bc = topdown::batchCounters();
@@ -418,7 +416,7 @@ characterizeSuite(
         const runtime::Benchmark &bm = *benchmarks[b];
         SuiteSlot &slot = slots[b];
         for (auto &workload : bm.workloads()) {
-            if (!options.includeTest && workload.name == "test")
+            if (!request.includeTest && workload.name == "test")
                 continue;
             slot.workloads.push_back(std::move(workload));
         }
@@ -450,12 +448,12 @@ characterizeSuite(
             const double hint = bm.costHint(slot.workloads[i]);
             if (i != slot.refrateIndex) {
                 const int segments = runtime::resolveSegments(
-                    options.segments, hint, options.segmentTargetUops,
+                    request.segments, hint, request.segmentTargetUops,
                     executor->jobs());
                 if (segments > 1) {
                     tasks.push_back(makeSegmentTask(
                         key, slot, bm, i, cache, segments,
-                        options.segmentWarmupUops, hint,
+                        request.segmentWarmupUops, hint,
                         engine ? &engine->metrics() : nullptr));
                     continue;
                 }
@@ -463,7 +461,7 @@ characterizeSuite(
                 task.costKey = key;
                 task.category = "model_run";
                 task.costHint = hint;
-                const bool batched = options.batched;
+                const bool batched = request.batched;
                 task.run = [&slot, &bm, i, cache,
                             batched](obs::Span &span) {
                     slot.results[i] =
@@ -592,13 +590,13 @@ characterizeSuite(
 }
 
 std::vector<Characterization>
-characterizeTable2(const CharacterizeOptions &options)
+characterizeTable2(const RunRequest &request, runtime::Engine *engine)
 {
     std::vector<std::unique_ptr<runtime::Benchmark>> benchmarks;
     benchmarks.reserve(table2Names().size());
     for (const auto &name : table2Names())
         benchmarks.push_back(makeBenchmark(name));
-    return characterizeSuite(benchmarks, options);
+    return characterizeSuite(benchmarks, request, engine);
 }
 
 std::vector<std::string>

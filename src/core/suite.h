@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/request.h"
 #include "runtime/benchmark.h"
 #include "runtime/engine.h"
 #include "runtime/segment.h"
@@ -55,76 +56,29 @@ struct Characterization
     std::vector<double> secondsPerWorkload;
 };
 
-/** Characterization options. */
-struct CharacterizeOptions
-{
-    int refrateRepetitions = 3; //!< the paper's three timed runs
-    bool includeTest = true;    //!< count "test" among workloads
-    /**
-     * Worker threads for the per-workload model runs: 1 = serial on
-     * the calling thread, 0 = runtime::Executor::defaultJobs(), N > 1
-     * = a pool of N. Ignored when @ref executor is set. Model outputs
-     * are bit-identical regardless of the thread count.
-     */
-    int jobs = 1;
-    /**
-     * The run-session facade: pool, cache (with optional disk
-     * backing), stats, and observability in one object. When set it
-     * supersedes @ref jobs, model runs are traced through the
-     * engine's tracer, and executor/cache activity accumulates into
-     * `engine->stats()` and `engine->metrics()`.
-     *
-     * The historical `executor`/`cache`/`stats` raw-pointer triple
-     * (deprecated in the release that introduced Engine) has been
-     * removed; sessions are configured exclusively through here.
-     */
-    runtime::Engine *engine = nullptr;
-    /**
-     * Checkpoint-and-splice segment parallelism for model runs:
-     * 1 (default) runs every workload exact; 0 = auto, cutting
-     * workloads whose estimated uop count (Benchmark::costHint)
-     * exceeds @ref segmentTargetUops into roughly estimate/target
-     * segments, capped by the worker count; N > 1 forces N segments
-     * for every model run. Timed refrate repetitions always execute
-     * exact — their wall time is the paper's measurement. Spliced
-     * top-down fractions differ from exact by < 1e-3 absolute
-     * (pinned by test); spliced and exact results cache under
-     * distinct keys, so the two never serve each other's entries.
-     */
-    int segments = 1;
-    /** Warm-up uops replayed ahead of each segment. */
-    std::uint64_t segmentWarmupUops =
-        runtime::kDefaultSegmentWarmupUops;
-    /** Auto segmentation (segments == 0) aims for about this many
-     * retired uops per segment. */
-    std::uint64_t segmentTargetUops = 16'000'000;
-    /**
-     * Route untimed model runs through the trace-backed batched-exact
-     * path (`runtime::measureBatchedExact`): capture the workload
-     * once, then replay the whole trace through the block-batched
-     * kernel (`Machine::replayBatched`). Outputs are bit-identical to
-     * exact runs and cache under the same plain workload keys, so
-     * batched and direct sessions serve each other's entries. Timed
-     * refrate repetitions always execute direct — their wall time is
-     * the paper's measurement. Ignored for workloads that segment
-     * (segment replays already run through the batched kernel).
-     */
-    bool batched = false;
-};
-
 /**
  * Run every workload of @p benchmark once through the model (plus
  * timed refrate repetitions) and summarize with the paper's
  * methodology.
  *
- * Model runs may execute in parallel (see CharacterizeOptions::jobs)
- * and are gathered in workload order; the timed refrate repetitions
- * always run on the calling thread after the pool has drained so the
- * wall-time column is measured on a quiesced machine, with the first
- * timed run doubling as refrate's model run.
+ * The run is configured by a @ref RunRequest — the same serializable
+ * spec the CLI and the `alberta_serve` daemon construct — of which
+ * only the model-configuration fields matter here (repetitions,
+ * includeTest, jobs, segments, batched); the kind/benchmark/workload
+ * routing fields are ignored because the benchmark is passed
+ * directly.
+ *
+ * When @p engine is set it supplies the worker pool, result cache
+ * (with optional disk backing), stats block, and observability layer
+ * for the run and supersedes RunRequest::jobs. Model runs may
+ * execute in parallel and are gathered in workload order; the timed
+ * refrate repetitions always run on the calling thread after the
+ * pool has drained so the wall-time column is measured on a quiesced
+ * machine, with the first timed run doubling as refrate's model run.
  */
 Characterization characterize(const runtime::Benchmark &benchmark,
-                              const CharacterizeOptions &options = {});
+                              const RunRequest &request = {},
+                              runtime::Engine *engine = nullptr);
 
 /**
  * Characterize a whole suite through the suite-level scheduler: every
@@ -144,12 +98,14 @@ Characterization characterize(const runtime::Benchmark &benchmark,
  */
 std::vector<Characterization> characterizeSuite(
     std::span<const std::unique_ptr<runtime::Benchmark>> benchmarks,
-    const CharacterizeOptions &options = {});
+    const RunRequest &request = {},
+    runtime::Engine *engine = nullptr);
 
 /** @ref characterizeSuite over the 15 Table II benchmarks in row
  * order. */
 std::vector<Characterization>
-characterizeTable2(const CharacterizeOptions &options = {});
+characterizeTable2(const RunRequest &request = {},
+                   runtime::Engine *engine = nullptr);
 
 /** One formatted Table II row (strings ready for printing). */
 std::vector<std::string> table2Row(const Characterization &c);

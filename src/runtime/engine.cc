@@ -1,7 +1,10 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
+
+#include "support/check.h"
 
 namespace alberta::runtime {
 
@@ -78,6 +81,21 @@ Engine::metricsSnapshot() const
               [](const obs::MetricSample &a,
                  const obs::MetricSample &b) { return a.name < b.name; });
     return out;
+}
+
+Engine::Builder &
+Engine::Builder::cacheDirOption(const std::string &flagValue,
+                                bool flagGiven)
+{
+    if (flagGiven) {
+        support::fatalIf(flagValue.empty(),
+                         "--cache-dir requires a non-empty directory");
+        config_.cacheDir = flagValue;
+        return *this;
+    }
+    const char *env = std::getenv("ALBERTA_CACHE_DIR");
+    config_.cacheDir = env ? env : "";
+    return *this;
 }
 
 Engine::Builder &

@@ -3,7 +3,7 @@
  * The run-session facade: one object owning everything a
  * characterization session shares — the worker pool, the result cache,
  * the accumulated executor statistics, and the observability layer
- * (metrics registry + tracer). `core::CharacterizeOptions` and
+ * (metrics registry + tracer). `core::characterize` and
  * `fdo::CrossValidateOptions` take a single `Engine*` instead of the
  * historical executor/cache/stats raw-pointer triple.
  *
@@ -15,8 +15,8 @@
  *                                .jobs(8)
  *                                .traceFile("run.jsonl")
  *                                .build();
- *   core::CharacterizeOptions options;
- *   options.engine = &engine;
+ *   core::RunRequest request;
+ *   core::execute(request, engine);
  * @endcode
  *
  * An Engine without a trace sink runs the null sink: every span entry
@@ -148,6 +148,18 @@ class Engine::Builder
         config_.cacheDir = dir;
         return *this;
     }
+
+    /**
+     * Resolve the session cache directory the way every binary does:
+     * an explicit `--cache-dir` value wins, otherwise the
+     * `ALBERTA_CACHE_DIR` environment variable, otherwise no
+     * persistence. An explicitly given empty value is fatal — both
+     * binaries emit the identical diagnostic — and an unusable
+     * directory is fatal in `build()` (see cacheDir). @p flagGiven
+     * distinguishes "--cache-dir ''" from the flag being absent.
+     */
+    Builder &cacheDirOption(const std::string &flagValue,
+                            bool flagGiven);
 
     /** Construct the engine (relies on guaranteed copy elision:
      * Engine itself is neither copyable nor movable). */

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The daemon's wire protocol: one JSON object per line, both ways.
+ *
+ * Request lines:
+ *
+ *   {"op":"run","id":7,"run":{...RunRequest...}}
+ *   {"op":"metrics","id":8}
+ *   {"op":"ping","id":9}
+ *   {"op":"shutdown","id":10}
+ *
+ * plus the `nc`-friendly shorthand of a bare slash command —
+ * `/metrics`, `/ping`, `/shutdown` — which parses as the matching op
+ * with id 0.
+ *
+ * Response lines echo the request id and wrap a core::RunResult:
+ *
+ *   {"id":7,"ok":true,"kind":"suite","payload":<deliverable>}
+ *   {"id":7,"ok":false,"kind":"run","error":"..."}
+ *
+ * The payload is embedded verbatim as the **last** member (exactly as
+ * RunResult::toJson does), so a client slicing the trailing member
+ * recovers the deliverable byte-identically to `alberta_cli
+ * --format json` on the same cache — never re-encoded, never
+ * reordered. parseResponseLine() does that slice.
+ */
+#ifndef ALBERTA_SERVE_PROTOCOL_H
+#define ALBERTA_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/request.h"
+
+namespace alberta::serve {
+
+/** A parsed request line (see file comment for the grammar). */
+struct WireRequest
+{
+    std::string op; //!< "run" | "metrics" | "ping" | "shutdown"
+    std::uint64_t id = 0;
+    core::RunRequest run; //!< meaningful when op == "run"
+};
+
+/** A parsed response line: the echoed id plus the result. */
+struct WireResponse
+{
+    std::uint64_t id = 0;
+    core::RunResult result;
+};
+
+/** Parse one request line; raises support::FatalError on malformed
+ * JSON, an unknown op, or an invalid embedded RunRequest. */
+WireRequest parseRequestLine(std::string_view line);
+
+/** Render one response line (no trailing newline): the id first,
+ * then the RunResult envelope with the payload verbatim and last. */
+std::string renderResponse(std::uint64_t id,
+                           const core::RunResult &result);
+
+/** Shorthand for a failed response with @p kind echoed. */
+std::string renderError(std::uint64_t id, std::string_view kind,
+                        std::string_view message);
+
+/** Parse a response line, recovering the payload byte-identically. */
+WireResponse parseResponseLine(std::string_view line);
+
+} // namespace alberta::serve
+
+#endif // ALBERTA_SERVE_PROTOCOL_H

@@ -1,0 +1,77 @@
+#include "serve/queue.h"
+
+namespace alberta::serve {
+
+bool
+RequestQueue::push(QueueJob job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_)
+            return false;
+        if (size_ >= capacity_) {
+            ++rejected_;
+            return false;
+        }
+        auto &lane = lanes_[job.client];
+        if (lane.empty())
+            rotation_.push_back(job.client);
+        lane.push_back(std::move(job));
+        ++size_;
+    }
+    cv_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::pop(QueueJob *out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0)
+        return false; // closed and drained
+    const std::uint64_t client = rotation_.front();
+    rotation_.pop_front();
+    auto lane = lanes_.find(client);
+    *out = std::move(lane->second.front());
+    lane->second.pop_front();
+    if (lane->second.empty())
+        lanes_.erase(lane);
+    else
+        rotation_.push_back(client); // rotate to the back of the ring
+    --size_;
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+}
+
+std::uint64_t
+RequestQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+}
+
+} // namespace alberta::serve

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The daemon's admission-controlled request queue.
+ *
+ * Run requests from every connected client land here; a single
+ * dispatcher drains the queue through the shared runtime::Engine.
+ * Two properties matter and both live in this class:
+ *
+ *  - **Admission control**: the queue is bounded. push() never
+ *    blocks — when the queue is full (or draining) it returns false
+ *    and the server answers the client with an error immediately,
+ *    instead of letting a flood of suite requests build unbounded
+ *    memory and latency.
+ *
+ *  - **Per-client FIFO fairness**: each client has its own lane and
+ *    lanes are drained round-robin, so one client pipelining fifty
+ *    requests cannot starve another's first. Within a lane, order is
+ *    strictly the order push() accepted — a client's responses come
+ *    back in the order it sent the requests.
+ */
+#ifndef ALBERTA_SERVE_QUEUE_H
+#define ALBERTA_SERVE_QUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/request.h"
+
+namespace alberta::serve {
+
+class Connection; // defined in server.cc; jobs only carry the handle
+
+/** One admitted run request: who asked, what to run, where to
+ * answer. `connection` may be null in unit tests. */
+struct QueueJob
+{
+    std::uint64_t client = 0; //!< connection id (lane key)
+    std::uint64_t wireId = 0; //!< client-chosen request id, echoed
+    core::RunRequest request;
+    std::shared_ptr<Connection> connection;
+};
+
+/** Bounded multi-producer single-consumer queue with per-client FIFO
+ * lanes drained round-robin (see file comment). */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /**
+     * Admit @p job. Returns false — without blocking — when the
+     * queue is at capacity or closed; the caller answers the client
+     * with a rejection.
+     */
+    bool push(QueueJob job);
+
+    /**
+     * Take the next job, blocking while the queue is open and empty.
+     * Lanes rotate round-robin per pop; within a lane jobs come out
+     * in admission order. Returns false once the queue is closed
+     * *and* fully drained — the dispatcher's exit condition.
+     */
+    bool pop(QueueJob *out);
+
+    /** Stop admitting (push() returns false); pop() keeps returning
+     * queued jobs until the queue is empty, then returns false. */
+    void close();
+
+    bool closed() const;
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    /** Pushes refused because the queue was full (not closed). */
+    std::uint64_t rejected() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool closed_ = false;
+    std::size_t size_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::map<std::uint64_t, std::deque<QueueJob>> lanes_;
+    std::deque<std::uint64_t> rotation_; //!< clients with queued jobs
+};
+
+} // namespace alberta::serve
+
+#endif // ALBERTA_SERVE_QUEUE_H

@@ -1,0 +1,149 @@
+#include "support/argparse.h"
+
+#include <sstream>
+
+#include "support/check.h"
+#include "support/text.h"
+
+namespace alberta::support {
+
+ArgParser::ArgParser(std::string program, std::string usageTail)
+    : program_(std::move(program)), usageTail_(std::move(usageTail))
+{
+}
+
+ArgParser &
+ArgParser::flag(const std::string &name, const std::string &help,
+                bool *out)
+{
+    Spec spec;
+    spec.name = name;
+    spec.help = help;
+    spec.takesValue = false;
+    spec.apply = [out](const std::string &) { *out = true; };
+    specs_.push_back(std::move(spec));
+    return *this;
+}
+
+ArgParser &
+ArgParser::option(const std::string &name,
+                  const std::string &valueName,
+                  const std::string &help, std::string *out,
+                  bool *seen)
+{
+    Spec spec;
+    spec.name = name;
+    spec.valueName = valueName;
+    spec.help = help;
+    spec.takesValue = true;
+    spec.apply = [out, seen](const std::string &value) {
+        *out = value;
+        if (seen)
+            *seen = true;
+    };
+    specs_.push_back(std::move(spec));
+    return *this;
+}
+
+ArgParser &
+ArgParser::positiveInt(const std::string &name,
+                       const std::string &valueName,
+                       const std::string &help, int *out,
+                       long long max)
+{
+    Spec spec;
+    spec.name = name;
+    spec.valueName = valueName;
+    spec.help = help;
+    spec.takesValue = true;
+    spec.apply = [out, name, max](const std::string &value) {
+        *out = static_cast<int>(parsePositiveInt(value, name, max));
+    };
+    specs_.push_back(std::move(spec));
+    return *this;
+}
+
+ArgParser &
+ArgParser::custom(const std::string &name,
+                  const std::string &valueName,
+                  const std::string &help,
+                  std::function<void(const std::string &)> apply)
+{
+    Spec spec;
+    spec.name = name;
+    spec.valueName = valueName;
+    spec.help = help;
+    spec.takesValue = true;
+    spec.apply = std::move(apply);
+    specs_.push_back(std::move(spec));
+    return *this;
+}
+
+const ArgParser::Spec *
+ArgParser::findSpec(const std::string &name) const
+{
+    for (const Spec &spec : specs_) {
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+ArgParser::parse(int argc, char **argv)
+{
+    std::vector<std::string> positionals;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            helpRequested_ = true;
+            return positionals;
+        }
+        const Spec *spec = findSpec(arg);
+        if (!spec) {
+            fatalIf(arg.size() >= 2 && arg[0] == '-' && arg[1] == '-',
+                    "unknown flag '", arg, "' (see --help)");
+            positionals.push_back(arg);
+            continue;
+        }
+        std::string value;
+        if (spec->takesValue) {
+            fatalIf(i + 1 >= argc, spec->name,
+                    " requires an argument");
+            value = argv[++i];
+        }
+        spec->apply(value);
+    }
+    return positionals;
+}
+
+std::string
+ArgParser::help() const
+{
+    std::ostringstream os;
+    os << "usage: " << program_ << " [flags]";
+    if (!usageTail_.empty())
+        os << " <command>";
+    os << "\n\nflags:\n";
+    std::size_t width = 0;
+    std::vector<std::string> labels;
+    for (const Spec &spec : specs_) {
+        std::string label = spec.name;
+        if (spec.takesValue) {
+            label += ' ';
+            label += spec.valueName;
+        }
+        width = std::max(width, label.size());
+        labels.push_back(std::move(label));
+    }
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        os << "  " << labels[i]
+           << std::string(width - labels[i].size() + 2, ' ')
+           << specs_[i].help << '\n';
+    }
+    if (!usageTail_.empty())
+        os << '\n' << usageTail_;
+    return os.str();
+}
+
+} // namespace alberta::support

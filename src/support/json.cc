@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
+
+#include "support/check.h"
 
 namespace alberta::support {
 
@@ -63,6 +66,320 @@ jsonNumber(double value)
     std::snprintf(buf, sizeof buf, "%.*g",
                   std::numeric_limits<double>::max_digits10, value);
     return buf;
+}
+
+bool
+JsonValue::asBool() const
+{
+    fatalIf(type_ != Type::Bool, "json: expected a boolean");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    fatalIf(type_ != Type::Number, "json: expected a number");
+    return number_;
+}
+
+std::uint64_t
+JsonValue::asUint(std::uint64_t max) const
+{
+    const double v = asNumber();
+    fatalIf(v < 0.0 || v != std::floor(v) ||
+                v > static_cast<double>(max),
+            "json: expected an integer in [0, ", max, "], got ",
+            jsonNumber(v));
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    fatalIf(type_ != Type::String, "json: expected a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    fatalIf(type_ != Type::Array, "json: expected an array");
+    return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::asObject() const
+{
+    fatalIf(type_ != Type::Object, "json: expected an object");
+    return object_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    const JsonValue *found = nullptr;
+    for (const auto &[k, v] : asObject()) {
+        if (k == key)
+            found = &v; // duplicate keys: last occurrence wins
+    }
+    return found;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *found = find(key);
+    fatalIf(!found, "json: missing key '", std::string(key), "'");
+    return *found;
+}
+
+/** Recursive-descent parser over a string_view (fatal on error). */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue(0);
+        skipWhitespace();
+        fatalIf(pos_ != text_.size(),
+                "json: trailing garbage at offset ", pos_);
+        return value;
+    }
+
+  private:
+    /** Nesting guard: protocol objects are shallow; a hostile or
+     * corrupt request must not overflow the stack. */
+    static constexpr int kMaxDepth = 64;
+
+    [[noreturn]] void
+    error(const char *what)
+    {
+        fatal("json: ", what, " at offset ", pos_);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            error("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c, const char *what)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            error(what);
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            error("invalid literal");
+        pos_ += word.size();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"', "expected '\"'");
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                error("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                error("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                error("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    error("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        error("invalid \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are passed through as two three-byte sequences;
+                // our own encoder never emits them).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+            }
+            default:
+                error("invalid escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            error("nesting too deep");
+        skipWhitespace();
+        JsonValue value;
+        switch (peek()) {
+        case '{': {
+            ++pos_;
+            value.type_ = JsonValue::Type::Object;
+            skipWhitespace();
+            if (consume('}'))
+                return value;
+            for (;;) {
+                skipWhitespace();
+                std::string key = parseString();
+                skipWhitespace();
+                expect(':', "expected ':'");
+                value.object_.emplace_back(std::move(key),
+                                           parseValue(depth + 1));
+                skipWhitespace();
+                if (consume(','))
+                    continue;
+                expect('}', "expected ',' or '}'");
+                return value;
+            }
+        }
+        case '[': {
+            ++pos_;
+            value.type_ = JsonValue::Type::Array;
+            skipWhitespace();
+            if (consume(']'))
+                return value;
+            for (;;) {
+                value.array_.push_back(parseValue(depth + 1));
+                skipWhitespace();
+                if (consume(','))
+                    continue;
+                expect(']', "expected ',' or ']'");
+                return value;
+            }
+        }
+        case '"':
+            value.type_ = JsonValue::Type::String;
+            value.string_ = parseString();
+            return value;
+        case 't':
+            literal("true");
+            value.type_ = JsonValue::Type::Bool;
+            value.bool_ = true;
+            return value;
+        case 'f':
+            literal("false");
+            value.type_ = JsonValue::Type::Bool;
+            value.bool_ = false;
+            return value;
+        case 'n':
+            literal("null");
+            return value;
+        default: {
+            // Number: validate the JSON grammar by hand, convert
+            // with strtod on the validated slice.
+            const std::size_t start = pos_;
+            consume('-');
+            if (!consume('0')) {
+                if (pos_ >= text_.size() || text_[pos_] < '1' ||
+                    text_[pos_] > '9')
+                    error("invalid value");
+                while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                       text_[pos_] <= '9')
+                    ++pos_;
+            }
+            if (consume('.')) {
+                if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                    text_[pos_] > '9')
+                    error("digits required after '.'");
+                while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                       text_[pos_] <= '9')
+                    ++pos_;
+            }
+            if (pos_ < text_.size() &&
+                (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+                ++pos_;
+                if (pos_ < text_.size() &&
+                    (text_[pos_] == '+' || text_[pos_] == '-'))
+                    ++pos_;
+                if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                    text_[pos_] > '9')
+                    error("digits required in exponent");
+                while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                       text_[pos_] <= '9')
+                    ++pos_;
+            }
+            const std::string slice(text_.substr(start, pos_ - start));
+            value.type_ = JsonValue::Type::Number;
+            value.number_ = std::strtod(slice.c_str(), nullptr);
+            return value;
+        }
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return JsonParser(text).parseDocument();
 }
 
 } // namespace alberta::support

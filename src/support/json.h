@@ -1,13 +1,24 @@
 /**
  * @file
- * Minimal JSON encoding helpers shared by the trace sink, the report
- * writer, and the bench harnesses' machine-readable output.
+ * Minimal JSON helpers shared by the trace sink, the report writer,
+ * the bench harnesses' machine-readable output, and the serving
+ * layer's request protocol.
+ *
+ * Encoding is a handful of free functions; decoding is a small
+ * recursive-descent parser into @ref JsonValue, enough for the
+ * line-delimited request/response objects `alberta_serve` exchanges
+ * and for round-tripping `core::RunRequest`. Malformed input raises
+ * support::FatalError with the byte offset, so protocol errors carry
+ * a usable diagnostic back to the client.
  */
 #ifndef ALBERTA_SUPPORT_JSON_H
 #define ALBERTA_SUPPORT_JSON_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace alberta::support {
 
@@ -22,6 +33,67 @@ std::string jsonQuote(std::string_view text);
  * non-finite values, which JSON cannot represent, encode as 0.
  */
 std::string jsonNumber(double value);
+
+/**
+ * One parsed JSON value. Objects keep their members in document
+ * order (duplicate keys keep the last occurrence on lookup, like
+ * every mainstream parser).
+ */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Value accessors; fatal when the type does not match. */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber() checked to be a non-negative integer <= @p max. */
+    std::uint64_t asUint(std::uint64_t max = ~0ULL >> 11) const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::vector<std::pair<std::string, JsonValue>> &
+    asObject() const;
+
+    /** Object member lookup (nullptr when absent; fatal non-object). */
+    const JsonValue *find(std::string_view key) const;
+    /** Object member lookup, fatal when @p key is absent. */
+    const JsonValue &at(std::string_view key) const;
+
+  private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/**
+ * Parse one complete JSON document from @p text (trailing whitespace
+ * allowed, anything else is fatal). Raises support::FatalError with
+ * the byte offset on malformed input.
+ */
+JsonValue parseJson(std::string_view text);
 
 } // namespace alberta::support
 

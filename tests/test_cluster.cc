@@ -100,9 +100,9 @@ TEST(KMedoids, Deterministic)
 TEST(ClusterWorkloads, GroupsABenchmarkByBehaviour)
 {
     const auto bm = makeBenchmark("557.xz_r");
-    CharacterizeOptions options;
-    options.refrateRepetitions = 1;
-    const Characterization c = characterize(*bm, options);
+    RunRequest request;
+    request.refrateRepetitions = 1;
+    const Characterization c = characterize(*bm, request);
     const Clustering clustering = clusterWorkloads(c, 3);
     ASSERT_EQ(clustering.assignment.size(),
               c.workloadNames.size());

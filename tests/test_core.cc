@@ -69,9 +69,9 @@ TEST(Suite, EveryBenchmarkHasRefrateAndTrain)
 TEST(Characterize, ProducesConsistentSummary)
 {
     const auto bm = makeBenchmark("505.mcf_r");
-    CharacterizeOptions options;
-    options.refrateRepetitions = 2;
-    const Characterization c = characterize(*bm, options);
+    RunRequest request;
+    request.refrateRepetitions = 2;
+    const Characterization c = characterize(*bm, request);
     EXPECT_EQ(c.benchmark, "505.mcf_r");
     EXPECT_EQ(c.workloadNames.size(), 7u);
     EXPECT_EQ(c.topdownPerWorkload.size(), 7u);
@@ -89,9 +89,9 @@ TEST(Characterize, ProducesConsistentSummary)
 TEST(Characterize, RowFormattingMatchesHeader)
 {
     const auto bm = makeBenchmark("505.mcf_r");
-    CharacterizeOptions options;
-    options.refrateRepetitions = 1;
-    const Characterization c = characterize(*bm, options);
+    RunRequest request;
+    request.refrateRepetitions = 1;
+    const Characterization c = characterize(*bm, request);
     EXPECT_EQ(table2Row(c).size(), table2Header().size());
 }
 

@@ -90,12 +90,11 @@ TEST(Engine, MatchesBareSerialPathBitForBit)
     const auto bm = core::makeBenchmark("505.mcf_r");
 
     runtime::Engine engine(2);
-    core::CharacterizeOptions viaEngine;
-    viaEngine.engine = &engine;
-    viaEngine.refrateRepetitions = 2;
-    const auto a = core::characterize(*bm, viaEngine);
+    core::RunRequest request;
+    request.refrateRepetitions = 2;
+    const auto a = core::characterize(*bm, request, &engine);
 
-    core::CharacterizeOptions bare;
+    core::RunRequest bare;
     bare.jobs = 1;
     bare.refrateRepetitions = 2;
     const auto b = core::characterize(*bm, bare);
@@ -103,10 +102,7 @@ TEST(Engine, MatchesBareSerialPathBitForBit)
     expectSameModelOutputs(a, b);
 
     runtime::Engine twin(2);
-    core::CharacterizeOptions viaTwin;
-    viaTwin.engine = &twin;
-    viaTwin.refrateRepetitions = 2;
-    const auto c = core::characterize(*bm, viaTwin);
+    const auto c = core::characterize(*bm, request, &twin);
     expectSameModelOutputs(a, c);
     EXPECT_EQ(engine.stats().tasksRun, twin.stats().tasksRun);
     EXPECT_EQ(engine.stats().cacheMisses, twin.stats().cacheMisses);
@@ -119,10 +115,9 @@ TEST(Engine, TracedCharacterizationIsBitIdentical)
     const auto bm = core::makeBenchmark("523.xalancbmk_r");
 
     runtime::Engine untraced(2);
-    core::CharacterizeOptions plain;
-    plain.engine = &untraced;
-    plain.refrateRepetitions = 1;
-    const auto base = core::characterize(*bm, plain);
+    core::RunRequest request;
+    request.refrateRepetitions = 1;
+    const auto base = core::characterize(*bm, request, &untraced);
 
     std::ostringstream out;
     runtime::Engine traced =
@@ -130,10 +125,7 @@ TEST(Engine, TracedCharacterizationIsBitIdentical)
             .jobs(2)
             .traceSink(std::make_unique<obs::JsonLinesSink>(out))
             .build();
-    core::CharacterizeOptions opts;
-    opts.engine = &traced;
-    opts.refrateRepetitions = 1;
-    const auto withTrace = core::characterize(*bm, opts);
+    const auto withTrace = core::characterize(*bm, request, &traced);
     traced.flushTrace();
 
     expectSameModelOutputs(base, withTrace);
@@ -161,11 +153,10 @@ TEST(Engine, MetricsSnapshotCoversSessionActivity)
 {
     const auto bm = core::makeBenchmark("505.mcf_r");
     runtime::Engine engine(2);
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.refrateRepetitions = 1;
-    core::characterize(*bm, options);
-    core::characterize(*bm, options); // warm pass: cache hits
+    core::RunRequest request;
+    request.refrateRepetitions = 1;
+    core::characterize(*bm, request, &engine);
+    core::characterize(*bm, request, &engine); // warm: cache hits
 
     const auto snapshot = engine.metricsSnapshot();
     const auto value = [&](const std::string &name) -> double {

@@ -118,17 +118,17 @@ TEST(ExecutorDeterminism, SerialAndParallelCharacterizationsMatch)
     for (const char *name :
          {"505.mcf_r", "523.xalancbmk_r", "511.povray_r"}) {
         const auto bm = core::makeBenchmark(name);
-        core::CharacterizeOptions serial;
+        core::RunRequest serial;
         serial.refrateRepetitions = 1;
         serial.jobs = 1;
         const auto base = core::characterize(*bm, serial);
 
         for (const int jobs : {1, 2, 8}) {
             runtime::Engine engine(jobs);
-            core::CharacterizeOptions options;
-            options.refrateRepetitions = 1;
-            options.engine = &engine;
-            const auto parallel = core::characterize(*bm, options);
+            core::RunRequest request;
+            request.refrateRepetitions = 1;
+            const auto parallel =
+                core::characterize(*bm, request, &engine);
             expectSameModelOutputs(base, parallel);
         }
     }
@@ -177,18 +177,17 @@ TEST(ResultCache, RecharacterizationIsFullyMemoized)
 {
     const auto bm = core::makeBenchmark("523.xalancbmk_r");
     runtime::Engine engine(2);
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.refrateRepetitions = 2;
+    core::RunRequest request;
+    request.refrateRepetitions = 2;
 
-    const auto cold = core::characterize(*bm, options);
+    const auto cold = core::characterize(*bm, request, &engine);
     const auto &cache = engine.cache();
     const std::uint64_t coldMisses = cache.misses();
     EXPECT_EQ(cache.hits(), 0u);
     EXPECT_EQ(coldMisses, cold.workloadNames.size());
     EXPECT_EQ(cache.size(), cold.workloadNames.size());
 
-    const auto warm = core::characterize(*bm, options);
+    const auto warm = core::characterize(*bm, request, &engine);
     EXPECT_EQ(cache.misses(), coldMisses); // no recomputation
     EXPECT_EQ(cache.hits(), warm.workloadNames.size());
 
@@ -198,22 +197,21 @@ TEST(ResultCache, RecharacterizationIsFullyMemoized)
     EXPECT_EQ(cold.refrateSeconds, warm.refrateSeconds);
 }
 
-TEST(CharacterizeOptions, StatsAccumulateAcrossRuns)
+TEST(RunRequest, StatsAccumulateAcrossRuns)
 {
     const auto bm = core::makeBenchmark("511.povray_r");
     runtime::Engine engine(2);
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.refrateRepetitions = 1;
+    core::RunRequest request;
+    request.refrateRepetitions = 1;
 
-    const auto c = core::characterize(*bm, options);
+    const auto c = core::characterize(*bm, request, &engine);
     const auto &stats = engine.stats();
     // Refrate is timed on the calling thread, not as a pool task.
     EXPECT_EQ(stats.tasksRun, c.workloadNames.size() - 1);
     EXPECT_EQ(stats.cacheMisses, c.workloadNames.size());
     EXPECT_EQ(stats.cacheHits, 0u);
 
-    core::characterize(*bm, options);
+    core::characterize(*bm, request, &engine);
     EXPECT_EQ(stats.cacheHits, c.workloadNames.size());
 }
 

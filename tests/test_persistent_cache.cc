@@ -12,6 +12,7 @@
 
 #include <bit>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -252,10 +253,9 @@ TEST(PersistentCache, SecondEngineOnSameDirectoryServesFromDisk)
 
     runtime::Engine first =
         runtime::Engine::Builder().jobs(2).cacheDir(dir).build();
-    core::CharacterizeOptions coldOptions;
-    coldOptions.engine = &first;
-    coldOptions.refrateRepetitions = 2;
-    const auto cold = core::characterize(*bm, coldOptions);
+    core::RunRequest request;
+    request.refrateRepetitions = 2;
+    const auto cold = core::characterize(*bm, request, &first);
     ASSERT_NE(first.disk(), nullptr);
     EXPECT_EQ(first.disk()->writes(), cold.workloadNames.size());
 
@@ -263,10 +263,7 @@ TEST(PersistentCache, SecondEngineOnSameDirectoryServesFromDisk)
     // model run is served from disk and outputs are bit-identical.
     runtime::Engine second =
         runtime::Engine::Builder().jobs(2).cacheDir(dir).build();
-    core::CharacterizeOptions warmOptions;
-    warmOptions.engine = &second;
-    warmOptions.refrateRepetitions = 2;
-    const auto warm = core::characterize(*bm, warmOptions);
+    const auto warm = core::characterize(*bm, request, &second);
 
     ASSERT_EQ(cold.workloadNames, warm.workloadNames);
     EXPECT_EQ(cold.checksumPerWorkload, warm.checksumPerWorkload);
@@ -286,6 +283,90 @@ TEST(PersistentCache, SecondEngineOnSameDirectoryServesFromDisk)
         }
     }
     EXPECT_TRUE(sawDiskHits);
+}
+
+/** Two live engines racing whole characterizations of overlapping
+ * workloads on one cache directory (the two-daemons case): results
+ * never tear, outputs are bit-identical, and both sessions leave the
+ * directory warm for a third. */
+TEST(PersistentCache, ConcurrentEnginesRacingOverlappingWorkloads)
+{
+    const std::string dir = freshDir("racing-engines");
+    core::RunRequest request;
+    request.refrateRepetitions = 1;
+
+    runtime::Engine a =
+        runtime::Engine::Builder().jobs(2).cacheDir(dir).build();
+    runtime::Engine b =
+        runtime::Engine::Builder().jobs(2).cacheDir(dir).build();
+    core::Characterization fromA, fromB;
+    std::thread ta([&] {
+        const auto bm = core::makeBenchmark("557.xz_r");
+        fromA = core::characterize(*bm, request, &a);
+    });
+    std::thread tb([&] {
+        const auto bm = core::makeBenchmark("557.xz_r");
+        fromB = core::characterize(*bm, request, &b);
+    });
+    ta.join();
+    tb.join();
+
+    // Model outputs are deterministic, so however the disk race
+    // lands, both sessions computed identical results...
+    ASSERT_EQ(fromA.workloadNames, fromB.workloadNames);
+    EXPECT_EQ(fromA.checksumPerWorkload, fromB.checksumPerWorkload);
+    EXPECT_TRUE(bitIdentical(fromA.topdown.muGV, fromB.topdown.muGV));
+    EXPECT_TRUE(
+        bitIdentical(fromA.coverage.muGM, fromB.coverage.muGM));
+    // ...and nothing tore on disk.
+    EXPECT_EQ(a.disk()->writeFailures() + b.disk()->writeFailures(),
+              0u);
+    EXPECT_EQ(a.disk()->corrupt() + b.disk()->corrupt(), 0u);
+
+    // A third engine starts fully warm from the shared directory.
+    runtime::Engine third =
+        runtime::Engine::Builder().jobs(2).cacheDir(dir).build();
+    const auto bm = core::makeBenchmark("557.xz_r");
+    const auto warm = core::characterize(*bm, request, &third);
+    EXPECT_EQ(third.stats().cacheMisses, 0u);
+    EXPECT_EQ(warm.checksumPerWorkload, fromA.checksumPerWorkload);
+}
+
+/** The hoisted --cache-dir / ALBERTA_CACHE_DIR precedence every
+ * binary now gets from Engine::Builder::cacheDirOption. */
+TEST(EngineBuilder, CacheDirOptionPrecedence)
+{
+    const std::string envDir = freshDir("env-cache");
+    const std::string flagDir = freshDir("flag-cache");
+
+    ::setenv("ALBERTA_CACHE_DIR", envDir.c_str(), 1);
+    {
+        runtime::Engine engine = runtime::Engine::Builder()
+                                     .jobs(1)
+                                     .cacheDirOption("", false)
+                                     .build();
+        EXPECT_EQ(engine.cacheDir(), envDir); // env fills in
+    }
+    {
+        runtime::Engine engine =
+            runtime::Engine::Builder()
+                .jobs(1)
+                .cacheDirOption(flagDir, true)
+                .build();
+        EXPECT_EQ(engine.cacheDir(), flagDir); // explicit flag wins
+    }
+    // An explicitly empty --cache-dir is a usage error, not "off".
+    EXPECT_THROW(runtime::Engine::Builder().cacheDirOption("", true),
+                 support::FatalError);
+    ::unsetenv("ALBERTA_CACHE_DIR");
+    {
+        runtime::Engine engine = runtime::Engine::Builder()
+                                     .jobs(1)
+                                     .cacheDirOption("", false)
+                                     .build();
+        EXPECT_EQ(engine.cacheDir(), ""); // no flag, no env: off
+        EXPECT_EQ(engine.disk(), nullptr);
+    }
 }
 
 } // namespace

@@ -13,9 +13,9 @@ characterizeMcf()
 {
     static const Characterization cached = [] {
         const auto bm = makeBenchmark("505.mcf_r");
-        CharacterizeOptions options;
-        options.refrateRepetitions = 2;
-        return characterize(*bm, options);
+        RunRequest request;
+        request.refrateRepetitions = 2;
+        return characterize(*bm, request);
     }();
     return cached;
 }
@@ -56,10 +56,10 @@ TEST(Report, FlagsSmallMeanPathology)
     // lbm has the near-zero bad-speculation mean; its report must
     // carry the Section V-B caveat. mcf's must not.
     const auto lbm = makeBenchmark("519.lbm_r");
-    CharacterizeOptions options;
-    options.refrateRepetitions = 1;
+    RunRequest request;
+    request.refrateRepetitions = 1;
     const std::string lbmReport =
-        renderReport(characterize(*lbm, options));
+        renderReport(characterize(*lbm, request));
     EXPECT_NE(lbmReport.find("Caveat"), std::string::npos);
 
     const std::string mcfReport = renderReport(characterizeMcf());

@@ -304,19 +304,19 @@ TEST(SuiteScheduler, MatchesPerBenchmarkSerialBitForBit)
     for (const auto &name : names)
         benchmarks.push_back(core::makeBenchmark(name));
 
-    core::CharacterizeOptions serialOptions;
-    serialOptions.jobs = 1;
-    serialOptions.refrateRepetitions = 1;
+    core::RunRequest serialRequest;
+    serialRequest.jobs = 1;
+    serialRequest.refrateRepetitions = 1;
     std::vector<core::Characterization> serial;
     for (const auto &bm : benchmarks)
-        serial.push_back(core::characterize(*bm, serialOptions));
+        serial.push_back(core::characterize(*bm, serialRequest));
 
     for (const int jobs : {1, 2, 8}) {
         runtime::Engine engine(jobs);
-        core::CharacterizeOptions options;
-        options.engine = &engine;
-        options.refrateRepetitions = 1;
-        const auto suite = core::characterizeSuite(benchmarks, options);
+        core::RunRequest request;
+        request.refrateRepetitions = 1;
+        const auto suite =
+            core::characterizeSuite(benchmarks, request, &engine);
         ASSERT_EQ(suite.size(), serial.size());
         for (std::size_t i = 0; i < serial.size(); ++i)
             expectSameModelOutputs(serial[i], suite[i]);
@@ -337,15 +337,16 @@ TEST(SuiteScheduler, WarmRerunReplaysInsteadOfRescheduling)
     benchmarks.push_back(core::makeBenchmark("557.xz_r"));
 
     runtime::Engine engine(2);
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.refrateRepetitions = 2;
-    const auto cold = core::characterizeSuite(benchmarks, options);
+    core::RunRequest request;
+    request.refrateRepetitions = 2;
+    const auto cold =
+        core::characterizeSuite(benchmarks, request, &engine);
     const std::uint64_t coldDispatched =
         engine.metrics().counter("scheduler.dispatched").value();
     EXPECT_GT(coldDispatched, 0u);
 
-    const auto warm = core::characterizeSuite(benchmarks, options);
+    const auto warm =
+        core::characterizeSuite(benchmarks, request, &engine);
     expectSameModelOutputs(cold[0], warm[0]);
     EXPECT_EQ(cold[0].refrateRuns, warm[0].refrateRuns);
     // Refrate replayed from the cache: its repetitions were not
@@ -368,10 +369,9 @@ TEST(SuiteScheduler, LedgerPersistsAcrossEngines)
     {
         runtime::Engine engine =
             runtime::Engine::Builder().jobs(2).cacheDir(dir).build();
-        core::CharacterizeOptions options;
-        options.engine = &engine;
-        options.refrateRepetitions = 1;
-        core::characterizeSuite(benchmarks, options);
+        core::RunRequest request;
+        request.refrateRepetitions = 1;
+        core::characterizeSuite(benchmarks, request, &engine);
         EXPECT_GT(engine.ledger().size(), 0u);
     }
     EXPECT_TRUE(fs::exists(fs::path(dir) / "cost_ledger.tsv"));
@@ -396,17 +396,18 @@ TEST(SuiteScheduler, SegmentedSuiteWithinSpliceBound)
     std::vector<std::unique_ptr<runtime::Benchmark>> benchmarks;
     benchmarks.push_back(core::makeBenchmark("544.nab_r"));
 
-    core::CharacterizeOptions serialOptions;
-    serialOptions.jobs = 1;
-    serialOptions.refrateRepetitions = 1;
-    const auto exact = core::characterize(*benchmarks[0], serialOptions);
+    core::RunRequest serialRequest;
+    serialRequest.jobs = 1;
+    serialRequest.refrateRepetitions = 1;
+    const auto exact =
+        core::characterize(*benchmarks[0], serialRequest);
 
     runtime::Engine engine(4);
-    core::CharacterizeOptions options;
-    options.engine = &engine;
-    options.refrateRepetitions = 1;
-    options.segments = 4;
-    const auto suite = core::characterizeSuite(benchmarks, options);
+    core::RunRequest request;
+    request.refrateRepetitions = 1;
+    request.segments = 4;
+    const auto suite =
+        core::characterizeSuite(benchmarks, request, &engine);
     ASSERT_EQ(suite.size(), 1u);
     const auto &spliced = suite[0];
 

@@ -4,7 +4,9 @@
 #include <set>
 #include <sstream>
 
+#include "support/argparse.h"
 #include "support/check.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/table.h"
 #include "support/text.h"
@@ -242,6 +244,161 @@ TEST(Text, StartsWith)
 {
     EXPECT_TRUE(startsWith("alberta.city-1", "alberta."));
     EXPECT_FALSE(startsWith("ref", "refrate"));
+}
+
+
+TEST(Json, ParsesEveryScalarType)
+{
+    EXPECT_EQ(parseJson("null").type(), JsonValue::Type::Null);
+    EXPECT_TRUE(parseJson("true").asBool());
+    EXPECT_FALSE(parseJson("false").asBool());
+    EXPECT_DOUBLE_EQ(parseJson("-12.5e2").asNumber(), -1250.0);
+    EXPECT_EQ(parseJson("42").asUint(), 42u);
+    EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedContainersInDocumentOrder)
+{
+    const JsonValue value = parseJson(
+        "{\"b\": [1, 2, {\"c\": true}], \"a\": \"x\", \"n\": null}");
+    const auto &object = value.asObject();
+    ASSERT_EQ(object.size(), 3u);
+    EXPECT_EQ(object[0].first, "b"); // document order, not sorted
+    EXPECT_EQ(object[1].first, "a");
+    const auto &array = value.at("b").asArray();
+    ASSERT_EQ(array.size(), 3u);
+    EXPECT_DOUBLE_EQ(array[1].asNumber(), 2.0);
+    EXPECT_TRUE(array[2].at("c").asBool());
+    EXPECT_EQ(value.find("missing"), nullptr);
+    EXPECT_NE(value.find("n"), nullptr);
+}
+
+TEST(Json, DecodesEscapesIncludingUnicode)
+{
+    EXPECT_EQ(parseJson("\"a\\n\\t\\\"b\\\\\"").asString(),
+              "a\n\t\"b\\");
+    EXPECT_EQ(parseJson("\"\\u0041\\u00e9\"").asString(),
+              "A\xc3\xa9");
+    EXPECT_EQ(parseJson("\"\\u2603\"").asString(),
+              "\xe2\x98\x83"); // snowman, 3-byte UTF-8
+}
+
+TEST(Json, RoundTripsTheSuitesOwnEncoders)
+{
+    // The parser must accept exactly what the repo's writers emit.
+    const std::string text =
+        "{\"name\":" + jsonQuote("he said \"hi\"\n") +
+        ",\"v\":" + jsonNumber(0.1) + "}";
+    const JsonValue value = parseJson(text);
+    EXPECT_EQ(value.at("name").asString(), "he said \"hi\"\n");
+    EXPECT_DOUBLE_EQ(value.at("v").asNumber(), 0.1);
+}
+
+TEST(Json, MalformedDocumentsAreFatalWithOffsets)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated",
+          "01", "1.", "+1", "[1]]", "{\"a\":1,}", "\"\\q\"",
+          "\"\\u12\""}) {
+        EXPECT_THROW(parseJson(bad), FatalError) << bad;
+    }
+}
+
+TEST(Json, TypeMismatchesAndMissingMembersAreFatal)
+{
+    const JsonValue value = parseJson("{\"a\": 1}");
+    EXPECT_THROW(value.at("a").asString(), FatalError);
+    EXPECT_THROW(value.at("a").asBool(), FatalError);
+    EXPECT_THROW(value.at("b"), FatalError);
+    EXPECT_THROW(parseJson("-1").asUint(), FatalError);
+    EXPECT_THROW(parseJson("1.5").asUint(), FatalError);
+    EXPECT_THROW(parseJson("100").asUint(10), FatalError);
+}
+
+TEST(Json, DepthIsBounded)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    EXPECT_THROW(parseJson(deep), FatalError);
+}
+
+TEST(ArgParser, ParsesFlagsBeforeAndAfterPositionals)
+{
+    bool verbose = false;
+    int jobs = 0;
+    std::string trace;
+    ArgParser parser("demo");
+    parser.flag("--verbose", "talk", &verbose)
+        .positiveInt("--jobs", "N", "workers", &jobs)
+        .option("--trace", "FILE", "trace file", &trace);
+    const char *argv[] = {"demo", "--jobs", "4",   "suite",
+                          "extra", "--verbose", "--trace", "t.json"};
+    const auto positionals =
+        parser.parse(8, const_cast<char **>(argv));
+    EXPECT_TRUE(verbose);
+    EXPECT_EQ(jobs, 4);
+    EXPECT_EQ(trace, "t.json");
+    EXPECT_EQ(positionals,
+              (std::vector<std::string>{"suite", "extra"}));
+}
+
+TEST(ArgParser, SeenFlagDistinguishesExplicitFromDefault)
+{
+    std::string dir;
+    bool seen = false;
+    ArgParser parser("demo");
+    parser.option("--cache-dir", "DIR", "cache", &dir, &seen);
+    {
+        const char *argv[] = {"demo"};
+        parser.parse(1, const_cast<char **>(argv));
+        EXPECT_FALSE(seen);
+    }
+    {
+        const char *argv[] = {"demo", "--cache-dir", "d"};
+        parser.parse(3, const_cast<char **>(argv));
+        EXPECT_TRUE(seen);
+        EXPECT_EQ(dir, "d");
+    }
+}
+
+TEST(ArgParser, UnknownFlagsAndMissingValuesAreFatal)
+{
+    int jobs = 0;
+    ArgParser parser("demo");
+    parser.positiveInt("--jobs", "N", "workers", &jobs);
+    {
+        const char *argv[] = {"demo", "--bogus"};
+        EXPECT_THROW(parser.parse(2, const_cast<char **>(argv)),
+                     FatalError);
+    }
+    {
+        const char *argv[] = {"demo", "--jobs"};
+        EXPECT_THROW(parser.parse(2, const_cast<char **>(argv)),
+                     FatalError);
+    }
+    {
+        const char *argv[] = {"demo", "--jobs", "zero"};
+        EXPECT_THROW(parser.parse(3, const_cast<char **>(argv)),
+                     FatalError);
+    }
+}
+
+TEST(ArgParser, HelpStopsParsingAndListsEveryFlag)
+{
+    bool metrics = false;
+    int jobs = 0;
+    ArgParser parser("demo", "commands:\n  suite\n");
+    parser.flag("--metrics", "print metrics", &metrics)
+        .positiveInt("--jobs", "N", "workers", &jobs);
+    const char *argv[] = {"demo", "--help", "--bogus"};
+    parser.parse(3, const_cast<char **>(argv)); // --bogus unreached
+    EXPECT_TRUE(parser.helpRequested());
+    const std::string help = parser.help();
+    EXPECT_NE(help.find("--metrics"), std::string::npos);
+    EXPECT_NE(help.find("--jobs N"), std::string::npos);
+    EXPECT_NE(help.find("commands:"), std::string::npos);
+    EXPECT_NE(help.find("usage: demo"), std::string::npos);
 }
 
 } // namespace
